@@ -1,0 +1,101 @@
+//! Criterion bench: progressive Gauss-Jordan decoding (Sec. 4) — absorb
+//! cost per packet and full-generation decode, for both kernels, plus the
+//! non-mutating innovation check relays run on every reception.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omnc::rlnc::{CodedPacket, Decoder, Encoder, Generation, GenerationConfig, GenerationId, Kernel};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn generation(blocks: usize, block_size: usize) -> (GenerationConfig, Generation) {
+    let cfg = GenerationConfig::new(blocks, block_size).expect("valid");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut data = vec![0u8; cfg.payload_len()];
+    rng.fill(&mut data[..]);
+    (cfg, Generation::from_bytes(GenerationId::new(0), cfg, &data).expect("sized"))
+}
+
+fn packets(g: &Generation, count: usize) -> Vec<CodedPacket> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let enc = Encoder::new(g);
+    (0..count).map(|_| enc.emit(&mut rng)).collect()
+}
+
+fn bench_full_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_generation_decode");
+    for (blocks, block_size) in [(16usize, 1024usize), (40, 1024)] {
+        let (cfg, g) = generation(blocks, block_size);
+        let ps = packets(&g, blocks * 2);
+        group.throughput(Throughput::Bytes(cfg.payload_len() as u64));
+        for (name, kernel) in [("table", Kernel::Table), ("wide", Kernel::Wide)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{blocks}x{block_size}")),
+                &cfg,
+                |b, _| {
+                    b.iter(|| {
+                        let mut dec = Decoder::with_kernel(GenerationId::new(0), cfg, kernel);
+                        for p in &ps {
+                            if dec.is_complete() {
+                                break;
+                            }
+                            let _ = dec.absorb(black_box(p));
+                        }
+                        black_box(dec.recover())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The paper's Sec. 4 design choice: progressive Gauss-Jordan (on-the-fly)
+/// vs batch decode-at-the-end. Same total work order, but batch pays it all
+/// at recovery time and stores redundant packets blindly.
+fn bench_progressive_vs_batch(c: &mut Criterion) {
+    use omnc::rlnc::BatchDecoder;
+    let (cfg, g) = generation(40, 1024);
+    let ps = packets(&g, 60);
+    let mut group = c.benchmark_group("progressive_vs_batch_40x1024");
+    group.throughput(Throughput::Bytes(cfg.payload_len() as u64));
+    group.bench_function("progressive", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new(GenerationId::new(0), cfg);
+            for p in &ps {
+                if dec.is_complete() {
+                    break;
+                }
+                let _ = dec.absorb(black_box(p));
+            }
+            black_box(dec.recover())
+        })
+    });
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            let mut dec = BatchDecoder::new(GenerationId::new(0), cfg);
+            for p in &ps {
+                let _ = dec.push(black_box(p.clone()));
+            }
+            black_box(dec.solve())
+        })
+    });
+    group.finish();
+}
+
+fn bench_innovation_check(c: &mut Criterion) {
+    // The relay fast path: a non-mutating innovation check on a half-full
+    // buffer (coefficients only — no payload arithmetic).
+    let (cfg, g) = generation(40, 1024);
+    let ps = packets(&g, 60);
+    let mut dec = Decoder::new(GenerationId::new(0), cfg);
+    for p in ps.iter().take(20) {
+        let _ = dec.absorb(p);
+    }
+    let probe = &ps[40];
+    c.bench_function("innovation_check_half_full_40x1024", |b| {
+        b.iter(|| black_box(dec.would_be_innovative(black_box(probe))))
+    });
+}
+
+criterion_group!(benches, bench_full_decode, bench_progressive_vs_batch, bench_innovation_check);
+criterion_main!(benches);

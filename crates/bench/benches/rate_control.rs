@@ -1,0 +1,53 @@
+//! Criterion bench: cost of the rate-control machinery — one subgradient
+//! iteration-equivalent (a full run divided by its iteration count is
+//! reported in the harness output), the exact LP solve, and max flow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omnc::net_topo::deploy::Deployment;
+use omnc::net_topo::phy::Phy;
+use omnc::net_topo::select::select_forwarders;
+use omnc::omnc_opt::{flow, lp, RateControl, SUnicast};
+use std::hint::black_box;
+
+fn instance(nodes: usize, seed: u64) -> SUnicast {
+    let phy = Phy::paper_lossy();
+    let topo = Deployment::random(nodes, 6.0, &phy, seed).into_topology();
+    let (s, d) = topo.farthest_pair();
+    let sel = select_forwarders(&topo, s, d);
+    SUnicast::from_selection(&topo, &sel, 1e5)
+}
+
+fn bench_rate_control(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rate_control_run");
+    group.sample_size(10);
+    for nodes in [30usize, 60, 120] {
+        let problem = instance(nodes, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &problem, |b, p| {
+            b.iter(|| black_box(RateControl::new(p).run()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sunicast_exact_lp");
+    group.sample_size(10);
+    for nodes in [30usize, 60] {
+        let problem = instance(nodes, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &problem, |b, p| {
+            b.iter(|| black_box(lp::solve_exact(p).expect("solvable")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_max_flow(c: &mut Criterion) {
+    let problem = instance(60, 42);
+    let b_vec = vec![0.2; problem.node_count()];
+    c.bench_function("supported_rate_60_nodes", |b| {
+        b.iter(|| black_box(flow::supported_rate(&problem, black_box(&b_vec))))
+    });
+}
+
+criterion_group!(benches, bench_rate_control, bench_exact_lp, bench_max_flow);
+criterion_main!(benches);

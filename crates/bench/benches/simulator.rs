@@ -1,0 +1,33 @@
+//! Criterion bench: Drift event-loop throughput — full protocol sessions
+//! per second at the test scale, for each protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omnc::runner::{run_session, Protocol};
+use omnc::scenario::Scenario;
+use std::hint::black_box;
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut scenario = Scenario::small_test();
+    scenario.nodes = 60;
+    scenario.session.payload_block_size = 1; // charge full wire, skip payload math
+    scenario.session.duration = 30.0;
+    let (topology, src, dst) = scenario.build_session(0);
+
+    let mut group = c.benchmark_group("drift_session_30s");
+    group.sample_size(10);
+    for protocol in Protocol::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.name()),
+            &protocol,
+            |b, &p| {
+                b.iter(|| {
+                    black_box(run_session(&topology, src, dst, p, &scenario.session, 7))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

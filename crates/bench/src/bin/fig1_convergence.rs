@@ -1,0 +1,76 @@
+//! **Figure 1**: convergence of the distributed rate-control algorithm.
+//!
+//! The paper plots per-node broadcast rate against iteration count on a
+//! sample topology with tagged link probabilities, channel capacity 1e5
+//! bytes/second and step size `A = 1, B = 0.5, C = 10`, observing
+//! convergence "within a few rounds of iterations".
+//!
+//! ```sh
+//! cargo run --release -p omnc-bench --bin fig1_convergence
+//! ```
+
+use omnc::net_topo::graph::{Link, NodeId, Topology};
+use omnc::net_topo::select::select_forwarders;
+use omnc::omnc_opt::{lp, RateControl, RateControlParams, SUnicast, StepSize};
+
+fn main() {
+    // A sample multi-path topology with tagged reception probabilities.
+    let capacity = 1e5;
+    let links = vec![
+        Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.8 },
+        Link { from: NodeId::new(0), to: NodeId::new(2), p: 0.5 },
+        Link { from: NodeId::new(1), to: NodeId::new(3), p: 0.6 },
+        Link { from: NodeId::new(2), to: NodeId::new(3), p: 0.9 },
+        Link { from: NodeId::new(1), to: NodeId::new(2), p: 0.7 },
+    ];
+    let topology = Topology::from_links(4, links).expect("valid sample topology");
+    let selection = select_forwarders(&topology, NodeId::new(0), NodeId::new(3));
+    let problem = SUnicast::from_selection(&topology, &selection, capacity);
+
+    let params = RateControlParams {
+        step: StepSize::Diminishing { a: 1.0, b: 0.5, c: 10.0 }, // the Fig. 1 schedule
+        max_iterations: 60,
+        tolerance: 1e-12, // run the full horizon for the plot
+        ..Default::default()
+    };
+    let (alloc, trace) = RateControl::with_params(&problem, params).with_trace().run_traced();
+    let exact = lp::solve_exact(&problem).expect("solvable sample");
+
+    println!("# Fig. 1 — deployable broadcast rate (bytes/second) vs iteration");
+    println!("# capacity = {capacity:.0} B/s, step A=1 B=0.5 C=10");
+    println!("{:>6} {:>12} {:>12} {:>12}", "iter", "source", "relay1", "relay2");
+    for (t, b) in trace.b_allocated.iter().enumerate() {
+        if t % 2 == 0 || t + 1 == trace.b_recovered.len() {
+            let bi = |orig: usize| {
+                problem
+                    .local_index(NodeId::new(orig))
+                    .map(|i| b[i])
+                    .unwrap_or(0.0)
+            };
+            println!("{:>6} {:>12.0} {:>12.0} {:>12.0}", t + 1, bi(0), bi(1), bi(2));
+        }
+    }
+    println!();
+    println!("# paper: rates converge to the optimal solution within a few tens");
+    println!("# of iterations (Fig. 1 shows ~40). measured:");
+    // Find the first iteration after which every recovered rate stays
+    // within 5% of its final value.
+    let last = trace.b_allocated.last().expect("non-empty trace");
+    let settled = (0..trace.b_allocated.len())
+        .find(|&t| {
+            trace.b_allocated[t..].iter().all(|b| {
+                b.iter()
+                    .zip(last)
+                    .all(|(a, z)| (a - z).abs() <= 0.05 * z.max(capacity * 0.01))
+            })
+        })
+        .map(|t| t + 1)
+        .unwrap_or(trace.b_allocated.len());
+    println!("#   settled within 5% of the final rates after iteration {settled}");
+    println!(
+        "#   recovered throughput {:.0} B/s vs exact LP optimum {:.0} B/s ({:.1}%)",
+        alloc.throughput(),
+        exact.gamma,
+        100.0 * alloc.throughput() / exact.gamma
+    );
+}

@@ -1,0 +1,204 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index) and prints the paper's reference
+//! numbers next to the measured ones. The default scale is reduced so the
+//! whole suite runs in minutes; `--full` (or `OMNC_FULL=1`) restores the
+//! paper's 300-node / 300-session / 800-second scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use omnc::metrics::Cdf;
+use omnc::runner::{run_session, Protocol, SessionOutcome};
+use omnc::scenario::{Quality, Scenario};
+
+/// Command-line options shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Paper-scale run (300 nodes, 300 sessions, 800 s).
+    pub full: bool,
+    /// Override the number of sessions.
+    pub sessions: Option<usize>,
+    /// Override the number of deployed nodes.
+    pub nodes: Option<usize>,
+    /// Link-quality regime.
+    pub quality: Quality,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Options {
+    /// Parses `std::env::args` (ignores unknown flags so binaries can add
+    /// their own on top).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Options::from_slice(&args)
+    }
+
+    /// Parses an explicit argument slice (testable).
+    pub fn from_slice(args: &[String]) -> Self {
+        let mut opts = Options {
+            full: std::env::var("OMNC_FULL").map(|v| v == "1").unwrap_or(false),
+            sessions: None,
+            nodes: None,
+            quality: Quality::Lossy,
+            seed: 2008,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--sessions" => {
+                    opts.sessions = it.next().and_then(|v| v.parse().ok());
+                }
+                "--nodes" => {
+                    opts.nodes = it.next().and_then(|v| v.parse().ok());
+                }
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.seed = v;
+                    }
+                }
+                "--quality" => match it.next().map(String::as_str) {
+                    Some("high") => opts.quality = Quality::High,
+                    Some("lossy") => opts.quality = Quality::Lossy,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// The scenario these options select.
+    pub fn scenario(&self) -> Scenario {
+        let mut s = if self.full {
+            Scenario::paper(self.quality)
+        } else {
+            Scenario::reduced(self.quality)
+        };
+        if let Some(n) = self.sessions {
+            s.sessions = n;
+        }
+        if let Some(n) = self.nodes {
+            s.nodes = n;
+        }
+        s.seed = self.seed;
+        s
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options::from_slice(&[])
+    }
+}
+
+/// Result of one session across all requested protocols.
+pub struct SessionRow {
+    /// Session index.
+    pub k: u64,
+    /// Outcomes in the order of `protocols` passed to [`run_sweep`].
+    pub outcomes: Vec<SessionOutcome>,
+}
+
+/// Runs `protocols` over every session of the scenario, printing progress.
+/// The topology is built once; sessions differ in endpoints and seeds.
+pub fn run_sweep(scenario: &Scenario, protocols: &[Protocol]) -> Vec<SessionRow> {
+    let topology = scenario.build_topology();
+    eprintln!(
+        "# topology: {} nodes, {} links, avg quality {:.3}; {} sessions x {:?}",
+        topology.len(),
+        topology.link_count(),
+        topology.avg_link_quality(),
+        scenario.sessions,
+        protocols.iter().map(|p| p.name()).collect::<Vec<_>>()
+    );
+    let mut rows = Vec::new();
+    for (k, seed) in scenario.session_seeds().enumerate() {
+        let (_, src, dst) = scenario.build_session(k as u64);
+        let outcomes: Vec<SessionOutcome> = protocols
+            .iter()
+            .map(|&p| run_session(&topology, src, dst, p, &scenario.session, seed))
+            .collect();
+        rows.push(SessionRow { k: k as u64, outcomes });
+        if (k + 1) % 10 == 0 {
+            eprintln!("#   {}/{} sessions done", k + 1, scenario.sessions);
+        }
+    }
+    rows
+}
+
+/// Extracts the throughput-gain CDF of `idx` (vs the ETX outcome at
+/// `etx_idx`) from sweep rows, skipping sessions where ETX delivered zero.
+pub fn gain_cdf(rows: &[SessionRow], idx: usize, etx_idx: usize) -> Cdf {
+    rows.iter()
+        .filter(|r| r.outcomes[etx_idx].throughput > 0.0)
+        .map(|r| r.outcomes[idx].throughput / r.outcomes[etx_idx].throughput)
+        .collect()
+}
+
+/// Pretty-prints a two-column comparison of paper vs measured values.
+pub fn print_reference(label: &str, paper: f64, measured: f64) {
+    let status = if paper > 0.0 {
+        format!("{:+.0}%", 100.0 * (measured - paper) / paper)
+    } else {
+        String::from("n/a")
+    };
+    println!("{label:<42} paper {paper:>8.2}   measured {measured:>8.2}   ({status})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_reduced_lossy() {
+        let o = Options::from_slice(&[]);
+        assert!(!o.full || std::env::var("OMNC_FULL").is_ok());
+        assert_eq!(o.quality, Quality::Lossy);
+        assert_eq!(o.scenario().nodes, Scenario::reduced(Quality::Lossy).nodes);
+    }
+
+    #[test]
+    fn flags_are_parsed() {
+        let o = Options::from_slice(&strs(&[
+            "--full",
+            "--sessions",
+            "7",
+            "--quality",
+            "high",
+            "--seed",
+            "99",
+        ]));
+        assert!(o.full);
+        assert_eq!(o.sessions, Some(7));
+        assert_eq!(o.quality, Quality::High);
+        assert_eq!(o.seed, 99);
+        let s = o.scenario();
+        assert_eq!(s.sessions, 7);
+        assert_eq!(s.nodes, 300);
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let o = Options::from_slice(&strs(&["--whatever", "--sessions", "3"]));
+        assert_eq!(o.sessions, Some(3));
+    }
+
+    #[test]
+    fn tiny_sweep_produces_rows() {
+        let mut scenario = Scenario::small_test();
+        scenario.sessions = 2;
+        scenario.session.payload_block_size = 1;
+        let rows = run_sweep(&scenario, &[Protocol::EtxRouting, Protocol::Omnc]);
+        assert_eq!(rows.len(), 2);
+        let gains = gain_cdf(&rows, 1, 0);
+        assert!(gains.len() <= 2);
+    }
+}

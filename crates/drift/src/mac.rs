@@ -1,0 +1,382 @@
+//! Ideal MAC models (Sec. 3.2 / Sec. 5 of the paper).
+//!
+//! Both models share the same admissibility region — for every receiver `i`,
+//! the transmitters within range of `i` (plus `i` itself) must not exceed
+//! the channel capacity `C` in aggregate — and differ in *who decides* the
+//! rates:
+//!
+//! * [`MacModel::RateLimited`]: the protocol assigns each node a broadcast
+//!   rate (OMNC's optimized allocation) and the MAC simply serves each queue
+//!   at that rate;
+//! * [`MacModel::FairShare`]: nodes transmit whenever backlogged and the
+//!   ideal scheduler multiplexes them max-min fairly subject to the
+//!   per-receiver capacity constraints — what a protocol *without* rate
+//!   control (MORE, ETX routing) experiences.
+
+use net_topo::graph::{NodeId, Topology};
+
+/// The MAC scheduling policy of a [`crate::Simulator`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MacModel {
+    /// Max-min fair multiplexing under the paper's *unicast* feasibility
+    /// condition (Sec. 3.2): for every link `(i, j)`, the link itself plus
+    /// every link that interferes with it (one touching `N(i) ∪ N(j)`)
+    /// share the capacity. Strictly tighter than [`MacModel::FairShare`];
+    /// used for the single-path ETX baseline, matching the paper's
+    /// asymmetric treatment (sufficient condition for unicast, necessary
+    /// condition for broadcast).
+    UnicastClique {
+        /// Channel capacity in bytes/second.
+        capacity: f64,
+        /// The next hop of each node (`usize::MAX` = not transmitting).
+        next_hop: Vec<usize>,
+    },
+    /// Serve node `i`'s queue at `rates[i]` bytes/second (0 = silent). The
+    /// caller is responsible for the vector being admissible; OMNC's rate
+    /// control produces admissible vectors by construction.
+    RateLimited {
+        /// Per-node service rate in bytes/second.
+        rates: Vec<f64>,
+        /// Channel capacity in bytes/second (for reference/stats).
+        capacity: f64,
+    },
+    /// Max-min fair multiplexing among currently backlogged transmitters
+    /// under per-receiver capacity constraints.
+    FairShare {
+        /// Channel capacity in bytes/second.
+        capacity: f64,
+    },
+}
+
+impl MacModel {
+    /// Convenience constructor for the fair-share model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is positive and finite.
+    pub fn fair_share(capacity: f64) -> Self {
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        MacModel::FairShare { capacity }
+    }
+
+    /// Convenience constructor for the rate-limited model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is positive and every rate is finite and
+    /// non-negative.
+    pub fn rate_limited(rates: Vec<f64>, capacity: f64) -> Self {
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r >= 0.0),
+            "rates must be finite and non-negative"
+        );
+        MacModel::RateLimited { rates, capacity }
+    }
+
+    /// Convenience constructor for the unicast link-clique model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is positive and finite.
+    pub fn unicast_clique(capacity: f64, next_hop: Vec<usize>) -> Self {
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        MacModel::UnicastClique { capacity, next_hop }
+    }
+
+    /// The channel capacity.
+    pub fn capacity(&self) -> f64 {
+        match self {
+            MacModel::RateLimited { capacity, .. }
+            | MacModel::FairShare { capacity }
+            | MacModel::UnicastClique { capacity, .. } => *capacity,
+        }
+    }
+
+    /// The service rate of `node` given the set of currently backlogged
+    /// transmitters. Returns 0 for a node that cannot transmit.
+    pub(crate) fn service_rate(
+        &self,
+        node: NodeId,
+        backlogged: &[NodeId],
+        topology: &Topology,
+    ) -> f64 {
+        match self {
+            MacModel::RateLimited { rates, .. } => {
+                rates.get(node.index()).copied().unwrap_or(0.0)
+            }
+            MacModel::FairShare { capacity } => {
+                let shares = max_min_shares(backlogged, topology, *capacity);
+                backlogged
+                    .iter()
+                    .position(|&n| n == node)
+                    .map_or(0.0, |slot| shares[slot])
+            }
+            MacModel::UnicastClique { capacity, next_hop } => {
+                let shares = unicast_clique_shares(backlogged, topology, *capacity, next_hop);
+                backlogged
+                    .iter()
+                    .position(|&n| n == node)
+                    .map_or(0.0, |slot| shares[slot])
+            }
+        }
+    }
+}
+
+/// Max-min fair rates under the unicast sufficient condition: one
+/// constraint per backlogged link `(i, j)`, whose members are all
+/// backlogged links with an endpoint in `N(i) ∪ {i} ∪ N(j) ∪ {j}`.
+pub(crate) fn unicast_clique_shares(
+    backlogged: &[NodeId],
+    topology: &Topology,
+    capacity: f64,
+    next_hop: &[usize],
+) -> Vec<f64> {
+    let k = backlogged.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let hop = |t: NodeId| next_hop.get(t.index()).copied().unwrap_or(usize::MAX);
+    let touches = |t: NodeId, zone: &[NodeId]| -> bool {
+        let h = hop(t);
+        zone.iter().any(|&z| z == t || z.index() == h)
+    };
+    let mut constraints: Vec<Vec<usize>> = Vec::new();
+    for (center_slot, &center) in backlogged.iter().enumerate() {
+        let j = hop(center);
+        if j == usize::MAX {
+            continue;
+        }
+        // Interference zone of link (center, j).
+        let mut zone: Vec<NodeId> = vec![center, NodeId::new(j)];
+        zone.extend_from_slice(topology.neighbors(center));
+        zone.extend_from_slice(topology.neighbors(NodeId::new(j)));
+        zone.sort_unstable();
+        zone.dedup();
+        let mut members: Vec<usize> = backlogged
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| touches(t, &zone))
+            .map(|(slot, _)| slot)
+            .collect();
+        if !members.contains(&center_slot) {
+            members.push(center_slot);
+        }
+        members.sort_unstable();
+        constraints.push(members);
+    }
+    progressive_fill(k, &constraints, capacity)
+}
+
+/// Max-min fair rates for the backlogged transmitter set under per-receiver
+/// capacity constraints: for every node `r` in the topology, the backlogged
+/// transmitters within `N(r) ∪ {r}` share at most `capacity`.
+///
+/// Classic progressive filling: repeatedly find the bottleneck constraint
+/// (least remaining capacity per unfrozen member), freeze its members at the
+/// fill level, continue until all transmitters are frozen.
+pub(crate) fn max_min_shares(
+    backlogged: &[NodeId],
+    topology: &Topology,
+    capacity: f64,
+) -> Vec<f64> {
+    let k = backlogged.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    // Build constraint membership: one constraint per receiver that hears at
+    // least one backlogged transmitter.
+    let mut constraints: Vec<Vec<usize>> = Vec::new();
+    for r in topology.nodes() {
+        let mut members: Vec<usize> = backlogged
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == r || topology.neighbors(r).contains(&t))
+            .map(|(slot, _)| slot)
+            .collect();
+        if !members.is_empty() {
+            members.sort_unstable();
+            constraints.push(members);
+        }
+    }
+
+    progressive_fill(k, &constraints, capacity)
+}
+
+/// Progressive filling: raise all unfrozen shares together, freeze the
+/// members of each constraint as it saturates.
+fn progressive_fill(k: usize, constraints: &[Vec<usize>], capacity: f64) -> Vec<f64> {
+    let mut share = vec![0.0f64; k];
+    let mut frozen = vec![false; k];
+    let mut used: Vec<f64> = vec![0.0; constraints.len()];
+    loop {
+        // Fill level headroom per constraint: (C - used) / #unfrozen members.
+        let mut best: Option<f64> = None;
+        for (ci, members) in constraints.iter().enumerate() {
+            let unfrozen = members.iter().filter(|&&m| !frozen[m]).count();
+            if unfrozen == 0 {
+                continue;
+            }
+            let head = (capacity - used[ci]) / unfrozen as f64;
+            best = Some(best.map_or(head, |b: f64| b.min(head)));
+        }
+        let Some(delta) = best else { break };
+        let delta = delta.max(0.0);
+        // Raise all unfrozen shares by delta, update constraint usage.
+        for (ci, members) in constraints.iter().enumerate() {
+            let unfrozen = members.iter().filter(|&&m| !frozen[m]).count();
+            used[ci] += delta * unfrozen as f64;
+        }
+        for s in 0..k {
+            if !frozen[s] {
+                share[s] += delta;
+            }
+        }
+        // Freeze members of saturated constraints.
+        let mut any_frozen = false;
+        for (ci, members) in constraints.iter().enumerate() {
+            if capacity - used[ci] <= capacity * 1e-12 {
+                for &m in members {
+                    if !frozen[m] {
+                        frozen[m] = true;
+                        any_frozen = true;
+                    }
+                }
+            }
+        }
+        if !any_frozen {
+            // No constraint binds the remaining transmitters (isolated
+            // nodes): they can use the full capacity.
+            for s in 0..k {
+                if !frozen[s] {
+                    share[s] = capacity;
+                    frozen[s] = true;
+                }
+            }
+        }
+        if frozen.iter().all(|&f| f) {
+            break;
+        }
+    }
+    share
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_topo::graph::Link;
+
+    fn clique(n: usize) -> Topology {
+        let mut links = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    links.push(Link { from: NodeId::new(i), to: NodeId::new(j), p: 0.5 });
+                }
+            }
+        }
+        Topology::from_links(n, links).unwrap()
+    }
+
+    #[test]
+    fn clique_splits_capacity_evenly() {
+        let t = clique(4);
+        let backlogged: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let shares = max_min_shares(&backlogged, &t, 100.0);
+        for s in &shares {
+            assert!((s - 25.0).abs() < 1e-9, "{shares:?}");
+        }
+    }
+
+    #[test]
+    fn single_transmitter_gets_full_capacity() {
+        let t = clique(4);
+        let shares = max_min_shares(&[NodeId::new(2)], &t, 100.0);
+        assert_eq!(shares, vec![100.0]);
+    }
+
+    #[test]
+    fn disjoint_transmitters_reuse_the_channel() {
+        // Two isolated pairs: 0-1 and 2-3; transmitters 0 and 2 do not
+        // interfere and each gets the full capacity (spatial reuse).
+        let links = vec![
+            Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.9 },
+            Link { from: NodeId::new(2), to: NodeId::new(3), p: 0.9 },
+        ];
+        let t = Topology::from_links(4, links).unwrap();
+        let shares = max_min_shares(&[NodeId::new(0), NodeId::new(2)], &t, 50.0);
+        assert_eq!(shares, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn chain_bottleneck() {
+        // 0-1-2 chain: transmitters 0 and 2 both cover receiver 1, so they
+        // split the capacity; a lone transmitter would get all of it.
+        let mut links = Vec::new();
+        for (a, b) in [(0, 1), (1, 2)] {
+            links.push(Link { from: NodeId::new(a), to: NodeId::new(b), p: 0.5 });
+            links.push(Link { from: NodeId::new(b), to: NodeId::new(a), p: 0.5 });
+        }
+        let t = Topology::from_links(3, links).unwrap();
+        let shares = max_min_shares(&[NodeId::new(0), NodeId::new(2)], &t, 100.0);
+        assert!((shares[0] - 50.0).abs() < 1e-9);
+        assert!((shares[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_respect_every_receiver_constraint() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let n = 10;
+            let mut links = Vec::new();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && rng.gen_bool(0.3) {
+                        links.push(Link {
+                            from: NodeId::new(i),
+                            to: NodeId::new(j),
+                            p: 0.5,
+                        });
+                    }
+                }
+            }
+            if links.is_empty() {
+                continue;
+            }
+            let t = Topology::from_links(n, links).unwrap();
+            let backlogged: Vec<NodeId> =
+                (0..n).filter(|_| rng.gen_bool(0.5)).map(NodeId::new).collect();
+            let shares = max_min_shares(&backlogged, &t, 1.0);
+            // Verify per-receiver constraints.
+            for r in t.nodes() {
+                let load: f64 = backlogged
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &tx)| tx == r || t.neighbors(r).contains(&tx))
+                    .map(|(slot, _)| shares[slot])
+                    .sum();
+                assert!(load <= 1.0 + 1e-9, "receiver {r} overloaded: {load}");
+            }
+            // Every backlogged transmitter gets a positive share.
+            for (slot, &tx) in backlogged.iter().enumerate() {
+                assert!(shares[slot] > 0.0, "transmitter {tx} starved");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_limited_returns_assigned_rate() {
+        let t = clique(3);
+        let mac = MacModel::rate_limited(vec![10.0, 20.0, 0.0], 100.0);
+        assert_eq!(mac.service_rate(NodeId::new(1), &[], &t), 20.0);
+        assert_eq!(mac.service_rate(NodeId::new(2), &[], &t), 0.0);
+        assert_eq!(mac.capacity(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn invalid_capacity_panics() {
+        let _ = MacModel::fair_share(-1.0);
+    }
+}

@@ -1,0 +1,765 @@
+//! The discrete-event engine.
+
+use std::collections::VecDeque;
+
+use net_topo::graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::Calendar;
+use crate::mac::MacModel;
+use crate::stats::{NodeStats, QueueTracker};
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+
+/// Where an outgoing packet is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// One transmission, heard by every in-range node independently with
+    /// its link probability — the broadcast MAC OMNC exploits.
+    Broadcast,
+    /// Addressed to one next hop (the unicast MAC of ETX routing). The
+    /// sender learns the outcome via [`Behavior::on_unicast_result`],
+    /// modeling MAC-level acknowledgements.
+    Unicast(NodeId),
+}
+
+/// A packet handed to the MAC.
+#[derive(Debug, Clone)]
+pub struct Outgoing<M> {
+    /// Protocol-level message content.
+    pub msg: M,
+    /// Bytes charged to the channel (headers included).
+    pub wire_len: usize,
+    /// Destination semantics.
+    pub dest: Dest,
+}
+
+/// Protocol logic attached to one node.
+///
+/// All methods have empty defaults so implementations only override what
+/// they need. Behaviors interact with the world exclusively through
+/// [`Ctx`] — enqueueing packets, setting timers and drawing randomness —
+/// which keeps runs deterministic and replayable.
+#[allow(unused_variables)]
+pub trait Behavior<M>: 'static {
+    /// Invoked once at simulation start (nodes in id order).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {}
+
+    /// A packet transmitted by `from` was received by this node.
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: &M) {}
+
+    /// A timer set through [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: u64) {}
+
+    /// A unicast transmission to `to` completed; `delivered` tells whether
+    /// the channel delivered it (MAC-level feedback).
+    fn on_unicast_result(&mut self, ctx: &mut Ctx<'_, M>, to: NodeId, msg: &M, delivered: bool) {}
+
+    /// The queue length is `len`; total length observed by this node. Used
+    /// by behaviors that track their own backlog signal; most ignore it.
+    fn on_queue_change(&mut self, len: usize) {}
+}
+
+impl<M, B: Behavior<M> + ?Sized> Behavior<M> for Box<B> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        (**self).on_start(ctx);
+    }
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: &M) {
+        (**self).on_receive(ctx, from, msg);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: u64) {
+        (**self).on_timer(ctx, token);
+    }
+    fn on_unicast_result(&mut self, ctx: &mut Ctx<'_, M>, to: NodeId, msg: &M, delivered: bool) {
+        (**self).on_unicast_result(ctx, to, msg, delivered);
+    }
+    fn on_queue_change(&mut self, len: usize) {
+        (**self).on_queue_change(len);
+    }
+}
+
+enum Event {
+    Start(NodeId),
+    Timer { node: NodeId, token: u64 },
+    TxComplete { node: NodeId },
+    Kill(NodeId),
+}
+
+/// Engine internals visible to behaviors through [`Ctx`].
+struct Core<M> {
+    topology: Topology,
+    mac: MacModel,
+    calendar: Calendar<Event>,
+    queues: Vec<VecDeque<Outgoing<M>>>,
+    inflight: Vec<Option<Outgoing<M>>>,
+    trackers: Vec<QueueTracker>,
+    stats: Vec<NodeStats>,
+    rng: StdRng,
+    now: SimTime,
+    stopped: bool,
+    trace: Trace,
+    dead: Vec<bool>,
+}
+
+impl<M> Core<M> {
+    fn observe_queue(&mut self, node: NodeId) {
+        let len = self.queues[node.index()].len();
+        self.trackers[node.index()].observe(self.now, len);
+    }
+}
+
+/// The handle a [`Behavior`] uses to act on the world.
+pub struct Ctx<'a, M> {
+    core: &'a mut Core<M>,
+    node: NodeId,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Appends a packet to this node's transmit queue.
+    pub fn enqueue(&mut self, packet: Outgoing<M>) {
+        self.core.queues[self.node.index()].push_back(packet);
+        self.core.observe_queue(self.node);
+    }
+
+    /// This node's current queue length.
+    pub fn queue_len(&self) -> usize {
+        self.core.queues[self.node.index()].len()
+    }
+
+    /// Drops queued packets for which `keep` returns `false` (e.g. packets
+    /// of an expired generation, Sec. 4 of the paper).
+    pub fn retain_queue<F: FnMut(&M) -> bool>(&mut self, mut keep: F) {
+        self.core.queues[self.node.index()].retain(|o| keep(&o.msg));
+        self.core.observe_queue(self.node);
+    }
+
+    /// Schedules [`Behavior::on_timer`] for this node after `delay` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite.
+    pub fn set_timer(&mut self, delay: f64, token: u64) {
+        assert!(delay.is_finite() && delay >= 0.0, "delay must be non-negative");
+        let at = self.core.now + delay;
+        self.core.calendar.schedule(at, Event::Timer { node: self.node, token });
+    }
+
+    /// Deterministic randomness for protocol decisions (coding
+    /// coefficients, jitter).
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.core.rng
+    }
+
+    /// Ends the simulation after the current event.
+    pub fn stop(&mut self) {
+        self.core.stopped = true;
+    }
+
+    /// The topology the simulation runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.core.topology
+    }
+}
+
+/// A deterministic discrete-event wireless simulator.
+///
+/// Generic over the protocol message type `M` and the behavior type `B`
+/// (commonly an enum with one variant per role, or
+/// `Box<dyn Behavior<M>>`).
+pub struct Simulator<M, B> {
+    core: Core<M>,
+    behaviors: Vec<Option<B>>,
+    started: bool,
+}
+
+impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
+    /// Creates a simulator over `topology` with the given MAC model and RNG
+    /// seed. All nodes start without behaviors (they stay silent).
+    pub fn new(topology: &Topology, mac: MacModel, seed: u64) -> Self {
+        let n = topology.len();
+        Simulator {
+            core: Core {
+                topology: topology.clone(),
+                mac,
+                calendar: Calendar::new(),
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                inflight: (0..n).map(|_| None).collect(),
+                trackers: vec![QueueTracker::new(); n],
+                stats: vec![NodeStats::default(); n],
+                rng: StdRng::seed_from_u64(seed),
+                now: SimTime::ZERO,
+                stopped: false,
+                trace: Trace::disabled(),
+                dead: vec![false; n],
+            },
+            behaviors: (0..n).map(|_| None).collect(),
+            started: false,
+        }
+    }
+
+    /// Installs the protocol logic for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or the simulation already started.
+    pub fn set_behavior(&mut self, node: NodeId, behavior: B) {
+        assert!(!self.started, "behaviors must be installed before the run starts");
+        self.behaviors[node.index()] = Some(behavior);
+    }
+
+    /// Read access to a node's behavior (e.g. to extract final protocol
+    /// state after the run).
+    pub fn behavior(&self, node: NodeId) -> Option<&B> {
+        self.behaviors[node.index()].as_ref()
+    }
+
+    /// Mutable access to a node's behavior between runs.
+    pub fn behavior_mut(&mut self, node: NodeId) -> Option<&mut B> {
+        self.behaviors[node.index()].as_mut()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Turns on MAC-level event tracing, keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        assert!(!self.started, "enable tracing before the run starts");
+        self.core.trace = Trace::bounded(capacity);
+    }
+
+    /// The recorded MAC-level events (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    /// Schedules a crash-stop failure: at time `at`, `node` goes silent and
+    /// deaf — its queue is flushed, its in-flight transmission is aborted,
+    /// and it neither receives nor fires timers afterwards. Fault injection
+    /// for resilience experiments (single-path routing dies with its relay;
+    /// multipath coded protocols degrade gracefully).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current time.
+    pub fn schedule_kill(&mut self, node: NodeId, at: f64) {
+        let at = SimTime::new(at);
+        assert!(at >= self.core.now, "cannot kill in the past");
+        self.core.calendar.schedule(at, Event::Kill(node));
+    }
+
+    /// `true` if `node` has been killed.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.core.dead[node.index()]
+    }
+
+    /// `true` once a behavior called [`Ctx::stop`].
+    pub fn is_stopped(&self) -> bool {
+        self.core.stopped
+    }
+
+    /// Transmission counters for `node`.
+    pub fn stats(&self, node: NodeId) -> NodeStats {
+        self.core.stats[node.index()]
+    }
+
+    /// Time-averaged transmit-queue length of `node` (Fig. 3's metric).
+    pub fn queue_average(&self, node: NodeId) -> f64 {
+        self.core.trackers[node.index()].time_average()
+    }
+
+    /// Peak queue length of `node`.
+    pub fn queue_peak(&self, node: NodeId) -> usize {
+        self.core.trackers[node.index()].peak()
+    }
+
+    /// Runs until simulated time `end` (seconds), the calendar drains, or a
+    /// behavior stops the run. Returns the time the run ended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the current time.
+    pub fn run_until(&mut self, end: f64) -> SimTime {
+        let end = SimTime::new(end);
+        assert!(end >= self.core.now, "cannot run backwards in time");
+        if !self.started {
+            self.started = true;
+            for node in self.core.topology.nodes() {
+                self.core.calendar.schedule(SimTime::ZERO, Event::Start(node));
+            }
+        }
+        while !self.core.stopped {
+            let Some(next_time) = self.core.calendar.peek_time() else { break };
+            if next_time > end {
+                break;
+            }
+            let (time, event) = self.core.calendar.pop().expect("peeked");
+            self.core.now = time;
+            match event {
+                Event::Start(node) => {
+                    self.with_behavior(node, |b, ctx| b.on_start(ctx));
+                    self.try_start_tx(node);
+                }
+                Event::Timer { node, token } => {
+                    if !self.core.dead[node.index()] {
+                        self.with_behavior(node, |b, ctx| b.on_timer(ctx, token));
+                        self.try_start_tx(node);
+                    }
+                }
+                Event::TxComplete { node } => {
+                    if !self.core.dead[node.index()] {
+                        self.complete_tx(node);
+                        self.try_start_tx(node);
+                    }
+                }
+                Event::Kill(node) => {
+                    self.core.dead[node.index()] = true;
+                    self.core.queues[node.index()].clear();
+                    self.core.observe_queue(node);
+                    self.core.inflight[node.index()] = None;
+                }
+            }
+        }
+        if self.core.now < end && !self.core.stopped && self.core.calendar.is_empty() {
+            self.core.now = end;
+        }
+        // Close the queue-average integration window.
+        for node in 0..self.core.queues.len() {
+            let len = self.core.queues[node].len();
+            self.core.trackers[node].observe(self.core.now, len);
+        }
+        self.core.now
+    }
+
+    /// Invokes a behavior callback with a fresh [`Ctx`]; nodes without
+    /// behaviors ignore events.
+    fn with_behavior<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut B, &mut Ctx<'_, M>),
+    {
+        if let Some(mut behavior) = self.behaviors[node.index()].take() {
+            {
+                let mut ctx = Ctx { core: &mut self.core, node };
+                f(&mut behavior, &mut ctx);
+            }
+            behavior.on_queue_change(self.core.queues[node.index()].len());
+            self.behaviors[node.index()] = Some(behavior);
+        }
+    }
+
+    /// Starts a transmission at `node` if it is idle and backlogged and the
+    /// MAC grants it a positive rate.
+    fn try_start_tx(&mut self, node: NodeId) {
+        if self.core.dead[node.index()]
+            || self.core.inflight[node.index()].is_some()
+            || self.core.queues[node.index()].is_empty()
+        {
+            return;
+        }
+        let backlogged: Vec<NodeId> = self
+            .core
+            .topology
+            .nodes()
+            .filter(|v| {
+                self.core.inflight[v.index()].is_some() || !self.core.queues[v.index()].is_empty()
+            })
+            .collect();
+        let rate = self.core.mac.service_rate(node, &backlogged, &self.core.topology);
+        if rate <= 0.0 {
+            return;
+        }
+        let packet = self.core.queues[node.index()].pop_front().expect("non-empty");
+        self.core.observe_queue(node);
+        let duration = packet.wire_len as f64 / rate;
+        self.core.trace.record(TraceEvent::TxStart {
+            at: self.core.now,
+            node,
+            wire_len: packet.wire_len,
+            rate,
+        });
+        self.core.inflight[node.index()] = Some(packet);
+        self.core
+            .calendar
+            .schedule(self.core.now + duration, Event::TxComplete { node });
+    }
+
+    /// Finishes `node`'s transmission: charge stats, roll the channel dice
+    /// per receiver, deliver.
+    fn complete_tx(&mut self, node: NodeId) {
+        let Some(packet) = self.core.inflight[node.index()].take() else {
+            return;
+        };
+        self.core.stats[node.index()].packets_sent += 1;
+        self.core.stats[node.index()].bytes_sent += packet.wire_len as u64;
+        self.core.trace.record(TraceEvent::TxComplete { at: self.core.now, node });
+
+        match packet.dest {
+            Dest::Broadcast => {
+                // Deterministic receiver order: topology out-link order.
+                let receivers: Vec<(NodeId, f64)> = self
+                    .core
+                    .topology
+                    .out_links(node)
+                    .iter()
+                    .map(|l| (l.to, l.p))
+                    .collect();
+                for (to, p) in receivers {
+                    if self.core.dead[to.index()] {
+                        continue; // dead receivers hear nothing
+                    }
+                    if self.core.rng.gen_bool(p) {
+                        self.core.stats[to.index()].packets_received += 1;
+                        self.core
+                            .trace
+                            .record(TraceEvent::Delivered { at: self.core.now, from: node, to });
+                        self.with_behavior(to, |b, ctx| b.on_receive(ctx, node, &packet.msg));
+                        self.try_start_tx(to);
+                    } else {
+                        self.core.stats[to.index()].packets_lost += 1;
+                        self.core
+                            .trace
+                            .record(TraceEvent::Lost { at: self.core.now, from: node, to });
+                    }
+                }
+            }
+            Dest::Unicast(to) => {
+                let p = self.core.topology.link_prob(node, to).unwrap_or(0.0);
+                let delivered =
+                    !self.core.dead[to.index()] && p > 0.0 && self.core.rng.gen_bool(p);
+                if delivered {
+                    self.core.stats[to.index()].packets_received += 1;
+                    self.core
+                        .trace
+                        .record(TraceEvent::Delivered { at: self.core.now, from: node, to });
+                    self.with_behavior(to, |b, ctx| b.on_receive(ctx, node, &packet.msg));
+                    self.try_start_tx(to);
+                } else {
+                    self.core.stats[to.index()].packets_lost += 1;
+                    self.core
+                        .trace
+                        .record(TraceEvent::Lost { at: self.core.now, from: node, to });
+                }
+                self.with_behavior(node, |b, ctx| {
+                    b.on_unicast_result(ctx, to, &packet.msg, delivered)
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_topo::graph::Link;
+
+    #[derive(Clone)]
+    struct Msg(#[allow(dead_code)] u64);
+
+    /// Floods `count` packets at start.
+    struct Flood {
+        count: usize,
+        wire_len: usize,
+    }
+    impl Behavior<Msg> for Flood {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            for i in 0..self.count {
+                ctx.enqueue(Outgoing {
+                    msg: Msg(i as u64),
+                    wire_len: self.wire_len,
+                    dest: Dest::Broadcast,
+                });
+            }
+        }
+    }
+
+    /// Counts received packets.
+    #[derive(Default)]
+    struct Counter {
+        got: u64,
+        last_from: Option<NodeId>,
+    }
+    impl Behavior<Msg> for Counter {
+        fn on_receive(&mut self, _ctx: &mut Ctx<'_, Msg>, from: NodeId, _msg: &Msg) {
+            self.got += 1;
+            self.last_from = Some(from);
+        }
+    }
+
+    fn pair(p: f64) -> Topology {
+        Topology::from_links(
+            2,
+            vec![Link { from: NodeId::new(0), to: NodeId::new(1), p }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn perfect_link_delivers_everything() {
+        let topo = pair(1.0);
+        let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
+            Simulator::new(&topo, MacModel::fair_share(1000.0), 1);
+        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 10, wire_len: 100 }));
+        sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
+        sim.run_until(10.0);
+        assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 10);
+        assert_eq!(sim.stats(NodeId::new(1)).packets_received, 10);
+        assert_eq!(sim.stats(NodeId::new(1)).packets_lost, 0);
+    }
+
+    #[test]
+    fn transmission_takes_wire_len_over_rate() {
+        let topo = pair(1.0);
+        let mut sim: Simulator<Msg, Flood> =
+            Simulator::new(&topo, MacModel::fair_share(1000.0), 1);
+        sim.set_behavior(NodeId::new(0), Flood { count: 10, wire_len: 100 });
+        // 10 packets × 100 bytes at 1000 B/s = 1 second exactly.
+        sim.run_until(0.999);
+        assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 9);
+        sim.run_until(1.001);
+        assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 10);
+    }
+
+    #[test]
+    fn lossy_link_loses_roughly_p_fraction() {
+        let topo = pair(0.3);
+        let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
+            Simulator::new(&topo, MacModel::fair_share(1e6), 42);
+        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 10_000, wire_len: 10 }));
+        sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
+        sim.run_until(1e3);
+        let got = sim.stats(NodeId::new(1)).packets_received as f64;
+        assert!((got / 10_000.0 - 0.3).abs() < 0.02, "received {got}");
+        assert_eq!(
+            sim.stats(NodeId::new(1)).packets_received + sim.stats(NodeId::new(1)).packets_lost,
+            10_000
+        );
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let topo = pair(0.5);
+        let run = |seed: u64| {
+            let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
+                Simulator::new(&topo, MacModel::fair_share(1000.0), seed);
+            sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 100, wire_len: 10 }));
+            sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
+            sim.run_until(100.0);
+            sim.stats(NodeId::new(1)).packets_received
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn rate_limited_mac_paces_transmissions() {
+        let topo = pair(1.0);
+        // 50 B/s on a 100-byte packet = 2 seconds per packet.
+        let mac = MacModel::rate_limited(vec![50.0, 0.0], 1000.0);
+        let mut sim: Simulator<Msg, Flood> = Simulator::new(&topo, mac, 3);
+        sim.set_behavior(NodeId::new(0), Flood { count: 5, wire_len: 100 });
+        sim.run_until(5.0);
+        assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 2);
+        sim.run_until(20.0);
+        assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 5);
+    }
+
+    #[test]
+    fn zero_rate_node_never_transmits_and_queue_grows() {
+        let topo = pair(1.0);
+        let mac = MacModel::rate_limited(vec![0.0, 0.0], 1000.0);
+        let mut sim: Simulator<Msg, Flood> = Simulator::new(&topo, mac, 3);
+        sim.set_behavior(NodeId::new(0), Flood { count: 8, wire_len: 100 });
+        sim.run_until(10.0);
+        assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 0);
+        assert!((sim.queue_average(NodeId::new(0)) - 8.0).abs() < 1e-9);
+        assert_eq!(sim.queue_peak(NodeId::new(0)), 8);
+    }
+
+    /// Sends unicast packets and retransmits on failure, up to a budget.
+    struct StubbornUnicast {
+        to: NodeId,
+        budget: usize,
+        delivered: usize,
+        attempts: usize,
+    }
+    impl Behavior<Msg> for StubbornUnicast {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.enqueue(Outgoing { msg: Msg(0), wire_len: 10, dest: Dest::Unicast(self.to) });
+        }
+        fn on_unicast_result(
+            &mut self,
+            ctx: &mut Ctx<'_, Msg>,
+            _to: NodeId,
+            _msg: &Msg,
+            delivered: bool,
+        ) {
+            self.attempts += 1;
+            if delivered {
+                self.delivered += 1;
+            } else if self.attempts < self.budget {
+                ctx.enqueue(Outgoing {
+                    msg: Msg(0),
+                    wire_len: 10,
+                    dest: Dest::Unicast(self.to),
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn unicast_reports_results_and_retransmissions_succeed_eventually() {
+        let topo = pair(0.5);
+        let mut sim: Simulator<Msg, StubbornUnicast> =
+            Simulator::new(&topo, MacModel::fair_share(1000.0), 11);
+        sim.set_behavior(
+            NodeId::new(0),
+            StubbornUnicast { to: NodeId::new(1), budget: 64, delivered: 0, attempts: 0 },
+        );
+        sim.run_until(100.0);
+        let b = sim.behavior(NodeId::new(0)).unwrap();
+        assert_eq!(b.delivered, 1, "after {} attempts", b.attempts);
+        assert!(b.attempts >= 1);
+    }
+
+    #[test]
+    fn timers_fire_at_the_right_time() {
+        struct TimerNode {
+            fired_at: Vec<f64>,
+        }
+        impl Behavior<Msg> for TimerNode {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(1.5, 1);
+                ctx.set_timer(0.5, 2);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+                self.fired_at.push(ctx.now().as_secs());
+                if token == 2 {
+                    ctx.set_timer(1.0, 3);
+                }
+            }
+        }
+        let topo = pair(1.0);
+        let mut sim: Simulator<Msg, TimerNode> =
+            Simulator::new(&topo, MacModel::fair_share(1000.0), 0);
+        sim.set_behavior(NodeId::new(0), TimerNode { fired_at: vec![] });
+        sim.run_until(10.0);
+        assert_eq!(sim.behavior(NodeId::new(0)).unwrap().fired_at, vec![0.5, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn stop_ends_the_run_early() {
+        struct Stopper;
+        impl Behavior<Msg> for Stopper {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(2.0, 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _token: u64) {
+                ctx.stop();
+            }
+        }
+        let topo = pair(1.0);
+        let mut sim: Simulator<Msg, Stopper> =
+            Simulator::new(&topo, MacModel::fair_share(1000.0), 0);
+        sim.set_behavior(NodeId::new(0), Stopper);
+        let end = sim.run_until(100.0);
+        assert_eq!(end.as_secs(), 2.0);
+        assert!(sim.is_stopped());
+    }
+
+    #[test]
+    fn killed_nodes_go_silent_and_deaf() {
+        let topo = pair(1.0);
+        let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
+            Simulator::new(&topo, MacModel::fair_share(100.0), 1);
+        // 100-byte packets at 100 B/s = 1 s each; kill the source at 2.5 s.
+        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 10, wire_len: 100 }));
+        sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
+        sim.schedule_kill(NodeId::new(0), 2.5);
+        sim.run_until(20.0);
+        assert!(sim.is_dead(NodeId::new(0)));
+        // Two packets completed before death; the third was in flight and
+        // aborted; nothing after.
+        assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 2);
+        assert_eq!(sim.stats(NodeId::new(1)).packets_received, 2);
+    }
+
+    #[test]
+    fn dead_receivers_hear_nothing() {
+        let topo = pair(1.0);
+        let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
+            Simulator::new(&topo, MacModel::fair_share(1000.0), 2);
+        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 10, wire_len: 100 }));
+        sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
+        sim.schedule_kill(NodeId::new(1), 0.45); // after ~4 deliveries
+        sim.run_until(10.0);
+        assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 10, "sender keeps going");
+        assert_eq!(sim.stats(NodeId::new(1)).packets_received, 4);
+    }
+
+    #[test]
+    fn tracing_records_the_mac_story() {
+        let topo = pair(1.0);
+        let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
+            Simulator::new(&topo, MacModel::fair_share(1000.0), 1);
+        sim.enable_trace(100);
+        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 3, wire_len: 100 }));
+        sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
+        sim.run_until(10.0);
+        let trace = sim.trace();
+        let starts = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, crate::trace::TraceEvent::TxStart { .. }))
+            .count();
+        let delivered = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, crate::trace::TraceEvent::Delivered { .. }))
+            .count();
+        assert_eq!(starts, 3);
+        assert_eq!(delivered, 3, "perfect link delivers every packet");
+        // Timestamps are monotone.
+        for w in trace.events().windows(2) {
+            assert!(w[1].at() >= w[0].at());
+        }
+        assert!(trace.involving(NodeId::new(1)).count() >= 3);
+    }
+
+    #[test]
+    fn fair_share_contention_halves_throughput() {
+        // Transmitters 0 and 2 both in range of receiver 1: they split C.
+        let mut links = Vec::new();
+        for (a, b) in [(0usize, 1usize), (2, 1)] {
+            links.push(Link { from: NodeId::new(a), to: NodeId::new(b), p: 1.0 });
+            links.push(Link { from: NodeId::new(b), to: NodeId::new(a), p: 1.0 });
+        }
+        let topo = Topology::from_links(3, links).unwrap();
+        let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
+            Simulator::new(&topo, MacModel::fair_share(100.0), 5);
+        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 1000, wire_len: 10 }));
+        sim.set_behavior(NodeId::new(2), Box::new(Flood { count: 1000, wire_len: 10 }));
+        sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
+        sim.run_until(10.0);
+        // Each gets ~50 B/s → ~5 packets/s each → ~50 packets in 10 s.
+        let sent0 = sim.stats(NodeId::new(0)).packets_sent;
+        let sent2 = sim.stats(NodeId::new(2)).packets_sent;
+        assert!((45..=55).contains(&(sent0 as i64)), "sent0 {sent0}");
+        assert!((45..=55).contains(&(sent2 as i64)), "sent2 {sent2}");
+    }
+}

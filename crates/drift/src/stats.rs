@@ -1,0 +1,114 @@
+//! Per-node statistics: transmission counters and the time-averaged queue
+//! size used by the paper's Fig. 3.
+
+use crate::time::SimTime;
+
+/// Counters accumulated for one node over a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeStats {
+    /// Packets this node finished transmitting.
+    pub packets_sent: u64,
+    /// Bytes this node finished transmitting.
+    pub bytes_sent: u64,
+    /// Packets delivered *to* this node (after channel losses).
+    pub packets_received: u64,
+    /// Packets addressed/audible to this node that the channel lost.
+    pub packets_lost: u64,
+}
+
+/// Integrates a queue-length signal over time to report its time average —
+/// the paper samples "the broadcast queue size, take\[s\] the time average"
+/// (Sec. 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueTracker {
+    last_time: SimTime,
+    last_len: usize,
+    weighted_sum: f64,
+    observed: f64,
+    peak: usize,
+}
+
+impl QueueTracker {
+    /// Starts tracking at time zero with an empty queue.
+    pub fn new() -> Self {
+        QueueTracker {
+            last_time: SimTime::ZERO,
+            last_len: 0,
+            weighted_sum: 0.0,
+            observed: 0.0,
+            peak: 0,
+        }
+    }
+
+    /// Records that the queue has length `len` as of time `now`. The
+    /// previous length is credited for the elapsed interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous observation.
+    pub fn observe(&mut self, now: SimTime, len: usize) {
+        assert!(now >= self.last_time, "observations must be in time order");
+        let dt = now.since(self.last_time);
+        self.weighted_sum += self.last_len as f64 * dt;
+        self.observed += dt;
+        self.last_time = now;
+        self.last_len = len;
+        self.peak = self.peak.max(len);
+    }
+
+    /// The time-averaged queue length over the observed horizon.
+    pub fn time_average(&self) -> f64 {
+        if self.observed == 0.0 {
+            self.last_len as f64
+        } else {
+            self.weighted_sum / self.observed
+        }
+    }
+
+    /// The largest queue length ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total time across all observations.
+    pub fn horizon(&self) -> f64 {
+        self.observed
+    }
+}
+
+impl Default for QueueTracker {
+    fn default() -> Self {
+        QueueTracker::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_average_weighs_durations() {
+        let mut q = QueueTracker::new();
+        q.observe(SimTime::new(1.0), 10); // len 0 for [0,1)
+        q.observe(SimTime::new(3.0), 0); // len 10 for [1,3)
+        q.observe(SimTime::new(4.0), 0); // len 0 for [3,4)
+        // (0·1 + 10·2 + 0·1) / 4 = 5
+        assert!((q.time_average() - 5.0).abs() < 1e-12);
+        assert_eq!(q.peak(), 10);
+        assert_eq!(q.horizon(), 4.0);
+    }
+
+    #[test]
+    fn empty_tracker_reports_current_len() {
+        let q = QueueTracker::new();
+        assert_eq!(q.time_average(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_observation_panics() {
+        let mut q = QueueTracker::new();
+        q.observe(SimTime::new(2.0), 1);
+        q.observe(SimTime::new(1.0), 2);
+    }
+}

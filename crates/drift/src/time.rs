@@ -1,0 +1,115 @@
+//! Simulation clock.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in seconds.
+///
+/// Wraps a finite, non-negative `f64` and is totally ordered, which lets the
+/// event queue sort on it safely.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero (simulation start).
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative, NaN or infinite.
+    pub fn new(seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "simulation time must be finite and non-negative, got {seconds}"
+        );
+        SimTime(seconds)
+    }
+
+    /// The time value in seconds.
+    pub const fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Duration from `earlier` to `self`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Values are always finite by construction, so partial_cmp is total.
+        self.0.partial_cmp(&other.0).expect("SimTime is always finite")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<SimTime> for f64 {
+    fn from(t: SimTime) -> f64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::new(1.0);
+        let b = a + 0.5;
+        assert!(b > a);
+        assert_eq!(b - a, 0.5);
+        assert_eq!(b.since(a), 0.5);
+        assert_eq!(a.since(b), 0.0, "since saturates");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::new(0.25).to_string(), "0.250000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_time_panics() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_time_panics() {
+        let _ = SimTime::new(f64::NAN);
+    }
+}

@@ -1,0 +1,176 @@
+//! Optional packet-level event tracing.
+//!
+//! Emulation testbeds live and die by their observability: a trace of who
+//! transmitted what, when, and who heard it. The recorder is off by default
+//! (zero cost beyond a branch); when enabled it captures a bounded log of
+//! MAC-level events that tests and debugging sessions can assert against.
+
+use net_topo::graph::NodeId;
+
+use crate::time::SimTime;
+
+/// One MAC-level event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// `node` started transmitting `wire_len` bytes at `rate` bytes/second.
+    TxStart {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Transmitting node.
+        node: NodeId,
+        /// Bytes on the wire.
+        wire_len: usize,
+        /// Granted service rate.
+        rate: f64,
+    },
+    /// `node` finished a transmission.
+    TxComplete {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Transmitting node.
+        node: NodeId,
+    },
+    /// The channel delivered a packet from `from` to `to`.
+    Delivered {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Transmitter.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// The channel lost the copy addressed/audible to `to`.
+    Lost {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Transmitter.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::TxStart { at, .. }
+            | TraceEvent::TxComplete { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::Lost { at, .. } => *at,
+        }
+    }
+}
+
+/// A bounded in-memory event log.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an enabled trace holding at most `capacity` events; further
+    /// events are counted but not stored.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace { events: Vec::new(), capacity, dropped: 0, enabled: true }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events that did not fit within the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterator over events involving `node` (as transmitter or receiver).
+    pub fn involving(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| match e {
+            TraceEvent::TxStart { node: n, .. } | TraceEvent::TxComplete { node: n, .. } => {
+                *n == node
+            }
+            TraceEvent::Delivered { from, to, .. } | TraceEvent::Lost { from, to, .. } => {
+                *from == node || *to == node
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(TraceEvent::TxComplete { at: SimTime::ZERO, node: NodeId::new(0) });
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_trace_counts_overflow() {
+        let mut t = Trace::bounded(2);
+        for i in 0..5 {
+            t.record(TraceEvent::TxComplete { at: SimTime::ZERO, node: NodeId::new(i) });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn involving_filters_by_endpoint() {
+        let mut t = Trace::bounded(10);
+        t.record(TraceEvent::Delivered {
+            at: SimTime::ZERO,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+        });
+        t.record(TraceEvent::Lost {
+            at: SimTime::ZERO,
+            from: NodeId::new(2),
+            to: NodeId::new(3),
+        });
+        assert_eq!(t.involving(NodeId::new(1)).count(), 1);
+        assert_eq!(t.involving(NodeId::new(2)).count(), 1);
+        assert_eq!(t.involving(NodeId::new(9)).count(), 0);
+    }
+
+    #[test]
+    fn event_timestamps_are_accessible() {
+        let e = TraceEvent::TxStart {
+            at: SimTime::new(1.5),
+            node: NodeId::new(0),
+            wire_len: 100,
+            rate: 10.0,
+        };
+        assert_eq!(e.at(), SimTime::new(1.5));
+    }
+}

@@ -1,0 +1,331 @@
+//! Scalar field-element type with operator overloads.
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::tables::{EXP, LOG};
+
+/// An element of GF(2^8) under the Rijndael polynomial.
+///
+/// Addition and subtraction are both XOR; multiplication and division use the
+/// compile-time log/exp tables. All operations are total except division by
+/// zero and inversion of zero, which panic (like integer division).
+///
+/// # Examples
+///
+/// ```
+/// use omnc_gf256::Gf256;
+///
+/// let a = Gf256::new(7);
+/// assert_eq!(a + a, Gf256::ZERO);           // characteristic 2
+/// assert_eq!(a * a.inv().unwrap(), Gf256::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+
+    /// Wraps a raw byte as a field element.
+    ///
+    /// ```
+    /// # use omnc_gf256::Gf256;
+    /// assert_eq!(Gf256::new(0).as_u8(), 0);
+    /// ```
+    #[inline]
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// Returns the underlying byte.
+    #[inline]
+    pub const fn as_u8(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the multiplicative inverse, or `None` for zero.
+    ///
+    /// ```
+    /// # use omnc_gf256::Gf256;
+    /// assert_eq!(Gf256::ZERO.inv(), None);
+    /// assert_eq!(Gf256::new(2).inv().map(|i| i * Gf256::new(2)), Some(Gf256::ONE));
+    /// ```
+    #[inline]
+    pub fn inv(self) -> Option<Gf256> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Gf256(EXP[255 - LOG[self.0 as usize] as usize]))
+        }
+    }
+
+    /// Raises this element to an integer power (with `x^0 == 1`, including
+    /// `0^0 == 1` by convention).
+    ///
+    /// ```
+    /// # use omnc_gf256::Gf256;
+    /// let g = Gf256::new(3);
+    /// assert_eq!(g.pow(255), Gf256::ONE); // multiplicative order divides 255
+    /// ```
+    pub fn pow(self, e: u32) -> Gf256 {
+        if e == 0 {
+            return Gf256::ONE;
+        }
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let l = LOG[self.0 as usize] as u32;
+        Gf256(EXP[((l * e) % 255) as usize])
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256(0x{:02x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(value: u8) -> Self {
+        Gf256(value)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(value: Gf256) -> Self {
+        value.0
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    // In characteristic 2, field addition IS xor; clippy's suspicion about
+    // ^ inside Add/Sub impls does not apply to GF(2^8).
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        self
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            Gf256(0)
+        } else {
+            Gf256(EXP[LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize])
+        }
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    // Division is multiplication by the inverse; clippy's suspicion about
+    // * inside Div does not apply to finite fields.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        let inv = rhs.inv().expect("division by zero in GF(2^8)");
+        self * inv
+    }
+}
+
+impl DivAssign for Gf256 {
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Gf256 {
+    fn sum<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Gf256> for Gf256 {
+    fn sum<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+        iter.copied().sum()
+    }
+}
+
+impl Product for Gf256 {
+    fn product<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ONE, |a, b| a * b)
+    }
+}
+
+impl<'a> Product<&'a Gf256> for Gf256 {
+    fn product<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+        iter.copied().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::mul_no_table;
+
+    #[test]
+    fn aes_reference_product() {
+        // The worked example from the AES specification.
+        assert_eq!(Gf256::new(0x57) * Gf256::new(0x83), Gf256::new(0xc1));
+    }
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(Gf256::new(0b1010) + Gf256::new(0b0110), Gf256::new(0b1100));
+        assert_eq!(Gf256::new(0xff) - Gf256::new(0x0f), Gf256::new(0xf0));
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            let x = Gf256::new(a);
+            assert_eq!(x * x.inv().unwrap(), Gf256::ONE, "a={a}");
+        }
+    }
+
+    #[test]
+    fn zero_has_no_inverse() {
+        assert_eq!(Gf256::ZERO.inv(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256::ONE / Gf256::ZERO;
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in 0..=255u8 {
+            let x = Gf256::new(a);
+            let mut acc = Gf256::ONE;
+            for e in 0..16u32 {
+                assert_eq!(x.pow(e), acc, "a={a} e={e}");
+                acc *= x;
+            }
+        }
+    }
+
+    #[test]
+    fn sum_and_product_folds() {
+        let xs = [Gf256::new(1), Gf256::new(2), Gf256::new(3)];
+        assert_eq!(xs.iter().sum::<Gf256>(), Gf256::new(0));
+        assert_eq!(xs.iter().product::<Gf256>(), Gf256::new(2) * Gf256::new(3));
+    }
+
+    #[test]
+    fn mul_matches_reference_everywhere() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    (Gf256::new(a) * Gf256::new(b)).as_u8(),
+                    mul_no_table(a, b),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        for a in 0..=255u8 {
+            assert_eq!(u8::from(Gf256::from(a)), a);
+        }
+    }
+
+    #[test]
+    fn formatting_is_never_empty() {
+        assert_eq!(format!("{:?}", Gf256::ZERO), "Gf256(0x00)");
+        assert_eq!(format!("{}", Gf256::new(0xab)), "ab");
+        assert_eq!(format!("{:x}", Gf256::new(0xab)), "ab");
+        assert_eq!(format!("{:b}", Gf256::new(0b101)), "101");
+    }
+}

@@ -1,0 +1,45 @@
+//! Arithmetic over the Rijndael finite field GF(2^8), the coding substrate of
+//! OMNC (Zhang & Li, ICDCS 2008).
+//!
+//! The paper performs all random linear network coding operations over
+//! GF(2^8) and describes two implementations (Sec. 4, *Accelerated network
+//! coding*): a traditional lookup-table approach and an accelerated loop-based
+//! approach that processes multiple bytes per instruction with SSE2. This
+//! crate provides both, in portable Rust:
+//!
+//! * [`Gf256`] — a scalar field element with full arithmetic.
+//! * [`mod@slice`] — log/exp lookup-table kernels (the paper's baseline).
+//! * [`wide`] — wide-word SWAR kernels that process 8 bytes per loop
+//!   iteration (the portable analogue of the paper's SSE2 kernels).
+//! * [`product`] — per-call full product tables (one load per byte), often
+//!   the fastest variant on hosts where wide ALU ops are expensive.
+//!
+//! # Examples
+//!
+//! ```
+//! use omnc_gf256::Gf256;
+//!
+//! let a = Gf256::new(0x57);
+//! let b = Gf256::new(0x83);
+//! assert_eq!(a * b, Gf256::new(0xc1)); // the classic AES example
+//! assert_eq!((a * b) / b, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arith;
+pub mod product;
+pub mod slice;
+mod tables;
+pub mod wide;
+
+pub use arith::Gf256;
+pub use tables::{EXP, LOG};
+
+/// The Rijndael reduction polynomial x^8 + x^4 + x^3 + x + 1, as used by the
+/// paper's coding framework ("Rijndael's finite field", Sec. 4).
+pub const POLY: u16 = 0x11b;
+
+/// The multiplicative generator used to build the log/exp tables.
+pub const GENERATOR: u8 = 0x03;

@@ -1,0 +1,147 @@
+//! Product-table slice kernels: a per-call 256-entry multiplication table.
+//!
+//! For a whole-row operation with one constant `c`, building the complete
+//! `x ↦ c·x` table first (from two 16-entry nibble tables, 32 multiplies)
+//! and then streaming through the row with a single table load per byte
+//! beats the log/exp route (two dependent loads, an add and a zero branch
+//! per byte). This is the third kernel variant next to [`crate::slice`]
+//! (the paper's baseline) and [`crate::wide`] (the paper's SSE2 analogue);
+//! which one wins is host-dependent, which the `coding_speed` bench
+//! measures.
+
+use crate::tables::{EXP, LOG};
+
+/// Builds the full 256-entry `x ↦ c·x` table from two nibble tables.
+#[inline]
+fn product_table(c: u8) -> [u8; 256] {
+    let mul = |a: u8, b: u8| -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+        }
+    };
+    let mut lo = [0u8; 16];
+    let mut hi = [0u8; 16];
+    for x in 0..16u8 {
+        lo[x as usize] = mul(c, x);
+        hi[x as usize] = mul(c, x << 4);
+    }
+    let mut table = [0u8; 256];
+    for (x, out) in table.iter_mut().enumerate() {
+        // GF(2^8) multiplication is linear over the nibble split.
+        *out = lo[x & 15] ^ hi[x >> 4];
+    }
+    table
+}
+
+/// Multiplies every byte of `data` by the constant `c`, in place.
+///
+/// ```
+/// # use omnc_gf256::product;
+/// let mut buf = [1u8, 2, 3];
+/// product::mul_assign(&mut buf, 2);
+/// assert_eq!(buf, [2, 4, 6]);
+/// ```
+pub fn mul_assign(data: &mut [u8], c: u8) {
+    match c {
+        0 => data.fill(0),
+        1 => {}
+        _ => {
+            let table = product_table(c);
+            for b in data.iter_mut() {
+                *b = table[*b as usize];
+            }
+        }
+    }
+}
+
+/// Computes `dst += c * src` with one table load per byte.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// # use omnc_gf256::product;
+/// let mut acc = [0u8; 4];
+/// product::mul_add_assign(&mut acc, &[1, 2, 3, 4], 3);
+/// assert_eq!(acc, [3, 6, 5, 12]);
+/// ```
+pub fn mul_add_assign(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    match c {
+        0 => {}
+        1 => crate::wide::add_assign(dst, src),
+        _ => {
+            let table = product_table(c);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= table[*s as usize];
+            }
+        }
+    }
+}
+
+/// Divides every byte of `data` by the constant `c`, in place.
+///
+/// # Panics
+///
+/// Panics if `c` is zero.
+pub fn div_assign(data: &mut [u8], c: u8) {
+    let inv = crate::Gf256::new(c)
+        .inv()
+        .expect("division by zero in GF(2^8)")
+        .as_u8();
+    mul_assign(data, inv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice;
+    use proptest::prelude::*;
+
+    #[test]
+    fn product_table_matches_scalar_multiplication() {
+        for c in 0..=255u8 {
+            let table = product_table(c);
+            for x in 0..=255u8 {
+                let want = (crate::Gf256::new(c) * crate::Gf256::new(x)).as_u8();
+                assert_eq!(table[x as usize], want, "c={c} x={x}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn product_kernels_match_table_kernels(
+            src in proptest::collection::vec(any::<u8>(), 0..300),
+            c in any::<u8>(),
+            salt in any::<u8>(),
+        ) {
+            let dst: Vec<u8> = src.iter().map(|b| b.wrapping_add(salt)).collect();
+            let mut a = dst.clone();
+            let mut b = dst.clone();
+            slice::mul_add_assign(&mut a, &src, c);
+            mul_add_assign(&mut b, &src, c);
+            prop_assert_eq!(&a, &b);
+
+            let mut a2 = dst.clone();
+            let mut b2 = dst;
+            slice::mul_assign(&mut a2, c);
+            mul_assign(&mut b2, c);
+            prop_assert_eq!(a2, b2);
+        }
+
+        #[test]
+        fn product_div_undoes_mul(
+            data in proptest::collection::vec(any::<u8>(), 0..64),
+            c in 1u8..,
+        ) {
+            let mut buf = data.clone();
+            mul_assign(&mut buf, c);
+            div_assign(&mut buf, c);
+            prop_assert_eq!(buf, data);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Accelerated wide-word (SWAR) coding kernels.
+//!
+//! The paper (Sec. 4, *Accelerated network coding*) replaces the lookup-table
+//! matrix multiplication with a loop-based multiplication in Rijndael's field
+//! that processes multiple bytes of a row per instruction using x86 SSE2, and
+//! reports a 3–5x speedup. This module is the portable analogue: each `u64`
+//! word holds eight field elements, and the Russian-peasant multiply runs on
+//! all eight lanes simultaneously with bit masks ("SIMD within a register").
+//!
+//! The kernels are drop-in replacements for the ones in [`crate::slice`] and
+//! produce bit-identical results, which the test-suite verifies exhaustively
+//! at the word level and by property tests at the slice level.
+
+const LANE_MSB: u64 = 0x8080_8080_8080_8080;
+const LANE_LOW7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+
+/// Multiplies each of the eight byte lanes of `word` by the polynomial `x`
+/// (i.e. doubles each lane in GF(2^8)), reducing lanes that overflow by the
+/// Rijndael polynomial.
+#[inline]
+fn xtimes_lanes(word: u64) -> u64 {
+    let hi = word & LANE_MSB;
+    // Shift every lane left by one (dropping each lane's msb so no bit crosses
+    // into the neighbouring lane), then xor the reduction polynomial 0x1b into
+    // the lanes whose msb was set. `(hi >> 7) * 0x1b` broadcasts 0x1b into
+    // exactly those lanes; products never overlap because 0x1b < 0x80.
+    ((word & LANE_LOW7) << 1) ^ ((hi >> 7).wrapping_mul(0x1b))
+}
+
+/// Multiplies all eight byte lanes of `word` by the constant `c`.
+///
+/// ```
+/// # use omnc_gf256::{wide, Gf256};
+/// let w = u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]);
+/// let out = wide::mul_word(w, 0x57).to_le_bytes();
+/// for (i, b) in out.iter().enumerate() {
+///     assert_eq!(*b, (Gf256::new((i + 1) as u8) * Gf256::new(0x57)).as_u8());
+/// }
+/// ```
+#[inline]
+pub fn mul_word(word: u64, c: u8) -> u64 {
+    let mut acc = 0u64;
+    let mut a = word;
+    let mut k = c;
+    while k != 0 {
+        if k & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtimes_lanes(a);
+        k >>= 1;
+    }
+    acc
+}
+
+/// Multiplies every byte of `data` by the constant `c`, in place, processing
+/// eight bytes per loop iteration.
+///
+/// ```
+/// # use omnc_gf256::wide;
+/// let mut buf = [1u8, 2, 3];
+/// wide::mul_assign(&mut buf, 2);
+/// assert_eq!(buf, [2, 4, 6]);
+/// ```
+pub fn mul_assign(data: &mut [u8], c: u8) {
+    match c {
+        0 => data.fill(0),
+        1 => {}
+        _ => {
+            let mut chunks = data.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                let w = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+                chunk.copy_from_slice(&mul_word(w, c).to_le_bytes());
+            }
+            crate::slice::mul_assign(chunks.into_remainder(), c);
+        }
+    }
+}
+
+/// Adds (XORs) `src` into `dst`, eight bytes at a time.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_assign(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    let mut d_chunks = dst.chunks_exact_mut(8);
+    let mut s_chunks = src.chunks_exact(8);
+    for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+        let w = u64::from_le_bytes(d.try_into().expect("chunk of 8"))
+            ^ u64::from_le_bytes(s.try_into().expect("chunk of 8"));
+        d.copy_from_slice(&w.to_le_bytes());
+    }
+    for (d, s) in d_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(s_chunks.remainder())
+    {
+        *d ^= s;
+    }
+}
+
+/// Computes `dst += c * src` with the wide kernel — the hot loop of encoding
+/// and progressive decoding.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// # use omnc_gf256::wide;
+/// let mut acc = [0u8; 4];
+/// wide::mul_add_assign(&mut acc, &[1, 2, 3, 4], 3);
+/// assert_eq!(acc, [3, 6, 5, 12]);
+/// ```
+pub fn mul_add_assign(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    match c {
+        0 => {}
+        1 => add_assign(dst, src),
+        _ => {
+            // Four independent 8-lane accumulators per iteration: the
+            // Russian-peasant recurrence is a serial dependency chain within
+            // one word, so interleaving four words restores the
+            // instruction-level parallelism that makes this kernel beat the
+            // lookup tables (the paper's "process multiple bytes of a row
+            // within one execution").
+            let mut d_blocks = dst.chunks_exact_mut(32);
+            let mut s_blocks = src.chunks_exact(32);
+            for (d, s) in (&mut d_blocks).zip(&mut s_blocks) {
+                let mut a = [0u64; 4];
+                let mut acc = [0u64; 4];
+                for k in 0..4 {
+                    a[k] = u64::from_le_bytes(s[8 * k..8 * k + 8].try_into().expect("8"));
+                }
+                let mut bits = c;
+                while bits != 0 {
+                    if bits & 1 != 0 {
+                        for k in 0..4 {
+                            acc[k] ^= a[k];
+                        }
+                    }
+                    for lane in &mut a {
+                        *lane = xtimes_lanes(*lane);
+                    }
+                    bits >>= 1;
+                }
+                for k in 0..4 {
+                    let dw = u64::from_le_bytes(d[8 * k..8 * k + 8].try_into().expect("8"));
+                    d[8 * k..8 * k + 8].copy_from_slice(&(dw ^ acc[k]).to_le_bytes());
+                }
+            }
+            let d_rem = d_blocks.into_remainder();
+            let s_rem = s_blocks.remainder();
+            let mut d_chunks = d_rem.chunks_exact_mut(8);
+            let mut s_chunks = s_rem.chunks_exact(8);
+            for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+                let dw = u64::from_le_bytes(d.try_into().expect("chunk of 8"));
+                let sw = u64::from_le_bytes(s.try_into().expect("chunk of 8"));
+                d.copy_from_slice(&(dw ^ mul_word(sw, c)).to_le_bytes());
+            }
+            crate::slice::mul_add_assign(
+                d_chunks.into_remainder(),
+                s_chunks.remainder(),
+                c,
+            );
+        }
+    }
+}
+
+/// Divides every byte of `data` by `c`, in place, using the wide kernel.
+///
+/// # Panics
+///
+/// Panics if `c` is zero.
+pub fn div_assign(data: &mut [u8], c: u8) {
+    let inv = crate::Gf256::new(c)
+        .inv()
+        .expect("division by zero in GF(2^8)")
+        .as_u8();
+    mul_assign(data, inv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mul_word_matches_scalar_for_all_constants() {
+        let word = u64::from_le_bytes([0x00, 0x01, 0x53, 0x80, 0xca, 0xfe, 0x57, 0xff]);
+        let bytes = word.to_le_bytes();
+        for c in 0..=255u8 {
+            let got = mul_word(word, c).to_le_bytes();
+            for i in 0..8 {
+                let want = (crate::Gf256::new(bytes[i]) * crate::Gf256::new(c)).as_u8();
+                assert_eq!(got[i], want, "c={c} lane={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn xtimes_matches_mul_by_two() {
+        for b in 0..=255u8 {
+            let w = u64::from_le_bytes([b; 8]);
+            let got = xtimes_lanes(w).to_le_bytes();
+            let want = (crate::Gf256::new(b) * crate::Gf256::new(2)).as_u8();
+            assert_eq!(got, [want; 8], "b={b}");
+        }
+    }
+
+    #[test]
+    fn unaligned_tails_are_handled() {
+        for len in 0..32 {
+            let src: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(37).wrapping_add(1)).collect();
+            let mut a = src.clone();
+            let mut b = src.clone();
+            mul_assign(&mut a, 0x9d);
+            slice::mul_assign(&mut b, 0x9d);
+            assert_eq!(a, b, "len={len}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn wide_mul_assign_equals_table(
+            mut data in proptest::collection::vec(any::<u8>(), 0..256),
+            c in any::<u8>(),
+        ) {
+            let mut reference = data.clone();
+            slice::mul_assign(&mut reference, c);
+            mul_assign(&mut data, c);
+            prop_assert_eq!(data, reference);
+        }
+
+        #[test]
+        fn wide_mul_add_assign_equals_table(
+            src in proptest::collection::vec(any::<u8>(), 0..256),
+            c in any::<u8>(),
+            salt in any::<u8>(),
+        ) {
+            let dst: Vec<u8> = src.iter().map(|b| b.rotate_left(3) ^ salt).collect();
+            let mut a = dst.clone();
+            let mut b = dst;
+            slice::mul_add_assign(&mut a, &src, c);
+            mul_add_assign(&mut b, &src, c);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn wide_add_assign_equals_table(
+            src in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let dst: Vec<u8> = src.iter().map(|b| b.wrapping_mul(17)).collect();
+            let mut a = dst.clone();
+            let mut b = dst;
+            slice::add_assign(&mut a, &src);
+            add_assign(&mut b, &src);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn wide_div_undoes_wide_mul(
+            data in proptest::collection::vec(any::<u8>(), 0..64),
+            c in 1u8..,
+        ) {
+            let mut buf = data.clone();
+            mul_assign(&mut buf, c);
+            div_assign(&mut buf, c);
+            prop_assert_eq!(buf, data);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for topology construction and queries.
+
+use core::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors from topology construction and path queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopoError {
+    /// A deployment or graph was requested with fewer than two nodes.
+    TooFewNodes {
+        /// Nodes requested.
+        requested: usize,
+    },
+    /// A parameter that must be positive and finite was not.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
+    /// A node id does not exist in the topology.
+    UnknownNode(NodeId),
+    /// No path exists between the requested pair.
+    Disconnected {
+        /// Source of the failed query.
+        src: NodeId,
+        /// Destination of the failed query.
+        dst: NodeId,
+    },
+    /// A link probability outside `(0, 1]` was supplied.
+    InvalidProbability {
+        /// The supplied probability.
+        p: f64,
+    },
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoError::TooFewNodes { requested } => {
+                write!(f, "a topology needs at least 2 nodes, got {requested}")
+            }
+            TopoError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} must be positive and finite, got {value}")
+            }
+            TopoError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            TopoError::Disconnected { src, dst } => {
+                write!(f, "no path from {src} to {dst}")
+            }
+            TopoError::InvalidProbability { p } => {
+                write!(f, "link probability must be in (0, 1], got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = TopoError::Disconnected { src: NodeId::new(1), dst: NodeId::new(2) };
+        assert!(e.to_string().contains("n1"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopoError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! Planar geometry for node placement.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the deployment plane (units are arbitrary; only ratios to the
+/// transmission range matter).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    ///
+    /// ```
+    /// # use omnc_net_topo::geom::Point;
+    /// assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    /// ```
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-0.5, 4.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(5.0, 1.0);
+        let c = Point::new(2.0, 7.0);
+        assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-12);
+    }
+
+    #[test]
+    fn tuple_conversion() {
+        assert_eq!(Point::from((1.0, 2.0)), Point::new(1.0, 2.0));
+    }
+}

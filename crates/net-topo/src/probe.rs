@@ -1,0 +1,165 @@
+//! Link-quality measurement by probe broadcasting.
+//!
+//! ETX (and therefore OMNC's node selection) measures the reception
+//! probability `p_ij` "by broadcasting probing packets, and taking the ratio
+//! of correctly received packets over the number that are sent" (Sec. 4).
+//! This module simulates that measurement over the true Bernoulli channel,
+//! giving the rest of the stack *estimated* link qualities with realistic
+//! sampling noise.
+
+use rand::Rng;
+
+use crate::graph::{Link, Topology};
+
+/// Result of probing all links of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeReport {
+    probes_per_link: u32,
+    measured: Vec<Link>,
+}
+
+impl ProbeReport {
+    /// Number of probes each transmitter broadcast.
+    pub fn probes_per_link(&self) -> u32 {
+        self.probes_per_link
+    }
+
+    /// The measured links (links whose every probe was lost are dropped,
+    /// exactly as an implementation would never learn they exist).
+    pub fn links(&self) -> &[Link] {
+        &self.measured
+    }
+
+    /// Builds the *measured* topology from the estimates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::TopoError`] if the measured graph is degenerate
+    /// (e.g. all probes lost everywhere).
+    pub fn into_topology(self, n: usize) -> Result<Topology, crate::TopoError> {
+        Topology::from_links(n, self.measured)
+    }
+
+    /// Mean absolute estimation error against the true topology.
+    pub fn mean_abs_error(&self, truth: &Topology) -> f64 {
+        if self.measured.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .measured
+            .iter()
+            .map(|l| (l.p - truth.link_prob(l.from, l.to).unwrap_or(0.0)).abs())
+            .sum();
+        sum / self.measured.len() as f64
+    }
+}
+
+/// Probes every link of `truth` with `probes` broadcast packets per
+/// transmitter and returns the estimated link set.
+///
+/// # Panics
+///
+/// Panics if `probes` is zero.
+pub fn probe_links<R: Rng + ?Sized>(truth: &Topology, probes: u32, rng: &mut R) -> ProbeReport {
+    assert!(probes > 0, "at least one probe is required");
+    let mut measured = Vec::new();
+    for i in truth.nodes() {
+        // One broadcast reaches all receivers independently; simulate the
+        // per-receiver Bernoulli trials.
+        let mut received = vec![0u32; truth.out_links(i).len()];
+        for _ in 0..probes {
+            for (slot, link) in truth.out_links(i).iter().enumerate() {
+                if rng.gen_bool(link.p) {
+                    received[slot] += 1;
+                }
+            }
+        }
+        for (slot, link) in truth.out_links(i).iter().enumerate() {
+            if received[slot] > 0 {
+                measured.push(Link {
+                    from: i,
+                    to: link.to,
+                    p: f64::from(received[slot]) / f64::from(probes),
+                });
+            }
+        }
+    }
+    ProbeReport { probes_per_link: probes, measured }
+}
+
+/// Convenience: probe and rebuild the measured topology in one call,
+/// falling back to the true link set if measurement lost a link entirely.
+pub fn measured_topology<R: Rng + ?Sized>(truth: &Topology, probes: u32, rng: &mut R) -> Topology {
+    let report = probe_links(truth, probes, rng);
+    report
+        .into_topology(truth.len())
+        .unwrap_or_else(|_| truth.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+    use rand::SeedableRng;
+
+    fn truth() -> Topology {
+        Topology::from_links(
+            3,
+            vec![
+                Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.7 },
+                Link { from: NodeId::new(1), to: NodeId::new(2), p: 0.3 },
+                Link { from: NodeId::new(2), to: NodeId::new(0), p: 1.0 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn estimates_converge_with_many_probes() {
+        let t = truth();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let report = probe_links(&t, 10_000, &mut rng);
+        assert!(report.mean_abs_error(&t) < 0.02, "err {}", report.mean_abs_error(&t));
+    }
+
+    #[test]
+    fn few_probes_are_noisy_but_bounded() {
+        let t = truth();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        let report = probe_links(&t, 10, &mut rng);
+        for l in report.links() {
+            assert!((0.0..=1.0).contains(&l.p));
+            assert!(l.p > 0.0, "zero-probability links must be dropped");
+        }
+    }
+
+    #[test]
+    fn perfect_links_measure_perfect() {
+        let t = Topology::from_links(
+            2,
+            vec![Link { from: NodeId::new(0), to: NodeId::new(1), p: 1.0 }],
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let report = probe_links(&t, 50, &mut rng);
+        assert_eq!(report.links()[0].p, 1.0);
+        assert_eq!(report.probes_per_link(), 50);
+    }
+
+    #[test]
+    fn measured_topology_is_usable() {
+        let t = truth();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        let m = measured_topology(&t, 1000, &mut rng);
+        assert_eq!(m.len(), 3);
+        assert!(m.link_prob(NodeId::new(0), NodeId::new(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn zero_probes_panics() {
+        let t = truth();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = probe_links(&t, 0, &mut rng);
+    }
+}

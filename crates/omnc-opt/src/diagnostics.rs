@@ -1,0 +1,163 @@
+//! Post-hoc diagnostics for rate-control runs: how good is an allocation,
+//! and where is it leaving capacity on the table?
+//!
+//! The distributed algorithm is a dual method; its recovered primal point
+//! is feasible but not certified. This module quantifies the gap against
+//! the exact LP and decomposes an allocation's slack — which MAC
+//! neighborhoods are saturated, which links are under-driven — so users
+//! can see *why* a topology yields the throughput it does.
+
+use crate::error::OptError;
+use crate::flow;
+use crate::instance::SUnicast;
+use crate::lp;
+use crate::RateAllocation;
+
+/// A quality report for one allocation on one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationReport {
+    /// The allocation's end-to-end rate (absolute units).
+    pub throughput: f64,
+    /// The exact LP optimum `γ*`.
+    pub optimum: f64,
+    /// `throughput / optimum` (1.0 = certified optimal).
+    pub optimality: f64,
+    /// Per-node MAC load `b_i + Σ_{j∈N(i)} b_j`, normalized by capacity;
+    /// 1.0 = saturated neighborhood (indexed by instance-local node).
+    pub mac_load: Vec<f64>,
+    /// The highest MAC load (the binding bottleneck; ≈ 1.0 after the
+    /// boundary rescale).
+    pub worst_mac_load: f64,
+    /// Fraction of nodes with a non-trivial broadcast rate (> 1% of the
+    /// per-node mean) — the allocation-level node utility.
+    pub active_nodes: f64,
+    /// Per-link slack of coupling (5): `b_i·p_ij − x_ij`, normalized by
+    /// capacity (indexed by instance link).
+    pub coupling_slack: Vec<f64>,
+}
+
+/// Builds the report for `allocation` on `problem`.
+///
+/// # Errors
+///
+/// Returns [`OptError::LpFailed`] if the exact reference solve fails.
+pub fn report(problem: &SUnicast, allocation: &RateAllocation) -> Result<AllocationReport, OptError> {
+    let exact = lp::solve_exact(problem)?;
+    let cap = problem.capacity();
+    let b = allocation.broadcast_rates();
+
+    let mut mac_load = Vec::with_capacity(problem.node_count());
+    for i in 0..problem.node_count() {
+        let load: f64 = b[i] + problem.neighbors(i).iter().map(|&j| b[j]).sum::<f64>();
+        mac_load.push(load / cap);
+    }
+    let worst_mac_load = mac_load
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != problem.src())
+        .map(|(_, &l)| l)
+        .fold(0.0f64, f64::max);
+
+    let mean_b: f64 = b.iter().sum::<f64>() / b.len().max(1) as f64;
+    let active = b.iter().filter(|&&v| v > 0.01 * mean_b.max(1e-12)).count();
+    let active_nodes = active as f64 / b.len().max(1) as f64;
+
+    let x = allocation.link_rates();
+    let coupling_slack = problem
+        .links()
+        .map(|(id, l)| (b[l.from] * l.p - x[id.index()]) / cap)
+        .collect();
+
+    let throughput = allocation.throughput();
+    Ok(AllocationReport {
+        throughput,
+        optimum: exact.gamma,
+        optimality: if exact.gamma > 0.0 { throughput / exact.gamma } else { 0.0 },
+        mac_load,
+        worst_mac_load,
+        active_nodes,
+        coupling_slack,
+    })
+}
+
+/// How much more flow the instance could carry if `node`'s neighborhood
+/// constraint were relaxed by `extra` (absolute rate units) — a cheap
+/// "what is the bottleneck worth" probe computed by re-running max flow
+/// with the node's own rate raised by `extra`.
+///
+/// # Panics
+///
+/// Panics if `node` is out of range or `extra` is negative.
+pub fn bottleneck_value(
+    problem: &SUnicast,
+    allocation: &RateAllocation,
+    node: usize,
+    extra: f64,
+) -> f64 {
+    assert!(node < problem.node_count(), "node out of range");
+    assert!(extra >= 0.0, "extra must be non-negative");
+    let cap = problem.capacity();
+    let mut b: Vec<f64> = allocation
+        .broadcast_rates()
+        .iter()
+        .map(|v| v / cap)
+        .collect();
+    b[node] += extra / cap;
+    let (rate, _) = flow::supported_rate(problem, &b);
+    rate * cap - allocation.throughput()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::tests::diamond;
+    use crate::RateControl;
+
+    fn setup() -> (SUnicast, RateAllocation) {
+        let (t, sel) = diamond();
+        let p = SUnicast::from_selection(&t, &sel, 1e5);
+        let alloc = RateControl::new(&p).run();
+        (p, alloc)
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let (p, alloc) = setup();
+        let r = report(&p, &alloc).expect("solvable");
+        assert!(r.optimality > 0.0 && r.optimality <= 1.0 + 1e-9);
+        assert_eq!(r.mac_load.len(), p.node_count());
+        assert_eq!(r.coupling_slack.len(), p.link_count());
+        // Feasibility: no neighborhood above capacity, no negative coupling.
+        assert!(r.worst_mac_load <= 1.0 + 1e-6, "load {}", r.worst_mac_load);
+        assert!(r.coupling_slack.iter().all(|&s| s >= -1e-6));
+        assert!((0.0..=1.0).contains(&r.active_nodes));
+    }
+
+    #[test]
+    fn boundary_rescale_saturates_the_bottleneck() {
+        let (p, alloc) = setup();
+        let r = report(&p, &alloc).expect("solvable");
+        // The recovery rescales onto the MAC boundary: the worst load is ~1.
+        assert!(r.worst_mac_load > 0.9, "load {}", r.worst_mac_load);
+    }
+
+    #[test]
+    fn relaxing_the_bottleneck_cannot_hurt() {
+        let (p, alloc) = setup();
+        for node in 0..p.node_count() {
+            let gain = bottleneck_value(&p, &alloc, node, 0.1 * p.capacity());
+            assert!(gain >= -1e-6, "node {node}: {gain}");
+        }
+    }
+
+    #[test]
+    fn some_node_is_a_real_bottleneck_on_the_diamond() {
+        let (p, alloc) = setup();
+        // Raising at least one node's rate must buy additional flow — the
+        // allocation sits on the boundary of the feasible region.
+        let best_gain = (0..p.node_count())
+            .map(|node| bottleneck_value(&p, &alloc, node, 0.5 * p.capacity()))
+            .fold(0.0f64, f64::max);
+        assert!(best_gain > 0.0, "no node relaxation helped");
+    }
+}

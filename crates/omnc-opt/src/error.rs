@@ -1,0 +1,46 @@
+//! Error type for the optimization framework.
+
+use core::fmt;
+
+/// Errors from building or solving sUnicast instances.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// The forwarder selection contains no usable link.
+    EmptyProblem,
+    /// The exact LP reference failed (infeasible/unbounded indicates a bug
+    /// in instance construction; the message carries the solver's reason).
+    LpFailed(String),
+    /// A parameter that must be positive and finite was not.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::EmptyProblem => write!(f, "sUnicast instance has no links"),
+            OptError::LpFailed(why) => write!(f, "exact LP solve failed: {why}"),
+            OptError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OptError::InvalidParameter { name: "capacity", value: -1.0 };
+        assert!(e.to_string().contains("capacity"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Max-flow helper: the end-to-end information rate a broadcast-rate vector
+//! can support.
+//!
+//! Given broadcast rates `b`, each link `(i, j)` can carry information at
+//! most `b_i · p_ij` (constraint (5)); the achievable unicast rate is the
+//! `S → T` max flow under those capacities. OMNC uses this to translate a
+//! recovered rate vector into its realized throughput, and the protocols use
+//! it when reporting the optimizer's predicted rate.
+
+use crate::instance::SUnicast;
+
+/// Computes the `S → T` max flow where link `e` has capacity `cap[e]`.
+/// Returns the flow value and the per-link flows.
+///
+/// Plain Edmonds-Karp on the instance's link set (with implicit reverse
+/// residual edges); instances are small DAGs so this is more than fast
+/// enough.
+///
+/// # Panics
+///
+/// Panics if `cap.len() != problem.link_count()` or any capacity is
+/// negative/NaN.
+pub fn max_flow(problem: &SUnicast, cap: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(cap.len(), problem.link_count(), "capacity vector length mismatch");
+    for &c in cap {
+        assert!(c.is_finite() && c >= 0.0, "capacities must be non-negative");
+    }
+    let n = problem.node_count();
+    let s = problem.src();
+    let t = problem.dst();
+    let mut flow = vec![0.0f64; problem.link_count()];
+    let scale: f64 = cap.iter().fold(0.0f64, |a, &b| a.max(b));
+    if scale == 0.0 {
+        return (0.0, flow);
+    }
+    let eps = scale * 1e-12;
+
+    loop {
+        // BFS over residual edges: forward when flow < cap, backward when
+        // flow > 0.
+        #[derive(Clone, Copy)]
+        enum Via {
+            Forward(usize),
+            Backward(usize),
+        }
+        let mut prev: Vec<Option<Via>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[s] = true;
+        let mut queue = std::collections::VecDeque::from([s]);
+        'bfs: while let Some(u) = queue.pop_front() {
+            for l in problem.out_links(u) {
+                let e = l.index();
+                let link = problem.link(*l);
+                if !visited[link.to] && cap[e] - flow[e] > eps {
+                    visited[link.to] = true;
+                    prev[link.to] = Some(Via::Forward(e));
+                    if link.to == t {
+                        break 'bfs;
+                    }
+                    queue.push_back(link.to);
+                }
+            }
+            for l in problem.in_links(u) {
+                let e = l.index();
+                let link = problem.link(*l);
+                if !visited[link.from] && flow[e] > eps {
+                    visited[link.from] = true;
+                    prev[link.from] = Some(Via::Backward(e));
+                    queue.push_back(link.from);
+                }
+            }
+        }
+        if !visited[t] {
+            break;
+        }
+        // Find the bottleneck along the augmenting path.
+        let mut bottleneck = f64::INFINITY;
+        let mut v = t;
+        while v != s {
+            match prev[v].expect("path exists") {
+                Via::Forward(e) => {
+                    bottleneck = bottleneck.min(cap[e] - flow[e]);
+                    v = problem.link(crate::LinkId(e)).from;
+                }
+                Via::Backward(e) => {
+                    bottleneck = bottleneck.min(flow[e]);
+                    v = problem.link(crate::LinkId(e)).to;
+                }
+            }
+        }
+        // Augment.
+        let mut v = t;
+        while v != s {
+            match prev[v].expect("path exists") {
+                Via::Forward(e) => {
+                    flow[e] += bottleneck;
+                    v = problem.link(crate::LinkId(e)).from;
+                }
+                Via::Backward(e) => {
+                    flow[e] -= bottleneck;
+                    v = problem.link(crate::LinkId(e)).to;
+                }
+            }
+        }
+    }
+
+    let value: f64 = problem.out_links(s).iter().map(|l| flow[l.index()]).sum::<f64>()
+        - problem.in_links(s).iter().map(|l| flow[l.index()]).sum::<f64>();
+    (value, flow)
+}
+
+/// The information rate supported by broadcast-rate vector `b`: max flow
+/// with link capacities `b_i · p_ij`.
+///
+/// # Panics
+///
+/// Panics if `b.len() != problem.node_count()`.
+pub fn supported_rate(problem: &SUnicast, b: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(b.len(), problem.node_count(), "broadcast vector length mismatch");
+    let cap: Vec<f64> = problem
+        .links()
+        .map(|(_, l)| (b[l.from].max(0.0)) * l.p)
+        .collect();
+    max_flow(problem, &cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::tests::diamond;
+    use crate::lp::solve_exact;
+
+    #[test]
+    fn zero_capacities_zero_flow() {
+        let (t, sel) = diamond();
+        let p = SUnicast::from_selection(&t, &sel, 1.0);
+        let (v, f) = max_flow(&p, &vec![0.0; p.link_count()]);
+        assert_eq!(v, 0.0);
+        assert!(f.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn diamond_flow_is_sum_of_path_bottlenecks() {
+        let (t, sel) = diamond();
+        let p = SUnicast::from_selection(&t, &sel, 1.0);
+        // Give every link capacity 1: two disjoint paths → flow 2.
+        let (v, _) = max_flow(&p, &vec![1.0; p.link_count()]);
+        assert!((v - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_respects_capacities_and_conservation() {
+        let (t, sel) = diamond();
+        let p = SUnicast::from_selection(&t, &sel, 1.0);
+        let cap: Vec<f64> = (0..p.link_count()).map(|e| 0.3 + 0.2 * e as f64).collect();
+        let (v, f) = max_flow(&p, &cap);
+        for e in 0..p.link_count() {
+            assert!(f[e] <= cap[e] + 1e-9);
+            assert!(f[e] >= -1e-9);
+        }
+        for i in 0..p.node_count() {
+            let outflow: f64 = p.out_links(i).iter().map(|l| f[l.index()]).sum();
+            let inflow: f64 = p.in_links(i).iter().map(|l| f[l.index()]).sum();
+            let expect = p.supply(i) * v;
+            assert!((outflow - inflow - expect).abs() < 1e-9, "node {i}");
+        }
+    }
+
+    #[test]
+    fn supported_rate_of_exact_b_reaches_gamma() {
+        // Max flow under capacities b*·p must recover at least γ* of the LP.
+        let (t, sel) = diamond();
+        let p = SUnicast::from_selection(&t, &sel, 1.0);
+        let sol = solve_exact(&p).unwrap();
+        let (v, _) = supported_rate(&p, &sol.b);
+        assert!(v >= sol.gamma - 1e-6, "flow {v} < γ* {}", sol.gamma);
+    }
+
+    #[test]
+    fn matches_lp_max_flow_on_random_instances() {
+        use net_topo::deploy::Deployment;
+        use net_topo::phy::Phy;
+        use net_topo::select::select_forwarders;
+        use rand::{Rng, SeedableRng};
+        use simplex_lp::{LpProblem, Relation};
+
+        let phy = Phy::paper_lossy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for seed in 0..5 {
+            let topo = Deployment::random(25, 6.0, &phy, seed).into_topology();
+            let (s, d) = topo.farthest_pair();
+            let sel = select_forwarders(&topo, s, d);
+            let p = SUnicast::from_selection(&topo, &sel, 1.0);
+            let cap: Vec<f64> = (0..p.link_count()).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let (v, _) = max_flow(&p, &cap);
+
+            // LP formulation of the same max flow.
+            let mut lp = LpProblem::maximize(p.link_count() + 1);
+            let gamma = p.link_count();
+            lp.set_objective_coeff(gamma, 1.0);
+            for (id, _) in p.links() {
+                lp.push_upper_bound(id.index(), cap[id.index()]);
+            }
+            for i in 0..p.node_count() {
+                let mut coeffs: Vec<(usize, f64)> = Vec::new();
+                for l in p.out_links(i) {
+                    coeffs.push((l.index(), 1.0));
+                }
+                for l in p.in_links(i) {
+                    coeffs.push((l.index(), -1.0));
+                }
+                coeffs.push((gamma, -p.supply(i)));
+                lp.push_constraint(&coeffs, Relation::Eq, 0.0);
+            }
+            let lp_v = lp.solve().unwrap().objective();
+            assert!((v - lp_v).abs() < 1e-6, "seed {seed}: EK {v} vs LP {lp_v}");
+        }
+    }
+}

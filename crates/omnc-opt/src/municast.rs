@@ -1,0 +1,503 @@
+//! Multiple-unicast extension of the sUnicast framework.
+//!
+//! The paper closes with: "As the rate control framework can be flexibly
+//! extended to other scenarios such as the multiple-unicast case, we
+//! believe OMNC marks an important step towards optimization based protocol
+//! design". This module is that extension: `K` concurrent unicast sessions
+//! share the channel; every node gets a *per-session* broadcast rate
+//! `b_i^k`, and the MAC constraint (4) couples the session totals —
+//!
+//! ```text
+//!   Σ_k b_i^k  +  Σ_{j ∈ N(i)}  Σ_k b_j^k   ≤   C      ∀ i ∉ sources
+//! ```
+//!
+//! while flow conservation (2) and the loss coupling (5) hold per session.
+//! The objective maximizes the sum of session throughputs (optionally
+//! weighted), and the same Lagrangian machinery applies: per-session λ and
+//! SUB1 shortest paths, *shared* congestion prices β coordinating SUB2
+//! across sessions.
+
+use net_topo::graph::{NodeId, Topology};
+use net_topo::select::Selection;
+use simplex_lp::{LpProblem, Relation};
+
+use crate::error::OptError;
+use crate::instance::SUnicast;
+use crate::step::StepSize;
+use crate::RateControlParams;
+
+/// A multiple-unicast problem: per-session instances over a common
+/// topology, coupled through the shared interference neighborhoods.
+#[derive(Debug, Clone)]
+pub struct MUnicast {
+    capacity: f64,
+    sessions: Vec<SUnicast>,
+    /// Global node count of the underlying topology.
+    nodes: usize,
+    /// Interference neighborhoods over *global* node ids.
+    neighbors: Vec<Vec<usize>>,
+    /// Global ids of nodes that act as a source in at least one session
+    /// (the MAC rows are per receiver, i.e. every other participating node).
+    source_ids: Vec<usize>,
+}
+
+/// The exact LP optimum of a multi-unicast instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MUnicastSolution {
+    /// Per-session throughputs γ_k.
+    pub gamma: Vec<f64>,
+    /// Per-session broadcast rates, indexed `[session][instance-local node]`.
+    pub b: Vec<Vec<f64>>,
+}
+
+impl MUnicast {
+    /// Builds the coupled problem from per-session forwarder selections on
+    /// the same topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selections` is empty or `capacity` is not positive.
+    pub fn from_selections(
+        topology: &Topology,
+        selections: &[Selection],
+        capacity: f64,
+    ) -> Self {
+        assert!(!selections.is_empty(), "at least one session is required");
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        let sessions: Vec<SUnicast> = selections
+            .iter()
+            .map(|sel| SUnicast::from_selection(topology, sel, capacity))
+            .collect();
+        let neighbors = topology
+            .nodes()
+            .map(|v| topology.neighbors(v).iter().map(|w| w.index()).collect())
+            .collect();
+        let source_ids = selections.iter().map(|sel| sel.src().index()).collect();
+        MUnicast { capacity, sessions, nodes: topology.len(), neighbors, source_ids }
+    }
+
+    /// The shared channel capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// The per-session sUnicast instances.
+    pub fn sessions(&self) -> &[SUnicast] {
+        &self.sessions
+    }
+
+    /// Number of sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Solves the coupled LP exactly: `max Σ_k γ_k` under per-session flow
+    /// conservation and loss coupling, and the *shared* MAC constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::LpFailed`] if the solver fails (cannot happen
+    /// for valid selections: all-zero rates are feasible).
+    pub fn solve_exact(&self) -> Result<MUnicastSolution, OptError> {
+        // Variable layout: for each session k: γ_k, x^k_e (m_k), b^k_i (n_k).
+        let mut offsets = Vec::with_capacity(self.sessions.len());
+        let mut total = 0usize;
+        for s in &self.sessions {
+            offsets.push(total);
+            total += 1 + s.link_count() + s.node_count();
+        }
+        let var_gamma = |k: usize| offsets[k];
+        let var_x = |k: usize, e: usize| offsets[k] + 1 + e;
+        let var_b = |k: usize, i: usize| offsets[k] + 1 + self.sessions[k].link_count() + i;
+
+        let mut lp = LpProblem::maximize(total);
+        for k in 0..self.sessions.len() {
+            lp.set_objective_coeff(var_gamma(k), 1.0);
+        }
+
+        for (k, s) in self.sessions.iter().enumerate() {
+            // Flow conservation per session.
+            for i in 0..s.node_count() {
+                let mut coeffs: Vec<(usize, f64)> = Vec::new();
+                for l in s.out_links(i) {
+                    coeffs.push((var_x(k, l.index()), 1.0));
+                }
+                for l in s.in_links(i) {
+                    coeffs.push((var_x(k, l.index()), -1.0));
+                }
+                coeffs.push((var_gamma(k), -s.supply(i)));
+                lp.push_constraint(&coeffs, Relation::Eq, 0.0);
+            }
+            // Loss coupling per session.
+            for (id, link) in s.links() {
+                lp.push_constraint(
+                    &[(var_x(k, id.index()), 1.0), (var_b(k, link.from), -link.p)],
+                    Relation::Le,
+                    0.0,
+                );
+            }
+            // Bounds.
+            for i in 0..s.node_count() {
+                lp.push_upper_bound(var_b(k, i), self.capacity);
+            }
+        }
+
+        // Shared MAC rows over global node ids: for every global node g that
+        // participates anywhere (and is not a pure source of every session
+        // it serves), the summed session rates in N(g) ∪ {g} fit in C.
+        for g in 0..self.nodes {
+            let mut coeffs: Vec<(usize, f64)> = Vec::new();
+            for (k, s) in self.sessions.iter().enumerate() {
+                let mut add = |global: usize| {
+                    if let Some(local) = s.local_index(NodeId::new(global)) {
+                        coeffs.push((var_b(k, local), 1.0));
+                    }
+                };
+                add(g);
+                for &nb in &self.neighbors[g] {
+                    add(nb);
+                }
+            }
+            // Skip rows for nodes that hear nobody, and for pure sources
+            // (eq. (4) constrains receivers; a source that also relays or
+            // receives for another session still gets its row).
+            let is_pure_source = self.source_ids.contains(&g)
+                && self.sessions.iter().all(|s| {
+                    s.local_index(NodeId::new(g))
+                        .is_none_or(|local| local == s.src())
+                });
+            if coeffs.is_empty() || is_pure_source {
+                continue;
+            }
+            lp.push_constraint(&coeffs, Relation::Le, self.capacity);
+        }
+
+        let sol = lp.solve().map_err(|e| OptError::LpFailed(e.to_string()))?;
+        Ok(MUnicastSolution {
+            gamma: (0..self.sessions.len()).map(|k| sol.value(var_gamma(k))).collect(),
+            b: self
+                .sessions
+                .iter()
+                .enumerate()
+                .map(|(k, s)| (0..s.node_count()).map(|i| sol.value(var_b(k, i))).collect())
+                .collect(),
+        })
+    }
+
+    /// Distributed solution: the Table 1 machinery extended with *shared*
+    /// congestion prices. Each iteration runs SUB1 per session (shortest
+    /// path under the session's λ), then a joint SUB2 where every node's
+    /// price reflects the summed load of all sessions. Returns per-session
+    /// feasible broadcast vectors (instance-local indexing) and the
+    /// supported throughputs.
+    pub fn solve_distributed(&self, params: &RateControlParams) -> MUnicastSolution {
+        let k_count = self.sessions.len();
+        // Per-session state mirrors the single-session driver.
+        struct S {
+            lambda: Vec<f64>,
+            b: Vec<f64>,
+            b_avg: Vec<f64>,
+            x_avg: Vec<f64>,
+        }
+        let mut st: Vec<S> = self
+            .sessions
+            .iter()
+            .map(|s| {
+                // Informed dual initialization, as in the single-session
+                // driver: λ ∝ ETX link cost, normalized by the best-path
+                // ETX so the initial shortest-path cost is ~utility_weight.
+                let mut dist = vec![f64::INFINITY; s.node_count()];
+                dist[s.dst()] = 0.0;
+                for _ in 0..s.node_count() {
+                    let mut changed = false;
+                    for u in 0..s.node_count() {
+                        for l in s.out_links(u) {
+                            let link = s.link(*l);
+                            let cand = dist[link.to] + 1.0 / link.p;
+                            if cand < dist[u] {
+                                dist[u] = cand;
+                                changed = true;
+                            }
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                let etx_best = dist[s.src()].max(1e-9);
+                S {
+                    lambda: s
+                        .links()
+                        .map(|(_, l)| params.utility_weight / (l.p * etx_best))
+                        .collect(),
+                    b: vec![0.05; s.node_count()],
+                    b_avg: vec![0.0; s.node_count()],
+                    x_avg: vec![0.0; s.link_count()],
+                }
+            })
+            .collect();
+        // Shared congestion prices over *global* node ids.
+        let mut beta = vec![0.0f64; self.nodes];
+        let mut window_start = 1usize;
+
+        let scaffolds: Vec<Topology> = self
+            .sessions
+            .iter()
+            .map(|s| {
+                let links = s
+                    .links()
+                    .map(|(_, l)| net_topo::graph::Link {
+                        from: NodeId::new(l.from),
+                        to: NodeId::new(l.to),
+                        p: l.p,
+                    })
+                    .collect();
+                Topology::from_links(s.node_count().max(2), links)
+                    .expect("instance links form a valid graph")
+            })
+            .collect();
+
+        for t in 1..=params.max_iterations {
+            let theta = match params.step {
+                StepSize::Diminishing { a, b, c } => a / (b + c * t as f64),
+                StepSize::Constant(v) => v,
+            };
+            if t >= 2 * window_start && t > 4 {
+                window_start = t;
+            }
+            let span = (t - window_start + 1) as f64;
+
+            // Global load per node accumulates across sessions this round.
+            let mut load = vec![0.0f64; self.nodes];
+
+            for (k, s) in self.sessions.iter().enumerate() {
+                // SUB1 for session k.
+                let lambda = st[k].lambda.clone();
+                let sp = net_topo::dijkstra::shortest_paths(
+                    &scaffolds[k],
+                    NodeId::new(s.src()),
+                    |l| {
+                        s.out_links(l.from.index())
+                            .iter()
+                            .find(|id| s.link(**id).to == l.to.index())
+                            .map(|id| lambda[id.index()])
+                            .unwrap_or(f64::INFINITY)
+                    },
+                );
+                let mut x_step = vec![0.0; s.link_count()];
+                if let Some(path) = sp.path_to(NodeId::new(s.dst())) {
+                    let p_min = sp.cost(NodeId::new(s.dst())).expect("path exists");
+                    let gamma_t = if p_min <= 1e-12 {
+                        1.0
+                    } else {
+                        (params.utility_weight / p_min).min(1.0)
+                    };
+                    for w in path.windows(2) {
+                        let e = s
+                            .out_links(w[0].index())
+                            .iter()
+                            .find(|id| s.link(**id).to == w[1].index())
+                            .expect("path follows links")
+                            .index();
+                        x_step[e] = gamma_t;
+                    }
+                }
+                for (avg, inst) in st[k].x_avg.iter_mut().zip(&x_step) {
+                    *avg += (inst - *avg) / span;
+                }
+
+                // SUB2 primal update with *shared* prices.
+                let mut w_i = vec![0.0; s.node_count()];
+                for (id, link) in s.links() {
+                    w_i[link.from] += st[k].lambda[id.index()] * link.p;
+                }
+                #[allow(clippy::needless_range_loop)] // i indexes three arrays
+                for i in 0..s.node_count() {
+                    let g = s.node_id(i).index();
+                    let price: f64 = beta[g]
+                        + self.neighbors[g].iter().map(|&nb| beta[nb]).sum::<f64>();
+                    st[k].b[i] = (st[k].b[i] + (w_i[i] - price) / (2.0 * params.proximal_c))
+                        .clamp(0.0, 1.0);
+                }
+                for (avg, inst) in {
+                    let S { b_avg, b, .. } = &mut st[k];
+                    b_avg.iter_mut().zip(b.iter())
+                } {
+                    *avg += (inst - *avg) / span;
+                }
+                // λ update.
+                for (id, link) in s.links() {
+                    let slack = st[k].b[link.from] * link.p - x_step[id.index()];
+                    st[k].lambda[id.index()] =
+                        (st[k].lambda[id.index()] - theta * slack).max(0.0);
+                }
+                // Contribute to the global load.
+                for i in 0..s.node_count() {
+                    load[s.node_id(i).index()] += st[k].b[i];
+                }
+            }
+
+            // Shared β update from the joint load.
+            for g in 0..self.nodes {
+                let total: f64 =
+                    load[g] + self.neighbors[g].iter().map(|&nb| load[nb]).sum::<f64>();
+                if total > 0.0 || beta[g] > 0.0 {
+                    beta[g] = (beta[g] + theta * (total - 1.0)).max(0.0);
+                }
+            }
+        }
+
+        // Recover: per session, the union of the averaged broadcast rates
+        // and the rates implied by the averaged flows (constraint (5)) —
+        // the same two-candidate recovery the single-session driver uses —
+        // then a *joint* MAC rescale and per-session max flow.
+        let recovered: Vec<Vec<f64>> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let mut from_flows = vec![0.0f64; s.node_count()];
+                for (id, link) in s.links() {
+                    from_flows[link.from] =
+                        from_flows[link.from].max(st[k].x_avg[id.index()] / link.p);
+                }
+                st[k]
+                    .b_avg
+                    .iter()
+                    .zip(&from_flows)
+                    .map(|(a, b)| a.max(*b))
+                    .collect()
+            })
+            .collect();
+        let mut load = vec![0.0f64; self.nodes];
+        for (k, s) in self.sessions.iter().enumerate() {
+            for i in 0..s.node_count() {
+                load[s.node_id(i).index()] += recovered[k][i];
+            }
+        }
+        let mut worst = 0.0f64;
+        for g in 0..self.nodes {
+            let total: f64 =
+                load[g] + self.neighbors[g].iter().map(|&nb| load[nb]).sum::<f64>();
+            worst = worst.max(total);
+        }
+        let scale = if worst > 1e-12 { 1.0 / worst } else { 1.0 };
+        let mut gamma = Vec::with_capacity(k_count);
+        let mut b_out = Vec::with_capacity(k_count);
+        for (k, s) in self.sessions.iter().enumerate() {
+            let b: Vec<f64> =
+                recovered[k].iter().map(|v| (v * scale).clamp(0.0, 1.0)).collect();
+            let (rate, _) = crate::flow::supported_rate(s, &b);
+            gamma.push(rate * self.capacity);
+            b_out.push(b.iter().map(|v| v * self.capacity).collect());
+        }
+        MUnicastSolution { gamma, b: b_out }
+    }
+}
+
+impl MUnicastSolution {
+    /// Total throughput across sessions.
+    pub fn total(&self) -> f64 {
+        self.gamma.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_topo::deploy::Deployment;
+    use net_topo::phy::Phy;
+    use net_topo::select::select_forwarders;
+
+    fn two_sessions(seed: u64) -> (Topology, Vec<Selection>) {
+        let phy = Phy::paper_lossy();
+        let topo = Deployment::random(40, 6.0, &phy, seed).into_topology();
+        let (s1, d1) = topo.farthest_pair();
+        // Second session: reversed endpoints makes a guaranteed-valid pair.
+        let sels = vec![
+            select_forwarders(&topo, s1, d1),
+            select_forwarders(&topo, d1, s1),
+        ];
+        (topo, sels)
+    }
+
+    #[test]
+    fn exact_lp_allocates_both_sessions() {
+        let (topo, sels) = two_sessions(3);
+        let mu = MUnicast::from_selections(&topo, &sels, 1.0);
+        let sol = mu.solve_exact().expect("solvable");
+        assert_eq!(sol.gamma.len(), 2);
+        assert!(sol.gamma.iter().all(|&g| g > 0.0), "{:?}", sol.gamma);
+        assert!(sol.total() > 0.0);
+    }
+
+    #[test]
+    fn sharing_costs_throughput_versus_alone() {
+        // Each session alone (single-session LP) does at least as well as
+        // its share of the coupled optimum.
+        let (topo, sels) = two_sessions(5);
+        let mu = MUnicast::from_selections(&topo, &sels, 1.0);
+        let joint = mu.solve_exact().expect("solvable");
+        for (k, sel) in sels.iter().enumerate() {
+            let alone =
+                crate::lp::solve_exact(&SUnicast::from_selection(&topo, sel, 1.0))
+                    .expect("solvable");
+            assert!(
+                joint.gamma[k] <= alone.gamma + 1e-6,
+                "session {k}: joint {} > alone {}",
+                joint.gamma[k],
+                alone.gamma
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_tracks_the_joint_lp() {
+        let (topo, sels) = two_sessions(7);
+        let mu = MUnicast::from_selections(&topo, &sels, 1.0);
+        let exact = mu.solve_exact().expect("solvable");
+        let params = RateControlParams { max_iterations: 400, ..Default::default() };
+        let dist = mu.solve_distributed(&params);
+        assert!(dist.total() > 0.0);
+        assert!(
+            dist.total() <= exact.total() + 1e-6,
+            "distributed {} beat the joint optimum {}",
+            dist.total(),
+            exact.total()
+        );
+        assert!(
+            dist.total() > 0.3 * exact.total(),
+            "distributed {} too far below the optimum {}",
+            dist.total(),
+            exact.total()
+        );
+    }
+
+    #[test]
+    fn joint_allocation_respects_the_shared_mac() {
+        let (topo, sels) = two_sessions(9);
+        let mu = MUnicast::from_selections(&topo, &sels, 1.0);
+        let params = RateControlParams { max_iterations: 200, ..Default::default() };
+        let dist = mu.solve_distributed(&params);
+        // Rebuild global loads and verify every neighborhood fits in C.
+        let mut load = vec![0.0f64; topo.len()];
+        for (k, s) in mu.sessions().iter().enumerate() {
+            for i in 0..s.node_count() {
+                load[s.node_id(i).index()] += dist.b[k][i];
+            }
+        }
+        for v in topo.nodes() {
+            let total: f64 = load[v.index()]
+                + topo.neighbors(v).iter().map(|w| load[w.index()]).sum::<f64>();
+            assert!(total <= mu.capacity() + 1e-6, "{v}: load {total}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one session")]
+    fn empty_sessions_panic() {
+        let phy = Phy::paper_lossy();
+        let topo = Deployment::random(10, 6.0, &phy, 1).into_topology();
+        let _ = MUnicast::from_selections(&topo, &[], 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Subgradient step-size schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// Step-size schedule `θ(t)` for the subgradient updates (8) and (15).
+///
+/// The paper adopts diminishing step sizes `θ(t) = A / (B + C·t)`, "which
+/// guarantee convergence regardless of the initial value of λ", with the
+/// Fig. 1 experiment using `A = 1, B = 0.5, C = 10`. A constant schedule is
+/// provided for the ablation benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StepSize {
+    /// `θ(t) = a / (b + c·t)` — converges for any initialization.
+    Diminishing {
+        /// Numerator `A`.
+        a: f64,
+        /// Offset `B`.
+        b: f64,
+        /// Slope `C`.
+        c: f64,
+    },
+    /// `θ(t) = v` — may oscillate; used by the step-size ablation.
+    Constant(f64),
+}
+
+impl StepSize {
+    /// The paper's Fig. 1 schedule: `A = 1, B = 0.5, C = 10`.
+    pub const PAPER: StepSize = StepSize::Diminishing { a: 1.0, b: 0.5, c: 10.0 };
+
+    /// Evaluates `θ(t)` for the 1-based iteration index `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is zero (iterations are 1-based in the paper).
+    pub fn at(self, t: usize) -> f64 {
+        assert!(t >= 1, "iterations are 1-based");
+        match self {
+            StepSize::Diminishing { a, b, c } => a / (b + c * t as f64),
+            StepSize::Constant(v) => v,
+        }
+    }
+}
+
+impl Default for StepSize {
+    fn default() -> Self {
+        StepSize::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_values() {
+        let s = StepSize::PAPER;
+        assert!((s.at(1) - 1.0 / 10.5).abs() < 1e-12);
+        assert!((s.at(10) - 1.0 / 100.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diminishing_is_decreasing_and_summable_harmonically() {
+        let s = StepSize::PAPER;
+        let mut prev = f64::INFINITY;
+        for t in 1..100 {
+            let v = s.at(t);
+            assert!(v < prev && v > 0.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn constant_stays_constant() {
+        let s = StepSize::Constant(0.05);
+        assert_eq!(s.at(1), 0.05);
+        assert_eq!(s.at(1000), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_iteration_panics() {
+        let _ = StepSize::PAPER.at(0);
+    }
+}

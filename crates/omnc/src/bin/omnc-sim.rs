@@ -1,0 +1,183 @@
+//! `omnc-sim` — command-line front end for running OMNC experiments.
+//!
+//! ```sh
+//! omnc-sim --nodes 120 --sessions 10 --protocol omnc --quality lossy
+//! omnc-sim --protocols all --sessions 5 --format json
+//! ```
+//!
+//! Prints one line (or one JSON object) per session per protocol with
+//! throughput, queue, utility and rate-control statistics.
+
+use omnc::runner::{run_session, Protocol};
+use omnc::scenario::{Quality, Scenario};
+use omnc::session::SessionConfig;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Table,
+    Json,
+}
+
+struct Args {
+    nodes: usize,
+    density: f64,
+    sessions: usize,
+    duration: f64,
+    quality: Quality,
+    protocols: Vec<Protocol>,
+    seed: u64,
+    format: Format,
+    full_payload: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            nodes: 120,
+            density: 6.0,
+            sessions: 5,
+            duration: 120.0,
+            quality: Quality::Lossy,
+            protocols: vec![Protocol::Omnc],
+            seed: 2008,
+            format: Format::Table,
+            full_payload: false,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--nodes" => args.nodes = parse(value("--nodes")?)?,
+                "--density" => args.density = parse(value("--density")?)?,
+                "--sessions" => args.sessions = parse(value("--sessions")?)?,
+                "--duration" => args.duration = parse(value("--duration")?)?,
+                "--seed" => args.seed = parse(value("--seed")?)?,
+                "--quality" => {
+                    args.quality = match value("--quality")?.as_str() {
+                        "lossy" => Quality::Lossy,
+                        "high" => Quality::High,
+                        other => return Err(format!("unknown quality '{other}'")),
+                    }
+                }
+                "--protocol" | "--protocols" => {
+                    let v = value("--protocol")?;
+                    args.protocols = match v.as_str() {
+                        "all" => Protocol::ALL.to_vec(),
+                        name => vec![parse_protocol(name)?],
+                    };
+                }
+                "--format" => {
+                    args.format = match value("--format")?.as_str() {
+                        "table" => Format::Table,
+                        "json" => Format::Json,
+                        other => return Err(format!("unknown format '{other}'")),
+                    }
+                }
+                "--full-payload" => args.full_payload = true,
+                "--help" | "-h" => {
+                    print_help();
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag '{other}' (try --help)")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("could not parse '{s}'"))
+}
+
+fn parse_protocol(name: &str) -> Result<Protocol, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "omnc" => Ok(Protocol::Omnc),
+        "more" => Ok(Protocol::More),
+        "oldmore" => Ok(Protocol::OldMore),
+        "etx" => Ok(Protocol::EtxRouting),
+        other => Err(format!("unknown protocol '{other}' (omnc|more|oldmore|etx|all)")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "omnc-sim — run OMNC / MORE / oldMORE / ETX unicast sessions on random lossy meshes
+
+USAGE:
+    omnc-sim [OPTIONS]
+
+OPTIONS:
+    --nodes <N>         deployed nodes            [default: 120]
+    --density <D>       avg neighbors in range    [default: 6]
+    --sessions <K>      unicast sessions to run   [default: 5]
+    --duration <SECS>   simulated session length  [default: 120]
+    --quality <Q>       lossy | high              [default: lossy]
+    --protocol <P>      omnc | more | oldmore | etx | all  [default: omnc]
+    --seed <S>          master seed               [default: 2008]
+    --format <F>        table | json              [default: table]
+    --full-payload      code real 1 KB payloads (slower, verifies bytes)
+    -h, --help          this text"
+    );
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut scenario = Scenario::reduced(args.quality);
+    scenario.nodes = args.nodes;
+    scenario.density = args.density;
+    scenario.sessions = args.sessions;
+    scenario.seed = args.seed;
+    scenario.session = SessionConfig {
+        duration: args.duration,
+        payload_block_size: if args.full_payload { 1024 } else { 1 },
+        ..SessionConfig::reduced()
+    };
+
+    if args.format == Format::Table {
+        println!(
+            "{:>4} {:>9} {:>10} {:>8} {:>7} {:>7} {:>7} {:>6}",
+            "k", "protocol", "B/s", "gens", "queue", "nodeU", "pathU", "iters"
+        );
+    }
+    for (k, seed) in scenario.session_seeds().enumerate() {
+        let (topology, src, dst) = scenario.build_session(k as u64);
+        for &protocol in &args.protocols {
+            let out = run_session(&topology, src, dst, protocol, &scenario.session, seed);
+            match args.format {
+                Format::Table => println!(
+                    "{:>4} {:>9} {:>10.0} {:>8} {:>7.2} {:>7.2} {:>7.2} {:>6}",
+                    k,
+                    protocol.name(),
+                    out.throughput,
+                    out.generations_decoded,
+                    out.mean_queue(),
+                    out.node_utility,
+                    out.path_utility,
+                    out.rc_iterations.map(|i| i.to_string()).unwrap_or_else(|| "-".into()),
+                ),
+                Format::Json => println!(
+                    "{{\"session\":{k},\"protocol\":\"{}\",\"throughput\":{:.1},\
+                     \"generations\":{},\"mean_queue\":{:.3},\"node_utility\":{:.3},\
+                     \"path_utility\":{:.3},\"rc_iterations\":{}}}",
+                    protocol.name(),
+                    out.throughput,
+                    out.generations_decoded,
+                    out.mean_queue(),
+                    out.node_utility,
+                    out.path_utility,
+                    out.rc_iterations.map(|i| i.to_string()).unwrap_or_else(|| "null".into()),
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Protocol implementations: OMNC and the paper's three baselines.
+//!
+//! | Protocol | Routing | Rate control | Coding |
+//! |---|---|---|---|
+//! | [`omnc`] | all useful forwarders (broadcast DAG) | distributed optimization (Sec. 3) | RLNC + re-encoding |
+//! | [`more`] | all useful forwarders | none — credit heuristic (SIGCOMM'07) | RLNC + re-encoding |
+//! | [`oldmore`] | min-cost (prunes lossy paths) | none | RLNC + re-encoding |
+//! | [`etx_routing`] | single ETX-best path | none — MAC retransmissions | store-and-forward |
+
+pub mod common;
+pub mod credits;
+pub mod etx_routing;
+pub mod more;
+pub mod oldmore;
+pub mod omnc;

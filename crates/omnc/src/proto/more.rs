@@ -1,0 +1,275 @@
+//! The MORE baseline (Chachulski et al., SIGCOMM'07) and its oldMORE
+//! precursor — credit-driven coded forwarding *without* rate control.
+//!
+//! The source stays backlogged (it "continuously send\[s\] random linearly
+//! coded packets ... until the destination collects a sufficient number");
+//! each relay increments a credit counter on every reception from a farther
+//! node and enqueues one re-encoded packet per whole credit. Transmission
+//! rates are whatever the fair-share MAC yields — the protocol is oblivious
+//! to channel congestion, which is exactly the behaviour the OMNC paper's
+//! Fig. 3 exposes (mean queue 22 vs OMNC's 0.63).
+//!
+//! oldMORE differs only in where its credits come from (min-cost flow,
+//! pruning lossy paths; see [`crate::proto::credits`]), so both share the
+//! behaviours below.
+
+use std::collections::HashMap;
+
+use drift::{Behavior, Ctx};
+use net_topo::graph::NodeId;
+use rlnc::{GenerationId, Recoder};
+
+use crate::msg::Msg;
+use crate::proto::common::{enqueue_coded, CodedDestination, CodedSource};
+use crate::session::{SessionConfig, SessionShared};
+
+const TICK: u64 = 0;
+
+/// MORE source: keeps its transmit queue non-empty whenever the active
+/// generation is available, deferring entirely to the MAC for pacing.
+#[derive(Debug)]
+pub struct MoreSource {
+    state: CodedSource,
+}
+
+impl MoreSource {
+    /// Creates the source.
+    pub fn new(cfg: SessionConfig, ledger: SessionShared, session_seed: u64) -> Self {
+        MoreSource { state: CodedSource::new(cfg, ledger, session_seed) }
+    }
+
+    /// Coded packets emitted so far.
+    pub fn packets_emitted(&self) -> u64 {
+        self.state.packets_emitted
+    }
+
+    /// Top-up interval: one minimum-size transmission time; fast enough to
+    /// keep the queue backlogged without flooding the calendar.
+    fn interval(&self) -> f64 {
+        self.state.config().coded_wire_len() as f64 / self.state.config().capacity
+    }
+}
+
+impl Behavior<Msg> for MoreSource {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.set_timer(0.0, TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _token: u64) {
+        let now = ctx.now().as_secs();
+        // Keep two packets queued: one in flight, one ready.
+        while ctx.queue_len() < 2 {
+            let cfg = *self.state.config();
+            match self.state.next_packet(now, ctx.rng()) {
+                Some(msg) => enqueue_coded(ctx, &cfg, msg),
+                None => break, // waiting for the CBR application
+            }
+        }
+        ctx.set_timer(self.interval(), TICK);
+    }
+}
+
+/// MORE/oldMORE relay: credit counter plus re-encoding buffer.
+#[derive(Debug)]
+pub struct MoreRelay {
+    cfg: SessionConfig,
+    /// Credit added per reception from upstream.
+    tx_credit: f64,
+    /// ETX distance of this node (receptions from farther nodes earn
+    /// credit).
+    my_dist: f64,
+    /// ETX distance per potential upstream, by topology node id.
+    dist: Vec<f64>,
+    credit: f64,
+    buffer: Recoder,
+    /// Innovative packets received per upstream node.
+    pub innovative_from: HashMap<NodeId, u64>,
+    /// All coded packets received per upstream node.
+    pub received_from: HashMap<NodeId, u64>,
+    /// Re-encoded packets emitted.
+    pub packets_emitted: u64,
+}
+
+impl MoreRelay {
+    /// Creates a relay with its precomputed credit increment and the ETX
+    /// distance table used to recognize upstream transmitters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx_credit` is negative or not finite.
+    pub fn new(
+        cfg: SessionConfig,
+        tx_credit: f64,
+        my_dist: f64,
+        dist: Vec<f64>,
+    ) -> Self {
+        assert!(tx_credit.is_finite() && tx_credit >= 0.0, "tx_credit must be non-negative");
+        let buffer = Recoder::new(GenerationId::new(0), cfg.generation_config());
+        MoreRelay {
+            cfg,
+            tx_credit,
+            my_dist,
+            dist,
+            credit: 0.0,
+            buffer,
+            innovative_from: HashMap::new(),
+            received_from: HashMap::new(),
+            packets_emitted: 0,
+        }
+    }
+
+    /// The relay's current credit balance.
+    pub fn credit(&self) -> f64 {
+        self.credit
+    }
+
+    /// The relay's decoding rank.
+    pub fn rank(&self) -> usize {
+        self.buffer.rank()
+    }
+
+    /// Packet-driven expiry, as in [`crate::proto::omnc::OmncRelay`]: a
+    /// higher-generation packet flushes the buffer, the credit balance and
+    /// any still-queued packets of newer generations survive. Stale packets
+    /// already queued keep draining over the air — with MORE's large queues
+    /// this is a substantial waste, the very congestion cost of Fig. 3.
+    fn advance_generation(&mut self, ctx: &mut Ctx<'_, Msg>, newer: GenerationId) {
+        if newer > self.buffer.generation() {
+            self.buffer = Recoder::new(newer, self.cfg.generation_config());
+            self.credit = 0.0;
+            ctx.retain_queue(|m| m.generation() == Some(newer));
+        }
+    }
+}
+
+impl Behavior<Msg> for MoreRelay {
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        if let Some(generation) = msg.generation() {
+            self.advance_generation(ctx, generation);
+        }
+        let Msg::Coded(packet) = msg else { return };
+        *self.received_from.entry(from).or_insert(0) += 1;
+        if packet.generation() != self.buffer.generation() {
+            return;
+        }
+        let from_upstream =
+            self.dist.get(from.index()).copied().unwrap_or(f64::INFINITY) > self.my_dist;
+        if let Ok(result) = self.buffer.absorb(packet) {
+            if result.is_innovative() {
+                *self.innovative_from.entry(from).or_insert(0) += 1;
+            }
+        }
+        // MORE: every reception from a farther node earns TX credit,
+        // innovative or not (the sender cannot know).
+        if from_upstream && self.tx_credit > 0.0 {
+            self.credit += self.tx_credit;
+            while self.credit >= 1.0 && self.buffer.rank() > 0 {
+                self.credit -= 1.0;
+                let packet = {
+                    let rng = ctx.rng();
+                    self.buffer.emit(rng).expect("rank > 0")
+                };
+                self.packets_emitted += 1;
+                let cfg = self.cfg;
+                enqueue_coded(ctx, &cfg, Msg::Coded(packet));
+            }
+        }
+    }
+}
+
+/// MORE destination — identical decoding logic to OMNC's.
+#[derive(Debug)]
+pub struct MoreDestination {
+    state: CodedDestination,
+}
+
+impl MoreDestination {
+    /// Creates the destination.
+    pub fn new(
+        cfg: SessionConfig,
+        ledger: SessionShared,
+        session_seed: u64,
+        verify_payload: bool,
+    ) -> Self {
+        MoreDestination { state: CodedDestination::new(cfg, ledger, session_seed, verify_payload) }
+    }
+
+    /// Access to destination metrics.
+    pub fn state(&self) -> &CodedDestination {
+        &self.state
+    }
+}
+
+impl Behavior<Msg> for MoreDestination {
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        let now = ctx.now().as_secs();
+        self.state.receive(now, from, msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::credits::more_credits;
+    use crate::session::SessionLedger;
+    use drift::{MacModel, Simulator};
+    use net_topo::graph::{Link, Topology};
+    use net_topo::select::select_forwarders;
+
+    #[test]
+    fn more_delivers_over_a_lossy_line() {
+        let cfg = SessionConfig::tiny();
+        let p = 0.6;
+        let topo = Topology::from_links(
+            3,
+            vec![
+                Link { from: NodeId::new(0), to: NodeId::new(1), p },
+                Link { from: NodeId::new(1), to: NodeId::new(2), p },
+                Link { from: NodeId::new(1), to: NodeId::new(0), p },
+                Link { from: NodeId::new(2), to: NodeId::new(1), p },
+            ],
+        )
+        .unwrap();
+        let sel = select_forwarders(&topo, NodeId::new(0), NodeId::new(2));
+        let plan = more_credits(&sel);
+        let dist: Vec<f64> =
+            topo.nodes().map(|v| sel.dist_to_dst(v).unwrap_or(f64::INFINITY)).collect();
+        let ledger = SessionLedger::shared();
+        let mac = MacModel::fair_share(cfg.capacity);
+        let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> = Simulator::new(&topo, mac, 8);
+        sim.set_behavior(NodeId::new(0), Box::new(MoreSource::new(cfg, ledger.clone(), 21)));
+        sim.set_behavior(
+            NodeId::new(1),
+            Box::new(MoreRelay::new(cfg, plan.tx_credit[1], dist[1], dist.clone())),
+        );
+        sim.set_behavior(
+            NodeId::new(2),
+            Box::new(MoreDestination::new(cfg, ledger.clone(), 21, true)),
+        );
+        sim.run_until(cfg.duration);
+        assert!(
+            ledger.generations_decoded() >= 1,
+            "MORE failed to deliver any generation"
+        );
+    }
+
+    #[test]
+    fn credits_accumulate_only_from_upstream() {
+        let cfg = SessionConfig::tiny();
+        let _ledger = SessionLedger::shared();
+        // my_dist = 1; node 0 is farther (2.0), node 2 is closer (0.0).
+        let relay = MoreRelay::new(cfg, 0.5, 1.0, vec![2.0, 1.0, 0.0]);
+        assert_eq!(relay.credit(), 0.0);
+        // (Credit arithmetic is driven through on_receive in integration
+        // tests; here we check construction invariants.)
+        assert_eq!(relay.rank(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tx_credit must be non-negative")]
+    fn negative_credit_panics() {
+        let cfg = SessionConfig::tiny();
+        let _ledger = SessionLedger::shared();
+        let _ = MoreRelay::new(cfg, -1.0, 0.0, vec![]);
+    }
+}

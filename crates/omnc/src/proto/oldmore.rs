@@ -1,0 +1,49 @@
+//! oldMORE — the unpublished precursor of MORE (MIT-CSAIL-TR-2006-049),
+//! built on Lun et al.'s min-cost formulation.
+//!
+//! Behaviorally it *is* MORE with different credits: the per-node expected
+//! transmission counts come from a minimum-cost flow that concentrates on
+//! the highest-quality path and prunes forwarders on lossy links (the low
+//! node/path utility ratios of the paper's Fig. 4), and there is still no
+//! rate control. The behaviours are therefore aliases of the MORE ones; the
+//! difference is encapsulated in [`crate::proto::credits::oldmore_credits`].
+
+pub use crate::proto::more::{MoreDestination, MoreRelay, MoreSource};
+
+/// oldMORE source (identical runtime behaviour to MORE's).
+pub type OldMoreSource = MoreSource;
+/// oldMORE relay (MORE's relay, driven by min-cost credits).
+pub type OldMoreRelay = MoreRelay;
+/// oldMORE destination.
+pub type OldMoreDestination = MoreDestination;
+
+#[cfg(test)]
+mod tests {
+    use crate::proto::credits::{more_credits, oldmore_credits};
+    use net_topo::graph::{Link, NodeId, Topology};
+    use net_topo::select::select_forwarders;
+
+    /// The defining difference: on an asymmetric diamond oldMORE prunes the
+    /// lossy relay that MORE keeps.
+    #[test]
+    fn oldmore_is_more_with_pruned_credits() {
+        let t = Topology::from_links(
+            4,
+            vec![
+                Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.9 },
+                Link { from: NodeId::new(0), to: NodeId::new(2), p: 0.5 },
+                Link { from: NodeId::new(1), to: NodeId::new(3), p: 0.9 },
+                Link { from: NodeId::new(2), to: NodeId::new(3), p: 0.5 },
+            ],
+        )
+        .unwrap();
+        let sel = select_forwarders(&t, NodeId::new(0), NodeId::new(3));
+        let more = more_credits(&sel);
+        let old = oldmore_credits(&sel);
+        assert!(more.is_active(NodeId::new(2), 1e-6));
+        assert!(!old.is_active(NodeId::new(2), 1e-6));
+        // Both keep the good relay.
+        assert!(more.is_active(NodeId::new(1), 1e-6));
+        assert!(old.is_active(NodeId::new(1), 1e-6));
+    }
+}

@@ -1,0 +1,593 @@
+//! End-to-end session execution: wire a protocol to a topology, run it on
+//! Drift, and collect the paper's evaluation metrics.
+
+use std::collections::HashMap;
+
+use drift::{Behavior, Ctx, MacModel, Simulator};
+use net_topo::etx;
+use net_topo::graph::{Link, NodeId, Topology};
+use net_topo::select::{disjoint_path_count, select_forwarders, Selection};
+use omnc_opt::{default_portfolio, run_best, SUnicast};
+
+use crate::msg::Msg;
+use crate::proto::credits::{more_credits, oldmore_credits, CreditPlan};
+use crate::proto::etx_routing::{EtxDestination, EtxForwarder};
+use crate::proto::more::{MoreDestination, MoreRelay, MoreSource};
+use crate::proto::omnc::{OmncDestination, OmncRelay, OmncSource};
+use crate::session::{SessionConfig, SessionLedger};
+
+/// The protocols under evaluation (Sec. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Optimized Multipath Network Coding — the paper's contribution.
+    Omnc,
+    /// MORE (SIGCOMM'07): coded opportunistic routing, credit heuristic.
+    More,
+    /// The min-cost precursor of MORE: prunes lossy paths, no rate control.
+    OldMore,
+    /// Traditional best-path routing under the ETX metric.
+    EtxRouting,
+}
+
+impl Protocol {
+    /// All four protocols, in the paper's presentation order.
+    pub const ALL: [Protocol; 4] =
+        [Protocol::Omnc, Protocol::More, Protocol::OldMore, Protocol::EtxRouting];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Omnc => "OMNC",
+            Protocol::More => "MORE",
+            Protocol::OldMore => "oldMORE",
+            Protocol::EtxRouting => "ETX",
+        }
+    }
+}
+
+/// Everything measured from one session run.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The protocol that produced this outcome.
+    pub protocol: Protocol,
+    /// End-to-end application throughput in bytes/second.
+    pub throughput: f64,
+    /// Time-averaged queue size per *involved* node (nodes that sent at
+    /// least one packet), the Fig. 3 metric.
+    pub queue_averages: Vec<f64>,
+    /// Node utility ratio: transmitting nodes / selected candidate nodes
+    /// (Fig. 4 left).
+    pub node_utility: f64,
+    /// Path utility ratio: DAG paths with every link exercised / all DAG
+    /// paths after node selection (Fig. 4 right).
+    pub path_utility: f64,
+    /// Iterations the rate-control algorithm needed (OMNC only).
+    pub rc_iterations: Option<usize>,
+    /// Throughput predicted by the sUnicast framework (OMNC only).
+    pub predicted_throughput: Option<f64>,
+    /// Generations fully decoded (coded protocols).
+    pub generations_decoded: u64,
+    /// Innovative/redundant packet counts at the destination.
+    pub packet_counts: (u64, u64),
+    /// Payload verification failures (must be zero when payloads are real).
+    pub verification_failures: u64,
+}
+
+impl SessionOutcome {
+    /// Mean of the per-node time-averaged queue sizes.
+    pub fn mean_queue(&self) -> f64 {
+        if self.queue_averages.is_empty() {
+            0.0
+        } else {
+            self.queue_averages.iter().sum::<f64>() / self.queue_averages.len() as f64
+        }
+    }
+}
+
+/// One behavior enum so the simulator stays fully typed and final protocol
+/// state can be read back without downcasting.
+#[allow(clippy::large_enum_variant)]
+enum Role {
+    OmncSrc(OmncSource),
+    OmncRelay(OmncRelay),
+    OmncDst(OmncDestination),
+    MoreSrc(MoreSource),
+    MoreRelay(MoreRelay),
+    MoreDst(MoreDestination),
+    EtxFwd(EtxForwarder),
+    EtxDst(EtxDestination),
+}
+
+impl Behavior<Msg> for Role {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        match self {
+            Role::OmncSrc(b) => b.on_start(ctx),
+            Role::OmncRelay(b) => b.on_start(ctx),
+            Role::OmncDst(b) => b.on_start(ctx),
+            Role::MoreSrc(b) => b.on_start(ctx),
+            Role::MoreRelay(b) => b.on_start(ctx),
+            Role::MoreDst(b) => b.on_start(ctx),
+            Role::EtxFwd(b) => b.on_start(ctx),
+            Role::EtxDst(b) => b.on_start(ctx),
+        }
+    }
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        match self {
+            Role::OmncSrc(b) => b.on_receive(ctx, from, msg),
+            Role::OmncRelay(b) => b.on_receive(ctx, from, msg),
+            Role::OmncDst(b) => b.on_receive(ctx, from, msg),
+            Role::MoreSrc(b) => b.on_receive(ctx, from, msg),
+            Role::MoreRelay(b) => b.on_receive(ctx, from, msg),
+            Role::MoreDst(b) => b.on_receive(ctx, from, msg),
+            Role::EtxFwd(b) => b.on_receive(ctx, from, msg),
+            Role::EtxDst(b) => b.on_receive(ctx, from, msg),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        match self {
+            Role::OmncSrc(b) => b.on_timer(ctx, token),
+            Role::OmncRelay(b) => b.on_timer(ctx, token),
+            Role::OmncDst(b) => b.on_timer(ctx, token),
+            Role::MoreSrc(b) => b.on_timer(ctx, token),
+            Role::MoreRelay(b) => b.on_timer(ctx, token),
+            Role::MoreDst(b) => b.on_timer(ctx, token),
+            Role::EtxFwd(b) => b.on_timer(ctx, token),
+            Role::EtxDst(b) => b.on_timer(ctx, token),
+        }
+    }
+    fn on_unicast_result(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, msg: &Msg, ok: bool) {
+        match self {
+            Role::OmncSrc(b) => b.on_unicast_result(ctx, to, msg, ok),
+            Role::OmncRelay(b) => b.on_unicast_result(ctx, to, msg, ok),
+            Role::OmncDst(b) => b.on_unicast_result(ctx, to, msg, ok),
+            Role::MoreSrc(b) => b.on_unicast_result(ctx, to, msg, ok),
+            Role::MoreRelay(b) => b.on_unicast_result(ctx, to, msg, ok),
+            Role::MoreDst(b) => b.on_unicast_result(ctx, to, msg, ok),
+            Role::EtxFwd(b) => b.on_unicast_result(ctx, to, msg, ok),
+            Role::EtxDst(b) => b.on_unicast_result(ctx, to, msg, ok),
+        }
+    }
+}
+
+/// The session sub-topology: selected nodes re-indexed densely, keeping
+/// *every* original link between them (interference needs sideways links,
+/// not only the flow DAG).
+struct SubTopology {
+    topo: Topology,
+    /// local → original id.
+    to_orig: Vec<NodeId>,
+    /// original → local id.
+    to_local: HashMap<NodeId, usize>,
+}
+
+fn sub_topology(full: &Topology, nodes: &[NodeId]) -> SubTopology {
+    let to_orig: Vec<NodeId> = nodes.to_vec();
+    let to_local: HashMap<NodeId, usize> =
+        to_orig.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let links: Vec<Link> = full
+        .links()
+        .filter_map(|l| {
+            let from = *to_local.get(&l.from)?;
+            let to = *to_local.get(&l.to)?;
+            Some(Link { from: NodeId::new(from), to: NodeId::new(to), p: l.p })
+        })
+        .collect();
+    let topo = Topology::from_links(to_orig.len().max(2), links)
+        .expect("selected nodes always include linked src and dst");
+    SubTopology { topo, to_orig, to_local }
+}
+
+/// Runs one unicast session of `protocol` from `src` to `dst` on
+/// `topology` and returns the measured outcome. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `dst` is unreachable from `src` (draw sessions from connected
+/// topologies) or if the session configuration is degenerate.
+pub fn run_session(
+    topology: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    protocol: Protocol,
+    cfg: &SessionConfig,
+    seed: u64,
+) -> SessionOutcome {
+    run_session_with_fault(topology, src, dst, protocol, cfg, seed, None)
+}
+
+/// Like [`run_session`], with an optional crash-stop fault: `(node, at)`
+/// kills `node` (topology id) at simulated time `at`. Sessions whose killed
+/// node is the source or destination are legal but deliver nothing after
+/// the fault.
+pub fn run_session_with_fault(
+    topology: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    protocol: Protocol,
+    cfg: &SessionConfig,
+    seed: u64,
+    fault: Option<(NodeId, f64)>,
+) -> SessionOutcome {
+    match protocol {
+        Protocol::EtxRouting => run_etx(topology, src, dst, cfg, seed, fault),
+        Protocol::Omnc | Protocol::More | Protocol::OldMore => {
+            run_coded_inner(topology, src, dst, protocol, cfg, seed, None, fault)
+        }
+    }
+}
+
+fn run_etx(
+    topology: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    cfg: &SessionConfig,
+    seed: u64,
+    fault: Option<(NodeId, f64)>,
+) -> SessionOutcome {
+    let path = etx::best_path(topology, src, dst).expect("session endpoints must be connected");
+    let sub = sub_topology(topology, &path);
+    let local = |v: NodeId| NodeId::new(sub.to_local[&v]);
+
+    // The paper's unicast MAC model: link-clique interference (the
+    // "sufficient condition" of Sec. 3.2), strictly tighter than the
+    // broadcast model the coded protocols enjoy.
+    let mut next_hop = vec![usize::MAX; sub.to_orig.len()];
+    for w in path.windows(2) {
+        next_hop[sub.to_local[&w[0]]] = sub.to_local[&w[1]];
+    }
+    let mut sim: Simulator<Msg, Role> =
+        Simulator::new(&sub.topo, MacModel::unicast_clique(cfg.capacity, next_hop), seed);
+    for w in path.windows(2) {
+        let role = if w[0] == src {
+            Role::EtxFwd(EtxForwarder::source(*cfg, local(w[1]), local(dst)))
+        } else {
+            Role::EtxFwd(EtxForwarder::relay(*cfg, local(w[1])))
+        };
+        sim.set_behavior(local(w[0]), role);
+    }
+    sim.set_behavior(local(dst), Role::EtxDst(EtxDestination::new()));
+    if let Some((victim, at)) = fault {
+        if let Some(&l) = sub.to_local.get(&victim) {
+            sim.schedule_kill(NodeId::new(l), at);
+        }
+    }
+    sim.run_until(cfg.duration);
+
+    let delivered = match sim.behavior(local(dst)) {
+        Some(Role::EtxDst(d)) => d.blocks_delivered,
+        _ => 0,
+    };
+    let queue_averages: Vec<f64> = sub
+        .topo
+        .nodes()
+        .filter(|&v| sim.stats(v).packets_sent > 0)
+        .map(|v| sim.queue_average(v))
+        .collect();
+    SessionOutcome {
+        protocol: Protocol::EtxRouting,
+        throughput: delivered as f64 * cfg.wire_block_size as f64 / cfg.duration,
+        queue_averages,
+        node_utility: 1.0, // the single path uses every node it selected
+        path_utility: 1.0,
+        rc_iterations: None,
+        predicted_throughput: None,
+        generations_decoded: 0,
+        packet_counts: (0, 0),
+        verification_failures: 0,
+    }
+}
+
+/// Runs an OMNC session with a caller-supplied broadcast-rate vector
+/// (indexed like the sUnicast instance). Used by ablation benches to
+/// compare rate sources (distributed algorithm vs exact LP vs uniform).
+pub fn run_omnc_with_rates<F>(
+    topology: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    cfg: &SessionConfig,
+    seed: u64,
+    rate_source: F,
+) -> SessionOutcome
+where
+    F: FnOnce(&SUnicast) -> Vec<f64>,
+{
+    let selection = select_forwarders(topology, src, dst);
+    let problem = SUnicast::from_selection(topology, &selection, cfg.capacity);
+    let b = rate_source(&problem);
+    assert_eq!(b.len(), problem.node_count(), "rate vector must cover the instance");
+    run_coded_inner(topology, src, dst, Protocol::Omnc, cfg, seed, Some(b), None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_coded_inner(
+    topology: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    protocol: Protocol,
+    cfg: &SessionConfig,
+    seed: u64,
+    rates_override: Option<Vec<f64>>,
+    fault: Option<(NodeId, f64)>,
+) -> SessionOutcome {
+    let selection = select_forwarders(topology, src, dst);
+    let sub = sub_topology(topology, selection.nodes());
+    let local = |v: NodeId| NodeId::new(sub.to_local[&v]);
+    let ledger = SessionLedger::shared();
+    let session_seed = seed ^ 0xC0DE;
+    let verify = cfg.payload_block_size == cfg.wire_block_size;
+
+    // Protocol-specific setup.
+    let mut rc_iterations = None;
+    let mut predicted = None;
+    let mac;
+    let mut roles: HashMap<NodeId, Role> = HashMap::new(); // by original id
+
+    match protocol {
+        Protocol::Omnc => {
+            let problem = SUnicast::from_selection(topology, &selection, cfg.capacity);
+            let inst_rates = match rates_override {
+                Some(b) => {
+                    let (supported, _) = omnc_opt::flow::supported_rate(
+                        &problem,
+                        &b.iter().map(|v| v / cfg.capacity).collect::<Vec<_>>(),
+                    );
+                    predicted = Some(supported * cfg.capacity);
+                    b
+                }
+                None => {
+                    let allocation = run_best(&problem, &default_portfolio());
+                    rc_iterations = Some(allocation.iterations());
+                    predicted = Some(allocation.throughput());
+                    allocation.broadcast_rates().to_vec()
+                }
+            };
+            // Map optimizer rates (instance-local) to sub-topology nodes.
+            let mut rates = vec![0.0; sub.to_orig.len()];
+            for (sub_local, &orig) in sub.to_orig.iter().enumerate() {
+                if let Some(inst_idx) = problem.local_index(orig) {
+                    // Simplex solutions may carry -1e-12 style noise.
+                    rates[sub_local] = inst_rates[inst_idx].max(0.0);
+                }
+            }
+            rates[local(dst).index()] = 0.0; // the destination only listens
+            for &orig in selection.nodes() {
+                let role = if orig == src {
+                    Role::OmncSrc(OmncSource::new(
+                        *cfg,
+                        ledger.clone(),
+                        session_seed,
+                        rates[local(orig).index()],
+                    ))
+                } else if orig == dst {
+                    Role::OmncDst(OmncDestination::new(*cfg, ledger.clone(), session_seed, verify))
+                } else {
+                    Role::OmncRelay(OmncRelay::new(*cfg, rates[local(orig).index()]))
+                };
+                roles.insert(orig, role);
+            }
+            mac = MacModel::rate_limited(rates, cfg.capacity);
+        }
+        Protocol::More | Protocol::OldMore => {
+            let plan: CreditPlan = if protocol == Protocol::More {
+                more_credits(&selection)
+            } else {
+                oldmore_credits(&selection)
+            };
+            let dist: Vec<f64> = sub
+                .to_orig
+                .iter()
+                .map(|&v| selection.dist_to_dst(v).unwrap_or(f64::INFINITY))
+                .collect();
+            for &orig in selection.nodes() {
+                let role = if orig == src {
+                    Role::MoreSrc(MoreSource::new(*cfg, ledger.clone(), session_seed))
+                } else if orig == dst {
+                    Role::MoreDst(MoreDestination::new(*cfg, ledger.clone(), session_seed, verify))
+                } else {
+                    Role::MoreRelay(MoreRelay::new(
+                        *cfg,
+                        plan.tx_credit[orig.index()],
+                        dist[local(orig).index()],
+                        dist.clone(),
+                    ))
+                };
+                roles.insert(orig, role);
+            }
+            mac = MacModel::fair_share(cfg.capacity);
+        }
+        Protocol::EtxRouting => unreachable!("handled by run_etx"),
+    }
+
+    let mut sim: Simulator<Msg, Role> = Simulator::new(&sub.topo, mac, seed);
+    for (orig, role) in roles {
+        sim.set_behavior(local(orig), role);
+    }
+    if let Some((victim, at)) = fault {
+        if let Some(&l) = sub.to_local.get(&victim) {
+            sim.schedule_kill(NodeId::new(l), at);
+        }
+    }
+    sim.run_until(cfg.duration);
+
+    // ---- Collect metrics.
+    // Credit the partially-decoded final generation: at reduced session
+    // lengths the whole-generation quantization would otherwise bias the
+    // throughput down by up to one generation (the paper's 800-second
+    // sessions amortize this).
+    let partial_rank = match sim.behavior(local(dst)) {
+        Some(Role::OmncDst(d)) => d.state().partial_rank(),
+        Some(Role::MoreDst(d)) => d.state().partial_rank(),
+        _ => 0,
+    };
+    let partial_bytes = partial_rank as f64 * cfg.wire_block_size as f64;
+    let throughput = ledger.throughput(cfg.generation_app_bytes(), cfg.duration)
+        + partial_bytes / cfg.duration;
+    let queue_averages: Vec<f64> = sub
+        .topo
+        .nodes()
+        .filter(|&v| sim.stats(v).packets_sent > 0)
+        .map(|v| sim.queue_average(v))
+        .collect();
+
+    // Node utility: transmitting nodes over selected candidates (the
+    // destination, a pure listener, is excluded from both).
+    let candidates = selection.nodes().iter().filter(|&&v| v != dst).count();
+    let transmitting = selection
+        .nodes()
+        .iter()
+        .filter(|&&v| v != dst && sim.stats(local(v)).packets_sent > 0)
+        .count();
+    let node_utility =
+        if candidates > 0 { transmitting as f64 / candidates as f64 } else { 0.0 };
+
+    // Path utility: paths of the selection DAG all of whose links were
+    // exercised (the transmitter sent and the receiver heard at least one
+    // of its packets), over all DAG paths.
+    let mut received_from: HashMap<NodeId, HashMap<NodeId, u64>> = HashMap::new();
+    let mut verification_failures = 0;
+    for &orig in selection.nodes() {
+        match sim.behavior(local(orig)) {
+            Some(Role::OmncRelay(r)) => {
+                received_from.insert(orig, remap_keys(&r.received_from, &sub.to_orig));
+            }
+            Some(Role::MoreRelay(r)) => {
+                received_from.insert(orig, remap_keys(&r.received_from, &sub.to_orig));
+            }
+            Some(Role::OmncDst(d)) => {
+                received_from.insert(orig, remap_keys(&d.state().received_from, &sub.to_orig));
+                verification_failures = d.state().verification_failures;
+            }
+            Some(Role::MoreDst(d)) => {
+                received_from.insert(orig, remap_keys(&d.state().received_from, &sub.to_orig));
+                verification_failures = d.state().verification_failures;
+            }
+            _ => {}
+        }
+    }
+    let used_links: Vec<Link> = selection
+        .subgraph()
+        .links()
+        .filter(|l| {
+            received_from
+                .get(&l.to)
+                .and_then(|m| m.get(&l.from))
+                .copied()
+                .unwrap_or(0)
+                > 0
+        })
+        .collect();
+    let total_paths = selection.disjoint_paths();
+    let used_paths = if used_links.is_empty() {
+        0
+    } else {
+        let used_dag = Topology::from_links(topology.len(), used_links)
+            .expect("used links are valid");
+        disjoint_path_count(&used_dag, src, dst)
+    };
+    let path_utility = if total_paths > 0 {
+        used_paths as f64 / total_paths as f64
+    } else {
+        0.0
+    };
+
+    SessionOutcome {
+        protocol,
+        throughput,
+        queue_averages,
+        node_utility,
+        path_utility,
+        rc_iterations,
+        predicted_throughput: predicted,
+        generations_decoded: ledger.generations_decoded(),
+        packet_counts: ledger.packet_counts(),
+        verification_failures,
+    }
+}
+
+/// Translates an innovative-reception map keyed by sub-topology ids back to
+/// original topology ids.
+fn remap_keys(map: &HashMap<NodeId, u64>, to_orig: &[NodeId]) -> HashMap<NodeId, u64> {
+    map.iter().map(|(&k, &v)| (to_orig[k.index()], v)).collect()
+}
+
+/// Re-exported selection entry point for binaries that need the raw
+/// selection (e.g. utility-ratio baselines).
+pub fn selection_for(topology: &Topology, src: NodeId, dst: NodeId) -> Selection {
+    select_forwarders(topology, src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_topo::deploy::Deployment;
+    use net_topo::phy::Phy;
+
+    fn small_world() -> (Topology, NodeId, NodeId) {
+        let phy = Phy::paper_lossy();
+        let topo = Deployment::random(40, 6.0, &phy, 77).into_topology();
+        let (s, d) = topo.farthest_pair();
+        (topo, s, d)
+    }
+
+    #[test]
+    fn all_protocols_deliver_positive_throughput() {
+        let (topo, s, d) = small_world();
+        let cfg = SessionConfig::tiny();
+        for protocol in Protocol::ALL {
+            let out = run_session(&topo, s, d, protocol, &cfg, 3);
+            assert!(
+                out.throughput > 0.0,
+                "{} produced zero throughput",
+                protocol.name()
+            );
+            assert_eq!(out.verification_failures, 0, "{}", protocol.name());
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        let (topo, s, d) = small_world();
+        let cfg = SessionConfig::tiny();
+        let a = run_session(&topo, s, d, Protocol::Omnc, &cfg, 5);
+        let b = run_session(&topo, s, d, Protocol::Omnc, &cfg, 5);
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.generations_decoded, b.generations_decoded);
+    }
+
+    #[test]
+    fn omnc_reports_rate_control_metadata() {
+        let (topo, s, d) = small_world();
+        let cfg = SessionConfig::tiny();
+        let out = run_session(&topo, s, d, Protocol::Omnc, &cfg, 5);
+        assert!(out.rc_iterations.unwrap() > 0);
+        assert!(out.predicted_throughput.unwrap() > 0.0);
+        // The paper observes emulated throughput below the framework's
+        // optimistic estimate.
+        assert!(out.throughput <= out.predicted_throughput.unwrap() * 1.5);
+    }
+
+    #[test]
+    fn utility_ratios_are_in_range() {
+        let (topo, s, d) = small_world();
+        let cfg = SessionConfig::tiny();
+        for protocol in [Protocol::Omnc, Protocol::More, Protocol::OldMore] {
+            let out = run_session(&topo, s, d, protocol, &cfg, 9);
+            assert!((0.0..=1.0).contains(&out.node_utility), "{}", protocol.name());
+            assert!((0.0..=1.0).contains(&out.path_utility), "{}", protocol.name());
+        }
+    }
+
+    #[test]
+    fn oldmore_uses_fewer_nodes_than_omnc() {
+        let (topo, s, d) = small_world();
+        let cfg = SessionConfig::tiny();
+        let omnc = run_session(&topo, s, d, Protocol::Omnc, &cfg, 11);
+        let old = run_session(&topo, s, d, Protocol::OldMore, &cfg, 11);
+        assert!(
+            old.node_utility <= omnc.node_utility + 1e-9,
+            "oldMORE {} vs OMNC {}",
+            old.node_utility,
+            omnc.node_utility
+        );
+    }
+}

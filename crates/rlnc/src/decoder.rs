@@ -1,0 +1,413 @@
+//! Progressive Gauss-Jordan decoder (Sec. 4, *Progressive decoding*).
+//!
+//! The decoding matrix `[R | X]` is kept in *reduced row-echelon form* at all
+//! times, so that:
+//!
+//! * an incoming packet's innovation check is a single reduction pass — a
+//!   non-innovative packet reduces to an all-zero row and is discarded;
+//! * once `n` independent packets have arrived, the left part is the identity
+//!   and the right part is exactly the original blocks: decoding finishes
+//!   "on the fly" with no final batch inversion.
+
+use crate::error::RlncError;
+use crate::generation::GenerationConfig;
+use crate::kernel::Kernel;
+use crate::packet::{CodedPacket, GenerationId};
+
+/// Outcome of feeding one packet to a [`Decoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Absorption {
+    /// The packet increased the decoder's rank (the new rank is carried).
+    Innovative {
+        /// Rank after absorbing the packet.
+        rank: usize,
+    },
+    /// The packet was linearly dependent on already-received ones and was
+    /// discarded, exactly as relays and destinations do in the paper.
+    Redundant,
+}
+
+impl Absorption {
+    /// `true` if the packet was innovative.
+    pub fn is_innovative(self) -> bool {
+        matches!(self, Absorption::Innovative { .. })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    coeff: Vec<u8>,
+    payload: Vec<u8>,
+    pivot: usize,
+}
+
+/// Progressive RLNC decoder for a single generation.
+///
+/// Also serves as the innovation filter inside relays (see
+/// [`crate::Recoder`]): a relay accepts an incoming packet only if it is
+/// innovative with respect to its buffer (Sec. 3.1).
+///
+/// # Examples
+///
+/// ```
+/// use omnc_rlnc::{Decoder, Encoder, Generation, GenerationConfig, GenerationId};
+/// use rand::SeedableRng;
+///
+/// let cfg = GenerationConfig::new(4, 8)?;
+/// let data: Vec<u8> = (0..32).collect();
+/// let g = Generation::from_bytes(GenerationId::new(0), cfg, &data)?;
+/// let enc = Encoder::new(&g);
+/// let mut dec = Decoder::new(GenerationId::new(0), cfg);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// while !dec.is_complete() {
+///     dec.absorb(&enc.emit(&mut rng))?;
+/// }
+/// assert_eq!(dec.recover().unwrap(), data);
+/// # Ok::<(), omnc_rlnc::RlncError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    generation: GenerationId,
+    config: GenerationConfig,
+    kernel: Kernel,
+    rows: Vec<Row>,
+    /// `pivot_row[c]` is the index into `rows` whose pivot is column `c`.
+    pivot_row: Vec<Option<usize>>,
+    received: u64,
+    redundant: u64,
+}
+
+impl Decoder {
+    /// Creates an empty decoder for `generation` with the default kernel.
+    pub fn new(generation: GenerationId, config: GenerationConfig) -> Self {
+        Decoder::with_kernel(generation, config, Kernel::default())
+    }
+
+    /// Creates an empty decoder with an explicit GF(2^8) kernel.
+    pub fn with_kernel(generation: GenerationId, config: GenerationConfig, kernel: Kernel) -> Self {
+        Decoder {
+            generation,
+            config,
+            kernel,
+            rows: Vec::with_capacity(config.blocks()),
+            pivot_row: vec![None; config.blocks()],
+            received: 0,
+            redundant: 0,
+        }
+    }
+
+    /// The generation this decoder collects.
+    pub fn generation(&self) -> GenerationId {
+        self.generation
+    }
+
+    /// The generation's coding parameters.
+    pub fn config(&self) -> GenerationConfig {
+        self.config
+    }
+
+    /// Current rank (number of innovative packets absorbed).
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Remaining innovative packets needed to decode.
+    pub fn missing(&self) -> usize {
+        self.config.blocks() - self.rank()
+    }
+
+    /// `true` once `n` innovative packets have been gathered.
+    pub fn is_complete(&self) -> bool {
+        self.rank() == self.config.blocks()
+    }
+
+    /// Total packets offered to [`Decoder::absorb`] (innovative + redundant).
+    pub fn packets_received(&self) -> u64 {
+        self.received
+    }
+
+    /// Packets that were discarded as non-innovative.
+    pub fn packets_redundant(&self) -> u64 {
+        self.redundant
+    }
+
+    /// Feeds one packet through the Gauss-Jordan elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlncError::GenerationMismatch`],
+    /// [`RlncError::CoefficientLengthMismatch`] or
+    /// [`RlncError::BlockSizeMismatch`] when the packet does not fit this
+    /// decoder; such packets leave the decoder untouched.
+    pub fn absorb(&mut self, packet: &CodedPacket) -> Result<Absorption, RlncError> {
+        self.check(packet)?;
+        self.received += 1;
+
+        let mut coeff = packet.coefficients().to_vec();
+        let mut payload = packet.payload().to_vec();
+
+        // Forward reduction against existing pivots.
+        for col in 0..self.config.blocks() {
+            let c = coeff[col];
+            if c == 0 {
+                continue;
+            }
+            if let Some(r) = self.pivot_row[col] {
+                let row = &self.rows[r];
+                // coeff/payload -= c * row  (subtraction == addition in GF(2^8))
+                self.kernel.mul_add_assign(&mut coeff, &row.coeff, c);
+                self.kernel.mul_add_assign(&mut payload, &row.payload, c);
+                debug_assert_eq!(coeff[col], 0);
+            }
+        }
+
+        // Find the new pivot, if any.
+        let Some(pivot) = coeff.iter().position(|&c| c != 0) else {
+            self.redundant += 1;
+            return Ok(Absorption::Redundant);
+        };
+
+        // Normalize the new row.
+        let lead = coeff[pivot];
+        self.kernel.div_assign(&mut coeff, lead);
+        self.kernel.div_assign(&mut payload, lead);
+
+        // Back-substitute into existing rows to keep the matrix *reduced*.
+        let new_index = self.rows.len();
+        for row in &mut self.rows {
+            let c = row.coeff[pivot];
+            if c != 0 {
+                self.kernel.mul_add_assign(&mut row.coeff, &coeff, c);
+                self.kernel.mul_add_assign(&mut row.payload, &payload, c);
+            }
+        }
+
+        self.rows.push(Row { coeff, payload, pivot });
+        self.pivot_row[pivot] = Some(new_index);
+        Ok(Absorption::Innovative { rank: self.rows.len() })
+    }
+
+    /// Returns `true` if `packet` would be innovative, without mutating the
+    /// decoder. Costs one reduction pass over the coefficient vector only.
+    pub fn would_be_innovative(&self, packet: &CodedPacket) -> bool {
+        if self.check(packet).is_err() {
+            return false;
+        }
+        let mut coeff = packet.coefficients().to_vec();
+        for col in 0..self.config.blocks() {
+            let c = coeff[col];
+            if c == 0 {
+                continue;
+            }
+            if let Some(r) = self.pivot_row[col] {
+                self.kernel.mul_add_assign(&mut coeff, &self.rows[r].coeff, c);
+            }
+        }
+        coeff.iter().any(|&c| c != 0)
+    }
+
+    /// Blocks decoded so far, indexed by block number. Progressive decoding
+    /// exposes a block as soon as its matrix row has collapsed to a unit
+    /// vector — before the whole generation is complete.
+    pub fn decoded_blocks(&self) -> Vec<Option<&[u8]>> {
+        let n = self.config.blocks();
+        let mut out = vec![None; n];
+        for row in &self.rows {
+            let is_unit = row.coeff[row.pivot] == 1
+                && row
+                    .coeff
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &c)| i == row.pivot || c == 0);
+            if is_unit {
+                out[row.pivot] = Some(row.payload.as_slice());
+            }
+        }
+        out
+    }
+
+    /// Recovers the original source bytes once complete.
+    ///
+    /// Returns `None` while the decoder is still missing packets.
+    pub fn recover(&self) -> Option<Vec<u8>> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut out = vec![0u8; self.config.payload_len()];
+        for row in &self.rows {
+            debug_assert_eq!(row.coeff[row.pivot], 1);
+            let start = row.pivot * self.config.block_size();
+            out[start..start + self.config.block_size()].copy_from_slice(&row.payload);
+        }
+        Some(out)
+    }
+
+    /// The stored (coefficient, payload) rows in reduced row-echelon form.
+    /// Relays re-encode from exactly these rows.
+    pub fn rows(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.rows.iter().map(|r| (r.coeff.as_slice(), r.payload.as_slice()))
+    }
+
+    fn check(&self, packet: &CodedPacket) -> Result<(), RlncError> {
+        if packet.generation() != self.generation {
+            return Err(RlncError::GenerationMismatch {
+                expected: self.generation,
+                actual: packet.generation(),
+            });
+        }
+        if packet.coefficients().len() != self.config.blocks() {
+            return Err(RlncError::CoefficientLengthMismatch {
+                expected: self.config.blocks(),
+                actual: packet.coefficients().len(),
+            });
+        }
+        if packet.payload().len() != self.config.block_size() {
+            return Err(RlncError::BlockSizeMismatch {
+                expected: self.config.block_size(),
+                actual: packet.payload().len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoder;
+    use crate::generation::Generation;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, m: usize, seed: u64) -> (Generation, rand::rngs::StdRng) {
+        let cfg = GenerationConfig::new(n, m).unwrap();
+        let rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..cfg.payload_len()).map(|i| (i * 31 + 7) as u8).collect();
+        (Generation::from_bytes(GenerationId::new(0), cfg, &data).unwrap(), rng.clone())
+    }
+
+    #[test]
+    fn decodes_after_exactly_n_innovative_packets() {
+        let (g, mut rng) = setup(10, 32, 1);
+        let enc = Encoder::new(&g);
+        let mut dec = Decoder::new(g.id(), g.config());
+        let mut innovative = 0;
+        while !dec.is_complete() {
+            if dec.absorb(&enc.emit(&mut rng)).unwrap().is_innovative() {
+                innovative += 1;
+            }
+        }
+        assert_eq!(innovative, 10);
+        assert_eq!(dec.recover().unwrap(), g.to_bytes());
+    }
+
+    #[test]
+    fn rank_never_decreases_and_redundant_changes_nothing() {
+        let (g, mut rng) = setup(6, 8, 2);
+        let enc = Encoder::new(&g);
+        let mut dec = Decoder::new(g.id(), g.config());
+        // Absorb three packets, replay the same three: all replays redundant.
+        let packets: Vec<_> = (0..3).map(|_| enc.emit(&mut rng)).collect();
+        for p in &packets {
+            dec.absorb(p).unwrap();
+        }
+        let rank = dec.rank();
+        for p in &packets {
+            assert_eq!(dec.absorb(p).unwrap(), Absorption::Redundant);
+            assert_eq!(dec.rank(), rank);
+        }
+        assert_eq!(dec.packets_redundant(), 3);
+        assert_eq!(dec.packets_received(), 6);
+    }
+
+    #[test]
+    fn would_be_innovative_is_consistent_with_absorb() {
+        let (g, mut rng) = setup(5, 4, 3);
+        let enc = Encoder::new(&g);
+        let mut dec = Decoder::new(g.id(), g.config());
+        for _ in 0..20 {
+            let p = enc.emit(&mut rng);
+            let predicted = dec.would_be_innovative(&p);
+            let got = dec.absorb(&p).unwrap().is_innovative();
+            assert_eq!(predicted, got);
+        }
+    }
+
+    #[test]
+    fn progressive_blocks_appear_before_completion() {
+        let (g, _) = setup(4, 4, 4);
+        let enc = Encoder::new(&g);
+        let mut dec = Decoder::new(g.id(), g.config());
+        // Feed unit rows for blocks 2 and 0: those exact blocks decode early.
+        for i in [2usize, 0] {
+            let mut c = vec![0u8; 4];
+            c[i] = 1;
+            dec.absorb(&enc.emit_with_coefficients(&c)).unwrap();
+        }
+        let blocks = dec.decoded_blocks();
+        assert!(blocks[0].is_some() && blocks[2].is_some());
+        assert!(blocks[1].is_none() && blocks[3].is_none());
+        assert_eq!(blocks[2].unwrap(), &g.blocks()[2][..]);
+        assert!(dec.recover().is_none());
+    }
+
+    #[test]
+    fn mismatched_packets_are_rejected_without_effect() {
+        let (g, mut rng) = setup(4, 4, 5);
+        let enc = Encoder::new(&g);
+        let mut dec = Decoder::new(GenerationId::new(1), g.config());
+        let p = enc.emit(&mut rng);
+        assert!(matches!(
+            dec.absorb(&p),
+            Err(RlncError::GenerationMismatch { .. })
+        ));
+        assert_eq!(dec.packets_received(), 0);
+        assert_eq!(dec.rank(), 0);
+
+        let mut dec2 = Decoder::new(g.id(), GenerationConfig::new(5, 4).unwrap());
+        assert!(matches!(
+            dec2.absorb(&p),
+            Err(RlncError::CoefficientLengthMismatch { .. })
+        ));
+        let mut dec3 = Decoder::new(g.id(), GenerationConfig::new(4, 5).unwrap());
+        assert!(matches!(dec3.absorb(&p), Err(RlncError::BlockSizeMismatch { .. })));
+    }
+
+    #[test]
+    fn matrix_stays_in_reduced_row_echelon_form() {
+        let (g, mut rng) = setup(8, 4, 6);
+        let enc = Encoder::new(&g);
+        let mut dec = Decoder::new(g.id(), g.config());
+        while !dec.is_complete() {
+            dec.absorb(&enc.emit(&mut rng)).unwrap();
+            for (coeff, _) in dec.rows() {
+                let pivot = coeff.iter().position(|&c| c != 0).unwrap();
+                assert_eq!(coeff[pivot], 1, "pivot normalized");
+                // Reduced: the pivot column is zero in every *other* row.
+                let others = dec
+                    .rows()
+                    .filter(|(c, _)| c.as_ptr() != coeff.as_ptr())
+                    .filter(|(c, _)| c[pivot] != 0)
+                    .count();
+                assert_eq!(others, 0, "pivot column eliminated elsewhere");
+            }
+        }
+    }
+
+    #[test]
+    fn completion_yields_identity_matrix() {
+        let (g, mut rng) = setup(6, 4, 7);
+        let enc = Encoder::new(&g);
+        let mut dec = Decoder::new(g.id(), g.config());
+        while !dec.is_complete() {
+            dec.absorb(&enc.emit(&mut rng)).unwrap();
+        }
+        // Left part of [R | X] is the identity (Sec. 4).
+        let mut seen = [false; 6];
+        for (coeff, _) in dec.rows() {
+            let pivot = coeff.iter().position(|&c| c != 0).unwrap();
+            assert!(coeff.iter().enumerate().all(|(i, &c)| (i == pivot) == (c != 0)));
+            seen[pivot] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by the codec.
+
+use core::fmt;
+
+use crate::packet::GenerationId;
+
+/// Errors produced by the RLNC codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RlncError {
+    /// A generation was configured with zero blocks or zero block size.
+    EmptyGeneration,
+    /// Source data does not fit the configured generation exactly.
+    PayloadSizeMismatch {
+        /// Bytes the generation holds (`blocks * block_size`).
+        expected: usize,
+        /// Bytes supplied by the caller.
+        actual: usize,
+    },
+    /// A packet carried a coefficient vector of the wrong length.
+    CoefficientLengthMismatch {
+        /// Expected number of coefficients (the generation's block count).
+        expected: usize,
+        /// Number of coefficients in the packet.
+        actual: usize,
+    },
+    /// A packet carried a payload of the wrong length.
+    BlockSizeMismatch {
+        /// Expected payload length (the generation's block size).
+        expected: usize,
+        /// Payload length in the packet.
+        actual: usize,
+    },
+    /// A packet belongs to a different generation than the decoder.
+    GenerationMismatch {
+        /// Generation the decoder is working on.
+        expected: GenerationId,
+        /// Generation the packet belongs to.
+        actual: GenerationId,
+    },
+    /// A re-encoder was asked to emit before buffering any innovative packet.
+    NothingBuffered,
+    /// A wire buffer could not be parsed as a coded packet.
+    MalformedPacket(&'static str),
+}
+
+impl fmt::Display for RlncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlncError::EmptyGeneration => {
+                write!(f, "generation must have at least one block and one byte per block")
+            }
+            RlncError::PayloadSizeMismatch { expected, actual } => {
+                write!(f, "payload size mismatch: expected {expected} bytes, got {actual}")
+            }
+            RlncError::CoefficientLengthMismatch { expected, actual } => {
+                write!(f, "coefficient length mismatch: expected {expected}, got {actual}")
+            }
+            RlncError::BlockSizeMismatch { expected, actual } => {
+                write!(f, "block size mismatch: expected {expected} bytes, got {actual}")
+            }
+            RlncError::GenerationMismatch { expected, actual } => {
+                write!(f, "generation mismatch: decoder on {expected}, packet from {actual}")
+            }
+            RlncError::NothingBuffered => {
+                write!(f, "re-encoder holds no innovative packets to combine")
+            }
+            RlncError::MalformedPacket(what) => write!(f, "malformed packet: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RlncError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = RlncError::PayloadSizeMismatch { expected: 10, actual: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("10") && msg.contains('3'));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<RlncError>();
+    }
+}

@@ -1,0 +1,218 @@
+//! Relay-side re-encoder (Sec. 3.1).
+//!
+//! An intermediate forwarder accepts an incoming packet only if it is
+//! *innovative* with respect to its buffer, and refreshes the packet stream
+//! by broadcasting random linear combinations of everything it holds. The
+//! re-encoding replaces the coding coefficients with a new random set while
+//! staying inside the row space of the received packets — so a re-encoded
+//! packet carries information from the newly arrived packet *and* all
+//! opportunistically received earlier ones.
+
+use rand::Rng;
+
+use crate::decoder::{Absorption, Decoder};
+use crate::error::RlncError;
+use crate::generation::GenerationConfig;
+use crate::kernel::Kernel;
+use crate::packet::{CodedPacket, GenerationId};
+
+/// Buffer-and-recode state of one relay for one generation.
+///
+/// Internally a [`Decoder`]: the reduced row-echelon buffer doubles as the
+/// innovation filter. A relay that gathers all `n` independent blocks keeps
+/// re-encoding at its assigned rate but stops accepting packets, exactly as
+/// described in Sec. 4 (*Packet and Queue Management*).
+///
+/// # Examples
+///
+/// ```
+/// use omnc_rlnc::{Encoder, Generation, GenerationConfig, GenerationId, Recoder};
+/// use rand::SeedableRng;
+///
+/// let cfg = GenerationConfig::new(4, 16)?;
+/// let g = Generation::from_bytes_padded(GenerationId::new(0), cfg, b"payload")?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let enc = Encoder::new(&g);
+///
+/// let mut relay = Recoder::new(GenerationId::new(0), cfg);
+/// relay.absorb(&enc.emit(&mut rng))?;
+/// let refreshed = relay.emit(&mut rng)?; // a fresh combination
+/// assert_eq!(refreshed.generation(), GenerationId::new(0));
+/// # Ok::<(), omnc_rlnc::RlncError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recoder {
+    buffer: Decoder,
+    kernel: Kernel,
+}
+
+impl Recoder {
+    /// Creates an empty relay buffer with the default kernel.
+    pub fn new(generation: GenerationId, config: GenerationConfig) -> Self {
+        Recoder::with_kernel(generation, config, Kernel::default())
+    }
+
+    /// Creates an empty relay buffer with an explicit kernel.
+    pub fn with_kernel(generation: GenerationId, config: GenerationConfig, kernel: Kernel) -> Self {
+        Recoder { buffer: Decoder::with_kernel(generation, config, kernel), kernel }
+    }
+
+    /// The generation this relay serves.
+    pub fn generation(&self) -> GenerationId {
+        self.buffer.generation()
+    }
+
+    /// Number of independent packets buffered (the relay's rank).
+    pub fn rank(&self) -> usize {
+        self.buffer.rank()
+    }
+
+    /// `true` once the relay holds a full generation; further incoming
+    /// packets can never be innovative and upstream traffic is futile.
+    pub fn is_full(&self) -> bool {
+        self.buffer.is_complete()
+    }
+
+    /// Offers an incoming packet to the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shape/generation errors of [`Decoder::absorb`].
+    pub fn absorb(&mut self, packet: &CodedPacket) -> Result<Absorption, RlncError> {
+        self.buffer.absorb(packet)
+    }
+
+    /// `true` if `packet` would raise this relay's rank.
+    pub fn would_be_innovative(&self, packet: &CodedPacket) -> bool {
+        self.buffer.would_be_innovative(packet)
+    }
+
+    /// Emits a fresh random combination of all buffered packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlncError::NothingBuffered`] if no innovative packet has
+    /// been absorbed yet (a relay with an empty queue stays silent).
+    pub fn emit<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<CodedPacket, RlncError> {
+        if self.buffer.rank() == 0 {
+            return Err(RlncError::NothingBuffered);
+        }
+        let cfg = self.buffer.config();
+        let mut coeff_out = vec![0u8; cfg.blocks()];
+        let mut payload_out = vec![0u8; cfg.block_size()];
+        loop {
+            for (coeff, payload) in self.buffer.rows() {
+                // Weight for this buffered row; re-drawing per emission makes
+                // packets from different relays independent w.h.p.
+                let w: u8 = rng.gen();
+                if w != 0 {
+                    self.kernel.mul_add_assign(&mut coeff_out, coeff, w);
+                    self.kernel.mul_add_assign(&mut payload_out, payload, w);
+                }
+            }
+            if coeff_out.iter().any(|&c| c != 0) {
+                break;
+            }
+        }
+        Ok(CodedPacket::new(self.buffer.generation(), coeff_out, payload_out)
+            .expect("recoder always produces well-formed packets"))
+    }
+
+    /// Read access to the underlying buffer (rank, stats, rows).
+    pub fn buffer(&self) -> &Decoder {
+        &self.buffer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoder;
+    use crate::generation::Generation;
+    use rand::SeedableRng;
+
+    fn setup() -> (Generation, rand::rngs::StdRng) {
+        let cfg = GenerationConfig::new(6, 16).unwrap();
+        let data: Vec<u8> = (0..cfg.payload_len()).map(|i| (i ^ 0x5a) as u8).collect();
+        (
+            Generation::from_bytes(GenerationId::new(3), cfg, &data).unwrap(),
+            rand::rngs::StdRng::seed_from_u64(11),
+        )
+    }
+
+    #[test]
+    fn empty_relay_cannot_emit() {
+        let relay = Recoder::new(GenerationId::new(0), GenerationConfig::new(4, 4).unwrap());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(relay.emit(&mut rng), Err(RlncError::NothingBuffered));
+    }
+
+    #[test]
+    fn recoded_packets_stay_in_row_space() {
+        let (g, mut rng) = setup();
+        let enc = Encoder::new(&g);
+        let mut relay = Recoder::new(g.id(), g.config());
+        for _ in 0..3 {
+            relay.absorb(&enc.emit(&mut rng)).unwrap();
+        }
+        // A verifier that absorbed the same packets must find every recoded
+        // packet redundant: the relay adds no spurious information.
+        let verifier = relay.buffer().clone();
+        for _ in 0..20 {
+            let p = relay.emit(&mut rng).unwrap();
+            assert!(!verifier.would_be_innovative(&p));
+        }
+    }
+
+    #[test]
+    fn destination_decodes_via_relay_only() {
+        let (g, mut rng) = setup();
+        let enc = Encoder::new(&g);
+        let mut relay = Recoder::new(g.id(), g.config());
+        while !relay.is_full() {
+            relay.absorb(&enc.emit(&mut rng)).unwrap();
+        }
+        let mut dst = Decoder::new(g.id(), g.config());
+        while !dst.is_complete() {
+            dst.absorb(&relay.emit(&mut rng).unwrap()).unwrap();
+        }
+        assert_eq!(dst.recover().unwrap(), g.to_bytes());
+    }
+
+    #[test]
+    fn full_relay_rejects_everything_as_redundant() {
+        let (g, mut rng) = setup();
+        let enc = Encoder::new(&g);
+        let mut relay = Recoder::new(g.id(), g.config());
+        while !relay.is_full() {
+            relay.absorb(&enc.emit(&mut rng)).unwrap();
+        }
+        for _ in 0..10 {
+            assert_eq!(relay.absorb(&enc.emit(&mut rng)).unwrap(), Absorption::Redundant);
+        }
+    }
+
+    #[test]
+    fn relay_with_partial_rank_still_helps_destination() {
+        // Two relays each holding *different* partial information let the
+        // destination assemble the full generation — the paper's two-path
+        // scenario (Sec. 3.2).
+        let (g, mut rng) = setup();
+        let enc = Encoder::new(&g);
+        let mut u = Recoder::new(g.id(), g.config());
+        let mut v = Recoder::new(g.id(), g.config());
+        for _ in 0..4 {
+            u.absorb(&enc.emit(&mut rng)).unwrap();
+            v.absorb(&enc.emit(&mut rng)).unwrap();
+        }
+        let mut dst = Decoder::new(g.id(), g.config());
+        let mut safety = 0;
+        while !dst.is_complete() && safety < 1000 {
+            let _ = dst.absorb(&u.emit(&mut rng).unwrap());
+            let _ = dst.absorb(&v.emit(&mut rng).unwrap());
+            safety += 1;
+        }
+        assert!(dst.is_complete(), "u rank {} + v rank {} should cover", u.rank(), v.rank());
+        assert_eq!(dst.recover().unwrap(), g.to_bytes());
+    }
+}

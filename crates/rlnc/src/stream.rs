@@ -1,0 +1,256 @@
+//! Splitting a byte stream into sequential generations and reassembling it.
+//!
+//! The paper's protocols move one generation at a time; a real application
+//! has a *stream* (a file, a video segment). [`StreamChunker`] cuts the
+//! stream into padded generations with an explicit length prefix so the
+//! final generation's padding can be stripped, and [`StreamAssembler`]
+//! restores the exact bytes from decoded generations, in order, tolerating
+//! out-of-order completion.
+
+use std::collections::BTreeMap;
+
+use crate::error::RlncError;
+use crate::generation::{Generation, GenerationConfig};
+use crate::packet::GenerationId;
+
+/// Bytes of header prepended to every generation's payload: the length of
+/// the application data carried (u32 LE) — the rest is padding.
+const LEN_PREFIX: usize = 4;
+
+/// Cuts an application byte stream into a sequence of generations.
+///
+/// # Examples
+///
+/// ```
+/// use omnc_rlnc::{GenerationConfig, StreamAssembler, StreamChunker};
+///
+/// let cfg = GenerationConfig::new(4, 16)?;
+/// let data: Vec<u8> = (0..150u8).collect(); // does not divide evenly
+/// let chunker = StreamChunker::new(cfg, &data)?;
+/// let mut assembler = StreamAssembler::new(cfg);
+/// for generation in chunker.generations() {
+///     assembler.accept(generation.id(), &generation.to_bytes())?;
+/// }
+/// assert_eq!(assembler.finish().unwrap(), data);
+/// # Ok::<(), omnc_rlnc::RlncError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamChunker {
+    config: GenerationConfig,
+    generations: Vec<Generation>,
+}
+
+impl StreamChunker {
+    /// Splits `data` into generations under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlncError::EmptyGeneration`] if the configuration cannot
+    /// even hold the length prefix (payload must exceed 4 bytes).
+    pub fn new(config: GenerationConfig, data: &[u8]) -> Result<Self, RlncError> {
+        let usable = config.payload_len().saturating_sub(LEN_PREFIX);
+        if usable == 0 {
+            return Err(RlncError::EmptyGeneration);
+        }
+        let mut generations = Vec::new();
+        let mut offset = 0usize;
+        let mut id = GenerationId::new(0);
+        // An empty stream still produces one (empty) generation so the
+        // receiver can detect completion.
+        loop {
+            let end = (offset + usable).min(data.len());
+            let chunk = &data[offset..end];
+            let mut payload = Vec::with_capacity(LEN_PREFIX + chunk.len());
+            payload.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+            payload.extend_from_slice(chunk);
+            generations.push(Generation::from_bytes_padded(id, config, &payload)?);
+            id = id.next();
+            offset = end;
+            if offset >= data.len() {
+                break;
+            }
+        }
+        Ok(StreamChunker { config, generations })
+    }
+
+    /// The generations, in stream order.
+    pub fn generations(&self) -> &[Generation] {
+        &self.generations
+    }
+
+    /// Number of generations the stream needs.
+    pub fn generation_count(&self) -> usize {
+        self.generations.len()
+    }
+
+    /// The coding configuration.
+    pub fn config(&self) -> GenerationConfig {
+        self.config
+    }
+
+    /// Application bytes carried per full generation.
+    pub fn usable_per_generation(&self) -> usize {
+        self.config.payload_len() - LEN_PREFIX
+    }
+}
+
+/// Reassembles the stream from decoded generation payloads.
+#[derive(Debug, Clone)]
+pub struct StreamAssembler {
+    config: GenerationConfig,
+    decoded: BTreeMap<u64, Vec<u8>>,
+}
+
+impl StreamAssembler {
+    /// Creates an empty assembler for streams chunked under `config`.
+    pub fn new(config: GenerationConfig) -> Self {
+        StreamAssembler { config, decoded: BTreeMap::new() }
+    }
+
+    /// Accepts the recovered payload of `generation` (as returned by
+    /// [`crate::Decoder::recover`]). Order does not matter; duplicates are
+    /// idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlncError::PayloadSizeMismatch`] if the payload does not
+    /// match the configuration, or [`RlncError::MalformedPacket`] if its
+    /// length prefix is inconsistent.
+    pub fn accept(&mut self, generation: GenerationId, payload: &[u8]) -> Result<(), RlncError> {
+        if payload.len() != self.config.payload_len() {
+            return Err(RlncError::PayloadSizeMismatch {
+                expected: self.config.payload_len(),
+                actual: payload.len(),
+            });
+        }
+        let len = u32::from_le_bytes(payload[..LEN_PREFIX].try_into().expect("4 bytes")) as usize;
+        if len > payload.len() - LEN_PREFIX {
+            return Err(RlncError::MalformedPacket("length prefix exceeds payload"));
+        }
+        self.decoded
+            .insert(generation.as_u64(), payload[LEN_PREFIX..LEN_PREFIX + len].to_vec());
+        Ok(())
+    }
+
+    /// Number of generations accepted so far.
+    pub fn accepted(&self) -> usize {
+        self.decoded.len()
+    }
+
+    /// `true` once generations `0..=max_seen` are all present and the last
+    /// one is short (or empty) — i.e. the stream *may* be complete. Callers
+    /// that know the expected generation count should compare
+    /// [`StreamAssembler::accepted`] instead.
+    pub fn is_gapless(&self) -> bool {
+        self.decoded
+            .keys()
+            .enumerate()
+            .all(|(expect, &have)| have == expect as u64)
+    }
+
+    /// Concatenates the stream if every generation from 0 upward is
+    /// present; `None` if there are gaps.
+    pub fn finish(&self) -> Option<Vec<u8>> {
+        if !self.is_gapless() || self.decoded.is_empty() {
+            return None;
+        }
+        let mut out = Vec::new();
+        for chunk in self.decoded.values() {
+            out.extend_from_slice(chunk);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Decoder;
+    use crate::encoder::Encoder;
+    use rand::SeedableRng;
+
+    fn cfg() -> GenerationConfig {
+        GenerationConfig::new(4, 32).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_with_padding() {
+        for len in [0usize, 1, 100, 124, 125, 300] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 13 + 7) as u8).collect();
+            let chunker = StreamChunker::new(cfg(), &data).unwrap();
+            let mut asm = StreamAssembler::new(cfg());
+            for g in chunker.generations() {
+                asm.accept(g.id(), &g.to_bytes()).unwrap();
+            }
+            assert_eq!(asm.finish().unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_generations_are_fine() {
+        let data: Vec<u8> = (0..500u32).map(|i| i as u8).collect();
+        let chunker = StreamChunker::new(cfg(), &data).unwrap();
+        let mut asm = StreamAssembler::new(cfg());
+        let gens = chunker.generations();
+        for g in gens.iter().rev() {
+            asm.accept(g.id(), &g.to_bytes()).unwrap();
+        }
+        asm.accept(gens[0].id(), &gens[0].to_bytes()).unwrap(); // duplicate
+        assert_eq!(asm.finish().unwrap(), data);
+    }
+
+    #[test]
+    fn gaps_block_completion() {
+        let data = vec![9u8; 400];
+        let chunker = StreamChunker::new(cfg(), &data).unwrap();
+        assert!(chunker.generation_count() >= 3);
+        let mut asm = StreamAssembler::new(cfg());
+        // Skip generation 1.
+        for g in chunker.generations().iter().filter(|g| g.id().as_u64() != 1) {
+            asm.accept(g.id(), &g.to_bytes()).unwrap();
+        }
+        assert!(asm.finish().is_none());
+        assert!(!asm.is_gapless());
+    }
+
+    #[test]
+    fn through_the_actual_codec() {
+        let data: Vec<u8> = (0..777u32).map(|i| (i % 251) as u8).collect();
+        let chunker = StreamChunker::new(cfg(), &data).unwrap();
+        let mut asm = StreamAssembler::new(cfg());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for g in chunker.generations() {
+            let enc = Encoder::new(g);
+            let mut dec = Decoder::new(g.id(), cfg());
+            while !dec.is_complete() {
+                dec.absorb(&enc.emit(&mut rng)).unwrap();
+            }
+            asm.accept(g.id(), &dec.recover().unwrap()).unwrap();
+        }
+        assert_eq!(asm.finish().unwrap(), data);
+    }
+
+    #[test]
+    fn malformed_prefix_is_rejected() {
+        let mut asm = StreamAssembler::new(cfg());
+        let mut payload = vec![0u8; cfg().payload_len()];
+        payload[..4].copy_from_slice(&(10_000u32).to_le_bytes()); // absurd length
+        assert!(matches!(
+            asm.accept(GenerationId::new(0), &payload),
+            Err(RlncError::MalformedPacket(_))
+        ));
+        assert!(matches!(
+            asm.accept(GenerationId::new(0), &[0u8; 3]),
+            Err(RlncError::PayloadSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_config_rejected() {
+        let small = GenerationConfig::new(1, 4).unwrap(); // only the prefix fits
+        assert!(matches!(
+            StreamChunker::new(small, &[1, 2, 3]),
+            Err(RlncError::EmptyGeneration)
+        ));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for LP construction and solving.
+
+use core::fmt;
+
+/// Errors from building or solving a linear program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// A coefficient refers to a variable index outside the problem.
+    VariableOutOfRange {
+        /// The offending variable index.
+        index: usize,
+        /// Number of variables in the problem.
+        variables: usize,
+    },
+    /// A supplied coefficient or bound was NaN or infinite.
+    NotFinite,
+    /// The pivot loop exceeded its iteration budget (numerical trouble).
+    IterationLimit,
+    /// The computed solution failed post-solve verification (accumulated
+    /// floating-point drift in the dense tableau).
+    NumericalInstability,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::VariableOutOfRange { index, variables } => {
+                write!(f, "variable index {index} out of range for {variables} variables")
+            }
+            LpError::NotFinite => write!(f, "coefficients and bounds must be finite"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::NumericalInstability => {
+                write!(f, "solution failed post-solve verification (numerical drift)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_meaningful() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        let e = LpError::VariableOutOfRange { index: 5, variables: 3 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,468 @@
+//! Two-phase dense tableau simplex with Bland's anti-cycling rule.
+
+use crate::error::LpError;
+use crate::problem::{LpProblem, Relation, Sense};
+
+const TOL: f64 = 1e-9;
+
+/// An optimal solution returned by [`LpProblem::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    objective: f64,
+    values: Vec<f64>,
+}
+
+impl Solution {
+    /// Optimal objective value (in the problem's own sense).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of variable `var` at the optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn value(&self, var: usize) -> f64 {
+        self.values[var]
+    }
+
+    /// All variable values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+struct Tableau {
+    /// `rows × cols` coefficient matrix; the last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Basis variable of each row.
+    basis: Vec<usize>,
+    /// Total structural + slack + artificial columns (excludes RHS).
+    cols: usize,
+    rows: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let factor = self.a[row][col];
+        debug_assert!(factor.abs() > TOL);
+        for v in &mut self.a[row] {
+            *v /= factor;
+        }
+        let pivot_row = self.a[row].clone();
+        for (r, data) in self.a.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let m = data[col];
+            if m.abs() > TOL {
+                for (v, pv) in data.iter_mut().zip(&pivot_row) {
+                    *v -= m * pv;
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex loop minimizing `cost · x`. `allowed` restricts the
+    /// columns eligible to enter the basis (used to keep artificials out in
+    /// phase 2). Returns the reduced-cost row at termination.
+    fn minimize(
+        &mut self,
+        cost: &[f64],
+        allowed: &[bool],
+        iteration_budget: usize,
+    ) -> Result<Vec<f64>, LpError> {
+        // Reduced costs: z_j = cost_j - cost_B · B^-1 A_j, maintained as an
+        // explicit row updated by the same pivots.
+        let mut z = vec![0.0; self.cols + 1];
+        z[..self.cols].copy_from_slice(cost);
+        // Eliminate basis columns from the cost row.
+        for (r, &b) in self.basis.iter().enumerate() {
+            let m = z[b];
+            if m.abs() > TOL {
+                for (zv, av) in z.iter_mut().zip(&self.a[r]) {
+                    *zv -= m * av;
+                }
+            }
+        }
+
+        // Dantzig pivoting (most negative reduced cost) is fast in practice;
+        // switch to Bland's rule whenever the objective stalls, which
+        // restores the anti-cycling guarantee.
+        let mut stall = 0usize;
+        let mut last_obj = f64::INFINITY;
+        for _ in 0..iteration_budget {
+            let col = if stall < 24 {
+                // Dantzig: most negative reduced cost.
+                let mut best: Option<(f64, usize)> = None;
+                for j in 0..self.cols {
+                    if allowed[j] && z[j] < -TOL && best.is_none_or(|(v, _)| z[j] < v) {
+                        best = Some((z[j], j));
+                    }
+                }
+                best.map(|(_, j)| j)
+            } else {
+                // Bland: lowest-index eligible column (anti-cycling).
+                (0..self.cols).find(|&j| allowed[j] && z[j] < -TOL)
+            };
+            let Some(col) = col else {
+                return Ok(z); // optimal
+            };
+            // Ratio test, Bland tie-break by basis variable index.
+            let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
+            for r in 0..self.rows {
+                let a = self.a[r][col];
+                if a > TOL {
+                    let ratio = self.a[r][self.cols] / a;
+                    match best {
+                        None => best = Some((ratio, self.basis[r], r)),
+                        Some((br, bb, _)) => {
+                            if ratio < br - TOL || (ratio < br + TOL && self.basis[r] < bb) {
+                                best = Some((ratio, self.basis[r], r));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((_, _, row)) = best else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+            // Update the cost row with the same pivot.
+            let m = z[col];
+            if m.abs() > TOL {
+                for (zv, av) in z.iter_mut().zip(&self.a[row]) {
+                    *zv -= m * av;
+                }
+            }
+            // Stall detection drives the Dantzig → Bland switch.
+            let obj = -z[self.cols];
+            if obj < last_obj - TOL {
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            last_obj = obj;
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+pub(crate) fn solve(problem: &LpProblem) -> Result<Solution, LpError> {
+    let n = problem.variables();
+    let m = problem.constraints.len();
+
+    // Count slack and artificial columns.
+    let mut slack_cols = 0;
+    let mut artificial_cols = 0;
+    for c in &problem.constraints {
+        // Normalize to non-negative RHS first; relation may flip.
+        let rel = effective_relation(c.relation, c.rhs);
+        match rel {
+            Relation::Le => slack_cols += 1,
+            Relation::Ge => {
+                slack_cols += 1;
+                artificial_cols += 1;
+            }
+            Relation::Eq => artificial_cols += 1,
+        }
+    }
+
+    let cols = n + slack_cols + artificial_cols;
+    let mut a = vec![vec![0.0; cols + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let mut next_artificial = n + slack_cols;
+
+    for (r, c) in problem.constraints.iter().enumerate() {
+        let flip = c.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for &(i, v) in &c.coeffs {
+            a[r][i] += sign * v;
+        }
+        a[r][cols] = sign * c.rhs;
+        match effective_relation(c.relation, c.rhs) {
+            Relation::Le => {
+                a[r][next_slack] = 1.0;
+                basis[r] = next_slack;
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                a[r][next_slack] = -1.0; // surplus
+                next_slack += 1;
+                a[r][next_artificial] = 1.0;
+                basis[r] = next_artificial;
+                next_artificial += 1;
+            }
+            Relation::Eq => {
+                a[r][next_artificial] = 1.0;
+                basis[r] = next_artificial;
+                next_artificial += 1;
+            }
+        }
+    }
+
+    // Anti-degeneracy perturbation: sUnicast-style instances have most RHS
+    // values at exactly 0 (coupling rows), which sends the tableau into
+    // enormous runs of degenerate pivots. Loosening every ≤ row by a
+    // distinct, negligible epsilon breaks the ties (the classic
+    // perturbation method) and can never cut feasible points; equality
+    // rows are left exact (perturbing them can make structurally dependent
+    // systems, e.g. flow conservation, inconsistent). The distortion is
+    // ~1e-10 per row, far below the solver's tolerance for our instances.
+    for (r, c) in problem.constraints.iter().enumerate() {
+        if effective_relation(c.relation, c.rhs) == Relation::Le {
+            a[r][cols] += 1e-10 * (r + 1) as f64;
+        }
+    }
+
+    let mut tab = Tableau { a, basis, cols, rows: m };
+    let budget = 400 * (cols + m + 10);
+
+    // Phase 1: minimize the sum of artificial variables.
+    if artificial_cols > 0 {
+        let mut cost = vec![0.0; cols];
+        for c in cost.iter_mut().take(cols).skip(n + slack_cols) {
+            *c = 1.0;
+        }
+        let allowed = vec![true; cols];
+        let z = tab.minimize(&cost, &allowed, budget)?;
+        // Optimal phase-1 objective = -z[rhs]; infeasible if positive.
+        let phase1 = -z[tab.cols];
+        if phase1 > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any artificial still in the basis out (degenerate rows).
+        for r in 0..tab.rows {
+            if tab.basis[r] >= n + slack_cols {
+                if let Some(col) = (0..n + slack_cols).find(|&j| tab.a[r][j].abs() > TOL) {
+                    tab.pivot(r, col);
+                }
+                // If the whole row is zero the constraint was redundant; the
+                // artificial stays basic at value 0, which is harmless as
+                // long as it cannot re-enter (phase-2 `allowed` forbids it).
+            }
+        }
+    }
+
+    // Phase 2: minimize ±objective with artificials locked out.
+    let sense_factor = match problem.sense() {
+        Sense::Maximize => -1.0,
+        Sense::Minimize => 1.0,
+    };
+    let mut cost = vec![0.0; cols];
+    for (j, &c) in problem.objective_internal().iter().enumerate() {
+        if !c.is_finite() {
+            return Err(LpError::NotFinite);
+        }
+        cost[j] = sense_factor * c;
+    }
+    let mut allowed = vec![true; cols];
+    for flag in allowed.iter_mut().take(cols).skip(n + slack_cols) {
+        *flag = false;
+    }
+    tab.minimize(&cost, &allowed, budget)?;
+
+    let mut values = vec![0.0; n];
+    for (r, &b) in tab.basis.iter().enumerate() {
+        if b < n {
+            values[b] = tab.a[r][tab.cols];
+        }
+    }
+
+    // Post-solve verification: dense tableau arithmetic accumulates error
+    // over thousands of pivots; rather than return a silently-wrong answer,
+    // check non-negativity and every constraint against the *original* data
+    // and refuse if the drift is material.
+    let scale: f64 = values.iter().fold(1.0f64, |a, &v| a.max(v.abs()));
+    let tol = 1e-6 * scale.max(1.0);
+    if values.iter().any(|&v| v < -tol) {
+        return Err(LpError::NumericalInstability);
+    }
+    for c in &problem.constraints {
+        let lhs: f64 = c.coeffs.iter().map(|&(i, v)| v * values[i]).sum();
+        let row_scale: f64 = c
+            .coeffs
+            .iter()
+            .map(|&(_, v)| v.abs())
+            .fold(c.rhs.abs().max(1.0), f64::max)
+            * scale.max(1.0);
+        let row_tol = 1e-6 * row_scale;
+        let violated = match c.relation {
+            Relation::Le => lhs > c.rhs + row_tol,
+            Relation::Ge => lhs < c.rhs - row_tol,
+            Relation::Eq => (lhs - c.rhs).abs() > row_tol,
+        };
+        if violated {
+            return Err(LpError::NumericalInstability);
+        }
+    }
+
+    let objective: f64 = problem
+        .objective_internal()
+        .iter()
+        .zip(&values)
+        .map(|(c, x)| c * x)
+        .sum();
+    Ok(Solution { objective, values })
+}
+
+/// The relation after normalizing the row to a non-negative RHS.
+fn effective_relation(rel: Relation, rhs: f64) -> Relation {
+    if rhs >= 0.0 {
+        rel
+    } else {
+        match rel {
+            Relation::Le => Relation::Ge,
+            Relation::Ge => Relation::Le,
+            Relation::Eq => Relation::Eq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::LpProblem;
+
+    #[test]
+    fn textbook_maximization() {
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective(&[3.0, 5.0]);
+        lp.push_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        lp.push_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        lp.push_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let s = lp.solve().unwrap();
+        assert!((s.objective() - 36.0).abs() < 1e-9);
+        assert!((s.value(0) - 2.0).abs() < 1e-9);
+        assert!((s.value(1) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // minimize 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3.
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(&[2.0, 3.0]);
+        lp.push_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 10.0);
+        lp.push_constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        lp.push_constraint(&[(1, 1.0)], Relation::Ge, 3.0);
+        let s = lp.solve().unwrap();
+        // Optimum: x = 7, y = 3 → 14 + 9 = 23.
+        assert!((s.objective() - 23.0).abs() < 1e-9, "got {}", s.objective());
+        assert!((s.value(0) - 7.0).abs() < 1e-9);
+        assert!((s.value(1) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // maximize x + y s.t. x + y = 5, x <= 3.
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.push_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 5.0);
+        lp.push_upper_bound(0, 3.0);
+        let s = lp.solve().unwrap();
+        assert!((s.objective() - 5.0).abs() < 1e-9);
+        assert!((s.value(0) + s.value(1) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::maximize(1);
+        lp.set_objective(&[1.0]);
+        lp.push_constraint(&[(0, 1.0)], Relation::Ge, 5.0);
+        lp.push_constraint(&[(0, 1.0)], Relation::Le, 3.0);
+        assert_eq!(lp.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective(&[1.0, 0.0]);
+        lp.push_constraint(&[(1, 1.0)], Relation::Le, 1.0);
+        assert_eq!(lp.solve(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x - y <= -2 with x, y >= 0: equivalent to y - x >= 2.
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective(&[0.0, 1.0]);
+        lp.push_constraint(&[(0, 1.0), (1, -1.0)], Relation::Le, -2.0);
+        let s = lp.solve().unwrap();
+        assert!((s.value(1) - 2.0).abs() < 1e-9, "y should be 2, got {}", s.value(1));
+    }
+
+    #[test]
+    fn degenerate_redundant_constraints() {
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.push_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 4.0);
+        lp.push_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 4.0); // duplicate
+        lp.push_constraint(&[(0, 2.0), (1, 2.0)], Relation::Eq, 8.0); // implied
+        let s = lp.solve().unwrap();
+        assert!((s.objective() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_objective_returns_feasible_point() {
+        let mut lp = LpProblem::maximize(2);
+        lp.push_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 3.0);
+        let s = lp.solve().unwrap();
+        assert!((s.value(0) + s.value(1) - 3.0).abs() < 1e-9);
+        assert_eq!(s.objective(), 0.0);
+    }
+
+    #[test]
+    fn max_flow_as_lp() {
+        // Max flow on the diamond s→{a,b}→t with capacities.
+        // vars: x_sa, x_sb, x_at, x_bt, f
+        let (sa, sb, at, bt, fl) = (0, 1, 2, 3, 4);
+        let mut lp = LpProblem::maximize(5);
+        lp.set_objective_coeff(fl, 1.0);
+        lp.push_upper_bound(sa, 3.0);
+        lp.push_upper_bound(sb, 2.0);
+        lp.push_upper_bound(at, 2.0);
+        lp.push_upper_bound(bt, 4.0);
+        // conservation: x_sa = x_at, x_sb = x_bt, f = x_sa + x_sb
+        lp.push_constraint(&[(sa, 1.0), (at, -1.0)], Relation::Eq, 0.0);
+        lp.push_constraint(&[(sb, 1.0), (bt, -1.0)], Relation::Eq, 0.0);
+        lp.push_constraint(&[(fl, 1.0), (sa, -1.0), (sb, -1.0)], Relation::Eq, 0.0);
+        let s = lp.solve().unwrap();
+        assert!((s.objective() - 4.0).abs() < 1e-6); // min(3,2)+min(2,4)=2+2
+    }
+
+    #[test]
+    fn random_lps_satisfy_their_constraints() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut solved = 0;
+        for _ in 0..50 {
+            let n = rng.gen_range(2..6);
+            let m = rng.gen_range(1..6);
+            let mut lp = LpProblem::maximize(n);
+            let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            lp.set_objective(&obj);
+            for _ in 0..m {
+                let coeffs: Vec<(usize, f64)> =
+                    (0..n).map(|i| (i, rng.gen_range(0.1..2.0))).collect();
+                lp.push_constraint(&coeffs, Relation::Le, rng.gen_range(1.0..10.0));
+            }
+            // All-Le with positive coefficients and positive rhs: feasible
+            // (origin) and bounded above in every positive direction, but a
+            // negative objective coefficient keeps vars at 0 — either way
+            // the solver must return a point satisfying every constraint.
+            let s = lp.solve().expect("feasible bounded LP");
+            for c in &lp.constraints {
+                let lhs: f64 = c.coeffs.iter().map(|&(i, v)| v * s.value(i)).sum();
+                assert!(lhs <= c.rhs + 1e-7, "constraint violated: {lhs} > {}", c.rhs);
+            }
+            for i in 0..n {
+                assert!(s.value(i) >= -1e-9, "negative variable");
+            }
+            solved += 1;
+        }
+        assert_eq!(solved, 50);
+    }
+}

@@ -1,0 +1,80 @@
+//! The network-coding pipeline in isolation: encode at the source, lose
+//! packets on lossy links, re-encode at two relays, decode progressively at
+//! the destination — the paper's Sec. 3.1 walk-through.
+//!
+//! ```sh
+//! cargo run --release -p omnc --example coding_pipeline
+//! ```
+
+use omnc::rlnc::{Absorption, Decoder, Encoder, Generation, GenerationConfig, GenerationId, Recoder};
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2008);
+
+    // A generation of 16 blocks x 256 bytes of real payload.
+    let cfg = GenerationConfig::new(16, 256).expect("valid dimensions");
+    let mut payload = vec![0u8; cfg.payload_len()];
+    rng.fill(&mut payload[..]);
+    let generation = Generation::from_bytes(GenerationId::new(0), cfg, &payload)
+        .expect("sized payload");
+    let encoder = Encoder::new(&generation);
+
+    // Source S broadcasts to relays u, v over lossy links; relays re-encode
+    // towards the destination T (the paper's two-path scenario).
+    let p_su = 0.7;
+    let p_sv = 0.5;
+    let p_ut = 0.6;
+    let p_vt = 0.8;
+    let mut relay_u = Recoder::new(GenerationId::new(0), cfg);
+    let mut relay_v = Recoder::new(GenerationId::new(0), cfg);
+    let mut dst = Decoder::new(GenerationId::new(0), cfg);
+
+    let mut broadcasts = 0u32;
+    let mut relay_tx = 0u32;
+    let mut redundant_at_dst = 0u32;
+    while !dst.is_complete() {
+        // One source broadcast: u and v hear it independently.
+        let packet = encoder.emit(&mut rng);
+        broadcasts += 1;
+        if rng.gen_bool(p_su) {
+            let _ = relay_u.absorb(&packet);
+        }
+        if rng.gen_bool(p_sv) {
+            let _ = relay_v.absorb(&packet);
+        }
+        // Each relay refreshes the stream with a new random combination.
+        for (relay, p_out) in [(&relay_u, p_ut), (&relay_v, p_vt)] {
+            if relay.rank() > 0 {
+                relay_tx += 1;
+                let recoded = relay.emit(&mut rng).expect("rank > 0");
+                if rng.gen_bool(p_out) {
+                    match dst.absorb(&recoded).expect("well-formed") {
+                        Absorption::Innovative { rank } => {
+                            if rank % 4 == 0 {
+                                println!(
+                                    "destination rank {rank:>2}/{} after {broadcasts} broadcasts",
+                                    cfg.blocks()
+                                );
+                            }
+                        }
+                        Absorption::Redundant => redundant_at_dst += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    let recovered = dst.recover().expect("complete");
+    assert_eq!(recovered, payload, "progressive decoding must recover the source bytes");
+    println!("\nrecovered all {} bytes intact", recovered.len());
+    println!(
+        "source broadcasts: {broadcasts}, relay transmissions: {relay_tx}, \
+         redundant packets discarded at destination: {redundant_at_dst}"
+    );
+    println!(
+        "relay ranks at completion: u = {}, v = {} (independent partial knowledge)",
+        relay_u.rank(),
+        relay_v.rank()
+    );
+}

@@ -1,0 +1,53 @@
+//! The multiple-unicast extension from the paper's conclusion: two
+//! concurrent sessions share the channel; the coupled optimization trades
+//! their rates off against each other.
+//!
+//! ```sh
+//! cargo run --release -p omnc --example multi_unicast
+//! ```
+
+use omnc::net_topo::deploy::Deployment;
+use omnc::net_topo::phy::Phy;
+use omnc::net_topo::select::select_forwarders;
+use omnc::omnc_opt::municast::MUnicast;
+use omnc::omnc_opt::{lp, RateControlParams, SUnicast};
+
+fn main() {
+    let phy = Phy::paper_lossy();
+    let topology = Deployment::random(40, 6.0, &phy, 21).into_topology();
+    let (a, b) = topology.farthest_pair();
+    // Two crossing sessions: a → b and b → a.
+    let selections = vec![
+        select_forwarders(&topology, a, b),
+        select_forwarders(&topology, b, a),
+    ];
+    println!(
+        "two sessions on a {}-node mesh: {a} -> {b} and {b} -> {a}",
+        topology.len()
+    );
+
+    // What each session could do with the whole channel to itself.
+    for (k, sel) in selections.iter().enumerate() {
+        let alone = lp::solve_exact(&SUnicast::from_selection(&topology, sel, 1e5))
+            .expect("solvable");
+        println!("session {k} alone: gamma* = {:.0} B/s", alone.gamma);
+    }
+
+    // The coupled optimum and the distributed solution.
+    let mu = MUnicast::from_selections(&topology, &selections, 1e5);
+    let joint = mu.solve_exact().expect("solvable");
+    println!(
+        "\ncoupled LP optimum: gamma = {:?} B/s (total {:.0})",
+        joint.gamma.iter().map(|g| g.round()).collect::<Vec<_>>(),
+        joint.total()
+    );
+
+    let params = RateControlParams { max_iterations: 400, ..Default::default() };
+    let dist = mu.solve_distributed(&params);
+    println!(
+        "distributed (shared congestion prices): gamma = {:?} B/s (total {:.0}, {:.0}% of optimum)",
+        dist.gamma.iter().map(|g| g.round()).collect::<Vec<_>>(),
+        dist.total(),
+        100.0 * dist.total() / joint.total()
+    );
+}

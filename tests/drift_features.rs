@@ -1,0 +1,131 @@
+//! Integration tests for Drift's observability and fault-injection features
+//! through the public API, combined with the protocol stack.
+
+use omnc::drift::{Behavior, Ctx, Dest, MacModel, Outgoing, Simulator, TraceEvent};
+use omnc::net_topo::graph::NodeId;
+use omnc::net_topo::topologies;
+use omnc::runner::{run_session, run_session_with_fault, Protocol};
+use omnc::scenario::Scenario;
+
+#[derive(Clone)]
+struct Ping;
+
+struct Talker {
+    count: usize,
+}
+impl Behavior<Ping> for Talker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+        for _ in 0..self.count {
+            ctx.enqueue(Outgoing { msg: Ping, wire_len: 50, dest: Dest::Broadcast });
+        }
+    }
+}
+struct Silent;
+impl Behavior<Ping> for Silent {}
+
+#[test]
+fn trace_accounts_for_every_transmission_and_outcome() {
+    let topo = topologies::line(3, 0.5);
+    let mut sim: Simulator<Ping, Box<dyn Behavior<Ping>>> =
+        Simulator::new(&topo, MacModel::fair_share(1000.0), 99);
+    sim.enable_trace(100_000);
+    sim.set_behavior(NodeId::new(0), Box::new(Talker { count: 200 }));
+    sim.set_behavior(NodeId::new(1), Box::new(Silent));
+    sim.run_until(100.0);
+
+    let trace = sim.trace();
+    let mut tx = 0u64;
+    let mut delivered = 0u64;
+    let mut lost = 0u64;
+    for e in trace.events() {
+        match e {
+            TraceEvent::TxComplete { .. } => tx += 1,
+            TraceEvent::Delivered { .. } => delivered += 1,
+            TraceEvent::Lost { .. } => lost += 1,
+            TraceEvent::TxStart { .. } => {}
+        }
+    }
+    assert_eq!(tx, 200);
+    // Node 0 has one in-range receiver (node 1): every transmission is
+    // either delivered or lost there.
+    assert_eq!(delivered + lost, 200);
+    assert_eq!(delivered, sim.stats(NodeId::new(1)).packets_received);
+    // p = 0.5: both outcomes must actually occur.
+    assert!(delivered > 50 && lost > 50, "delivered {delivered} lost {lost}");
+}
+
+#[test]
+fn killing_the_sole_relay_stops_coded_delivery_too() {
+    // On a pure line there is no path diversity: OMNC cannot survive the
+    // relay's death either — resilience requires alternative paths.
+    let topo = topologies::line(3, 0.8);
+    let cfg = Scenario::small_test().session;
+    let healthy = run_session(&topo, NodeId::new(0), NodeId::new(2), Protocol::Omnc, &cfg, 5);
+    let faulty = run_session_with_fault(
+        &topo,
+        NodeId::new(0),
+        NodeId::new(2),
+        Protocol::Omnc,
+        &cfg,
+        5,
+        Some((NodeId::new(1), cfg.duration / 2.0)),
+    );
+    assert!(healthy.throughput > 0.0);
+    assert!(
+        faulty.throughput < healthy.throughput,
+        "faulty {} vs healthy {}",
+        faulty.throughput,
+        healthy.throughput
+    );
+}
+
+#[test]
+fn parallel_chains_give_omnc_fault_tolerance() {
+    // With two disjoint chains, killing one relay leaves the other path.
+    let topo = topologies::parallel_chains(2, 3, 0.8);
+    let cfg = Scenario::small_test().session;
+    let (src, dst) = (NodeId::new(0), NodeId::new(1));
+    let healthy = run_session(&topo, src, dst, Protocol::Omnc, &cfg, 6);
+    // Kill the first relay of chain 0 (node 2).
+    let faulty = run_session_with_fault(
+        &topo,
+        src,
+        dst,
+        Protocol::Omnc,
+        &cfg,
+        6,
+        Some((NodeId::new(2), cfg.duration / 2.0)),
+    );
+    assert!(healthy.throughput > 0.0);
+    assert!(
+        faulty.throughput > 0.45 * healthy.throughput,
+        "multipath should retain throughput: faulty {} vs healthy {}",
+        faulty.throughput,
+        healthy.throughput
+    );
+}
+
+#[test]
+fn etx_dies_with_its_relay_on_a_line() {
+    let topo = topologies::line(4, 0.9);
+    let cfg = Scenario::small_test().session;
+    let healthy =
+        run_session(&topo, NodeId::new(0), NodeId::new(3), Protocol::EtxRouting, &cfg, 7);
+    let faulty = run_session_with_fault(
+        &topo,
+        NodeId::new(0),
+        NodeId::new(3),
+        Protocol::EtxRouting,
+        &cfg,
+        7,
+        Some((NodeId::new(1), cfg.duration / 2.0)),
+    );
+    assert!(healthy.throughput > 0.0);
+    // Only the pre-fault half of the session delivers.
+    assert!(
+        faulty.throughput <= 0.65 * healthy.throughput,
+        "faulty {} vs healthy {}",
+        faulty.throughput,
+        healthy.throughput
+    );
+}

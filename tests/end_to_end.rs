@@ -1,0 +1,95 @@
+//! End-to-end integration: full-payload OMNC sessions over random lossy
+//! meshes, exercising every crate in the workspace at once — deployment,
+//! PHY, node selection, rate control, Drift, and the RLNC codec with
+//! payload verification.
+
+use omnc::runner::{run_session, Protocol};
+use omnc::scenario::Scenario;
+use omnc::session::SessionConfig;
+
+#[test]
+fn omnc_delivers_verified_data_over_a_random_mesh() {
+    let scenario = Scenario::small_test();
+    let (topology, src, dst) = scenario.build_session(0);
+    assert_eq!(
+        scenario.session.payload_block_size, scenario.session.wire_block_size,
+        "small_test must run the full coding pipeline"
+    );
+    let out = run_session(&topology, src, dst, Protocol::Omnc, &scenario.session, 17);
+    assert!(out.generations_decoded >= 1, "no generation decoded");
+    assert_eq!(out.verification_failures, 0, "payload corruption detected");
+    assert!(out.throughput > 0.0);
+}
+
+#[test]
+fn every_protocol_completes_on_every_session_of_the_scenario() {
+    let scenario = Scenario::small_test();
+    for k in 0..scenario.sessions as u64 {
+        let (topology, src, dst) = scenario.build_session(k);
+        for protocol in Protocol::ALL {
+            let out = run_session(&topology, src, dst, protocol, &scenario.session, k);
+            assert!(
+                out.throughput >= 0.0 && out.throughput.is_finite(),
+                "{} on session {k}",
+                protocol.name()
+            );
+            assert_eq!(out.verification_failures, 0);
+        }
+    }
+}
+
+#[test]
+fn coefficient_only_mode_matches_full_mode_behaviour() {
+    // Large benches carry 1-byte payloads while charging full wire bytes;
+    // the protocol dynamics (decoded generations, throughput) must be the
+    // same as with real payloads since only charged bytes drive the MAC.
+    let scenario = Scenario::small_test();
+    let (topology, src, dst) = scenario.build_session(1);
+    let full = scenario.session;
+    let light = SessionConfig { payload_block_size: 1, ..full };
+    let a = run_session(&topology, src, dst, Protocol::Omnc, &full, 23);
+    let b = run_session(&topology, src, dst, Protocol::Omnc, &light, 23);
+    assert_eq!(a.generations_decoded, b.generations_decoded);
+    assert_eq!(a.throughput, b.throughput);
+    assert_eq!(a.packet_counts, b.packet_counts);
+}
+
+#[test]
+fn longer_sessions_decode_more_generations() {
+    let scenario = Scenario::small_test();
+    let (topology, src, dst) = scenario.build_session(2);
+    let short = SessionConfig { duration: 30.0, ..scenario.session };
+    let long = SessionConfig { duration: 120.0, ..scenario.session };
+    let a = run_session(&topology, src, dst, Protocol::Omnc, &short, 29);
+    let b = run_session(&topology, src, dst, Protocol::Omnc, &long, 29);
+    assert!(
+        b.generations_decoded >= a.generations_decoded,
+        "long {} < short {}",
+        b.generations_decoded,
+        a.generations_decoded
+    );
+    assert!(b.generations_decoded > 0);
+}
+
+#[test]
+fn high_quality_links_speed_up_every_protocol() {
+    use omnc::scenario::Quality;
+    let mut lossy = Scenario::small_test();
+    lossy.nodes = 60;
+    let mut high = lossy.clone();
+    high.quality = Quality::High;
+
+    let (tl, s, d) = lossy.build_session(4);
+    let th = high.build_topology();
+    for protocol in [Protocol::Omnc, Protocol::EtxRouting] {
+        let out_l = run_session(&tl, s, d, protocol, &lossy.session, 31);
+        let out_h = run_session(&th, s, d, protocol, &high.session, 31);
+        assert!(
+            out_h.throughput >= out_l.throughput * 0.8,
+            "{}: high-quality {} should not collapse below lossy {}",
+            protocol.name(),
+            out_h.throughput,
+            out_l.throughput
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Reduced-scale reproduction of the paper's headline comparisons, run as a
+//! test: the *ordering* of the protocols must match Sec. 5 even at small
+//! scale.
+//!
+//! These tests run a handful of sessions (the bench binaries run the full
+//! sweeps), so they assert orderings and coarse magnitudes, not the exact
+//! paper numbers.
+
+use omnc::metrics::Cdf;
+use omnc::runner::{run_session, Protocol, SessionOutcome};
+use omnc::scenario::{Quality, Scenario};
+
+fn run_suite(quality: Quality, sessions: u64) -> Vec<[SessionOutcome; 4]> {
+    let mut scenario = Scenario::small_test();
+    scenario.nodes = 80;
+    scenario.quality = quality;
+    scenario.hops = (4, 8);
+    // Paper-sized generations (the protocol dynamics depend on them) with
+    // coefficient-only payloads for speed.
+    scenario.session = omnc::session::SessionConfig::reduced();
+    let mut out = Vec::new();
+    for k in 0..sessions {
+        let (topology, src, dst) = scenario.build_session(k);
+        let run = |p| run_session(&topology, src, dst, p, &scenario.session, 100 + k);
+        out.push([
+            run(Protocol::Omnc),
+            run(Protocol::More),
+            run(Protocol::OldMore),
+            run(Protocol::EtxRouting),
+        ]);
+    }
+    out
+}
+
+#[test]
+fn omnc_beats_more_beats_etx_on_lossy_meshes() {
+    let runs = run_suite(Quality::Lossy, 6);
+    let mean = |idx: usize| {
+        Cdf::new(runs.iter().map(|r| r[idx].throughput).collect()).mean()
+    };
+    let (omnc, more, etx) = (mean(0), mean(1), mean(3));
+    assert!(
+        omnc > more,
+        "OMNC ({omnc:.0} B/s) must beat MORE ({more:.0} B/s) on average"
+    );
+    assert!(
+        omnc > 1.3 * etx,
+        "OMNC ({omnc:.0} B/s) must clearly beat ETX routing ({etx:.0} B/s)"
+    );
+}
+
+#[test]
+fn omnc_queues_stay_small_while_more_queues_grow() {
+    // The Fig. 3 contrast: rate control keeps OMNC's time-averaged queues
+    // near zero; MORE's congestion-oblivious credits let them grow by an
+    // order of magnitude.
+    let runs = run_suite(Quality::Lossy, 5);
+    let omnc_q = Cdf::new(runs.iter().map(|r| r[0].mean_queue()).collect()).mean();
+    let more_q = Cdf::new(runs.iter().map(|r| r[1].mean_queue()).collect()).mean();
+    assert!(omnc_q < 2.0, "OMNC mean queue {omnc_q:.2} should be ~0.6");
+    assert!(
+        more_q > 3.0 * omnc_q,
+        "MORE mean queue {more_q:.2} should dwarf OMNC's {omnc_q:.2}"
+    );
+}
+
+#[test]
+fn oldmore_has_the_lowest_utility_ratios() {
+    // The Fig. 4 contrast: min-cost pruning leaves oldMORE with fewer
+    // active nodes and paths than OMNC.
+    let runs = run_suite(Quality::Lossy, 5);
+    let mean_node = |idx: usize| {
+        Cdf::new(runs.iter().map(|r| r[idx].node_utility).collect()).mean()
+    };
+    let omnc_nodes = mean_node(0);
+    let old_nodes = mean_node(2);
+    assert!(
+        old_nodes < omnc_nodes,
+        "oldMORE node utility {old_nodes:.2} must trail OMNC's {omnc_nodes:.2}"
+    );
+    let mean_path = |idx: usize| {
+        Cdf::new(runs.iter().map(|r| r[idx].path_utility).collect()).mean()
+    };
+    assert!(
+        mean_path(2) < mean_path(0),
+        "oldMORE path utility must trail OMNC's"
+    );
+}
+
+#[test]
+fn coding_gains_shrink_on_high_quality_links() {
+    // Fig. 2 right: with avg reception probability ~0.91, network coding's
+    // advantage over best-path routing largely evaporates.
+    let lossy = run_suite(Quality::Lossy, 5);
+    let high = run_suite(Quality::High, 5);
+    let gain = |runs: &Vec<[SessionOutcome; 4]>| {
+        let g: Vec<f64> = runs
+            .iter()
+            .filter(|r| r[3].throughput > 0.0)
+            .map(|r| r[0].throughput / r[3].throughput)
+            .collect();
+        Cdf::new(g).mean()
+    };
+    let g_lossy = gain(&lossy);
+    let g_high = gain(&high);
+    assert!(
+        g_high < g_lossy,
+        "OMNC's gain must shrink with link quality: lossy {g_lossy:.2} vs high {g_high:.2}"
+    );
+}
+
+#[test]
+fn emulated_throughput_stays_below_the_framework_optimum() {
+    // Sec. 5: "the actual emulated throughput of OMNC tends to be lower
+    // than the optimized throughput computed by the sUnicast framework".
+    let runs = run_suite(Quality::Lossy, 5);
+    for (k, r) in runs.iter().enumerate() {
+        let predicted = r[0].predicted_throughput.expect("OMNC reports its prediction");
+        assert!(
+            r[0].throughput <= predicted * 1.05,
+            "session {k}: emulated {:.0} exceeded predicted {predicted:.0}",
+            r[0].throughput
+        );
+    }
+}
