@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use omnc::gf256::{product, slice, wide};
-use omnc::rlnc::{Decoder, Encoder, Generation, GenerationConfig, GenerationId, Kernel, SystematicEncoder};
+use omnc::rlnc::{
+    Decoder, Encoder, Generation, GenerationConfig, GenerationId, Kernel, SystematicEncoder,
+};
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
@@ -33,8 +35,7 @@ fn bench_systematic(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let mut data = vec![0u8; cfg.payload_len()];
     rng.fill(&mut data[..]);
-    let generation =
-        Generation::from_bytes(GenerationId::new(0), cfg, &data).expect("sized");
+    let generation = Generation::from_bytes(GenerationId::new(0), cfg, &data).expect("sized");
 
     let random: Vec<_> = {
         let enc = Encoder::new(&generation);
@@ -68,10 +69,13 @@ fn bench_encoding(c: &mut Criterion) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let mut data = vec![0u8; cfg.payload_len()];
         rng.fill(&mut data[..]);
-        let generation =
-            Generation::from_bytes(GenerationId::new(0), cfg, &data).expect("sized");
+        let generation = Generation::from_bytes(GenerationId::new(0), cfg, &data).expect("sized");
         group.throughput(Throughput::Bytes(cfg.payload_len() as u64));
-        for (name, kernel) in [("table", Kernel::Table), ("wide", Kernel::Wide), ("product", Kernel::Product)] {
+        for (name, kernel) in [
+            ("table", Kernel::Table),
+            ("wide", Kernel::Wide),
+            ("product", Kernel::Product),
+        ] {
             let encoder = Encoder::with_kernel(&generation, kernel);
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{blocks}x{block_size}")),

@@ -3,7 +3,9 @@
 //! non-mutating innovation check relays run on every reception.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use omnc::rlnc::{CodedPacket, Decoder, Encoder, Generation, GenerationConfig, GenerationId, Kernel};
+use omnc::rlnc::{
+    CodedPacket, Decoder, Encoder, Generation, GenerationConfig, GenerationId, Kernel,
+};
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
@@ -12,7 +14,10 @@ fn generation(blocks: usize, block_size: usize) -> (GenerationConfig, Generation
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let mut data = vec![0u8; cfg.payload_len()];
     rng.fill(&mut data[..]);
-    (cfg, Generation::from_bytes(GenerationId::new(0), cfg, &data).expect("sized"))
+    (
+        cfg,
+        Generation::from_bytes(GenerationId::new(0), cfg, &data).expect("sized"),
+    )
 }
 
 fn packets(g: &Generation, count: usize) -> Vec<CodedPacket> {
@@ -97,5 +102,10 @@ fn bench_innovation_check(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_full_decode, bench_progressive_vs_batch, bench_innovation_check);
+criterion_group!(
+    benches,
+    bench_full_decode,
+    bench_progressive_vs_batch,
+    bench_innovation_check
+);
 criterion_main!(benches);

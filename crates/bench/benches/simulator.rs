@@ -19,11 +19,7 @@ fn bench_sessions(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(protocol.name()),
             &protocol,
-            |b, &p| {
-                b.iter(|| {
-                    black_box(run_session(&topology, src, dst, p, &scenario.session, 7))
-                })
-            },
+            |b, &p| b.iter(|| black_box(run_session(&topology, src, dst, p, &scenario.session, 7))),
         );
     }
     group.finish();

@@ -10,9 +10,19 @@
 use omnc::net_topo::select::select_forwarders;
 use omnc::omnc_opt::{lp, RateControl, RateControlParams, Recovery, SUnicast};
 use omnc_bench::Options;
+use serde::Serialize;
+
+/// One JSONL line per (recovery mode, session).
+#[derive(Serialize)]
+struct RecoveryRecord {
+    recovery: String,
+    session: u64,
+    optimality_ratio: f64,
+}
 
 fn main() {
     let opts = Options::from_args();
+    let sink = opts.json_sink();
     let mut scenario = opts.scenario();
     scenario.sessions = scenario.sessions.min(12);
     let topology = scenario.build_topology();
@@ -24,7 +34,10 @@ fn main() {
         ("last iterate (no recovery)", Recovery::LastIterate),
     ];
 
-    println!("# Ablation: primal recovery, {} sessions", scenario.sessions);
+    println!(
+        "# Ablation: primal recovery, {} sessions",
+        scenario.sessions
+    );
     println!("{:<28} {:>12}", "recovery", "opt. ratio");
     for (name, recovery) in modes {
         let mut ratios = Vec::new();
@@ -33,9 +46,21 @@ fn main() {
             let sel = select_forwarders(&topology, src, dst);
             let problem = SUnicast::from_selection(&topology, &sel, scenario.session.capacity);
             let exact = lp::solve_exact(&problem).expect("solvable");
-            let params = RateControlParams { recovery, ..Default::default() };
+            let params = RateControlParams {
+                recovery,
+                ..Default::default()
+            };
             let alloc = RateControl::with_params(&problem, params).run();
-            ratios.push(alloc.throughput() / exact.gamma);
+            let ratio = alloc.throughput() / exact.gamma;
+            if let Some(sink) = &sink {
+                sink.emit(&RecoveryRecord {
+                    recovery: name.to_string(),
+                    session: k,
+                    optimality_ratio: ratio,
+                })
+                .expect("JSONL export failed");
+            }
+            ratios.push(ratio);
         }
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
         println!("{name:<28} {mean:>11.3}");

@@ -10,9 +10,19 @@
 use omnc::metrics::Cdf;
 use omnc::runner::{run_omnc_with_rates, run_session, Protocol};
 use omnc_bench::Options;
+use serde::Serialize;
+
+/// One JSONL line per (rate source, session).
+#[derive(Serialize)]
+struct RateSourceRecord {
+    rate_source: String,
+    session: u64,
+    throughput: f64,
+}
 
 fn main() {
     let opts = Options::from_args();
+    let sink = opts.json_sink();
     let scenario = opts.scenario();
     let topology = scenario.build_topology();
 
@@ -45,9 +55,28 @@ fn main() {
 
         let m = run_session(&topology, src, dst, Protocol::More, &scenario.session, seed);
         no_control.push(m.throughput);
+
+        if let Some(sink) = &sink {
+            for (rate_source, throughput) in [
+                ("distributed", o.throughput),
+                ("lp_exact", l.throughput),
+                ("uniform", u.throughput),
+                ("no_control", m.throughput),
+            ] {
+                sink.emit(&RateSourceRecord {
+                    rate_source: rate_source.to_string(),
+                    session: k as u64,
+                    throughput,
+                })
+                .expect("JSONL export failed");
+            }
+        }
     }
 
-    println!("# Ablation: rate sources for the OMNC protocol ({} sessions)", optimized.len());
+    println!(
+        "# Ablation: rate sources for the OMNC protocol ({} sessions)",
+        optimized.len()
+    );
     for (name, v) in [
         ("distributed rate control (OMNC)", &optimized),
         ("exact LP rates", &lp_exact),
@@ -55,6 +84,10 @@ fn main() {
         ("no rate control (MORE heuristic)", &no_control),
     ] {
         let cdf = Cdf::new(v.clone());
-        println!("{name:<36} mean {:>9.0} B/s   median {:>9.0} B/s", cdf.mean(), cdf.median());
+        println!(
+            "{name:<36} mean {:>9.0} B/s   median {:>9.0} B/s",
+            cdf.mean(),
+            cdf.median()
+        );
     }
 }

@@ -9,23 +9,61 @@
 use omnc::net_topo::select::select_forwarders;
 use omnc::omnc_opt::{lp, RateControl, RateControlParams, SUnicast, StepSize};
 use omnc_bench::Options;
+use serde::Serialize;
+
+/// One JSONL line per (schedule, session).
+#[derive(Serialize)]
+struct StepRecord {
+    schedule: String,
+    session: u64,
+    optimality_ratio: f64,
+    iterations: usize,
+}
 
 fn main() {
     let opts = Options::from_args();
+    let sink = opts.json_sink();
     let mut scenario = opts.scenario();
     scenario.sessions = scenario.sessions.min(12);
     let topology = scenario.build_topology();
 
     let schedules = [
-        ("paper A/(B+Ct), C=10", StepSize::Diminishing { a: 1.0, b: 0.5, c: 10.0 }),
-        ("diminishing, C=3", StepSize::Diminishing { a: 1.0, b: 0.5, c: 3.0 }),
-        ("diminishing, C=30", StepSize::Diminishing { a: 1.0, b: 0.5, c: 30.0 }),
+        (
+            "paper A/(B+Ct), C=10",
+            StepSize::Diminishing {
+                a: 1.0,
+                b: 0.5,
+                c: 10.0,
+            },
+        ),
+        (
+            "diminishing, C=3",
+            StepSize::Diminishing {
+                a: 1.0,
+                b: 0.5,
+                c: 3.0,
+            },
+        ),
+        (
+            "diminishing, C=30",
+            StepSize::Diminishing {
+                a: 1.0,
+                b: 0.5,
+                c: 30.0,
+            },
+        ),
         ("constant 0.05", StepSize::Constant(0.05)),
         ("constant 0.01", StepSize::Constant(0.01)),
     ];
 
-    println!("# Ablation: step-size schedule, {} sessions", scenario.sessions);
-    println!("{:<24} {:>12} {:>12}", "schedule", "opt. ratio", "iterations");
+    println!(
+        "# Ablation: step-size schedule, {} sessions",
+        scenario.sessions
+    );
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "schedule", "opt. ratio", "iterations"
+    );
     for (name, step) in schedules {
         let mut ratios = Vec::new();
         let mut iters = Vec::new();
@@ -34,8 +72,20 @@ fn main() {
             let sel = select_forwarders(&topology, src, dst);
             let problem = SUnicast::from_selection(&topology, &sel, scenario.session.capacity);
             let exact = lp::solve_exact(&problem).expect("solvable");
-            let params = RateControlParams { step, ..Default::default() };
+            let params = RateControlParams {
+                step,
+                ..Default::default()
+            };
             let alloc = RateControl::with_params(&problem, params).run();
+            if let Some(sink) = &sink {
+                sink.emit(&StepRecord {
+                    schedule: name.to_string(),
+                    session: k,
+                    optimality_ratio: alloc.throughput() / exact.gamma,
+                    iterations: alloc.iterations(),
+                })
+                .expect("JSONL export failed");
+            }
             ratios.push(alloc.throughput() / exact.gamma);
             iters.push(alloc.iterations() as f64);
         }

@@ -9,9 +9,23 @@
 use std::time::Instant;
 
 use omnc::rlnc::{Decoder, Encoder, Generation, GenerationConfig, GenerationId, Kernel};
+use omnc_bench::Options;
 use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// One JSONL line per measured (shape, kernel) cell.
+#[derive(Serialize)]
+struct KernelRecord {
+    blocks: usize,
+    block_size: usize,
+    kernel: String,
+    mb_per_s: f64,
+    speedup_vs_table: f64,
+}
 
 fn main() {
+    let opts = Options::from_args();
+    let sink = opts.json_sink();
     println!("# Sec. 4 — encode+decode throughput by GF(2^8) kernel");
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10}",
@@ -19,12 +33,28 @@ fn main() {
     );
     let mut wide_speedups = Vec::new();
     let mut prod_speedups = Vec::new();
-    for &(blocks, block_size) in
-        &[(16usize, 256usize), (16, 1024), (40, 1024), (40, 4096), (64, 1024)]
-    {
+    for &(blocks, block_size) in &[
+        (16usize, 256usize),
+        (16, 1024),
+        (40, 1024),
+        (40, 4096),
+        (64, 1024),
+    ] {
         let table = run_pipeline(blocks, block_size, Kernel::Table);
         let wide = run_pipeline(blocks, block_size, Kernel::Wide);
         let prod = run_pipeline(blocks, block_size, Kernel::Product);
+        if let Some(sink) = &sink {
+            for (kernel, mb_per_s) in [("table", table), ("wide", wide), ("product", prod)] {
+                sink.emit(&KernelRecord {
+                    blocks,
+                    block_size,
+                    kernel: kernel.to_string(),
+                    mb_per_s,
+                    speedup_vs_table: mb_per_s / table,
+                })
+                .expect("JSONL export failed");
+            }
+        }
         wide_speedups.push(wide / table);
         prod_speedups.push(prod / table);
         println!(
@@ -44,7 +74,9 @@ fn main() {
     println!();
     println!("# paper: accelerated coding 3-5x faster than the table baseline (on");
     println!("# 2008 x86 with SSE2; the ratio is strongly host-dependent).");
-    println!("# measured here: wide/table {w_lo:.1}x-{w_hi:.1}x, product/table {p_lo:.1}x-{p_hi:.1}x");
+    println!(
+        "# measured here: wide/table {w_lo:.1}x-{w_hi:.1}x, product/table {p_lo:.1}x-{p_hi:.1}x"
+    );
     println!("# (virtualized/emulated hosts flatten ALU-vs-lookup differences;");
     println!("#  see EXPERIMENTS.md for the discussion)");
 }
@@ -56,8 +88,7 @@ fn run_pipeline(blocks: usize, block_size: usize, kernel: Kernel) -> f64 {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let mut data = vec![0u8; cfg.payload_len()];
     rng.fill(&mut data[..]);
-    let generation =
-        Generation::from_bytes(GenerationId::new(0), cfg, &data).expect("sized");
+    let generation = Generation::from_bytes(GenerationId::new(0), cfg, &data).expect("sized");
     let encoder = Encoder::with_kernel(&generation, kernel);
 
     // Warm up, then measure enough repetitions for a stable figure.

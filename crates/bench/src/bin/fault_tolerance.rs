@@ -14,9 +14,21 @@ use omnc::metrics::Cdf;
 use omnc::net_topo::etx;
 use omnc::runner::{run_session, run_session_with_fault, Protocol};
 use omnc_bench::Options;
+use serde::Serialize;
+
+/// One JSONL line per (protocol, session) fault experiment.
+#[derive(Serialize)]
+struct FaultRecord {
+    protocol: String,
+    session: u64,
+    healthy_throughput: f64,
+    faulty_throughput: f64,
+    retention: f64,
+}
 
 fn main() {
     let opts = Options::from_args();
+    let sink = opts.json_sink();
     let mut scenario = opts.scenario();
     scenario.sessions = scenario.sessions.min(20);
     let topology = scenario.build_topology();
@@ -48,6 +60,16 @@ fn main() {
                 seed,
                 Some((victim, kill_at)),
             );
+            if let Some(sink) = &sink {
+                sink.emit(&FaultRecord {
+                    protocol: protocol.name().to_string(),
+                    session: k as u64,
+                    healthy_throughput: healthy.throughput,
+                    faulty_throughput: faulty.throughput,
+                    retention: faulty.throughput / healthy.throughput,
+                })
+                .expect("JSONL export failed");
+            }
             samples.push(faulty.throughput / healthy.throughput);
         }
     }

@@ -7,38 +7,86 @@
 //!
 //! ```sh
 //! cargo run --release -p omnc-bench --bin fig1_convergence
+//! cargo run --release -p omnc-bench --bin fig1_convergence -- --json results/fig1.json
 //! ```
+//!
+//! With `--json <path>`, every iteration's subgradient telemetry (step
+//! size, dual value, max constraint violation, recovered rate) is written
+//! as one JSON object per line.
 
 use omnc::net_topo::graph::{Link, NodeId, Topology};
 use omnc::net_topo::select::select_forwarders;
 use omnc::omnc_opt::{lp, RateControl, RateControlParams, SUnicast, StepSize};
+use omnc_bench::Options;
 
 fn main() {
+    let opts = Options::from_args();
     // A sample multi-path topology with tagged reception probabilities.
     let capacity = 1e5;
     let links = vec![
-        Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.8 },
-        Link { from: NodeId::new(0), to: NodeId::new(2), p: 0.5 },
-        Link { from: NodeId::new(1), to: NodeId::new(3), p: 0.6 },
-        Link { from: NodeId::new(2), to: NodeId::new(3), p: 0.9 },
-        Link { from: NodeId::new(1), to: NodeId::new(2), p: 0.7 },
+        Link {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            p: 0.8,
+        },
+        Link {
+            from: NodeId::new(0),
+            to: NodeId::new(2),
+            p: 0.5,
+        },
+        Link {
+            from: NodeId::new(1),
+            to: NodeId::new(3),
+            p: 0.6,
+        },
+        Link {
+            from: NodeId::new(2),
+            to: NodeId::new(3),
+            p: 0.9,
+        },
+        Link {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            p: 0.7,
+        },
     ];
     let topology = Topology::from_links(4, links).expect("valid sample topology");
     let selection = select_forwarders(&topology, NodeId::new(0), NodeId::new(3));
     let problem = SUnicast::from_selection(&topology, &selection, capacity);
 
     let params = RateControlParams {
-        step: StepSize::Diminishing { a: 1.0, b: 0.5, c: 10.0 }, // the Fig. 1 schedule
+        step: StepSize::Diminishing {
+            a: 1.0,
+            b: 0.5,
+            c: 10.0,
+        }, // the Fig. 1 schedule
         max_iterations: 60,
         tolerance: 1e-12, // run the full horizon for the plot
         ..Default::default()
     };
-    let (alloc, trace) = RateControl::with_params(&problem, params).with_trace().run_traced();
+    let (alloc, trace) = RateControl::with_params(&problem, params)
+        .with_trace()
+        .run_traced();
     let exact = lp::solve_exact(&problem).expect("solvable sample");
+
+    if let Some(sink) = opts.json_sink() {
+        for record in &trace.records {
+            sink.emit(record).expect("JSONL export failed");
+        }
+        sink.flush().expect("JSONL flush failed");
+        eprintln!(
+            "# wrote {} iteration records to {}",
+            trace.records.len(),
+            opts.json.as_deref().unwrap_or("")
+        );
+    }
 
     println!("# Fig. 1 — deployable broadcast rate (bytes/second) vs iteration");
     println!("# capacity = {capacity:.0} B/s, step A=1 B=0.5 C=10");
-    println!("{:>6} {:>12} {:>12} {:>12}", "iter", "source", "relay1", "relay2");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "iter", "source", "relay1", "relay2"
+    );
     for (t, b) in trace.b_allocated.iter().enumerate() {
         if t % 2 == 0 || t + 1 == trace.b_recovered.len() {
             let bi = |orig: usize| {
@@ -47,7 +95,13 @@ fn main() {
                     .map(|i| b[i])
                     .unwrap_or(0.0)
             };
-            println!("{:>6} {:>12.0} {:>12.0} {:>12.0}", t + 1, bi(0), bi(1), bi(2));
+            println!(
+                "{:>6} {:>12.0} {:>12.0} {:>12.0}",
+                t + 1,
+                bi(0),
+                bi(1),
+                bi(2)
+            );
         }
     }
     println!();

@@ -15,14 +15,21 @@
 use omnc::metrics::render_cdf;
 use omnc::runner::Protocol;
 use omnc::scenario::Quality;
-use omnc_bench::{gain_cdf, print_reference, run_sweep, Options};
+use omnc_bench::{export_rows, gain_cdf, print_reference, run_sweep, Options};
 
 fn main() {
     let opts = Options::from_args();
     let scenario = opts.scenario();
-    let protocols =
-        [Protocol::EtxRouting, Protocol::Omnc, Protocol::More, Protocol::OldMore];
+    let protocols = [
+        Protocol::EtxRouting,
+        Protocol::Omnc,
+        Protocol::More,
+        Protocol::OldMore,
+    ];
     let rows = run_sweep(&scenario, &protocols);
+    if let Some(sink) = opts.json_sink() {
+        export_rows(&sink, &rows);
+    }
 
     println!(
         "# Fig. 2 ({}) — throughput gain over ETX routing, {} sessions",

@@ -11,18 +11,24 @@
 
 use omnc::metrics::{render_cdf, Cdf};
 use omnc::runner::Protocol;
-use omnc_bench::{print_reference, run_sweep, Options};
+use omnc_bench::{export_rows, print_reference, run_sweep, Options};
 
 fn main() {
     let opts = Options::from_args();
     let scenario = opts.scenario();
     let rows = run_sweep(&scenario, &[Protocol::Omnc, Protocol::More]);
+    if let Some(sink) = opts.json_sink() {
+        export_rows(&sink, &rows);
+    }
 
     // Per-session mean of the per-node time-averaged queue sizes.
     let omnc: Cdf = rows.iter().map(|r| r.outcomes[0].mean_queue()).collect();
     let more: Cdf = rows.iter().map(|r| r.outcomes[1].mean_queue()).collect();
 
-    println!("# Fig. 3 — time-averaged queue size per session, {} sessions", rows.len());
+    println!(
+        "# Fig. 3 — time-averaged queue size per session, {} sessions",
+        rows.len()
+    );
     println!("{}", render_cdf("OMNC queue size", &omnc, 12));
     println!("{}", render_cdf("MORE queue size", &more, 12));
 

@@ -11,12 +11,18 @@
 
 use omnc::metrics::{render_cdf, Cdf};
 use omnc::runner::Protocol;
-use omnc_bench::{run_sweep, Options};
+use omnc_bench::{export_rows, run_sweep, Options};
 
 fn main() {
     let opts = Options::from_args();
     let scenario = opts.scenario();
-    let rows = run_sweep(&scenario, &[Protocol::Omnc, Protocol::More, Protocol::OldMore]);
+    let rows = run_sweep(
+        &scenario,
+        &[Protocol::Omnc, Protocol::More, Protocol::OldMore],
+    );
+    if let Some(sink) = opts.json_sink() {
+        export_rows(&sink, &rows);
+    }
 
     println!("# Fig. 4 — utility ratios, {} sessions", rows.len());
     for (metric, pick) in [
@@ -39,20 +45,19 @@ fn main() {
         }
     }
 
-    let mean =
-        |idx: usize, node: bool| -> f64 {
-            let cdf: Cdf = rows
-                .iter()
-                .map(|r| {
-                    if node {
-                        r.outcomes[idx].node_utility
-                    } else {
-                        r.outcomes[idx].path_utility
-                    }
-                })
-                .collect();
-            cdf.mean()
-        };
+    let mean = |idx: usize, node: bool| -> f64 {
+        let cdf: Cdf = rows
+            .iter()
+            .map(|r| {
+                if node {
+                    r.outcomes[idx].node_utility
+                } else {
+                    r.outcomes[idx].path_utility
+                }
+            })
+            .collect();
+        cdf.mean()
+    };
     println!("# paper: oldMORE prunes many nodes/paths; OMNC and MORE do not.");
     println!(
         "# measured mean node utility: OMNC {:.2}  MORE {:.2}  oldMORE {:.2}",

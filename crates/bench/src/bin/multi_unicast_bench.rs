@@ -13,9 +13,22 @@ use omnc::net_topo::select::select_forwarders;
 use omnc::omnc_opt::municast::MUnicast;
 use omnc::omnc_opt::{lp, RateControlParams, SUnicast};
 use omnc_bench::Options;
+use serde::Serialize;
+
+/// One JSONL line per mesh.
+#[derive(Serialize)]
+struct MeshRecord {
+    mesh: usize,
+    solo_a: f64,
+    solo_b: f64,
+    joint_lp: f64,
+    distributed: f64,
+    ratio: f64,
+}
 
 fn main() {
     let opts = Options::from_args();
+    let sink = opts.json_sink();
     let phy = Phy::paper_lossy();
     let deployments = 6usize;
     println!(
@@ -30,8 +43,7 @@ fn main() {
     let mut ratio_sum = 0.0;
     let mut count = 0usize;
     for mesh in 0..deployments {
-        let topology =
-            Deployment::random(40, 6.0, &phy, opts.seed + mesh as u64).into_topology();
+        let topology = Deployment::random(40, 6.0, &phy, opts.seed + mesh as u64).into_topology();
         let (a, b) = topology.farthest_pair();
         let sels = vec![
             select_forwarders(&topology, a, b),
@@ -50,11 +62,25 @@ fn main() {
             println!("{mesh:>6}  (joint LP numerically unstable; skipped)");
             continue;
         };
-        let params = RateControlParams { max_iterations: 400, ..Default::default() };
+        let params = RateControlParams {
+            max_iterations: 400,
+            ..Default::default()
+        };
         let dist = mu.solve_distributed(&params);
         let ratio = dist.total() / joint.total();
         ratio_sum += ratio;
         count += 1;
+        if let Some(sink) = &sink {
+            sink.emit(&MeshRecord {
+                mesh,
+                solo_a: solo[0],
+                solo_b: solo[1],
+                joint_lp: joint.total(),
+                distributed: dist.total(),
+                ratio,
+            })
+            .expect("JSONL export failed");
+        }
         println!(
             "{mesh:>6} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>9.2}",
             solo[0],
@@ -66,9 +92,7 @@ fn main() {
     }
     if count > 0 {
         println!();
-        println!(
-            "# sharing halves each session (joint < solo A + solo B); the shared-price"
-        );
+        println!("# sharing halves each session (joint < solo A + solo B); the shared-price");
         println!(
             "# distributed solver reaches {:.0}% of the joint optimum on average",
             100.0 * ratio_sum / count as f64

@@ -12,6 +12,8 @@
 use omnc::metrics::Cdf;
 use omnc::runner::{run_session, Protocol, SessionOutcome};
 use omnc::scenario::{Quality, Scenario};
+use serde::{Deserialize, Serialize};
+use telemetry::EventSink;
 
 /// Command-line options shared by all figure binaries.
 #[derive(Debug, Clone)]
@@ -26,6 +28,8 @@ pub struct Options {
     pub quality: Quality,
     /// Master seed.
     pub seed: u64,
+    /// Destination for machine-readable JSONL results (`--json <path>`).
+    pub json: Option<String>,
 }
 
 impl Options {
@@ -39,11 +43,14 @@ impl Options {
     /// Parses an explicit argument slice (testable).
     pub fn from_slice(args: &[String]) -> Self {
         let mut opts = Options {
-            full: std::env::var("OMNC_FULL").map(|v| v == "1").unwrap_or(false),
+            full: std::env::var("OMNC_FULL")
+                .map(|v| v == "1")
+                .unwrap_or(false),
             sessions: None,
             nodes: None,
             quality: Quality::Lossy,
             seed: 2008,
+            json: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -60,6 +67,9 @@ impl Options {
                         opts.seed = v;
                     }
                 }
+                "--json" => {
+                    opts.json = it.next().cloned();
+                }
                 "--quality" => match it.next().map(String::as_str) {
                     Some("high") => opts.quality = Quality::High,
                     Some("lossy") => opts.quality = Quality::Lossy,
@@ -69,6 +79,17 @@ impl Options {
             }
         }
         opts
+    }
+
+    /// The JSONL sink selected by `--json`, or `None` when text-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file (or its parent directory) cannot be created.
+    pub fn json_sink(&self) -> Option<EventSink> {
+        self.json.as_ref().map(|path| {
+            EventSink::to_file(path).unwrap_or_else(|e| panic!("cannot open --json {path}: {e}"))
+        })
     }
 
     /// The scenario these options select.
@@ -103,6 +124,34 @@ pub struct SessionRow {
     pub outcomes: Vec<SessionOutcome>,
 }
 
+/// The JSONL record the sweep binaries export: one measured outcome tagged
+/// with its session index (the protocol is inside the outcome).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// Session index within the sweep.
+    pub session: u64,
+    /// Everything measured from this run.
+    pub outcome: SessionOutcome,
+}
+
+/// Exports every outcome of a sweep as one [`SessionRecord`] line.
+///
+/// # Panics
+///
+/// Panics on I/O errors — results files are the whole point of the run.
+pub fn export_rows(sink: &EventSink, rows: &[SessionRow]) {
+    for row in rows {
+        for outcome in &row.outcomes {
+            sink.emit(&SessionRecord {
+                session: row.k,
+                outcome: outcome.clone(),
+            })
+            .expect("JSONL export failed");
+        }
+    }
+    sink.flush().expect("JSONL flush failed");
+}
+
 /// Runs `protocols` over every session of the scenario, printing progress.
 /// The topology is built once; sessions differ in endpoints and seeds.
 pub fn run_sweep(scenario: &Scenario, protocols: &[Protocol]) -> Vec<SessionRow> {
@@ -122,7 +171,10 @@ pub fn run_sweep(scenario: &Scenario, protocols: &[Protocol]) -> Vec<SessionRow>
             .iter()
             .map(|&p| run_session(&topology, src, dst, p, &scenario.session, seed))
             .collect();
-        rows.push(SessionRow { k: k as u64, outcomes });
+        rows.push(SessionRow {
+            k: k as u64,
+            outcomes,
+        });
         if (k + 1) % 10 == 0 {
             eprintln!("#   {}/{} sessions done", k + 1, scenario.sessions);
         }
@@ -192,6 +244,13 @@ mod tests {
     }
 
     #[test]
+    fn json_flag_selects_a_sink() {
+        let o = Options::from_slice(&strs(&["--json", "results/out.jsonl"]));
+        assert_eq!(o.json.as_deref(), Some("results/out.jsonl"));
+        assert!(Options::from_slice(&[]).json_sink().is_none());
+    }
+
+    #[test]
     fn tiny_sweep_produces_rows() {
         let mut scenario = Scenario::small_test();
         scenario.sessions = 2;
@@ -200,5 +259,71 @@ mod tests {
         assert_eq!(rows.len(), 2);
         let gains = gain_cdf(&rows, 1, 0);
         assert!(gains.len() <= 2);
+
+        // The exported JSONL round-trips back into SessionRecords.
+        let sink = EventSink::in_memory();
+        export_rows(&sink, &rows);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let back: SessionRecord = serde_json::from_str(line).expect("valid JSONL");
+            assert!(back.session < 2);
+            assert!(back.outcome.throughput >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fig1_iteration_records_round_trip_through_jsonl() {
+        use omnc::net_topo::graph::{Link, NodeId, Topology};
+        use omnc::net_topo::select::select_forwarders;
+        use omnc::omnc_opt::{IterationRecord, RateControl, RateControlParams, SUnicast};
+
+        // The Fig. 1 sample topology, at a short horizon.
+        let links = vec![
+            Link {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                p: 0.8,
+            },
+            Link {
+                from: NodeId::new(0),
+                to: NodeId::new(2),
+                p: 0.5,
+            },
+            Link {
+                from: NodeId::new(1),
+                to: NodeId::new(3),
+                p: 0.6,
+            },
+            Link {
+                from: NodeId::new(2),
+                to: NodeId::new(3),
+                p: 0.9,
+            },
+        ];
+        let topology = Topology::from_links(4, links).unwrap();
+        let selection = select_forwarders(&topology, NodeId::new(0), NodeId::new(3));
+        let problem = SUnicast::from_selection(&topology, &selection, 1e5);
+        let params = RateControlParams {
+            max_iterations: 20,
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let (_, trace) = RateControl::with_params(&problem, params)
+            .with_trace()
+            .run_traced();
+        assert!(!trace.records.is_empty());
+
+        let sink = EventSink::in_memory();
+        for r in &trace.records {
+            sink.emit(r).unwrap();
+        }
+        for (line, orig) in sink.lines().iter().zip(&trace.records) {
+            let back: IterationRecord = serde_json::from_str(line).expect("schema parses");
+            assert_eq!(&back, orig);
+            assert!(back.step_size > 0.0);
+            assert!(back.dual_value.is_finite());
+            assert!(back.max_violation >= 0.0);
+        }
     }
 }

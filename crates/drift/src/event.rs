@@ -42,7 +42,10 @@ pub(crate) struct Calendar<E> {
 
 impl<E> Calendar<E> {
     pub(crate) fn new() -> Self {
-        Calendar { heap: BinaryHeap::new(), next_seq: 0 }
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     pub(crate) fn schedule(&mut self, time: SimTime, event: E) {

@@ -71,5 +71,5 @@ pub mod trace;
 pub use mac::MacModel;
 pub use sim::{Behavior, Ctx, Dest, Outgoing, Simulator};
 pub use stats::{NodeStats, QueueTracker};
-pub use trace::{Trace, TraceEvent};
 pub use time::SimTime;
+pub use trace::{Trace, TraceEvent};

@@ -55,7 +55,10 @@ impl MacModel {
     ///
     /// Panics unless `capacity` is positive and finite.
     pub fn fair_share(capacity: f64) -> Self {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
         MacModel::FairShare { capacity }
     }
 
@@ -66,7 +69,10 @@ impl MacModel {
     /// Panics unless `capacity` is positive and every rate is finite and
     /// non-negative.
     pub fn rate_limited(rates: Vec<f64>, capacity: f64) -> Self {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
         assert!(
             rates.iter().all(|r| r.is_finite() && *r >= 0.0),
             "rates must be finite and non-negative"
@@ -80,7 +86,10 @@ impl MacModel {
     ///
     /// Panics unless `capacity` is positive and finite.
     pub fn unicast_clique(capacity: f64, next_hop: Vec<usize>) -> Self {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
         MacModel::UnicastClique { capacity, next_hop }
     }
 
@@ -102,9 +111,7 @@ impl MacModel {
         topology: &Topology,
     ) -> f64 {
         match self {
-            MacModel::RateLimited { rates, .. } => {
-                rates.get(node.index()).copied().unwrap_or(0.0)
-            }
+            MacModel::RateLimited { rates, .. } => rates.get(node.index()).copied().unwrap_or(0.0),
             MacModel::FairShare { capacity } => {
                 let shares = max_min_shares(backlogged, topology, *capacity);
                 backlogged
@@ -271,7 +278,11 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 if i != j {
-                    links.push(Link { from: NodeId::new(i), to: NodeId::new(j), p: 0.5 });
+                    links.push(Link {
+                        from: NodeId::new(i),
+                        to: NodeId::new(j),
+                        p: 0.5,
+                    });
                 }
             }
         }
@@ -300,8 +311,16 @@ mod tests {
         // Two isolated pairs: 0-1 and 2-3; transmitters 0 and 2 do not
         // interfere and each gets the full capacity (spatial reuse).
         let links = vec![
-            Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.9 },
-            Link { from: NodeId::new(2), to: NodeId::new(3), p: 0.9 },
+            Link {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                p: 0.9,
+            },
+            Link {
+                from: NodeId::new(2),
+                to: NodeId::new(3),
+                p: 0.9,
+            },
         ];
         let t = Topology::from_links(4, links).unwrap();
         let shares = max_min_shares(&[NodeId::new(0), NodeId::new(2)], &t, 50.0);
@@ -314,8 +333,16 @@ mod tests {
         // split the capacity; a lone transmitter would get all of it.
         let mut links = Vec::new();
         for (a, b) in [(0, 1), (1, 2)] {
-            links.push(Link { from: NodeId::new(a), to: NodeId::new(b), p: 0.5 });
-            links.push(Link { from: NodeId::new(b), to: NodeId::new(a), p: 0.5 });
+            links.push(Link {
+                from: NodeId::new(a),
+                to: NodeId::new(b),
+                p: 0.5,
+            });
+            links.push(Link {
+                from: NodeId::new(b),
+                to: NodeId::new(a),
+                p: 0.5,
+            });
         }
         let t = Topology::from_links(3, links).unwrap();
         let shares = max_min_shares(&[NodeId::new(0), NodeId::new(2)], &t, 100.0);
@@ -345,8 +372,10 @@ mod tests {
                 continue;
             }
             let t = Topology::from_links(n, links).unwrap();
-            let backlogged: Vec<NodeId> =
-                (0..n).filter(|_| rng.gen_bool(0.5)).map(NodeId::new).collect();
+            let backlogged: Vec<NodeId> = (0..n)
+                .filter(|_| rng.gen_bool(0.5))
+                .map(NodeId::new)
+                .collect();
             let shares = max_min_shares(&backlogged, &t, 1.0);
             // Verify per-receiver constraints.
             for r in t.nodes() {

@@ -6,11 +6,43 @@ use net_topo::graph::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use telemetry::{Counter, Histogram, Registry};
+
 use crate::event::Calendar;
 use crate::mac::MacModel;
 use crate::stats::{NodeStats, QueueTracker};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
+
+/// Workspace-level MAC instruments, registered on a [`Registry`] via
+/// [`Simulator::attach_telemetry`]. Defaults to no-op handles.
+#[derive(Debug, Default)]
+struct SimTelemetry {
+    tx_started: Counter,
+    tx_completed: Counter,
+    bytes_sent: Counter,
+    delivered: Counter,
+    lost: Counter,
+    queue_len: Histogram,
+    trace_dropped: Counter,
+}
+
+impl SimTelemetry {
+    fn from_registry(registry: &Registry) -> Self {
+        SimTelemetry {
+            tx_started: registry.counter("mac.tx.started"),
+            tx_completed: registry.counter("mac.tx.completed"),
+            bytes_sent: registry.counter("mac.bytes_sent"),
+            delivered: registry.counter("mac.delivered"),
+            lost: registry.counter("mac.lost"),
+            queue_len: registry.histogram(
+                "mac.queue.len",
+                &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0],
+            ),
+            trace_dropped: registry.counter("trace.dropped_events"),
+        }
+    }
+}
 
 /// Where an outgoing packet is headed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,12 +132,14 @@ struct Core<M> {
     stopped: bool,
     trace: Trace,
     dead: Vec<bool>,
+    telemetry: SimTelemetry,
 }
 
 impl<M> Core<M> {
     fn observe_queue(&mut self, node: NodeId) {
         let len = self.queues[node.index()].len();
         self.trackers[node.index()].observe(self.now, len);
+        self.telemetry.queue_len.observe(len as f64);
     }
 }
 
@@ -150,9 +184,18 @@ impl<'a, M> Ctx<'a, M> {
     ///
     /// Panics if `delay` is negative or not finite.
     pub fn set_timer(&mut self, delay: f64, token: u64) {
-        assert!(delay.is_finite() && delay >= 0.0, "delay must be non-negative");
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be non-negative"
+        );
         let at = self.core.now + delay;
-        self.core.calendar.schedule(at, Event::Timer { node: self.node, token });
+        self.core.calendar.schedule(
+            at,
+            Event::Timer {
+                node: self.node,
+                token,
+            },
+        );
     }
 
     /// Deterministic randomness for protocol decisions (coding
@@ -202,6 +245,7 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
                 stopped: false,
                 trace: Trace::disabled(),
                 dead: vec![false; n],
+                telemetry: SimTelemetry::default(),
             },
             behaviors: (0..n).map(|_| None).collect(),
             started: false,
@@ -214,7 +258,10 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
     ///
     /// Panics if `node` is out of range or the simulation already started.
     pub fn set_behavior(&mut self, node: NodeId, behavior: B) {
-        assert!(!self.started, "behaviors must be installed before the run starts");
+        assert!(
+            !self.started,
+            "behaviors must be installed before the run starts"
+        );
         self.behaviors[node.index()] = Some(behavior);
     }
 
@@ -242,11 +289,26 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
     pub fn enable_trace(&mut self, capacity: usize) {
         assert!(!self.started, "enable tracing before the run starts");
         self.core.trace = Trace::bounded(capacity);
+        self.core
+            .trace
+            .set_dropped_counter(self.core.telemetry.trace_dropped.clone());
     }
 
     /// The recorded MAC-level events (empty unless tracing was enabled).
     pub fn trace(&self) -> &Trace {
         &self.core.trace
+    }
+
+    /// Wires MAC transmission/delivery/loss counters and queue-length
+    /// samples into `registry`, and mirrors trace overflow into the
+    /// `trace.dropped_events` counter. With a disabled registry this is
+    /// free; with an enabled one each MAC event costs one relaxed atomic
+    /// update.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.core.telemetry = SimTelemetry::from_registry(registry);
+        self.core
+            .trace
+            .set_dropped_counter(self.core.telemetry.trace_dropped.clone());
     }
 
     /// Schedules a crash-stop failure: at time `at`, `node` goes silent and
@@ -301,11 +363,15 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
         if !self.started {
             self.started = true;
             for node in self.core.topology.nodes() {
-                self.core.calendar.schedule(SimTime::ZERO, Event::Start(node));
+                self.core
+                    .calendar
+                    .schedule(SimTime::ZERO, Event::Start(node));
             }
         }
         while !self.core.stopped {
-            let Some(next_time) = self.core.calendar.peek_time() else { break };
+            let Some(next_time) = self.core.calendar.peek_time() else {
+                break;
+            };
             if next_time > end {
                 break;
             }
@@ -355,7 +421,10 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
     {
         if let Some(mut behavior) = self.behaviors[node.index()].take() {
             {
-                let mut ctx = Ctx { core: &mut self.core, node };
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
                 f(&mut behavior, &mut ctx);
             }
             behavior.on_queue_change(self.core.queues[node.index()].len());
@@ -380,13 +449,19 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
                 self.core.inflight[v.index()].is_some() || !self.core.queues[v.index()].is_empty()
             })
             .collect();
-        let rate = self.core.mac.service_rate(node, &backlogged, &self.core.topology);
+        let rate = self
+            .core
+            .mac
+            .service_rate(node, &backlogged, &self.core.topology);
         if rate <= 0.0 {
             return;
         }
-        let packet = self.core.queues[node.index()].pop_front().expect("non-empty");
+        let packet = self.core.queues[node.index()]
+            .pop_front()
+            .expect("non-empty");
         self.core.observe_queue(node);
         let duration = packet.wire_len as f64 / rate;
+        self.core.telemetry.tx_started.inc();
         self.core.trace.record(TraceEvent::TxStart {
             at: self.core.now,
             node,
@@ -407,7 +482,12 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
         };
         self.core.stats[node.index()].packets_sent += 1;
         self.core.stats[node.index()].bytes_sent += packet.wire_len as u64;
-        self.core.trace.record(TraceEvent::TxComplete { at: self.core.now, node });
+        self.core.telemetry.tx_completed.inc();
+        self.core.telemetry.bytes_sent.add(packet.wire_len as u64);
+        self.core.trace.record(TraceEvent::TxComplete {
+            at: self.core.now,
+            node,
+        });
 
         match packet.dest {
             Dest::Broadcast => {
@@ -425,35 +505,46 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
                     }
                     if self.core.rng.gen_bool(p) {
                         self.core.stats[to.index()].packets_received += 1;
-                        self.core
-                            .trace
-                            .record(TraceEvent::Delivered { at: self.core.now, from: node, to });
+                        self.core.telemetry.delivered.inc();
+                        self.core.trace.record(TraceEvent::Delivered {
+                            at: self.core.now,
+                            from: node,
+                            to,
+                        });
                         self.with_behavior(to, |b, ctx| b.on_receive(ctx, node, &packet.msg));
                         self.try_start_tx(to);
                     } else {
                         self.core.stats[to.index()].packets_lost += 1;
-                        self.core
-                            .trace
-                            .record(TraceEvent::Lost { at: self.core.now, from: node, to });
+                        self.core.telemetry.lost.inc();
+                        self.core.trace.record(TraceEvent::Lost {
+                            at: self.core.now,
+                            from: node,
+                            to,
+                        });
                     }
                 }
             }
             Dest::Unicast(to) => {
                 let p = self.core.topology.link_prob(node, to).unwrap_or(0.0);
-                let delivered =
-                    !self.core.dead[to.index()] && p > 0.0 && self.core.rng.gen_bool(p);
+                let delivered = !self.core.dead[to.index()] && p > 0.0 && self.core.rng.gen_bool(p);
                 if delivered {
                     self.core.stats[to.index()].packets_received += 1;
-                    self.core
-                        .trace
-                        .record(TraceEvent::Delivered { at: self.core.now, from: node, to });
+                    self.core.telemetry.delivered.inc();
+                    self.core.trace.record(TraceEvent::Delivered {
+                        at: self.core.now,
+                        from: node,
+                        to,
+                    });
                     self.with_behavior(to, |b, ctx| b.on_receive(ctx, node, &packet.msg));
                     self.try_start_tx(to);
                 } else {
                     self.core.stats[to.index()].packets_lost += 1;
-                    self.core
-                        .trace
-                        .record(TraceEvent::Lost { at: self.core.now, from: node, to });
+                    self.core.telemetry.lost.inc();
+                    self.core.trace.record(TraceEvent::Lost {
+                        at: self.core.now,
+                        from: node,
+                        to,
+                    });
                 }
                 self.with_behavior(node, |b, ctx| {
                     b.on_unicast_result(ctx, to, &packet.msg, delivered)
@@ -504,7 +595,11 @@ mod tests {
     fn pair(p: f64) -> Topology {
         Topology::from_links(
             2,
-            vec![Link { from: NodeId::new(0), to: NodeId::new(1), p }],
+            vec![Link {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                p,
+            }],
         )
         .unwrap()
     }
@@ -514,7 +609,13 @@ mod tests {
         let topo = pair(1.0);
         let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
             Simulator::new(&topo, MacModel::fair_share(1000.0), 1);
-        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 10, wire_len: 100 }));
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(Flood {
+                count: 10,
+                wire_len: 100,
+            }),
+        );
         sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
         sim.run_until(10.0);
         assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 10);
@@ -525,9 +626,14 @@ mod tests {
     #[test]
     fn transmission_takes_wire_len_over_rate() {
         let topo = pair(1.0);
-        let mut sim: Simulator<Msg, Flood> =
-            Simulator::new(&topo, MacModel::fair_share(1000.0), 1);
-        sim.set_behavior(NodeId::new(0), Flood { count: 10, wire_len: 100 });
+        let mut sim: Simulator<Msg, Flood> = Simulator::new(&topo, MacModel::fair_share(1000.0), 1);
+        sim.set_behavior(
+            NodeId::new(0),
+            Flood {
+                count: 10,
+                wire_len: 100,
+            },
+        );
         // 10 packets × 100 bytes at 1000 B/s = 1 second exactly.
         sim.run_until(0.999);
         assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 9);
@@ -540,7 +646,13 @@ mod tests {
         let topo = pair(0.3);
         let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
             Simulator::new(&topo, MacModel::fair_share(1e6), 42);
-        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 10_000, wire_len: 10 }));
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(Flood {
+                count: 10_000,
+                wire_len: 10,
+            }),
+        );
         sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
         sim.run_until(1e3);
         let got = sim.stats(NodeId::new(1)).packets_received as f64;
@@ -557,13 +669,23 @@ mod tests {
         let run = |seed: u64| {
             let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
                 Simulator::new(&topo, MacModel::fair_share(1000.0), seed);
-            sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 100, wire_len: 10 }));
+            sim.set_behavior(
+                NodeId::new(0),
+                Box::new(Flood {
+                    count: 100,
+                    wire_len: 10,
+                }),
+            );
             sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
             sim.run_until(100.0);
             sim.stats(NodeId::new(1)).packets_received
         };
         assert_eq!(run(7), run(7));
-        assert_ne!(run(7), run(8), "different seeds should (almost surely) differ");
+        assert_ne!(
+            run(7),
+            run(8),
+            "different seeds should (almost surely) differ"
+        );
     }
 
     #[test]
@@ -572,7 +694,13 @@ mod tests {
         // 50 B/s on a 100-byte packet = 2 seconds per packet.
         let mac = MacModel::rate_limited(vec![50.0, 0.0], 1000.0);
         let mut sim: Simulator<Msg, Flood> = Simulator::new(&topo, mac, 3);
-        sim.set_behavior(NodeId::new(0), Flood { count: 5, wire_len: 100 });
+        sim.set_behavior(
+            NodeId::new(0),
+            Flood {
+                count: 5,
+                wire_len: 100,
+            },
+        );
         sim.run_until(5.0);
         assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 2);
         sim.run_until(20.0);
@@ -584,7 +712,13 @@ mod tests {
         let topo = pair(1.0);
         let mac = MacModel::rate_limited(vec![0.0, 0.0], 1000.0);
         let mut sim: Simulator<Msg, Flood> = Simulator::new(&topo, mac, 3);
-        sim.set_behavior(NodeId::new(0), Flood { count: 8, wire_len: 100 });
+        sim.set_behavior(
+            NodeId::new(0),
+            Flood {
+                count: 8,
+                wire_len: 100,
+            },
+        );
         sim.run_until(10.0);
         assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 0);
         assert!((sim.queue_average(NodeId::new(0)) - 8.0).abs() < 1e-9);
@@ -600,7 +734,11 @@ mod tests {
     }
     impl Behavior<Msg> for StubbornUnicast {
         fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-            ctx.enqueue(Outgoing { msg: Msg(0), wire_len: 10, dest: Dest::Unicast(self.to) });
+            ctx.enqueue(Outgoing {
+                msg: Msg(0),
+                wire_len: 10,
+                dest: Dest::Unicast(self.to),
+            });
         }
         fn on_unicast_result(
             &mut self,
@@ -629,7 +767,12 @@ mod tests {
             Simulator::new(&topo, MacModel::fair_share(1000.0), 11);
         sim.set_behavior(
             NodeId::new(0),
-            StubbornUnicast { to: NodeId::new(1), budget: 64, delivered: 0, attempts: 0 },
+            StubbornUnicast {
+                to: NodeId::new(1),
+                budget: 64,
+                delivered: 0,
+                attempts: 0,
+            },
         );
         sim.run_until(100.0);
         let b = sim.behavior(NodeId::new(0)).unwrap();
@@ -659,7 +802,10 @@ mod tests {
             Simulator::new(&topo, MacModel::fair_share(1000.0), 0);
         sim.set_behavior(NodeId::new(0), TimerNode { fired_at: vec![] });
         sim.run_until(10.0);
-        assert_eq!(sim.behavior(NodeId::new(0)).unwrap().fired_at, vec![0.5, 1.5, 1.5]);
+        assert_eq!(
+            sim.behavior(NodeId::new(0)).unwrap().fired_at,
+            vec![0.5, 1.5, 1.5]
+        );
     }
 
     #[test]
@@ -688,7 +834,13 @@ mod tests {
         let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
             Simulator::new(&topo, MacModel::fair_share(100.0), 1);
         // 100-byte packets at 100 B/s = 1 s each; kill the source at 2.5 s.
-        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 10, wire_len: 100 }));
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(Flood {
+                count: 10,
+                wire_len: 100,
+            }),
+        );
         sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
         sim.schedule_kill(NodeId::new(0), 2.5);
         sim.run_until(20.0);
@@ -704,11 +856,21 @@ mod tests {
         let topo = pair(1.0);
         let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
             Simulator::new(&topo, MacModel::fair_share(1000.0), 2);
-        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 10, wire_len: 100 }));
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(Flood {
+                count: 10,
+                wire_len: 100,
+            }),
+        );
         sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
         sim.schedule_kill(NodeId::new(1), 0.45); // after ~4 deliveries
         sim.run_until(10.0);
-        assert_eq!(sim.stats(NodeId::new(0)).packets_sent, 10, "sender keeps going");
+        assert_eq!(
+            sim.stats(NodeId::new(0)).packets_sent,
+            10,
+            "sender keeps going"
+        );
         assert_eq!(sim.stats(NodeId::new(1)).packets_received, 4);
     }
 
@@ -718,7 +880,13 @@ mod tests {
         let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
             Simulator::new(&topo, MacModel::fair_share(1000.0), 1);
         sim.enable_trace(100);
-        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 3, wire_len: 100 }));
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(Flood {
+                count: 3,
+                wire_len: 100,
+            }),
+        );
         sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
         sim.run_until(10.0);
         let trace = sim.trace();
@@ -742,18 +910,98 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_mirrors_node_stats() {
+        let topo = pair(0.5);
+        let registry = Registry::new();
+        let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
+            Simulator::new(&topo, MacModel::fair_share(1e5), 9);
+        sim.attach_telemetry(&registry);
+        sim.enable_trace(4); // tiny bound: most events overflow
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(Flood {
+                count: 200,
+                wire_len: 10,
+            }),
+        );
+        sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
+        sim.run_until(100.0);
+
+        let stats = sim.stats(NodeId::new(1));
+        let lookup = |name: &str| {
+            registry
+                .snapshot()
+                .into_iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+        };
+        assert_eq!(lookup("mac.tx.completed").value, 200.0);
+        assert_eq!(lookup("mac.bytes_sent").value, 2000.0);
+        assert_eq!(lookup("mac.delivered").value, stats.packets_received as f64);
+        assert_eq!(lookup("mac.lost").value, stats.packets_lost as f64);
+        assert!(lookup("mac.queue.len").count > 0);
+        // The bounded trace overflowed, and the overflow is observable.
+        assert_eq!(sim.trace().events().len(), 4);
+        assert_eq!(
+            lookup("trace.dropped_events").value,
+            sim.trace().dropped() as f64
+        );
+        assert!(sim.trace().dropped() > 0);
+    }
+
+    #[test]
+    fn trace_events_serialize_to_json() {
+        let e = TraceEvent::TxStart {
+            at: SimTime::new(1.5),
+            node: NodeId::new(3),
+            wire_len: 100,
+            rate: 10.0,
+        };
+        let text = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, e);
+        let d = TraceEvent::Delivered {
+            at: SimTime::new(2.0),
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+        };
+        let back: TraceEvent = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
     fn fair_share_contention_halves_throughput() {
         // Transmitters 0 and 2 both in range of receiver 1: they split C.
         let mut links = Vec::new();
         for (a, b) in [(0usize, 1usize), (2, 1)] {
-            links.push(Link { from: NodeId::new(a), to: NodeId::new(b), p: 1.0 });
-            links.push(Link { from: NodeId::new(b), to: NodeId::new(a), p: 1.0 });
+            links.push(Link {
+                from: NodeId::new(a),
+                to: NodeId::new(b),
+                p: 1.0,
+            });
+            links.push(Link {
+                from: NodeId::new(b),
+                to: NodeId::new(a),
+                p: 1.0,
+            });
         }
         let topo = Topology::from_links(3, links).unwrap();
         let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
             Simulator::new(&topo, MacModel::fair_share(100.0), 5);
-        sim.set_behavior(NodeId::new(0), Box::new(Flood { count: 1000, wire_len: 10 }));
-        sim.set_behavior(NodeId::new(2), Box::new(Flood { count: 1000, wire_len: 10 }));
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(Flood {
+                count: 1000,
+                wire_len: 10,
+            }),
+        );
+        sim.set_behavior(
+            NodeId::new(2),
+            Box::new(Flood {
+                count: 1000,
+                wire_len: 10,
+            }),
+        );
         sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
         sim.run_until(10.0);
         // Each gets ~50 B/s → ~5 packets/s each → ~50 packets in 10 s.

@@ -1,10 +1,12 @@
 //! Per-node statistics: transmission counters and the time-averaged queue
 //! size used by the paper's Fig. 3.
 
+use serde::{Deserialize, Serialize};
+
 use crate::time::SimTime;
 
 /// Counters accumulated for one node over a simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct NodeStats {
     /// Packets this node finished transmitting.
     pub packets_sent: u64,
@@ -92,7 +94,7 @@ mod tests {
         q.observe(SimTime::new(1.0), 10); // len 0 for [0,1)
         q.observe(SimTime::new(3.0), 0); // len 10 for [1,3)
         q.observe(SimTime::new(4.0), 0); // len 0 for [3,4)
-        // (0·1 + 10·2 + 0·1) / 4 = 5
+                                         // (0·1 + 10·2 + 0·1) / 4 = 5
         assert!((q.time_average() - 5.0).abs() < 1e-12);
         assert_eq!(q.peak(), 10);
         assert_eq!(q.horizon(), 4.0);
@@ -102,6 +104,19 @@ mod tests {
     fn empty_tracker_reports_current_len() {
         let q = QueueTracker::new();
         assert_eq!(q.time_average(), 0.0);
+    }
+
+    #[test]
+    fn irregular_intervals_and_zero_width_observations() {
+        let mut q = QueueTracker::new();
+        q.observe(SimTime::new(0.25), 4); // len 0 for [0, 0.25)
+        q.observe(SimTime::new(0.25), 6); // zero-width: len 4 for no time
+        q.observe(SimTime::new(2.0), 1); // len 6 for [0.25, 2)
+        q.observe(SimTime::new(2.5), 0); // len 1 for [2, 2.5)
+                                         // (0·0.25 + 4·0 + 6·1.75 + 1·0.5) / 2.5 = 11/2.5
+        assert!((q.time_average() - 11.0 / 2.5).abs() < 1e-12);
+        assert_eq!(q.peak(), 6);
+        assert_eq!(q.horizon(), 2.5);
     }
 
     #[test]

@@ -46,7 +46,9 @@ impl Eq for SimTime {}
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> core::cmp::Ordering {
         // Values are always finite by construction, so partial_cmp is total.
-        self.0.partial_cmp(&other.0).expect("SimTime is always finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is always finite")
     }
 }
 

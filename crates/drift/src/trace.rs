@@ -6,11 +6,13 @@
 //! MAC-level events that tests and debugging sessions can assert against.
 
 use net_topo::graph::NodeId;
+use serde::{Deserialize, Serialize};
+use telemetry::Counter;
 
 use crate::time::SimTime;
 
 /// One MAC-level event.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// `node` started transmitting `wire_len` bytes at `rate` bytes/second.
     TxStart {
@@ -69,6 +71,9 @@ pub struct Trace {
     capacity: usize,
     dropped: u64,
     enabled: bool,
+    /// Telemetry counter mirroring `dropped` (no-op unless attached).
+    dropped_counter: Counter,
+    warned_on_drop: bool,
 }
 
 impl Trace {
@@ -78,14 +83,38 @@ impl Trace {
     }
 
     /// Creates an enabled trace holding at most `capacity` events; further
-    /// events are counted but not stored.
+    /// events are counted (and reported through the attached telemetry
+    /// counter) but not stored.
     pub fn bounded(capacity: usize) -> Self {
-        Trace { events: Vec::new(), capacity, dropped: 0, enabled: true }
+        Trace {
+            capacity,
+            enabled: true,
+            ..Trace::default()
+        }
+    }
+
+    /// Creates an enabled trace with no bound: every event is stored.
+    /// Memory grows with the run; prefer [`Trace::bounded`] for long
+    /// simulations.
+    pub fn unbounded() -> Self {
+        Trace::bounded(usize::MAX)
+    }
+
+    /// Mirrors dropped-event counts into a telemetry counter (typically
+    /// `trace.dropped_events` from a registry) so truncation is observable
+    /// instead of silent.
+    pub fn set_dropped_counter(&mut self, counter: Counter) {
+        self.dropped_counter = counter;
     }
 
     /// Whether recording is on.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The configured capacity (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     pub(crate) fn record(&mut self, event: TraceEvent) {
@@ -96,6 +125,15 @@ impl Trace {
             self.events.push(event);
         } else {
             self.dropped += 1;
+            self.dropped_counter.inc();
+            if !self.warned_on_drop {
+                self.warned_on_drop = true;
+                eprintln!(
+                    "drift: trace capacity {} reached; further events are \
+                     counted in trace.dropped_events but not stored",
+                    self.capacity
+                );
+            }
         }
     }
 
@@ -129,7 +167,10 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::disabled();
-        t.record(TraceEvent::TxComplete { at: SimTime::ZERO, node: NodeId::new(0) });
+        t.record(TraceEvent::TxComplete {
+            at: SimTime::ZERO,
+            node: NodeId::new(0),
+        });
         assert!(t.events().is_empty());
         assert_eq!(t.dropped(), 0);
         assert!(!t.is_enabled());
@@ -139,7 +180,10 @@ mod tests {
     fn bounded_trace_counts_overflow() {
         let mut t = Trace::bounded(2);
         for i in 0..5 {
-            t.record(TraceEvent::TxComplete { at: SimTime::ZERO, node: NodeId::new(i) });
+            t.record(TraceEvent::TxComplete {
+                at: SimTime::ZERO,
+                node: NodeId::new(i),
+            });
         }
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 3);

@@ -158,11 +158,7 @@ pub fn mul_add_assign(dst: &mut [u8], src: &[u8], c: u8) {
                 let sw = u64::from_le_bytes(s.try_into().expect("chunk of 8"));
                 d.copy_from_slice(&(dw ^ mul_word(sw, c)).to_le_bytes());
             }
-            crate::slice::mul_add_assign(
-                d_chunks.into_remainder(),
-                s_chunks.remainder(),
-                c,
-            );
+            crate::slice::mul_add_assign(d_chunks.into_remainder(), s_chunks.remainder(), c);
         }
     }
 }
@@ -212,7 +208,9 @@ mod tests {
     #[test]
     fn unaligned_tails_are_handled() {
         for len in 0..32 {
-            let src: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(37).wrapping_add(1)).collect();
+            let src: Vec<u8> = (0..len as u8)
+                .map(|i| i.wrapping_mul(37).wrapping_add(1))
+                .collect();
             let mut a = src.clone();
             let mut b = src.clone();
             mul_assign(&mut a, 0x9d);

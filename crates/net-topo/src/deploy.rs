@@ -49,7 +49,10 @@ impl Deployment {
     /// densities ≥ 4 once `n ≥ 10`).
     pub fn random(n: usize, density: f64, phy: &Phy, seed: u64) -> Self {
         assert!(n >= 2, "a deployment needs at least 2 nodes");
-        assert!(density.is_finite() && density > 0.0, "density must be positive");
+        assert!(
+            density.is_finite() && density > 0.0,
+            "density must be positive"
+        );
         let r = phy.range();
         let side = r * (((n.saturating_sub(1)) as f64) * std::f64::consts::PI / density).sqrt();
         for attempt in 0..1000u32 {
@@ -60,7 +63,13 @@ impl Deployment {
             let topo = Topology::from_points_seeded(points.clone(), phy, Some(seed))
                 .expect("n >= 2 points always form a topology");
             if topo.is_connected() {
-                return Deployment { points, phy: phy.clone(), side, seed, attempts: attempt + 1 };
+                return Deployment {
+                    points,
+                    phy: phy.clone(),
+                    side,
+                    seed,
+                    attempts: attempt + 1,
+                };
             }
         }
         panic!("no connected deployment of {n} nodes at density {density} after 1000 attempts");
@@ -177,7 +186,9 @@ mod tests {
         // More power can only revive shadow-blocked links, never lose one.
         assert!(strong.link_count() >= lossy.link_count());
         for l in lossy.links() {
-            assert!(strong.link_prob(l.from, l.to).is_some_and(|p| p >= l.p - 1e-12));
+            assert!(strong
+                .link_prob(l.from, l.to)
+                .is_some_and(|p| p >= l.p - 1e-12));
         }
         assert!(strong.avg_link_quality() > lossy.avg_link_quality());
     }

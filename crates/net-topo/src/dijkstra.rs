@@ -114,7 +114,10 @@ where
     let mut prev = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { cost: 0.0, node: source });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
 
     while let Some(HeapEntry { cost: d, node: u }) = heap.pop() {
         if d > dist[u.index()] {
@@ -127,7 +130,10 @@ where
             if next < dist[link.to.index()] {
                 dist[link.to.index()] = next;
                 prev[link.to.index()] = Some(u);
-                heap.push(HeapEntry { cost: next, node: link.to });
+                heap.push(HeapEntry {
+                    cost: next,
+                    node: link.to,
+                });
             }
         }
     }
@@ -157,8 +163,16 @@ mod tests {
     fn line(n: usize, p: f64) -> Topology {
         let mut links = Vec::new();
         for i in 0..n - 1 {
-            links.push(Link { from: NodeId::new(i), to: NodeId::new(i + 1), p });
-            links.push(Link { from: NodeId::new(i + 1), to: NodeId::new(i), p });
+            links.push(Link {
+                from: NodeId::new(i),
+                to: NodeId::new(i + 1),
+                p,
+            });
+            links.push(Link {
+                from: NodeId::new(i + 1),
+                to: NodeId::new(i),
+                p,
+            });
         }
         Topology::from_links(n, links).unwrap()
     }
@@ -177,7 +191,11 @@ mod tests {
     fn unreachable_nodes_have_no_cost() {
         let t = Topology::from_links(
             3,
-            vec![Link { from: NodeId::new(0), to: NodeId::new(1), p: 1.0 }],
+            vec![Link {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                p: 1.0,
+            }],
         )
         .unwrap();
         let sp = shortest_paths(&t, NodeId::new(0), etx::link_cost);
@@ -191,7 +209,12 @@ mod tests {
         let sp = shortest_paths(&t, NodeId::new(0), etx::link_cost);
         assert_eq!(
             sp.path_to(NodeId::new(3)).unwrap(),
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
         assert_eq!(sp.predecessor(NodeId::new(3)), Some(NodeId::new(2)));
         assert_eq!(sp.predecessor(NodeId::new(0)), None);

@@ -43,7 +43,10 @@ impl fmt::Display for TopoError {
                 write!(f, "a topology needs at least 2 nodes, got {requested}")
             }
             TopoError::InvalidParameter { name, value } => {
-                write!(f, "parameter {name} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter {name} must be positive and finite, got {value}"
+                )
             }
             TopoError::UnknownNode(id) => write!(f, "unknown node {id}"),
             TopoError::Disconnected { src, dst } => {
@@ -64,7 +67,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = TopoError::Disconnected { src: NodeId::new(1), dst: NodeId::new(2) };
+        let e = TopoError::Disconnected {
+            src: NodeId::new(1),
+            dst: NodeId::new(2),
+        };
         assert!(e.to_string().contains("n1"));
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TopoError>();

@@ -43,7 +43,10 @@ pub fn path_cost(topology: &Topology, path: &[NodeId]) -> Result<f64, TopoError>
     for w in path.windows(2) {
         let p = topology
             .link_prob(w[0], w[1])
-            .ok_or(TopoError::Disconnected { src: w[0], dst: w[1] })?;
+            .ok_or(TopoError::Disconnected {
+                src: w[0],
+                dst: w[1],
+            })?;
         cost += 1.0 / p;
     }
     Ok(cost)
@@ -52,7 +55,11 @@ pub fn path_cost(topology: &Topology, path: &[NodeId]) -> Result<f64, TopoError>
 fn reverse(topology: &Topology) -> Topology {
     let links = topology
         .links()
-        .map(|l| Link { from: l.to, to: l.from, p: l.p })
+        .map(|l| Link {
+            from: l.to,
+            to: l.from,
+            p: l.p,
+        })
         .collect();
     Topology::from_links(topology.len(), links).expect("reversing preserves validity")
 }
@@ -66,10 +73,26 @@ mod tests {
         Topology::from_links(
             3,
             vec![
-                Link { from: NodeId::new(0), to: NodeId::new(1), p: 1.0 },
-                Link { from: NodeId::new(1), to: NodeId::new(2), p: 0.5 },
-                Link { from: NodeId::new(0), to: NodeId::new(2), p: 0.25 },
-                Link { from: NodeId::new(2), to: NodeId::new(0), p: 1.0 },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                    p: 1.0,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(2),
+                    p: 0.5,
+                },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(2),
+                    p: 0.25,
+                },
+                Link {
+                    from: NodeId::new(2),
+                    to: NodeId::new(0),
+                    p: 1.0,
+                },
             ],
         )
         .unwrap()
@@ -77,7 +100,11 @@ mod tests {
 
     #[test]
     fn link_cost_is_reciprocal_probability() {
-        let l = Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.25 };
+        let l = Link {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            p: 0.25,
+        };
         assert_eq!(link_cost(&l), 4.0);
         assert_eq!(l.etx(), 4.0);
     }
@@ -108,7 +135,11 @@ mod tests {
     fn disconnected_pairs_error() {
         let t = Topology::from_links(
             2,
-            vec![Link { from: NodeId::new(0), to: NodeId::new(1), p: 1.0 }],
+            vec![Link {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                p: 1.0,
+            }],
         )
         .unwrap();
         assert!(matches!(

@@ -103,7 +103,9 @@ impl Topology {
         seed: Option<u64>,
     ) -> Result<Self, TopoError> {
         if points.len() < 2 {
-            return Err(TopoError::TooFewNodes { requested: points.len() });
+            return Err(TopoError::TooFewNodes {
+                requested: points.len(),
+            });
         }
         let n = points.len();
         let mut links = Vec::new();
@@ -120,7 +122,11 @@ impl Topology {
                     _ => phy.reception_prob(d),
                 };
                 if p > 0.0 {
-                    links.push(Link { from: NodeId(i), to: NodeId(j), p });
+                    links.push(Link {
+                        from: NodeId(i),
+                        to: NodeId(j),
+                        p,
+                    });
                 }
             }
         }
@@ -188,7 +194,15 @@ impl Topology {
         for list in &mut neighbors {
             list.sort_unstable();
         }
-        Ok(Topology { points: None, range: None, n, out, inn, neighbors, prob })
+        Ok(Topology {
+            points: None,
+            range: None,
+            n,
+            out,
+            inn,
+            neighbors,
+            prob,
+        })
     }
 
     /// Number of nodes.
@@ -303,7 +317,11 @@ impl Topology {
         let mut count = 0;
         while let Some(u) = queue.pop() {
             count += 1;
-            let links = if reverse { &self.inn[u.0] } else { &self.out[u.0] };
+            let links = if reverse {
+                &self.inn[u.0]
+            } else {
+                &self.out[u.0]
+            };
             for l in links {
                 let v = if reverse { l.from } else { l.to };
                 if !seen[v.0] {
@@ -362,11 +380,31 @@ mod tests {
     fn diamond() -> Topology {
         // s=0 → {1, 2} → t=3, a classic two-path topology.
         let links = vec![
-            Link { from: NodeId(0), to: NodeId(1), p: 0.8 },
-            Link { from: NodeId(0), to: NodeId(2), p: 0.5 },
-            Link { from: NodeId(1), to: NodeId(3), p: 0.6 },
-            Link { from: NodeId(2), to: NodeId(3), p: 0.9 },
-            Link { from: NodeId(3), to: NodeId(0), p: 1.0 }, // return path
+            Link {
+                from: NodeId(0),
+                to: NodeId(1),
+                p: 0.8,
+            },
+            Link {
+                from: NodeId(0),
+                to: NodeId(2),
+                p: 0.5,
+            },
+            Link {
+                from: NodeId(1),
+                to: NodeId(3),
+                p: 0.6,
+            },
+            Link {
+                from: NodeId(2),
+                to: NodeId(3),
+                p: 0.9,
+            },
+            Link {
+                from: NodeId(3),
+                to: NodeId(0),
+                p: 1.0,
+            }, // return path
         ];
         Topology::from_links(4, links).unwrap()
     }
@@ -409,11 +447,8 @@ mod tests {
     fn link_probabilities_match_phy() {
         let phy = Phy::paper_lossy();
         let d = phy.range() * 0.6;
-        let t = Topology::from_points(
-            vec![Point::new(0.0, 0.0), Point::new(d, 0.0)],
-            &phy,
-        )
-        .unwrap();
+        let t =
+            Topology::from_points(vec![Point::new(0.0, 0.0), Point::new(d, 0.0)], &phy).unwrap();
         let p = t.link_prob(NodeId(0), NodeId(1)).unwrap();
         assert!((p - phy.reception_prob(d)).abs() < 1e-12);
         // Symmetric distances give symmetric probabilities.
@@ -429,21 +464,33 @@ mod tests {
         assert!(matches!(
             Topology::from_links(
                 2,
-                vec![Link { from: NodeId(0), to: NodeId(5), p: 0.5 }]
+                vec![Link {
+                    from: NodeId(0),
+                    to: NodeId(5),
+                    p: 0.5
+                }]
             ),
             Err(TopoError::UnknownNode(_))
         ));
         assert!(matches!(
             Topology::from_links(
                 2,
-                vec![Link { from: NodeId(0), to: NodeId(1), p: 0.0 }]
+                vec![Link {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    p: 0.0
+                }]
             ),
             Err(TopoError::InvalidProbability { .. })
         ));
         assert!(matches!(
             Topology::from_links(
                 2,
-                vec![Link { from: NodeId(0), to: NodeId(1), p: 1.5 }]
+                vec![Link {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    p: 1.5
+                }]
             ),
             Err(TopoError::InvalidProbability { .. })
         ));
@@ -456,8 +503,16 @@ mod tests {
         let no_return = Topology::from_links(
             3,
             vec![
-                Link { from: NodeId(0), to: NodeId(1), p: 1.0 },
-                Link { from: NodeId(1), to: NodeId(2), p: 1.0 },
+                Link {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    p: 1.0,
+                },
+                Link {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    p: 1.0,
+                },
             ],
         )
         .unwrap();

@@ -101,13 +101,22 @@ impl Phy {
     /// `plateau_frac` in `[0, 1)`).
     pub fn new(nominal_range: f64, p_max: f64, plateau_frac: f64) -> Result<Self, TopoError> {
         if !(nominal_range.is_finite() && nominal_range > 0.0) {
-            return Err(TopoError::InvalidParameter { name: "nominal_range", value: nominal_range });
+            return Err(TopoError::InvalidParameter {
+                name: "nominal_range",
+                value: nominal_range,
+            });
         }
         if !(p_max.is_finite() && p_max > RANGE_THRESHOLD && p_max <= 1.0) {
-            return Err(TopoError::InvalidParameter { name: "p_max", value: p_max });
+            return Err(TopoError::InvalidParameter {
+                name: "p_max",
+                value: p_max,
+            });
         }
         if !(plateau_frac.is_finite() && (0.0..1.0).contains(&plateau_frac)) {
-            return Err(TopoError::InvalidParameter { name: "plateau_frac", value: plateau_frac });
+            return Err(TopoError::InvalidParameter {
+                name: "plateau_frac",
+                value: plateau_frac,
+            });
         }
         Ok(Phy {
             nominal_range,
@@ -127,7 +136,10 @@ impl Phy {
     /// qualities on the same topology rather than adding longer links.
     #[must_use]
     pub fn with_power_gain(mut self, gain: f64) -> Self {
-        assert!(gain.is_finite() && gain > 0.0, "power gain must be positive");
+        assert!(
+            gain.is_finite() && gain > 0.0,
+            "power gain must be positive"
+        );
         self.power_gain = gain;
         self
     }
@@ -152,7 +164,10 @@ impl Phy {
     /// Panics if `sigma` is negative or not finite.
     #[must_use]
     pub fn with_shadowing(mut self, sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "shadowing sigma must be non-negative");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "shadowing sigma must be non-negative"
+        );
         self.shadowing_sigma = sigma;
         self
     }
@@ -173,7 +188,10 @@ impl Phy {
     /// Panics if `multiple < 1.0` or is not finite.
     #[must_use]
     pub fn with_opportunistic_cutoff(mut self, multiple: f64) -> Self {
-        assert!(multiple.is_finite() && multiple >= 1.0, "cutoff must be >= 1 range");
+        assert!(
+            multiple.is_finite() && multiple >= 1.0,
+            "cutoff must be >= 1 range"
+        );
         self.opportunistic_cutoff = multiple;
         self
     }
@@ -205,7 +223,10 @@ impl Phy {
     ///
     /// Panics if `distance` is negative or `z` is not finite.
     pub fn reception_prob_shadowed(&self, distance: f64, z: f64) -> f64 {
-        assert!(distance.is_finite() && distance >= 0.0, "distance must be non-negative");
+        assert!(
+            distance.is_finite() && distance >= 0.0,
+            "distance must be non-negative"
+        );
         assert!(z.is_finite(), "shadowing draw must be finite");
         if distance > self.opportunistic_cutoff * self.nominal_range {
             return 0.0; // beyond even opportunistic reception
@@ -301,7 +322,10 @@ mod tests {
         // the cutoff.
         let tail = phy.reception_prob(phy.range() * 1.5);
         assert!(tail > 0.0 && tail < RANGE_THRESHOLD, "tail p {tail}");
-        assert_eq!(phy.reception_prob(phy.range() * OPPORTUNISTIC_CUTOFF + 1.0), 0.0);
+        assert_eq!(
+            phy.reception_prob(phy.range() * OPPORTUNISTIC_CUTOFF + 1.0),
+            0.0
+        );
     }
 
     #[test]
@@ -331,7 +355,10 @@ mod tests {
     #[test]
     fn power_gain_keeps_the_topology() {
         // Same range ⇒ same neighbor sets, per the paper's experiment design.
-        assert_eq!(Phy::paper_lossy().range(), Phy::paper_high_quality().range());
+        assert_eq!(
+            Phy::paper_lossy().range(),
+            Phy::paper_high_quality().range()
+        );
     }
 
     #[test]

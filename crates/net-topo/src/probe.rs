@@ -84,7 +84,10 @@ pub fn probe_links<R: Rng + ?Sized>(truth: &Topology, probes: u32, rng: &mut R) 
             }
         }
     }
-    ProbeReport { probes_per_link: probes, measured }
+    ProbeReport {
+        probes_per_link: probes,
+        measured,
+    }
 }
 
 /// Convenience: probe and rebuild the measured topology in one call,
@@ -106,9 +109,21 @@ mod tests {
         Topology::from_links(
             3,
             vec![
-                Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.7 },
-                Link { from: NodeId::new(1), to: NodeId::new(2), p: 0.3 },
-                Link { from: NodeId::new(2), to: NodeId::new(0), p: 1.0 },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                    p: 0.7,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(2),
+                    p: 0.3,
+                },
+                Link {
+                    from: NodeId::new(2),
+                    to: NodeId::new(0),
+                    p: 1.0,
+                },
             ],
         )
         .unwrap()
@@ -119,7 +134,11 @@ mod tests {
         let t = truth();
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         let report = probe_links(&t, 10_000, &mut rng);
-        assert!(report.mean_abs_error(&t) < 0.02, "err {}", report.mean_abs_error(&t));
+        assert!(
+            report.mean_abs_error(&t) < 0.02,
+            "err {}",
+            report.mean_abs_error(&t)
+        );
     }
 
     #[test]
@@ -137,7 +156,11 @@ mod tests {
     fn perfect_links_measure_perfect() {
         let t = Topology::from_links(
             2,
-            vec![Link { from: NodeId::new(0), to: NodeId::new(1), p: 1.0 }],
+            vec![Link {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                p: 1.0,
+            }],
         )
         .unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(19);

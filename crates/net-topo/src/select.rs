@@ -78,9 +78,15 @@ pub fn select_forwarders(topology: &Topology, src: NodeId, dst: NodeId) -> Selec
             }
         }
     }
-    debug_assert!(is_selected[dst.index()], "dst lies downhill of src by construction");
+    debug_assert!(
+        is_selected[dst.index()],
+        "dst lies downhill of src by construction"
+    );
 
-    let selected: Vec<NodeId> = topology.nodes().filter(|v| is_selected[v.index()]).collect();
+    let selected: Vec<NodeId> = topology
+        .nodes()
+        .filter(|v| is_selected[v.index()])
+        .collect();
 
     // Keep only downhill links between selected nodes.
     let links: Vec<Link> = topology
@@ -94,10 +100,16 @@ pub fn select_forwarders(topology: &Topology, src: NodeId, dst: NodeId) -> Selec
                 }
         })
         .collect();
-    let subgraph =
-        Topology::from_links(n, links).expect("filtered links remain valid");
+    let subgraph = Topology::from_links(n, links).expect("filtered links remain valid");
 
-    Selection { src, dst, selected, is_selected, dist_to_dst: dist, subgraph }
+    Selection {
+        src,
+        dst,
+        selected,
+        is_selected,
+        dist_to_dst: dist,
+        subgraph,
+    }
 }
 
 impl Selection {
@@ -159,7 +171,11 @@ pub fn disjoint_path_count(dag: &Topology, src: NodeId, dst: NodeId) -> usize {
     let idx_out = |v: NodeId| 2 * v.index() + 1;
     let mut cap: std::collections::HashMap<(usize, usize), i32> = std::collections::HashMap::new();
     for v in dag.nodes() {
-        let c = if v == src || v == dst { i32::MAX / 4 } else { 1 };
+        let c = if v == src || v == dst {
+            i32::MAX / 4
+        } else {
+            1
+        };
         cap.insert((idx_in(v), idx_out(v)), c);
     }
     for l in dag.links() {
@@ -238,8 +254,16 @@ mod tests {
         // 2 — 3     linked only to the source 0.
         let mut links = Vec::new();
         let mut add = |a: usize, b: usize| {
-            links.push(Link { from: NodeId::new(a), to: NodeId::new(b), p: 0.5 });
-            links.push(Link { from: NodeId::new(b), to: NodeId::new(a), p: 0.5 });
+            links.push(Link {
+                from: NodeId::new(a),
+                to: NodeId::new(b),
+                p: 0.5,
+            });
+            links.push(Link {
+                from: NodeId::new(b),
+                to: NodeId::new(a),
+                p: 0.5,
+            });
         };
         add(0, 1);
         add(0, 2);
@@ -257,7 +281,10 @@ mod tests {
         assert!(sel.contains(NodeId::new(1)));
         assert!(sel.contains(NodeId::new(2)));
         assert!(sel.contains(NodeId::new(3)));
-        assert!(!sel.contains(NodeId::new(4)), "node behind the source must be pruned");
+        assert!(
+            !sel.contains(NodeId::new(4)),
+            "node behind the source must be pruned"
+        );
         assert_eq!(sel.path_count(), 2);
     }
 
@@ -284,8 +311,7 @@ mod tests {
         for l in g.links() {
             indeg[l.to.index()] += 1;
         }
-        let mut queue: Vec<NodeId> =
-            g.nodes().filter(|v| indeg[v.index()] == 0).collect();
+        let mut queue: Vec<NodeId> = g.nodes().filter(|v| indeg[v.index()] == 0).collect();
         let mut seen = 0;
         while let Some(u) = queue.pop() {
             seen += 1;
@@ -320,8 +346,16 @@ mod tests {
     fn line_topology_selects_the_line() {
         let mut links = Vec::new();
         for i in 0..4 {
-            links.push(Link { from: NodeId::new(i), to: NodeId::new(i + 1), p: 0.5 });
-            links.push(Link { from: NodeId::new(i + 1), to: NodeId::new(i), p: 0.5 });
+            links.push(Link {
+                from: NodeId::new(i),
+                to: NodeId::new(i + 1),
+                p: 0.5,
+            });
+            links.push(Link {
+                from: NodeId::new(i + 1),
+                to: NodeId::new(i),
+                p: 0.5,
+            });
         }
         let t = Topology::from_links(5, links).unwrap();
         let sel = select_forwarders(&t, NodeId::new(0), NodeId::new(4));

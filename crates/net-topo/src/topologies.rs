@@ -24,8 +24,16 @@ pub fn line(n: usize, p: f64) -> Topology {
     assert!(n >= 2, "a line needs at least 2 nodes");
     let mut links = Vec::with_capacity(2 * (n - 1));
     for i in 0..n - 1 {
-        links.push(Link { from: NodeId::new(i), to: NodeId::new(i + 1), p });
-        links.push(Link { from: NodeId::new(i + 1), to: NodeId::new(i), p });
+        links.push(Link {
+            from: NodeId::new(i),
+            to: NodeId::new(i + 1),
+            p,
+        });
+        links.push(Link {
+            from: NodeId::new(i + 1),
+            to: NodeId::new(i),
+            p,
+        });
     }
     Topology::from_links(n, links).expect("line parameters validated")
 }
@@ -40,8 +48,16 @@ pub fn ring(n: usize, p: f64) -> Topology {
     let mut links = Vec::with_capacity(2 * n);
     for i in 0..n {
         let j = (i + 1) % n;
-        links.push(Link { from: NodeId::new(i), to: NodeId::new(j), p });
-        links.push(Link { from: NodeId::new(j), to: NodeId::new(i), p });
+        links.push(Link {
+            from: NodeId::new(i),
+            to: NodeId::new(j),
+            p,
+        });
+        links.push(Link {
+            from: NodeId::new(j),
+            to: NodeId::new(i),
+            p,
+        });
     }
     Topology::from_links(n, links).expect("ring parameters validated")
 }
@@ -59,12 +75,28 @@ pub fn grid(rows: usize, cols: usize, p: f64) -> Topology {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                links.push(Link { from: id(r, c), to: id(r, c + 1), p });
-                links.push(Link { from: id(r, c + 1), to: id(r, c), p });
+                links.push(Link {
+                    from: id(r, c),
+                    to: id(r, c + 1),
+                    p,
+                });
+                links.push(Link {
+                    from: id(r, c + 1),
+                    to: id(r, c),
+                    p,
+                });
             }
             if r + 1 < rows {
-                links.push(Link { from: id(r, c), to: id(r + 1, c), p });
-                links.push(Link { from: id(r + 1, c), to: id(r, c), p });
+                links.push(Link {
+                    from: id(r, c),
+                    to: id(r + 1, c),
+                    p,
+                });
+                links.push(Link {
+                    from: id(r + 1, c),
+                    to: id(r, c),
+                    p,
+                });
             }
         }
     }
@@ -82,7 +114,11 @@ pub fn clique(n: usize, p: f64) -> Topology {
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                links.push(Link { from: NodeId::new(i), to: NodeId::new(j), p });
+                links.push(Link {
+                    from: NodeId::new(i),
+                    to: NodeId::new(j),
+                    p,
+                });
             }
         }
     }
@@ -100,10 +136,26 @@ pub fn diamond(p_s1: f64, p_s2: f64, p_1t: f64, p_2t: f64) -> Topology {
     Topology::from_links(
         4,
         vec![
-            Link { from: NodeId::new(0), to: NodeId::new(1), p: p_s1 },
-            Link { from: NodeId::new(0), to: NodeId::new(2), p: p_s2 },
-            Link { from: NodeId::new(1), to: NodeId::new(3), p: p_1t },
-            Link { from: NodeId::new(2), to: NodeId::new(3), p: p_2t },
+            Link {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                p: p_s1,
+            },
+            Link {
+                from: NodeId::new(0),
+                to: NodeId::new(2),
+                p: p_s2,
+            },
+            Link {
+                from: NodeId::new(1),
+                to: NodeId::new(3),
+                p: p_1t,
+            },
+            Link {
+                from: NodeId::new(2),
+                to: NodeId::new(3),
+                p: p_2t,
+            },
         ],
     )
     .expect("diamond parameters validated")
@@ -200,7 +252,10 @@ mod tests {
         assert_eq!(sp.hops_to(NodeId::new(1)), Some(4));
         use crate::select::{disjoint_path_count, select_forwarders};
         let sel = select_forwarders(&t, NodeId::new(0), NodeId::new(1));
-        assert_eq!(disjoint_path_count(sel.subgraph(), NodeId::new(0), NodeId::new(1)), 3);
+        assert_eq!(
+            disjoint_path_count(sel.subgraph(), NodeId::new(0), NodeId::new(1)),
+            3
+        );
     }
 
     #[test]

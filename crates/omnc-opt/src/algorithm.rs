@@ -22,6 +22,7 @@
 
 use net_topo::dijkstra;
 use net_topo::graph::{Link, NodeId, Topology};
+use serde::{Deserialize, Serialize};
 
 use crate::flow;
 use crate::instance::SUnicast;
@@ -98,6 +99,37 @@ pub struct Trace {
     pub b_allocated: Vec<Vec<f64>>,
     /// SUB1 flow `γ_t` injected along the iteration's shortest path.
     pub gamma_step: Vec<f64>,
+    /// Scalar subgradient telemetry per iteration (serializable; exported
+    /// as JSONL by the convergence benches).
+    pub records: Vec<IterationRecord>,
+}
+
+/// One iteration's subgradient telemetry, in a flat serializable form.
+///
+/// `dual_value` evaluates the relaxed Lagrangian at the iterate,
+/// `w·ln γ_t + Σ_e λ_e·(b_i·p_ij − x_ij)`, in capacity-normalized units; it
+/// upper-bounds the optimal utility once the duals settle. `max_violation`
+/// is the worst instantaneous primal infeasibility across the coupling rows
+/// (5) and the MAC rows (4). `recovery_gap` is the distance between the
+/// dual value and the utility of the recovered (feasible) primal — the
+/// quantity that shrinks as primal recovery converges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Iteration index `t`, starting at 1.
+    pub iter: u64,
+    /// Step size `θ(t)` of the diminishing schedule.
+    pub step_size: f64,
+    /// SUB1 injected flow `γ_t`, absolute units.
+    pub gamma: f64,
+    /// Relaxed Lagrangian at the iterate (normalized units).
+    pub dual_value: f64,
+    /// Worst positive violation over coupling and MAC constraints
+    /// (normalized units; 0 when the instantaneous iterate is feasible).
+    pub max_violation: f64,
+    /// End-to-end rate supported by the recovered primal, absolute units.
+    pub recovered_rate: f64,
+    /// `dual_value − w·ln(recovered rate)` (normalized units).
+    pub recovery_gap: f64,
 }
 
 /// The outcome of a rate-control run: a feasible rate allocation.
@@ -120,7 +152,13 @@ impl RateAllocation {
         iterations: usize,
         converged: bool,
     ) -> Self {
-        RateAllocation { b, x, throughput, iterations, converged }
+        RateAllocation {
+            b,
+            x,
+            throughput,
+            iterations,
+            converged,
+        }
     }
 
     /// Broadcast rate assigned to local node `i` (absolute units, e.g.
@@ -190,7 +228,11 @@ pub fn default_portfolio() -> Vec<RateControlParams> {
     vec![
         RateControlParams::default(),
         RateControlParams {
-            step: StepSize::Diminishing { a: 1.0, b: 0.5, c: 3.0 },
+            step: StepSize::Diminishing {
+                a: 1.0,
+                b: 0.5,
+                c: 3.0,
+            },
             max_iterations: 600,
             ..Default::default()
         },
@@ -242,7 +284,10 @@ impl<'a> RateControl<'a> {
     /// Panics if any parameter is non-positive.
     pub fn with_params(problem: &'a SUnicast, params: RateControlParams) -> Self {
         assert!(params.proximal_c > 0.0, "proximal_c must be positive");
-        assert!(params.utility_weight > 0.0, "utility_weight must be positive");
+        assert!(
+            params.utility_weight > 0.0,
+            "utility_weight must be positive"
+        );
         assert!(params.max_iterations > 0, "max_iterations must be positive");
         assert!(params.tolerance > 0.0, "tolerance must be positive");
         assert!(params.check_window > 0, "check_window must be positive");
@@ -256,7 +301,12 @@ impl<'a> RateControl<'a> {
             .collect();
         let scaffold = Topology::from_links(problem.node_count().max(2), links)
             .expect("instance links form a valid graph");
-        RateControl { problem, params, scaffold, record_trace: false }
+        RateControl {
+            problem,
+            params,
+            scaffold,
+            record_trace: false,
+        }
     }
 
     /// Enables per-iteration tracing (used by the Fig. 1 bench).
@@ -384,8 +434,12 @@ impl<'a> RateControl<'a> {
         let mut b_new = st.b.clone();
         for i in 0..n {
             // β_S ≡ 0: eq. (4) constrains receivers i ∈ V \ S only.
-            let price: f64 =
-                st.beta[i] + problem.neighbors(i).iter().map(|&j| st.beta[j]).sum::<f64>();
+            let price: f64 = st.beta[i]
+                + problem
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| st.beta[j])
+                    .sum::<f64>();
             let grad = w[i] - price;
             // Loose bounds 0 ≤ b_i ≤ C keep iterates bounded (Sec. 3.3).
             b_new[i] = (st.b[i] + grad / (2.0 * self.params.proximal_c)).clamp(0.0, 1.0);
@@ -396,8 +450,7 @@ impl<'a> RateControl<'a> {
             if i == problem.src() {
                 continue; // no MAC constraint row at the source
             }
-            let load: f64 =
-                st.b[i] + problem.neighbors(i).iter().map(|&j| st.b[j]).sum::<f64>();
+            let load: f64 = st.b[i] + problem.neighbors(i).iter().map(|&j| st.b[j]).sum::<f64>();
             st.beta[i] = (st.beta[i] + theta * (load - 1.0)).max(0.0);
         }
         // Primal recovery (18) for b, over the same tail window.
@@ -415,9 +468,52 @@ impl<'a> RateControl<'a> {
         if self.record_trace {
             let cap = problem.capacity();
             trace.b_instant.push(st.b.iter().map(|v| v * cap).collect());
-            trace.b_recovered.push(st.b_avg.iter().map(|v| v * cap).collect());
+            trace
+                .b_recovered
+                .push(st.b_avg.iter().map(|v| v * cap).collect());
             trace.b_allocated.push(self.allocation_preview(st, cap));
             trace.gamma_step.push(gamma_t * cap);
+            trace
+                .records
+                .push(self.record_iteration(st, theta, gamma_t, &x_step, cap));
+        }
+    }
+
+    /// Assembles the scalar telemetry record for the iteration just taken.
+    fn record_iteration(
+        &self,
+        st: &State,
+        theta: f64,
+        gamma_t: f64,
+        x_step: &[f64],
+        cap: f64,
+    ) -> IterationRecord {
+        let problem = self.problem;
+        let w_util = self.params.utility_weight;
+        let mut dual = w_util * gamma_t.max(1e-12).ln();
+        let mut max_violation = 0.0f64;
+        for (id, link) in problem.links() {
+            let e = id.index();
+            let slack = st.b[link.from] * link.p - x_step[e];
+            dual += st.lambda[e] * slack;
+            max_violation = max_violation.max(-slack);
+        }
+        for i in 0..problem.node_count() {
+            if i == problem.src() {
+                continue;
+            }
+            let load: f64 = st.b[i] + problem.neighbors(i).iter().map(|&j| st.b[j]).sum::<f64>();
+            max_violation = max_violation.max(load - 1.0);
+        }
+        let recovered = self.supported_rate_of(st);
+        IterationRecord {
+            iter: st.t as u64,
+            step_size: theta,
+            gamma: gamma_t * cap,
+            dual_value: dual,
+            max_violation,
+            recovered_rate: recovered * cap,
+            recovery_gap: dual - w_util * recovered.max(1e-12).ln(),
         }
     }
 
@@ -500,11 +596,14 @@ impl<'a> RateControl<'a> {
             if i == problem.src() {
                 continue;
             }
-            let load: f64 =
-                b[i] + problem.neighbors(i).iter().map(|&j| b[j]).sum::<f64>();
+            let load: f64 = b[i] + problem.neighbors(i).iter().map(|&j| b[j]).sum::<f64>();
             worst_load = worst_load.max(load);
         }
-        let scale = if worst_load > 1e-12 { 1.0 / worst_load } else { 1.0 };
+        let scale = if worst_load > 1e-12 {
+            1.0 / worst_load
+        } else {
+            1.0
+        };
         let b_norm: Vec<f64> = b.iter().map(|v| (v * scale).clamp(0.0, 1.0)).collect();
         let (rate, _) = flow::supported_rate(problem, &b_norm);
         (rate, b_norm)
@@ -549,7 +648,11 @@ mod tests {
         let (t, sel) = diamond();
         let p = SUnicast::from_selection(&t, &sel, 1e5);
         let alloc = RateControl::new(&p).run();
-        assert!(alloc.converged(), "did not converge in {} iterations", alloc.iterations());
+        assert!(
+            alloc.converged(),
+            "did not converge in {} iterations",
+            alloc.iterations()
+        );
         assert!(alloc.throughput() > 0.0);
     }
 
@@ -587,9 +690,18 @@ mod tests {
         let alloc = RateControl::new(&p).run();
         let relays_with_flow = (0..p.node_count())
             .filter(|&i| i != p.src() && i != p.dst())
-            .filter(|&i| p.in_links(i).iter().map(|l| alloc.link_rates()[l.index()]).sum::<f64>() > 1.0)
+            .filter(|&i| {
+                p.in_links(i)
+                    .iter()
+                    .map(|l| alloc.link_rates()[l.index()])
+                    .sum::<f64>()
+                    > 1.0
+            })
             .count();
-        assert_eq!(relays_with_flow, 2, "rate control should exploit path diversity");
+        assert_eq!(
+            relays_with_flow, 2,
+            "rate control should exploit path diversity"
+        );
     }
 
     #[test]
@@ -606,6 +718,25 @@ mod tests {
     }
 
     #[test]
+    fn iteration_records_capture_subgradient_telemetry() {
+        let (t, sel) = diamond();
+        let p = SUnicast::from_selection(&t, &sel, 1e5);
+        let (alloc, trace) = RateControl::new(&p).with_trace().run_traced();
+        assert_eq!(trace.records.len(), alloc.iterations());
+        for w in trace.records.windows(2) {
+            assert_eq!(w[1].iter, w[0].iter + 1);
+            assert!(w[1].step_size <= w[0].step_size, "θ(t) must not increase");
+        }
+        let last = trace.records.last().unwrap();
+        assert!(last.max_violation >= 0.0);
+        assert!(last.recovered_rate > 0.0);
+        assert!(last.gamma.is_finite() && last.dual_value.is_finite());
+        // Serde round-trip through the value model.
+        let round = IterationRecord::deserialize(&Serialize::serialize(last)).expect("round-trips");
+        assert_eq!(&round, last);
+    }
+
+    #[test]
     fn throughput_scales_with_capacity() {
         let (t, sel) = diamond();
         let small = RateControl::new(&SUnicast::from_selection(&t, &sel, 1.0)).run();
@@ -619,7 +750,10 @@ mod tests {
     fn invalid_params_panic() {
         let (t, sel) = diamond();
         let p = SUnicast::from_selection(&t, &sel, 1.0);
-        let params = RateControlParams { proximal_c: 0.0, ..Default::default() };
+        let params = RateControlParams {
+            proximal_c: 0.0,
+            ..Default::default()
+        };
         let _ = RateControl::with_params(&p, params);
     }
 
@@ -656,6 +790,9 @@ mod tests {
         }
         let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
         assert!(mean > 0.6, "mean ratio {mean}, per-seed {ratios:?}");
-        assert!(ratios.iter().all(|&r| r <= 1.0 + 1e-9), "cannot beat the optimum");
+        assert!(
+            ratios.iter().all(|&r| r <= 1.0 + 1e-9),
+            "cannot beat the optimum"
+        );
     }
 }

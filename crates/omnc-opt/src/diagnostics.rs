@@ -41,7 +41,10 @@ pub struct AllocationReport {
 /// # Errors
 ///
 /// Returns [`OptError::LpFailed`] if the exact reference solve fails.
-pub fn report(problem: &SUnicast, allocation: &RateAllocation) -> Result<AllocationReport, OptError> {
+pub fn report(
+    problem: &SUnicast,
+    allocation: &RateAllocation,
+) -> Result<AllocationReport, OptError> {
     let exact = lp::solve_exact(problem)?;
     let cap = problem.capacity();
     let b = allocation.broadcast_rates();
@@ -72,7 +75,11 @@ pub fn report(problem: &SUnicast, allocation: &RateAllocation) -> Result<Allocat
     Ok(AllocationReport {
         throughput,
         optimum: exact.gamma,
-        optimality: if exact.gamma > 0.0 { throughput / exact.gamma } else { 0.0 },
+        optimality: if exact.gamma > 0.0 {
+            throughput / exact.gamma
+        } else {
+            0.0
+        },
         mac_load,
         worst_mac_load,
         active_nodes,

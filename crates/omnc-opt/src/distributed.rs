@@ -203,15 +203,22 @@ impl<'a> DistributedRateControl<'a> {
                 .agents
                 .iter()
                 .filter(|a| a.cost_to_dst.is_finite())
-                .map(|a| Message::CostToDst { from: a.id, cost: a.cost_to_dst })
+                .map(|a| Message::CostToDst {
+                    from: a.id,
+                    cost: a.cost_to_dst,
+                })
                 .collect();
             let mut changed = false;
             for msg in announcements {
-                let Message::CostToDst { from, cost } = msg else { unreachable!() };
+                let Message::CostToDst { from, cost } = msg else {
+                    unreachable!()
+                };
                 // Deliver to every upstream neighbor u with a link u → from.
                 for u in 0..n {
-                    if let Some(slot) =
-                        problem.out_links(u).iter().position(|l| problem.link(*l).to == from)
+                    if let Some(slot) = problem
+                        .out_links(u)
+                        .iter()
+                        .position(|l| problem.link(*l).to == from)
                     {
                         self.messages_sent += 1;
                         let lambda = self.agents[u].lambda_out[slot];
@@ -251,7 +258,9 @@ impl<'a> DistributedRateControl<'a> {
         if gamma_t > 0.0 {
             let mut cur = problem.src();
             while cur != problem.dst() {
-                let next = self.agents[cur].next_hop.expect("finite cost implies next hop");
+                let next = self.agents[cur]
+                    .next_hop
+                    .expect("finite cost implies next hop");
                 let slot = problem
                     .out_links(cur)
                     .iter()
@@ -268,10 +277,16 @@ impl<'a> DistributedRateControl<'a> {
         let batch: Vec<Message> = self
             .agents
             .iter()
-            .map(|a| Message::PriceAndRate { from: a.id, beta: a.beta, b: a.b })
+            .map(|a| Message::PriceAndRate {
+                from: a.id,
+                beta: a.beta,
+                b: a.b,
+            })
             .collect();
         for msg in &batch {
-            let Message::PriceAndRate { from, beta, b } = msg else { unreachable!() };
+            let Message::PriceAndRate { from, beta, b } = msg else {
+                unreachable!()
+            };
             for &j in problem.neighbors(*from) {
                 self.messages_sent += 1;
                 self.agents[j].neighbor_beta[*from] = *beta;
@@ -374,8 +389,7 @@ impl<'a> DistributedRateControl<'a> {
                 if i == problem.src() {
                     continue;
                 }
-                let load: f64 =
-                    b[i] + problem.neighbors(i).iter().map(|&j| b[j]).sum::<f64>();
+                let load: f64 = b[i] + problem.neighbors(i).iter().map(|&j| b[j]).sum::<f64>();
                 worst = worst.max(load);
             }
             let scale = if worst > 1e-12 { 1.0 / worst } else { 1.0 };
@@ -390,7 +404,11 @@ impl<'a> DistributedRateControl<'a> {
         }
         let (rate_a, b_a) = rescale(&self.recovered_b());
         let (rate_b, b_b) = rescale(&b_flows);
-        let (rate, b_norm) = if rate_a >= rate_b { (rate_a, b_a) } else { (rate_b, b_b) };
+        let (rate, b_norm) = if rate_a >= rate_b {
+            (rate_a, b_a)
+        } else {
+            (rate_b, b_b)
+        };
         let (_, x) = flow::supported_rate(problem, &b_norm);
         let cap = problem.capacity();
         crate::RateAllocation::from_parts(
@@ -420,8 +438,8 @@ mod tests {
         dist.run(central.iterations());
         let d_alloc = dist.allocation();
 
-        let rel = (d_alloc.throughput() - central.throughput()).abs()
-            / central.throughput().max(1e-9);
+        let rel =
+            (d_alloc.throughput() - central.throughput()).abs() / central.throughput().max(1e-9);
         assert!(
             rel < 0.05,
             "distributed {} vs centralized {}",
@@ -441,9 +459,15 @@ mod tests {
         // neighbor exchanges (≤ 2·Σ|N(i)|) + ≤ n flow messages.
         let n = p.node_count() as u64;
         let e = p.link_count() as u64;
-        let neigh: u64 = (0..p.node_count()).map(|i| p.neighbors(i).len() as u64).sum();
+        let neigh: u64 = (0..p.node_count())
+            .map(|i| p.neighbors(i).len() as u64)
+            .sum();
         let bound = 10 * (n * e + 2 * neigh + n);
-        assert!(dist.messages_sent() <= bound, "{} > {bound}", dist.messages_sent());
+        assert!(
+            dist.messages_sent() <= bound,
+            "{} > {bound}",
+            dist.messages_sent()
+        );
         assert!(dist.messages_sent() > 0);
     }
 

@@ -26,7 +26,10 @@ impl fmt::Display for OptError {
             OptError::EmptyProblem => write!(f, "sUnicast instance has no links"),
             OptError::LpFailed(why) => write!(f, "exact LP solve failed: {why}"),
             OptError::InvalidParameter { name, value } => {
-                write!(f, "parameter {name} must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter {name} must be positive and finite, got {value}"
+                )
             }
         }
     }
@@ -40,7 +43,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = OptError::InvalidParameter { name: "capacity", value: -1.0 };
+        let e = OptError::InvalidParameter {
+            name: "capacity",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("capacity"));
     }
 }

@@ -21,7 +21,11 @@ use crate::instance::SUnicast;
 /// Panics if `cap.len() != problem.link_count()` or any capacity is
 /// negative/NaN.
 pub fn max_flow(problem: &SUnicast, cap: &[f64]) -> (f64, Vec<f64>) {
-    assert_eq!(cap.len(), problem.link_count(), "capacity vector length mismatch");
+    assert_eq!(
+        cap.len(),
+        problem.link_count(),
+        "capacity vector length mismatch"
+    );
     for &c in cap {
         assert!(c.is_finite() && c >= 0.0, "capacities must be non-negative");
     }
@@ -104,8 +108,16 @@ pub fn max_flow(problem: &SUnicast, cap: &[f64]) -> (f64, Vec<f64>) {
         }
     }
 
-    let value: f64 = problem.out_links(s).iter().map(|l| flow[l.index()]).sum::<f64>()
-        - problem.in_links(s).iter().map(|l| flow[l.index()]).sum::<f64>();
+    let value: f64 = problem
+        .out_links(s)
+        .iter()
+        .map(|l| flow[l.index()])
+        .sum::<f64>()
+        - problem
+            .in_links(s)
+            .iter()
+            .map(|l| flow[l.index()])
+            .sum::<f64>();
     (value, flow)
 }
 
@@ -116,7 +128,11 @@ pub fn max_flow(problem: &SUnicast, cap: &[f64]) -> (f64, Vec<f64>) {
 ///
 /// Panics if `b.len() != problem.node_count()`.
 pub fn supported_rate(problem: &SUnicast, b: &[f64]) -> (f64, Vec<f64>) {
-    assert_eq!(b.len(), problem.node_count(), "broadcast vector length mismatch");
+    assert_eq!(
+        b.len(),
+        problem.node_count(),
+        "broadcast vector length mismatch"
+    );
     let cap: Vec<f64> = problem
         .links()
         .map(|(_, l)| (b[l.from].max(0.0)) * l.p)
@@ -191,7 +207,9 @@ mod tests {
             let (s, d) = topo.farthest_pair();
             let sel = select_forwarders(&topo, s, d);
             let p = SUnicast::from_selection(&topo, &sel, 1.0);
-            let cap: Vec<f64> = (0..p.link_count()).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let cap: Vec<f64> = (0..p.link_count())
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect();
             let (v, _) = max_flow(&p, &cap);
 
             // LP formulation of the same max flow.

@@ -58,7 +58,10 @@ impl SUnicast {
     /// has no links (cannot happen for selections produced by
     /// [`net_topo::select::select_forwarders`] on connected topologies).
     pub fn from_selection(topology: &Topology, selection: &Selection, capacity: f64) -> Self {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
         let nodes: Vec<NodeId> = selection.nodes().to_vec();
         let local: HashMap<NodeId, usize> =
             nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
@@ -249,10 +252,26 @@ pub(crate) mod tests {
         let t = Topology::from_links(
             4,
             vec![
-                Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.6 },
-                Link { from: NodeId::new(0), to: NodeId::new(2), p: 0.6 },
-                Link { from: NodeId::new(1), to: NodeId::new(3), p: 0.6 },
-                Link { from: NodeId::new(2), to: NodeId::new(3), p: 0.6 },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                    p: 0.6,
+                },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(2),
+                    p: 0.6,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(3),
+                    p: 0.6,
+                },
+                Link {
+                    from: NodeId::new(2),
+                    to: NodeId::new(3),
+                    p: 0.6,
+                },
             ],
         )
         .unwrap();
@@ -292,12 +311,36 @@ pub(crate) mod tests {
         let t = Topology::from_links(
             4,
             vec![
-                Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.6 },
-                Link { from: NodeId::new(0), to: NodeId::new(2), p: 0.6 },
-                Link { from: NodeId::new(1), to: NodeId::new(3), p: 0.6 },
-                Link { from: NodeId::new(2), to: NodeId::new(3), p: 0.6 },
-                Link { from: NodeId::new(1), to: NodeId::new(2), p: 0.9 },
-                Link { from: NodeId::new(2), to: NodeId::new(1), p: 0.9 },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                    p: 0.6,
+                },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(2),
+                    p: 0.6,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(3),
+                    p: 0.6,
+                },
+                Link {
+                    from: NodeId::new(2),
+                    to: NodeId::new(3),
+                    p: 0.6,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(2),
+                    p: 0.9,
+                },
+                Link {
+                    from: NodeId::new(2),
+                    to: NodeId::new(1),
+                    p: 0.9,
+                },
             ],
         )
         .unwrap();
@@ -307,9 +350,9 @@ pub(crate) mod tests {
         let l2 = p.local_index(NodeId::new(2)).unwrap();
         assert!(p.neighbors(l1).contains(&l2), "1 must interfere with 2");
         // ... but no *flow* link exists between them (equal distance).
-        assert!(p.links().all(
-            |(_, l)| !((l.from == l1 && l.to == l2) || (l.from == l2 && l.to == l1))
-        ));
+        assert!(p
+            .links()
+            .all(|(_, l)| !((l.from == l1 && l.to == l2) || (l.from == l2 && l.to == l1))));
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub mod lp;
 pub mod municast;
 mod step;
 
-pub use algorithm::{default_portfolio, run_best, RateAllocation, RateControl, RateControlParams, Recovery, Trace};
+pub use algorithm::{
+    default_portfolio, run_best, IterationRecord, RateAllocation, RateControl, RateControlParams,
+    Recovery, Trace,
+};
 pub use error::OptError;
 pub use instance::{LinkId, SUnicast};
 pub use step::StepSize;

@@ -69,7 +69,10 @@ pub fn build_lp(problem: &SUnicast) -> LpProblem {
     // (5) loss coupling: x_e − b_i·p_ij ≤ 0.
     for (id, link) in problem.links() {
         lp.push_constraint(
-            &[(var_x(id.index()), 1.0), (var_b(problem, link.from), -link.p)],
+            &[
+                (var_x(id.index()), 1.0),
+                (var_b(problem, link.from), -link.p),
+            ],
             Relation::Le,
             0.0,
         );
@@ -95,8 +98,12 @@ pub fn solve_exact(problem: &SUnicast) -> Result<ExactSolution, OptError> {
     let lp = build_lp(problem);
     let sol = lp.solve().map_err(|e| OptError::LpFailed(e.to_string()))?;
     let gamma = sol.value(var_gamma());
-    let x = (0..problem.link_count()).map(|e| sol.value(var_x(e))).collect();
-    let b = (0..problem.node_count()).map(|i| sol.value(var_b(problem, i))).collect();
+    let x = (0..problem.link_count())
+        .map(|e| sol.value(var_x(e)))
+        .collect();
+    let b = (0..problem.node_count())
+        .map(|i| sol.value(var_b(problem, i)))
+        .collect();
     Ok(ExactSolution { gamma, b, x })
 }
 
@@ -109,8 +116,16 @@ mod tests {
     fn line(probs: &[f64]) -> SUnicast {
         let mut links = Vec::new();
         for (i, &p) in probs.iter().enumerate() {
-            links.push(Link { from: NodeId::new(i), to: NodeId::new(i + 1), p });
-            links.push(Link { from: NodeId::new(i + 1), to: NodeId::new(i), p });
+            links.push(Link {
+                from: NodeId::new(i),
+                to: NodeId::new(i + 1),
+                p,
+            });
+            links.push(Link {
+                from: NodeId::new(i + 1),
+                to: NodeId::new(i),
+                p,
+            });
         }
         let t = Topology::from_links(probs.len() + 1, links).unwrap();
         let sel = select_forwarders(&t, NodeId::new(0), NodeId::new(probs.len()));
@@ -151,9 +166,8 @@ mod tests {
         // Both relays carry flow at the optimum.
         let l1 = p.local_index(NodeId::new(1)).unwrap();
         let l2 = p.local_index(NodeId::new(2)).unwrap();
-        let flow_via = |node: usize| -> f64 {
-            p.in_links(node).iter().map(|l| sol.x[l.index()]).sum()
-        };
+        let flow_via =
+            |node: usize| -> f64 { p.in_links(node).iter().map(|l| sol.x[l.index()]).sum() };
         assert!(flow_via(l1) > 1e-6, "relay 1 unused");
         assert!(flow_via(l2) > 1e-6, "relay 2 unused");
     }
@@ -163,7 +177,10 @@ mod tests {
         let (t, sel) = crate::instance::tests::diamond();
         let p = SUnicast::from_selection(&t, &sel, 1e5);
         let sol = solve_exact(&p).unwrap();
-        assert_eq!(p.feasibility_violation(&sol.b, &sol.x, sol.gamma, 1e-7), None);
+        assert_eq!(
+            p.feasibility_violation(&sol.b, &sol.x, sol.gamma, 1e-7),
+            None
+        );
         assert!(sol.gamma > 0.0);
     }
 

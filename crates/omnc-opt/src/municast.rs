@@ -57,13 +57,12 @@ impl MUnicast {
     /// # Panics
     ///
     /// Panics if `selections` is empty or `capacity` is not positive.
-    pub fn from_selections(
-        topology: &Topology,
-        selections: &[Selection],
-        capacity: f64,
-    ) -> Self {
+    pub fn from_selections(topology: &Topology, selections: &[Selection], capacity: f64) -> Self {
         assert!(!selections.is_empty(), "at least one session is required");
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
         let sessions: Vec<SUnicast> = selections
             .iter()
             .map(|sel| SUnicast::from_selection(topology, sel, capacity))
@@ -73,7 +72,13 @@ impl MUnicast {
             .map(|v| topology.neighbors(v).iter().map(|w| w.index()).collect())
             .collect();
         let source_ids = selections.iter().map(|sel| sel.src().index()).collect();
-        MUnicast { capacity, sessions, nodes: topology.len(), neighbors, source_ids }
+        MUnicast {
+            capacity,
+            sessions,
+            nodes: topology.len(),
+            neighbors,
+            source_ids,
+        }
     }
 
     /// The shared channel capacity.
@@ -174,12 +179,18 @@ impl MUnicast {
 
         let sol = lp.solve().map_err(|e| OptError::LpFailed(e.to_string()))?;
         Ok(MUnicastSolution {
-            gamma: (0..self.sessions.len()).map(|k| sol.value(var_gamma(k))).collect(),
+            gamma: (0..self.sessions.len())
+                .map(|k| sol.value(var_gamma(k)))
+                .collect(),
             b: self
                 .sessions
                 .iter()
                 .enumerate()
-                .map(|(k, s)| (0..s.node_count()).map(|i| sol.value(var_b(k, i))).collect())
+                .map(|(k, s)| {
+                    (0..s.node_count())
+                        .map(|i| sol.value(var_b(k, i)))
+                        .collect()
+                })
                 .collect(),
         })
     }
@@ -273,17 +284,14 @@ impl MUnicast {
             for (k, s) in self.sessions.iter().enumerate() {
                 // SUB1 for session k.
                 let lambda = st[k].lambda.clone();
-                let sp = net_topo::dijkstra::shortest_paths(
-                    &scaffolds[k],
-                    NodeId::new(s.src()),
-                    |l| {
+                let sp =
+                    net_topo::dijkstra::shortest_paths(&scaffolds[k], NodeId::new(s.src()), |l| {
                         s.out_links(l.from.index())
                             .iter()
                             .find(|id| s.link(**id).to == l.to.index())
                             .map(|id| lambda[id.index()])
                             .unwrap_or(f64::INFINITY)
-                    },
-                );
+                    });
                 let mut x_step = vec![0.0; s.link_count()];
                 if let Some(path) = sp.path_to(NodeId::new(s.dst())) {
                     let p_min = sp.cost(NodeId::new(s.dst())).expect("path exists");
@@ -314,10 +322,10 @@ impl MUnicast {
                 #[allow(clippy::needless_range_loop)] // i indexes three arrays
                 for i in 0..s.node_count() {
                     let g = s.node_id(i).index();
-                    let price: f64 = beta[g]
-                        + self.neighbors[g].iter().map(|&nb| beta[nb]).sum::<f64>();
-                    st[k].b[i] = (st[k].b[i] + (w_i[i] - price) / (2.0 * params.proximal_c))
-                        .clamp(0.0, 1.0);
+                    let price: f64 =
+                        beta[g] + self.neighbors[g].iter().map(|&nb| beta[nb]).sum::<f64>();
+                    st[k].b[i] =
+                        (st[k].b[i] + (w_i[i] - price) / (2.0 * params.proximal_c)).clamp(0.0, 1.0);
                 }
                 for (avg, inst) in {
                     let S { b_avg, b, .. } = &mut st[k];
@@ -328,8 +336,7 @@ impl MUnicast {
                 // λ update.
                 for (id, link) in s.links() {
                     let slack = st[k].b[link.from] * link.p - x_step[id.index()];
-                    st[k].lambda[id.index()] =
-                        (st[k].lambda[id.index()] - theta * slack).max(0.0);
+                    st[k].lambda[id.index()] = (st[k].lambda[id.index()] - theta * slack).max(0.0);
                 }
                 // Contribute to the global load.
                 for i in 0..s.node_count() {
@@ -377,16 +384,17 @@ impl MUnicast {
         }
         let mut worst = 0.0f64;
         for g in 0..self.nodes {
-            let total: f64 =
-                load[g] + self.neighbors[g].iter().map(|&nb| load[nb]).sum::<f64>();
+            let total: f64 = load[g] + self.neighbors[g].iter().map(|&nb| load[nb]).sum::<f64>();
             worst = worst.max(total);
         }
         let scale = if worst > 1e-12 { 1.0 / worst } else { 1.0 };
         let mut gamma = Vec::with_capacity(k_count);
         let mut b_out = Vec::with_capacity(k_count);
         for (k, s) in self.sessions.iter().enumerate() {
-            let b: Vec<f64> =
-                recovered[k].iter().map(|v| (v * scale).clamp(0.0, 1.0)).collect();
+            let b: Vec<f64> = recovered[k]
+                .iter()
+                .map(|v| (v * scale).clamp(0.0, 1.0))
+                .collect();
             let (rate, _) = crate::flow::supported_rate(s, &b);
             gamma.push(rate * self.capacity);
             b_out.push(b.iter().map(|v| v * self.capacity).collect());
@@ -439,9 +447,8 @@ mod tests {
         let mu = MUnicast::from_selections(&topo, &sels, 1.0);
         let joint = mu.solve_exact().expect("solvable");
         for (k, sel) in sels.iter().enumerate() {
-            let alone =
-                crate::lp::solve_exact(&SUnicast::from_selection(&topo, sel, 1.0))
-                    .expect("solvable");
+            let alone = crate::lp::solve_exact(&SUnicast::from_selection(&topo, sel, 1.0))
+                .expect("solvable");
             assert!(
                 joint.gamma[k] <= alone.gamma + 1e-6,
                 "session {k}: joint {} > alone {}",
@@ -456,7 +463,10 @@ mod tests {
         let (topo, sels) = two_sessions(7);
         let mu = MUnicast::from_selections(&topo, &sels, 1.0);
         let exact = mu.solve_exact().expect("solvable");
-        let params = RateControlParams { max_iterations: 400, ..Default::default() };
+        let params = RateControlParams {
+            max_iterations: 400,
+            ..Default::default()
+        };
         let dist = mu.solve_distributed(&params);
         assert!(dist.total() > 0.0);
         assert!(
@@ -477,7 +487,10 @@ mod tests {
     fn joint_allocation_respects_the_shared_mac() {
         let (topo, sels) = two_sessions(9);
         let mu = MUnicast::from_selections(&topo, &sels, 1.0);
-        let params = RateControlParams { max_iterations: 200, ..Default::default() };
+        let params = RateControlParams {
+            max_iterations: 200,
+            ..Default::default()
+        };
         let dist = mu.solve_distributed(&params);
         // Rebuild global loads and verify every neighborhood fits in C.
         let mut load = vec![0.0f64; topo.len()];
@@ -488,7 +501,11 @@ mod tests {
         }
         for v in topo.nodes() {
             let total: f64 = load[v.index()]
-                + topo.neighbors(v).iter().map(|w| load[w.index()]).sum::<f64>();
+                + topo
+                    .neighbors(v)
+                    .iter()
+                    .map(|w| load[w.index()])
+                    .sum::<f64>();
             assert!(total <= mu.capacity() + 1e-6, "{v}: load {total}");
         }
     }

@@ -25,7 +25,11 @@ pub enum StepSize {
 
 impl StepSize {
     /// The paper's Fig. 1 schedule: `A = 1, B = 0.5, C = 10`.
-    pub const PAPER: StepSize = StepSize::Diminishing { a: 1.0, b: 0.5, c: 10.0 };
+    pub const PAPER: StepSize = StepSize::Diminishing {
+        a: 1.0,
+        b: 0.5,
+        c: 10.0,
+    };
 
     /// Evaluates `θ(t)` for the 1-based iteration index `t`.
     ///

@@ -1,0 +1,25 @@
+//! Unified telemetry for the OMNC workspace.
+//!
+//! Three pieces, all optional at runtime and free when disabled:
+//!
+//! * a [`Registry`] of named [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   [`Histogram`]s — handles are `Arc`-backed atomics, so the hot path is
+//!   a single relaxed atomic op and never allocates;
+//! * [`ScopedTimer`] / [`Stopwatch`] for wall-clock profiling of hot
+//!   sections (GF(256) kernels, Gaussian elimination, the drift event
+//!   loop), recording elapsed microseconds into a histogram;
+//! * an [`EventSink`] that serializes typed events ([`serde::Serialize`])
+//!   as one JSON object per line (JSONL), either to a file or an
+//!   in-memory buffer.
+//!
+//! A registry created with [`Registry::disabled`] hands out no-op handles:
+//! instruments still exist and can be passed around, but updates are
+//! dropped without synchronization beyond one relaxed atomic store.
+
+mod registry;
+mod sink;
+mod timer;
+
+pub use registry::{BucketCount, Counter, Gauge, Histogram, MetricKind, MetricSnapshot, Registry};
+pub use sink::{EventSink, SinkTarget};
+pub use timer::{ScopedTimer, Stopwatch};

@@ -1,0 +1,168 @@
+//! Structured event export: one JSON object per line (JSONL).
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Where serialized events go.
+enum Target {
+    File(BufWriter<File>),
+    Memory(Vec<String>),
+}
+
+/// Re-exported handle kind for constructing sinks explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkTarget {
+    /// Events append to a file on disk.
+    File,
+    /// Events accumulate in memory (tests, small runs).
+    Memory,
+}
+
+/// A thread-safe JSONL writer for typed events. Cloning shares the
+/// underlying target.
+#[derive(Clone)]
+pub struct EventSink {
+    target: Arc<Mutex<Target>>,
+    kind: SinkTarget,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+impl EventSink {
+    /// A sink writing one JSON object per line to `path` (truncating any
+    /// existing file).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn to_file<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(EventSink {
+            target: Arc::new(Mutex::new(Target::File(BufWriter::new(file)))),
+            kind: SinkTarget::File,
+        })
+    }
+
+    /// A sink buffering lines in memory; read back with
+    /// [`EventSink::lines`].
+    pub fn in_memory() -> Self {
+        EventSink {
+            target: Arc::new(Mutex::new(Target::Memory(Vec::new()))),
+            kind: SinkTarget::Memory,
+        }
+    }
+
+    /// Serializes `event` and appends it as one line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the underlying writer (file sinks only).
+    pub fn emit<T: Serialize>(&self, event: &T) -> io::Result<()> {
+        let line = serde_json::to_string(event)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        match &mut *self.target.lock() {
+            Target::File(w) => {
+                w.write_all(line.as_bytes())?;
+                w.write_all(b"\n")?;
+            }
+            Target::Memory(lines) => lines.push(line),
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered output (no-op for memory sinks).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        match &mut *self.target.lock() {
+            Target::File(w) => w.flush(),
+            Target::Memory(_) => Ok(()),
+        }
+    }
+
+    /// The lines emitted so far (memory sinks only; empty for files).
+    pub fn lines(&self) -> Vec<String> {
+        match &*self.target.lock() {
+            Target::Memory(lines) => lines.clone(),
+            Target::File(_) => Vec::new(),
+        }
+    }
+}
+
+impl Drop for EventSink {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Ping {
+        seq: u64,
+        rtt_ms: f64,
+    }
+
+    #[test]
+    fn memory_sink_round_trips() {
+        let sink = EventSink::in_memory();
+        sink.emit(&Ping {
+            seq: 1,
+            rtt_ms: 2.5,
+        })
+        .unwrap();
+        sink.emit(&Ping {
+            seq: 2,
+            rtt_ms: 3.0,
+        })
+        .unwrap();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2);
+        let back: Ping = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(
+            back,
+            Ping {
+                seq: 1,
+                rtt_ms: 2.5
+            }
+        );
+    }
+
+    #[test]
+    fn file_sink_writes_jsonl() {
+        let path = std::env::temp_dir().join("omnc_telemetry_sink_test.jsonl");
+        {
+            let sink = EventSink::to_file(&path).unwrap();
+            sink.emit(&Ping {
+                seq: 7,
+                rtt_ms: 0.25,
+            })
+            .unwrap();
+            sink.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Ping = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(back.seq, 7);
+        let _ = std::fs::remove_file(&path);
+    }
+}

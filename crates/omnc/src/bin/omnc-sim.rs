@@ -98,7 +98,9 @@ fn parse_protocol(name: &str) -> Result<Protocol, String> {
         "more" => Ok(Protocol::More),
         "oldmore" => Ok(Protocol::OldMore),
         "etx" => Ok(Protocol::EtxRouting),
-        other => Err(format!("unknown protocol '{other}' (omnc|more|oldmore|etx|all)")),
+        other => Err(format!(
+            "unknown protocol '{other}' (omnc|more|oldmore|etx|all)"
+        )),
     }
 }
 
@@ -163,7 +165,9 @@ fn main() {
                     out.mean_queue(),
                     out.node_utility,
                     out.path_utility,
-                    out.rc_iterations.map(|i| i.to_string()).unwrap_or_else(|| "-".into()),
+                    out.rc_iterations
+                        .map(|i| i.to_string())
+                        .unwrap_or_else(|| "-".into()),
                 ),
                 Format::Json => println!(
                     "{{\"session\":{k},\"protocol\":\"{}\",\"throughput\":{:.1},\
@@ -175,7 +179,9 @@ fn main() {
                     out.mean_queue(),
                     out.node_utility,
                     out.path_utility,
-                    out.rc_iterations.map(|i| i.to_string()).unwrap_or_else(|| "null".into()),
+                    out.rc_iterations
+                        .map(|i| i.to_string())
+                        .unwrap_or_else(|| "null".into()),
                 ),
             }
         }

@@ -68,3 +68,4 @@ pub use net_topo;
 pub use omnc_opt;
 pub use rlnc;
 pub use simplex_lp;
+pub use telemetry;

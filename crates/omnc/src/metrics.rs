@@ -27,7 +27,10 @@ impl Cdf {
     ///
     /// Panics if any sample is NaN.
     pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(samples.iter().all(|s| !s.is_nan()), "samples must not be NaN");
+        assert!(
+            samples.iter().all(|s| !s.is_nan()),
+            "samples must not be NaN"
+        );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         Cdf { sorted: samples }
     }
@@ -87,6 +90,12 @@ impl Cdf {
         }
         let lo = self.sorted[0];
         let hi = *self.sorted.last().expect("non-empty");
+        if lo == hi {
+            // Degenerate support: every sample is identical, so the whole
+            // curve is the single point (lo, 1) rather than `points + 1`
+            // copies of it.
+            return vec![(lo, 1.0)];
+        }
         (0..=points)
             .map(|k| {
                 let x = lo + (hi - lo) * k as f64 / points as f64;
@@ -149,6 +158,14 @@ mod tests {
             assert!(w[1].1 >= w[0].1);
         }
         assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn degenerate_curve_collapses_to_one_point() {
+        let cdf = Cdf::new(vec![4.2; 7]);
+        assert_eq!(cdf.curve(20), vec![(4.2, 1.0)]);
+        // A single sample is the same degenerate case.
+        assert_eq!(Cdf::new(vec![1.5]).curve(5), vec![(1.5, 1.0)]);
     }
 
     #[test]

@@ -48,12 +48,17 @@ mod tests {
     #[test]
     fn generation_extraction() {
         let g = GenerationId::new(3);
-        let coded = Msg::Coded(
-            CodedPacket::new(g, vec![1, 2], vec![3, 4]).unwrap(),
-        );
+        let coded = Msg::Coded(CodedPacket::new(g, vec![1, 2], vec![3, 4]).unwrap());
         assert_eq!(coded.generation(), Some(g));
         assert!(coded.is_coded());
         assert_eq!(Msg::Ack { generation: g }.generation(), Some(g));
-        assert_eq!(Msg::Block { seq: 0, dst: NodeId::new(1) }.generation(), None);
+        assert_eq!(
+            Msg::Block {
+                seq: 0,
+                dst: NodeId::new(1)
+            }
+            .generation(),
+            None
+        );
     }
 }

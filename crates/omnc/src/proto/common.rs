@@ -15,8 +15,11 @@ use crate::session::{SessionConfig, SessionShared};
 /// the same `(session_seed, generation)` pair always yields the same bytes,
 /// so destinations can verify recovered data without shipping it around.
 pub fn source_data(cfg: &SessionConfig, session_seed: u64, generation: GenerationId) -> Vec<u8> {
-    let mut rng =
-        rand::rngs::StdRng::seed_from_u64(session_seed.wrapping_mul(0x9e37_79b9).wrapping_add(generation.as_u64()));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(
+        session_seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(generation.as_u64()),
+    );
     let mut data = vec![0u8; cfg.generation_config().payload_len()];
     rng.fill(&mut data[..]);
     data
@@ -33,8 +36,12 @@ pub fn build_generation(
     session_seed: u64,
     generation: GenerationId,
 ) -> Generation {
-    Generation::from_bytes(generation, cfg.generation_config(), &source_data(cfg, session_seed, generation))
-        .expect("source data is sized to the generation")
+    Generation::from_bytes(
+        generation,
+        cfg.generation_config(),
+        &source_data(cfg, session_seed, generation),
+    )
+    .expect("source data is sized to the generation")
 }
 
 /// Source-side generation state machine shared by OMNC, MORE and oldMORE:
@@ -53,7 +60,13 @@ pub struct CodedSource {
 impl CodedSource {
     /// Creates the state machine; the first generation is built lazily.
     pub fn new(cfg: SessionConfig, ledger: SessionShared, session_seed: u64) -> Self {
-        CodedSource { cfg, ledger, session_seed, current: None, packets_emitted: 0 }
+        CodedSource {
+            cfg,
+            ledger,
+            session_seed,
+            current: None,
+            packets_emitted: 0,
+        }
     }
 
     /// The session configuration.
@@ -81,7 +94,8 @@ impl CodedSource {
     /// Time at which the active generation becomes available, for timer
     /// scheduling when the source is ahead of the application.
     pub fn active_available_at(&self) -> f64 {
-        self.cfg.generation_available_at(self.ledger.active_generation())
+        self.cfg
+            .generation_available_at(self.ledger.active_generation())
     }
 }
 
@@ -135,7 +149,9 @@ impl CodedDestination {
     /// Feeds a received coded packet; returns `true` if it completed the
     /// active generation.
     pub fn receive(&mut self, now: f64, from: NodeId, msg: &Msg) -> bool {
-        let Msg::Coded(packet) = msg else { return false };
+        let Msg::Coded(packet) = msg else {
+            return false;
+        };
         *self.received_from.entry(from).or_insert(0) += 1;
         let active = self.ledger.active_generation();
         if packet.generation() != active {
@@ -144,7 +160,9 @@ impl CodedDestination {
         if self.decoder.generation() != active {
             self.decoder = Decoder::new(active, self.cfg.generation_config());
         }
-        let Ok(result) = self.decoder.absorb(packet) else { return false };
+        let Ok(result) = self.decoder.absorb(packet) else {
+            return false;
+        };
         let innovative = result.is_innovative();
         self.ledger.record_packet(innovative);
         if innovative {
@@ -170,7 +188,11 @@ impl CodedDestination {
 /// Enqueues a coded broadcast packet, charging the configured wire size.
 pub fn enqueue_coded(ctx: &mut Ctx<'_, Msg>, cfg: &SessionConfig, msg: Msg) {
     debug_assert!(msg.is_coded());
-    ctx.enqueue(Outgoing { msg, wire_len: cfg.coded_wire_len(), dest: Dest::Broadcast });
+    ctx.enqueue(Outgoing {
+        msg,
+        wire_len: cfg.coded_wire_len(),
+        dest: Dest::Broadcast,
+    });
 }
 
 #[cfg(test)]
@@ -185,9 +207,18 @@ mod tests {
     #[test]
     fn source_data_is_deterministic_and_generation_dependent() {
         let c = cfg();
-        assert_eq!(source_data(&c, 1, GenerationId::new(0)), source_data(&c, 1, GenerationId::new(0)));
-        assert_ne!(source_data(&c, 1, GenerationId::new(0)), source_data(&c, 1, GenerationId::new(1)));
-        assert_ne!(source_data(&c, 1, GenerationId::new(0)), source_data(&c, 2, GenerationId::new(0)));
+        assert_eq!(
+            source_data(&c, 1, GenerationId::new(0)),
+            source_data(&c, 1, GenerationId::new(0))
+        );
+        assert_ne!(
+            source_data(&c, 1, GenerationId::new(0)),
+            source_data(&c, 1, GenerationId::new(1))
+        );
+        assert_ne!(
+            source_data(&c, 1, GenerationId::new(0)),
+            source_data(&c, 2, GenerationId::new(0))
+        );
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub fn more_credits(selection: &Selection) -> CreditPlan {
     order.sort_by(|a, b| {
         let da = selection.dist_to_dst(*a).unwrap_or(f64::INFINITY);
         let db = selection.dist_to_dst(*b).unwrap_or(f64::INFINITY);
-        db.partial_cmp(&da).expect("finite distances").then(a.index().cmp(&b.index()))
+        db.partial_cmp(&da)
+            .expect("finite distances")
+            .then(a.index().cmp(&b.index()))
     });
 
     let dist = |v: NodeId| selection.dist_to_dst(v).unwrap_or(f64::INFINITY);
@@ -82,7 +84,9 @@ pub fn more_credits(selection: &Selection) -> CreditPlan {
             // Packets from farther nodes j that i hears and no closer node hears.
             let mut li = 0.0;
             for &j in &order[..idx] {
-                let Some(p_ji) = g.link_prob(j, i) else { continue };
+                let Some(p_ji) = g.link_prob(j, i) else {
+                    continue;
+                };
                 let mut none_closer = 1.0;
                 for l in g.out_links(j) {
                     if dist(l.to) < dist(i) {
@@ -97,7 +101,10 @@ pub fn more_credits(selection: &Selection) -> CreditPlan {
         z[i.index()] = if progress > 1e-12 { li / progress } else { 0.0 };
     }
 
-    CreditPlan { tx_credit: tx_credits(selection, &z), z }
+    CreditPlan {
+        tx_credit: tx_credits(selection, &z),
+        z,
+    }
 }
 
 /// Computes the oldMORE credit plan: `z` minimizing total expected
@@ -136,7 +143,10 @@ pub fn oldmore_credits(selection: &Selection) -> CreditPlan {
             .expect("path follows selection links");
         z[w[0].index()] += 1.0 / p;
     }
-    CreditPlan { tx_credit: tx_credits(selection, &z), z }
+    CreditPlan {
+        tx_credit: tx_credits(selection, &z),
+        z,
+    }
 }
 
 /// Runtime credit increments: `z_i` divided by the expected packets node
@@ -155,7 +165,11 @@ fn tx_credits(selection: &Selection, z: &[f64]) -> Vec<f64> {
                 expected_rx += z[l.from.index()] * l.p;
             }
         }
-        credit[i.index()] = if expected_rx > 1e-12 { z[i.index()] / expected_rx } else { 0.0 };
+        credit[i.index()] = if expected_rx > 1e-12 {
+            z[i.index()] / expected_rx
+        } else {
+            0.0
+        };
     }
     credit
 }
@@ -169,8 +183,16 @@ mod tests {
     fn line(probs: &[f64]) -> (Topology, Selection) {
         let mut links = Vec::new();
         for (i, &p) in probs.iter().enumerate() {
-            links.push(Link { from: NodeId::new(i), to: NodeId::new(i + 1), p });
-            links.push(Link { from: NodeId::new(i + 1), to: NodeId::new(i), p });
+            links.push(Link {
+                from: NodeId::new(i),
+                to: NodeId::new(i + 1),
+                p,
+            });
+            links.push(Link {
+                from: NodeId::new(i + 1),
+                to: NodeId::new(i),
+                p,
+            });
         }
         let t = Topology::from_links(probs.len() + 1, links).unwrap();
         let sel = select_forwarders(&t, NodeId::new(0), NodeId::new(probs.len()));
@@ -181,10 +203,26 @@ mod tests {
         let t = Topology::from_links(
             4,
             vec![
-                Link { from: NodeId::new(0), to: NodeId::new(1), p },
-                Link { from: NodeId::new(0), to: NodeId::new(2), p },
-                Link { from: NodeId::new(1), to: NodeId::new(3), p },
-                Link { from: NodeId::new(2), to: NodeId::new(3), p },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                    p,
+                },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(2),
+                    p,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(3),
+                    p,
+                },
+                Link {
+                    from: NodeId::new(2),
+                    to: NodeId::new(3),
+                    p,
+                },
             ],
         )
         .unwrap();
@@ -229,17 +267,41 @@ mod tests {
         let t = Topology::from_links(
             4,
             vec![
-                Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.9 },
-                Link { from: NodeId::new(0), to: NodeId::new(2), p: 0.5 },
-                Link { from: NodeId::new(1), to: NodeId::new(3), p: 0.9 },
-                Link { from: NodeId::new(2), to: NodeId::new(3), p: 0.5 },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                    p: 0.9,
+                },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(2),
+                    p: 0.5,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(3),
+                    p: 0.9,
+                },
+                Link {
+                    from: NodeId::new(2),
+                    to: NodeId::new(3),
+                    p: 0.5,
+                },
             ],
         )
         .unwrap();
         let sel = select_forwarders(&t, NodeId::new(0), NodeId::new(3));
         let plan = oldmore_credits(&sel);
-        assert!(plan.is_active(NodeId::new(1), 1e-6), "good relay active: {:?}", plan.z);
-        assert!(!plan.is_active(NodeId::new(2), 1e-6), "bad relay pruned: {:?}", plan.z);
+        assert!(
+            plan.is_active(NodeId::new(1), 1e-6),
+            "good relay active: {:?}",
+            plan.z
+        );
+        assert!(
+            !plan.is_active(NodeId::new(2), 1e-6),
+            "bad relay pruned: {:?}",
+            plan.z
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl EtxForwarder {
     /// Creates the source: injects blocks for `dst` at the CBR rate and
     /// forwards them to `next_hop`.
     pub fn source(cfg: SessionConfig, next_hop: NodeId, dst: NodeId) -> Self {
-        EtxForwarder { inject_for: Some(dst), ..EtxForwarder::relay(cfg, next_hop) }
+        EtxForwarder {
+            inject_for: Some(dst),
+            ..EtxForwarder::relay(cfg, next_hop)
+        }
     }
 
     fn forward(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
@@ -85,7 +88,13 @@ impl Behavior<Msg> for EtxForwarder {
         }
     }
 
-    fn on_unicast_result(&mut self, ctx: &mut Ctx<'_, Msg>, _to: NodeId, msg: &Msg, delivered: bool) {
+    fn on_unicast_result(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        _to: NodeId,
+        msg: &Msg,
+        delivered: bool,
+    ) {
         if delivered {
             self.retries = 0;
             self.blocks_forwarded += 1;
@@ -139,8 +148,16 @@ mod tests {
     fn line(p: f64, hops: usize) -> Topology {
         let mut links = Vec::new();
         for i in 0..hops {
-            links.push(Link { from: NodeId::new(i), to: NodeId::new(i + 1), p });
-            links.push(Link { from: NodeId::new(i + 1), to: NodeId::new(i), p });
+            links.push(Link {
+                from: NodeId::new(i),
+                to: NodeId::new(i + 1),
+                p,
+            });
+            links.push(Link {
+                from: NodeId::new(i + 1),
+                to: NodeId::new(i),
+                p,
+            });
         }
         Topology::from_links(hops + 1, links).unwrap()
     }
@@ -189,7 +206,10 @@ mod tests {
     fn retransmissions_preserve_reliability() {
         // With persistent retransmissions and moderate loss, essentially
         // every injected block arrives (CBR is below path capacity).
-        let cfg = SessionConfig { cbr_rate: 1.2e3, ..SessionConfig::tiny() };
+        let cfg = SessionConfig {
+            cbr_rate: 1.2e3,
+            ..SessionConfig::tiny()
+        };
         let topo = line(0.7, 2);
         let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
             Simulator::new(&topo, MacModel::fair_share(cfg.capacity), 9);
@@ -197,7 +217,10 @@ mod tests {
             NodeId::new(0),
             Box::new(EtxForwarder::source(cfg, NodeId::new(1), NodeId::new(2))),
         );
-        sim.set_behavior(NodeId::new(1), Box::new(EtxForwarder::relay(cfg, NodeId::new(2))));
+        sim.set_behavior(
+            NodeId::new(1),
+            Box::new(EtxForwarder::relay(cfg, NodeId::new(2))),
+        );
         sim.set_behavior(NodeId::new(2), Box::new(EtxDestination::new()));
         sim.run_until(cfg.duration);
         let delivered = sim.stats(NodeId::new(2)).packets_received as f64;

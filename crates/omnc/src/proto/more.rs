@@ -35,7 +35,9 @@ pub struct MoreSource {
 impl MoreSource {
     /// Creates the source.
     pub fn new(cfg: SessionConfig, ledger: SessionShared, session_seed: u64) -> Self {
-        MoreSource { state: CodedSource::new(cfg, ledger, session_seed) }
+        MoreSource {
+            state: CodedSource::new(cfg, ledger, session_seed),
+        }
     }
 
     /// Coded packets emitted so far.
@@ -97,13 +99,11 @@ impl MoreRelay {
     /// # Panics
     ///
     /// Panics if `tx_credit` is negative or not finite.
-    pub fn new(
-        cfg: SessionConfig,
-        tx_credit: f64,
-        my_dist: f64,
-        dist: Vec<f64>,
-    ) -> Self {
-        assert!(tx_credit.is_finite() && tx_credit >= 0.0, "tx_credit must be non-negative");
+    pub fn new(cfg: SessionConfig, tx_credit: f64, my_dist: f64, dist: Vec<f64>) -> Self {
+        assert!(
+            tx_credit.is_finite() && tx_credit >= 0.0,
+            "tx_credit must be non-negative"
+        );
         let buffer = Recoder::new(GenerationId::new(0), cfg.generation_config());
         MoreRelay {
             cfg,
@@ -152,8 +152,12 @@ impl Behavior<Msg> for MoreRelay {
         if packet.generation() != self.buffer.generation() {
             return;
         }
-        let from_upstream =
-            self.dist.get(from.index()).copied().unwrap_or(f64::INFINITY) > self.my_dist;
+        let from_upstream = self
+            .dist
+            .get(from.index())
+            .copied()
+            .unwrap_or(f64::INFINITY)
+            > self.my_dist;
         if let Ok(result) = self.buffer.absorb(packet) {
             if result.is_innovative() {
                 *self.innovative_from.entry(from).or_insert(0) += 1;
@@ -191,7 +195,9 @@ impl MoreDestination {
         session_seed: u64,
         verify_payload: bool,
     ) -> Self {
-        MoreDestination { state: CodedDestination::new(cfg, ledger, session_seed, verify_payload) }
+        MoreDestination {
+            state: CodedDestination::new(cfg, ledger, session_seed, verify_payload),
+        }
     }
 
     /// Access to destination metrics.
@@ -223,24 +229,50 @@ mod tests {
         let topo = Topology::from_links(
             3,
             vec![
-                Link { from: NodeId::new(0), to: NodeId::new(1), p },
-                Link { from: NodeId::new(1), to: NodeId::new(2), p },
-                Link { from: NodeId::new(1), to: NodeId::new(0), p },
-                Link { from: NodeId::new(2), to: NodeId::new(1), p },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                    p,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(2),
+                    p,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(0),
+                    p,
+                },
+                Link {
+                    from: NodeId::new(2),
+                    to: NodeId::new(1),
+                    p,
+                },
             ],
         )
         .unwrap();
         let sel = select_forwarders(&topo, NodeId::new(0), NodeId::new(2));
         let plan = more_credits(&sel);
-        let dist: Vec<f64> =
-            topo.nodes().map(|v| sel.dist_to_dst(v).unwrap_or(f64::INFINITY)).collect();
+        let dist: Vec<f64> = topo
+            .nodes()
+            .map(|v| sel.dist_to_dst(v).unwrap_or(f64::INFINITY))
+            .collect();
         let ledger = SessionLedger::shared();
         let mac = MacModel::fair_share(cfg.capacity);
         let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> = Simulator::new(&topo, mac, 8);
-        sim.set_behavior(NodeId::new(0), Box::new(MoreSource::new(cfg, ledger.clone(), 21)));
+        sim.set_behavior(
+            NodeId::new(0),
+            Box::new(MoreSource::new(cfg, ledger.clone(), 21)),
+        );
         sim.set_behavior(
             NodeId::new(1),
-            Box::new(MoreRelay::new(cfg, plan.tx_credit[1], dist[1], dist.clone())),
+            Box::new(MoreRelay::new(
+                cfg,
+                plan.tx_credit[1],
+                dist[1],
+                dist.clone(),
+            )),
         );
         sim.set_behavior(
             NodeId::new(2),

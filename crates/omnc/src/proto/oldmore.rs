@@ -30,10 +30,26 @@ mod tests {
         let t = Topology::from_links(
             4,
             vec![
-                Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.9 },
-                Link { from: NodeId::new(0), to: NodeId::new(2), p: 0.5 },
-                Link { from: NodeId::new(1), to: NodeId::new(3), p: 0.9 },
-                Link { from: NodeId::new(2), to: NodeId::new(3), p: 0.5 },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                    p: 0.9,
+                },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(2),
+                    p: 0.5,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(3),
+                    p: 0.9,
+                },
+                Link {
+                    from: NodeId::new(2),
+                    to: NodeId::new(3),
+                    p: 0.5,
+                },
             ],
         )
         .unwrap();

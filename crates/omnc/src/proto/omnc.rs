@@ -43,7 +43,10 @@ impl OmncSource {
     /// Panics if `rate` is negative or not finite.
     pub fn new(cfg: SessionConfig, ledger: SessionShared, session_seed: u64, rate: f64) -> Self {
         assert!(rate.is_finite() && rate >= 0.0, "rate must be non-negative");
-        OmncSource { state: CodedSource::new(cfg, ledger, session_seed), rate }
+        OmncSource {
+            state: CodedSource::new(cfg, ledger, session_seed),
+            rate,
+        }
     }
 
     /// Coded packets emitted so far.
@@ -64,7 +67,9 @@ impl Behavior<Msg> for OmncSource {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _token: u64) {
-        let Some(interval) = self.interval() else { return };
+        let Some(interval) = self.interval() else {
+            return;
+        };
         let now = ctx.now().as_secs();
         if ctx.queue_len() < QUEUE_CAP {
             let cfg = *self.state.config();
@@ -190,7 +195,9 @@ impl OmncDestination {
         session_seed: u64,
         verify_payload: bool,
     ) -> Self {
-        OmncDestination { state: CodedDestination::new(cfg, ledger, session_seed, verify_payload) }
+        OmncDestination {
+            state: CodedDestination::new(cfg, ledger, session_seed, verify_payload),
+        }
     }
 
     /// Access to the shared destination state (metrics).
@@ -221,8 +228,16 @@ mod tests {
         let topo = Topology::from_links(
             3,
             vec![
-                Link { from: NodeId::new(0), to: NodeId::new(1), p },
-                Link { from: NodeId::new(1), to: NodeId::new(2), p },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                    p,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(2),
+                    p,
+                },
             ],
         )
         .unwrap();
@@ -262,8 +277,16 @@ mod tests {
         let topo = Topology::from_links(
             3,
             vec![
-                Link { from: NodeId::new(0), to: NodeId::new(1), p: 1.0 },
-                Link { from: NodeId::new(1), to: NodeId::new(2), p: 1.0 },
+                Link {
+                    from: NodeId::new(0),
+                    to: NodeId::new(1),
+                    p: 1.0,
+                },
+                Link {
+                    from: NodeId::new(1),
+                    to: NodeId::new(2),
+                    p: 1.0,
+                },
             ],
         )
         .unwrap();
@@ -281,7 +304,11 @@ mod tests {
         );
         sim.run_until(20.0);
         assert_eq!(sim.stats(NodeId::new(1)).packets_sent, 0);
-        assert_eq!(ledger.generations_decoded(), 0, "dst is unreachable without the relay");
+        assert_eq!(
+            ledger.generations_decoded(),
+            0,
+            "dst is unreachable without the relay"
+        );
     }
 
     #[test]
@@ -293,7 +320,11 @@ mod tests {
         // Feed it a packet of generation 0 through a fake context.
         let topo = Topology::from_links(
             2,
-            vec![Link { from: NodeId::new(0), to: NodeId::new(1), p: 1.0 }],
+            vec![Link {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                p: 1.0,
+            }],
         )
         .unwrap();
         let mac = MacModel::fair_share(cfg.capacity);
@@ -304,7 +335,10 @@ mod tests {
         use rand::SeedableRng;
         let msg = src.next_packet(0.0, &mut rng).unwrap();
         // Deliver manually via the behavior API inside a simulator context:
-        sim.set_behavior(NodeId::new(1), Box::new(OmncDestination::new(cfg, ledger.clone(), 3, false)));
+        sim.set_behavior(
+            NodeId::new(1),
+            Box::new(OmncDestination::new(cfg, ledger.clone(), 3, false)),
+        );
         // Directly exercise the relay's sync logic.
         assert_eq!(relay.rank(), 0);
         if let Msg::Coded(ref p) = msg {

@@ -8,6 +8,7 @@ use net_topo::etx;
 use net_topo::graph::{Link, NodeId, Topology};
 use net_topo::select::{disjoint_path_count, select_forwarders, Selection};
 use omnc_opt::{default_portfolio, run_best, SUnicast};
+use serde::{Deserialize, Serialize};
 
 use crate::msg::Msg;
 use crate::proto::credits::{more_credits, oldmore_credits, CreditPlan};
@@ -17,7 +18,7 @@ use crate::proto::omnc::{OmncDestination, OmncRelay, OmncSource};
 use crate::session::{SessionConfig, SessionLedger};
 
 /// The protocols under evaluation (Sec. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Protocol {
     /// Optimized Multipath Network Coding — the paper's contribution.
     Omnc,
@@ -31,8 +32,12 @@ pub enum Protocol {
 
 impl Protocol {
     /// All four protocols, in the paper's presentation order.
-    pub const ALL: [Protocol; 4] =
-        [Protocol::Omnc, Protocol::More, Protocol::OldMore, Protocol::EtxRouting];
+    pub const ALL: [Protocol; 4] = [
+        Protocol::Omnc,
+        Protocol::More,
+        Protocol::OldMore,
+        Protocol::EtxRouting,
+    ];
 
     /// Display name as used in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -46,7 +51,7 @@ impl Protocol {
 }
 
 /// Everything measured from one session run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SessionOutcome {
     /// The protocol that produced this outcome.
     pub protocol: Protocol,
@@ -169,12 +174,20 @@ fn sub_topology(full: &Topology, nodes: &[NodeId]) -> SubTopology {
         .filter_map(|l| {
             let from = *to_local.get(&l.from)?;
             let to = *to_local.get(&l.to)?;
-            Some(Link { from: NodeId::new(from), to: NodeId::new(to), p: l.p })
+            Some(Link {
+                from: NodeId::new(from),
+                to: NodeId::new(to),
+                p: l.p,
+            })
         })
         .collect();
     let topo = Topology::from_links(to_orig.len().max(2), links)
         .expect("selected nodes always include linked src and dst");
-    SubTopology { topo, to_orig, to_local }
+    SubTopology {
+        topo,
+        to_orig,
+        to_local,
+    }
 }
 
 /// Runs one unicast session of `protocol` from `src` to `dst` on
@@ -235,8 +248,11 @@ fn run_etx(
     for w in path.windows(2) {
         next_hop[sub.to_local[&w[0]]] = sub.to_local[&w[1]];
     }
-    let mut sim: Simulator<Msg, Role> =
-        Simulator::new(&sub.topo, MacModel::unicast_clique(cfg.capacity, next_hop), seed);
+    let mut sim: Simulator<Msg, Role> = Simulator::new(
+        &sub.topo,
+        MacModel::unicast_clique(cfg.capacity, next_hop),
+        seed,
+    );
     for w in path.windows(2) {
         let role = if w[0] == src {
             Role::EtxFwd(EtxForwarder::source(*cfg, local(w[1]), local(dst)))
@@ -294,7 +310,11 @@ where
     let selection = select_forwarders(topology, src, dst);
     let problem = SUnicast::from_selection(topology, &selection, cfg.capacity);
     let b = rate_source(&problem);
-    assert_eq!(b.len(), problem.node_count(), "rate vector must cover the instance");
+    assert_eq!(
+        b.len(),
+        problem.node_count(),
+        "rate vector must cover the instance"
+    );
     run_coded_inner(topology, src, dst, Protocol::Omnc, cfg, seed, Some(b), None)
 }
 
@@ -359,7 +379,12 @@ fn run_coded_inner(
                         rates[local(orig).index()],
                     ))
                 } else if orig == dst {
-                    Role::OmncDst(OmncDestination::new(*cfg, ledger.clone(), session_seed, verify))
+                    Role::OmncDst(OmncDestination::new(
+                        *cfg,
+                        ledger.clone(),
+                        session_seed,
+                        verify,
+                    ))
                 } else {
                     Role::OmncRelay(OmncRelay::new(*cfg, rates[local(orig).index()]))
                 };
@@ -382,7 +407,12 @@ fn run_coded_inner(
                 let role = if orig == src {
                     Role::MoreSrc(MoreSource::new(*cfg, ledger.clone(), session_seed))
                 } else if orig == dst {
-                    Role::MoreDst(MoreDestination::new(*cfg, ledger.clone(), session_seed, verify))
+                    Role::MoreDst(MoreDestination::new(
+                        *cfg,
+                        ledger.clone(),
+                        session_seed,
+                        verify,
+                    ))
                 } else {
                     Role::MoreRelay(MoreRelay::new(
                         *cfg,
@@ -420,8 +450,8 @@ fn run_coded_inner(
         _ => 0,
     };
     let partial_bytes = partial_rank as f64 * cfg.wire_block_size as f64;
-    let throughput = ledger.throughput(cfg.generation_app_bytes(), cfg.duration)
-        + partial_bytes / cfg.duration;
+    let throughput =
+        ledger.throughput(cfg.generation_app_bytes(), cfg.duration) + partial_bytes / cfg.duration;
     let queue_averages: Vec<f64> = sub
         .topo
         .nodes()
@@ -437,8 +467,11 @@ fn run_coded_inner(
         .iter()
         .filter(|&&v| v != dst && sim.stats(local(v)).packets_sent > 0)
         .count();
-    let node_utility =
-        if candidates > 0 { transmitting as f64 / candidates as f64 } else { 0.0 };
+    let node_utility = if candidates > 0 {
+        transmitting as f64 / candidates as f64
+    } else {
+        0.0
+    };
 
     // Path utility: paths of the selection DAG all of whose links were
     // exercised (the transmitter sent and the receiver heard at least one
@@ -480,8 +513,8 @@ fn run_coded_inner(
     let used_paths = if used_links.is_empty() {
         0
     } else {
-        let used_dag = Topology::from_links(topology.len(), used_links)
-            .expect("used links are valid");
+        let used_dag =
+            Topology::from_links(topology.len(), used_links).expect("used links are valid");
         disjoint_path_count(&used_dag, src, dst)
     };
     let path_utility = if total_paths > 0 {
@@ -572,9 +605,31 @@ mod tests {
         let cfg = SessionConfig::tiny();
         for protocol in [Protocol::Omnc, Protocol::More, Protocol::OldMore] {
             let out = run_session(&topo, s, d, protocol, &cfg, 9);
-            assert!((0.0..=1.0).contains(&out.node_utility), "{}", protocol.name());
-            assert!((0.0..=1.0).contains(&out.path_utility), "{}", protocol.name());
+            assert!(
+                (0.0..=1.0).contains(&out.node_utility),
+                "{}",
+                protocol.name()
+            );
+            assert!(
+                (0.0..=1.0).contains(&out.path_utility),
+                "{}",
+                protocol.name()
+            );
         }
+    }
+
+    #[test]
+    fn outcomes_export_as_json_records() {
+        let (topo, s, d) = small_world();
+        let cfg = SessionConfig::tiny();
+        let out = run_session(&topo, s, d, Protocol::Omnc, &cfg, 5);
+        let json = serde_json::to_string(&out).unwrap();
+        assert!(json.contains("\"protocol\":\"Omnc\""), "{json}");
+        let back: SessionOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.protocol, out.protocol);
+        assert_eq!(back.throughput, out.throughput);
+        assert_eq!(back.rc_iterations, out.rc_iterations);
+        assert_eq!(back.packet_counts, out.packet_counts);
     }
 
     #[test]

@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn quality_regimes_share_the_topology_structure() {
-        let lossy = Scenario { nodes: 50, ..Scenario::small_test() };
+        let lossy = Scenario {
+            nodes: 50,
+            ..Scenario::small_test()
+        };
         let mut high = lossy.clone();
         high.quality = Quality::High;
         let tl = lossy.build_topology();

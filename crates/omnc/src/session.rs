@@ -53,7 +53,12 @@ impl SessionConfig {
 
     /// Reduced-scale defaults for fast runs: same ratios, ~1/10 the events.
     pub fn reduced() -> Self {
-        SessionConfig { capacity: 2e4, duration: 120.0, cbr_rate: 1e4, ..SessionConfig::paper() }
+        SessionConfig {
+            capacity: 2e4,
+            duration: 120.0,
+            cbr_rate: 1e4,
+            ..SessionConfig::paper()
+        }
     }
 
     /// A tiny configuration for unit tests (full payload coding).
@@ -134,7 +139,9 @@ pub struct SessionConfigBuilder {
 impl SessionConfig {
     /// Starts a builder from the reduced-scale defaults.
     pub fn builder() -> SessionConfigBuilder {
-        SessionConfigBuilder { inner: SessionConfig::reduced() }
+        SessionConfigBuilder {
+            inner: SessionConfig::reduced(),
+        }
     }
 }
 
@@ -145,7 +152,10 @@ impl SessionConfigBuilder {
     ///
     /// Panics unless positive and finite.
     pub fn capacity(mut self, capacity: f64) -> Self {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
         self.inner.capacity = capacity;
         self
     }
@@ -173,7 +183,10 @@ impl SessionConfigBuilder {
     ///
     /// Panics if either dimension is zero.
     pub fn generation(mut self, blocks: usize, wire_block_size: usize) -> Self {
-        assert!(blocks > 0 && wire_block_size > 0, "generation dimensions must be positive");
+        assert!(
+            blocks > 0 && wire_block_size > 0,
+            "generation dimensions must be positive"
+        );
         self.inner.generation_blocks = blocks;
         self.inner.wire_block_size = wire_block_size;
         self.inner.payload_block_size = self.inner.payload_block_size.min(wire_block_size);
@@ -192,7 +205,10 @@ impl SessionConfigBuilder {
     ///
     /// Panics unless positive and finite.
     pub fn duration(mut self, seconds: f64) -> Self {
-        assert!(seconds.is_finite() && seconds > 0.0, "duration must be positive");
+        assert!(
+            seconds.is_finite() && seconds > 0.0,
+            "duration must be positive"
+        );
         self.inner.duration = seconds;
         self
     }

@@ -92,14 +92,19 @@ pub fn decode(frame: &[u8]) -> Result<Msg, WireError> {
             }
             let seq = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
             let dst = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")) as usize;
-            Ok(Msg::Block { seq, dst: NodeId::new(dst) })
+            Ok(Msg::Block {
+                seq,
+                dst: NodeId::new(dst),
+            })
         }
         TAG_ACK => {
             if body.len() != 8 {
                 return Err(WireError::Malformed("ack body must be 8 bytes"));
             }
             let g = u64::from_le_bytes(body.try_into().expect("8 bytes"));
-            Ok(Msg::Ack { generation: GenerationId::new(g) })
+            Ok(Msg::Ack {
+                generation: GenerationId::new(g),
+            })
         }
         other => Err(WireError::UnknownTag(other)),
     }
@@ -114,8 +119,13 @@ mod tests {
     fn all_variants_roundtrip() {
         let msgs = [
             Msg::Coded(CodedPacket::new(GenerationId::new(7), vec![1, 2, 3], vec![9; 10]).unwrap()),
-            Msg::Block { seq: 42, dst: NodeId::new(13) },
-            Msg::Ack { generation: GenerationId::new(1000) },
+            Msg::Block {
+                seq: 42,
+                dst: NodeId::new(13),
+            },
+            Msg::Ack {
+                generation: GenerationId::new(1000),
+            },
         ];
         for m in msgs {
             assert_eq!(decode(&encode(&m)).unwrap(), m);
@@ -126,9 +136,15 @@ mod tests {
     fn garbage_is_rejected_not_panicked() {
         assert_eq!(decode(&[]), Err(WireError::Empty));
         assert_eq!(decode(&[99, 1, 2]), Err(WireError::UnknownTag(99)));
-        assert!(matches!(decode(&[TAG_ACK, 1, 2]), Err(WireError::Malformed(_))));
+        assert!(matches!(
+            decode(&[TAG_ACK, 1, 2]),
+            Err(WireError::Malformed(_))
+        ));
         assert!(matches!(decode(&[TAG_BLOCK]), Err(WireError::Malformed(_))));
-        assert!(matches!(decode(&[TAG_CODED, 0, 0]), Err(WireError::Malformed(_))));
+        assert!(matches!(
+            decode(&[TAG_CODED, 0, 0]),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     proptest! {

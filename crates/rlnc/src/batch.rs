@@ -51,7 +51,12 @@ impl BatchDecoder {
 
     /// Creates an empty batch decoder with an explicit kernel.
     pub fn with_kernel(generation: GenerationId, config: GenerationConfig, kernel: Kernel) -> Self {
-        BatchDecoder { generation, config, kernel, packets: Vec::new() }
+        BatchDecoder {
+            generation,
+            config,
+            kernel,
+            packets: Vec::new(),
+        }
     }
 
     /// Stores a packet without any processing (the batch decoder's whole

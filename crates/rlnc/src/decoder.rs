@@ -9,10 +9,54 @@
 //!   and the right part is exactly the original blocks: decoding finishes
 //!   "on the fly" with no final batch inversion.
 
+use std::time::Instant;
+
+use telemetry::{Counter, Gauge, Histogram, Registry};
+
 use crate::error::RlncError;
 use crate::generation::GenerationConfig;
 use crate::kernel::Kernel;
 use crate::packet::{CodedPacket, GenerationId};
+
+/// Telemetry instruments for decoder progress, shared by every decoder the
+/// handle is attached to (counters aggregate across generations).
+///
+/// Build once per session with [`DecoderMetrics::from_registry`] and attach
+/// with [`Decoder::set_metrics`]. When no metrics are attached the decoder's
+/// hot path is untouched — not even a clock read.
+#[derive(Debug, Clone)]
+pub struct DecoderMetrics {
+    innovative: Counter,
+    redundant: Counter,
+    rank: Gauge,
+    absorb_us: Histogram,
+    decode_us: Histogram,
+}
+
+impl DecoderMetrics {
+    /// Registers the decoder instruments on `registry`:
+    /// `rlnc.decoder.innovative` / `rlnc.decoder.redundant` (packet
+    /// counters), `rlnc.decoder.rank` (rank of the most recent absorb),
+    /// `rlnc.decoder.absorb_us` (per-packet Gauss-Jordan latency) and
+    /// `rlnc.decoder.decode_us` (first-packet-to-completion latency).
+    pub fn from_registry(registry: &Registry) -> Self {
+        DecoderMetrics {
+            innovative: registry.counter("rlnc.decoder.innovative"),
+            redundant: registry.counter("rlnc.decoder.redundant"),
+            rank: registry.gauge("rlnc.decoder.rank"),
+            absorb_us: registry.histogram(
+                "rlnc.decoder.absorb_us",
+                &[
+                    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0, 1000.0, 5000.0,
+                ],
+            ),
+            decode_us: registry.histogram(
+                "rlnc.decoder.decode_us",
+                &[10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7],
+            ),
+        }
+    }
+}
 
 /// Outcome of feeding one packet to a [`Decoder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +119,8 @@ pub struct Decoder {
     pivot_row: Vec<Option<usize>>,
     received: u64,
     redundant: u64,
+    metrics: Option<DecoderMetrics>,
+    first_absorb: Option<Instant>,
 }
 
 impl Decoder {
@@ -93,7 +139,15 @@ impl Decoder {
             pivot_row: vec![None; config.blocks()],
             received: 0,
             redundant: 0,
+            metrics: None,
+            first_absorb: None,
         }
+    }
+
+    /// Attaches telemetry instruments; every subsequent absorb updates the
+    /// innovative/redundant counters and latency histograms.
+    pub fn set_metrics(&mut self, metrics: DecoderMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The generation this decoder collects.
@@ -140,6 +194,41 @@ impl Decoder {
     /// [`RlncError::BlockSizeMismatch`] when the packet does not fit this
     /// decoder; such packets leave the decoder untouched.
     pub fn absorb(&mut self, packet: &CodedPacket) -> Result<Absorption, RlncError> {
+        // Telemetry-free fast path: no clock reads, no counter updates.
+        if self.metrics.is_none() {
+            return self.absorb_inner(packet);
+        }
+        let started = Instant::now();
+        if self.first_absorb.is_none() {
+            self.first_absorb = Some(started);
+        }
+        let result = self.absorb_inner(packet);
+        let complete = self.is_complete();
+        let first = self.first_absorb;
+        let metrics = self.metrics.as_ref().expect("metrics checked above");
+        if let Ok(outcome) = &result {
+            metrics
+                .absorb_us
+                .observe(started.elapsed().as_secs_f64() * 1e6);
+            match outcome {
+                Absorption::Innovative { rank } => {
+                    metrics.innovative.inc();
+                    metrics.rank.set(*rank as f64);
+                    if complete {
+                        if let Some(first) = first {
+                            metrics
+                                .decode_us
+                                .observe(first.elapsed().as_secs_f64() * 1e6);
+                        }
+                    }
+                }
+                Absorption::Redundant => metrics.redundant.inc(),
+            }
+        }
+        result
+    }
+
+    fn absorb_inner(&mut self, packet: &CodedPacket) -> Result<Absorption, RlncError> {
         self.check(packet)?;
         self.received += 1;
 
@@ -182,9 +271,15 @@ impl Decoder {
             }
         }
 
-        self.rows.push(Row { coeff, payload, pivot });
+        self.rows.push(Row {
+            coeff,
+            payload,
+            pivot,
+        });
         self.pivot_row[pivot] = Some(new_index);
-        Ok(Absorption::Innovative { rank: self.rows.len() })
+        Ok(Absorption::Innovative {
+            rank: self.rows.len(),
+        })
     }
 
     /// Returns `true` if `packet` would be innovative, without mutating the
@@ -200,7 +295,8 @@ impl Decoder {
                 continue;
             }
             if let Some(r) = self.pivot_row[col] {
-                self.kernel.mul_add_assign(&mut coeff, &self.rows[r].coeff, c);
+                self.kernel
+                    .mul_add_assign(&mut coeff, &self.rows[r].coeff, c);
             }
         }
         coeff.iter().any(|&c| c != 0)
@@ -245,7 +341,9 @@ impl Decoder {
     /// The stored (coefficient, payload) rows in reduced row-echelon form.
     /// Relays re-encode from exactly these rows.
     pub fn rows(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
-        self.rows.iter().map(|r| (r.coeff.as_slice(), r.payload.as_slice()))
+        self.rows
+            .iter()
+            .map(|r| (r.coeff.as_slice(), r.payload.as_slice()))
     }
 
     fn check(&self, packet: &CodedPacket) -> Result<(), RlncError> {
@@ -282,7 +380,10 @@ mod tests {
         let cfg = GenerationConfig::new(n, m).unwrap();
         let rng = rand::rngs::StdRng::seed_from_u64(seed);
         let data: Vec<u8> = (0..cfg.payload_len()).map(|i| (i * 31 + 7) as u8).collect();
-        (Generation::from_bytes(GenerationId::new(0), cfg, &data).unwrap(), rng.clone())
+        (
+            Generation::from_bytes(GenerationId::new(0), cfg, &data).unwrap(),
+            rng.clone(),
+        )
     }
 
     #[test]
@@ -317,6 +418,58 @@ mod tests {
         }
         assert_eq!(dec.packets_redundant(), 3);
         assert_eq!(dec.packets_received(), 6);
+    }
+
+    #[test]
+    fn metrics_track_innovative_and_redundant_counts() {
+        let (g, mut rng) = setup(8, 16, 4);
+        let enc = Encoder::new(&g);
+        let registry = Registry::new();
+        let mut dec = Decoder::new(g.id(), g.config());
+        dec.set_metrics(DecoderMetrics::from_registry(&registry));
+        // Absorb two packets twice each (replays are redundant), then fresh
+        // packets until the generation decodes.
+        let replayed: Vec<_> = (0..2).map(|_| enc.emit(&mut rng)).collect();
+        for p in replayed.iter().chain(replayed.iter()) {
+            dec.absorb(p).unwrap();
+        }
+        while !dec.is_complete() {
+            dec.absorb(&enc.emit(&mut rng)).unwrap();
+        }
+        let snapshot = registry.snapshot();
+        let find = |name: &str| {
+            snapshot
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("metric {name} not registered"))
+        };
+        assert_eq!(find("rlnc.decoder.innovative").value, 8.0);
+        assert_eq!(
+            find("rlnc.decoder.redundant").value,
+            dec.packets_redundant() as f64
+        );
+        assert!(find("rlnc.decoder.redundant").value >= 2.0);
+        assert_eq!(find("rlnc.decoder.rank").value, 8.0);
+        let absorb_us = find("rlnc.decoder.absorb_us");
+        assert_eq!(absorb_us.count, dec.packets_received());
+        let decode_us = find("rlnc.decoder.decode_us");
+        assert_eq!(decode_us.count, 1);
+        assert_eq!(dec.recover().unwrap(), g.to_bytes());
+    }
+
+    #[test]
+    fn detached_decoder_behaves_identically() {
+        let (g, mut rng) = setup(6, 8, 5);
+        let enc = Encoder::new(&g);
+        let registry = Registry::new();
+        let mut plain = Decoder::new(g.id(), g.config());
+        let mut instrumented = Decoder::new(g.id(), g.config());
+        instrumented.set_metrics(DecoderMetrics::from_registry(&registry));
+        for _ in 0..12 {
+            let p = enc.emit(&mut rng);
+            assert_eq!(plain.absorb(&p).unwrap(), instrumented.absorb(&p).unwrap());
+        }
+        assert_eq!(plain.recover().unwrap(), instrumented.recover().unwrap());
     }
 
     #[test]
@@ -369,7 +522,10 @@ mod tests {
             Err(RlncError::CoefficientLengthMismatch { .. })
         ));
         let mut dec3 = Decoder::new(g.id(), GenerationConfig::new(4, 5).unwrap());
-        assert!(matches!(dec3.absorb(&p), Err(RlncError::BlockSizeMismatch { .. })));
+        assert!(matches!(
+            dec3.absorb(&p),
+            Err(RlncError::BlockSizeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -405,7 +561,10 @@ mod tests {
         let mut seen = [false; 6];
         for (coeff, _) in dec.rows() {
             let pivot = coeff.iter().position(|&c| c != 0).unwrap();
-            assert!(coeff.iter().enumerate().all(|(i, &c)| (i == pivot) == (c != 0)));
+            assert!(coeff
+                .iter()
+                .enumerate()
+                .all(|(i, &c)| (i == pivot) == (c != 0)));
             seen[pivot] = true;
         }
         assert!(seen.iter().all(|&s| s));

@@ -35,7 +35,10 @@ pub struct Encoder<'a> {
 impl<'a> Encoder<'a> {
     /// Creates an encoder using the default (accelerated) kernel.
     pub fn new(generation: &'a Generation) -> Self {
-        Encoder { generation, kernel: Kernel::default() }
+        Encoder {
+            generation,
+            kernel: Kernel::default(),
+        }
     }
 
     /// Creates an encoder with an explicit kernel (used by the coding-speed
@@ -74,7 +77,11 @@ impl<'a> Encoder<'a> {
     /// count.
     pub fn emit_with_coefficients(&self, coefficients: &[u8]) -> CodedPacket {
         let cfg = self.generation.config();
-        assert_eq!(coefficients.len(), cfg.blocks(), "coefficient row length mismatch");
+        assert_eq!(
+            coefficients.len(),
+            cfg.blocks(),
+            "coefficient row length mismatch"
+        );
         let mut payload = vec![0u8; cfg.block_size()];
         for (block, &c) in self.generation.blocks().iter().zip(coefficients) {
             self.kernel.mul_add_assign(&mut payload, block, c);

@@ -48,19 +48,34 @@ impl fmt::Display for RlncError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RlncError::EmptyGeneration => {
-                write!(f, "generation must have at least one block and one byte per block")
+                write!(
+                    f,
+                    "generation must have at least one block and one byte per block"
+                )
             }
             RlncError::PayloadSizeMismatch { expected, actual } => {
-                write!(f, "payload size mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "payload size mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             RlncError::CoefficientLengthMismatch { expected, actual } => {
-                write!(f, "coefficient length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "coefficient length mismatch: expected {expected}, got {actual}"
+                )
             }
             RlncError::BlockSizeMismatch { expected, actual } => {
-                write!(f, "block size mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "block size mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             RlncError::GenerationMismatch { expected, actual } => {
-                write!(f, "generation mismatch: decoder on {expected}, packet from {actual}")
+                write!(
+                    f,
+                    "generation mismatch: decoder on {expected}, packet from {actual}"
+                )
             }
             RlncError::NothingBuffered => {
                 write!(f, "re-encoder holds no innovative packets to combine")
@@ -78,7 +93,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = RlncError::PayloadSizeMismatch { expected: 10, actual: 3 };
+        let e = RlncError::PayloadSizeMismatch {
+            expected: 10,
+            actual: 3,
+        };
         let msg = e.to_string();
         assert!(msg.contains("10") && msg.contains('3'));
         assert!(msg.starts_with(char::is_lowercase));

@@ -17,7 +17,10 @@ pub struct GenerationConfig {
 impl GenerationConfig {
     /// The configuration used throughout the paper's evaluation (Sec. 5):
     /// each generation contains 40 data blocks of 1 KB.
-    pub const PAPER: GenerationConfig = GenerationConfig { blocks: 40, block_size: 1024 };
+    pub const PAPER: GenerationConfig = GenerationConfig {
+        blocks: 40,
+        block_size: 1024,
+    };
 
     /// Creates a configuration with `blocks` blocks of `block_size` bytes.
     ///
@@ -89,7 +92,10 @@ impl Generation {
                 actual: data.len(),
             });
         }
-        let blocks = data.chunks(config.block_size()).map(<[u8]>::to_vec).collect();
+        let blocks = data
+            .chunks(config.block_size())
+            .map(<[u8]>::to_vec)
+            .collect();
         Ok(Generation { id, config, blocks })
     }
 
@@ -155,8 +161,14 @@ mod tests {
 
     #[test]
     fn zero_dimensions_rejected() {
-        assert_eq!(GenerationConfig::new(0, 10), Err(RlncError::EmptyGeneration));
-        assert_eq!(GenerationConfig::new(10, 0), Err(RlncError::EmptyGeneration));
+        assert_eq!(
+            GenerationConfig::new(0, 10),
+            Err(RlncError::EmptyGeneration)
+        );
+        assert_eq!(
+            GenerationConfig::new(10, 0),
+            Err(RlncError::EmptyGeneration)
+        );
     }
 
     #[test]
@@ -173,7 +185,13 @@ mod tests {
     fn exact_size_enforced() {
         let cfg = GenerationConfig::new(4, 8).unwrap();
         let err = Generation::from_bytes(GenerationId::new(0), cfg, &[0; 31]).unwrap_err();
-        assert_eq!(err, RlncError::PayloadSizeMismatch { expected: 32, actual: 31 });
+        assert_eq!(
+            err,
+            RlncError::PayloadSizeMismatch {
+                expected: 32,
+                actual: 31
+            }
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod stream;
 mod systematic;
 
 pub use batch::BatchDecoder;
-pub use decoder::{Absorption, Decoder};
+pub use decoder::{Absorption, Decoder, DecoderMetrics};
 pub use encoder::Encoder;
 pub use error::RlncError;
 pub use generation::{Generation, GenerationConfig};

@@ -76,7 +76,11 @@ impl CodedPacket {
         if payload.is_empty() {
             return Err(RlncError::MalformedPacket("empty payload"));
         }
-        Ok(CodedPacket { generation, coefficients, payload })
+        Ok(CodedPacket {
+            generation,
+            coefficients,
+            payload,
+        })
     }
 
     /// The generation this packet belongs to.
@@ -141,8 +145,7 @@ impl CodedPacket {
         let generation = GenerationId(u64::from_le_bytes(
             bytes[0..8].try_into().expect("8 header bytes"),
         ));
-        let n_coeff =
-            u32::from_le_bytes(bytes[8..12].try_into().expect("4 header bytes")) as usize;
+        let n_coeff = u32::from_le_bytes(bytes[8..12].try_into().expect("4 header bytes")) as usize;
         let n_payload =
             u32::from_le_bytes(bytes[12..16].try_into().expect("4 header bytes")) as usize;
         let body = &bytes[Self::HEADER_LEN..];

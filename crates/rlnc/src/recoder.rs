@@ -54,7 +54,10 @@ impl Recoder {
 
     /// Creates an empty relay buffer with an explicit kernel.
     pub fn with_kernel(generation: GenerationId, config: GenerationConfig, kernel: Kernel) -> Self {
-        Recoder { buffer: Decoder::with_kernel(generation, config, kernel), kernel }
+        Recoder {
+            buffer: Decoder::with_kernel(generation, config, kernel),
+            kernel,
+        }
     }
 
     /// The generation this relay serves.
@@ -114,8 +117,10 @@ impl Recoder {
                 break;
             }
         }
-        Ok(CodedPacket::new(self.buffer.generation(), coeff_out, payload_out)
-            .expect("recoder always produces well-formed packets"))
+        Ok(
+            CodedPacket::new(self.buffer.generation(), coeff_out, payload_out)
+                .expect("recoder always produces well-formed packets"),
+        )
     }
 
     /// Read access to the underlying buffer (rank, stats, rows).
@@ -188,7 +193,10 @@ mod tests {
             relay.absorb(&enc.emit(&mut rng)).unwrap();
         }
         for _ in 0..10 {
-            assert_eq!(relay.absorb(&enc.emit(&mut rng)).unwrap(), Absorption::Redundant);
+            assert_eq!(
+                relay.absorb(&enc.emit(&mut rng)).unwrap(),
+                Absorption::Redundant
+            );
         }
     }
 
@@ -212,7 +220,12 @@ mod tests {
             let _ = dst.absorb(&v.emit(&mut rng).unwrap());
             safety += 1;
         }
-        assert!(dst.is_complete(), "u rank {} + v rank {} should cover", u.rank(), v.rank());
+        assert!(
+            dst.is_complete(),
+            "u rank {} + v rank {} should cover",
+            u.rank(),
+            v.rank()
+        );
         assert_eq!(dst.recover().unwrap(), g.to_bytes());
     }
 }

@@ -70,7 +70,10 @@ impl StreamChunker {
                 break;
             }
         }
-        Ok(StreamChunker { config, generations })
+        Ok(StreamChunker {
+            config,
+            generations,
+        })
     }
 
     /// The generations, in stream order.
@@ -104,7 +107,10 @@ pub struct StreamAssembler {
 impl StreamAssembler {
     /// Creates an empty assembler for streams chunked under `config`.
     pub fn new(config: GenerationConfig) -> Self {
-        StreamAssembler { config, decoded: BTreeMap::new() }
+        StreamAssembler {
+            config,
+            decoded: BTreeMap::new(),
+        }
     }
 
     /// Accepts the recovered payload of `generation` (as returned by
@@ -127,8 +133,10 @@ impl StreamAssembler {
         if len > payload.len() - LEN_PREFIX {
             return Err(RlncError::MalformedPacket("length prefix exceeds payload"));
         }
-        self.decoded
-            .insert(generation.as_u64(), payload[LEN_PREFIX..LEN_PREFIX + len].to_vec());
+        self.decoded.insert(
+            generation.as_u64(),
+            payload[LEN_PREFIX..LEN_PREFIX + len].to_vec(),
+        );
         Ok(())
     }
 
@@ -206,7 +214,11 @@ mod tests {
         assert!(chunker.generation_count() >= 3);
         let mut asm = StreamAssembler::new(cfg());
         // Skip generation 1.
-        for g in chunker.generations().iter().filter(|g| g.id().as_u64() != 1) {
+        for g in chunker
+            .generations()
+            .iter()
+            .filter(|g| g.id().as_u64() != 1)
+        {
             asm.accept(g.id(), &g.to_bytes()).unwrap();
         }
         assert!(asm.finish().is_none());

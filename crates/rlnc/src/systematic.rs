@@ -46,12 +46,18 @@ pub struct SystematicEncoder<'a> {
 impl<'a> SystematicEncoder<'a> {
     /// Creates a systematic encoder with the default kernel.
     pub fn new(generation: &'a Generation) -> Self {
-        SystematicEncoder { inner: Encoder::new(generation), next_native: 0 }
+        SystematicEncoder {
+            inner: Encoder::new(generation),
+            next_native: 0,
+        }
     }
 
     /// Creates a systematic encoder with an explicit kernel.
     pub fn with_kernel(generation: &'a Generation, kernel: Kernel) -> Self {
-        SystematicEncoder { inner: Encoder::with_kernel(generation, kernel), next_native: 0 }
+        SystematicEncoder {
+            inner: Encoder::with_kernel(generation, kernel),
+            next_native: 0,
+        }
     }
 
     /// `true` while native (uncoded) blocks remain to be sent.

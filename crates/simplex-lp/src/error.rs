@@ -32,12 +32,18 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "linear program is infeasible"),
             LpError::Unbounded => write!(f, "linear program is unbounded"),
             LpError::VariableOutOfRange { index, variables } => {
-                write!(f, "variable index {index} out of range for {variables} variables")
+                write!(
+                    f,
+                    "variable index {index} out of range for {variables} variables"
+                )
             }
             LpError::NotFinite => write!(f, "coefficients and bounds must be finite"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             LpError::NumericalInstability => {
-                write!(f, "solution failed post-solve verification (numerical drift)")
+                write!(
+                    f,
+                    "solution failed post-solve verification (numerical drift)"
+                )
             }
         }
     }
@@ -52,7 +58,10 @@ mod tests {
     #[test]
     fn messages_are_meaningful() {
         assert!(LpError::Infeasible.to_string().contains("infeasible"));
-        let e = LpError::VariableOutOfRange { index: 5, variables: 3 };
+        let e = LpError::VariableOutOfRange {
+            index: 5,
+            variables: 3,
+        };
         assert!(e.to_string().contains('5') && e.to_string().contains('3'));
     }
 }

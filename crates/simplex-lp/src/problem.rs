@@ -57,7 +57,12 @@ impl LpProblem {
 
     /// Creates a problem with an explicit sense.
     pub fn new(sense: Sense, variables: usize) -> Self {
-        LpProblem { sense, variables, objective: vec![0.0; variables], constraints: Vec::new() }
+        LpProblem {
+            sense,
+            variables,
+            objective: vec![0.0; variables],
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -126,7 +131,11 @@ impl LpProblem {
                 dense.push((i, c));
             }
         }
-        self.constraints.push(Constraint { coeffs: dense, relation, rhs });
+        self.constraints.push(Constraint {
+            coeffs: dense,
+            relation,
+            rhs,
+        });
         self
     }
 

@@ -218,7 +218,12 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<Solution, LpError> {
         }
     }
 
-    let mut tab = Tableau { a, basis, cols, rows: m };
+    let mut tab = Tableau {
+        a,
+        basis,
+        cols,
+        rows: m,
+    };
     let budget = 400 * (cols + m + 10);
 
     // Phase 1: minimize the sum of artificial variables.
@@ -391,7 +396,11 @@ mod tests {
         lp.set_objective(&[0.0, 1.0]);
         lp.push_constraint(&[(0, 1.0), (1, -1.0)], Relation::Le, -2.0);
         let s = lp.solve().unwrap();
-        assert!((s.value(1) - 2.0).abs() < 1e-9, "y should be 2, got {}", s.value(1));
+        assert!(
+            (s.value(1) - 2.0).abs() < 1e-9,
+            "y should be 2, got {}",
+            s.value(1)
+        );
     }
 
     #[test]
@@ -456,7 +465,11 @@ mod tests {
             let s = lp.solve().expect("feasible bounded LP");
             for c in &lp.constraints {
                 let lhs: f64 = c.coeffs.iter().map(|&(i, v)| v * s.value(i)).sum();
-                assert!(lhs <= c.rhs + 1e-7, "constraint violated: {lhs} > {}", c.rhs);
+                assert!(
+                    lhs <= c.rhs + 1e-7,
+                    "constraint violated: {lhs} > {}",
+                    c.rhs
+                );
             }
             for i in 0..n {
                 assert!(s.value(i) >= -1e-9, "negative variable");

@@ -6,7 +6,9 @@
 //! cargo run --release -p omnc --example coding_pipeline
 //! ```
 
-use omnc::rlnc::{Absorption, Decoder, Encoder, Generation, GenerationConfig, GenerationId, Recoder};
+use omnc::rlnc::{
+    Absorption, Decoder, Encoder, Generation, GenerationConfig, GenerationId, Recoder,
+};
 use rand::{Rng, SeedableRng};
 
 fn main() {
@@ -16,8 +18,8 @@ fn main() {
     let cfg = GenerationConfig::new(16, 256).expect("valid dimensions");
     let mut payload = vec![0u8; cfg.payload_len()];
     rng.fill(&mut payload[..]);
-    let generation = Generation::from_bytes(GenerationId::new(0), cfg, &payload)
-        .expect("sized payload");
+    let generation =
+        Generation::from_bytes(GenerationId::new(0), cfg, &payload).expect("sized payload");
     let encoder = Encoder::new(&generation);
 
     // Source S broadcasts to relays u, v over lossy links; relays re-encode
@@ -66,7 +68,10 @@ fn main() {
     }
 
     let recovered = dst.recover().expect("complete");
-    assert_eq!(recovered, payload, "progressive decoding must recover the source bytes");
+    assert_eq!(
+        recovered, payload,
+        "progressive decoding must recover the source bytes"
+    );
     println!("\nrecovered all {} bytes intact", recovered.len());
     println!(
         "source broadcasts: {broadcasts}, relay transmissions: {relay_tx}, \

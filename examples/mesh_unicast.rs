@@ -34,8 +34,20 @@ fn main() {
     );
     println!("{}", "-".repeat(70));
 
-    let etx = run_session(&topology, src, dst, Protocol::EtxRouting, &scenario.session, 1);
-    for protocol in [Protocol::EtxRouting, Protocol::Omnc, Protocol::More, Protocol::OldMore] {
+    let etx = run_session(
+        &topology,
+        src,
+        dst,
+        Protocol::EtxRouting,
+        &scenario.session,
+        1,
+    );
+    for protocol in [
+        Protocol::EtxRouting,
+        Protocol::Omnc,
+        Protocol::More,
+        Protocol::OldMore,
+    ] {
         let out = if protocol == Protocol::EtxRouting {
             etx.clone()
         } else {
@@ -51,8 +63,8 @@ fn main() {
             out.path_utility,
         );
     }
-    if let Some(rc) = run_session(&topology, src, dst, Protocol::Omnc, &scenario.session, 1)
-        .rc_iterations
+    if let Some(rc) =
+        run_session(&topology, src, dst, Protocol::Omnc, &scenario.session, 1).rc_iterations
     {
         println!("\nOMNC rate control converged in {rc} iterations");
     }

@@ -28,8 +28,8 @@ fn main() {
 
     // What each session could do with the whole channel to itself.
     for (k, sel) in selections.iter().enumerate() {
-        let alone = lp::solve_exact(&SUnicast::from_selection(&topology, sel, 1e5))
-            .expect("solvable");
+        let alone =
+            lp::solve_exact(&SUnicast::from_selection(&topology, sel, 1e5)).expect("solvable");
         println!("session {k} alone: gamma* = {:.0} B/s", alone.gamma);
     }
 
@@ -42,7 +42,10 @@ fn main() {
         joint.total()
     );
 
-    let params = RateControlParams { max_iterations: 400, ..Default::default() };
+    let params = RateControlParams {
+        max_iterations: 400,
+        ..Default::default()
+    };
     let dist = mu.solve_distributed(&params);
     println!(
         "distributed (shared congestion prices): gamma = {:?} B/s (total {:.0}, {:.0}% of optimum)",

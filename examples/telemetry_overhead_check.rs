@@ -1,0 +1,56 @@
+//! Measures the cost of *enabling* decoder telemetry: full generation
+//! decodes with metrics detached vs attached, interleaved best-of-N so
+//! scheduler noise cancels. The budget is < 3% (see DESIGN.md §6b).
+//!
+//! ```sh
+//! cargo run --release -p omnc --example telemetry_overhead_check
+//! ```
+
+use omnc::rlnc::{
+    Decoder, DecoderMetrics, Encoder, Generation, GenerationConfig, GenerationId, Kernel,
+};
+use omnc::telemetry::Registry;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn throughput_mb_s(blocks: usize, block_size: usize, attach: bool) -> f64 {
+    let cfg = GenerationConfig::new(blocks, block_size).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut data = vec![0u8; cfg.payload_len()];
+    rng.fill(&mut data[..]);
+    let generation = Generation::from_bytes(GenerationId::new(0), cfg, &data).unwrap();
+    let encoder = Encoder::with_kernel(&generation, Kernel::Wide);
+    let registry = Registry::new();
+    let reps = 200;
+    let start = Instant::now();
+    let mut bytes = 0usize;
+    for _ in 0..reps {
+        let mut decoder = Decoder::with_kernel(GenerationId::new(0), cfg, Kernel::Wide);
+        if attach {
+            decoder.set_metrics(DecoderMetrics::from_registry(&registry));
+        }
+        while !decoder.is_complete() {
+            let _ = decoder.absorb(&encoder.emit(&mut rng));
+        }
+        bytes += cfg.payload_len();
+    }
+    bytes as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    // Interleave trials; report the best of each mode (minimum-time
+    // estimates are robust to one-sided scheduler noise).
+    let trials = 7;
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    for _ in 0..trials {
+        best_off = best_off.max(throughput_mb_s(40, 1024, false));
+        best_on = best_on.max(throughput_mb_s(40, 1024, true));
+    }
+    let delta = 100.0 * (best_on - best_off) / best_off;
+    println!("detached {best_off:.1} MB/s   attached {best_on:.1} MB/s   delta {delta:+.2}%");
+    println!(
+        "budget: |delta| < 3%  ->  {}",
+        if delta.abs() < 3.0 { "PASS" } else { "FAIL" }
+    );
+}

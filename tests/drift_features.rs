@@ -16,7 +16,11 @@ struct Talker {
 impl Behavior<Ping> for Talker {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
         for _ in 0..self.count {
-            ctx.enqueue(Outgoing { msg: Ping, wire_len: 50, dest: Dest::Broadcast });
+            ctx.enqueue(Outgoing {
+                msg: Ping,
+                wire_len: 50,
+                dest: Dest::Broadcast,
+            });
         }
     }
 }
@@ -51,7 +55,10 @@ fn trace_accounts_for_every_transmission_and_outcome() {
     assert_eq!(delivered + lost, 200);
     assert_eq!(delivered, sim.stats(NodeId::new(1)).packets_received);
     // p = 0.5: both outcomes must actually occur.
-    assert!(delivered > 50 && lost > 50, "delivered {delivered} lost {lost}");
+    assert!(
+        delivered > 50 && lost > 50,
+        "delivered {delivered} lost {lost}"
+    );
 }
 
 #[test]
@@ -60,7 +67,14 @@ fn killing_the_sole_relay_stops_coded_delivery_too() {
     // relay's death either — resilience requires alternative paths.
     let topo = topologies::line(3, 0.8);
     let cfg = Scenario::small_test().session;
-    let healthy = run_session(&topo, NodeId::new(0), NodeId::new(2), Protocol::Omnc, &cfg, 5);
+    let healthy = run_session(
+        &topo,
+        NodeId::new(0),
+        NodeId::new(2),
+        Protocol::Omnc,
+        &cfg,
+        5,
+    );
     let faulty = run_session_with_fault(
         &topo,
         NodeId::new(0),
@@ -109,8 +123,14 @@ fn parallel_chains_give_omnc_fault_tolerance() {
 fn etx_dies_with_its_relay_on_a_line() {
     let topo = topologies::line(4, 0.9);
     let cfg = Scenario::small_test().session;
-    let healthy =
-        run_session(&topo, NodeId::new(0), NodeId::new(3), Protocol::EtxRouting, &cfg, 7);
+    let healthy = run_session(
+        &topo,
+        NodeId::new(0),
+        NodeId::new(3),
+        Protocol::EtxRouting,
+        &cfg,
+        7,
+    );
     let faulty = run_session_with_fault(
         &topo,
         NodeId::new(0),

@@ -46,7 +46,10 @@ fn coefficient_only_mode_matches_full_mode_behaviour() {
     let scenario = Scenario::small_test();
     let (topology, src, dst) = scenario.build_session(1);
     let full = scenario.session;
-    let light = SessionConfig { payload_block_size: 1, ..full };
+    let light = SessionConfig {
+        payload_block_size: 1,
+        ..full
+    };
     let a = run_session(&topology, src, dst, Protocol::Omnc, &full, 23);
     let b = run_session(&topology, src, dst, Protocol::Omnc, &light, 23);
     assert_eq!(a.generations_decoded, b.generations_decoded);
@@ -58,8 +61,14 @@ fn coefficient_only_mode_matches_full_mode_behaviour() {
 fn longer_sessions_decode_more_generations() {
     let scenario = Scenario::small_test();
     let (topology, src, dst) = scenario.build_session(2);
-    let short = SessionConfig { duration: 30.0, ..scenario.session };
-    let long = SessionConfig { duration: 120.0, ..scenario.session };
+    let short = SessionConfig {
+        duration: 30.0,
+        ..scenario.session
+    };
+    let long = SessionConfig {
+        duration: 120.0,
+        ..scenario.session
+    };
     let a = run_session(&topology, src, dst, Protocol::Omnc, &short, 29);
     let b = run_session(&topology, src, dst, Protocol::Omnc, &long, 29);
     assert!(

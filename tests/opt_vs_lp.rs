@@ -30,7 +30,10 @@ fn distributed_never_beats_and_usually_approaches_the_lp() {
         let exact = lp::solve_exact(&problem).expect("solvable");
         let alloc = run_best(&problem, &default_portfolio());
         let ratio = alloc.throughput() / exact.gamma;
-        assert!(ratio <= 1.0 + 1e-9, "seed {seed}: feasible allocation beat the optimum");
+        assert!(
+            ratio <= 1.0 + 1e-9,
+            "seed {seed}: feasible allocation beat the optimum"
+        );
         ratios.push(ratio);
     }
     let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
@@ -65,7 +68,10 @@ fn lp_solution_satisfies_every_paper_constraint() {
             None,
             "seed {seed}"
         );
-        assert!(exact.gamma > 0.0, "seed {seed}: zero optimum on a connected instance");
+        assert!(
+            exact.gamma > 0.0,
+            "seed {seed}: zero optimum on a connected instance"
+        );
     }
 }
 
@@ -77,8 +83,8 @@ fn message_passing_agents_match_the_centralized_driver() {
     let mut agents = DistributedRateControl::new(&problem, &params);
     agents.run(central.iterations());
     let distributed = agents.allocation();
-    let rel = (distributed.throughput() - central.throughput()).abs()
-        / central.throughput().max(1e-9);
+    let rel =
+        (distributed.throughput() - central.throughput()).abs() / central.throughput().max(1e-9);
     assert!(
         rel < 0.1,
         "distributed {} vs centralized {}",
@@ -110,10 +116,26 @@ fn paper_convergence_speed_is_reproduced() {
 fn fig1_sample_topology_converges_to_the_optimum_region() {
     // The Fig. 1 setting: capacity 1e5 B/s, tagged link probabilities.
     let links = vec![
-        Link { from: NodeId::new(0), to: NodeId::new(1), p: 0.8 },
-        Link { from: NodeId::new(0), to: NodeId::new(2), p: 0.5 },
-        Link { from: NodeId::new(1), to: NodeId::new(3), p: 0.6 },
-        Link { from: NodeId::new(2), to: NodeId::new(3), p: 0.9 },
+        Link {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            p: 0.8,
+        },
+        Link {
+            from: NodeId::new(0),
+            to: NodeId::new(2),
+            p: 0.5,
+        },
+        Link {
+            from: NodeId::new(1),
+            to: NodeId::new(3),
+            p: 0.6,
+        },
+        Link {
+            from: NodeId::new(2),
+            to: NodeId::new(3),
+            p: 0.9,
+        },
     ];
     let topo = Topology::from_links(4, links).expect("valid");
     let sel = select_forwarders(&topo, NodeId::new(0), NodeId::new(3));

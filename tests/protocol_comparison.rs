@@ -35,9 +35,7 @@ fn run_suite(quality: Quality, sessions: u64) -> Vec<[SessionOutcome; 4]> {
 #[test]
 fn omnc_beats_more_beats_etx_on_lossy_meshes() {
     let runs = run_suite(Quality::Lossy, 6);
-    let mean = |idx: usize| {
-        Cdf::new(runs.iter().map(|r| r[idx].throughput).collect()).mean()
-    };
+    let mean = |idx: usize| Cdf::new(runs.iter().map(|r| r[idx].throughput).collect()).mean();
     let (omnc, more, etx) = (mean(0), mean(1), mean(3));
     assert!(
         omnc > more,
@@ -69,18 +67,16 @@ fn oldmore_has_the_lowest_utility_ratios() {
     // The Fig. 4 contrast: min-cost pruning leaves oldMORE with fewer
     // active nodes and paths than OMNC.
     let runs = run_suite(Quality::Lossy, 5);
-    let mean_node = |idx: usize| {
-        Cdf::new(runs.iter().map(|r| r[idx].node_utility).collect()).mean()
-    };
+    let mean_node =
+        |idx: usize| Cdf::new(runs.iter().map(|r| r[idx].node_utility).collect()).mean();
     let omnc_nodes = mean_node(0);
     let old_nodes = mean_node(2);
     assert!(
         old_nodes < omnc_nodes,
         "oldMORE node utility {old_nodes:.2} must trail OMNC's {omnc_nodes:.2}"
     );
-    let mean_path = |idx: usize| {
-        Cdf::new(runs.iter().map(|r| r[idx].path_utility).collect()).mean()
-    };
+    let mean_path =
+        |idx: usize| Cdf::new(runs.iter().map(|r| r[idx].path_utility).collect()).mean();
     assert!(
         mean_path(2) < mean_path(0),
         "oldMORE path utility must trail OMNC's"
@@ -115,7 +111,9 @@ fn emulated_throughput_stays_below_the_framework_optimum() {
     // than the optimized throughput computed by the sUnicast framework".
     let runs = run_suite(Quality::Lossy, 5);
     for (k, r) in runs.iter().enumerate() {
-        let predicted = r[0].predicted_throughput.expect("OMNC reports its prediction");
+        let predicted = r[0]
+            .predicted_throughput
+            .expect("OMNC reports its prediction");
         assert!(
             r[0].throughput <= predicted * 1.05,
             "session {k}: emulated {:.0} exceeded predicted {predicted:.0}",

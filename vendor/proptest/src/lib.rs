@@ -1,0 +1,136 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` attribute, range and `any::<T>()`
+//! strategies, `collection::vec`, and `prop_assert!`/`prop_assert_eq!`.
+//! Cases are generated from a fixed-seed deterministic generator (no
+//! shrinking on failure — the failing case's inputs are printed instead).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `name(pat in strategy, ...)` function runs
+/// its body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { [$config] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            [$crate::test_runner::ProptestConfig::default()] $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ([$config:expr]) => {};
+    ([$config:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..config.cases {
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!("proptest '{}' case {}/{} failed: {}",
+                        stringify!($name), __case + 1, config.cases, e);
+                }
+            }
+        }
+        $crate::__proptest_impl! { [$config] $($rest)* }
+    };
+}
+
+/// Fails the current proptest case if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current proptest case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 2usize..12, p in 0.05f64..0.6) {
+            prop_assert!((2..12).contains(&x));
+            prop_assert!((0.05..0.6).contains(&p));
+        }
+
+        #[test]
+        fn range_from_is_nonzero(n in 1u8..) {
+            prop_assert!(n >= 1);
+        }
+
+        #[test]
+        fn vec_respects_size(mut data in crate::collection::vec(any::<u8>(), 0..128)) {
+            prop_assert!(data.len() < 128);
+            data.push(0);
+            prop_assert!(!data.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let r = 0u64..1000;
+        for _ in 0..16 {
+            assert_eq!(
+                Strategy::generate(&r, &mut a),
+                Strategy::generate(&r, &mut b)
+            );
+        }
+    }
+}

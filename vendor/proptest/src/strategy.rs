@@ -1,0 +1,85 @@
+//! The [`Strategy`] trait and range-based strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value from the deterministic generator.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start() as i128, *self.end() as i128);
+                assert!(start <= end, "empty range strategy");
+                let span = (end - start + 1) as u64;
+                // span == 0 means the full u64 domain; take the raw draw.
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (start + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let start = self.start as i128;
+                let span = (<$t>::MAX as i128 - start + 1) as u64;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (start + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $t;
+                let v = self.start + (self.end - self.start) * unit;
+                // Floating rounding can land exactly on `end`; step inside.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                start + (end - start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+impl_float_ranges!(f32, f64);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}

@@ -1,0 +1,546 @@
+//! Offline stand-in for `serde`.
+//!
+//! Uses a simplified, *value-based* data model instead of upstream serde's
+//! visitor architecture: [`Serialize`] renders a type into a [`Value`]
+//! tree, [`Deserialize`] rebuilds the type from one. `serde_json` (also
+//! vendored) converts between [`Value`] and JSON text. The
+//! `#[derive(Serialize, Deserialize)]` macros are re-exported from
+//! `serde_derive` and generate externally-tagged enum representations and
+//! field-name objects for structs, mirroring upstream serde's default JSON
+//! shape.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The self-describing data model every type serializes into.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `None`).
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (never produced if the value fits `UInt`).
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an [`Value::Object`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64` (from `Int`, `UInt`, or `Float`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `u64`, if non-negative and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialization/deserialization failure: an error message with optional
+/// field context accumulated while unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: fmt::Display>(message: T) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+
+    /// Prefixes the message with a field/element context.
+    #[must_use]
+    pub fn context(self, ctx: &str) -> Self {
+        Error {
+            message: format!("{ctx}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Produces the value-tree encoding of `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Rebuilds `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `value` into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape or range does not match.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Derive-macro helper: looks up a struct field, mapping "missing" to
+/// [`Value::Null`] so `Option` fields default to `None`.
+pub fn field<'v>(value: &'v Value, name: &str) -> &'v Value {
+    static NULL: Value = Value::Null;
+    value.get(name).unwrap_or(&NULL)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Maps serialize as sorted arrays of `[key, value]` pairs — JSON objects
+/// require string keys, and workspace maps are keyed by tuples and ids.
+/// Sorting by the key's encoding makes output deterministic despite
+/// `HashMap` iteration order.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        let mut pairs: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.serialize(), v.serialize()))
+            .collect();
+        pairs.sort_by_key(|pair| value_sort_key(&pair.0));
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+/// A total order over values used only to make map output deterministic.
+fn value_sort_key(v: &Value) -> String {
+    match v {
+        Value::Null => String::from("\0null"),
+        Value::Bool(b) => format!("\0b{b}"),
+        Value::Int(i) => format!("\0i{i:+021}"),
+        Value::UInt(u) => format!("\0i+{u:020}"),
+        Value::Float(f) => format!("\0f{f:+025.6e}"),
+        Value::String(s) => s.clone(),
+        Value::Array(items) => items.iter().map(value_sort_key).collect(),
+        Value::Object(fields) => fields
+            .iter()
+            .map(|(k, v)| format!("{k}={}", value_sort_key(v)))
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {value:?}")))
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), value)))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!(
+                        concat!("value {} out of range for ", stringify!($t)), raw)))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), value)))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!(
+                        concat!("value {} out of range for ", stringify!($t)), raw)))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {value:?}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {value:?}")))
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected char, got {value:?}")))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(value).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {value:?}")))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| T::deserialize(v).map_err(|e| e.context(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected array, got {value:?}")))?;
+                if items.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected array of {}, got {}", $len, items.len())));
+                }
+                Ok(($($name::deserialize(&items[$idx])
+                    .map_err(|e| e.context(&format!("[{}]", $idx)))?,)+))
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (A: 0 ; 1)
+    (A: 0, B: 1 ; 2)
+    (A: 0, B: 1, C: 2 ; 3)
+    (A: 0, B: 1, C: 2, D: 3 ; 4)
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array of pairs, got {value:?}")))?;
+        items
+            .iter()
+            .map(<(K, V)>::deserialize)
+            .collect::<Result<HashMap<K, V, S>, Error>>()
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array of pairs, got {value:?}")))?;
+        items.iter().map(<(K, V)>::deserialize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(String::deserialize(&"hi".serialize()).unwrap(), "hi");
+        assert_eq!(
+            Vec::<u8>::deserialize(&vec![1u8, 2, 3].serialize()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(
+            <(u64, f64)>::deserialize(&(3u64, 0.5f64).serialize()).unwrap(),
+            (3, 0.5)
+        );
+    }
+
+    #[test]
+    fn narrowing_is_checked() {
+        assert!(u8::deserialize(&300u64.serialize()).is_err());
+        assert!(u64::deserialize(&(-1i64).serialize()).is_err());
+        assert!(i8::deserialize(&Value::Int(-200)).is_err());
+    }
+
+    #[test]
+    fn hashmap_round_trips_deterministically() {
+        let mut m: HashMap<(usize, usize), f64> = HashMap::new();
+        m.insert((3, 1), 0.5);
+        m.insert((1, 2), 0.25);
+        let a = m.serialize();
+        let b = m.clone().serialize();
+        assert_eq!(a, b, "serialization must be deterministic");
+        let back: HashMap<(usize, usize), f64> = Deserialize::deserialize(&a).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn field_lookup_defaults_to_null() {
+        let obj = Value::Object(vec![(String::from("a"), Value::UInt(1))]);
+        assert_eq!(field(&obj, "a"), &Value::UInt(1));
+        assert!(field(&obj, "missing").is_null());
+    }
+}

@@ -1,0 +1,431 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored value-based serde.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build environment is offline). Supports the item shapes this workspace
+//! uses: non-generic structs with named fields, tuple structs, unit
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//! Representation matches upstream serde's default JSON shape: structs →
+//! objects keyed by field name, newtype structs → their inner value, unit
+//! enum variants → strings, payload-carrying variants → externally tagged
+//! single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list: named (`{ a: T }`) or positional (`(T, U)`).
+enum Fields {
+    Named(Vec<String>),
+    Unnamed(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct_body(name, fields),
+        Item::Enum { name, variants } => serialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct_body(name, fields),
+        Item::Enum { name, variants } => deserialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } => name,
+        Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "derive(Serialize/Deserialize): generic types are not supported by the vendored serde"
+        );
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Unnamed(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and visibility qualifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` and friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Skips a type expression up to (and past) the next top-level comma,
+/// tracking angle-bracket depth so `HashMap<(usize, usize), f64>` counts as
+/// one field.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth = depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Unnamed(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+/// `Object([...])` expression over `(expr_prefix)field` accessors.
+fn serialize_named(accessor: &dyn Fn(&str) -> String, names: &[String]) -> String {
+    let pushes: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(String::from(\"{f}\"), ::serde::Serialize::serialize(&{acc}))",
+                acc = accessor(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", pushes.join(", "))
+}
+
+fn serialize_struct_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let expr = serialize_named(&|f| format!("self.{f}"), names);
+            expr
+        }
+        Fields::Unnamed(1) => String::from("::serde::Serialize::serialize(&self.0)"),
+        Fields::Unnamed(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => String::from("::serde::Value::Null"),
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => {
+                    format!("{name}::{vname} => ::serde::Value::String(String::from(\"{vname}\")),")
+                }
+                Fields::Unnamed(n) => {
+                    let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let payload = if *n == 1 {
+                        String::from("::serde::Serialize::serialize(&*f0)")
+                    } else {
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize(&*{b})"))
+                            .collect();
+                        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Object(vec![\
+                         (String::from(\"{vname}\"), {payload})]),",
+                        binds = binders.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let payload = serialize_named(&|f| f.to_string(), fields);
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                         (String::from(\"{vname}\"), {payload})]),",
+                        binds = fields.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Field initializers `f: Deserialize::deserialize(field(src, "f"))?`.
+fn deserialize_named(src: &str, names: &[String]) -> String {
+    names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize(::serde::field({src}, \"{f}\"))\
+                 .map_err(|e| e.context(\"{f}\"))?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            format!(
+                "if value.as_object().is_none() {{\n\
+                 return Err(::serde::Error::custom(format!(\
+                 \"expected object for {name}, got {{value:?}}\")));\n}}\n\
+                 Ok({name} {{\n{inits}\n}})",
+                inits = deserialize_named("value", names)
+            )
+        }
+        Fields::Unnamed(1) => format!("Ok({name}(::serde::Deserialize::deserialize(value)?))"),
+        Fields::Unnamed(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected array for {name}, got {{value:?}}\")))?;\n\
+                 if items.len() != {n} {{\n\
+                 return Err(::serde::Error::custom(format!(\
+                 \"expected {n} elements for {name}, got {{}}\", items.len())));\n}}\n\
+                 Ok({name}({inits}))",
+                inits = inits.join(", ")
+            )
+        }
+        Fields::Unit => format!("Ok({name})"),
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{vname}\" => return Ok({name}::{vname}),", vname = v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!("\"{vname}\" => Ok({name}::{vname}),"),
+                Fields::Unnamed(1) => format!(
+                    "\"{vname}\" => Ok({name}::{vname}(\
+                     ::serde::Deserialize::deserialize(payload)\
+                     .map_err(|e| e.context(\"{vname}\"))?)),"
+                ),
+                Fields::Unnamed(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{\n\
+                         let items = payload.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array payload for {vname}\"))?;\n\
+                         if items.len() != {n} {{\n\
+                         return Err(::serde::Error::custom(\"wrong arity for {vname}\"));\n}}\n\
+                         Ok({name}::{vname}({inits}))\n}}",
+                        inits = inits.join(", ")
+                    )
+                }
+                Fields::Named(fields) => format!(
+                    "\"{vname}\" => Ok({name}::{vname} {{\n{inits}\n}}),",
+                    inits = deserialize_named("payload", fields)
+                ),
+            }
+        })
+        .collect();
+    format!(
+        "if let Some(s) = value.as_str() {{\n\
+         match s {{\n{unit_arms}\n_ => return Err(::serde::Error::custom(\
+         format!(\"unknown {name} variant {{s:?}}\"))),\n}}\n}}\n\
+         let obj = value.as_object().ok_or_else(|| ::serde::Error::custom(\
+         format!(\"expected {name} variant, got {{value:?}}\")))?;\n\
+         if obj.len() != 1 {{\n\
+         return Err(::serde::Error::custom(\"expected single-key variant object\"));\n}}\n\
+         let (tag, payload) = &obj[0];\n\
+         let _ = payload;\n\
+         match tag.as_str() {{\n{tagged_arms}\n\
+         _ => Err(::serde::Error::custom(format!(\"unknown {name} variant {{tag:?}}\"))),\n}}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n")
+    )
+}
