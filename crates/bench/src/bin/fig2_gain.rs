@@ -15,7 +15,7 @@
 use omnc::metrics::render_cdf;
 use omnc::runner::Protocol;
 use omnc::scenario::Quality;
-use omnc_bench::{export_rows, gain_cdf, print_reference, run_sweep, Options};
+use omnc_bench::{export_rows, gain_cdf, print_reference, run_sweep_traced, Options};
 
 fn main() {
     let opts = Options::from_args();
@@ -26,7 +26,7 @@ fn main() {
         Protocol::More,
         Protocol::OldMore,
     ];
-    let rows = run_sweep(&scenario, &protocols);
+    let rows = run_sweep_traced(&scenario, &protocols, opts.trace.as_deref());
     if let Some(sink) = opts.json_sink() {
         export_rows(&sink, &rows);
     }

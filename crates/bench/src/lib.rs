@@ -9,8 +9,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
 use omnc::metrics::Cdf;
-use omnc::runner::{run_session, Protocol, SessionOutcome};
+use omnc::runner::{run_session_traced, Protocol, RunOptions, SessionOutcome};
 use omnc::scenario::{Quality, Scenario};
 use serde::{Deserialize, Serialize};
 use telemetry::EventSink;
@@ -30,6 +33,9 @@ pub struct Options {
     pub seed: u64,
     /// Destination for machine-readable JSONL results (`--json <path>`).
     pub json: Option<String>,
+    /// Destination for the causal packet-lifecycle trace
+    /// (`--trace <path>`; feed the file to `omnc-report analyze`).
+    pub trace: Option<String>,
 }
 
 impl Options {
@@ -51,6 +57,7 @@ impl Options {
             quality: Quality::Lossy,
             seed: 2008,
             json: None,
+            trace: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -69,6 +76,9 @@ impl Options {
                 }
                 "--json" => {
                     opts.json = it.next().cloned();
+                }
+                "--trace" => {
+                    opts.trace = it.next().cloned();
                 }
                 "--quality" => match it.next().map(String::as_str) {
                     Some("high") => opts.quality = Quality::High,
@@ -155,6 +165,23 @@ pub fn export_rows(sink: &EventSink, rows: &[SessionRow]) {
 /// Runs `protocols` over every session of the scenario, printing progress.
 /// The topology is built once; sessions differ in endpoints and seeds.
 pub fn run_sweep(scenario: &Scenario, protocols: &[Protocol]) -> Vec<SessionRow> {
+    run_sweep_traced(scenario, protocols, None)
+}
+
+/// Like [`run_sweep`], additionally appending every session's causal
+/// packet-lifecycle trace to `trace_path` as JSONL (one
+/// `SessionStart ..= SessionEnd` stream per session per protocol, ready for
+/// `omnc-report analyze`).
+///
+/// # Panics
+///
+/// Panics if the trace file cannot be created or written — results files
+/// are the whole point of the run.
+pub fn run_sweep_traced(
+    scenario: &Scenario,
+    protocols: &[Protocol],
+    trace_path: Option<&str>,
+) -> Vec<SessionRow> {
     let topology = scenario.build_topology();
     eprintln!(
         "# topology: {} nodes, {} links, avg quality {:.3}; {} sessions x {:?}",
@@ -164,12 +191,28 @@ pub fn run_sweep(scenario: &Scenario, protocols: &[Protocol]) -> Vec<SessionRow>
         scenario.sessions,
         protocols.iter().map(|p| p.name()).collect::<Vec<_>>()
     );
+    let mut trace_out = trace_path.map(|path| {
+        BufWriter::new(
+            File::create(path).unwrap_or_else(|e| panic!("cannot create --trace {path}: {e}")),
+        )
+    });
+    let options = RunOptions {
+        fault: None,
+        trace_capacity: trace_out.is_some().then_some(200_000),
+    };
     let mut rows = Vec::new();
     for (k, seed) in scenario.session_seeds().enumerate() {
         let (_, src, dst) = scenario.build_session(k as u64);
         let outcomes: Vec<SessionOutcome> = protocols
             .iter()
-            .map(|&p| run_session(&topology, src, dst, p, &scenario.session, seed))
+            .map(|&p| {
+                let (out, trace) =
+                    run_session_traced(&topology, src, dst, p, &scenario.session, seed, &options);
+                if let (Some(w), Some(trace)) = (trace_out.as_mut(), trace) {
+                    trace.write_jsonl(&mut *w).expect("trace export failed");
+                }
+                out
+            })
             .collect();
         rows.push(SessionRow {
             k: k as u64,
@@ -178,6 +221,9 @@ pub fn run_sweep(scenario: &Scenario, protocols: &[Protocol]) -> Vec<SessionRow>
         if (k + 1) % 10 == 0 {
             eprintln!("#   {}/{} sessions done", k + 1, scenario.sessions);
         }
+    }
+    if let Some(mut w) = trace_out {
+        w.flush().expect("trace flush failed");
     }
     rows
 }
@@ -270,6 +316,27 @@ mod tests {
             assert!(back.session < 2);
             assert!(back.outcome.throughput >= 0.0);
         }
+    }
+
+    #[test]
+    fn traced_sweep_exports_one_stream_per_run() {
+        let mut scenario = Scenario::small_test();
+        scenario.sessions = 2;
+        scenario.session.payload_block_size = 1;
+        let path = std::env::temp_dir().join("bench_traced_sweep.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        let rows = run_sweep_traced(
+            &scenario,
+            &[Protocol::EtxRouting, Protocol::Omnc],
+            Some(&path),
+        );
+        assert_eq!(rows.len(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let starts = text.lines().filter(|l| l.contains("SessionStart")).count();
+        let ends = text.lines().filter(|l| l.contains("SessionEnd")).count();
+        // One stream per session per protocol.
+        assert_eq!(starts, 4);
+        assert_eq!(ends, 4);
     }
 
     #[test]

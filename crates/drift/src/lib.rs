@@ -37,7 +37,7 @@
 //! impl Behavior<Msg> for Source {
 //!     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
 //!         for _ in 0..50 {
-//!             ctx.enqueue(Outgoing { msg: Msg, wire_len: 100, dest: Dest::Broadcast });
+//!             ctx.enqueue(Outgoing { msg: Msg, wire_len: 100, dest: Dest::Broadcast, tag: None });
 //!         }
 //!     }
 //! }
@@ -72,4 +72,4 @@ pub use mac::MacModel;
 pub use sim::{Behavior, Ctx, Dest, Outgoing, Simulator};
 pub use stats::{NodeStats, QueueTracker};
 pub use time::SimTime;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{PacketTag, Trace, TraceEvent};

@@ -12,7 +12,7 @@ use crate::event::Calendar;
 use crate::mac::MacModel;
 use crate::stats::{NodeStats, QueueTracker};
 use crate::time::SimTime;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{PacketTag, Trace, TraceEvent};
 
 /// Workspace-level MAC instruments, registered on a [`Registry`] via
 /// [`Simulator::attach_telemetry`]. Defaults to no-op handles.
@@ -65,6 +65,9 @@ pub struct Outgoing<M> {
     pub wire_len: usize,
     /// Destination semantics.
     pub dest: Dest,
+    /// Optional causal identity, carried into every trace event this
+    /// packet causes and exposed to receivers via [`Ctx::incoming_tag`].
+    pub tag: Option<PacketTag>,
 }
 
 /// Protocol logic attached to one node.
@@ -133,6 +136,9 @@ struct Core<M> {
     trace: Trace,
     dead: Vec<bool>,
     telemetry: SimTelemetry,
+    /// Tag of the packet currently being delivered to a behavior, set for
+    /// the duration of its `on_receive` callback.
+    incoming_tag: Option<PacketTag>,
 }
 
 impl<M> Core<M> {
@@ -140,6 +146,11 @@ impl<M> Core<M> {
         let len = self.queues[node.index()].len();
         self.trackers[node.index()].observe(self.now, len);
         self.telemetry.queue_len.observe(len as f64);
+        self.trace.record(TraceEvent::Queue {
+            at: self.now,
+            node,
+            len,
+        });
     }
 }
 
@@ -198,6 +209,13 @@ impl<'a, M> Ctx<'a, M> {
         );
     }
 
+    /// The [`PacketTag`] of the packet being handled by the current
+    /// [`Behavior::on_receive`] call, if the transmitter attached one.
+    /// `None` outside `on_receive` or for untagged traffic.
+    pub fn incoming_tag(&self) -> Option<PacketTag> {
+        self.core.incoming_tag
+    }
+
     /// Deterministic randomness for protocol decisions (coding
     /// coefficients, jitter).
     pub fn rng(&mut self) -> &mut impl Rng {
@@ -246,6 +264,7 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
                 trace: Trace::disabled(),
                 dead: vec![false; n],
                 telemetry: SimTelemetry::default(),
+                incoming_tag: None,
             },
             behaviors: (0..n).map(|_| None).collect(),
             started: false,
@@ -467,6 +486,7 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
             node,
             wire_len: packet.wire_len,
             rate,
+            tag: packet.tag,
         });
         self.core.inflight[node.index()] = Some(packet);
         self.core
@@ -510,8 +530,11 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
                             at: self.core.now,
                             from: node,
                             to,
+                            tag: packet.tag,
                         });
+                        self.core.incoming_tag = packet.tag;
                         self.with_behavior(to, |b, ctx| b.on_receive(ctx, node, &packet.msg));
+                        self.core.incoming_tag = None;
                         self.try_start_tx(to);
                     } else {
                         self.core.stats[to.index()].packets_lost += 1;
@@ -520,6 +543,7 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
                             at: self.core.now,
                             from: node,
                             to,
+                            tag: packet.tag,
                         });
                     }
                 }
@@ -534,8 +558,11 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
                         at: self.core.now,
                         from: node,
                         to,
+                        tag: packet.tag,
                     });
+                    self.core.incoming_tag = packet.tag;
                     self.with_behavior(to, |b, ctx| b.on_receive(ctx, node, &packet.msg));
+                    self.core.incoming_tag = None;
                     self.try_start_tx(to);
                 } else {
                     self.core.stats[to.index()].packets_lost += 1;
@@ -544,6 +571,7 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
                         at: self.core.now,
                         from: node,
                         to,
+                        tag: packet.tag,
                     });
                 }
                 self.with_behavior(node, |b, ctx| {
@@ -574,6 +602,7 @@ mod tests {
                     msg: Msg(i as u64),
                     wire_len: self.wire_len,
                     dest: Dest::Broadcast,
+                    tag: None,
                 });
             }
         }
@@ -738,6 +767,7 @@ mod tests {
                 msg: Msg(0),
                 wire_len: 10,
                 dest: Dest::Unicast(self.to),
+                tag: None,
             });
         }
         fn on_unicast_result(
@@ -755,6 +785,7 @@ mod tests {
                     msg: Msg(0),
                     wire_len: 10,
                     dest: Dest::Unicast(self.to),
+                    tag: None,
                 });
             }
         }
@@ -956,6 +987,7 @@ mod tests {
             node: NodeId::new(3),
             wire_len: 100,
             rate: 10.0,
+            tag: None,
         };
         let text = serde_json::to_string(&e).unwrap();
         let back: TraceEvent = serde_json::from_str(&text).unwrap();
@@ -964,9 +996,88 @@ mod tests {
             at: SimTime::new(2.0),
             from: NodeId::new(0),
             to: NodeId::new(1),
+            tag: Some(PacketTag {
+                session: 1,
+                generation: rlnc::GenerationId::new(0),
+                seq: 5,
+                origin: NodeId::new(0),
+            }),
         };
         let back: TraceEvent = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn tags_flow_from_sender_to_trace_and_receiver() {
+        /// Sender and receiver roles in one concrete behavior type so the
+        /// test can read back the receiver's recorded tags.
+        enum TagNode {
+            /// Broadcasts one tagged packet at start.
+            Sender,
+            /// Records the tag seen during each `on_receive`.
+            Sink(Vec<Option<PacketTag>>),
+        }
+        impl Behavior<Msg> for TagNode {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                if matches!(self, TagNode::Sender) {
+                    let tag = PacketTag {
+                        session: 99,
+                        generation: rlnc::GenerationId::new(2),
+                        seq: 7,
+                        origin: ctx.node(),
+                    };
+                    ctx.enqueue(Outgoing {
+                        msg: Msg(0),
+                        wire_len: 100,
+                        dest: Dest::Broadcast,
+                        tag: Some(tag),
+                    });
+                    assert_eq!(ctx.incoming_tag(), None, "no delivery in flight");
+                }
+            }
+            fn on_receive(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {
+                if let TagNode::Sink(seen) = self {
+                    seen.push(ctx.incoming_tag());
+                }
+            }
+        }
+        let topo = pair(1.0);
+        let mut sim: Simulator<Msg, TagNode> =
+            Simulator::new(&topo, MacModel::fair_share(1000.0), 1);
+        sim.enable_trace(100);
+        sim.set_behavior(NodeId::new(0), TagNode::Sender);
+        sim.set_behavior(NodeId::new(1), TagNode::Sink(Vec::new()));
+        sim.run_until(10.0);
+        let expected = PacketTag {
+            session: 99,
+            generation: rlnc::GenerationId::new(2),
+            seq: 7,
+            origin: NodeId::new(0),
+        };
+        // The receiver saw the tag during on_receive.
+        match sim.behavior(NodeId::new(1)).unwrap() {
+            TagNode::Sink(seen) => assert_eq!(seen, &vec![Some(expected)]),
+            TagNode::Sender => unreachable!(),
+        }
+        // The trace carried it through TxStart and Delivered.
+        let tagged: Vec<&TraceEvent> = sim
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.tag() == Some(expected))
+            .collect();
+        assert!(
+            tagged
+                .iter()
+                .any(|e| matches!(e, TraceEvent::TxStart { .. })),
+            "TxStart carries the tag"
+        );
+        assert!(
+            tagged
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Delivered { .. })),
+            "Delivered carries the tag"
+        );
     }
 
     #[test]

@@ -6,10 +6,33 @@
 //! MAC-level events that tests and debugging sessions can assert against.
 
 use net_topo::graph::NodeId;
+use rlnc::GenerationId;
 use serde::{Deserialize, Serialize};
 use telemetry::Counter;
 
 use crate::time::SimTime;
+
+/// Causal identity of one packet on the air.
+///
+/// Protocols attach a tag when they enqueue a transmission; the engine
+/// carries it through every [`TraceEvent`] the packet causes
+/// (`TxStart`/`Delivered`/`Lost`) and hands it to the receiving behavior via
+/// [`crate::Ctx::incoming_tag`]. Together with the decoder-side absorption
+/// records this gives every coded packet a birth-to-death trace: who coded
+/// it (`origin`), for which `generation`, and the per-origin `seq` that
+/// makes the transmission unique within a `session`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PacketTag {
+    /// Session identifier (the session seed in the reproduction's runners).
+    pub session: u64,
+    /// Generation the coded payload belongs to.
+    pub generation: GenerationId,
+    /// Per-origin emission counter: `(origin, seq)` is unique in a session.
+    pub seq: u64,
+    /// The node that coded (or re-coded) this packet — *not* necessarily
+    /// the transmitter of a given hop for store-and-forward protocols.
+    pub origin: NodeId,
+}
 
 /// One MAC-level event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -24,6 +47,8 @@ pub enum TraceEvent {
         wire_len: usize,
         /// Granted service rate.
         rate: f64,
+        /// Causal identity of the packet, when the protocol attached one.
+        tag: Option<PacketTag>,
     },
     /// `node` finished a transmission.
     TxComplete {
@@ -40,6 +65,8 @@ pub enum TraceEvent {
         from: NodeId,
         /// Receiver.
         to: NodeId,
+        /// Causal identity of the packet, when the protocol attached one.
+        tag: Option<PacketTag>,
     },
     /// The channel lost the copy addressed/audible to `to`.
     Lost {
@@ -49,6 +76,17 @@ pub enum TraceEvent {
         from: NodeId,
         /// Intended receiver.
         to: NodeId,
+        /// Causal identity of the packet, when the protocol attached one.
+        tag: Option<PacketTag>,
+    },
+    /// `node`'s transmit queue changed to `len` entries.
+    Queue {
+        /// Simulation time of the event.
+        at: SimTime,
+        /// Node whose queue changed.
+        node: NodeId,
+        /// Queue length after the change.
+        len: usize,
     },
 }
 
@@ -59,7 +97,18 @@ impl TraceEvent {
             TraceEvent::TxStart { at, .. }
             | TraceEvent::TxComplete { at, .. }
             | TraceEvent::Delivered { at, .. }
-            | TraceEvent::Lost { at, .. } => *at,
+            | TraceEvent::Lost { at, .. }
+            | TraceEvent::Queue { at, .. } => *at,
+        }
+    }
+
+    /// The packet tag carried by the event, if any.
+    pub fn tag(&self) -> Option<PacketTag> {
+        match self {
+            TraceEvent::TxStart { tag, .. }
+            | TraceEvent::Delivered { tag, .. }
+            | TraceEvent::Lost { tag, .. } => *tag,
+            TraceEvent::TxComplete { .. } | TraceEvent::Queue { .. } => None,
         }
     }
 }
@@ -150,9 +199,9 @@ impl Trace {
     /// Iterator over events involving `node` (as transmitter or receiver).
     pub fn involving(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> + '_ {
         self.events.iter().filter(move |e| match e {
-            TraceEvent::TxStart { node: n, .. } | TraceEvent::TxComplete { node: n, .. } => {
-                *n == node
-            }
+            TraceEvent::TxStart { node: n, .. }
+            | TraceEvent::TxComplete { node: n, .. }
+            | TraceEvent::Queue { node: n, .. } => *n == node,
             TraceEvent::Delivered { from, to, .. } | TraceEvent::Lost { from, to, .. } => {
                 *from == node || *to == node
             }
@@ -196,13 +245,20 @@ mod tests {
             at: SimTime::ZERO,
             from: NodeId::new(0),
             to: NodeId::new(1),
+            tag: None,
         });
         t.record(TraceEvent::Lost {
             at: SimTime::ZERO,
             from: NodeId::new(2),
             to: NodeId::new(3),
+            tag: None,
         });
-        assert_eq!(t.involving(NodeId::new(1)).count(), 1);
+        t.record(TraceEvent::Queue {
+            at: SimTime::ZERO,
+            node: NodeId::new(1),
+            len: 4,
+        });
+        assert_eq!(t.involving(NodeId::new(1)).count(), 2);
         assert_eq!(t.involving(NodeId::new(2)).count(), 1);
         assert_eq!(t.involving(NodeId::new(9)).count(), 0);
     }
@@ -214,7 +270,125 @@ mod tests {
             node: NodeId::new(0),
             wire_len: 100,
             rate: 10.0,
+            tag: None,
         };
         assert_eq!(e.at(), SimTime::new(1.5));
+        let q = TraceEvent::Queue {
+            at: SimTime::new(2.5),
+            node: NodeId::new(0),
+            len: 3,
+        };
+        assert_eq!(q.at(), SimTime::new(2.5));
+    }
+
+    fn tag(origin: usize, seq: u64) -> PacketTag {
+        PacketTag {
+            session: 42,
+            generation: GenerationId::new(7),
+            seq,
+            origin: NodeId::new(origin),
+        }
+    }
+
+    #[test]
+    fn dropped_events_mirror_into_the_attached_counter() {
+        let registry = telemetry::Registry::new();
+        let counter = registry.counter("trace.dropped_events");
+        let mut t = Trace::bounded(1);
+        t.set_dropped_counter(counter.clone());
+        for i in 0..4 {
+            t.record(TraceEvent::TxComplete {
+                at: SimTime::ZERO,
+                node: NodeId::new(i),
+            });
+        }
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(counter.get(), 3, "telemetry mirrors the drop count");
+        // A counter attached after the fact only sees subsequent drops.
+        let late = registry.counter("trace.late_dropped");
+        t.set_dropped_counter(late.clone());
+        t.record(TraceEvent::TxComplete {
+            at: SimTime::ZERO,
+            node: NodeId::new(9),
+        });
+        assert_eq!(t.dropped(), 4);
+        assert_eq!(late.get(), 1);
+        assert_eq!(counter.get(), 3);
+    }
+
+    #[test]
+    fn tag_accessor_covers_every_variant() {
+        let tg = tag(3, 11);
+        let carrying = [
+            TraceEvent::TxStart {
+                at: SimTime::ZERO,
+                node: NodeId::new(3),
+                wire_len: 10,
+                rate: 1.0,
+                tag: Some(tg),
+            },
+            TraceEvent::Delivered {
+                at: SimTime::ZERO,
+                from: NodeId::new(3),
+                to: NodeId::new(4),
+                tag: Some(tg),
+            },
+            TraceEvent::Lost {
+                at: SimTime::ZERO,
+                from: NodeId::new(3),
+                to: NodeId::new(4),
+                tag: Some(tg),
+            },
+        ];
+        for e in carrying {
+            assert_eq!(e.tag(), Some(tg));
+        }
+        let bare = TraceEvent::TxComplete {
+            at: SimTime::ZERO,
+            node: NodeId::new(3),
+        };
+        assert_eq!(bare.tag(), None);
+        let queue = TraceEvent::Queue {
+            at: SimTime::ZERO,
+            node: NodeId::new(3),
+            len: 0,
+        };
+        assert_eq!(queue.tag(), None);
+    }
+
+    #[test]
+    fn tagged_events_round_trip_through_json() {
+        let events = vec![
+            TraceEvent::TxStart {
+                at: SimTime::new(0.25),
+                node: NodeId::new(1),
+                wire_len: 128,
+                rate: 1e4,
+                tag: Some(tag(1, 0)),
+            },
+            TraceEvent::Delivered {
+                at: SimTime::new(0.5),
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+                tag: Some(tag(1, 0)),
+            },
+            TraceEvent::Lost {
+                at: SimTime::new(0.5),
+                from: NodeId::new(1),
+                to: NodeId::new(3),
+                tag: None,
+            },
+            TraceEvent::Queue {
+                at: SimTime::new(0.75),
+                node: NodeId::new(1),
+                len: 2,
+            },
+        ];
+        for e in &events {
+            let line = serde_json::to_string(e).unwrap();
+            let back: TraceEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, e, "line {line}");
+        }
     }
 }

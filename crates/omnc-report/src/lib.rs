@@ -1,0 +1,793 @@
+//! Offline analysis of OMNC causal packet-lifecycle traces.
+//!
+//! The `omnc-sim --trace` JSONL stream gives every coded packet a
+//! birth-to-death story: minted at a coder ([`drift::PacketTag`]), carried
+//! through MAC `TxStart`/`Delivered`/`Lost` events, resolved by the
+//! destination decoder into an `Absorbed` outcome. This crate joins those
+//! streams back together and answers the paper's evaluation questions
+//! offline:
+//!
+//! * per-link delivery/loss timelines (the empirical loss processes);
+//! * per-forwarder redundancy ratio and innovative-packet contribution
+//!   (Fig. 4's effective multipath spread);
+//! * queue evolution per node (Fig. 3);
+//! * decode timeline and throughput summary;
+//! * rate-control convergence summaries from optimizer `IterationRecord`
+//!   streams (Fig. 1).
+//!
+//! [`analyze`] reduces a record stream to a [`Report`]; [`compare`] diffs
+//! two reports' metric maps for the CI perf-regression gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, BufRead};
+
+use omnc::drift::TraceEvent;
+use omnc::trace::{Absorbed, TraceRecord};
+use omnc_opt::IterationRecord;
+use serde::{Deserialize, Serialize};
+
+/// Per-link delivery accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets delivered over the link.
+    pub delivered: u64,
+    /// Packets lost on the link.
+    pub lost: u64,
+}
+
+impl LinkStats {
+    /// Empirical delivery probability (1.0 for an unexercised link).
+    pub fn delivery_rate(&self) -> f64 {
+        let total = self.delivered + self.lost;
+        if total == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / total as f64
+        }
+    }
+}
+
+/// Per-forwarder accounting, joining MAC transmissions with the
+/// destination decoder's verdicts on the packets this node *coded*
+/// (grouped by `PacketTag::origin`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForwarderStats {
+    /// Broadcasts started by this node.
+    pub transmissions: u64,
+    /// Copies of this node's transmissions that reached some receiver.
+    pub delivered: u64,
+    /// Copies that were lost in the air.
+    pub lost: u64,
+    /// Packets coded by this node and absorbed by the destination decoder.
+    pub absorbed: u64,
+    /// Of those, the ones that increased the decoder's rank.
+    pub innovative: u64,
+}
+
+impl ForwarderStats {
+    /// Fraction of this node's decoder-absorbed packets that were
+    /// redundant (0.0 when nothing was absorbed).
+    pub fn redundancy_ratio(&self) -> f64 {
+        if self.absorbed == 0 {
+            0.0
+        } else {
+            (self.absorbed - self.innovative) as f64 / self.absorbed as f64
+        }
+    }
+}
+
+/// Sampled queue-length statistics for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Number of queue samples.
+    pub samples: u64,
+    /// Mean of the sampled lengths.
+    pub mean: f64,
+    /// Largest sampled length.
+    pub max: u64,
+}
+
+/// One fully analyzed session (a `SessionStart ..= SessionEnd` span).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Session identifier (the tag namespace).
+    pub session: u64,
+    /// Protocol display name ("OMNC", "MORE", ...).
+    pub protocol: String,
+    /// Source node (original topology id).
+    pub src: usize,
+    /// Destination node (original topology id).
+    pub dst: usize,
+    /// End-to-end throughput, bytes/second.
+    pub throughput: f64,
+    /// Fully decoded generations.
+    pub generations_decoded: u64,
+    /// Innovative packets absorbed at the destination.
+    pub innovative: u64,
+    /// Redundant packets absorbed at the destination.
+    pub redundant: u64,
+    /// Total decoder rank accumulated (innovative absorptions).
+    pub final_rank: u64,
+    /// MAC events dropped by the bounded in-simulator trace.
+    pub dropped_mac_events: u64,
+    /// Per-link delivery/loss counts, keyed by `(from, to)`.
+    pub links: BTreeMap<(usize, usize), LinkStats>,
+    /// Per-forwarder stats, keyed by node id.
+    pub forwarders: BTreeMap<usize, ForwarderStats>,
+    /// Sampled queue statistics, keyed by node id.
+    pub queues: BTreeMap<usize, QueueStats>,
+    /// `(completion time, generation)` for every decoded generation, in
+    /// completion order.
+    pub decode_timeline: Vec<(f64, u64)>,
+}
+
+impl SessionReport {
+    /// Overall redundancy ratio at the destination.
+    pub fn redundancy_ratio(&self) -> f64 {
+        let total = self.innovative + self.redundant;
+        if total == 0 {
+            0.0
+        } else {
+            self.redundant as f64 / total as f64
+        }
+    }
+
+    /// Mean of the per-node mean queue lengths.
+    pub fn mean_queue(&self) -> f64 {
+        if self.queues.is_empty() {
+            0.0
+        } else {
+            self.queues.values().map(|q| q.mean).sum::<f64>() / self.queues.len() as f64
+        }
+    }
+
+    /// Aggregate delivery rate across every exercised link.
+    pub fn delivery_rate(&self) -> f64 {
+        let (d, l) = self
+            .links
+            .values()
+            .fold((0u64, 0u64), |(d, l), s| (d + s.delivered, l + s.lost));
+        LinkStats {
+            delivered: d,
+            lost: l,
+        }
+        .delivery_rate()
+    }
+
+    /// Forwarders that contributed at least one innovative packet.
+    pub fn contributing_forwarders(&self) -> usize {
+        self.forwarders
+            .values()
+            .filter(|f| f.innovative > 0)
+            .count()
+    }
+}
+
+/// Convergence summary distilled from an optimizer `IterationRecord`
+/// stream (the `fig1_convergence --json` export).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceSummary {
+    /// Iterations recorded.
+    pub iterations: u64,
+    /// Recovered end-to-end rate at the final iteration.
+    pub final_rate: f64,
+    /// Worst primal violation at the final iteration.
+    pub final_violation: f64,
+    /// First iteration whose recovered rate reached 90% of the final rate.
+    pub iterations_to_90pct: u64,
+}
+
+/// A full analysis: per-session reports, optional convergence summary, and
+/// the flat metric map the regression gate consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// One report per `SessionStart ..= SessionEnd` span, in stream order.
+    pub sessions: Vec<SessionReport>,
+    /// Convergence summary, when an optimizer stream was supplied.
+    pub convergence: Option<ConvergenceSummary>,
+    /// Flat `name → value` metrics (deterministically ordered). Keys are
+    /// `"<protocol>/<k>/<metric>"` with `k` the per-protocol session index,
+    /// plus `"opt/<metric>"` for the convergence summary.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Parses a JSONL stream of [`TraceRecord`] lines (blank lines skipped).
+///
+/// # Errors
+///
+/// Fails on I/O errors or any line that is not a valid record.
+pub fn parse_trace<R: BufRead>(reader: R) -> io::Result<Vec<TraceRecord>> {
+    let mut records = Vec::new();
+    for (n, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: TraceRecord = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", n + 1))
+        })?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Parses a JSONL stream of optimizer [`IterationRecord`] lines.
+///
+/// # Errors
+///
+/// Fails on I/O errors or any line that is not a valid record.
+pub fn parse_opt<R: BufRead>(reader: R) -> io::Result<Vec<IterationRecord>> {
+    let mut records = Vec::new();
+    for (n, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: IterationRecord = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", n + 1))
+        })?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Reduces a trace stream (plus an optional optimizer stream) to a
+/// [`Report`].
+pub fn analyze(trace: &[TraceRecord], opt: &[IterationRecord]) -> Report {
+    let mut sessions = Vec::new();
+    let mut current: Option<SessionReport> = None;
+    for record in trace {
+        match record {
+            TraceRecord::SessionStart {
+                session,
+                protocol,
+                src,
+                dst,
+                ..
+            } => {
+                current = Some(SessionReport {
+                    session: *session,
+                    protocol: protocol.name().to_string(),
+                    src: src.index(),
+                    dst: dst.index(),
+                    throughput: 0.0,
+                    generations_decoded: 0,
+                    innovative: 0,
+                    redundant: 0,
+                    final_rank: 0,
+                    dropped_mac_events: 0,
+                    links: BTreeMap::new(),
+                    forwarders: BTreeMap::new(),
+                    queues: BTreeMap::new(),
+                    decode_timeline: Vec::new(),
+                });
+            }
+            TraceRecord::Mac(event) => {
+                if let Some(s) = current.as_mut() {
+                    absorb_mac(s, event);
+                }
+            }
+            TraceRecord::Absorbed(a) => {
+                if let Some(s) = current.as_mut() {
+                    absorb_decode(s, a);
+                }
+            }
+            TraceRecord::SessionEnd {
+                throughput,
+                generations_decoded,
+                innovative,
+                redundant,
+                final_rank,
+                ..
+            } => {
+                if let Some(mut s) = current.take() {
+                    s.throughput = *throughput;
+                    s.generations_decoded = *generations_decoded;
+                    s.innovative = *innovative;
+                    s.redundant = *redundant;
+                    s.final_rank = *final_rank;
+                    sessions.push(s);
+                }
+            }
+        }
+    }
+    // An unterminated stream still yields its partial last session.
+    if let Some(s) = current.take() {
+        sessions.push(s);
+    }
+    let convergence = summarize_convergence(opt);
+    let metrics = collect_metrics(&sessions, convergence.as_ref());
+    Report {
+        sessions,
+        convergence,
+        metrics,
+    }
+}
+
+fn absorb_mac(s: &mut SessionReport, event: &TraceEvent) {
+    match event {
+        TraceEvent::TxStart { node, .. } => {
+            s.forwarders.entry(node.index()).or_default().transmissions += 1;
+        }
+        TraceEvent::TxComplete { .. } => {}
+        TraceEvent::Delivered { from, to, .. } => {
+            s.links
+                .entry((from.index(), to.index()))
+                .or_default()
+                .delivered += 1;
+            s.forwarders.entry(from.index()).or_default().delivered += 1;
+        }
+        TraceEvent::Lost { from, to, .. } => {
+            s.links.entry((from.index(), to.index())).or_default().lost += 1;
+            s.forwarders.entry(from.index()).or_default().lost += 1;
+        }
+        TraceEvent::Queue { node, len, .. } => {
+            let q = s.queues.entry(node.index()).or_default();
+            let n = q.samples as f64;
+            q.mean = (q.mean * n + *len as f64) / (n + 1.0);
+            q.samples += 1;
+            q.max = q.max.max(*len as u64);
+        }
+    }
+}
+
+fn absorb_decode(s: &mut SessionReport, a: &Absorbed) {
+    if let Some(tag) = a.tag {
+        let f = s.forwarders.entry(tag.origin.index()).or_default();
+        f.absorbed += 1;
+        if a.innovative {
+            f.innovative += 1;
+        }
+    }
+    if a.completed {
+        s.decode_timeline.push((a.at, a.generation.as_u64()));
+    }
+}
+
+fn summarize_convergence(opt: &[IterationRecord]) -> Option<ConvergenceSummary> {
+    let last = opt.last()?;
+    let target = last.recovered_rate * 0.9;
+    let iterations_to_90pct = opt
+        .iter()
+        .find(|r| r.recovered_rate >= target)
+        .map(|r| r.iter)
+        .unwrap_or(last.iter);
+    Some(ConvergenceSummary {
+        iterations: opt.len() as u64,
+        final_rate: last.recovered_rate,
+        final_violation: last.max_violation,
+        iterations_to_90pct,
+    })
+}
+
+fn collect_metrics(
+    sessions: &[SessionReport],
+    convergence: Option<&ConvergenceSummary>,
+) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
+    let mut per_protocol: BTreeMap<&str, usize> = BTreeMap::new();
+    for s in sessions {
+        let k = per_protocol.entry(s.protocol.as_str()).or_insert(0);
+        let prefix = format!("{}/{k}", s.protocol.to_ascii_lowercase());
+        *k += 1;
+        metrics.insert(format!("{prefix}/throughput"), s.throughput);
+        metrics.insert(
+            format!("{prefix}/generations_decoded"),
+            s.generations_decoded as f64,
+        );
+        metrics.insert(format!("{prefix}/innovative"), s.innovative as f64);
+        metrics.insert(format!("{prefix}/final_rank"), s.final_rank as f64);
+        metrics.insert(format!("{prefix}/redundancy_ratio"), s.redundancy_ratio());
+        metrics.insert(format!("{prefix}/mean_queue"), s.mean_queue());
+        metrics.insert(format!("{prefix}/delivery_rate"), s.delivery_rate());
+        metrics.insert(
+            format!("{prefix}/contributing_forwarders"),
+            s.contributing_forwarders() as f64,
+        );
+    }
+    if let Some(c) = convergence {
+        metrics.insert("opt/iterations".into(), c.iterations as f64);
+        metrics.insert("opt/final_rate".into(), c.final_rate);
+        metrics.insert("opt/final_violation".into(), c.final_violation);
+        metrics.insert(
+            "opt/iterations_to_90pct".into(),
+            c.iterations_to_90pct as f64,
+        );
+    }
+    metrics
+}
+
+// ---------------------------------------------------------------- rendering
+
+/// Renders the report as human-readable ASCII tables.
+pub fn render_ascii(report: &Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12} {:>5}->{:<5} {:>12} {:>5} {:>6} {:>6} {:>6} {:>7} {:>7}",
+        "protocol", "src", "dst", "B/s", "gens", "innov", "redun", "rank", "redun%", "queue"
+    );
+    for s in &report.sessions {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>5}->{:<5} {:>12.1} {:>5} {:>6} {:>6} {:>6} {:>6.1}% {:>7.2}",
+            s.protocol,
+            s.src,
+            s.dst,
+            s.throughput,
+            s.generations_decoded,
+            s.innovative,
+            s.redundant,
+            s.final_rank,
+            s.redundancy_ratio() * 100.0,
+            s.mean_queue(),
+        );
+    }
+    for s in &report.sessions {
+        let _ = writeln!(
+            out,
+            "\n== {} session {} ({} -> {}) ==",
+            s.protocol, s.session, s.src, s.dst
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8} {:>10} {:>8} {:>9} {:>9} {:>8}",
+            "node", "tx", "delivered", "lost", "absorbed", "innov", "contrib"
+        );
+        let total_innovative: u64 = s.forwarders.values().map(|f| f.innovative).sum();
+        for (node, f) in &s.forwarders {
+            let contrib = if total_innovative == 0 {
+                0.0
+            } else {
+                f.innovative as f64 / total_innovative as f64 * 100.0
+            };
+            let _ = writeln!(
+                out,
+                "{:>6} {:>8} {:>10} {:>8} {:>9} {:>9} {:>7.1}%",
+                node, f.transmissions, f.delivered, f.lost, f.absorbed, f.innovative, contrib
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>8} {:>9}",
+            "link", "delivered", "lost", "p"
+        );
+        for ((from, to), l) in &s.links {
+            let _ = writeln!(
+                out,
+                "{:>3}->{:<3} {:>9} {:>8} {:>9.3}",
+                from,
+                to,
+                l.delivered,
+                l.lost,
+                l.delivery_rate()
+            );
+        }
+        if !s.decode_timeline.is_empty() {
+            let _ = writeln!(out, "decoded generations:");
+            for (at, generation) in &s.decode_timeline {
+                let _ = writeln!(out, "  gen {generation:>4} at {at:>9.3}s");
+            }
+        }
+        if s.dropped_mac_events > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} MAC events dropped (incomplete stream)",
+                s.dropped_mac_events
+            );
+        }
+    }
+    if let Some(c) = &report.convergence {
+        let _ = writeln!(
+            out,
+            "\nconvergence: {} iterations, final rate {:.1}, final violation {:.2e}, 90% at iter {}",
+            c.iterations, c.final_rate, c.final_violation, c.iterations_to_90pct
+        );
+    }
+    out
+}
+
+/// Renders the per-forwarder table as CSV
+/// (`session,protocol,node,transmissions,delivered,lost,absorbed,innovative`).
+pub fn render_csv(report: &Report) -> String {
+    let mut out =
+        String::from("session,protocol,node,transmissions,delivered,lost,absorbed,innovative\n");
+    for s in &report.sessions {
+        for (node, f) in &s.forwarders {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{}",
+                s.session,
+                s.protocol,
+                node,
+                f.transmissions,
+                f.delivered,
+                f.lost,
+                f.absorbed,
+                f.innovative
+            );
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------- compare
+
+/// One metric that moved past the regression threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// The metric's key in the report's metric map.
+    pub metric: String,
+    /// Baseline value (`NaN` when the metric is new).
+    pub baseline: f64,
+    /// Current value (`NaN` when the metric disappeared).
+    pub current: f64,
+}
+
+/// Whether a smaller value of `metric` is the better one.
+pub fn lower_is_better(metric: &str) -> bool {
+    ["queue", "redundan", "lost", "violation", "dropped"]
+        .iter()
+        .any(|needle| metric.contains(needle))
+}
+
+/// Compares `current` against `baseline`, returning every metric that
+/// regressed beyond the relative `threshold` (e.g. `0.15` = 15%).
+///
+/// Direction is inferred from the metric name ([`lower_is_better`]);
+/// lower-is-better metrics get an absolute slack of `threshold / 10` so a
+/// zero baseline (e.g. empty queues) tolerates noise. Metrics present in
+/// the baseline but missing from `current` are regressions; new metrics in
+/// `current` are ignored (the baseline only ratchets what it knows).
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for (metric, &base) in baseline {
+        let Some(&cur) = current.get(metric) else {
+            regressions.push(Regression {
+                metric: metric.clone(),
+                baseline: base,
+                current: f64::NAN,
+            });
+            continue;
+        };
+        let failed = if lower_is_better(metric) {
+            cur > base * (1.0 + threshold) + threshold / 10.0
+        } else {
+            cur < base * (1.0 - threshold)
+        };
+        if failed {
+            regressions.push(Regression {
+                metric: metric.clone(),
+                baseline: base,
+                current: cur,
+            });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnc::drift::{PacketTag, SimTime};
+    use omnc::net_topo::graph::NodeId;
+    use omnc::rlnc::GenerationId;
+    use omnc::runner::Protocol;
+
+    fn tag(origin: usize, seq: u64) -> Option<PacketTag> {
+        Some(PacketTag {
+            session: 7,
+            generation: GenerationId::new(0),
+            seq,
+            origin: NodeId::new(origin),
+        })
+    }
+
+    fn synthetic_trace() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::SessionStart {
+                session: 7,
+                protocol: Protocol::Omnc,
+                src: NodeId::new(0),
+                dst: NodeId::new(2),
+                seed: 1,
+                duration: 10.0,
+            },
+            TraceRecord::Mac(TraceEvent::TxStart {
+                at: SimTime::new(0.1),
+                node: NodeId::new(0),
+                wire_len: 100,
+                rate: 1000.0,
+                tag: tag(0, 0),
+            }),
+            TraceRecord::Mac(TraceEvent::Delivered {
+                at: SimTime::new(0.2),
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                tag: tag(0, 0),
+            }),
+            TraceRecord::Mac(TraceEvent::Lost {
+                at: SimTime::new(0.2),
+                from: NodeId::new(0),
+                to: NodeId::new(2),
+                tag: tag(0, 0),
+            }),
+            TraceRecord::Mac(TraceEvent::Queue {
+                at: SimTime::new(0.2),
+                node: NodeId::new(1),
+                len: 3,
+            }),
+            TraceRecord::Mac(TraceEvent::TxStart {
+                at: SimTime::new(0.3),
+                node: NodeId::new(1),
+                wire_len: 100,
+                rate: 1000.0,
+                tag: tag(1, 0),
+            }),
+            TraceRecord::Mac(TraceEvent::Delivered {
+                at: SimTime::new(0.4),
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+                tag: tag(1, 0),
+            }),
+            TraceRecord::Absorbed(Absorbed {
+                at: 0.4,
+                node: NodeId::new(2),
+                from: NodeId::new(1),
+                tag: tag(1, 0),
+                generation: GenerationId::new(0),
+                innovative: true,
+                rank_after: 1,
+                completed: false,
+            }),
+            TraceRecord::Absorbed(Absorbed {
+                at: 0.5,
+                node: NodeId::new(2),
+                from: NodeId::new(1),
+                tag: tag(1, 1),
+                generation: GenerationId::new(0),
+                innovative: false,
+                rank_after: 1,
+                completed: false,
+            }),
+            TraceRecord::Absorbed(Absorbed {
+                at: 0.6,
+                node: NodeId::new(2),
+                from: NodeId::new(0),
+                tag: tag(0, 3),
+                generation: GenerationId::new(0),
+                innovative: true,
+                rank_after: 2,
+                completed: true,
+            }),
+            TraceRecord::SessionEnd {
+                session: 7,
+                throughput: 256.0,
+                generations_decoded: 1,
+                innovative: 2,
+                redundant: 1,
+                final_rank: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn analysis_joins_mac_and_decoder_views() {
+        let report = analyze(&synthetic_trace(), &[]);
+        assert_eq!(report.sessions.len(), 1);
+        let s = &report.sessions[0];
+        assert_eq!(s.protocol, "OMNC");
+        assert_eq!(
+            s.links[&(0, 1)],
+            LinkStats {
+                delivered: 1,
+                lost: 0
+            }
+        );
+        assert_eq!(
+            s.links[&(0, 2)],
+            LinkStats {
+                delivered: 0,
+                lost: 1
+            }
+        );
+        assert_eq!(s.forwarders[&0].transmissions, 1);
+        assert_eq!(s.forwarders[&0].innovative, 1);
+        assert_eq!(s.forwarders[&1].innovative, 1);
+        assert_eq!(s.forwarders[&1].absorbed, 2);
+        // Per-forwarder innovative contributions sum to the final rank.
+        let innovative: u64 = s.forwarders.values().map(|f| f.innovative).sum();
+        assert_eq!(innovative, s.final_rank);
+        assert_eq!(s.queues[&1].max, 3);
+        assert_eq!(s.decode_timeline, vec![(0.6, 0)]);
+        assert_eq!(report.metrics["omnc/0/throughput"], 256.0);
+        assert_eq!(report.metrics["omnc/0/final_rank"], 2.0);
+        assert!((report.metrics["omnc/0/redundancy_ratio"] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.metrics["omnc/0/contributing_forwarders"], 2.0);
+    }
+
+    #[test]
+    fn parse_round_trips_the_trace() {
+        let trace = synthetic_trace();
+        let mut buf = Vec::new();
+        for r in &trace {
+            buf.extend_from_slice(serde_json::to_string(r).unwrap().as_bytes());
+            buf.push(b'\n');
+        }
+        let back = parse_trace(io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn report_serializes_and_renders() {
+        let report = analyze(&synthetic_trace(), &[]);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        let ascii = render_ascii(&report);
+        assert!(ascii.contains("OMNC"), "{ascii}");
+        let csv = render_csv(&report);
+        assert!(csv.lines().count() > 2, "{csv}");
+    }
+
+    #[test]
+    fn convergence_summary_reads_the_final_iterate() {
+        let opt: Vec<IterationRecord> = (1..=10)
+            .map(|i| IterationRecord {
+                iter: i,
+                step_size: 1.0 / i as f64,
+                gamma: 1.0,
+                dual_value: 0.0,
+                max_violation: 1.0 / i as f64,
+                recovered_rate: 10.0 * i as f64,
+                recovery_gap: 0.0,
+            })
+            .collect();
+        let report = analyze(&[], &opt);
+        let c = report.convergence.unwrap();
+        assert_eq!(c.iterations, 10);
+        assert_eq!(c.final_rate, 100.0);
+        assert_eq!(c.iterations_to_90pct, 9);
+        assert_eq!(report.metrics["opt/final_rate"], 100.0);
+    }
+
+    #[test]
+    fn compare_flags_only_true_regressions() {
+        let report = analyze(&synthetic_trace(), &[]);
+        // Identical runs: clean.
+        assert!(compare(&report.metrics, &report.metrics, 0.1).is_empty());
+        // Degrade throughput by more than the threshold: flagged, with the
+        // higher-is-better direction.
+        let mut degraded = report.metrics.clone();
+        degraded.insert("omnc/0/throughput".into(), 256.0 * 0.5);
+        let regs = compare(&report.metrics, &degraded, 0.15);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "omnc/0/throughput");
+        // Improve throughput: not flagged.
+        let mut improved = report.metrics.clone();
+        improved.insert("omnc/0/throughput".into(), 512.0);
+        assert!(compare(&report.metrics, &improved, 0.15).is_empty());
+        // Queue growth is a regression (lower is better)...
+        let mut queued = report.metrics.clone();
+        queued.insert("omnc/0/mean_queue".into(), 50.0);
+        assert_eq!(compare(&report.metrics, &queued, 0.15).len(), 1);
+        // ...and a queue decrease is an improvement.
+        let mut drained = report.metrics.clone();
+        drained.insert("omnc/0/mean_queue".into(), 0.0);
+        assert!(compare(&report.metrics, &drained, 0.15).is_empty());
+        // A metric vanishing from the current run is a regression.
+        let mut missing = report.metrics.clone();
+        missing.remove("omnc/0/final_rank");
+        let regs = compare(&report.metrics, &missing, 0.15);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].current.is_nan());
+    }
+}

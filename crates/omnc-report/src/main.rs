@@ -1,0 +1,167 @@
+//! `omnc-report` — analyze causal packet-lifecycle traces and gate
+//! performance regressions.
+//!
+//! ```sh
+//! omnc-sim --sessions 2 --trace run.jsonl
+//! omnc-report analyze --trace run.jsonl --json report.json --csv forwarders.csv
+//! omnc-report compare --baseline BENCH_baseline.json --current report.json
+//! ```
+//!
+//! `analyze` prints ASCII tables to stdout; `compare` exits nonzero when
+//! any metric regressed beyond the threshold.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use omnc_report::{analyze, compare, parse_opt, parse_trace, render_ascii, render_csv, Report};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("analyze") => run_analyze(&argv[1..]),
+        Some("compare") => run_compare(&argv[1..]),
+        Some("--help" | "-h") | None => {
+            print_help();
+            Ok(0)
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+    };
+    match code {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "omnc-report — analyze omnc-sim packet-lifecycle traces
+
+USAGE:
+    omnc-report analyze --trace <PATH> [--opt <PATH>] [--json <OUT>] [--csv <OUT>] [--quiet]
+    omnc-report compare --baseline <PATH> --current <PATH> [--threshold <T>]
+
+ANALYZE:
+    --trace <PATH>      JSONL trace from `omnc-sim --trace` ('-' = stdin)
+    --opt <PATH>        optimizer IterationRecord JSONL (fig1_convergence --json)
+    --json <OUT>        write the full report (incl. the metric map) as JSON
+    --csv <OUT>         write the per-forwarder table as CSV
+    --quiet             suppress the ASCII tables
+
+COMPARE:
+    --baseline <PATH>   committed report.json to gate against
+    --current <PATH>    report.json of the run under test
+    --threshold <T>     relative regression tolerance    [default: 0.15]
+
+compare exits 0 when no metric regressed, 1 otherwise."
+    );
+}
+
+fn reader_for(path: &str) -> Result<Box<dyn BufRead>, String> {
+    if path == "-" {
+        Ok(Box::new(BufReader::new(io::stdin())))
+    } else {
+        let file = File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
+        Ok(Box::new(BufReader::new(file)))
+    }
+}
+
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, name: &str) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{name} requires a value"))
+}
+
+fn run_analyze(args: &[String]) -> Result<i32, String> {
+    let mut trace_path: Option<String> = None;
+    let mut opt_path: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut csv_out: Option<String> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace" => trace_path = Some(next_value(&mut it, "--trace")?.clone()),
+            "--opt" => opt_path = Some(next_value(&mut it, "--opt")?.clone()),
+            "--json" => json_out = Some(next_value(&mut it, "--json")?.clone()),
+            "--csv" => csv_out = Some(next_value(&mut it, "--csv")?.clone()),
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    let trace_path = trace_path.ok_or("analyze requires --trace")?;
+    let trace = parse_trace(reader_for(&trace_path)?).map_err(|e| e.to_string())?;
+    let opt = match opt_path {
+        Some(path) => parse_opt(reader_for(&path)?).map_err(|e| e.to_string())?,
+        None => Vec::new(),
+    };
+    let report = analyze(&trace, &opt);
+    if !quiet {
+        print!("{}", render_ascii(&report));
+    }
+    if let Some(path) = json_out {
+        let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+        write_file(&path, json.as_bytes())?;
+    }
+    if let Some(path) = csv_out {
+        write_file(&path, render_csv(&report).as_bytes())?;
+    }
+    Ok(0)
+}
+
+fn run_compare(args: &[String]) -> Result<i32, String> {
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut threshold = 0.15;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--baseline" => baseline_path = Some(next_value(&mut it, "--baseline")?.clone()),
+            "--current" => current_path = Some(next_value(&mut it, "--current")?.clone()),
+            "--threshold" => {
+                let v = next_value(&mut it, "--threshold")?;
+                threshold = v
+                    .parse()
+                    .map_err(|_| format!("could not parse threshold '{v}'"))?;
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    let baseline = load_report(&baseline_path.ok_or("compare requires --baseline")?)?;
+    let current = load_report(&current_path.ok_or("compare requires --current")?)?;
+    let regressions = compare(&baseline.metrics, &current.metrics, threshold);
+    if regressions.is_empty() {
+        println!(
+            "OK: {} metrics within {:.0}% of baseline",
+            baseline.metrics.len(),
+            threshold * 100.0
+        );
+        Ok(0)
+    } else {
+        println!(
+            "REGRESSION: {} of {} metrics beyond {:.0}% tolerance",
+            regressions.len(),
+            baseline.metrics.len(),
+            threshold * 100.0
+        );
+        println!("{:>34} {:>14} {:>14}", "metric", "baseline", "current");
+        for r in &regressions {
+            println!("{:>34} {:>14.3} {:>14.3}", r.metric, r.baseline, r.current);
+        }
+        Ok(1)
+    }
+}
+
+fn load_report(path: &str) -> Result<Report, String> {
+    let mut text = String::new();
+    reader_for(path)?
+        .read_to_string(&mut text)
+        .map_err(|e| format!("reading '{path}': {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing '{path}': {e}"))
+}
+
+fn write_file(path: &str, bytes: &[u8]) -> Result<(), String> {
+    let mut file = File::create(path).map_err(|e| format!("cannot create '{path}': {e}"))?;
+    file.write_all(bytes)
+        .map_err(|e| format!("writing '{path}': {e}"))
+}

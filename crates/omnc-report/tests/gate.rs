@@ -1,0 +1,105 @@
+//! The PR's acceptance demo, end to end: a seeded traced session run,
+//! serialized to JSONL, re-ingested by the analyzer — per-forwarder
+//! innovative-packet counts must sum to the destination's final decoder
+//! rank — and the `compare` gate must fail a synthetically degraded run.
+
+use std::process::Command;
+
+use omnc::runner::{run_session_traced, Protocol, RunOptions};
+use omnc::scenario::Scenario;
+use omnc_report::{analyze, compare, parse_trace, Report};
+
+fn traced_run(fault_fraction: Option<f64>) -> (omnc::runner::SessionOutcome, Report) {
+    let scenario = Scenario::small_test();
+    let (topology, src, dst) = scenario.build_session(0);
+    let options = RunOptions {
+        // Killing the source part-way through collapses throughput — the
+        // synthetic regression the gate must catch.
+        fault: fault_fraction.map(|f| (src, scenario.session.duration * f)),
+        trace_capacity: Some(500_000),
+    };
+    let (out, trace) = run_session_traced(
+        &topology,
+        src,
+        dst,
+        Protocol::Omnc,
+        &scenario.session,
+        17,
+        &options,
+    );
+    let trace = trace.expect("tracing was enabled");
+    assert_eq!(trace.dropped_mac_events, 0, "raise trace capacity");
+    let mut jsonl = Vec::new();
+    trace.write_jsonl(&mut jsonl).unwrap();
+    let records = parse_trace(std::io::Cursor::new(jsonl)).unwrap();
+    (out, analyze(&records, &[]))
+}
+
+#[test]
+fn forwarder_contributions_sum_to_the_destination_rank() {
+    let (out, report) = traced_run(None);
+    assert_eq!(report.sessions.len(), 1);
+    let s = &report.sessions[0];
+    assert!(s.final_rank > 0, "session must decode something");
+    let innovative: u64 = s.forwarders.values().map(|f| f.innovative).sum();
+    assert_eq!(
+        innovative, s.final_rank,
+        "per-forwarder innovative counts must sum to the decoder's rank"
+    );
+    assert_eq!(innovative, out.packet_counts.0);
+    assert!(s.contributing_forwarders() >= 1);
+    assert_eq!(s.throughput, out.throughput);
+}
+
+#[test]
+fn compare_gate_fails_a_degraded_run_and_passes_a_clean_one() {
+    let (_, baseline) = traced_run(None);
+    let (_, same) = traced_run(None);
+    assert!(
+        compare(&baseline.metrics, &same.metrics, 0.15).is_empty(),
+        "identical seeded runs must pass the gate"
+    );
+    let (_, degraded) = traced_run(Some(0.1));
+    let regressions = compare(&baseline.metrics, &degraded.metrics, 0.15);
+    assert!(
+        regressions
+            .iter()
+            .any(|r| r.metric.ends_with("/throughput")),
+        "killing the source must register as a throughput regression: {regressions:?}"
+    );
+}
+
+#[test]
+fn compare_binary_exits_nonzero_on_regression() {
+    let (_, baseline) = traced_run(None);
+    let (_, degraded) = traced_run(Some(0.1));
+    let dir = std::env::temp_dir();
+    let base_path = dir.join("omnc_report_gate_baseline.json");
+    let cur_path = dir.join("omnc_report_gate_degraded.json");
+    std::fs::write(&base_path, serde_json::to_string(&baseline).unwrap()).unwrap();
+    std::fs::write(&cur_path, serde_json::to_string(&degraded).unwrap()).unwrap();
+
+    let bin = env!("CARGO_BIN_EXE_omnc-report");
+    let ok = Command::new(bin)
+        .args(["compare", "--baseline"])
+        .arg(&base_path)
+        .arg("--current")
+        .arg(&base_path)
+        .output()
+        .unwrap();
+    assert!(ok.status.success(), "self-compare must pass");
+
+    let bad = Command::new(bin)
+        .args(["compare", "--baseline"])
+        .arg(&base_path)
+        .arg("--current")
+        .arg(&cur_path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "degraded run must fail the gate: {}",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+}

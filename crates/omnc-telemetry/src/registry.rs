@@ -341,13 +341,16 @@ impl Registry {
         }
     }
 
-    /// Reads every metric in registration order.
+    /// Reads every metric, ordered by name (stable: series sharing a name
+    /// keep their registration order). The deterministic ordering makes
+    /// JSONL exports and report diffs comparable across runs regardless of
+    /// which code path registered its metrics first.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
         let Some(inner) = &self.inner else {
             return Vec::new();
         };
         let entries = inner.lock();
-        entries
+        let mut snaps: Vec<MetricSnapshot> = entries
             .iter()
             .map(|entry| {
                 let mut snap = MetricSnapshot {
@@ -377,7 +380,9 @@ impl Registry {
                 }
                 snap
             })
-            .collect()
+            .collect();
+        snaps.sort_by(|a, b| a.name.cmp(&b.name));
+        snaps
     }
 }
 
@@ -526,6 +531,25 @@ mod tests {
         let registry = Registry::new();
         registry.counter("m");
         registry.gauge("m");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name_regardless_of_registration_order() {
+        let registry = Registry::new();
+        registry.counter("zeta").inc();
+        registry.gauge("alpha").set(1.0);
+        registry.counter("mid").add(2);
+        let names: Vec<String> = registry.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+        // Stable within a name: series keep registration order.
+        registry
+            .counter_with_labels("mid", &[("proto", "etx")])
+            .add(9);
+        let snap = registry.snapshot();
+        assert_eq!(snap[1].name, "mid");
+        assert!(snap[1].labels.is_empty());
+        assert_eq!(snap[2].name, "mid");
+        assert_eq!(snap[2].labels.len(), 1);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! Prints one line (or one JSON object) per session per protocol with
 //! throughput, queue, utility and rate-control statistics.
 
-use omnc::runner::{run_session, Protocol};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use omnc::runner::{run_session_traced, Protocol, RunOptions};
 use omnc::scenario::{Quality, Scenario};
 use omnc::session::SessionConfig;
 
@@ -28,6 +31,8 @@ struct Args {
     seed: u64,
     format: Format,
     full_payload: bool,
+    trace: Option<String>,
+    trace_capacity: usize,
 }
 
 impl Args {
@@ -42,6 +47,8 @@ impl Args {
             seed: 2008,
             format: Format::Table,
             full_payload: false,
+            trace: None,
+            trace_capacity: 200_000,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut it = argv.iter();
@@ -77,6 +84,8 @@ impl Args {
                     }
                 }
                 "--full-payload" => args.full_payload = true,
+                "--trace" => args.trace = Some(value("--trace")?.clone()),
+                "--trace-capacity" => args.trace_capacity = parse(value("--trace-capacity")?)?,
                 "--help" | "-h" => {
                     print_help();
                     std::process::exit(0);
@@ -121,6 +130,10 @@ OPTIONS:
     --seed <S>          master seed               [default: 2008]
     --format <F>        table | json              [default: table]
     --full-payload      code real 1 KB payloads (slower, verifies bytes)
+    --trace <PATH>      write the causal packet-lifecycle trace as JSONL
+                        (one stream per session/protocol; feed to omnc-report;
+                        '-' writes to stdout for piping)
+    --trace-capacity <N> max MAC events kept per run [default: 200000]
     -h, --help          this text"
     );
 }
@@ -151,10 +164,46 @@ fn main() {
             "k", "protocol", "B/s", "gens", "queue", "nodeU", "pathU", "iters"
         );
     }
+    let mut trace_out: Option<BufWriter<Box<dyn Write>>> = args.trace.as_ref().map(|path| {
+        let sink: Box<dyn Write> = if path == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            Box::new(File::create(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot create trace file '{path}': {e}");
+                std::process::exit(2);
+            }))
+        };
+        BufWriter::new(sink)
+    });
+    let options = RunOptions {
+        fault: None,
+        trace_capacity: args.trace.is_some().then_some(args.trace_capacity),
+    };
     for (k, seed) in scenario.session_seeds().enumerate() {
         let (topology, src, dst) = scenario.build_session(k as u64);
         for &protocol in &args.protocols {
-            let out = run_session(&topology, src, dst, protocol, &scenario.session, seed);
+            let (out, trace) = run_session_traced(
+                &topology,
+                src,
+                dst,
+                protocol,
+                &scenario.session,
+                seed,
+                &options,
+            );
+            if let (Some(file), Some(trace)) = (trace_out.as_mut(), trace) {
+                if trace.dropped_mac_events > 0 {
+                    eprintln!(
+                        "warning: session {k} {} dropped {} MAC events (raise --trace-capacity)",
+                        protocol.name(),
+                        trace.dropped_mac_events
+                    );
+                }
+                if let Err(e) = trace.write_jsonl(&mut *file) {
+                    eprintln!("error: writing trace: {e}");
+                    std::process::exit(2);
+                }
+            }
             match args.format {
                 Format::Table => println!(
                     "{:>4} {:>9} {:>10.0} {:>8} {:>7.2} {:>7.2} {:>7.2} {:>6}",
@@ -184,6 +233,12 @@ fn main() {
                         .unwrap_or_else(|| "null".into()),
                 ),
             }
+        }
+    }
+    if let Some(mut file) = trace_out {
+        if let Err(e) = file.flush() {
+            eprintln!("error: flushing trace: {e}");
+            std::process::exit(2);
         }
     }
 }

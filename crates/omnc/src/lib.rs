@@ -60,6 +60,7 @@ pub mod proto;
 pub mod runner;
 pub mod scenario;
 pub mod session;
+pub mod trace;
 pub mod wire;
 
 pub use drift;

@@ -3,13 +3,14 @@
 
 use std::collections::HashMap;
 
-use drift::{Ctx, Dest, Outgoing};
+use drift::{Ctx, Dest, Outgoing, PacketTag};
 use net_topo::graph::NodeId;
 use rand::{Rng, SeedableRng};
 use rlnc::{Decoder, Encoder, Generation, GenerationId};
 
 use crate::msg::Msg;
 use crate::session::{SessionConfig, SessionShared};
+use crate::trace::Absorbed;
 
 /// Deterministically generates the application payload of a generation:
 /// the same `(session_seed, generation)` pair always yields the same bytes,
@@ -91,6 +92,26 @@ impl CodedSource {
         Some(Msg::Coded(packet))
     }
 
+    /// Like [`CodedSource::next_packet`], additionally minting the packet's
+    /// causal identity: `origin` is the coding node, the sequence number is
+    /// the per-source emission counter, and the session id is the session
+    /// seed (unique per run).
+    pub fn next_tagged_packet(
+        &mut self,
+        now: f64,
+        rng: &mut impl Rng,
+        origin: NodeId,
+    ) -> Option<(Msg, PacketTag)> {
+        let msg = self.next_packet(now, rng)?;
+        let tag = PacketTag {
+            session: self.session_seed,
+            generation: msg.generation().expect("coded packets carry one"),
+            seq: self.packets_emitted - 1,
+            origin,
+        };
+        Some((msg, tag))
+    }
+
     /// Time at which the active generation becomes available, for timer
     /// scheduling when the source is ahead of the application.
     pub fn active_available_at(&self) -> f64 {
@@ -116,6 +137,9 @@ pub struct CodedDestination {
     /// Number of generations whose recovered payload failed verification
     /// (must stay 0; tested).
     pub verification_failures: u64,
+    /// Per-packet absorption outcomes, in arrival order (the decoder-side
+    /// half of the causal trace; drained by traced runners).
+    pub absorptions: Vec<Absorbed>,
 }
 
 impl CodedDestination {
@@ -143,12 +167,22 @@ impl CodedDestination {
             innovative_from: HashMap::new(),
             received_from: HashMap::new(),
             verification_failures: 0,
+            absorptions: Vec::new(),
         }
     }
 
     /// Feeds a received coded packet; returns `true` if it completed the
-    /// active generation.
-    pub fn receive(&mut self, now: f64, from: NodeId, msg: &Msg) -> bool {
+    /// active generation. `node` is the receiving node's own id and `tag`
+    /// the incoming packet's causal identity (both feed the [`Absorbed`]
+    /// record; untraced callers can pass `None`).
+    pub fn receive(
+        &mut self,
+        now: f64,
+        node: NodeId,
+        from: NodeId,
+        msg: &Msg,
+        tag: Option<PacketTag>,
+    ) -> bool {
         let Msg::Coded(packet) = msg else {
             return false;
         };
@@ -164,11 +198,23 @@ impl CodedDestination {
             return false;
         };
         let innovative = result.is_innovative();
+        let rank_after = self.decoder.rank();
         self.ledger.record_packet(innovative);
         if innovative {
             *self.innovative_from.entry(from).or_insert(0) += 1;
         }
-        if self.decoder.is_complete() {
+        let completed = self.decoder.is_complete();
+        self.absorptions.push(Absorbed {
+            at: now,
+            node,
+            from,
+            tag,
+            generation: active,
+            innovative,
+            rank_after,
+            completed,
+        });
+        if completed {
             if self.verify_payload {
                 let recovered = self.decoder.recover().expect("complete");
                 let expected = source_data(&self.cfg, self.session_seed, active);
@@ -185,13 +231,20 @@ impl CodedDestination {
     }
 }
 
-/// Enqueues a coded broadcast packet, charging the configured wire size.
-pub fn enqueue_coded(ctx: &mut Ctx<'_, Msg>, cfg: &SessionConfig, msg: Msg) {
+/// Enqueues a coded broadcast packet, charging the configured wire size and
+/// attaching the packet's causal identity when the protocol minted one.
+pub fn enqueue_coded(
+    ctx: &mut Ctx<'_, Msg>,
+    cfg: &SessionConfig,
+    msg: Msg,
+    tag: Option<PacketTag>,
+) {
     debug_assert!(msg.is_coded());
     ctx.enqueue(Outgoing {
         msg,
         wire_len: cfg.coded_wire_len(),
         dest: Dest::Broadcast,
+        tag,
     });
 }
 
@@ -248,7 +301,7 @@ mod tests {
         while completions < 3 {
             t += 0.1;
             if let Some(msg) = src.next_packet(t, &mut rng) {
-                if dst.receive(t, NodeId::new(0), &msg) {
+                if dst.receive(t, NodeId::new(1), NodeId::new(0), &msg, None) {
                     completions += 1;
                 }
             }
@@ -269,7 +322,57 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let stale = src.next_packet(0.0, &mut rng).unwrap();
         ledger.complete_generation(GenerationId::new(0), 0.0); // gen 0 expires
-        assert!(!dst.receive(1.0, NodeId::new(0), &stale));
+        assert!(!dst.receive(1.0, NodeId::new(1), NodeId::new(0), &stale, None));
         assert_eq!(ledger.packet_counts(), (0, 0));
+        assert!(dst.absorptions.is_empty(), "stale packets are not absorbed");
+    }
+
+    #[test]
+    fn tagged_sources_mint_unique_sequential_identities() {
+        let c = cfg();
+        let ledger = SessionLedger::shared();
+        let mut src = CodedSource::new(c, ledger, 9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let origin = NodeId::new(4);
+        let (_, t0) = src.next_tagged_packet(0.0, &mut rng, origin).unwrap();
+        let (_, t1) = src.next_tagged_packet(0.0, &mut rng, origin).unwrap();
+        assert_eq!(t0.session, 9);
+        assert_eq!(t0.origin, origin);
+        assert_eq!((t0.seq, t1.seq), (0, 1));
+        assert_eq!(t0.generation, GenerationId::new(0));
+    }
+
+    #[test]
+    fn destination_accumulates_absorption_records() {
+        let c = cfg();
+        let ledger = SessionLedger::shared();
+        let mut src = CodedSource::new(c, ledger.clone(), 9);
+        let mut dst = CodedDestination::new(c, ledger, 9, false);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let me = NodeId::new(2);
+        let upstream = NodeId::new(1);
+        let mut completed_seen = false;
+        for i in 0..(4 * c.generation_blocks) {
+            let (msg, tag) = src
+                .next_tagged_packet(i as f64 * 0.01, &mut rng, NodeId::new(0))
+                .unwrap();
+            if dst.receive(i as f64 * 0.01, me, upstream, &msg, Some(tag)) {
+                completed_seen = true;
+                break;
+            }
+        }
+        assert!(completed_seen, "one generation should complete");
+        let innovative: usize = dst.absorptions.iter().filter(|a| a.innovative).count();
+        assert_eq!(innovative, c.generation_blocks);
+        let last = dst.absorptions.last().unwrap();
+        assert!(last.completed && last.innovative);
+        assert_eq!(last.rank_after, c.generation_blocks);
+        assert_eq!(last.node, me);
+        assert_eq!(last.from, upstream);
+        assert_eq!(last.tag.unwrap().origin, NodeId::new(0));
+        // Ranks are non-decreasing within the generation.
+        for w in dst.absorptions.windows(2) {
+            assert!(w[1].rank_after >= w[0].rank_after);
+        }
     }
 }

@@ -7,8 +7,9 @@
 //! injects blocks at the CBR rate; each relay forwards to its fixed next
 //! hop.
 
-use drift::{Behavior, Ctx, Dest, Outgoing};
+use drift::{Behavior, Ctx, Dest, Outgoing, PacketTag};
 use net_topo::graph::NodeId;
+use rlnc::GenerationId;
 
 use crate::msg::Msg;
 use crate::session::SessionConfig;
@@ -31,6 +32,11 @@ pub struct EtxForwarder {
     pub blocks_dropped: u64,
     /// Blocks forwarded successfully (MAC-acknowledged).
     pub blocks_forwarded: u64,
+    /// Trace identity: `(session id, end-to-end origin)`. When set, every
+    /// forwarded block carries a [`PacketTag`] reconstructed from its
+    /// sequence number, so retransmissions of the same block share one
+    /// identity across hops.
+    session: Option<(u64, NodeId)>,
 }
 
 impl EtxForwarder {
@@ -44,6 +50,7 @@ impl EtxForwarder {
             retries: 0,
             blocks_dropped: 0,
             blocks_forwarded: 0,
+            session: None,
         }
     }
 
@@ -56,11 +63,35 @@ impl EtxForwarder {
         }
     }
 
+    /// Enables causal tracing: tags every forwarded block with `session`
+    /// and the path's end-to-end `origin` (the session source node).
+    pub fn with_session(mut self, session: u64, origin: NodeId) -> Self {
+        self.session = Some((session, origin));
+        self
+    }
+
+    /// The tag for the block with sequence number `seq`, if tracing is
+    /// enabled. Uncoded blocks have no generation; generation 0 is used as
+    /// the conventional placeholder.
+    fn tag_for(&self, seq: u64) -> Option<PacketTag> {
+        self.session.map(|(session, origin)| PacketTag {
+            session,
+            generation: GenerationId::new(0),
+            seq,
+            origin,
+        })
+    }
+
     fn forward(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
+        let tag = match &msg {
+            Msg::Block { seq, .. } => self.tag_for(*seq),
+            _ => None,
+        };
         ctx.enqueue(Outgoing {
             msg,
             wire_len: self.cfg.block_wire_len(),
             dest: Dest::Unicast(self.next_hop),
+            tag,
         });
     }
 }

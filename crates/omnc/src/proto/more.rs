@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use drift::{Behavior, Ctx};
+use drift::{Behavior, Ctx, PacketTag};
 use net_topo::graph::NodeId;
 use rlnc::{GenerationId, Recoder};
 
@@ -62,8 +62,9 @@ impl Behavior<Msg> for MoreSource {
         // Keep two packets queued: one in flight, one ready.
         while ctx.queue_len() < 2 {
             let cfg = *self.state.config();
-            match self.state.next_packet(now, ctx.rng()) {
-                Some(msg) => enqueue_coded(ctx, &cfg, msg),
+            let origin = ctx.node();
+            match self.state.next_tagged_packet(now, ctx.rng(), origin) {
+                Some((msg, tag)) => enqueue_coded(ctx, &cfg, msg, Some(tag)),
                 None => break, // waiting for the CBR application
             }
         }
@@ -84,6 +85,8 @@ pub struct MoreRelay {
     dist: Vec<f64>,
     credit: f64,
     buffer: Recoder,
+    /// Session id, learned from the first tagged packet heard on the air.
+    session: Option<u64>,
     /// Innovative packets received per upstream node.
     pub innovative_from: HashMap<NodeId, u64>,
     /// All coded packets received per upstream node.
@@ -112,6 +115,7 @@ impl MoreRelay {
             dist,
             credit: 0.0,
             buffer,
+            session: None,
             innovative_from: HashMap::new(),
             received_from: HashMap::new(),
             packets_emitted: 0,
@@ -144,6 +148,9 @@ impl MoreRelay {
 
 impl Behavior<Msg> for MoreRelay {
     fn on_receive(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        if let Some(tag) = ctx.incoming_tag() {
+            self.session.get_or_insert(tag.session);
+        }
         if let Some(generation) = msg.generation() {
             self.advance_generation(ctx, generation);
         }
@@ -173,9 +180,16 @@ impl Behavior<Msg> for MoreRelay {
                     let rng = ctx.rng();
                     self.buffer.emit(rng).expect("rank > 0")
                 };
+                // Fresh identity: the relay is the packet's coding origin.
+                let tag = PacketTag {
+                    session: self.session.unwrap_or(0),
+                    generation: packet.generation(),
+                    seq: self.packets_emitted,
+                    origin: ctx.node(),
+                };
                 self.packets_emitted += 1;
                 let cfg = self.cfg;
-                enqueue_coded(ctx, &cfg, Msg::Coded(packet));
+                enqueue_coded(ctx, &cfg, Msg::Coded(packet), Some(tag));
             }
         }
     }
@@ -209,7 +223,9 @@ impl MoreDestination {
 impl Behavior<Msg> for MoreDestination {
     fn on_receive(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
         let now = ctx.now().as_secs();
-        self.state.receive(now, from, msg);
+        let node = ctx.node();
+        let tag = ctx.incoming_tag();
+        self.state.receive(now, node, from, msg, tag);
     }
 }
 

@@ -7,6 +7,8 @@
 //! node/path utility ratios of the paper's Fig. 4), and there is still no
 //! rate control. The behaviours are therefore aliases of the MORE ones; the
 //! difference is encapsulated in [`crate::proto::credits::oldmore_credits`].
+//! Causal packet tagging ([`drift::PacketTag`]) is inherited from the MORE
+//! behaviours too: oldMORE traces identically under `omnc-sim --trace`.
 
 pub use crate::proto::more::{MoreDestination, MoreRelay, MoreSource};
 

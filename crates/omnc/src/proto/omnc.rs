@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use drift::{Behavior, Ctx};
+use drift::{Behavior, Ctx, PacketTag};
 use net_topo::graph::NodeId;
 use rlnc::{GenerationId, Recoder};
 
@@ -73,8 +73,9 @@ impl Behavior<Msg> for OmncSource {
         let now = ctx.now().as_secs();
         if ctx.queue_len() < QUEUE_CAP {
             let cfg = *self.state.config();
-            if let Some(msg) = self.state.next_packet(now, ctx.rng()) {
-                enqueue_coded(ctx, &cfg, msg);
+            let origin = ctx.node();
+            if let Some((msg, tag)) = self.state.next_tagged_packet(now, ctx.rng(), origin) {
+                enqueue_coded(ctx, &cfg, msg, Some(tag));
             } else {
                 // CBR has not produced the next generation: wake up then.
                 let wake = (self.state.active_available_at() - now).max(interval);
@@ -93,6 +94,9 @@ pub struct OmncRelay {
     cfg: SessionConfig,
     rate: f64,
     buffer: Recoder,
+    /// Session id, learned from the first tagged packet heard on the air
+    /// (re-encoded emissions carry it forward).
+    session: Option<u64>,
     /// Innovative packets received per upstream node (Fig. 4 metrics).
     pub innovative_from: HashMap<NodeId, u64>,
     /// All coded packets received per upstream node.
@@ -115,6 +119,7 @@ impl OmncRelay {
             cfg,
             rate,
             buffer,
+            session: None,
             innovative_from: HashMap::new(),
             received_from: HashMap::new(),
             packets_emitted: 0,
@@ -148,6 +153,9 @@ impl Behavior<Msg> for OmncRelay {
     }
 
     fn on_receive(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        if let Some(tag) = ctx.incoming_tag() {
+            self.session.get_or_insert(tag.session);
+        }
         if let Some(generation) = msg.generation() {
             self.advance_generation(ctx, generation);
         }
@@ -173,8 +181,16 @@ impl Behavior<Msg> for OmncRelay {
                 self.buffer.emit(rng).expect("rank > 0")
             };
             let cfg = self.cfg;
+            // Re-encoded packets get a *fresh* identity: the relay is their
+            // coding origin (the tag traces coding causality, not routing).
+            let tag = PacketTag {
+                session: self.session.unwrap_or(0),
+                generation: packet.generation(),
+                seq: self.packets_emitted,
+                origin: ctx.node(),
+            };
             self.packets_emitted += 1;
-            enqueue_coded(ctx, &cfg, Msg::Coded(packet));
+            enqueue_coded(ctx, &cfg, Msg::Coded(packet), Some(tag));
         }
         ctx.set_timer(interval, TICK);
     }
@@ -209,7 +225,9 @@ impl OmncDestination {
 impl Behavior<Msg> for OmncDestination {
     fn on_receive(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
         let now = ctx.now().as_secs();
-        self.state.receive(now, from, msg);
+        let node = ctx.node();
+        let tag = ctx.incoming_tag();
+        self.state.receive(now, node, from, msg, tag);
     }
 }
 

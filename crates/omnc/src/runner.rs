@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use drift::{Behavior, Ctx, MacModel, Simulator};
+use drift::{Behavior, Ctx, MacModel, PacketTag, Simulator, TraceEvent};
 use net_topo::etx;
 use net_topo::graph::{Link, NodeId, Topology};
 use net_topo::select::{disjoint_path_count, select_forwarders, Selection};
@@ -16,6 +16,7 @@ use crate::proto::etx_routing::{EtxDestination, EtxForwarder};
 use crate::proto::more::{MoreDestination, MoreRelay, MoreSource};
 use crate::proto::omnc::{OmncDestination, OmncRelay, OmncSource};
 use crate::session::{SessionConfig, SessionLedger};
+use crate::trace::{Absorbed, SessionTrace, TraceRecord};
 
 /// The protocols under evaluation (Sec. 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -190,6 +191,17 @@ fn sub_topology(full: &Topology, nodes: &[NodeId]) -> SubTopology {
     }
 }
 
+/// Optional knobs for a session run (see [`run_session_traced`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Crash-stop fault `(node, at)`: kills `node` (topology id) at
+    /// simulated time `at`.
+    pub fault: Option<(NodeId, f64)>,
+    /// When `Some`, MAC-level tracing is enabled with this event capacity
+    /// and the run returns a full [`SessionTrace`].
+    pub trace_capacity: Option<usize>,
+}
+
 /// Runs one unicast session of `protocol` from `src` to `dst` on
 /// `topology` and returns the measured outcome. Deterministic in `seed`.
 ///
@@ -221,10 +233,32 @@ pub fn run_session_with_fault(
     seed: u64,
     fault: Option<(NodeId, f64)>,
 ) -> SessionOutcome {
+    let options = RunOptions {
+        fault,
+        trace_capacity: None,
+    };
+    run_session_traced(topology, src, dst, protocol, cfg, seed, &options).0
+}
+
+/// Like [`run_session`], driven by [`RunOptions`]. With
+/// `options.trace_capacity` set, the second return value is the session's
+/// causal trace — `SessionStart`, time-ordered MAC/decoder events with node
+/// ids mapped back to the *original* topology, `SessionEnd` — ready for
+/// [`SessionTrace::write_jsonl`] and `omnc-report`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_session_traced(
+    topology: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    protocol: Protocol,
+    cfg: &SessionConfig,
+    seed: u64,
+    options: &RunOptions,
+) -> (SessionOutcome, Option<SessionTrace>) {
     match protocol {
-        Protocol::EtxRouting => run_etx(topology, src, dst, cfg, seed, fault),
+        Protocol::EtxRouting => run_etx(topology, src, dst, cfg, seed, options),
         Protocol::Omnc | Protocol::More | Protocol::OldMore => {
-            run_coded_inner(topology, src, dst, protocol, cfg, seed, None, fault)
+            run_coded_inner(topology, src, dst, protocol, cfg, seed, None, options)
         }
     }
 }
@@ -235,11 +269,12 @@ fn run_etx(
     dst: NodeId,
     cfg: &SessionConfig,
     seed: u64,
-    fault: Option<(NodeId, f64)>,
-) -> SessionOutcome {
+    options: &RunOptions,
+) -> (SessionOutcome, Option<SessionTrace>) {
     let path = etx::best_path(topology, src, dst).expect("session endpoints must be connected");
     let sub = sub_topology(topology, &path);
     let local = |v: NodeId| NodeId::new(sub.to_local[&v]);
+    let session_seed = seed ^ 0xC0DE;
 
     // The paper's unicast MAC model: link-clique interference (the
     // "sufficient condition" of Sec. 3.2), strictly tighter than the
@@ -253,16 +288,24 @@ fn run_etx(
         MacModel::unicast_clique(cfg.capacity, next_hop),
         seed,
     );
+    if let Some(capacity) = options.trace_capacity {
+        sim.enable_trace(capacity);
+    }
     for w in path.windows(2) {
-        let role = if w[0] == src {
-            Role::EtxFwd(EtxForwarder::source(*cfg, local(w[1]), local(dst)))
+        let fwd = if w[0] == src {
+            EtxForwarder::source(*cfg, local(w[1]), local(dst))
         } else {
-            Role::EtxFwd(EtxForwarder::relay(*cfg, local(w[1])))
+            EtxForwarder::relay(*cfg, local(w[1]))
         };
-        sim.set_behavior(local(w[0]), role);
+        // Blocks are never re-encoded, so the end-to-end origin (the
+        // session source) is every hop's tag origin.
+        sim.set_behavior(
+            local(w[0]),
+            Role::EtxFwd(fwd.with_session(session_seed, local(src))),
+        );
     }
     sim.set_behavior(local(dst), Role::EtxDst(EtxDestination::new()));
-    if let Some((victim, at)) = fault {
+    if let Some((victim, at)) = options.fault {
         if let Some(&l) = sub.to_local.get(&victim) {
             sim.schedule_kill(NodeId::new(l), at);
         }
@@ -279,9 +322,33 @@ fn run_etx(
         .filter(|&v| sim.stats(v).packets_sent > 0)
         .map(|v| sim.queue_average(v))
         .collect();
-    SessionOutcome {
+    let throughput = delivered as f64 * cfg.wire_block_size as f64 / cfg.duration;
+    let trace = options.trace_capacity.map(|_| {
+        assemble_trace(
+            &sim,
+            &sub,
+            TraceRecord::SessionStart {
+                session: session_seed,
+                protocol: Protocol::EtxRouting,
+                src,
+                dst,
+                seed,
+                duration: cfg.duration,
+            },
+            Vec::new(),
+            TraceRecord::SessionEnd {
+                session: session_seed,
+                throughput,
+                generations_decoded: 0,
+                innovative: 0,
+                redundant: 0,
+                final_rank: 0,
+            },
+        )
+    });
+    let outcome = SessionOutcome {
         protocol: Protocol::EtxRouting,
-        throughput: delivered as f64 * cfg.wire_block_size as f64 / cfg.duration,
+        throughput,
         queue_averages,
         node_utility: 1.0, // the single path uses every node it selected
         path_utility: 1.0,
@@ -290,7 +357,8 @@ fn run_etx(
         generations_decoded: 0,
         packet_counts: (0, 0),
         verification_failures: 0,
-    }
+    };
+    (outcome, trace)
 }
 
 /// Runs an OMNC session with a caller-supplied broadcast-rate vector
@@ -315,7 +383,18 @@ where
         problem.node_count(),
         "rate vector must cover the instance"
     );
-    run_coded_inner(topology, src, dst, Protocol::Omnc, cfg, seed, Some(b), None)
+    let options = RunOptions::default();
+    run_coded_inner(
+        topology,
+        src,
+        dst,
+        Protocol::Omnc,
+        cfg,
+        seed,
+        Some(b),
+        &options,
+    )
+    .0
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -327,8 +406,8 @@ fn run_coded_inner(
     cfg: &SessionConfig,
     seed: u64,
     rates_override: Option<Vec<f64>>,
-    fault: Option<(NodeId, f64)>,
-) -> SessionOutcome {
+    options: &RunOptions,
+) -> (SessionOutcome, Option<SessionTrace>) {
     let selection = select_forwarders(topology, src, dst);
     let sub = sub_topology(topology, selection.nodes());
     let local = |v: NodeId| NodeId::new(sub.to_local[&v]);
@@ -429,10 +508,13 @@ fn run_coded_inner(
     }
 
     let mut sim: Simulator<Msg, Role> = Simulator::new(&sub.topo, mac, seed);
+    if let Some(capacity) = options.trace_capacity {
+        sim.enable_trace(capacity);
+    }
     for (orig, role) in roles {
         sim.set_behavior(local(orig), role);
     }
-    if let Some((victim, at)) = fault {
+    if let Some((victim, at)) = options.fault {
         if let Some(&l) = sub.to_local.get(&victim) {
             sim.schedule_kill(NodeId::new(l), at);
         }
@@ -523,7 +605,38 @@ fn run_coded_inner(
         0.0
     };
 
-    SessionOutcome {
+    let (innovative, redundant) = ledger.packet_counts();
+    let generations_decoded = ledger.generations_decoded();
+    let trace = options.trace_capacity.map(|_| {
+        let absorptions: Vec<Absorbed> = match sim.behavior(local(dst)) {
+            Some(Role::OmncDst(d)) => d.state().absorptions.clone(),
+            Some(Role::MoreDst(d)) => d.state().absorptions.clone(),
+            _ => Vec::new(),
+        };
+        assemble_trace(
+            &sim,
+            &sub,
+            TraceRecord::SessionStart {
+                session: session_seed,
+                protocol,
+                src,
+                dst,
+                seed,
+                duration: cfg.duration,
+            },
+            absorptions,
+            TraceRecord::SessionEnd {
+                session: session_seed,
+                throughput,
+                generations_decoded,
+                innovative,
+                redundant,
+                final_rank: generations_decoded * cfg.generation_blocks as u64
+                    + partial_rank as u64,
+            },
+        )
+    });
+    let outcome = SessionOutcome {
         protocol,
         throughput,
         queue_averages,
@@ -531,10 +644,110 @@ fn run_coded_inner(
         path_utility,
         rc_iterations,
         predicted_throughput: predicted,
-        generations_decoded: ledger.generations_decoded(),
-        packet_counts: ledger.packet_counts(),
+        generations_decoded,
+        packet_counts: (innovative, redundant),
         verification_failures,
+    };
+    (outcome, trace)
+}
+
+/// Builds the session's [`SessionTrace`] from the simulator's MAC trace and
+/// the destination's absorption log, remapping every node id (including tag
+/// origins) from sub-topology coordinates back to the original topology and
+/// merging the two time-ordered streams.
+fn assemble_trace(
+    sim: &Simulator<Msg, Role>,
+    sub: &SubTopology,
+    start: TraceRecord,
+    absorptions: Vec<Absorbed>,
+    end: TraceRecord,
+) -> SessionTrace {
+    let mac: Vec<TraceRecord> = sim
+        .trace()
+        .events()
+        .iter()
+        .map(|e| TraceRecord::Mac(remap_event(e, &sub.to_orig)))
+        .collect();
+    let dec: Vec<TraceRecord> = absorptions
+        .into_iter()
+        .map(|a| {
+            TraceRecord::Absorbed(Absorbed {
+                node: sub.to_orig[a.node.index()],
+                from: sub.to_orig[a.from.index()],
+                tag: remap_tag(a.tag, &sub.to_orig),
+                ..a
+            })
+        })
+        .collect();
+    // Both streams are time-ordered; merge them, MAC first on ties (the
+    // absorption of a delivery happens causally after the MAC event).
+    let mut records = Vec::with_capacity(mac.len() + dec.len() + 2);
+    records.push(start);
+    let (mut i, mut j) = (0, 0);
+    while i < mac.len() && j < dec.len() {
+        let tm = mac[i].at().unwrap_or(0.0);
+        let td = dec[j].at().unwrap_or(0.0);
+        if tm <= td {
+            records.push(mac[i].clone());
+            i += 1;
+        } else {
+            records.push(dec[j].clone());
+            j += 1;
+        }
     }
+    records.extend_from_slice(&mac[i..]);
+    records.extend_from_slice(&dec[j..]);
+    records.push(end);
+    SessionTrace {
+        records,
+        dropped_mac_events: sim.trace().dropped(),
+    }
+}
+
+/// Remaps a MAC event's node ids from sub-topology to original coordinates.
+fn remap_event(e: &TraceEvent, to_orig: &[NodeId]) -> TraceEvent {
+    let m = |v: NodeId| to_orig[v.index()];
+    match *e {
+        TraceEvent::TxStart {
+            at,
+            node,
+            wire_len,
+            rate,
+            tag,
+        } => TraceEvent::TxStart {
+            at,
+            node: m(node),
+            wire_len,
+            rate,
+            tag: remap_tag(tag, to_orig),
+        },
+        TraceEvent::TxComplete { at, node } => TraceEvent::TxComplete { at, node: m(node) },
+        TraceEvent::Delivered { at, from, to, tag } => TraceEvent::Delivered {
+            at,
+            from: m(from),
+            to: m(to),
+            tag: remap_tag(tag, to_orig),
+        },
+        TraceEvent::Lost { at, from, to, tag } => TraceEvent::Lost {
+            at,
+            from: m(from),
+            to: m(to),
+            tag: remap_tag(tag, to_orig),
+        },
+        TraceEvent::Queue { at, node, len } => TraceEvent::Queue {
+            at,
+            node: m(node),
+            len,
+        },
+    }
+}
+
+/// Remaps a tag's coding origin from sub-topology to original coordinates.
+fn remap_tag(tag: Option<PacketTag>, to_orig: &[NodeId]) -> Option<PacketTag> {
+    tag.map(|t| PacketTag {
+        origin: to_orig[t.origin.index()],
+        ..t
+    })
 }
 
 /// Translates an innovative-reception map keyed by sub-topology ids back to
@@ -630,6 +843,70 @@ mod tests {
         assert_eq!(back.throughput, out.throughput);
         assert_eq!(back.rc_iterations, out.rc_iterations);
         assert_eq!(back.packet_counts, out.packet_counts);
+    }
+
+    #[test]
+    fn traced_runs_tell_a_consistent_causal_story() {
+        let (topo, s, d) = small_world();
+        let cfg = SessionConfig::tiny();
+        let options = RunOptions {
+            fault: None,
+            trace_capacity: Some(500_000),
+        };
+        let (out, trace) = run_session_traced(&topo, s, d, Protocol::Omnc, &cfg, 3, &options);
+        let trace = trace.expect("tracing was enabled");
+        assert_eq!(trace.dropped_mac_events, 0, "capacity too small");
+        // Stream shape: SessionStart, time-ordered events, SessionEnd.
+        assert!(matches!(
+            trace.records.first(),
+            Some(TraceRecord::SessionStart { src, dst, .. }) if *src == s && *dst == d
+        ));
+        assert!(matches!(
+            trace.records.last(),
+            Some(TraceRecord::SessionEnd { .. })
+        ));
+        let times: Vec<f64> = trace.records.iter().filter_map(|r| r.at()).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "events must be time-ordered"
+        );
+        // Decoder-side accounting joins up with the summary counters.
+        let innovative = trace.absorptions().filter(|a| a.innovative).count() as u64;
+        assert_eq!(innovative, out.packet_counts.0);
+        let final_rank = match trace.records.last() {
+            Some(TraceRecord::SessionEnd { final_rank, .. }) => *final_rank,
+            _ => unreachable!(),
+        };
+        assert_eq!(innovative, final_rank);
+        // Every absorption is tagged and every tag carries the session id.
+        let session = match trace.records.first() {
+            Some(TraceRecord::SessionStart { session, .. }) => *session,
+            _ => unreachable!(),
+        };
+        assert!(trace.absorptions().count() > 0);
+        assert!(trace
+            .absorptions()
+            .all(|a| a.tag.is_some_and(|t| t.session == session)));
+        // Node ids are in original-topology coordinates.
+        assert!(trace.absorptions().all(|a| a.node == d));
+        // The untraced path returns the identical outcome.
+        let plain = run_session(&topo, s, d, Protocol::Omnc, &cfg, 3);
+        assert_eq!(plain.throughput, out.throughput);
+    }
+
+    #[test]
+    fn etx_traces_tag_blocks_with_the_session_source() {
+        let (topo, s, d) = small_world();
+        let cfg = SessionConfig::tiny();
+        let options = RunOptions {
+            fault: None,
+            trace_capacity: Some(500_000),
+        };
+        let (_, trace) = run_session_traced(&topo, s, d, Protocol::EtxRouting, &cfg, 3, &options);
+        let trace = trace.expect("tracing was enabled");
+        let tags: Vec<_> = trace.mac_events().filter_map(|e| e.tag()).collect();
+        assert!(!tags.is_empty(), "ETX transmissions must carry tags");
+        assert!(tags.iter().all(|t| t.origin == s));
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl DecoderMetrics {
 }
 
 /// Outcome of feeding one packet to a [`Decoder`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Absorption {
     /// The packet increased the decoder's rank (the new rank is carried).
     Innovative {
@@ -75,6 +75,16 @@ impl Absorption {
     /// `true` if the packet was innovative.
     pub fn is_innovative(self) -> bool {
         matches!(self, Absorption::Innovative { .. })
+    }
+
+    /// The decoder rank after this absorption, given the rank it would
+    /// report now (`current_rank`): innovative absorptions carry their
+    /// post-absorption rank; redundant ones leave it unchanged.
+    pub fn rank_after(self, current_rank: usize) -> usize {
+        match self {
+            Absorption::Innovative { rank } => rank,
+            Absorption::Redundant => current_rank,
+        }
     }
 }
 

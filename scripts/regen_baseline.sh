@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_baseline.json, the committed reference for the CI
+# report-gate job. Run after an *intentional* performance change and commit
+# the result. The scenario, seed, and flags must stay in lockstep with the
+# "report-gate" job in .github/workflows/ci.yml.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release -p omnc -p omnc-report
+./target/release/omnc-sim --nodes 30 --sessions 2 --duration 30 \
+  --protocols all --seed 2008 --trace /tmp/omnc_baseline_trace.jsonl \
+  --format json
+./target/release/omnc-report analyze --trace /tmp/omnc_baseline_trace.jsonl \
+  --json BENCH_baseline.json --quiet
+echo "wrote BENCH_baseline.json"

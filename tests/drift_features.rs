@@ -20,6 +20,7 @@ impl Behavior<Ping> for Talker {
                 msg: Ping,
                 wire_len: 50,
                 dest: Dest::Broadcast,
+                tag: None,
             });
         }
     }
@@ -46,7 +47,7 @@ fn trace_accounts_for_every_transmission_and_outcome() {
             TraceEvent::TxComplete { .. } => tx += 1,
             TraceEvent::Delivered { .. } => delivered += 1,
             TraceEvent::Lost { .. } => lost += 1,
-            TraceEvent::TxStart { .. } => {}
+            TraceEvent::TxStart { .. } | TraceEvent::Queue { .. } => {}
         }
     }
     assert_eq!(tx, 200);
