@@ -394,7 +394,9 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
             if next_time > end {
                 break;
             }
-            let (time, event) = self.core.calendar.pop().expect("peeked");
+            let Some((time, event)) = self.core.calendar.pop() else {
+                break; // unreachable: peek_time() just returned Some
+            };
             self.core.now = time;
             match event {
                 Event::Start(node) => {
@@ -475,9 +477,9 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
         if rate <= 0.0 {
             return;
         }
-        let packet = self.core.queues[node.index()]
-            .pop_front()
-            .expect("non-empty");
+        let Some(packet) = self.core.queues[node.index()].pop_front() else {
+            return; // try_start_tx only runs with a non-empty queue
+        };
         self.core.observe_queue(node);
         let duration = packet.wire_len as f64 / rate;
         self.core.telemetry.tx_started.inc();

@@ -169,7 +169,8 @@ pub fn disjoint_path_count(dag: &Topology, src: NodeId, dst: NodeId) -> usize {
     let n = dag.len();
     let idx_in = |v: NodeId| 2 * v.index();
     let idx_out = |v: NodeId| 2 * v.index() + 1;
-    let mut cap: std::collections::HashMap<(usize, usize), i32> = std::collections::HashMap::new();
+    let mut cap: std::collections::BTreeMap<(usize, usize), i32> =
+        std::collections::BTreeMap::new();
     for v in dag.nodes() {
         let c = if v == src || v == dst {
             i32::MAX / 4

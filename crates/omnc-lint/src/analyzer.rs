@@ -1,0 +1,672 @@
+//! The per-file analysis passes and the workspace walker.
+//!
+//! Everything here operates on the cleaned line view produced by
+//! [`crate::lexer::clean`]: comments and literal contents are already
+//! blanked, so plain substring/token matching is safe. Lines inside
+//! `#[cfg(test)]` regions are exempt from every code rule — the policies
+//! target shipping simulation code, not its tests.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::findings::{Finding, Report};
+use crate::lexer::{clean, CleanFile};
+use crate::rules::{Rule, RuleTable};
+
+/// Analyzes one source file (given workspace-relative `rel_path`) against
+/// `table`. This is the whole per-file pipeline and is public so tests can
+/// lint fixture text under fake paths.
+pub fn analyze_source(rel_path: &str, source: &str, table: &RuleTable) -> Vec<Finding> {
+    let file = clean(source);
+    let in_test = test_line_mask(&file);
+    let hash_bindings = collect_hash_bindings(&file, &in_test);
+    let mut findings = Vec::new();
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let mut emit = |rule: Rule, message: String| {
+            let cfg = table.config(rule);
+            if cfg.applies_to(rel_path) && !file.is_allowed(idx, rule.name()) {
+                findings.push(Finding::new(
+                    rel_path,
+                    line.number,
+                    rule,
+                    cfg.severity,
+                    message,
+                    &line.raw,
+                ));
+            }
+        };
+        check_patterns(&line.code, &mut emit);
+        check_hash_iteration(&line.code, &hash_bindings, &mut emit);
+        check_indexing(&line.code, &mut emit);
+        check_float_eq(&line.code, &mut emit);
+        check_unsafe(&file, idx, &mut emit);
+    }
+    findings
+}
+
+/// Substring rules: each hit of a pattern outside tests is one finding.
+fn check_patterns(code: &str, emit: &mut impl FnMut(Rule, String)) {
+    const PATTERNS: [(Rule, &str, &str); 12] = [
+        (Rule::WallClock, "Instant::now", "wall-clock read"),
+        (Rule::WallClock, "SystemTime", "wall-clock read"),
+        (Rule::NondetRng, "thread_rng", "entropy-seeded RNG"),
+        (Rule::NondetRng, "rand::random", "entropy-seeded RNG"),
+        (Rule::NondetRng, "from_entropy", "entropy-seeded RNG"),
+        (Rule::NondetRng, "OsRng", "entropy-seeded RNG"),
+        (Rule::EnvDep, "env::var", "environment read"),
+        (Rule::EnvDep, "env::args", "environment read"),
+        (Rule::EnvDep, "env::vars", "environment read"),
+        (Rule::Unwrap, ".unwrap()", "unchecked unwrap in hot path"),
+        (Rule::Panic, ".expect(", "potential panic in hot path"),
+        (Rule::Panic, "panic!", "explicit panic in hot path"),
+    ];
+    const PANIC_MACROS: [&str; 3] = ["unreachable!", "todo!", "unimplemented!"];
+    for (rule, pat, what) in PATTERNS {
+        // Patterns that begin with an identifier char need a non-identifier
+        // char before the match so e.g. `MySystemTimer` does not trip
+        // `SystemTime`; method patterns like `.unwrap()` start at a `.` and
+        // legitimately follow an identifier.
+        let needs_boundary = pat.as_bytes().first().is_some_and(|&b| is_ident_byte(b));
+        for pos in find_all(code, pat) {
+            if needs_boundary && !ident_boundary_before(code, pos) {
+                continue;
+            }
+            emit(rule, format!("{what}: `{pat}` is banned here"));
+        }
+    }
+    for pat in PANIC_MACROS {
+        for pos in find_all(code, pat) {
+            if ident_boundary_before(code, pos) {
+                emit(Rule::Panic, format!("panicking macro `{pat}` in hot path"));
+            }
+        }
+    }
+}
+
+/// Pass 1 of hash-iteration detection: names bound to `HashMap`/`HashSet`
+/// via a type annotation (`name: HashMap<...>`, including field and
+/// parameter positions) or a constructor assignment (`name = HashMap::new`).
+fn collect_hash_bindings(file: &CleanFile, in_test: &[bool]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            for pos in find_all(&line.code, ty) {
+                if !ident_boundary_before(&line.code, pos) {
+                    continue;
+                }
+                let after = &line.code[pos + ty.len()..];
+                let name = if after.starts_with('<') {
+                    binding_before_annotation(&line.code, pos)
+                } else if after.starts_with("::") {
+                    binding_before_assignment(&line.code, pos)
+                } else {
+                    None
+                };
+                if let Some(name) = name {
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Pass 2: flag order-dependent consumption of collected bindings —
+/// iteration-yielding method calls and direct `for ... in name` loops.
+fn check_hash_iteration(code: &str, bindings: &[String], emit: &mut impl FnMut(Rule, String)) {
+    const ITER_METHODS: [&str; 8] = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+        ".retain(",
+    ];
+    for name in bindings {
+        for pos in find_all(code, name) {
+            if !ident_boundary_before(code, pos) || !ident_boundary_after(code, pos + name.len()) {
+                continue;
+            }
+            let after = &code[pos + name.len()..];
+            let via_method = ITER_METHODS.iter().find(|m| after.starts_with(*m));
+            let via_for = preceded_by_in_keyword(code, pos);
+            if let Some(m) = via_method {
+                emit(
+                    Rule::HashIter,
+                    format!("hash-order iteration: `{name}{m}..` (order is seeded per process)"),
+                );
+            } else if via_for && !after.starts_with('.') {
+                emit(
+                    Rule::HashIter,
+                    format!("hash-order iteration: `for .. in {name}`"),
+                );
+            }
+        }
+    }
+}
+
+/// Slice/array indexing heuristic: `[` directly after an identifier,
+/// `)` or `]`. Attributes (`#[...]`) and macro brackets (`vec![`) have
+/// non-identifier characters before the bracket and do not match.
+fn check_indexing(code: &str, emit: &mut impl FnMut(Rule, String)) {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']' {
+            emit(
+                Rule::Index,
+                "unchecked indexing in hot path (prefer `get`)".to_owned(),
+            );
+        }
+    }
+}
+
+/// `==`/`!=` where either operand token is a float literal.
+fn check_float_eq(code: &str, emit: &mut impl FnMut(Rule, String)) {
+    let bytes = code.as_bytes();
+    for op in ["==", "!="] {
+        for pos in find_all(code, op) {
+            // Skip `<=`, `>=`, `=>`-adjacent false matches.
+            if pos > 0 && matches!(bytes[pos - 1], b'<' | b'>' | b'=' | b'!') {
+                continue;
+            }
+            if bytes.get(pos + 2) == Some(&b'=') {
+                continue;
+            }
+            let lhs = token_before(code, pos);
+            let rhs = token_after(code, pos + 2);
+            if is_float_literal(&lhs) || is_float_literal(&rhs) {
+                emit(
+                    Rule::FloatEq,
+                    format!("exact float comparison `{lhs} {op} {rhs}` (use a tolerance)"),
+                );
+            }
+        }
+    }
+}
+
+/// `unsafe` keyword use: must be justified by a `SAFETY:` comment on the
+/// same line or within the three raw lines above.
+fn check_unsafe(file: &CleanFile, idx: usize, emit: &mut impl FnMut(Rule, String)) {
+    let code = &file.lines[idx].code;
+    for pos in find_all(code, "unsafe") {
+        if !ident_boundary_before(code, pos) || !ident_boundary_after(code, pos + 6) {
+            continue;
+        }
+        let documented = (idx.saturating_sub(3)..=idx)
+            .any(|j| file.lines.get(j).is_some_and(|l| l.raw.contains("SAFETY")));
+        if !documented {
+            emit(
+                Rule::UnsafeAudit,
+                "`unsafe` without a SAFETY comment".to_owned(),
+            );
+        }
+    }
+}
+
+/// Crate-root audit: a crate root file must carry `#![forbid(unsafe_code)]`
+/// (or a SAFETY-commented `#![allow(unsafe_code)]`). Returns a file-level
+/// finding otherwise.
+pub fn audit_crate_root(rel_path: &str, source: &str, table: &RuleTable) -> Option<Finding> {
+    let cfg = table.config(Rule::UnsafeAudit);
+    if !cfg.applies_to(rel_path) {
+        return None;
+    }
+    if source.contains("#![forbid(unsafe_code)]") {
+        return None;
+    }
+    if source.contains("#![allow(unsafe_code)]") && source.contains("SAFETY") {
+        return None;
+    }
+    Some(Finding::new(
+        rel_path,
+        0,
+        Rule::UnsafeAudit,
+        cfg.severity,
+        "crate root lacks `#![forbid(unsafe_code)]`".to_owned(),
+        "",
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum TestScan {
+    Normal,
+    /// Saw `#[cfg(test)]`, waiting for the opening brace of the item.
+    Seeking,
+    /// Inside the braced test item at the given depth.
+    Inside(u32),
+}
+
+/// Marks lines belonging to `#[cfg(test)]` items (modules or functions).
+fn test_line_mask(file: &CleanFile) -> Vec<bool> {
+    let mut mask = vec![false; file.lines.len()];
+    let mut state = TestScan::Normal;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let mut start = 0usize;
+        if state == TestScan::Normal {
+            if let Some(p) = code
+                .find("#[cfg(test)]")
+                .or_else(|| code.find("#[cfg(all(test"))
+            {
+                state = TestScan::Seeking;
+                start = p;
+            }
+        }
+        if state == TestScan::Normal {
+            continue;
+        }
+        mask[idx] = true;
+        for c in code[start..].chars() {
+            match (state, c) {
+                (TestScan::Seeking, '{') => state = TestScan::Inside(1),
+                (TestScan::Seeking, ';') => {
+                    // `#[cfg(test)] use ...;` — no braced region follows.
+                    state = TestScan::Normal;
+                    break;
+                }
+                (TestScan::Inside(d), '{') => state = TestScan::Inside(d + 1),
+                (TestScan::Inside(1), '}') => {
+                    state = TestScan::Normal;
+                    break;
+                }
+                (TestScan::Inside(d), '}') => state = TestScan::Inside(d - 1),
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// All byte offsets where `pat` occurs in `code`.
+fn find_all(code: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(pat) {
+        out.push(from + p);
+        from += p + pat.len().max(1);
+    }
+    out
+}
+
+/// `true` if position `pos` is not preceded by an identifier character.
+fn ident_boundary_before(code: &str, pos: usize) -> bool {
+    pos == 0 || !is_ident_byte(code.as_bytes()[pos - 1])
+}
+
+/// `true` if position `pos` is not followed by an identifier character.
+fn ident_boundary_after(code: &str, pos: usize) -> bool {
+    code.as_bytes().get(pos).is_none_or(|&b| !is_ident_byte(b))
+}
+
+/// For `name: [&mut] [path::]HashMap<..>` at `ty_start`, recovers `name`.
+fn binding_before_annotation(code: &str, ty_start: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut j = ty_start;
+    // Strip any path prefix (`std::collections::`) attached to the type.
+    loop {
+        let mut k = j;
+        while k > 0 && is_ident_byte(bytes[k - 1]) {
+            k -= 1;
+        }
+        if k >= 2 && &code[k - 2..k] == "::" {
+            j = k - 2;
+        } else {
+            j = k;
+            break;
+        }
+    }
+    // Strip reference/mutability tokens and whitespace.
+    loop {
+        while j > 0 && (bytes[j - 1] as char).is_whitespace() {
+            j -= 1;
+        }
+        if j > 0 && bytes[j - 1] == b'&' {
+            j -= 1;
+        } else if j >= 3 && &code[j - 3..j] == "mut" && (j == 3 || !is_ident_byte(bytes[j - 4])) {
+            j -= 3;
+        } else {
+            break;
+        }
+    }
+    // Expect the single colon of a type annotation.
+    if j == 0 || bytes[j - 1] != b':' || (j >= 2 && bytes[j - 2] == b':') {
+        return None;
+    }
+    j -= 1;
+    while j > 0 && (bytes[j - 1] as char).is_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && is_ident_byte(bytes[j - 1]) {
+        j -= 1;
+    }
+    (j < end).then(|| code[j..end].to_owned())
+}
+
+/// For `let [mut] name = HashMap::new()` at `ty_start`, recovers `name`.
+fn binding_before_assignment(code: &str, ty_start: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut j = ty_start;
+    while j > 0 && (bytes[j - 1] as char).is_whitespace() {
+        j -= 1;
+    }
+    if j == 0 || bytes[j - 1] != b'=' {
+        return None;
+    }
+    j -= 1;
+    if j > 0 && matches!(bytes[j - 1], b'=' | b'!' | b'<' | b'>' | b'+') {
+        return None;
+    }
+    while j > 0 && (bytes[j - 1] as char).is_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && is_ident_byte(bytes[j - 1]) {
+        j -= 1;
+    }
+    (j < end).then(|| code[j..end].to_owned())
+}
+
+/// `true` if the identifier at `pos` is the iterated expression of a
+/// `for .. in [&mut] name` loop.
+fn preceded_by_in_keyword(code: &str, pos: usize) -> bool {
+    let bytes = code.as_bytes();
+    let mut j = pos;
+    while j > 0 && (bytes[j - 1] as char).is_whitespace() {
+        j -= 1;
+    }
+    if j > 0 && bytes[j - 1] == b'&' {
+        j -= 1;
+        if j >= 3 && &code[j - 3..j] == "mut" {
+            j -= 3;
+        }
+        while j > 0 && (bytes[j - 1] as char).is_whitespace() {
+            j -= 1;
+        }
+    }
+    j >= 2 && &code[j - 2..j] == "in" && (j == 2 || !is_ident_byte(bytes[j - 3]))
+}
+
+/// The expression token ending at `pos` (identifier/number chars and dots).
+fn token_before(code: &str, pos: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut j = pos;
+    while j > 0 && (bytes[j - 1] as char).is_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && (is_ident_byte(bytes[j - 1]) || bytes[j - 1] == b'.') {
+        j -= 1;
+    }
+    code[j..end].to_owned()
+}
+
+/// The expression token starting at `pos`, including exponent signs.
+fn token_after(code: &str, pos: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut j = pos;
+    while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'-') {
+        j += 1;
+    }
+    let start = j;
+    while j < bytes.len() && (is_ident_byte(bytes[j]) || bytes[j] == b'.') {
+        if (bytes[j] == b'e' || bytes[j] == b'E')
+            && matches!(bytes.get(j + 1), Some(b'-') | Some(b'+'))
+        {
+            j += 2;
+            continue;
+        }
+        j += 1;
+    }
+    code[start..j].to_owned()
+}
+
+/// `true` for numeric float literal tokens: `0.5`, `1.`, `1e-9`, `2.5e3`.
+fn is_float_literal(token: &str) -> bool {
+    let t = token.trim_end_matches("f64").trim_end_matches("f32");
+    let mut chars = t.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() && first != '.' {
+        return false;
+    }
+    let has_digit = t.chars().any(|c| c.is_ascii_digit());
+    let has_marker = t.contains('.') || t.contains('e') || t.contains('E');
+    has_digit
+        && has_marker
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '_' | '-' | '+'))
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------------
+
+/// Finds the workspace root by walking up from `start` until a `Cargo.toml`
+/// declaring `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Lints every first-party source file under `<root>/crates` against
+/// `table`. Files under `tests/`, `benches/`, `examples/`, `fixtures/`, and
+/// `target/` directories are skipped — the rules govern shipping code.
+///
+/// # Errors
+///
+/// Returns an I/O error if the tree cannot be read.
+pub fn check_workspace(root: &Path, table: &RuleTable) -> io::Result<Report> {
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    collect_rust_files(&crates, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(path)?;
+        report.findings.extend(analyze_source(&rel, &source, table));
+        if rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") {
+            report
+                .findings
+                .extend(audit_crate_root(&rel, &source, table));
+        }
+        report.files_checked += 1;
+    }
+    report.finish();
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files, skipping non-shipping directories.
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    const SKIP_DIRS: [&str; 5] = ["tests", "benches", "examples", "fixtures", "target"];
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect_rust_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    const SIM_PATH: &str = "crates/drift/src/sim.rs";
+    const HOT_PATH: &str = "crates/rlnc/src/kernel.rs";
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        analyze_source(path, src, &RuleTable::default())
+    }
+
+    #[test]
+    fn wall_clock_flagged_in_sim_not_in_telemetry() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(lint(SIM_PATH, src).len(), 1);
+        assert!(lint("crates/omnc-telemetry/src/timer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let src = "fn f() { let t = Instant::now(); } // lint: allow(wall-clock)\n";
+        assert!(lint(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); let t = Instant::now(); }\n}\n";
+        assert!(lint(HOT_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_found_via_annotation_and_constructor() {
+        let src = "struct S { pub seen: HashMap<u32, u64> }\nfn f(s: &S) { for (k, v) in s.seen.iter() { use_it(k, v); } }\n";
+        let fs = lint(SIM_PATH, src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "hash-iter");
+
+        let src2 =
+            "fn f() { let mut m = HashMap::new(); m.insert(1, 2); for k in m.keys() { g(k); } }\n";
+        assert_eq!(lint(SIM_PATH, src2).len(), 1);
+    }
+
+    #[test]
+    fn hash_lookup_without_iteration_is_clean() {
+        let src = "struct S { pub seen: HashMap<u32, u64> }\nfn f(s: &S) { let v = s.seen.get(&1); use_it(v); }\n";
+        assert!(lint(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hash_binding_is_flagged() {
+        let src = "fn f(roles: HashMap<u32, u64>) { for (k, v) in roles { g(k, v); } }\n";
+        let fs = lint(SIM_PATH, src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+    }
+
+    #[test]
+    fn btree_map_is_clean() {
+        let src = "fn f(roles: BTreeMap<u32, u64>) { for (k, v) in roles { g(k, v); } }\n";
+        assert!(lint(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_deny_and_expect_warn_in_hot_path() {
+        let src = "fn f(x: Option<u32>) { let a = x.unwrap(); let b = x.expect(\"b\"); }\n";
+        let fs = lint(HOT_PATH, src);
+        assert_eq!(fs.len(), 2);
+        let unwrap = fs.iter().find(|f| f.rule == "unwrap").unwrap();
+        assert_eq!(unwrap.severity, Severity::Deny);
+        let expect = fs.iter().find(|f| f.rule == "panic").unwrap();
+        assert_eq!(expect.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn indexing_warned_in_hot_path_only() {
+        let src = "fn f(v: &[u8]) -> u8 { v[0] }\n";
+        let fs = lint(HOT_PATH, src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].severity, Severity::Warn);
+        assert!(lint("crates/omnc/src/runner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged_in_opt_crates() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        let fs = lint("crates/omnc-opt/src/flow.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "float-eq");
+        // Integer comparison and tuple-field access are fine.
+        assert!(lint(
+            "crates/omnc-opt/src/flow.rs",
+            "fn g(i: u32, t: (f64, f64)) -> bool { i == 0 && t.0 != t.1 }\n"
+        )
+        .is_empty());
+        // Out of scope elsewhere.
+        assert!(lint(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let fs = lint("crates/omnc-report/src/lib.rs", bad);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "unsafe-audit");
+        let good =
+            "// SAFETY: p is valid by contract.\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert!(lint("crates/omnc-report/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn crate_root_audit() {
+        let t = RuleTable::default();
+        assert!(audit_crate_root("crates/x/src/lib.rs", "#![forbid(unsafe_code)]\n", &t).is_none());
+        let f = audit_crate_root("crates/x/src/lib.rs", "pub mod a;\n", &t).unwrap();
+        assert_eq!(f.rule, "unsafe-audit");
+        assert_eq!(f.line, 0);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        let src = "fn f() { log(\"Instant::now\"); } // Instant::now in comments is fine\n";
+        assert!(lint(SIM_PATH, src).is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Workspace static analysis for the OMNC reproduction.
+//!
+//! The repro's headline claim is that a seeded run is *bit-reproducible*:
+//! the perf-regression gate and the paper-figure comparisons are meaningless
+//! if wall clocks, entropy-seeded RNGs or hash-order iteration leak into the
+//! simulation core. This crate enforces that policy — plus panic-freedom on
+//! hot paths, an unsafe-code audit and float-comparison hygiene — with a
+//! hand-rolled lexer/line analyzer (the vendored dependency tree has no
+//! `syn`), and statically validates scenario inputs against the paper's
+//! model invariants before any simulation runs.
+//!
+//! Four code-rule families (see [`rules`]):
+//!
+//! * **(D) determinism** — no `Instant::now`/`SystemTime`, no entropy-seeded
+//!   RNGs, no environment reads, no `HashMap`/`HashSet` iteration in the sim
+//!   crates;
+//! * **(P) panic-freedom** — no `.unwrap()` (deny) and flagged
+//!   `.expect(`/`panic!`/indexing (warn) in designated hot-path modules;
+//! * **(U) unsafe audit** — every crate root carries
+//!   `#![forbid(unsafe_code)]` or SAFETY-documents each allow;
+//! * **(F) float hygiene** — no `==`/`!=` against float literals in the
+//!   optimizer/LP crates.
+//!
+//! The semantic half, [`scenario`], checks scenario/topology inputs:
+//! reception probabilities in `[0, 1]`, connectivity, interference-clique
+//! well-formedness, feasibility of the broadcast capacity condition (paper
+//! eq. (4)) and the LP solution's flow-conservation residuals (eq. (2)).
+//!
+//! Findings are emitted as human-readable text and as JSONL via the
+//! `omnc-telemetry` sink conventions; `deny`-level findings fail the run.
+
+#![forbid(unsafe_code)]
+
+pub mod analyzer;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod scenario;
+
+pub use analyzer::{analyze_source, check_workspace, find_workspace_root};
+pub use findings::{Finding, Report};
+pub use rules::{Rule, RuleTable, Severity};
+pub use scenario::{check_scenario_file, check_scenario_str, ScenarioSpec};

@@ -1,0 +1,202 @@
+//! `omnc-lint` — workspace static analysis and scenario validation CLI.
+//!
+//! ```text
+//! omnc-lint check [--root DIR] [--json PATH|-] [--quiet]
+//! omnc-lint check-scenario FILE... [--json PATH|-] [--quiet]
+//! omnc-lint rules
+//! ```
+//!
+//! Exit codes: 0 = clean (warnings allowed), 1 = deny-level findings,
+//! 2 = usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use omnc_lint::{check_scenario_file, check_workspace, find_workspace_root, Report, RuleTable};
+use telemetry::EventSink;
+
+/// Parsed command line.
+struct Options {
+    /// `check`, `check-scenario` or `rules`.
+    command: String,
+    /// Positional arguments after the command (scenario files).
+    positional: Vec<PathBuf>,
+    /// `--root DIR` override for `check`.
+    root: Option<PathBuf>,
+    /// `--json PATH` (`-` = stdout) JSONL output.
+    json: Option<String>,
+    /// `--quiet` suppresses the human-readable report.
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: omnc-lint <command> [options]
+
+commands:
+  check            lint every crate under <root>/crates
+  check-scenario   validate scenario file(s) against the model invariants
+  rules            list the configured rules and their severities
+
+options:
+  --root DIR     workspace root for `check` (default: nearest ancestor
+                 with a [workspace] Cargo.toml)
+  --json PATH    also write findings as JSONL to PATH (`-` for stdout)
+  --quiet        suppress the human-readable report
+";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut it = args.iter();
+    let command = it.next().cloned().ok_or("missing command")?;
+    let mut opts = Options {
+        command,
+        positional: Vec::new(),
+        root: None,
+        json: None,
+        quiet: false,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a value")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a value")?;
+                opts.json = Some(v.clone());
+            }
+            "--quiet" | "-q" => opts.quiet = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => opts.positional.push(PathBuf::from(other)),
+        }
+    }
+    Ok(opts)
+}
+
+/// Writes the report as JSONL to a file or stdout via the telemetry sink.
+fn write_json(report: &Report, target: &str) -> std::io::Result<()> {
+    let sink = if target == "-" {
+        EventSink::in_memory()
+    } else {
+        EventSink::to_file(target)?
+    };
+    report.write_jsonl(&sink)?;
+    if target == "-" {
+        for line in sink.lines() {
+            println!("{line}");
+        }
+    }
+    Ok(())
+}
+
+/// Renders, optionally exports, and converts a report into an exit code.
+fn finish(report: &Report, opts: &Options) -> ExitCode {
+    if let Some(target) = &opts.json {
+        if let Err(e) = write_json(report, target) {
+            eprintln!("omnc-lint: writing JSONL to {target}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if !opts.quiet {
+        print!("{}", report.render());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn run_check(opts: &Options) -> ExitCode {
+    let root = match &opts.root {
+        Some(dir) => dir.clone(),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("omnc-lint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(dir) => dir,
+                None => {
+                    eprintln!(
+                        "omnc-lint: no [workspace] Cargo.toml above {} (use --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let table = RuleTable::default();
+    match check_workspace(&root, &table) {
+        Ok(report) => finish(&report, opts),
+        Err(e) => {
+            eprintln!("omnc-lint: checking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check_scenario(opts: &Options) -> ExitCode {
+    if opts.positional.is_empty() {
+        eprintln!("omnc-lint: check-scenario needs at least one scenario file");
+        return ExitCode::from(2);
+    }
+    let mut merged = Report::default();
+    for path in &opts.positional {
+        match check_scenario_file(path) {
+            Ok(report) => {
+                merged.files_checked += report.files_checked;
+                merged.findings.extend(report.findings);
+            }
+            Err(e) => {
+                eprintln!("omnc-lint: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    merged.finish();
+    finish(&merged, opts)
+}
+
+fn run_rules() -> ExitCode {
+    let table = RuleTable::default();
+    for (rule, config) in table.iter() {
+        let state = if config.enabled {
+            config.severity.to_string()
+        } else {
+            "off".to_owned()
+        };
+        println!("{:<14} {:<5} {}", rule.name(), state, rule.describe());
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("omnc-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match opts.command.as_str() {
+        "check" => run_check(&opts),
+        "check-scenario" => run_check_scenario(&opts),
+        "rules" => run_rules(),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("omnc-lint: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

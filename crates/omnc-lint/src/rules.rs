@@ -1,0 +1,262 @@
+//! The configurable rule table: what is checked where, and how loudly.
+//!
+//! Four rule families (ISSUE 3):
+//!
+//! * **(D) determinism** — the simulation core must be bit-reproducible
+//!   under a fixed seed, so wall clocks, entropy-seeded RNGs,
+//!   environment reads, and hash-order iteration are banned from the sim
+//!   crates;
+//! * **(P) panic-freedom** — designated hot-path modules must not
+//!   `.unwrap()`, and `.expect(`/`panic!`/indexing are flagged for review;
+//! * **(U) unsafe audit** — every workspace crate keeps
+//!   `#![forbid(unsafe_code)]` or documents each allow with a `// SAFETY:`
+//!   comment;
+//! * **(F) float hygiene** — `==`/`!=` against float literals in the
+//!   optimizer/LP crates.
+//!
+//! Every rule can be suppressed locally with `// lint: allow(<rule>)` (same
+//! line or the line above) or per file with `// lint: allow-file(<rule>)`.
+
+use serde::Serialize;
+
+/// How a finding affects the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// Reported, does not fail the run.
+    Warn,
+    /// Fails the run (nonzero exit).
+    Deny,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "warn"),
+            Severity::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// Stable rule identifiers (also the names accepted by `lint: allow(...)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Rule {
+    /// D: `Instant::now` / `SystemTime` wall-clock reads.
+    WallClock,
+    /// D: entropy-seeded randomness (`thread_rng`, `rand::random`, ...).
+    NondetRng,
+    /// D: process-environment reads (`env::var`, `env::args`, ...).
+    EnvDep,
+    /// D: iteration over `HashMap`/`HashSet` (order is seeded per process).
+    HashIter,
+    /// P: `.unwrap()` in hot-path modules.
+    Unwrap,
+    /// P: `.expect(` / `panic!` / `unreachable!` in hot-path modules.
+    Panic,
+    /// P: slice/array indexing in hot-path modules.
+    Index,
+    /// U: missing `#![forbid(unsafe_code)]` or undocumented unsafe.
+    UnsafeAudit,
+    /// F: `==` / `!=` against a float literal.
+    FloatEq,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 9] = [
+        Rule::WallClock,
+        Rule::NondetRng,
+        Rule::EnvDep,
+        Rule::HashIter,
+        Rule::Unwrap,
+        Rule::Panic,
+        Rule::Index,
+        Rule::UnsafeAudit,
+        Rule::FloatEq,
+    ];
+
+    /// The name used in reports and `lint: allow(...)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::NondetRng => "nondet-rng",
+            Rule::EnvDep => "env-dep",
+            Rule::HashIter => "hash-iter",
+            Rule::Unwrap => "unwrap",
+            Rule::Panic => "panic",
+            Rule::Index => "index",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::FloatEq => "float-eq",
+        }
+    }
+
+    /// One-line description for `omnc-lint rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock reads (Instant::now / SystemTime) in sim crates",
+            Rule::NondetRng => {
+                "entropy-seeded randomness (thread_rng / rand::random) in sim crates"
+            }
+            Rule::EnvDep => "process-environment reads (env::var / env::args) in sim crates",
+            Rule::HashIter => "iteration over HashMap/HashSet bindings in sim crates",
+            Rule::Unwrap => ".unwrap() in designated hot-path modules",
+            Rule::Panic => ".expect( / panic! / unreachable! in designated hot-path modules",
+            Rule::Index => "slice/array indexing in designated hot-path modules",
+            Rule::UnsafeAudit => "crates must forbid unsafe_code or SAFETY-document each allow",
+            Rule::FloatEq => "== / != against float literals in optimizer/LP crates",
+        }
+    }
+}
+
+/// One rule's scope and severity.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    /// Whether the rule runs at all.
+    pub enabled: bool,
+    /// Warn or deny.
+    pub severity: Severity,
+    /// Workspace-relative path prefixes the rule applies to. Empty means
+    /// "every linted file".
+    pub include: Vec<String>,
+    /// Path substrings that exempt a file (e.g. `/src/bin/` entry points).
+    pub exclude: Vec<String>,
+}
+
+impl RuleConfig {
+    /// `true` if the rule applies to `path` (workspace-relative, `/`-separated).
+    pub fn applies_to(&self, path: &str) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        if self.exclude.iter().any(|e| path.contains(e.as_str())) {
+            return false;
+        }
+        self.include.is_empty() || self.include.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// The full rule table.
+#[derive(Debug, Clone)]
+pub struct RuleTable {
+    configs: Vec<(Rule, RuleConfig)>,
+}
+
+/// Crates whose `src/` trees form the deterministic simulation core.
+pub const SIM_CRATES: [&str; 7] = [
+    "crates/drift/",
+    "crates/rlnc/",
+    "crates/omnc/",
+    "crates/omnc-opt/",
+    "crates/net-topo/",
+    "crates/gf256/",
+    "crates/simplex-lp/",
+];
+
+/// Modules held to the panic-freedom bar: the per-event simulator engine,
+/// the per-packet decoding kernels, and untrusted-input parsing.
+pub const HOT_PATH_MODULES: [&str; 6] = [
+    "crates/drift/src/sim.rs",
+    "crates/drift/src/event.rs",
+    "crates/rlnc/src/decoder.rs",
+    "crates/rlnc/src/kernel.rs",
+    "crates/gf256/src/",
+    "crates/omnc/src/wire.rs",
+];
+
+/// Crates held to float-comparison hygiene (LP/optimizer numerics).
+pub const FLOAT_CRATES: [&str; 2] = ["crates/omnc-opt/", "crates/simplex-lp/"];
+
+impl Default for RuleTable {
+    fn default() -> Self {
+        let sim: Vec<String> = SIM_CRATES.iter().map(|s| (*s).to_owned()).collect();
+        let hot: Vec<String> = HOT_PATH_MODULES.iter().map(|s| (*s).to_owned()).collect();
+        let float: Vec<String> = FLOAT_CRATES.iter().map(|s| (*s).to_owned()).collect();
+        let cfg = |severity, include: &Vec<String>, exclude: Vec<&str>| RuleConfig {
+            enabled: true,
+            severity,
+            include: include.clone(),
+            exclude: exclude.into_iter().map(str::to_owned).collect(),
+        };
+        RuleTable {
+            configs: vec![
+                (Rule::WallClock, cfg(Severity::Deny, &sim, vec![])),
+                (Rule::NondetRng, cfg(Severity::Deny, &sim, vec![])),
+                // Binaries legitimately parse argv; the library core must not.
+                (Rule::EnvDep, cfg(Severity::Deny, &sim, vec!["/src/bin/"])),
+                (Rule::HashIter, cfg(Severity::Deny, &sim, vec![])),
+                (Rule::Unwrap, cfg(Severity::Deny, &hot, vec![])),
+                (Rule::Panic, cfg(Severity::Warn, &hot, vec![])),
+                (Rule::Index, cfg(Severity::Warn, &hot, vec![])),
+                (Rule::UnsafeAudit, cfg(Severity::Deny, &Vec::new(), vec![])),
+                (Rule::FloatEq, cfg(Severity::Deny, &float, vec![])),
+            ],
+        }
+    }
+}
+
+impl RuleTable {
+    /// The configuration for `rule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rule` is missing from the table (impossible for tables
+    /// built by [`RuleTable::default`]).
+    pub fn config(&self, rule: Rule) -> &RuleConfig {
+        self.configs
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .map(|(_, c)| c)
+            .unwrap_or_else(|| panic!("rule {} missing from table", rule.name()))
+    }
+
+    /// Mutable access, for tests and CLI overrides.
+    pub fn config_mut(&mut self, rule: Rule) -> &mut RuleConfig {
+        self.configs
+            .iter_mut()
+            .find(|(r, _)| *r == rule)
+            .map(|(_, c)| c)
+            .unwrap_or_else(|| panic!("rule {} missing from table", rule.name()))
+    }
+
+    /// Iterates `(rule, config)` pairs in reporting order.
+    pub fn iter(&self) -> impl Iterator<Item = (Rule, &RuleConfig)> {
+        self.configs.iter().map(|(r, c)| (*r, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_scopes_rules_as_documented() {
+        let t = RuleTable::default();
+        assert!(t
+            .config(Rule::WallClock)
+            .applies_to("crates/drift/src/sim.rs"));
+        assert!(!t
+            .config(Rule::WallClock)
+            .applies_to("crates/omnc-telemetry/src/timer.rs"));
+        assert!(!t
+            .config(Rule::EnvDep)
+            .applies_to("crates/omnc/src/bin/omnc-sim.rs"));
+        assert!(t.config(Rule::EnvDep).applies_to("crates/omnc/src/lib.rs"));
+        assert!(t
+            .config(Rule::Unwrap)
+            .applies_to("crates/gf256/src/wide.rs"));
+        assert!(!t
+            .config(Rule::Unwrap)
+            .applies_to("crates/omnc/src/runner.rs"));
+        assert!(t
+            .config(Rule::FloatEq)
+            .applies_to("crates/simplex-lp/src/solver.rs"));
+        assert!(t.config(Rule::UnsafeAudit).applies_to("anything"));
+    }
+
+    #[test]
+    fn rule_names_are_stable_and_unique() {
+        let mut names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Rule::ALL.len());
+    }
+}

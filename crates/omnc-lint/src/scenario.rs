@@ -1,0 +1,475 @@
+//! Semantic model-invariant checks for scenario/topology inputs.
+//!
+//! `omnc-lint check-scenario FILE` validates a scenario *before* any
+//! simulation runs, rejecting inputs that would silently violate the
+//! paper's model:
+//!
+//! * **structure** — node/link indices in range, no self-loops or duplicate
+//!   directed links, positive finite capacity and duration;
+//! * **probabilities** — every reception probability `p_ij ∈ [0, 1]`;
+//! * **connectivity** — the destination is reachable from the source over
+//!   links with `p > 0`;
+//! * **clique well-formedness** — interference neighborhoods must be
+//!   symmetric (a one-way link makes the broadcast MAC cliques of Sec. 3.2
+//!   ill-formed), and every node of the forwarder selection must sit in at
+//!   least one clique that also covers its downhill links;
+//! * **capacity condition (4)** — the sUnicast LP (eqs. (1)–(5)) must admit
+//!   a throughput of at least `min_throughput` under the broadcast MAC
+//!   constraint `b_i + Σ_{j∈N(i)} b_j ≤ C`;
+//! * **flow conservation (2)** — the LP optimum is replayed through
+//!   [`SUnicast::feasibility_violation`] and rejected if any residual
+//!   exceeds tolerance.
+//!
+//! The scenario file is JSON:
+//!
+//! ```json
+//! {
+//!   "name": "diamond",
+//!   "nodes": 4,
+//!   "src": 0,
+//!   "dst": 3,
+//!   "capacity": 100000.0,
+//!   "min_throughput": 1000.0,
+//!   "links": [ { "from": 0, "to": 1, "p": 0.6 } ]
+//! }
+//! ```
+
+use net_topo::graph::{Link, NodeId, Topology};
+use net_topo::select::select_forwarders;
+use omnc_opt::lp::solve_exact;
+use omnc_opt::SUnicast;
+use serde::{Deserialize, Serialize};
+
+use crate::findings::{Finding, Report};
+use crate::rules::Severity;
+
+/// Relative tolerance (times capacity) for LP residual checks.
+const RESIDUAL_TOL: f64 = 1e-6;
+
+/// One directed link of a scenario file.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScenarioLink {
+    /// Transmitter node index.
+    pub from: usize,
+    /// Receiver node index.
+    pub to: usize,
+    /// Reception probability `p_ij`.
+    pub p: f64,
+}
+
+/// A scenario input as validated by `check-scenario`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Display name (defaults to the file name in reports).
+    pub name: Option<String>,
+    /// Number of deployed nodes.
+    pub nodes: usize,
+    /// Session source node index.
+    pub src: usize,
+    /// Session destination node index.
+    pub dst: usize,
+    /// MAC channel capacity `C` in bytes/second.
+    pub capacity: f64,
+    /// Required feasible throughput under the capacity condition (4);
+    /// scenarios whose LP optimum `γ*` falls below this are rejected.
+    /// Defaults to 0: any connected scenario with `γ* > 0` passes.
+    pub min_throughput: Option<f64>,
+    /// Session duration in seconds (optional; checked positive if given).
+    pub duration: Option<f64>,
+    /// The directed lossy links.
+    pub links: Vec<ScenarioLink>,
+}
+
+/// Scenario check names (used as the `rule` of scenario findings).
+pub const CHECK_STRUCTURE: &str = "scenario-structure";
+/// Reception-probability range check.
+pub const CHECK_PROB: &str = "scenario-prob";
+/// Source-to-destination connectivity check.
+pub const CHECK_CONNECTIVITY: &str = "scenario-connectivity";
+/// Interference-clique well-formedness check.
+pub const CHECK_CLIQUE: &str = "scenario-clique";
+/// Broadcast capacity condition (4) feasibility check.
+pub const CHECK_CAPACITY: &str = "scenario-capacity";
+/// LP flow-conservation residual check (eq. (2)).
+pub const CHECK_FLOW: &str = "scenario-flow";
+
+/// Parses and checks a scenario from JSON text. `origin` labels findings
+/// (typically the file path).
+pub fn check_scenario_str(origin: &str, text: &str) -> Report {
+    let mut report = Report {
+        files_checked: 1,
+        ..Report::default()
+    };
+    let spec: ScenarioSpec = match serde_json::from_str(text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            report.findings.push(Finding::scenario(
+                origin,
+                CHECK_STRUCTURE,
+                Severity::Deny,
+                format!("not a valid scenario file: {e}"),
+            ));
+            return report;
+        }
+    };
+    check_spec(origin, &spec, &mut report);
+    report.finish();
+    report
+}
+
+/// Reads and checks a scenario file.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file cannot be read.
+pub fn check_scenario_file(path: &std::path::Path) -> std::io::Result<Report> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(check_scenario_str(&path.to_string_lossy(), &text))
+}
+
+/// Runs every check on a parsed spec, appending findings to `report`.
+fn check_spec(origin: &str, spec: &ScenarioSpec, report: &mut Report) {
+    let mut deny = |rule: &'static str, message: String| {
+        report
+            .findings
+            .push(Finding::scenario(origin, rule, Severity::Deny, message));
+    };
+
+    // --- Structure.
+    let mut structural_ok = true;
+    if spec.nodes < 2 {
+        deny(
+            CHECK_STRUCTURE,
+            format!("need ≥ 2 nodes, got {}", spec.nodes),
+        );
+        structural_ok = false;
+    }
+    if spec.src >= spec.nodes || spec.dst >= spec.nodes {
+        deny(
+            CHECK_STRUCTURE,
+            format!(
+                "src {} / dst {} out of range for {} nodes",
+                spec.src, spec.dst, spec.nodes
+            ),
+        );
+        structural_ok = false;
+    }
+    if spec.src == spec.dst {
+        deny(CHECK_STRUCTURE, "src and dst must differ".to_owned());
+        structural_ok = false;
+    }
+    if !(spec.capacity.is_finite() && spec.capacity > 0.0) {
+        deny(
+            CHECK_CAPACITY,
+            format!(
+                "capacity must be positive and finite, got {}",
+                spec.capacity
+            ),
+        );
+        structural_ok = false;
+    }
+    if let Some(m) = spec.min_throughput {
+        if !(m.is_finite() && m >= 0.0) {
+            deny(
+                CHECK_STRUCTURE,
+                format!("min_throughput must be ≥ 0, got {m}"),
+            );
+            structural_ok = false;
+        }
+    }
+    if let Some(d) = spec.duration {
+        if !(d.is_finite() && d > 0.0) {
+            deny(
+                CHECK_STRUCTURE,
+                format!("duration must be positive, got {d}"),
+            );
+        }
+    }
+    if spec.links.is_empty() {
+        deny(CHECK_STRUCTURE, "scenario has no links".to_owned());
+        structural_ok = false;
+    }
+
+    // --- Links: ranges, self-loops, duplicates, probabilities.
+    let mut seen: Vec<(usize, usize)> = Vec::new();
+    for (i, l) in spec.links.iter().enumerate() {
+        if l.from >= spec.nodes || l.to >= spec.nodes {
+            deny(
+                CHECK_STRUCTURE,
+                format!("link #{i} ({} → {}) out of range", l.from, l.to),
+            );
+            structural_ok = false;
+        }
+        if l.from == l.to {
+            deny(
+                CHECK_STRUCTURE,
+                format!("link #{i} is a self-loop at {}", l.from),
+            );
+            structural_ok = false;
+        }
+        if seen.contains(&(l.from, l.to)) {
+            deny(
+                CHECK_STRUCTURE,
+                format!("duplicate directed link {} → {}", l.from, l.to),
+            );
+            structural_ok = false;
+        }
+        seen.push((l.from, l.to));
+        if !(l.p.is_finite() && (0.0..=1.0).contains(&l.p)) {
+            deny(
+                CHECK_PROB,
+                format!(
+                    "link #{i} ({} → {}): reception probability {} outside [0, 1]",
+                    l.from, l.to, l.p
+                ),
+            );
+            structural_ok = false;
+        }
+    }
+    if !structural_ok {
+        return; // semantic checks need a well-formed topology
+    }
+
+    // --- Clique well-formedness: interference must be symmetric, so every
+    // directed link needs its reverse (possibly with a different p). The
+    // broadcast MAC constraint (4) sums over neighborhoods; a one-way link
+    // would make node i contend for j's airtime but not vice versa.
+    for l in &spec.links {
+        if !spec.links.iter().any(|r| r.from == l.to && r.to == l.from) {
+            deny(
+                CHECK_CLIQUE,
+                format!(
+                    "one-way link {} → {} makes interference cliques ill-formed \
+                     (add the reverse link, any p > 0)",
+                    l.from, l.to
+                ),
+            );
+        }
+    }
+
+    // --- Connectivity (over links with p > 0).
+    let links: Vec<Link> = spec
+        .links
+        .iter()
+        .map(|l| Link {
+            from: NodeId::new(l.from),
+            to: NodeId::new(l.to),
+            p: l.p,
+        })
+        .collect();
+    let topo = match Topology::from_links(spec.nodes, links) {
+        Ok(t) => t,
+        Err(e) => {
+            deny(CHECK_STRUCTURE, format!("topology rejected the links: {e}"));
+            return;
+        }
+    };
+    if !reachable(&topo, NodeId::new(spec.src), NodeId::new(spec.dst)) {
+        deny(
+            CHECK_CONNECTIVITY,
+            format!("dst {} unreachable from src {}", spec.dst, spec.src),
+        );
+        return; // selection/LP need connectivity
+    }
+    if !report.findings.iter().any(|f| f.rule == CHECK_CLIQUE) {
+        check_capacity_condition(origin, spec, &topo, report);
+    }
+}
+
+/// Solves the sUnicast LP and checks condition (4) feasibility at the
+/// required throughput plus the optimum's flow-conservation residuals.
+fn check_capacity_condition(
+    origin: &str,
+    spec: &ScenarioSpec,
+    topo: &Topology,
+    report: &mut Report,
+) {
+    let selection = select_forwarders(topo, NodeId::new(spec.src), NodeId::new(spec.dst));
+    let problem = SUnicast::from_selection(topo, &selection, spec.capacity);
+    let sol = match solve_exact(&problem) {
+        Ok(sol) => sol,
+        Err(e) => {
+            report.findings.push(Finding::scenario(
+                origin,
+                CHECK_CAPACITY,
+                Severity::Deny,
+                format!("sUnicast LP failed: {e}"),
+            ));
+            return;
+        }
+    };
+    // Condition (4) feasibility: the optimum γ* is the largest throughput
+    // the broadcast MAC admits; demanding more is infeasible.
+    let floor = spec
+        .min_throughput
+        .unwrap_or(0.0)
+        .max(spec.capacity * RESIDUAL_TOL);
+    if sol.gamma < floor {
+        report.findings.push(Finding::scenario(
+            origin,
+            CHECK_CAPACITY,
+            Severity::Deny,
+            format!(
+                "capacity condition (4) infeasible: optimal throughput γ* = {:.3} \
+                 bytes/s < required {:.3} bytes/s (capacity {})",
+                sol.gamma, floor, spec.capacity
+            ),
+        ));
+    }
+    // Flow-conservation residuals of the optimum (eq. (2), plus (4)/(5)
+    // replayed in absolute units).
+    if let Some(violation) = problem.feasibility_violation(&sol.b, &sol.x, sol.gamma, RESIDUAL_TOL)
+    {
+        report.findings.push(Finding::scenario(
+            origin,
+            CHECK_FLOW,
+            Severity::Deny,
+            format!("LP optimum violates the model constraints: {violation}"),
+        ));
+    }
+}
+
+/// Breadth-first reachability over links with positive probability.
+fn reachable(topo: &Topology, src: NodeId, dst: NodeId) -> bool {
+    let mut visited = vec![false; topo.len()];
+    let mut frontier = vec![src];
+    visited[src.index()] = true;
+    while let Some(v) = frontier.pop() {
+        if v == dst {
+            return true;
+        }
+        for l in topo.out_links(v) {
+            if l.p > 0.0 && !visited[l.to.index()] {
+                visited[l.to.index()] = true;
+                frontier.push(l.to);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond(p: f64, min_throughput: f64) -> String {
+        format!(
+            r#"{{
+                "name": "diamond",
+                "nodes": 4, "src": 0, "dst": 3,
+                "capacity": 100000.0,
+                "min_throughput": {min_throughput},
+                "links": [
+                    {{"from": 0, "to": 1, "p": {p}}}, {{"from": 1, "to": 0, "p": {p}}},
+                    {{"from": 0, "to": 2, "p": {p}}}, {{"from": 2, "to": 0, "p": {p}}},
+                    {{"from": 1, "to": 3, "p": {p}}}, {{"from": 3, "to": 1, "p": {p}}},
+                    {{"from": 2, "to": 3, "p": {p}}}, {{"from": 3, "to": 2, "p": {p}}}
+                ]
+            }}"#
+        )
+    }
+
+    #[test]
+    fn healthy_diamond_passes() {
+        let r = check_scenario_str("d.json", &diamond(0.6, 1000.0));
+        assert!(r.is_clean(), "{}", r.render());
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn infeasible_capacity_demand_is_rejected() {
+        // The diamond cannot carry more than C even lossless; demanding 10C
+        // makes condition (4) infeasible.
+        let r = check_scenario_str("d.json", &diamond(0.6, 1e6));
+        assert!(!r.is_clean());
+        assert!(
+            r.findings.iter().any(|f| f.rule == CHECK_CAPACITY),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn out_of_range_probability_is_rejected() {
+        let r = check_scenario_str("d.json", &diamond(1.4, 0.0));
+        assert!(
+            r.findings.iter().any(|f| f.rule == CHECK_PROB),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn negative_probability_is_rejected() {
+        let r = check_scenario_str("d.json", &diamond(-0.1, 0.0));
+        assert!(r.findings.iter().any(|f| f.rule == CHECK_PROB));
+    }
+
+    #[test]
+    fn one_way_link_breaks_clique_well_formedness() {
+        let text = r#"{
+            "nodes": 3, "src": 0, "dst": 2, "capacity": 1000.0,
+            "links": [
+                {"from": 0, "to": 1, "p": 0.9}, {"from": 1, "to": 0, "p": 0.9},
+                {"from": 1, "to": 2, "p": 0.9}
+            ]
+        }"#;
+        let r = check_scenario_str("s.json", text);
+        assert!(
+            r.findings.iter().any(|f| f.rule == CHECK_CLIQUE),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn disconnected_destination_is_rejected() {
+        let text = r#"{
+            "nodes": 4, "src": 0, "dst": 3, "capacity": 1000.0,
+            "links": [
+                {"from": 0, "to": 1, "p": 0.5}, {"from": 1, "to": 0, "p": 0.5},
+                {"from": 2, "to": 3, "p": 0.5}, {"from": 3, "to": 2, "p": 0.5}
+            ]
+        }"#;
+        let r = check_scenario_str("s.json", text);
+        assert!(r.findings.iter().any(|f| f.rule == CHECK_CONNECTIVITY));
+    }
+
+    #[test]
+    fn structural_garbage_is_rejected_not_panicked() {
+        for text in [
+            "not json at all",
+            r#"{"nodes": 1, "src": 0, "dst": 0, "capacity": 1.0, "links": []}"#,
+            r#"{"nodes": 4, "src": 0, "dst": 9, "capacity": 1.0,
+                "links": [{"from": 0, "to": 0, "p": 0.5}]}"#,
+            r#"{"nodes": 2, "src": 0, "dst": 1, "capacity": -5.0,
+                "links": [{"from": 0, "to": 1, "p": 0.5}, {"from": 1, "to": 0, "p": 0.5}]}"#,
+        ] {
+            let r = check_scenario_str("s.json", text);
+            assert!(!r.is_clean(), "should reject: {text}");
+        }
+    }
+
+    #[test]
+    fn duplicate_links_are_rejected() {
+        let text = r#"{
+            "nodes": 2, "src": 0, "dst": 1, "capacity": 1000.0,
+            "links": [
+                {"from": 0, "to": 1, "p": 0.5}, {"from": 0, "to": 1, "p": 0.7},
+                {"from": 1, "to": 0, "p": 0.5}
+            ]
+        }"#;
+        let r = check_scenario_str("s.json", text);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn findings_serialize_through_the_sink() {
+        let r = check_scenario_str("d.json", &diamond(0.6, 1e6));
+        let sink = telemetry::EventSink::in_memory();
+        r.write_jsonl(&sink).unwrap();
+        assert_eq!(sink.lines().len(), r.findings.len());
+        let v: serde_json::Value = serde_json::from_str(&sink.lines()[0]).unwrap();
+        assert_eq!(v.get("rule").and_then(|r| r.as_str()), Some(CHECK_CAPACITY));
+    }
+}

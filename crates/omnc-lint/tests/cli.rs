@@ -1,0 +1,124 @@
+//! End-to-end tests of the `omnc-lint` binary: exit codes, JSONL export,
+//! the seeded deny fixture, and scenario validation.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_omnc-lint"))
+        .args(args)
+        .output()
+        .expect("spawn omnc-lint")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code")
+}
+
+#[test]
+fn check_exits_zero_on_the_real_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let out = run(&["check", "--root", &root.to_string_lossy()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(exit_code(&out), 0, "stdout:\n{stdout}");
+    assert!(stdout.contains("0 deny"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn check_exits_nonzero_on_seeded_deny_fixture() {
+    let bad = fixture_dir().join("bad-ws");
+    let out = run(&["check", "--root", &bad.to_string_lossy()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(exit_code(&out), 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("wall-clock"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("crates/drift/src/sim.rs"),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn check_writes_jsonl_findings() {
+    let bad = fixture_dir().join("bad-ws");
+    let out = run(&[
+        "check",
+        "--root",
+        &bad.to_string_lossy(),
+        "--json",
+        "-",
+        "--quiet",
+    ]);
+    assert_eq!(exit_code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!lines.is_empty(), "expected JSONL findings, got:\n{stdout}");
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+        assert!(v.get("rule").is_some(), "line missing rule: {line}");
+        assert!(v.get("severity").is_some(), "line missing severity: {line}");
+    }
+}
+
+#[test]
+fn good_scenario_is_accepted() {
+    let s = fixture_dir().join("scenarios/good_diamond.json");
+    let out = run(&["check-scenario", &s.to_string_lossy()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(exit_code(&out), 0, "stdout:\n{stdout}");
+}
+
+#[test]
+fn infeasible_capacity_scenario_is_rejected() {
+    let s = fixture_dir().join("scenarios/infeasible_capacity.json");
+    let out = run(&["check-scenario", &s.to_string_lossy()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(exit_code(&out), 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("scenario-capacity"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn out_of_range_probability_scenario_is_rejected() {
+    let s = fixture_dir().join("scenarios/bad_probability.json");
+    let out = run(&["check-scenario", &s.to_string_lossy()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(exit_code(&out), 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("scenario-prob"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(exit_code(&run(&[])), 2);
+    assert_eq!(exit_code(&run(&["frobnicate"])), 2);
+    assert_eq!(exit_code(&run(&["check-scenario"])), 2);
+    assert_eq!(
+        exit_code(&run(&["check-scenario", "does-not-exist.json"])),
+        2
+    );
+}
+
+#[test]
+fn rules_lists_every_rule() {
+    let out = run(&["rules"]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "wall-clock",
+        "nondet-rng",
+        "env-dep",
+        "hash-iter",
+        "unwrap",
+        "panic",
+        "index",
+        "unsafe-audit",
+        "float-eq",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}

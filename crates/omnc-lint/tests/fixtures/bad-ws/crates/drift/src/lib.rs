@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+// Crate root of the seeded bad workspace; clean on its own.
+
+mod sim;

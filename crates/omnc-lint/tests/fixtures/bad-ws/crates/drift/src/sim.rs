@@ -1,0 +1,7 @@
+// Seeded deny violation: a wall-clock read inside a sim crate. This file
+// lives under tests/fixtures (which the workspace walker skips for the real
+// workspace) and is only reached when `--root` points at `bad-ws`.
+
+fn schedule_tick() -> std::time::Instant {
+    std::time::Instant::now()
+}

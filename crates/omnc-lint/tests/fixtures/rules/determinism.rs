@@ -1,0 +1,36 @@
+// Fixture: determinism rules (wall-clock, nondet-rng, env-dep).
+// Linted under a fake sim-crate path; not compiled.
+
+fn clock_positive() {
+    let t = std::time::Instant::now(); // finding: wall-clock
+    let s = std::time::SystemTime::now(); // finding: wall-clock
+    drop((t, s));
+}
+
+fn clock_allowed() {
+    // lint: allow(wall-clock) -- fixture: suppressed on the next line
+    let t = std::time::Instant::now();
+    drop(t);
+}
+
+fn rng_positive() {
+    let mut rng = rand::thread_rng(); // finding: nondet-rng
+    let x: u64 = rand::random(); // finding: nondet-rng
+    drop((rng, x));
+}
+
+fn rng_allowed() {
+    let mut rng = rand::thread_rng(); // lint: allow(nondet-rng) fixture
+    drop(rng);
+}
+
+fn env_positive() {
+    let v = std::env::var("OMNC_SEED"); // finding: env-dep
+    drop(v);
+}
+
+fn env_allowed() {
+    // lint: allow(env-dep) -- fixture
+    let v = std::env::var("OMNC_SEED");
+    drop(v);
+}

@@ -1,0 +1,22 @@
+// Fixture: float-eq rule. Linted under a fake optimizer-crate path; not compiled.
+
+fn exact_compare_positive(x: f64) -> bool {
+    x == 0.0 // finding: float-eq
+}
+
+fn not_equal_positive(x: f64) -> bool {
+    x != 1.5 // finding: float-eq
+}
+
+fn exact_compare_allowed(scale: f64) -> bool {
+    // lint: allow(float-eq) -- fixture: exact-zero guard before division
+    scale == 0.0
+}
+
+fn tolerance_is_fine(x: f64, tol: f64) -> bool {
+    (x - 1.0).abs() < tol
+}
+
+fn integer_compare_is_fine(i: u32) -> bool {
+    i == 0
+}

@@ -1,0 +1,36 @@
+// Fixture: hash-iter rule. Linted under a fake sim-crate path; not compiled.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+fn iteration_positive(seen: HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in seen.iter() {
+        // finding above: hash-order iteration
+        total += v;
+    }
+    total
+}
+
+fn for_loop_positive() {
+    let roles: HashMap<u32, u64> = HashMap::new();
+    for (k, v) in roles {
+        // finding above: hash-order iteration
+        drop((k, v));
+    }
+}
+
+fn iteration_allowed(seen: HashMap<u32, u64>) -> u64 {
+    // lint: allow(hash-iter) -- fixture: order folded through a commutative sum
+    seen.values().sum()
+}
+
+fn lookup_is_fine(seen: &HashMap<u32, u64>) -> Option<u64> {
+    seen.get(&1).copied()
+}
+
+fn btree_is_fine(ordered: BTreeMap<u32, u64>) {
+    for (k, v) in ordered.iter() {
+        drop((k, v));
+    }
+}

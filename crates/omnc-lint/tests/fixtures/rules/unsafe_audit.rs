@@ -1,0 +1,13 @@
+// Fixture: unsafe-audit rule. Linted as a crate root (fake src/lib.rs path);
+// it carries no forbid attribute for unsafe code, so the crate-root audit
+// denies it. The first unsafe block below has no justifying comment and is
+// flagged; the second one is properly documented and accepted. Not compiled.
+
+fn documented(p: *const u8) -> u8 {
+    // SAFETY: fixture — caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p } // finding: unsafe-audit (no justifying comment)
+}

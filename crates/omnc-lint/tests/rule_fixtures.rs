@@ -1,0 +1,83 @@
+//! Every rule exercised against the fixture files: positive hits fire,
+//! `// lint: allow(...)`-annotated occurrences stay quiet.
+
+use std::path::Path;
+
+use omnc_lint::analyzer::audit_crate_root;
+use omnc_lint::{analyze_source, Finding, RuleTable, Severity};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/rules")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn lint_as(fake_path: &str, fixture_name: &str) -> Vec<Finding> {
+    analyze_source(fake_path, &fixture(fixture_name), &RuleTable::default())
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn determinism_rules_fire_and_respect_allows() {
+    let fs = lint_as("crates/drift/src/model.rs", "determinism.rs");
+    assert_eq!(count(&fs, "wall-clock"), 2, "{fs:#?}");
+    assert_eq!(count(&fs, "nondet-rng"), 2, "{fs:#?}");
+    assert_eq!(count(&fs, "env-dep"), 1, "{fs:#?}");
+    assert!(fs.iter().all(|f| f.severity == Severity::Deny));
+}
+
+#[test]
+fn determinism_rules_are_scoped_to_sim_crates() {
+    // The same source under the telemetry crate (allowlisted: clocks are
+    // its job) produces nothing.
+    let fs = lint_as("crates/omnc-telemetry/src/timer.rs", "determinism.rs");
+    assert!(fs.is_empty(), "{fs:#?}");
+}
+
+#[test]
+fn hash_iteration_fires_and_respects_allows() {
+    let fs = lint_as("crates/omnc/src/runner.rs", "hash_iter.rs");
+    assert_eq!(count(&fs, "hash-iter"), 2, "{fs:#?}");
+}
+
+#[test]
+fn panic_freedom_fires_in_hot_path_only() {
+    let fs = lint_as("crates/rlnc/src/decoder.rs", "panic_freedom.rs");
+    assert_eq!(count(&fs, "unwrap"), 1, "{fs:#?}");
+    assert_eq!(count(&fs, "panic"), 2, "{fs:#?}");
+    assert_eq!(count(&fs, "index"), 1, "{fs:#?}");
+    // unwrap denies; expect/panic!/indexing warn.
+    assert!(fs
+        .iter()
+        .all(|f| (f.rule == "unwrap") == (f.severity == Severity::Deny)));
+
+    // Outside the designated hot-path modules the rules are silent.
+    let cold = lint_as("crates/omnc/src/runner.rs", "panic_freedom.rs");
+    assert!(cold.is_empty(), "{cold:#?}");
+}
+
+#[test]
+fn float_eq_fires_in_optimizer_crates_only() {
+    let fs = lint_as("crates/omnc-opt/src/flow.rs", "float_eq.rs");
+    assert_eq!(count(&fs, "float-eq"), 2, "{fs:#?}");
+    let elsewhere = lint_as("crates/drift/src/sim.rs", "float_eq.rs");
+    assert_eq!(count(&elsewhere, "float-eq"), 0, "{elsewhere:#?}");
+}
+
+#[test]
+fn unsafe_audit_fires_on_blocks_and_crate_roots() {
+    let source = fixture("unsafe_audit.rs");
+    let table = RuleTable::default();
+    let fs = analyze_source("crates/demo/src/lib.rs", &source, &table);
+    assert_eq!(count(&fs, "unsafe-audit"), 1, "{fs:#?}");
+
+    let root = audit_crate_root("crates/demo/src/lib.rs", &source, &table);
+    assert!(root.is_some(), "crate root without forbid must be denied");
+
+    let clean_root = "#![forbid(unsafe_code)]\npub fn ok() {}\n";
+    assert!(audit_crate_root("crates/demo/src/lib.rs", clean_root, &table).is_none());
+}

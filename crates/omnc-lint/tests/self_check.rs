@@ -1,0 +1,32 @@
+//! The workspace must pass its own static analysis: no deny-level findings
+//! anywhere under `crates/`. This is the tripwire that keeps the
+//! determinism/panic/unsafe/float policies enforced as code evolves.
+
+use std::path::Path;
+
+use omnc_lint::{check_workspace, RuleTable, Severity};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = check_workspace(root, &RuleTable::default()).expect("walk workspace");
+    assert!(
+        report.files_checked > 50,
+        "walked {} files",
+        report.files_checked
+    );
+    let denies: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .map(|f| f.render())
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "deny-level lint findings in the workspace:\n{}",
+        denies.join("\n")
+    );
+}

@@ -34,6 +34,7 @@ pub fn max_flow(problem: &SUnicast, cap: &[f64]) -> (f64, Vec<f64>) {
     let t = problem.dst();
     let mut flow = vec![0.0f64; problem.link_count()];
     let scale: f64 = cap.iter().fold(0.0f64, |a, &b| a.max(b));
+    // lint: allow(float-eq) -- exact-zero guard before dividing by `scale`
     if scale == 0.0 {
         return (0.0, flow);
     }

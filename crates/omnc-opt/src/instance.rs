@@ -1,6 +1,6 @@
 //! The sUnicast problem instance (paper eqs. (1)–(5)).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use net_topo::graph::{NodeId, Topology};
 use net_topo::select::Selection;
@@ -40,7 +40,7 @@ pub struct SUnicast {
     src: usize,
     dst: usize,
     nodes: Vec<NodeId>,
-    local: HashMap<NodeId, usize>,
+    local: BTreeMap<NodeId, usize>,
     links: Vec<InstanceLink>,
     out: Vec<Vec<LinkId>>,
     inn: Vec<Vec<LinkId>>,
@@ -63,7 +63,7 @@ impl SUnicast {
             "capacity must be positive"
         );
         let nodes: Vec<NodeId> = selection.nodes().to_vec();
-        let local: HashMap<NodeId, usize> =
+        let local: BTreeMap<NodeId, usize> =
             nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut links = Vec::new();
         let mut out = vec![Vec::new(); nodes.len()];

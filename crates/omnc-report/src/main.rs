@@ -10,6 +10,8 @@
 //! `analyze` prints ASCII tables to stdout; `compare` exits nonzero when
 //! any metric regressed beyond the threshold.
 
+#![forbid(unsafe_code)]
+
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Write};
 

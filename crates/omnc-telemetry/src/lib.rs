@@ -16,10 +16,12 @@
 //! instruments still exist and can be passed around, but updates are
 //! dropped without synchronization beyond one relaxed atomic store.
 
+#![forbid(unsafe_code)]
+
 mod registry;
 mod sink;
 mod timer;
 
 pub use registry::{BucketCount, Counter, Gauge, Histogram, MetricKind, MetricSnapshot, Registry};
 pub use sink::{EventSink, SinkTarget};
-pub use timer::{ScopedTimer, Stopwatch};
+pub use timer::{ScopedTimer, Span, Stopwatch};

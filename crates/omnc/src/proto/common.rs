@@ -1,7 +1,7 @@
 //! Pieces shared by every coded protocol: deterministic source data,
 //! generation lifecycle, destination decoding and link-usage accounting.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use drift::{Ctx, Dest, Outgoing, PacketTag};
 use net_topo::graph::NodeId;
@@ -131,9 +131,9 @@ pub struct CodedDestination {
     decoder: Decoder,
     verify_payload: bool,
     /// Innovative packets received per upstream node (for Fig. 4 metrics).
-    pub innovative_from: HashMap<NodeId, u64>,
+    pub innovative_from: BTreeMap<NodeId, u64>,
     /// All coded packets received per upstream node.
-    pub received_from: HashMap<NodeId, u64>,
+    pub received_from: BTreeMap<NodeId, u64>,
     /// Number of generations whose recovered payload failed verification
     /// (must stay 0; tested).
     pub verification_failures: u64,
@@ -164,8 +164,8 @@ impl CodedDestination {
             session_seed,
             decoder,
             verify_payload,
-            innovative_from: HashMap::new(),
-            received_from: HashMap::new(),
+            innovative_from: BTreeMap::new(),
+            received_from: BTreeMap::new(),
             verification_failures: 0,
             absorptions: Vec::new(),
         }

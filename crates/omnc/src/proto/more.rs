@@ -13,7 +13,7 @@
 //! pruning lossy paths; see [`crate::proto::credits`]), so both share the
 //! behaviours below.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use drift::{Behavior, Ctx, PacketTag};
 use net_topo::graph::NodeId;
@@ -88,9 +88,9 @@ pub struct MoreRelay {
     /// Session id, learned from the first tagged packet heard on the air.
     session: Option<u64>,
     /// Innovative packets received per upstream node.
-    pub innovative_from: HashMap<NodeId, u64>,
+    pub innovative_from: BTreeMap<NodeId, u64>,
     /// All coded packets received per upstream node.
-    pub received_from: HashMap<NodeId, u64>,
+    pub received_from: BTreeMap<NodeId, u64>,
     /// Re-encoded packets emitted.
     pub packets_emitted: u64,
 }
@@ -116,8 +116,8 @@ impl MoreRelay {
             credit: 0.0,
             buffer,
             session: None,
-            innovative_from: HashMap::new(),
-            received_from: HashMap::new(),
+            innovative_from: BTreeMap::new(),
+            received_from: BTreeMap::new(),
             packets_emitted: 0,
         }
     }

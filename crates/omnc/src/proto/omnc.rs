@@ -7,7 +7,7 @@
 //! entirely from the rateless code — there are no link-level
 //! retransmissions.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use drift::{Behavior, Ctx, PacketTag};
 use net_topo::graph::NodeId;
@@ -98,9 +98,9 @@ pub struct OmncRelay {
     /// (re-encoded emissions carry it forward).
     session: Option<u64>,
     /// Innovative packets received per upstream node (Fig. 4 metrics).
-    pub innovative_from: HashMap<NodeId, u64>,
+    pub innovative_from: BTreeMap<NodeId, u64>,
     /// All coded packets received per upstream node.
-    pub received_from: HashMap<NodeId, u64>,
+    pub received_from: BTreeMap<NodeId, u64>,
     /// Re-encoded packets emitted.
     pub packets_emitted: u64,
 }
@@ -120,8 +120,8 @@ impl OmncRelay {
             rate,
             buffer,
             session: None,
-            innovative_from: HashMap::new(),
-            received_from: HashMap::new(),
+            innovative_from: BTreeMap::new(),
+            received_from: BTreeMap::new(),
             packets_emitted: 0,
         }
     }

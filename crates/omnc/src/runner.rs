@@ -1,7 +1,7 @@
 //! End-to-end session execution: wire a protocol to a topology, run it on
 //! Drift, and collect the paper's evaluation metrics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use drift::{Behavior, Ctx, MacModel, PacketTag, Simulator, TraceEvent};
 use net_topo::etx;
@@ -163,12 +163,12 @@ struct SubTopology {
     /// local → original id.
     to_orig: Vec<NodeId>,
     /// original → local id.
-    to_local: HashMap<NodeId, usize>,
+    to_local: BTreeMap<NodeId, usize>,
 }
 
 fn sub_topology(full: &Topology, nodes: &[NodeId]) -> SubTopology {
     let to_orig: Vec<NodeId> = nodes.to_vec();
-    let to_local: HashMap<NodeId, usize> =
+    let to_local: BTreeMap<NodeId, usize> =
         to_orig.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let links: Vec<Link> = full
         .links()
@@ -419,7 +419,7 @@ fn run_coded_inner(
     let mut rc_iterations = None;
     let mut predicted = None;
     let mac;
-    let mut roles: HashMap<NodeId, Role> = HashMap::new(); // by original id
+    let mut roles: BTreeMap<NodeId, Role> = BTreeMap::new(); // by original id
 
     match protocol {
         Protocol::Omnc => {
@@ -558,7 +558,7 @@ fn run_coded_inner(
     // Path utility: paths of the selection DAG all of whose links were
     // exercised (the transmitter sent and the receiver heard at least one
     // of its packets), over all DAG paths.
-    let mut received_from: HashMap<NodeId, HashMap<NodeId, u64>> = HashMap::new();
+    let mut received_from: BTreeMap<NodeId, BTreeMap<NodeId, u64>> = BTreeMap::new();
     let mut verification_failures = 0;
     for &orig in selection.nodes() {
         match sim.behavior(local(orig)) {
@@ -752,7 +752,7 @@ fn remap_tag(tag: Option<PacketTag>, to_orig: &[NodeId]) -> Option<PacketTag> {
 
 /// Translates an innovative-reception map keyed by sub-topology ids back to
 /// original topology ids.
-fn remap_keys(map: &HashMap<NodeId, u64>, to_orig: &[NodeId]) -> HashMap<NodeId, u64> {
+fn remap_keys(map: &BTreeMap<NodeId, u64>, to_orig: &[NodeId]) -> BTreeMap<NodeId, u64> {
     map.iter().map(|(&k, &v)| (to_orig[k.index()], v)).collect()
 }
 

@@ -90,8 +90,8 @@ pub fn decode(frame: &[u8]) -> Result<Msg, WireError> {
             if body.len() != 16 {
                 return Err(WireError::Malformed("block body must be 16 bytes"));
             }
-            let seq = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
-            let dst = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")) as usize;
+            let seq = read_u64(&body[0..8]).ok_or(WireError::Malformed("block seq"))?;
+            let dst = read_u64(&body[8..16]).ok_or(WireError::Malformed("block dst"))? as usize;
             Ok(Msg::Block {
                 seq,
                 dst: NodeId::new(dst),
@@ -101,13 +101,18 @@ pub fn decode(frame: &[u8]) -> Result<Msg, WireError> {
             if body.len() != 8 {
                 return Err(WireError::Malformed("ack body must be 8 bytes"));
             }
-            let g = u64::from_le_bytes(body.try_into().expect("8 bytes"));
+            let g = read_u64(body).ok_or(WireError::Malformed("ack generation"))?;
             Ok(Msg::Ack {
                 generation: GenerationId::new(g),
             })
         }
         other => Err(WireError::UnknownTag(other)),
     }
+}
+
+/// Little-endian `u64` from an exactly-8-byte slice, `None` otherwise.
+fn read_u64(bytes: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.try_into().ok()?))
 }
 
 #[cfg(test)]

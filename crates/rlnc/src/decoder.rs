@@ -9,9 +9,7 @@
 //!   and the right part is exactly the original blocks: decoding finishes
 //!   "on the fly" with no final batch inversion.
 
-use std::time::Instant;
-
-use telemetry::{Counter, Gauge, Histogram, Registry};
+use telemetry::{Counter, Gauge, Histogram, Registry, Span};
 
 use crate::error::RlncError;
 use crate::generation::GenerationConfig;
@@ -130,7 +128,7 @@ pub struct Decoder {
     received: u64,
     redundant: u64,
     metrics: Option<DecoderMetrics>,
-    first_absorb: Option<Instant>,
+    first_absorb: Option<Span>,
 }
 
 impl Decoder {
@@ -208,27 +206,24 @@ impl Decoder {
         if self.metrics.is_none() {
             return self.absorb_inner(packet);
         }
-        let started = Instant::now();
+        let started = Span::begin();
         if self.first_absorb.is_none() {
             self.first_absorb = Some(started);
         }
         let result = self.absorb_inner(packet);
         let complete = self.is_complete();
         let first = self.first_absorb;
+        // lint: allow(panic) -- metrics.is_none() returned above
         let metrics = self.metrics.as_ref().expect("metrics checked above");
         if let Ok(outcome) = &result {
-            metrics
-                .absorb_us
-                .observe(started.elapsed().as_secs_f64() * 1e6);
+            metrics.absorb_us.observe(started.elapsed_us());
             match outcome {
                 Absorption::Innovative { rank } => {
                     metrics.innovative.inc();
                     metrics.rank.set(*rank as f64);
                     if complete {
                         if let Some(first) = first {
-                            metrics
-                                .decode_us
-                                .observe(first.elapsed().as_secs_f64() * 1e6);
+                            metrics.decode_us.observe(first.elapsed_us());
                         }
                     }
                 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Runs the same static-analysis gate as CI's "lint-gate" job:
+#   1. omnc-lint check        — determinism / panic-freedom / unsafe-audit /
+#                               float-hygiene rules over crates/
+#   2. omnc-lint check-scenario — model invariants of the committed gate
+#                               scenario (probabilities, capacity condition)
+#   3. cargo clippy -D warnings under the workspace lint table
+# Exits nonzero on any deny-level finding. See DESIGN.md ("Determinism &
+# static analysis policy") for the rule table and escape hatches.
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p omnc-lint -- check "$@"
+cargo run --release -p omnc-lint -- check-scenario \
+  crates/omnc-lint/tests/fixtures/scenarios/good_diamond.json --quiet
+cargo clippy --workspace --all-targets -- -D warnings
+echo "lint gate: clean"
