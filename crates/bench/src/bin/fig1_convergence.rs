@@ -74,11 +74,11 @@ fn main() {
             sink.emit(record).expect("JSONL export failed");
         }
         sink.flush().expect("JSONL flush failed");
-        eprintln!(
-            "# wrote {} iteration records to {}",
+        opts.logger().info(&format!(
+            "wrote {} iteration records to {}",
             trace.records.len(),
             opts.json.as_deref().unwrap_or("")
-        );
+        ));
     }
 
     println!("# Fig. 1 — deployable broadcast rate (bytes/second) vs iteration");

@@ -26,7 +26,7 @@ fn main() {
         Protocol::More,
         Protocol::OldMore,
     ];
-    let rows = run_sweep_traced(&scenario, &protocols, opts.trace.as_deref());
+    let rows = run_sweep_traced(&scenario, &protocols, opts.trace.as_deref(), &opts.logger());
     if let Some(sink) = opts.json_sink() {
         export_rows(&sink, &rows);
     }

@@ -16,7 +16,7 @@ use omnc_bench::{export_rows, print_reference, run_sweep, Options};
 fn main() {
     let opts = Options::from_args();
     let scenario = opts.scenario();
-    let rows = run_sweep(&scenario, &[Protocol::Omnc, Protocol::More]);
+    let rows = run_sweep(&scenario, &[Protocol::Omnc, Protocol::More], &opts.logger());
     if let Some(sink) = opts.json_sink() {
         export_rows(&sink, &rows);
     }

@@ -19,6 +19,7 @@ fn main() {
     let rows = run_sweep(
         &scenario,
         &[Protocol::Omnc, Protocol::More, Protocol::OldMore],
+        &opts.logger(),
     );
     if let Some(sink) = opts.json_sink() {
         export_rows(&sink, &rows);

@@ -19,7 +19,7 @@ fn main() {
     for quality in [Quality::Lossy, Quality::High] {
         opts.quality = quality;
         let scenario = opts.scenario();
-        let rows = run_sweep(&scenario, &[Protocol::Omnc]);
+        let rows = run_sweep(&scenario, &[Protocol::Omnc], &opts.logger());
         if let Some(sink) = sink.as_ref() {
             export_rows(sink, &rows);
         }

@@ -1,0 +1,235 @@
+//! `perf_smoke` — seeded end-to-end performance smoke test feeding the
+//! CI perf trajectory and the span-profile gate.
+//!
+//! ```sh
+//! cargo run --release -p omnc-bench --bin perf_smoke -- \
+//!     --out BENCH_2026-08-06.json --profile profile.json
+//! ```
+//!
+//! Measures four wall-clock figures on fixed seeded workloads:
+//!
+//! * RLNC encode throughput (MB/s, Product kernel)
+//! * RLNC full-pipeline decode throughput (MB/s)
+//! * simulator throughput (coded packets absorbed per wall second) over
+//!   a seeded OMNC session sweep
+//! * rate-control optimizer iterations per wall second on the Fig. 1
+//!   sample problem
+//!
+//! Wall-clock numbers vary by host, so the `--out` JSON is a perf
+//! *trajectory* (one `BENCH_<date>.json` per run of `scripts/bench.sh`),
+//! not a hard gate. The deterministic gate artifact is the span profile
+//! (`--profile`, virtual clock): identical seeded runs produce identical
+//! span call counts on any host, so CI fails hard on
+//! `omnc-report profile compare --metric calls`.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use omnc::rlnc::{Decoder, Encoder, Generation, GenerationConfig, GenerationId, Kernel};
+use omnc::runner::{run_session_traced, Protocol, RunOptions};
+use omnc::telemetry::Profiler;
+use omnc_bench::Options;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = Options::from_slice(&args);
+    let log = opts.logger();
+    let mut out_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
+    let mut folded_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_path = it.next().cloned(),
+            "--profile" => profile_path = it.next().cloned(),
+            "--profile-folded" => folded_path = it.next().cloned(),
+            _ => {} // everything else belongs to Options
+        }
+    }
+
+    let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
+
+    let (encode_mb_s, decode_mb_s) = coding_throughput(opts.seed);
+    metrics.insert("rlnc/encode_mb_per_s".into(), encode_mb_s);
+    metrics.insert("rlnc/decode_mb_per_s".into(), decode_mb_s);
+    log.info(&format!(
+        "rlnc: encode {encode_mb_s:.1} MB/s, decode pipeline {decode_mb_s:.1} MB/s"
+    ));
+
+    let profiler = Profiler::virtual_clock();
+    let (packets_per_s, sessions) = sim_throughput(&opts, &profiler);
+    metrics.insert("sim/packets_per_s".into(), packets_per_s);
+    metrics.insert("sim/sessions".into(), sessions as f64);
+    log.info(&format!(
+        "sim: {packets_per_s:.0} absorbed packets/s over {sessions} seeded OMNC sessions"
+    ));
+
+    let iters_per_s = opt_throughput();
+    metrics.insert("opt/iterations_per_s".into(), iters_per_s);
+    log.info(&format!("opt: {iters_per_s:.0} rate-control iterations/s"));
+
+    println!("{:>28} {:>14}", "metric", "value");
+    for (name, value) in &metrics {
+        println!("{name:>28} {value:>14.2}");
+    }
+
+    if let Some(path) = &out_path {
+        let record = BenchRecord {
+            bench: "perf-smoke".to_string(),
+            seed: opts.seed,
+            metrics: metrics.clone(),
+        };
+        let json = serde_json::to_string(&record).expect("bench record serializes");
+        std::fs::write(path, json + "\n")
+            .unwrap_or_else(|e| panic!("cannot write --out {path}: {e}"));
+        log.info(&format!("bench record -> {path}"));
+    }
+    let report = profiler.report();
+    if let Some(path) = &profile_path {
+        let json = serde_json::to_string(&report).expect("profile serializes");
+        std::fs::write(path, json + "\n")
+            .unwrap_or_else(|e| panic!("cannot write --profile {path}: {e}"));
+        log.info(&format!(
+            "profile: {} spans ({} clock) -> {path}",
+            report.spans.len(),
+            report.clock
+        ));
+    }
+    if let Some(path) = &folded_path {
+        std::fs::write(path, report.folded())
+            .unwrap_or_else(|e| panic!("cannot write --profile-folded {path}: {e}"));
+        log.info(&format!("folded stacks -> {path}"));
+    }
+}
+
+/// The `BENCH_<date>.json` line: metric map plus enough context to read
+/// a trajectory of these files without the producing commit.
+#[derive(serde::Serialize)]
+struct BenchRecord {
+    bench: String,
+    seed: u64,
+    metrics: BTreeMap<String, f64>,
+}
+
+/// Encode-only and encode+decode throughput (payload MB/s) of one
+/// 40x1024 generation under the Product kernel.
+fn coding_throughput(seed: u64) -> (f64, f64) {
+    let cfg = GenerationConfig::new(40, 1024).expect("positive dims");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut data = vec![0u8; cfg.payload_len()];
+    rng.fill(&mut data[..]);
+    let generation = Generation::from_bytes(GenerationId::new(0), cfg, &data).expect("sized");
+    let encoder = Encoder::with_kernel(&generation, Kernel::Product);
+
+    let reps = (32 * 1024 * 1024 / cfg.payload_len()).clamp(4, 200);
+    let start = Instant::now();
+    for _ in 0..reps {
+        for _ in 0..cfg.blocks() {
+            std::hint::black_box(encoder.emit(&mut rng));
+        }
+    }
+    let encode_mb_s = (reps * cfg.payload_len()) as f64 / start.elapsed().as_secs_f64() / 1e6;
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let mut decoder = Decoder::with_kernel(GenerationId::new(0), cfg, Kernel::Product);
+        while !decoder.is_complete() {
+            let packet = encoder.emit(&mut rng);
+            let _ = decoder.absorb(&packet);
+        }
+        assert_eq!(decoder.recover().expect("complete"), data);
+    }
+    let decode_mb_s = (reps * cfg.payload_len()) as f64 / start.elapsed().as_secs_f64() / 1e6;
+    (encode_mb_s, decode_mb_s)
+}
+
+/// Runs the seeded OMNC session sweep with the span profiler attached
+/// and returns (absorbed packets per wall second, sessions run).
+fn sim_throughput(opts: &Options, profiler: &Profiler) -> (f64, usize) {
+    let mut scenario = opts.scenario();
+    // A fixed small sweep: large enough to exercise encode/recode/decode
+    // and the optimizer, small enough to finish in seconds.
+    if opts.nodes.is_none() {
+        scenario.nodes = 30;
+    }
+    if opts.sessions.is_none() {
+        scenario.sessions = 2;
+    }
+    scenario.session.duration = scenario.session.duration.min(30.0);
+    let topology = scenario.build_topology();
+    let options = RunOptions {
+        profiler: profiler.clone(),
+        ..RunOptions::default()
+    };
+    let mut packets = 0u64;
+    let start = Instant::now();
+    for (k, seed) in scenario.session_seeds().enumerate() {
+        let (_, src, dst) = scenario.build_session(k as u64);
+        let (out, _) = run_session_traced(
+            &topology,
+            src,
+            dst,
+            Protocol::Omnc,
+            &scenario.session,
+            seed,
+            &options,
+        );
+        packets += out.packet_counts.0 + out.packet_counts.1;
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    (packets as f64 / elapsed, scenario.sessions)
+}
+
+/// Rate-control iterations per wall second on the Fig. 1 sample problem.
+fn opt_throughput() -> f64 {
+    use omnc::net_topo::graph::{Link, NodeId, Topology};
+    use omnc::net_topo::select::select_forwarders;
+    use omnc::omnc_opt::{RateControl, RateControlParams};
+
+    let links = vec![
+        Link {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            p: 0.8,
+        },
+        Link {
+            from: NodeId::new(0),
+            to: NodeId::new(2),
+            p: 0.5,
+        },
+        Link {
+            from: NodeId::new(1),
+            to: NodeId::new(3),
+            p: 0.6,
+        },
+        Link {
+            from: NodeId::new(2),
+            to: NodeId::new(3),
+            p: 0.9,
+        },
+        Link {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            p: 0.7,
+        },
+    ];
+    let topology = Topology::from_links(4, links).expect("valid sample topology");
+    let selection = select_forwarders(&topology, NodeId::new(0), NodeId::new(3));
+    let problem = omnc::omnc_opt::SUnicast::from_selection(&topology, &selection, 1e5);
+    let params = RateControlParams {
+        max_iterations: 200,
+        tolerance: 1e-12, // run the full horizon so the count is fixed
+        ..Default::default()
+    };
+    let rounds = 25;
+    let mut iterations = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let (_, trace) = RateControl::with_params(&problem, params)
+            .with_trace()
+            .run_traced();
+        iterations += trace.records.len() as u64;
+    }
+    iterations as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}

@@ -16,7 +16,7 @@ use omnc::metrics::Cdf;
 use omnc::runner::{run_session_traced, Protocol, RunOptions, SessionOutcome};
 use omnc::scenario::{Quality, Scenario};
 use serde::{Deserialize, Serialize};
-use telemetry::EventSink;
+use telemetry::{EventSink, LogLevel, Logger};
 
 /// Command-line options shared by all figure binaries.
 #[derive(Debug, Clone)]
@@ -36,6 +36,8 @@ pub struct Options {
     /// Destination for the causal packet-lifecycle trace
     /// (`--trace <path>`; feed the file to `omnc-report analyze`).
     pub trace: Option<String>,
+    /// Stderr verbosity (`--log-level {quiet,info,debug}`).
+    pub log_level: LogLevel,
 }
 
 impl Options {
@@ -58,6 +60,7 @@ impl Options {
             seed: 2008,
             json: None,
             trace: None,
+            log_level: LogLevel::default(),
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -85,6 +88,11 @@ impl Options {
                     Some("lossy") => opts.quality = Quality::Lossy,
                     _ => {}
                 },
+                "--log-level" => {
+                    if let Some(level) = it.next().and_then(|v| LogLevel::parse(v)) {
+                        opts.log_level = level;
+                    }
+                }
                 _ => {}
             }
         }
@@ -100,6 +108,12 @@ impl Options {
         self.json.as_ref().map(|path| {
             EventSink::to_file(path).unwrap_or_else(|e| panic!("cannot open --json {path}: {e}"))
         })
+    }
+
+    /// The stderr logger these options select.
+    #[must_use]
+    pub fn logger(&self) -> Logger {
+        Logger::new(self.log_level)
     }
 
     /// The scenario these options select.
@@ -162,10 +176,11 @@ pub fn export_rows(sink: &EventSink, rows: &[SessionRow]) {
     sink.flush().expect("JSONL flush failed");
 }
 
-/// Runs `protocols` over every session of the scenario, printing progress.
-/// The topology is built once; sessions differ in endpoints and seeds.
-pub fn run_sweep(scenario: &Scenario, protocols: &[Protocol]) -> Vec<SessionRow> {
-    run_sweep_traced(scenario, protocols, None)
+/// Runs `protocols` over every session of the scenario, logging progress
+/// at `info`. The topology is built once; sessions differ in endpoints
+/// and seeds.
+pub fn run_sweep(scenario: &Scenario, protocols: &[Protocol], log: &Logger) -> Vec<SessionRow> {
+    run_sweep_traced(scenario, protocols, None, log)
 }
 
 /// Like [`run_sweep`], additionally appending every session's causal
@@ -181,16 +196,17 @@ pub fn run_sweep_traced(
     scenario: &Scenario,
     protocols: &[Protocol],
     trace_path: Option<&str>,
+    log: &Logger,
 ) -> Vec<SessionRow> {
     let topology = scenario.build_topology();
-    eprintln!(
-        "# topology: {} nodes, {} links, avg quality {:.3}; {} sessions x {:?}",
+    log.info(&format!(
+        "topology: {} nodes, {} links, avg quality {:.3}; {} sessions x {:?}",
         topology.len(),
         topology.link_count(),
         topology.avg_link_quality(),
         scenario.sessions,
         protocols.iter().map(|p| p.name()).collect::<Vec<_>>()
-    );
+    ));
     let mut trace_out = trace_path.map(|path| {
         BufWriter::new(
             File::create(path).unwrap_or_else(|e| panic!("cannot create --trace {path}: {e}")),
@@ -199,6 +215,7 @@ pub fn run_sweep_traced(
     let options = RunOptions {
         fault: None,
         trace_capacity: trace_out.is_some().then_some(200_000),
+        ..RunOptions::default()
     };
     let mut rows = Vec::new();
     for (k, seed) in scenario.session_seeds().enumerate() {
@@ -219,7 +236,7 @@ pub fn run_sweep_traced(
             outcomes,
         });
         if (k + 1) % 10 == 0 {
-            eprintln!("#   {}/{} sessions done", k + 1, scenario.sessions);
+            log.info(&format!("{}/{} sessions done", k + 1, scenario.sessions));
         }
     }
     if let Some(mut w) = trace_out {
@@ -301,7 +318,11 @@ mod tests {
         let mut scenario = Scenario::small_test();
         scenario.sessions = 2;
         scenario.session.payload_block_size = 1;
-        let rows = run_sweep(&scenario, &[Protocol::EtxRouting, Protocol::Omnc]);
+        let rows = run_sweep(
+            &scenario,
+            &[Protocol::EtxRouting, Protocol::Omnc],
+            &Logger::new(LogLevel::Quiet),
+        );
         assert_eq!(rows.len(), 2);
         let gains = gain_cdf(&rows, 1, 0);
         assert!(gains.len() <= 2);
@@ -329,6 +350,7 @@ mod tests {
             &scenario,
             &[Protocol::EtxRouting, Protocol::Omnc],
             Some(&path),
+            &Logger::new(LogLevel::Quiet),
         );
         assert_eq!(rows.len(), 2);
         let text = std::fs::read_to_string(&path).unwrap();

@@ -6,7 +6,7 @@ use net_topo::graph::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use telemetry::{Counter, Histogram, Registry};
+use telemetry::{Counter, Histogram, Profiler, Registry};
 
 use crate::event::Calendar;
 use crate::mac::MacModel;
@@ -136,6 +136,7 @@ struct Core<M> {
     trace: Trace,
     dead: Vec<bool>,
     telemetry: SimTelemetry,
+    profiler: Profiler,
     /// Tag of the packet currently being delivered to a behavior, set for
     /// the duration of its `on_receive` callback.
     incoming_tag: Option<PacketTag>,
@@ -264,6 +265,7 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
                 trace: Trace::disabled(),
                 dead: vec![false; n],
                 telemetry: SimTelemetry::default(),
+                profiler: Profiler::disabled(),
                 incoming_tag: None,
             },
             behaviors: (0..n).map(|_| None).collect(),
@@ -330,6 +332,17 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
             .set_dropped_counter(self.core.telemetry.trace_dropped.clone());
     }
 
+    /// Attaches a hierarchical profiler: [`Simulator::run_until`] opens a
+    /// `drift.run` span with per-event `dispatch.*` children, and the MAC
+    /// hot spots record `mac.arbitrate` (service-rate computation over the
+    /// backlogged set) and `mac.deliver` (per-receiver channel draws and
+    /// delivery fan-out). Behaviors that profile themselves on the same
+    /// profiler nest under the dispatch spans. A disabled profiler (the
+    /// default) costs one branch per event.
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        self.core.profiler = profiler;
+    }
+
     /// Schedules a crash-stop failure: at time `at`, `node` goes silent and
     /// deaf — its queue is flushed, its in-flight transmission is aborted,
     /// and it neither receives nor fires timers afterwards. Fault injection
@@ -387,6 +400,7 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
                     .schedule(SimTime::ZERO, Event::Start(node));
             }
         }
+        let _run = self.core.profiler.span("drift.run");
         while !self.core.stopped {
             let Some(next_time) = self.core.calendar.peek_time() else {
                 break;
@@ -398,6 +412,12 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
                 break; // unreachable: peek_time() just returned Some
             };
             self.core.now = time;
+            let _dispatch = self.core.profiler.span(match &event {
+                Event::Start(_) => "dispatch.start",
+                Event::Timer { .. } => "dispatch.timer",
+                Event::TxComplete { .. } => "dispatch.tx_complete",
+                Event::Kill(_) => "dispatch.kill",
+            });
             match event {
                 Event::Start(node) => {
                     self.with_behavior(node, |b, ctx| b.on_start(ctx));
@@ -462,18 +482,21 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
         {
             return;
         }
-        let backlogged: Vec<NodeId> = self
-            .core
-            .topology
-            .nodes()
-            .filter(|v| {
-                self.core.inflight[v.index()].is_some() || !self.core.queues[v.index()].is_empty()
-            })
-            .collect();
-        let rate = self
-            .core
-            .mac
-            .service_rate(node, &backlogged, &self.core.topology);
+        let rate = {
+            let _arbitrate = self.core.profiler.span("mac.arbitrate");
+            let backlogged: Vec<NodeId> = self
+                .core
+                .topology
+                .nodes()
+                .filter(|v| {
+                    self.core.inflight[v.index()].is_some()
+                        || !self.core.queues[v.index()].is_empty()
+                })
+                .collect();
+            self.core
+                .mac
+                .service_rate(node, &backlogged, &self.core.topology)
+        };
         if rate <= 0.0 {
             return;
         }
@@ -499,6 +522,7 @@ impl<M: Clone + 'static, B: Behavior<M>> Simulator<M, B> {
     /// Finishes `node`'s transmission: charge stats, roll the channel dice
     /// per receiver, deliver.
     fn complete_tx(&mut self, node: NodeId) {
+        let _deliver = self.core.profiler.span("mac.deliver");
         let Some(packet) = self.core.inflight[node.index()].take() else {
             return;
         };
@@ -716,6 +740,58 @@ mod tests {
             run(7),
             run(8),
             "different seeds should (almost surely) differ"
+        );
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_and_records_dispatch_spans() {
+        let topo = pair(0.5);
+        let run = |profiler: Option<telemetry::Profiler>| {
+            let mut sim: Simulator<Msg, Box<dyn Behavior<Msg>>> =
+                Simulator::new(&topo, MacModel::fair_share(1000.0), 7);
+            if let Some(p) = profiler {
+                sim.attach_profiler(p);
+            }
+            sim.set_behavior(
+                NodeId::new(0),
+                Box::new(Flood {
+                    count: 100,
+                    wire_len: 10,
+                }),
+            );
+            sim.set_behavior(NodeId::new(1), Box::<Counter>::default());
+            sim.run_until(100.0);
+            (
+                sim.stats(NodeId::new(0)).packets_sent,
+                sim.stats(NodeId::new(1)).packets_received,
+            )
+        };
+        let plain = run(None);
+        let profiler = telemetry::Profiler::virtual_clock();
+        let profiled = run(Some(profiler.clone()));
+        assert_eq!(plain, profiled, "profiling must not change behavior");
+
+        let report = profiler.report();
+        let span = |path: &str| {
+            report
+                .span(path)
+                .unwrap_or_else(|| panic!("missing span {path}"))
+        };
+        assert_eq!(span("drift.run").calls, 1);
+        // One Start event per node, one TxComplete per transmission.
+        assert_eq!(span("drift.run;dispatch.start").calls, 2);
+        assert_eq!(span("drift.run;dispatch.tx_complete").calls, plain.0);
+        // Every delivery runs MAC arbitration (next tx) and the deliver path.
+        assert_eq!(
+            span("drift.run;dispatch.tx_complete;mac.deliver").calls,
+            plain.0
+        );
+        assert!(report
+            .span("drift.run;dispatch.start;mac.arbitrate")
+            .is_some());
+        assert!(
+            report.total_root_ticks() >= span("drift.run").total_ticks,
+            "root accounting must cover the run span"
         );
     }
 

@@ -249,6 +249,7 @@ pub struct RateControl<'a> {
     /// structure does not).
     scaffold: Topology,
     record_trace: bool,
+    profiler: telemetry::Profiler,
 }
 
 /// Internal iterate state, all in capacity-normalized units.
@@ -306,6 +307,7 @@ impl<'a> RateControl<'a> {
             params,
             scaffold,
             record_trace: false,
+            profiler: telemetry::Profiler::disabled(),
         }
     }
 
@@ -313,6 +315,16 @@ impl<'a> RateControl<'a> {
     #[must_use]
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Attaches a hierarchical profiler: the run opens an `opt.run` span
+    /// with per-iteration `iterate` children (`sub1.shortest_path`,
+    /// `sub2.proximal`, `dual_update`) and `primal_recovery` spans around
+    /// the recovery/stopping-rule work.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: telemetry::Profiler) -> Self {
+        self.profiler = profiler;
         self
     }
 
@@ -329,6 +341,7 @@ impl<'a> RateControl<'a> {
     /// Runs to convergence, also returning the iteration trace (empty unless
     /// [`RateControl::with_trace`] was called).
     pub fn run_traced(&self) -> (RateAllocation, Trace) {
+        let _run = self.profiler.span("opt.run");
         let n = self.problem.node_count();
         let m = self.problem.link_count();
         // Informed dual initialization: λ starts proportional to the ETX
@@ -382,87 +395,100 @@ impl<'a> RateControl<'a> {
 
     /// One full iteration of Table 1 (steps 3–5) on normalized state.
     fn iterate(&self, st: &mut State, trace: &mut Trace) {
+        let _iterate = self.profiler.span("iterate");
         let problem = self.problem;
         let n = problem.node_count();
         let theta = self.params.step.at(st.t);
 
         // ---- Step 3, SUB1: shortest path under λ, inject γ = U'⁻¹(p_min).
-        let lambda = &st.lambda;
-        let sp = dijkstra::shortest_paths(&self.scaffold, NodeId::new(problem.src()), |l| {
-            // Cost of a link is its multiplier; identify the link index by
-            // endpoints (the scaffold preserves insertion order but not ids,
-            // so we keep a lookup through the instance).
-            self.link_index(l.from.index(), l.to.index())
-                .map(|e| lambda[e])
-                .unwrap_or(f64::INFINITY)
-        });
-        let mut x_step = vec![0.0; problem.link_count()];
-        let gamma_t;
-        if let Some(path) = sp.path_to(NodeId::new(problem.dst())) {
-            let p_min: f64 = sp.cost(NodeId::new(problem.dst())).expect("path exists");
-            // U(γ) = w·ln γ ⇒ γ = w / p_min, clamped to the capacity.
-            gamma_t = if p_min <= 1e-12 {
-                1.0
+        let (x_step, gamma_t) = {
+            let _sub1 = self.profiler.span("sub1.shortest_path");
+            let lambda = &st.lambda;
+            let sp = dijkstra::shortest_paths(&self.scaffold, NodeId::new(problem.src()), |l| {
+                // Cost of a link is its multiplier; identify the link index by
+                // endpoints (the scaffold preserves insertion order but not ids,
+                // so we keep a lookup through the instance).
+                self.link_index(l.from.index(), l.to.index())
+                    .map(|e| lambda[e])
+                    .unwrap_or(f64::INFINITY)
+            });
+            let mut x_step = vec![0.0; problem.link_count()];
+            let gamma_t;
+            if let Some(path) = sp.path_to(NodeId::new(problem.dst())) {
+                let p_min: f64 = sp.cost(NodeId::new(problem.dst())).expect("path exists");
+                // U(γ) = w·ln γ ⇒ γ = w / p_min, clamped to the capacity.
+                gamma_t = if p_min <= 1e-12 {
+                    1.0
+                } else {
+                    (self.params.utility_weight / p_min).min(1.0)
+                };
+                for w in path.windows(2) {
+                    let e = self
+                        .link_index(w[0].index(), w[1].index())
+                        .expect("path follows instance links");
+                    x_step[e] = gamma_t;
+                }
             } else {
-                (self.params.utility_weight / p_min).min(1.0)
-            };
-            for w in path.windows(2) {
-                let e = self
-                    .link_index(w[0].index(), w[1].index())
-                    .expect("path follows instance links");
-                x_step[e] = gamma_t;
+                gamma_t = 0.0;
             }
-        } else {
-            gamma_t = 0.0;
-        }
-        // Primal recovery (13): averaging over the current tail window;
-        // restart once the window has doubled so early transients fade.
-        if st.t >= 2 * st.window_start && st.t > 4 {
-            st.window_start = st.t;
-        }
+            // Primal recovery (13): averaging over the current tail window;
+            // restart once the window has doubled so early transients fade.
+            if st.t >= 2 * st.window_start && st.t > 4 {
+                st.window_start = st.t;
+            }
+            let span = (st.t - st.window_start + 1) as f64;
+            for (avg, inst) in st.x_avg.iter_mut().zip(&x_step) {
+                *avg += (inst - *avg) / span;
+            }
+            (x_step, gamma_t)
+        };
         let span = (st.t - st.window_start + 1) as f64;
-        for (avg, inst) in st.x_avg.iter_mut().zip(&x_step) {
-            *avg += (inst - *avg) / span;
-        }
 
-        // ---- Step 4, SUB2: proximal update of b, congestion prices β.
-        // w_i = Σ_j λ_ij p_ij over outgoing links (eq. after (14)).
-        let mut w = vec![0.0; n];
-        for (id, link) in problem.links() {
-            w[link.from] += st.lambda[id.index()] * link.p;
-        }
-        let mut b_new = st.b.clone();
-        for i in 0..n {
-            // β_S ≡ 0: eq. (4) constrains receivers i ∈ V \ S only.
-            let price: f64 = st.beta[i]
-                + problem
-                    .neighbors(i)
-                    .iter()
-                    .map(|&j| st.beta[j])
-                    .sum::<f64>();
-            let grad = w[i] - price;
-            // Loose bounds 0 ≤ b_i ≤ C keep iterates bounded (Sec. 3.3).
-            b_new[i] = (st.b[i] + grad / (2.0 * self.params.proximal_c)).clamp(0.0, 1.0);
-        }
-        st.b = b_new;
-        // Congestion price update (15) from the instantaneous load.
-        for i in 0..n {
-            if i == problem.src() {
-                continue; // no MAC constraint row at the source
+        {
+            // ---- Step 4, SUB2: proximal update of b, congestion prices β.
+            let _sub2 = self.profiler.span("sub2.proximal");
+            // w_i = Σ_j λ_ij p_ij over outgoing links (eq. after (14)).
+            let mut w = vec![0.0; n];
+            for (id, link) in problem.links() {
+                w[link.from] += st.lambda[id.index()] * link.p;
             }
-            let load: f64 = st.b[i] + problem.neighbors(i).iter().map(|&j| st.b[j]).sum::<f64>();
-            st.beta[i] = (st.beta[i] + theta * (load - 1.0)).max(0.0);
-        }
-        // Primal recovery (18) for b, over the same tail window.
-        for (avg, inst) in st.b_avg.iter_mut().zip(&st.b) {
-            *avg += (inst - *avg) / span;
+            let mut b_new = st.b.clone();
+            for i in 0..n {
+                // β_S ≡ 0: eq. (4) constrains receivers i ∈ V \ S only.
+                let price: f64 = st.beta[i]
+                    + problem
+                        .neighbors(i)
+                        .iter()
+                        .map(|&j| st.beta[j])
+                        .sum::<f64>();
+                let grad = w[i] - price;
+                // Loose bounds 0 ≤ b_i ≤ C keep iterates bounded (Sec. 3.3).
+                b_new[i] = (st.b[i] + grad / (2.0 * self.params.proximal_c)).clamp(0.0, 1.0);
+            }
+            st.b = b_new;
+            // Congestion price update (15) from the instantaneous load.
+            for i in 0..n {
+                if i == problem.src() {
+                    continue; // no MAC constraint row at the source
+                }
+                let load: f64 =
+                    st.b[i] + problem.neighbors(i).iter().map(|&j| st.b[j]).sum::<f64>();
+                st.beta[i] = (st.beta[i] + theta * (load - 1.0)).max(0.0);
+            }
+            // Primal recovery (18) for b, over the same tail window.
+            for (avg, inst) in st.b_avg.iter_mut().zip(&st.b) {
+                *avg += (inst - *avg) / span;
+            }
         }
 
-        // ---- Step 5: multiplier update (8): λ ← [λ − θ(b_i·p_ij − x_ij)]⁺.
-        for (id, link) in problem.links() {
-            let e = id.index();
-            let slack = st.b[link.from] * link.p - x_step[e];
-            st.lambda[e] = (st.lambda[e] - theta * slack).max(0.0);
+        {
+            // ---- Step 5: multiplier update (8): λ ← [λ − θ(b_i·p_ij − x_ij)]⁺.
+            let _dual = self.profiler.span("dual_update");
+            for (id, link) in problem.links() {
+                let e = id.index();
+                let slack = st.b[link.from] * link.p - x_step[e];
+                st.lambda[e] = (st.lambda[e] - theta * slack).max(0.0);
+            }
         }
 
         if self.record_trace {
@@ -533,6 +559,7 @@ impl<'a> RateControl<'a> {
     /// The candidate supporting the larger end-to-end max flow wins; both
     /// are feasible, so this only improves the allocation.
     fn finish(&self, st: &State, converged: bool) -> RateAllocation {
+        let _recovery = self.profiler.span("primal_recovery");
         let problem = self.problem;
         let (rate_norm, b_norm) = match self.params.recovery {
             Recovery::AveragedB => self.rescaled(&st.b_avg),
@@ -612,6 +639,7 @@ impl<'a> RateControl<'a> {
     /// The normalized end-to-end rate the current recovered state supports
     /// (best of the two recovery candidates); used by the stopping rule.
     fn supported_rate_of(&self, st: &State) -> f64 {
+        let _recovery = self.profiler.span("primal_recovery");
         let (rate_a, _) = self.rescaled(&st.b_avg);
         let (rate_b, _) = self.rescaled(&self.b_from_flows(&st.x_avg));
         rate_a.max(rate_b)
@@ -702,6 +730,29 @@ mod tests {
             relays_with_flow, 2,
             "rate control should exploit path diversity"
         );
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_and_records_iteration_spans() {
+        let (t, sel) = diamond();
+        let p = SUnicast::from_selection(&t, &sel, 1e5);
+        let plain = RateControl::new(&p).run();
+        let profiler = telemetry::Profiler::virtual_clock();
+        let profiled = RateControl::new(&p).with_profiler(profiler.clone()).run();
+        assert_eq!(plain.throughput(), profiled.throughput());
+        assert_eq!(plain.iterations(), profiled.iterations());
+        let report = profiler.report();
+        assert_eq!(report.span("opt.run").map(|s| s.calls), Some(1));
+        let iterate = report.span("opt.run;iterate").expect("iterate span");
+        assert_eq!(iterate.calls, profiled.iterations() as u64);
+        for child in [
+            "opt.run;iterate;sub1.shortest_path",
+            "opt.run;iterate;sub2.proximal",
+            "opt.run;iterate;dual_update",
+        ] {
+            assert_eq!(report.span(child).map(|s| s.calls), Some(iterate.calls));
+        }
+        assert!(report.span("opt.run;primal_recovery").is_some());
     }
 
     #[test]

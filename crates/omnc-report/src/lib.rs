@@ -16,7 +16,9 @@
 //!   streams (Fig. 1).
 //!
 //! [`analyze`] reduces a record stream to a [`Report`]; [`compare`] diffs
-//! two reports' metric maps for the CI perf-regression gate.
+//! two reports' metric maps for the CI perf-regression gate. The
+//! profiler side ([`render_profile`], [`compare_profiles`]) renders and
+//! gates the hierarchical span profiles `omnc-sim --profile` exports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +31,8 @@ use omnc::drift::TraceEvent;
 use omnc::trace::{Absorbed, TraceRecord};
 use omnc_opt::IterationRecord;
 use serde::{Deserialize, Serialize};
+
+pub use omnc::telemetry::{ProfileReport, ProfileSpan};
 
 /// Per-link delivery accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -282,6 +286,7 @@ pub fn analyze(trace: &[TraceRecord], opt: &[IterationRecord]) -> Report {
                 innovative,
                 redundant,
                 final_rank,
+                dropped_mac_events,
                 ..
             } => {
                 if let Some(mut s) = current.take() {
@@ -290,6 +295,7 @@ pub fn analyze(trace: &[TraceRecord], opt: &[IterationRecord]) -> Report {
                     s.innovative = *innovative;
                     s.redundant = *redundant;
                     s.final_rank = *final_rank;
+                    s.dropped_mac_events = *dropped_mac_events;
                     sessions.push(s);
                 }
             }
@@ -388,6 +394,10 @@ fn collect_metrics(
             format!("{prefix}/contributing_forwarders"),
             s.contributing_forwarders() as f64,
         );
+        metrics.insert(
+            format!("{prefix}/dropped_mac_events"),
+            s.dropped_mac_events as f64,
+        );
     }
     if let Some(c) = convergence {
         metrics.insert("opt/iterations".into(), c.iterations as f64);
@@ -476,7 +486,8 @@ pub fn render_ascii(report: &Report) -> String {
         if s.dropped_mac_events > 0 {
             let _ = writeln!(
                 out,
-                "warning: {} MAC events dropped (incomplete stream)",
+                "Warning: {} MAC events dropped (incomplete stream; per-link and \
+                 per-forwarder counts undercount — raise --trace-capacity)",
                 s.dropped_mac_events
             );
         }
@@ -522,9 +533,9 @@ pub fn render_csv(report: &Report) -> String {
 pub struct Regression {
     /// The metric's key in the report's metric map.
     pub metric: String,
-    /// Baseline value (`NaN` when the metric is new).
+    /// Baseline value.
     pub baseline: f64,
-    /// Current value (`NaN` when the metric disappeared).
+    /// Current value.
     pub current: f64,
 }
 
@@ -541,8 +552,11 @@ pub fn lower_is_better(metric: &str) -> bool {
 /// Direction is inferred from the metric name ([`lower_is_better`]);
 /// lower-is-better metrics get an absolute slack of `threshold / 10` so a
 /// zero baseline (e.g. empty queues) tolerates noise. Metrics present in
-/// the baseline but missing from `current` are regressions; new metrics in
-/// `current` are ignored (the baseline only ratchets what it knows).
+/// the baseline but missing from `current` are a *distinct* condition —
+/// usually a schema change or a shorter run, not a numeric slide — so
+/// they are not folded into the regression list; surface them with
+/// [`missing_metrics`]. New metrics in `current` are ignored (the
+/// baseline only ratchets what it knows).
 pub fn compare(
     baseline: &BTreeMap<String, f64>,
     current: &BTreeMap<String, f64>,
@@ -551,11 +565,6 @@ pub fn compare(
     let mut regressions = Vec::new();
     for (metric, &base) in baseline {
         let Some(&cur) = current.get(metric) else {
-            regressions.push(Regression {
-                metric: metric.clone(),
-                baseline: base,
-                current: f64::NAN,
-            });
             continue;
         };
         let failed = if lower_is_better(metric) {
@@ -572,6 +581,178 @@ pub fn compare(
         }
     }
     regressions
+}
+
+/// Metric keys present in `baseline` but absent from `current`.
+///
+/// The CLI prints these as warnings and fails the gate on them only
+/// under `--strict`, so a deliberate schema change does not masquerade
+/// as a performance slide.
+pub fn missing_metrics(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+) -> Vec<String> {
+    baseline
+        .keys()
+        .filter(|metric| !current.contains_key(*metric))
+        .cloned()
+        .collect()
+}
+
+// ----------------------------------------------------------------- profile
+
+/// Which [`ProfileSpan`] field `profile compare` gates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileMetric {
+    /// Span call counts — exact across identical seeded runs under the
+    /// virtual clock, so the tightest (and default) gate.
+    Calls,
+    /// Self ticks (total minus direct children).
+    SelfTicks,
+    /// Total ticks between entry and exit.
+    TotalTicks,
+}
+
+impl ProfileMetric {
+    /// Parses the CLI spelling (`calls` | `self` | `total`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<ProfileMetric> {
+        match name {
+            "calls" => Some(ProfileMetric::Calls),
+            "self" => Some(ProfileMetric::SelfTicks),
+            "total" => Some(ProfileMetric::TotalTicks),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfileMetric::Calls => "calls",
+            ProfileMetric::SelfTicks => "self",
+            ProfileMetric::TotalTicks => "total",
+        }
+    }
+
+    fn get(self, span: &ProfileSpan) -> u64 {
+        match self {
+            ProfileMetric::Calls => span.calls,
+            ProfileMetric::SelfTicks => span.self_ticks,
+            ProfileMetric::TotalTicks => span.total_ticks,
+        }
+    }
+}
+
+/// One span whose cost grew past the threshold between two profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRegression {
+    /// Full `;`-joined span path.
+    pub path: String,
+    /// Baseline value of the gated metric.
+    pub baseline: u64,
+    /// Current value of the gated metric.
+    pub current: u64,
+}
+
+/// Result of diffing two profiles with [`compare_profiles`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileComparison {
+    /// Spans whose metric grew beyond the tolerance.
+    pub regressions: Vec<ProfileRegression>,
+    /// Baseline span paths the current profile never entered.
+    pub missing: Vec<String>,
+}
+
+/// Compares `current` against `baseline` on one span `metric`.
+///
+/// Profile metrics are costs, so the direction is fixed: growth beyond
+/// the relative `threshold` (plus one tick of absolute slack, so tiny
+/// counts do not flap on a single extra event) is a regression and
+/// shrinkage is an improvement. Baseline spans missing from `current`
+/// are listed separately; spans new in `current` are ignored.
+pub fn compare_profiles(
+    baseline: &ProfileReport,
+    current: &ProfileReport,
+    threshold: f64,
+    metric: ProfileMetric,
+) -> ProfileComparison {
+    let mut regressions = Vec::new();
+    let mut missing = Vec::new();
+    for base in &baseline.spans {
+        let Some(cur) = current.span(&base.path) else {
+            missing.push(base.path.clone());
+            continue;
+        };
+        let (b, c) = (metric.get(base), metric.get(cur));
+        if c as f64 > b as f64 * (1.0 + threshold) + 1.0 {
+            regressions.push(ProfileRegression {
+                path: base.path.clone(),
+                baseline: b,
+                current: c,
+            });
+        }
+    }
+    ProfileComparison {
+        regressions,
+        missing,
+    }
+}
+
+/// Renders a profile as a top-`top` table of spans ranked by self time
+/// followed by the full span tree (indent = nesting depth).
+///
+/// Percentages are of [`ProfileReport::total_root_ticks`], so the
+/// `self%` column over the whole report sums to at most 100%.
+pub fn render_profile(report: &ProfileReport, top: usize) -> String {
+    let mut out = String::new();
+    let root = report.total_root_ticks();
+    let _ = writeln!(
+        out,
+        "clock: {} ({} spans, {} root {})",
+        report.clock,
+        report.spans.len(),
+        root,
+        report.unit
+    );
+    let mut by_self: Vec<&ProfileSpan> = report.spans.iter().collect();
+    by_self.sort_by(|a, b| b.self_ticks.cmp(&a.self_ticks).then(a.path.cmp(&b.path)));
+    let _ = writeln!(
+        out,
+        "\ntop {} spans by self {}:",
+        top.min(by_self.len()),
+        report.unit
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>6} {:>12} {:>12}  path",
+        "calls", "self%", "self", "total"
+    );
+    for s in by_self.iter().take(top) {
+        let pct = if root == 0 {
+            0.0
+        } else {
+            s.self_ticks as f64 / root as f64 * 100.0
+        };
+        let _ = writeln!(
+            out,
+            "{:>10} {:>5.1}% {:>12} {:>12}  {}",
+            s.calls, pct, s.self_ticks, s.total_ticks, s.path
+        );
+    }
+    let _ = writeln!(out, "\nspan tree:");
+    let _ = writeln!(out, "{:>10} {:>12} {:>12}  span", "calls", "total", "self");
+    // The report is already depth-first with children sorted by name, so
+    // printing in order with depth indentation reproduces the tree.
+    for s in &report.spans {
+        let indent = "  ".repeat(s.depth as usize);
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12} {:>12}  {indent}{}",
+            s.calls, s.total_ticks, s.self_ticks, s.name
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -675,6 +856,7 @@ mod tests {
                 innovative: 2,
                 redundant: 1,
                 final_rank: 2,
+                dropped_mac_events: 0,
             },
         ]
     }
@@ -783,11 +965,87 @@ mod tests {
         let mut drained = report.metrics.clone();
         drained.insert("omnc/0/mean_queue".into(), 0.0);
         assert!(compare(&report.metrics, &drained, 0.15).is_empty());
-        // A metric vanishing from the current run is a regression.
+        // A metric vanishing from the current run is not a numeric
+        // regression — it is surfaced as a distinct missing-metric list.
         let mut missing = report.metrics.clone();
         missing.remove("omnc/0/final_rank");
-        let regs = compare(&report.metrics, &missing, 0.15);
-        assert_eq!(regs.len(), 1);
-        assert!(regs[0].current.is_nan());
+        assert!(compare(&report.metrics, &missing, 0.15).is_empty());
+        assert_eq!(
+            missing_metrics(&report.metrics, &missing),
+            vec!["omnc/0/final_rank".to_string()]
+        );
+        // New metrics in the current run are neither regressed nor missing.
+        assert!(missing_metrics(&missing, &report.metrics).is_empty());
+    }
+
+    /// Satellite: the runner's dropped-MAC-event count must surface as an
+    /// explicit warning line and as a gate metric.
+    #[test]
+    fn dropped_mac_events_surface_as_warning_and_metric() {
+        let mut trace = synthetic_trace();
+        if let Some(TraceRecord::SessionEnd {
+            dropped_mac_events, ..
+        }) = trace.last_mut()
+        {
+            *dropped_mac_events = 5;
+        }
+        let report = analyze(&trace, &[]);
+        assert_eq!(report.sessions[0].dropped_mac_events, 5);
+        assert_eq!(report.metrics["omnc/0/dropped_mac_events"], 5.0);
+        let ascii = render_ascii(&report);
+        assert!(ascii.contains("Warning: 5 MAC events dropped"), "{ascii}");
+        // A complete trace stays warning-free.
+        let clean = render_ascii(&analyze(&synthetic_trace(), &[]));
+        assert!(!clean.contains("Warning"), "{clean}");
+    }
+
+    fn nested_profile(rounds: usize) -> ProfileReport {
+        let p = omnc::telemetry::Profiler::virtual_clock();
+        for _ in 0..rounds {
+            let _outer = p.span("decode");
+            let _inner = p.span("eliminate");
+        }
+        p.report()
+    }
+
+    #[test]
+    fn profile_renders_ranked_table_and_indented_tree() {
+        let report = nested_profile(3);
+        let text = render_profile(&report, 2);
+        assert!(text.contains("clock: virtual"), "{text}");
+        assert!(text.contains("decode;eliminate"), "{text}");
+        // The tree view indents children under their parent.
+        assert!(text.contains("  eliminate"), "{text}");
+        assert_eq!(
+            report.span("decode").map(|s| s.calls),
+            Some(3),
+            "fixture sanity"
+        );
+    }
+
+    #[test]
+    fn profile_compare_flags_growth_not_shrinkage() {
+        let base = nested_profile(8);
+        // Identical runs are clean.
+        let same = compare_profiles(&base, &nested_profile(8), 0.15, ProfileMetric::Calls);
+        assert!(same.regressions.is_empty() && same.missing.is_empty());
+        // More calls than the tolerance is a regression on both spans.
+        let grown = compare_profiles(&base, &nested_profile(20), 0.15, ProfileMetric::Calls);
+        assert!(
+            grown.regressions.iter().any(|r| r.path == "decode"),
+            "{grown:?}"
+        );
+        assert!(grown.missing.is_empty());
+        // Fewer calls is an improvement, not a regression.
+        let shrunk = compare_profiles(&base, &nested_profile(4), 0.15, ProfileMetric::Calls);
+        assert!(shrunk.regressions.is_empty(), "{shrunk:?}");
+        // A span the current run never entered is reported missing.
+        let p = omnc::telemetry::Profiler::virtual_clock();
+        drop(p.span("decode"));
+        let cmp = compare_profiles(&base, &p.report(), 0.15, ProfileMetric::Calls);
+        assert_eq!(cmp.missing, vec!["decode;eliminate".to_string()]);
+        // The tick-based metrics gate too.
+        let ticks = compare_profiles(&base, &nested_profile(20), 0.15, ProfileMetric::TotalTicks);
+        assert!(!ticks.regressions.is_empty());
     }
 }

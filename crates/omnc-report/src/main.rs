@@ -2,26 +2,33 @@
 //! performance regressions.
 //!
 //! ```sh
-//! omnc-sim --sessions 2 --trace run.jsonl
+//! omnc-sim --sessions 2 --trace run.jsonl --profile run.profile.json
 //! omnc-report analyze --trace run.jsonl --json report.json --csv forwarders.csv
 //! omnc-report compare --baseline BENCH_baseline.json --current report.json
+//! omnc-report profile run.profile.json --top 10
+//! omnc-report profile compare --baseline PROFILE_baseline.json --current run.profile.json
 //! ```
 //!
-//! `analyze` prints ASCII tables to stdout; `compare` exits nonzero when
-//! any metric regressed beyond the threshold.
+//! `analyze` prints ASCII tables to stdout; `compare` and `profile
+//! compare` exit nonzero when any metric (span) regressed beyond the
+//! threshold.
 
 #![forbid(unsafe_code)]
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
-use omnc_report::{analyze, compare, parse_opt, parse_trace, render_ascii, render_csv, Report};
+use omnc_report::{
+    analyze, compare, compare_profiles, missing_metrics, parse_opt, parse_trace, render_ascii,
+    render_csv, render_profile, ProfileMetric, ProfileReport, Report,
+};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match argv.first().map(String::as_str) {
         Some("analyze") => run_analyze(&argv[1..]),
         Some("compare") => run_compare(&argv[1..]),
+        Some("profile") => run_profile(&argv[1..]),
         Some("--help" | "-h") | None => {
             print_help();
             Ok(0)
@@ -43,7 +50,10 @@ fn print_help() {
 
 USAGE:
     omnc-report analyze --trace <PATH> [--opt <PATH>] [--json <OUT>] [--csv <OUT>] [--quiet]
-    omnc-report compare --baseline <PATH> --current <PATH> [--threshold <T>]
+    omnc-report compare --baseline <PATH> --current <PATH> [--threshold <T>] [--strict]
+    omnc-report profile <PATH> [--top <N>] [--folded <OUT>]
+    omnc-report profile compare --baseline <PATH> --current <PATH>
+                                [--threshold <T>] [--metric <M>] [--strict]
 
 ANALYZE:
     --trace <PATH>      JSONL trace from `omnc-sim --trace` ('-' = stdin)
@@ -56,8 +66,26 @@ COMPARE:
     --baseline <PATH>   committed report.json to gate against
     --current <PATH>    report.json of the run under test
     --threshold <T>     relative regression tolerance    [default: 0.15]
+    --strict            baseline metrics missing from the current report
+                        fail the gate instead of only warning
 
-compare exits 0 when no metric regressed, 1 otherwise."
+PROFILE:
+    <PATH>              span profile JSON from `omnc-sim --profile`
+    --top <N>           rows in the self-time ranking    [default: 10]
+    --folded <OUT>      re-export Brendan-Gregg folded stacks
+                        (flamegraph.pl / speedscope input)
+
+PROFILE COMPARE:
+    --baseline <PATH>   committed profile JSON to gate against
+    --current <PATH>    profile JSON of the run under test
+    --threshold <T>     relative growth tolerance        [default: 0.15]
+    --metric <M>        calls | self | total             [default: calls]
+                        (calls is exact across identical seeded runs under
+                        the virtual clock)
+    --strict            baseline spans missing from the current profile
+                        fail the gate instead of only warning
+
+compare / profile compare exit 0 when nothing regressed, 1 otherwise."
     );
 }
 
@@ -115,6 +143,7 @@ fn run_compare(args: &[String]) -> Result<i32, String> {
     let mut baseline_path: Option<String> = None;
     let mut current_path: Option<String> = None;
     let mut threshold = 0.15;
+    let mut strict = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -126,32 +155,138 @@ fn run_compare(args: &[String]) -> Result<i32, String> {
                     .parse()
                     .map_err(|_| format!("could not parse threshold '{v}'"))?;
             }
+            "--strict" => strict = true,
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
     let baseline = load_report(&baseline_path.ok_or("compare requires --baseline")?)?;
     let current = load_report(&current_path.ok_or("compare requires --current")?)?;
+    let missing = missing_metrics(&baseline.metrics, &current.metrics);
+    for metric in &missing {
+        println!("warning: metric '{metric}' missing from current report");
+    }
     let regressions = compare(&baseline.metrics, &current.metrics, threshold);
-    if regressions.is_empty() {
-        println!(
-            "OK: {} metrics within {:.0}% of baseline",
-            baseline.metrics.len(),
-            threshold * 100.0
-        );
-        Ok(0)
-    } else {
+    if !regressions.is_empty() {
         println!(
             "REGRESSION: {} of {} metrics beyond {:.0}% tolerance",
             regressions.len(),
-            baseline.metrics.len(),
+            baseline.metrics.len() - missing.len(),
             threshold * 100.0
         );
         println!("{:>34} {:>14} {:>14}", "metric", "baseline", "current");
         for r in &regressions {
             println!("{:>34} {:>14.3} {:>14.3}", r.metric, r.baseline, r.current);
         }
-        Ok(1)
+        return Ok(1);
     }
+    println!(
+        "OK: {} metrics within {:.0}% of baseline",
+        baseline.metrics.len() - missing.len(),
+        threshold * 100.0
+    );
+    if strict && !missing.is_empty() {
+        println!("STRICT: {} baseline metric(s) missing", missing.len());
+        return Ok(1);
+    }
+    Ok(0)
+}
+
+fn run_profile(args: &[String]) -> Result<i32, String> {
+    if args.first().map(String::as_str) == Some("compare") {
+        return run_profile_compare(&args[1..]);
+    }
+    let mut path: Option<String> = None;
+    let mut top = 10usize;
+    let mut folded_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--profile" => path = Some(next_value(&mut it, "--profile")?.clone()),
+            "--top" => {
+                let v = next_value(&mut it, "--top")?;
+                top = v
+                    .parse()
+                    .map_err(|_| format!("could not parse --top '{v}'"))?;
+            }
+            "--folded" => folded_out = Some(next_value(&mut it, "--folded")?.clone()),
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    let path = path.ok_or("profile requires a profile JSON path (from `omnc-sim --profile`)")?;
+    let report = load_profile(&path)?;
+    print!("{}", render_profile(&report, top));
+    if let Some(out) = folded_out {
+        write_file(&out, report.folded().as_bytes())?;
+    }
+    Ok(0)
+}
+
+fn run_profile_compare(args: &[String]) -> Result<i32, String> {
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut threshold = 0.15;
+    let mut metric = ProfileMetric::Calls;
+    let mut strict = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--baseline" => baseline_path = Some(next_value(&mut it, "--baseline")?.clone()),
+            "--current" => current_path = Some(next_value(&mut it, "--current")?.clone()),
+            "--threshold" => {
+                let v = next_value(&mut it, "--threshold")?;
+                threshold = v
+                    .parse()
+                    .map_err(|_| format!("could not parse threshold '{v}'"))?;
+            }
+            "--metric" => {
+                let v = next_value(&mut it, "--metric")?;
+                metric = ProfileMetric::parse(v)
+                    .ok_or_else(|| format!("unknown profile metric '{v}' (calls|self|total)"))?;
+            }
+            "--strict" => strict = true,
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    let baseline = load_profile(&baseline_path.ok_or("profile compare requires --baseline")?)?;
+    let current = load_profile(&current_path.ok_or("profile compare requires --current")?)?;
+    let cmp = compare_profiles(&baseline, &current, threshold, metric);
+    for path in &cmp.missing {
+        println!("warning: span '{path}' missing from current profile");
+    }
+    if !cmp.regressions.is_empty() {
+        println!(
+            "REGRESSION: {} of {} spans grew beyond {:.0}% tolerance ({})",
+            cmp.regressions.len(),
+            baseline.spans.len() - cmp.missing.len(),
+            threshold * 100.0,
+            metric.name()
+        );
+        println!("{:>12} {:>12}  span", "baseline", "current");
+        for r in &cmp.regressions {
+            println!("{:>12} {:>12}  {}", r.baseline, r.current, r.path);
+        }
+        return Ok(1);
+    }
+    println!(
+        "OK: {} spans within {:.0}% of baseline ({})",
+        baseline.spans.len() - cmp.missing.len(),
+        threshold * 100.0,
+        metric.name()
+    );
+    if strict && !cmp.missing.is_empty() {
+        println!("STRICT: {} baseline span(s) missing", cmp.missing.len());
+        return Ok(1);
+    }
+    Ok(0)
+}
+
+fn load_profile(path: &str) -> Result<ProfileReport, String> {
+    let mut text = String::new();
+    reader_for(path)?
+        .read_to_string(&mut text)
+        .map_err(|e| format!("reading '{path}': {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing '{path}': {e}"))
 }
 
 fn load_report(path: &str) -> Result<Report, String> {

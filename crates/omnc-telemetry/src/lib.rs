@@ -15,13 +15,28 @@
 //! A registry created with [`Registry::disabled`] hands out no-op handles:
 //! instruments still exist and can be passed around, but updates are
 //! dropped without synchronization beyond one relaxed atomic store.
+//!
+//! On top of those sit two observability layers added later:
+//!
+//! * a hierarchical span [`Profiler`] — nested RAII spans over an
+//!   explicit parent stack, attributing call counts / total / self time
+//!   per span path, with wall and deterministic virtual clocks behind
+//!   the [`Clock`] trait and JSON + folded-stacks export;
+//! * a structured stderr [`Logger`] (`level=… msg="…"` lines) behind
+//!   the `--log-level {quiet,info,debug}` knob of the binaries.
 
 #![forbid(unsafe_code)]
 
+mod log;
+mod profiler;
 mod registry;
 mod sink;
 mod timer;
 
+pub use log::{LogLevel, Logger};
+pub use profiler::{
+    Clock, ProfileGuard, ProfileReport, ProfileSpan, Profiler, VirtualClock, WallClock,
+};
 pub use registry::{BucketCount, Counter, Gauge, Histogram, MetricKind, MetricSnapshot, Registry};
 pub use sink::{EventSink, SinkTarget};
 pub use timer::{ScopedTimer, Span, Stopwatch};

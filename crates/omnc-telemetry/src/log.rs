@@ -1,0 +1,119 @@
+//! Structured stderr logging for binaries.
+//!
+//! One line per message, `level=<level> msg="<text>"`, so progress and
+//! warnings coming out of `omnc-sim` and the bench bins are grep-able
+//! and machine-parseable instead of ad-hoc `eprintln!` prose. The
+//! verbosity knob maps to `--log-level {quiet,info,debug}`: `quiet`
+//! passes only errors, `info` (the default) adds warnings and progress,
+//! `debug` adds everything.
+
+/// Verbosity threshold selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum LogLevel {
+    /// Errors only.
+    Quiet,
+    /// Errors, warnings, and progress (default).
+    #[default]
+    Info,
+    /// Everything, including per-step detail.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parses a `--log-level` value; `None` for unknown names.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s {
+            "quiet" => Some(LogLevel::Quiet),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// A leveled stderr logger. Copy-cheap; construct once from the parsed
+/// command line and pass it down.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Logger {
+    level: LogLevel,
+}
+
+impl Logger {
+    /// A logger passing messages at or below `level`.
+    #[must_use]
+    pub fn new(level: LogLevel) -> Self {
+        Logger { level }
+    }
+
+    /// The configured threshold.
+    #[must_use]
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// Always emitted, even under `quiet`.
+    pub fn error(&self, msg: &str) {
+        emit("error", msg);
+    }
+
+    /// Emitted at `info` and `debug`.
+    pub fn warn(&self, msg: &str) {
+        if self.level >= LogLevel::Info {
+            emit("warn", msg);
+        }
+    }
+
+    /// Emitted at `info` and `debug`.
+    pub fn info(&self, msg: &str) {
+        if self.level >= LogLevel::Info {
+            emit("info", msg);
+        }
+    }
+
+    /// Emitted at `debug` only.
+    pub fn debug(&self, msg: &str) {
+        if self.level >= LogLevel::Debug {
+            emit("debug", msg);
+        }
+    }
+}
+
+fn emit(level: &str, msg: &str) {
+    eprintln!("level={level} msg=\"{}\"", escape(msg));
+}
+
+/// Escapes quotes, backslashes, and newlines so the line stays one line.
+fn escape(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len());
+    for c in msg.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(LogLevel::parse("quiet"), Some(LogLevel::Quiet));
+        assert_eq!(LogLevel::parse("info"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("verbose"), None);
+        assert!(LogLevel::Quiet < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+        assert_eq!(LogLevel::default(), LogLevel::Info);
+    }
+
+    #[test]
+    fn escape_keeps_one_line() {
+        assert_eq!(escape("a \"b\" \\ c\nd"), "a \\\"b\\\" \\\\ c\\nd");
+    }
+}

@@ -162,6 +162,34 @@ impl Histogram {
             .map_or(0.0, |c| f64::from_bits(c.sum_bits.load(Ordering::Relaxed)))
     }
 
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) as the upper
+    /// bound of the bucket holding the `⌈q·count⌉`-th smallest
+    /// observation — an upper bound on the true quantile, exact when all
+    /// observations in that bucket equal its bound.
+    ///
+    /// Returns `None` for an empty (or disabled) histogram, and
+    /// `f64::INFINITY` when the quantile falls in the overflow bucket
+    /// (no finite bound is known).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let core = self.core.as_ref()?;
+        let n = core.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut running = 0u64;
+        for (i, c) in core.counts.iter().enumerate() {
+            running += c.load(Ordering::Relaxed);
+            if running >= rank {
+                return Some(core.bounds.get(i).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
     /// Cumulative counts per bucket (Prometheus convention: each entry
     /// counts observations at or below its bound; the final `None` entry
     /// equals [`Histogram::count`]).
@@ -507,6 +535,58 @@ mod tests {
                 count: 6
             }
         );
+    }
+
+    /// Satellite: percentile edge cases — empty, single-sample, and
+    /// all-equal histograms.
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        let registry = Registry::new();
+        let h = registry.histogram("empty", &[1.0, 10.0]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+        // A disabled handle behaves like an empty histogram.
+        assert_eq!(Histogram::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_single_sample_is_its_bucket_for_every_q() {
+        let registry = Registry::new();
+        let h = registry.histogram("one", &[1.0, 10.0, 100.0]);
+        h.observe(7.0);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(10.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_all_equal_samples_are_stable_across_q() {
+        let registry = Registry::new();
+        let h = registry.histogram("flat", &[1.0, 10.0, 100.0]);
+        for _ in 0..50 {
+            h.observe(10.0); // exactly on a bound: inclusive bucket
+        }
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(10.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_spread_and_overflow() {
+        let registry = Registry::new();
+        let h = registry.histogram("spread", &[1.0, 10.0, 100.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        h.observe(1e6); // overflow bucket
+        assert_eq!(h.quantile(0.25), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(10.0));
+        assert_eq!(h.quantile(0.75), Some(100.0));
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-3.0), Some(1.0));
+        assert_eq!(h.quantile(7.0), Some(f64::INFINITY));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::io::{BufWriter, Write};
 use omnc::runner::{run_session_traced, Protocol, RunOptions};
 use omnc::scenario::{Quality, Scenario};
 use omnc::session::SessionConfig;
+use omnc::telemetry::{LogLevel, Logger, Profiler};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -33,6 +34,10 @@ struct Args {
     full_payload: bool,
     trace: Option<String>,
     trace_capacity: usize,
+    profile: Option<String>,
+    profile_folded: Option<String>,
+    profile_wall_clock: bool,
+    log_level: LogLevel,
 }
 
 impl Args {
@@ -49,6 +54,10 @@ impl Args {
             full_payload: false,
             trace: None,
             trace_capacity: 200_000,
+            profile: None,
+            profile_folded: None,
+            profile_wall_clock: false,
+            log_level: LogLevel::Info,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut it = argv.iter();
@@ -86,6 +95,22 @@ impl Args {
                 "--full-payload" => args.full_payload = true,
                 "--trace" => args.trace = Some(value("--trace")?.clone()),
                 "--trace-capacity" => args.trace_capacity = parse(value("--trace-capacity")?)?,
+                "--profile" => args.profile = Some(value("--profile")?.clone()),
+                "--profile-folded" => {
+                    args.profile_folded = Some(value("--profile-folded")?.clone());
+                }
+                "--profile-clock" => {
+                    args.profile_wall_clock = match value("--profile-clock")?.as_str() {
+                        "wall" => true,
+                        "virtual" => false,
+                        other => return Err(format!("unknown profile clock '{other}'")),
+                    }
+                }
+                "--log-level" => {
+                    let v = value("--log-level")?;
+                    args.log_level = LogLevel::parse(v)
+                        .ok_or_else(|| format!("unknown log level '{v}' (quiet|info|debug)"))?;
+                }
                 "--help" | "-h" => {
                     print_help();
                     std::process::exit(0);
@@ -134,6 +159,15 @@ OPTIONS:
                         (one stream per session/protocol; feed to omnc-report;
                         '-' writes to stdout for piping)
     --trace-capacity <N> max MAC events kept per run [default: 200000]
+    --profile <PATH>    write the hierarchical span profile as JSON
+                        (event loop, MAC arbitration, encode/recode/decode,
+                        gf256 kernels; feed to `omnc-report profile`)
+    --profile-folded <PATH> write Brendan-Gregg folded stacks (flamegraph.pl
+                        / speedscope input)
+    --profile-clock <C> virtual | wall        [default: virtual]
+                        (virtual counts clock reads — deterministic across
+                        identical seeded runs; wall measures nanoseconds)
+    --log-level <L>     quiet | info | debug  [default: info]
     -h, --help          this text"
     );
 }
@@ -142,10 +176,11 @@ fn main() {
     let args = match Args::parse() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            Logger::default().error(&e);
             std::process::exit(2);
         }
     };
+    let log = Logger::new(args.log_level);
 
     let mut scenario = Scenario::reduced(args.quality);
     scenario.nodes = args.nodes;
@@ -169,19 +204,36 @@ fn main() {
             Box::new(std::io::stdout())
         } else {
             Box::new(File::create(path).unwrap_or_else(|e| {
-                eprintln!("error: cannot create trace file '{path}': {e}");
+                log.error(&format!("cannot create trace file '{path}': {e}"));
                 std::process::exit(2);
             }))
         };
         BufWriter::new(sink)
     });
+    let profiling = args.profile.is_some() || args.profile_folded.is_some();
+    let profiler = match (profiling, args.profile_wall_clock) {
+        (false, _) => Profiler::disabled(),
+        (true, true) => Profiler::wall(),
+        (true, false) => Profiler::virtual_clock(),
+    };
     let options = RunOptions {
         fault: None,
         trace_capacity: args.trace.is_some().then_some(args.trace_capacity),
+        profiler: profiler.clone(),
     };
+    log.debug(&format!(
+        "scenario: {} nodes, {} sessions, {}s, seed {}",
+        scenario.nodes, scenario.sessions, scenario.session.duration, scenario.seed
+    ));
     for (k, seed) in scenario.session_seeds().enumerate() {
         let (topology, src, dst) = scenario.build_session(k as u64);
         for &protocol in &args.protocols {
+            log.debug(&format!(
+                "session {k}: {} {}->{} seed {seed}",
+                protocol.name(),
+                src.index(),
+                dst.index()
+            ));
             let (out, trace) = run_session_traced(
                 &topology,
                 src,
@@ -193,14 +245,14 @@ fn main() {
             );
             if let (Some(file), Some(trace)) = (trace_out.as_mut(), trace) {
                 if trace.dropped_mac_events > 0 {
-                    eprintln!(
-                        "warning: session {k} {} dropped {} MAC events (raise --trace-capacity)",
+                    log.warn(&format!(
+                        "session {k} {} dropped {} MAC events (raise --trace-capacity)",
                         protocol.name(),
                         trace.dropped_mac_events
-                    );
+                    ));
                 }
                 if let Err(e) = trace.write_jsonl(&mut *file) {
-                    eprintln!("error: writing trace: {e}");
+                    log.error(&format!("writing trace: {e}"));
                     std::process::exit(2);
                 }
             }
@@ -237,8 +289,30 @@ fn main() {
     }
     if let Some(mut file) = trace_out {
         if let Err(e) = file.flush() {
-            eprintln!("error: flushing trace: {e}");
+            log.error(&format!("flushing trace: {e}"));
             std::process::exit(2);
+        }
+    }
+    if profiling {
+        let report = profiler.report();
+        if let Some(path) = &args.profile {
+            let json = serde_json::to_string(&report).expect("report serializes");
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                log.error(&format!("writing profile '{path}': {e}"));
+                std::process::exit(2);
+            }
+            log.info(&format!(
+                "profile: {} spans ({} clock) -> {path}",
+                report.spans.len(),
+                report.clock
+            ));
+        }
+        if let Some(path) = &args.profile_folded {
+            if let Err(e) = std::fs::write(path, report.folded()) {
+                log.error(&format!("writing folded stacks '{path}': {e}"));
+                std::process::exit(2);
+            }
+            log.info(&format!("folded stacks -> {path}"));
         }
     }
 }

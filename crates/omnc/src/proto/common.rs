@@ -7,6 +7,7 @@ use drift::{Ctx, Dest, Outgoing, PacketTag};
 use net_topo::graph::NodeId;
 use rand::{Rng, SeedableRng};
 use rlnc::{Decoder, Encoder, Generation, GenerationId};
+use telemetry::Profiler;
 
 use crate::msg::Msg;
 use crate::session::{SessionConfig, SessionShared};
@@ -54,6 +55,7 @@ pub struct CodedSource {
     ledger: SessionShared,
     session_seed: u64,
     current: Option<Generation>,
+    profiler: Profiler,
     /// Coded packets emitted (for utility metrics).
     pub packets_emitted: u64,
 }
@@ -66,8 +68,15 @@ impl CodedSource {
             ledger,
             session_seed,
             current: None,
+            profiler: Profiler::disabled(),
             packets_emitted: 0,
         }
+    }
+
+    /// Attaches a profiler: every emission records `encode` spans with the
+    /// kernel's share nested beneath.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// The session configuration.
@@ -87,7 +96,9 @@ impl CodedSource {
             self.current = Some(build_generation(&self.cfg, self.session_seed, active));
         }
         let generation = self.current.as_ref().expect("just ensured");
-        let packet = Encoder::new(generation).emit(rng);
+        let packet = Encoder::new(generation)
+            .with_profiler(self.profiler.clone())
+            .emit(rng);
         self.packets_emitted += 1;
         Some(Msg::Coded(packet))
     }
@@ -130,6 +141,7 @@ pub struct CodedDestination {
     session_seed: u64,
     decoder: Decoder,
     verify_payload: bool,
+    profiler: Profiler,
     /// Innovative packets received per upstream node (for Fig. 4 metrics).
     pub innovative_from: BTreeMap<NodeId, u64>,
     /// All coded packets received per upstream node.
@@ -164,11 +176,27 @@ impl CodedDestination {
             session_seed,
             decoder,
             verify_payload,
+            profiler: Profiler::disabled(),
             innovative_from: BTreeMap::new(),
             received_from: BTreeMap::new(),
             verification_failures: 0,
             absorptions: Vec::new(),
         }
+    }
+
+    /// Attaches a profiler: absorptions record `decode` spans (elimination,
+    /// rank updates, kernel shares) for this and every later generation's
+    /// decoder.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.decoder.set_profiler(profiler.clone());
+        self.profiler = profiler;
+    }
+
+    /// A decoder for `generation` inheriting the attached profiler.
+    fn fresh_decoder(&self, generation: GenerationId) -> Decoder {
+        let mut decoder = Decoder::new(generation, self.cfg.generation_config());
+        decoder.set_profiler(self.profiler.clone());
+        decoder
     }
 
     /// Feeds a received coded packet; returns `true` if it completed the
@@ -192,7 +220,7 @@ impl CodedDestination {
             return false; // stale (or impossibly future) generation
         }
         if self.decoder.generation() != active {
-            self.decoder = Decoder::new(active, self.cfg.generation_config());
+            self.decoder = self.fresh_decoder(active);
         }
         let Ok(result) = self.decoder.absorb(packet) else {
             return false;
@@ -224,7 +252,7 @@ impl CodedDestination {
             }
             self.ledger.complete_generation(active, now);
             let next = self.ledger.active_generation();
-            self.decoder = Decoder::new(next, self.cfg.generation_config());
+            self.decoder = self.fresh_decoder(next);
             return true;
         }
         false

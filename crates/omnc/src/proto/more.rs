@@ -45,6 +45,11 @@ impl MoreSource {
         self.state.packets_emitted
     }
 
+    /// Attaches a profiler to the encoding path.
+    pub fn set_profiler(&mut self, profiler: telemetry::Profiler) {
+        self.state.set_profiler(profiler);
+    }
+
     /// Top-up interval: one minimum-size transmission time; fast enough to
     /// keep the queue backlogged without flooding the calendar.
     fn interval(&self) -> f64 {
@@ -85,6 +90,7 @@ pub struct MoreRelay {
     dist: Vec<f64>,
     credit: f64,
     buffer: Recoder,
+    profiler: telemetry::Profiler,
     /// Session id, learned from the first tagged packet heard on the air.
     session: Option<u64>,
     /// Innovative packets received per upstream node.
@@ -115,6 +121,7 @@ impl MoreRelay {
             dist,
             credit: 0.0,
             buffer,
+            profiler: telemetry::Profiler::disabled(),
             session: None,
             innovative_from: BTreeMap::new(),
             received_from: BTreeMap::new(),
@@ -132,6 +139,13 @@ impl MoreRelay {
         self.buffer.rank()
     }
 
+    /// Attaches a profiler to the recode/innovation-filter path (survives
+    /// generation advances).
+    pub fn set_profiler(&mut self, profiler: telemetry::Profiler) {
+        self.buffer.set_profiler(profiler.clone());
+        self.profiler = profiler;
+    }
+
     /// Packet-driven expiry, as in [`crate::proto::omnc::OmncRelay`]: a
     /// higher-generation packet flushes the buffer, the credit balance and
     /// any still-queued packets of newer generations survive. Stale packets
@@ -140,6 +154,7 @@ impl MoreRelay {
     fn advance_generation(&mut self, ctx: &mut Ctx<'_, Msg>, newer: GenerationId) {
         if newer > self.buffer.generation() {
             self.buffer = Recoder::new(newer, self.cfg.generation_config());
+            self.buffer.set_profiler(self.profiler.clone());
             self.credit = 0.0;
             ctx.retain_queue(|m| m.generation() == Some(newer));
         }
@@ -217,6 +232,11 @@ impl MoreDestination {
     /// Access to destination metrics.
     pub fn state(&self) -> &CodedDestination {
         &self.state
+    }
+
+    /// Attaches a profiler to the decoding path.
+    pub fn set_profiler(&mut self, profiler: telemetry::Profiler) {
+        self.state.set_profiler(profiler);
     }
 }
 

@@ -54,6 +54,11 @@ impl OmncSource {
         self.state.packets_emitted
     }
 
+    /// Attaches a profiler to the encoding path.
+    pub fn set_profiler(&mut self, profiler: telemetry::Profiler) {
+        self.state.set_profiler(profiler);
+    }
+
     fn interval(&self) -> Option<f64> {
         (self.rate > 0.0).then(|| self.state.config().coded_wire_len() as f64 / self.rate)
     }
@@ -94,6 +99,7 @@ pub struct OmncRelay {
     cfg: SessionConfig,
     rate: f64,
     buffer: Recoder,
+    profiler: telemetry::Profiler,
     /// Session id, learned from the first tagged packet heard on the air
     /// (re-encoded emissions carry it forward).
     session: Option<u64>,
@@ -119,6 +125,7 @@ impl OmncRelay {
             cfg,
             rate,
             buffer,
+            profiler: telemetry::Profiler::disabled(),
             session: None,
             innovative_from: BTreeMap::new(),
             received_from: BTreeMap::new(),
@@ -131,6 +138,13 @@ impl OmncRelay {
         self.buffer.rank()
     }
 
+    /// Attaches a profiler to the recode/innovation-filter path (survives
+    /// generation advances).
+    pub fn set_profiler(&mut self, profiler: telemetry::Profiler) {
+        self.buffer.set_profiler(profiler.clone());
+        self.profiler = profiler;
+    }
+
     /// Advances to a newer generation when evidence arrives on the air:
     /// "either an ACK or a coded packet with a higher generation ID will
     /// dictate the intermediate nodes to discard packets belonging to the
@@ -140,6 +154,7 @@ impl OmncRelay {
     fn advance_generation(&mut self, ctx: &mut Ctx<'_, Msg>, newer: GenerationId) {
         if newer > self.buffer.generation() {
             self.buffer = Recoder::new(newer, self.cfg.generation_config());
+            self.buffer.set_profiler(self.profiler.clone());
             ctx.retain_queue(|m| m.generation() == Some(newer));
         }
     }
@@ -219,6 +234,11 @@ impl OmncDestination {
     /// Access to the shared destination state (metrics).
     pub fn state(&self) -> &CodedDestination {
         &self.state
+    }
+
+    /// Attaches a profiler to the decoding path.
+    pub fn set_profiler(&mut self, profiler: telemetry::Profiler) {
+        self.state.set_profiler(profiler);
     }
 }
 

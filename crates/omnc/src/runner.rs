@@ -9,6 +9,7 @@ use net_topo::graph::{Link, NodeId, Topology};
 use net_topo::select::{disjoint_path_count, select_forwarders, Selection};
 use omnc_opt::{default_portfolio, run_best, SUnicast};
 use serde::{Deserialize, Serialize};
+use telemetry::Profiler;
 
 use crate::msg::Msg;
 use crate::proto::credits::{more_credits, oldmore_credits, CreditPlan};
@@ -155,6 +156,22 @@ impl Behavior<Msg> for Role {
     }
 }
 
+impl Role {
+    /// Attaches the session profiler to whatever coder this role carries
+    /// (ETX forwards raw blocks, so those roles have nothing to profile).
+    fn set_profiler(&mut self, profiler: &Profiler) {
+        match self {
+            Role::OmncSrc(b) => b.set_profiler(profiler.clone()),
+            Role::OmncRelay(b) => b.set_profiler(profiler.clone()),
+            Role::OmncDst(b) => b.set_profiler(profiler.clone()),
+            Role::MoreSrc(b) => b.set_profiler(profiler.clone()),
+            Role::MoreRelay(b) => b.set_profiler(profiler.clone()),
+            Role::MoreDst(b) => b.set_profiler(profiler.clone()),
+            Role::EtxFwd(_) | Role::EtxDst(_) => {}
+        }
+    }
+}
+
 /// The session sub-topology: selected nodes re-indexed densely, keeping
 /// *every* original link between them (interference needs sideways links,
 /// not only the flow DAG).
@@ -200,6 +217,11 @@ pub struct RunOptions {
     /// When `Some`, MAC-level tracing is enabled with this event capacity
     /// and the run returns a full [`SessionTrace`].
     pub trace_capacity: Option<usize>,
+    /// Hierarchical span profiler shared by the simulator event loop and
+    /// every coder the session wires up (encoder, relay recoders, the
+    /// destination decoder). Defaults to disabled (zero overhead); attach
+    /// an enabled handle and read [`Profiler::report`] after the run.
+    pub profiler: Profiler,
 }
 
 /// Runs one unicast session of `protocol` from `src` to `dst` on
@@ -235,7 +257,7 @@ pub fn run_session_with_fault(
 ) -> SessionOutcome {
     let options = RunOptions {
         fault,
-        trace_capacity: None,
+        ..RunOptions::default()
     };
     run_session_traced(topology, src, dst, protocol, cfg, seed, &options).0
 }
@@ -291,6 +313,7 @@ fn run_etx(
     if let Some(capacity) = options.trace_capacity {
         sim.enable_trace(capacity);
     }
+    sim.attach_profiler(options.profiler.clone());
     for w in path.windows(2) {
         let fwd = if w[0] == src {
             EtxForwarder::source(*cfg, local(w[1]), local(dst))
@@ -343,6 +366,7 @@ fn run_etx(
                 innovative: 0,
                 redundant: 0,
                 final_rank: 0,
+                dropped_mac_events: sim.trace().dropped(),
             },
         )
     });
@@ -511,7 +535,9 @@ fn run_coded_inner(
     if let Some(capacity) = options.trace_capacity {
         sim.enable_trace(capacity);
     }
-    for (orig, role) in roles {
+    sim.attach_profiler(options.profiler.clone());
+    for (orig, mut role) in roles {
+        role.set_profiler(&options.profiler);
         sim.set_behavior(local(orig), role);
     }
     if let Some((victim, at)) = options.fault {
@@ -633,6 +659,7 @@ fn run_coded_inner(
                 redundant,
                 final_rank: generations_decoded * cfg.generation_blocks as u64
                     + partial_rank as u64,
+                dropped_mac_events: sim.trace().dropped(),
             },
         )
     });
@@ -852,6 +879,7 @@ mod tests {
         let options = RunOptions {
             fault: None,
             trace_capacity: Some(500_000),
+            ..RunOptions::default()
         };
         let (out, trace) = run_session_traced(&topo, s, d, Protocol::Omnc, &cfg, 3, &options);
         let trace = trace.expect("tracing was enabled");
@@ -901,12 +929,49 @@ mod tests {
         let options = RunOptions {
             fault: None,
             trace_capacity: Some(500_000),
+            ..RunOptions::default()
         };
         let (_, trace) = run_session_traced(&topo, s, d, Protocol::EtxRouting, &cfg, 3, &options);
         let trace = trace.expect("tracing was enabled");
         let tags: Vec<_> = trace.mac_events().filter_map(|e| e.tag()).collect();
         assert!(!tags.is_empty(), "ETX transmissions must carry tags");
         assert!(tags.iter().all(|t| t.origin == s));
+    }
+
+    #[test]
+    fn profiled_sessions_match_plain_and_record_coder_spans() {
+        let (topo, s, d) = small_world();
+        let cfg = SessionConfig::tiny();
+        let plain = run_session(&topo, s, d, Protocol::Omnc, &cfg, 5);
+        let profiler = Profiler::virtual_clock();
+        let options = RunOptions {
+            profiler: profiler.clone(),
+            ..RunOptions::default()
+        };
+        let (out, _) = run_session_traced(&topo, s, d, Protocol::Omnc, &cfg, 5, &options);
+        assert_eq!(
+            plain.throughput, out.throughput,
+            "profiling changed the run"
+        );
+        assert_eq!(plain.generations_decoded, out.generations_decoded);
+        assert_eq!(plain.packet_counts, out.packet_counts);
+
+        let report = profiler.report();
+        let any = |needle: &str| report.spans.iter().any(|sp| sp.path.contains(needle));
+        assert!(any("drift.run"), "event loop span missing");
+        assert!(any("mac.arbitrate"), "MAC arbitration span missing");
+        assert!(any("encode"), "source encode span missing");
+        assert!(any("recode"), "relay recode span missing");
+        assert!(any("decode;eliminate"), "decoder elimination span missing");
+        assert!(any("gf256."), "kernel spans missing");
+        // Every span hangs off the simulator event loop.
+        assert!(report
+            .spans
+            .iter()
+            .all(|sp| sp.path.starts_with("drift.run")));
+        // Self times decompose the root total without double counting.
+        let self_sum: u64 = report.spans.iter().map(|sp| sp.self_ticks).sum();
+        assert!(self_sum <= report.total_root_ticks());
     }
 
     #[test]

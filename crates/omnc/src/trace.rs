@@ -82,6 +82,10 @@ pub enum TraceRecord {
         /// generations at full rank plus the in-progress one). Equals the
         /// number of innovative absorptions.
         final_rank: u64,
+        /// MAC events the bounded in-simulator trace had to drop (counted,
+        /// not recorded). Nonzero means the stream above is incomplete and
+        /// per-link/per-forwarder numbers undercount.
+        dropped_mac_events: u64,
     },
 }
 
@@ -181,6 +185,7 @@ mod tests {
                 innovative: 16,
                 redundant: 3,
                 final_rank: 16,
+                dropped_mac_events: 0,
             },
         ];
         for r in &records {
@@ -218,6 +223,7 @@ mod tests {
                 innovative: 0,
                 redundant: 0,
                 final_rank: 0,
+                dropped_mac_events: 0,
             }
             .at(),
             None

@@ -9,7 +9,7 @@
 //!   and the right part is exactly the original blocks: decoding finishes
 //!   "on the fly" with no final batch inversion.
 
-use telemetry::{Counter, Gauge, Histogram, Registry, Span};
+use telemetry::{Counter, Gauge, Histogram, Profiler, Registry, Span};
 
 use crate::error::RlncError;
 use crate::generation::GenerationConfig;
@@ -128,6 +128,7 @@ pub struct Decoder {
     received: u64,
     redundant: u64,
     metrics: Option<DecoderMetrics>,
+    profiler: Profiler,
     first_absorb: Option<Span>,
 }
 
@@ -148,6 +149,7 @@ impl Decoder {
             received: 0,
             redundant: 0,
             metrics: None,
+            profiler: Profiler::disabled(),
             first_absorb: None,
         }
     }
@@ -156,6 +158,21 @@ impl Decoder {
     /// innovative/redundant counters and latency histograms.
     pub fn set_metrics(&mut self, metrics: DecoderMetrics) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attaches a hierarchical profiler: each absorb opens a `decode`
+    /// span with `eliminate` / `rank_update` children and per-kernel
+    /// `gf256.*` leaves. A disabled profiler (the default) keeps the
+    /// hot path branch-only.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// The attached profiler (disabled unless [`Decoder::set_profiler`] was
+    /// called). Lets wrappers like [`crate::Recoder`] attribute their own
+    /// work to the same span tree.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// The generation this decoder collects.
@@ -203,37 +220,46 @@ impl Decoder {
     /// decoder; such packets leave the decoder untouched.
     pub fn absorb(&mut self, packet: &CodedPacket) -> Result<Absorption, RlncError> {
         // Telemetry-free fast path: no clock reads, no counter updates.
-        if self.metrics.is_none() {
-            return self.absorb_inner(packet);
+        if self.metrics.is_none() && !self.profiler.is_enabled() {
+            let disabled = Profiler::disabled();
+            return self.absorb_inner(packet, &disabled);
         }
-        let started = Span::begin();
+        let profiler = self.profiler.clone();
+        let _decode = profiler.span("decode");
+        // Wall-clock metrics only run when DecoderMetrics are attached, so
+        // profiler-only (virtual clock) runs never read the wall clock.
+        let started = self.metrics.as_ref().map(|_| Span::begin());
         if self.first_absorb.is_none() {
-            self.first_absorb = Some(started);
+            self.first_absorb = started;
         }
-        let result = self.absorb_inner(packet);
+        let result = self.absorb_inner(packet, &profiler);
         let complete = self.is_complete();
         let first = self.first_absorb;
-        // lint: allow(panic) -- metrics.is_none() returned above
-        let metrics = self.metrics.as_ref().expect("metrics checked above");
-        if let Ok(outcome) = &result {
-            metrics.absorb_us.observe(started.elapsed_us());
-            match outcome {
-                Absorption::Innovative { rank } => {
-                    metrics.innovative.inc();
-                    metrics.rank.set(*rank as f64);
-                    if complete {
-                        if let Some(first) = first {
-                            metrics.decode_us.observe(first.elapsed_us());
+        if let Some(metrics) = self.metrics.as_ref() {
+            if let (Ok(outcome), Some(started)) = (&result, started) {
+                metrics.absorb_us.observe(started.elapsed_us());
+                match outcome {
+                    Absorption::Innovative { rank } => {
+                        metrics.innovative.inc();
+                        metrics.rank.set(*rank as f64);
+                        if complete {
+                            if let Some(first) = first {
+                                metrics.decode_us.observe(first.elapsed_us());
+                            }
                         }
                     }
+                    Absorption::Redundant => metrics.redundant.inc(),
                 }
-                Absorption::Redundant => metrics.redundant.inc(),
             }
         }
         result
     }
 
-    fn absorb_inner(&mut self, packet: &CodedPacket) -> Result<Absorption, RlncError> {
+    fn absorb_inner(
+        &mut self,
+        packet: &CodedPacket,
+        profiler: &Profiler,
+    ) -> Result<Absorption, RlncError> {
         self.check(packet)?;
         self.received += 1;
 
@@ -241,36 +267,47 @@ impl Decoder {
         let mut payload = packet.payload().to_vec();
 
         // Forward reduction against existing pivots.
-        for col in 0..self.config.blocks() {
-            let c = coeff[col];
-            if c == 0 {
-                continue;
+        let pivot = {
+            let _eliminate = profiler.span("eliminate");
+            for col in 0..self.config.blocks() {
+                let c = coeff[col];
+                if c == 0 {
+                    continue;
+                }
+                if let Some(r) = self.pivot_row[col] {
+                    let row = &self.rows[r];
+                    let _kernel = profiler.span(self.kernel.span_name());
+                    // coeff/payload -= c * row  (subtraction == addition in GF(2^8))
+                    self.kernel.mul_add_assign(&mut coeff, &row.coeff, c);
+                    self.kernel.mul_add_assign(&mut payload, &row.payload, c);
+                    debug_assert_eq!(coeff[col], 0);
+                }
             }
-            if let Some(r) = self.pivot_row[col] {
-                let row = &self.rows[r];
-                // coeff/payload -= c * row  (subtraction == addition in GF(2^8))
-                self.kernel.mul_add_assign(&mut coeff, &row.coeff, c);
-                self.kernel.mul_add_assign(&mut payload, &row.payload, c);
-                debug_assert_eq!(coeff[col], 0);
-            }
-        }
 
-        // Find the new pivot, if any.
-        let Some(pivot) = coeff.iter().position(|&c| c != 0) else {
-            self.redundant += 1;
-            return Ok(Absorption::Redundant);
+            // Find the new pivot, if any.
+            let Some(pivot) = coeff.iter().position(|&c| c != 0) else {
+                self.redundant += 1;
+                return Ok(Absorption::Redundant);
+            };
+            pivot
         };
+
+        let _rank_update = profiler.span("rank_update");
 
         // Normalize the new row.
         let lead = coeff[pivot];
-        self.kernel.div_assign(&mut coeff, lead);
-        self.kernel.div_assign(&mut payload, lead);
+        {
+            let _kernel = profiler.span(self.kernel.span_name());
+            self.kernel.div_assign(&mut coeff, lead);
+            self.kernel.div_assign(&mut payload, lead);
+        }
 
         // Back-substitute into existing rows to keep the matrix *reduced*.
         let new_index = self.rows.len();
         for row in &mut self.rows {
             let c = row.coeff[pivot];
             if c != 0 {
+                let _kernel = profiler.span(self.kernel.span_name());
                 self.kernel.mul_add_assign(&mut row.coeff, &coeff, c);
                 self.kernel.mul_add_assign(&mut row.payload, &payload, c);
             }
@@ -290,6 +327,7 @@ impl Decoder {
     /// Returns `true` if `packet` would be innovative, without mutating the
     /// decoder. Costs one reduction pass over the coefficient vector only.
     pub fn would_be_innovative(&self, packet: &CodedPacket) -> bool {
+        let _span = self.profiler.span("innovation_check");
         if self.check(packet).is_err() {
             return false;
         }
@@ -475,6 +513,33 @@ mod tests {
             assert_eq!(plain.absorb(&p).unwrap(), instrumented.absorb(&p).unwrap());
         }
         assert_eq!(plain.recover().unwrap(), instrumented.recover().unwrap());
+    }
+
+    #[test]
+    fn profiled_decoder_matches_plain_and_attributes_kernel_time() {
+        let (g, mut rng) = setup(8, 16, 11);
+        let enc = Encoder::new(&g);
+        let mut plain = Decoder::new(g.id(), g.config());
+        let mut profiled = Decoder::new(g.id(), g.config());
+        let profiler = Profiler::virtual_clock();
+        profiled.set_profiler(profiler.clone());
+        while !plain.is_complete() {
+            let p = enc.emit(&mut rng);
+            assert_eq!(plain.absorb(&p).unwrap(), profiled.absorb(&p).unwrap());
+        }
+        assert_eq!(plain.recover(), profiled.recover());
+        let report = profiler.report();
+        let decode = report.span("decode").expect("decode span");
+        assert_eq!(decode.calls, plain.packets_received());
+        let eliminate = report.span("decode;eliminate").expect("eliminate span");
+        let rank = report.span("decode;rank_update").expect("rank_update span");
+        assert!(report.span("decode;rank_update;gf256.wide").is_some());
+        // Parent self time = total − children, and children fit inside.
+        assert!(eliminate.total_ticks + rank.total_ticks <= decode.total_ticks);
+        assert_eq!(
+            decode.self_ticks,
+            decode.total_ticks - eliminate.total_ticks - rank.total_ticks
+        );
     }
 
     #[test]

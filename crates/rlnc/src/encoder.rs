@@ -1,6 +1,7 @@
 //! Source-side encoder: emits `X = R · B` rows with fresh random coefficients.
 
 use rand::Rng;
+use telemetry::Profiler;
 
 use crate::generation::Generation;
 use crate::kernel::Kernel;
@@ -30,21 +31,32 @@ use crate::packet::CodedPacket;
 pub struct Encoder<'a> {
     generation: &'a Generation,
     kernel: Kernel,
+    profiler: Profiler,
 }
 
 impl<'a> Encoder<'a> {
     /// Creates an encoder using the default (accelerated) kernel.
     pub fn new(generation: &'a Generation) -> Self {
-        Encoder {
-            generation,
-            kernel: Kernel::default(),
-        }
+        Encoder::with_kernel(generation, Kernel::default())
     }
 
     /// Creates an encoder with an explicit kernel (used by the coding-speed
     /// benchmarks to compare the baseline and accelerated implementations).
     pub fn with_kernel(generation: &'a Generation, kernel: Kernel) -> Self {
-        Encoder { generation, kernel }
+        Encoder {
+            generation,
+            kernel,
+            profiler: Profiler::disabled(),
+        }
+    }
+
+    /// Attaches a hierarchical profiler: each emit opens an `encode`
+    /// span whose `gf256.*` children attribute the combine loop to the
+    /// active kernel.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
     }
 
     /// The generation this encoder reads from.
@@ -82,8 +94,10 @@ impl<'a> Encoder<'a> {
             cfg.blocks(),
             "coefficient row length mismatch"
         );
+        let _encode = self.profiler.span("encode");
         let mut payload = vec![0u8; cfg.block_size()];
         for (block, &c) in self.generation.blocks().iter().zip(coefficients) {
+            let _kernel = self.profiler.span(self.kernel.span_name());
             self.kernel.mul_add_assign(&mut payload, block, c);
         }
         CodedPacket::new(self.generation.id(), coefficients.to_vec(), payload)
@@ -152,6 +166,23 @@ mod tests {
         let a = Encoder::with_kernel(&g, Kernel::Table).emit_with_coefficients(&coeffs);
         let b = Encoder::with_kernel(&g, Kernel::Wide).emit_with_coefficients(&coeffs);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiled_encoder_emits_identical_packets_and_counts_combines() {
+        use telemetry::Profiler;
+        let g = generation();
+        let coeffs = [7u8, 11, 91];
+        let profiler = Profiler::virtual_clock();
+        let plain = Encoder::new(&g).emit_with_coefficients(&coeffs);
+        let profiled = Encoder::new(&g)
+            .with_profiler(profiler.clone())
+            .emit_with_coefficients(&coeffs);
+        assert_eq!(plain, profiled);
+        let report = profiler.report();
+        assert_eq!(report.span("encode").map(|s| s.calls), Some(1));
+        // One kernel span per block in the combine loop.
+        assert_eq!(report.span("encode;gf256.wide").map(|s| s.calls), Some(3));
     }
 
     #[test]

@@ -22,6 +22,19 @@ pub enum Kernel {
 }
 
 impl Kernel {
+    /// Profiler span name attributing GF(2^8) work to this kernel
+    /// variant (`gf256` stays dependency-free; cost is recorded at the
+    /// dispatch call sites in the codec).
+    #[inline]
+    #[must_use]
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Kernel::Table => "gf256.table",
+            Kernel::Wide => "gf256.wide",
+            Kernel::Product => "gf256.product",
+        }
+    }
+
     /// `dst += c * src` with this kernel.
     ///
     /// # Panics

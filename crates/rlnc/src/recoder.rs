@@ -60,6 +60,13 @@ impl Recoder {
         }
     }
 
+    /// Attaches a profiler: re-encoding emissions record a `recode` span
+    /// with the kernel's share attributed to a nested `gf256.*` span, and
+    /// buffer absorptions record the usual decoder spans.
+    pub fn set_profiler(&mut self, profiler: telemetry::Profiler) {
+        self.buffer.set_profiler(profiler);
+    }
+
     /// The generation this relay serves.
     pub fn generation(&self) -> GenerationId {
         self.buffer.generation()
@@ -100,10 +107,13 @@ impl Recoder {
         if self.buffer.rank() == 0 {
             return Err(RlncError::NothingBuffered);
         }
+        let profiler = self.buffer.profiler().clone();
+        let _recode = profiler.span("recode");
         let cfg = self.buffer.config();
         let mut coeff_out = vec![0u8; cfg.blocks()];
         let mut payload_out = vec![0u8; cfg.block_size()];
         loop {
+            let _kernel = profiler.span(self.kernel.span_name());
             for (coeff, payload) in self.buffer.rows() {
                 // Weight for this buffered row; re-drawing per emission makes
                 // packets from different relays independent w.h.p.
@@ -182,6 +192,36 @@ mod tests {
             dst.absorb(&relay.emit(&mut rng).unwrap()).unwrap();
         }
         assert_eq!(dst.recover().unwrap(), g.to_bytes());
+    }
+
+    #[test]
+    fn profiled_recoder_emits_identical_packets_and_counts_recodes() {
+        let (g, _) = setup();
+        let enc = Encoder::new(&g);
+        let mut plain = Recoder::new(g.id(), g.config());
+        let mut profiled = Recoder::new(g.id(), g.config());
+        let profiler = telemetry::Profiler::virtual_clock();
+        profiled.set_profiler(profiler.clone());
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            let p = enc.emit(&mut rng_a);
+            let q = enc.emit(&mut rng_b);
+            plain.absorb(&p).unwrap();
+            profiled.absorb(&q).unwrap();
+        }
+        for _ in 0..4 {
+            assert_eq!(
+                plain.emit(&mut rng_a).unwrap(),
+                profiled.emit(&mut rng_b).unwrap()
+            );
+        }
+        let report = profiler.report();
+        assert_eq!(report.span("recode").unwrap().calls, 4);
+        assert!(report
+            .spans
+            .iter()
+            .any(|s| s.path.starts_with("recode;gf256.")));
     }
 
     #[test]

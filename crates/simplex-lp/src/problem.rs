@@ -157,7 +157,18 @@ impl LpProblem {
     /// * [`LpError::IterationLimit`] — the pivot budget was exhausted
     ///   (indicates severe numerical degeneracy; not observed in practice).
     pub fn solve(&self) -> Result<Solution, LpError> {
-        solver::solve(self)
+        solver::solve(self, &telemetry::Profiler::disabled())
+    }
+
+    /// Like [`LpProblem::solve`], recording `lp.solve` spans
+    /// (`phase1`/`phase2` with `pivot_select`/`row_ops` children) on the
+    /// given profiler.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LpProblem::solve`].
+    pub fn solve_profiled(&self, profiler: &telemetry::Profiler) -> Result<Solution, LpError> {
+        solver::solve(self, profiler)
     }
 
     pub(crate) fn objective_internal(&self) -> &[f64] {

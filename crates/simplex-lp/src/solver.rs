@@ -1,5 +1,7 @@
 //! Two-phase dense tableau simplex with Bland's anti-cycling rule.
 
+use telemetry::Profiler;
+
 use crate::error::LpError;
 use crate::problem::{LpProblem, Relation, Sense};
 
@@ -73,6 +75,7 @@ impl Tableau {
         cost: &[f64],
         allowed: &[bool],
         iteration_budget: usize,
+        profiler: &Profiler,
     ) -> Result<Vec<f64>, LpError> {
         // Reduced costs: z_j = cost_j - cost_B · B^-1 A_j, maintained as an
         // explicit row updated by the same pivots.
@@ -94,41 +97,46 @@ impl Tableau {
         let mut stall = 0usize;
         let mut last_obj = f64::INFINITY;
         for _ in 0..iteration_budget {
-            let col = if stall < 24 {
-                // Dantzig: most negative reduced cost.
-                let mut best: Option<(f64, usize)> = None;
-                for j in 0..self.cols {
-                    if allowed[j] && z[j] < -TOL && best.is_none_or(|(v, _)| z[j] < v) {
-                        best = Some((z[j], j));
+            let (col, row) = {
+                let _select = profiler.span("pivot_select");
+                let col = if stall < 24 {
+                    // Dantzig: most negative reduced cost.
+                    let mut best: Option<(f64, usize)> = None;
+                    for j in 0..self.cols {
+                        if allowed[j] && z[j] < -TOL && best.is_none_or(|(v, _)| z[j] < v) {
+                            best = Some((z[j], j));
+                        }
                     }
-                }
-                best.map(|(_, j)| j)
-            } else {
-                // Bland: lowest-index eligible column (anti-cycling).
-                (0..self.cols).find(|&j| allowed[j] && z[j] < -TOL)
-            };
-            let Some(col) = col else {
-                return Ok(z); // optimal
-            };
-            // Ratio test, Bland tie-break by basis variable index.
-            let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
-            for r in 0..self.rows {
-                let a = self.a[r][col];
-                if a > TOL {
-                    let ratio = self.a[r][self.cols] / a;
-                    match best {
-                        None => best = Some((ratio, self.basis[r], r)),
-                        Some((br, bb, _)) => {
-                            if ratio < br - TOL || (ratio < br + TOL && self.basis[r] < bb) {
-                                best = Some((ratio, self.basis[r], r));
+                    best.map(|(_, j)| j)
+                } else {
+                    // Bland: lowest-index eligible column (anti-cycling).
+                    (0..self.cols).find(|&j| allowed[j] && z[j] < -TOL)
+                };
+                let Some(col) = col else {
+                    return Ok(z); // optimal
+                };
+                // Ratio test, Bland tie-break by basis variable index.
+                let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
+                for r in 0..self.rows {
+                    let a = self.a[r][col];
+                    if a > TOL {
+                        let ratio = self.a[r][self.cols] / a;
+                        match best {
+                            None => best = Some((ratio, self.basis[r], r)),
+                            Some((br, bb, _)) => {
+                                if ratio < br - TOL || (ratio < br + TOL && self.basis[r] < bb) {
+                                    best = Some((ratio, self.basis[r], r));
+                                }
                             }
                         }
                     }
                 }
-            }
-            let Some((_, _, row)) = best else {
-                return Err(LpError::Unbounded);
+                let Some((_, _, row)) = best else {
+                    return Err(LpError::Unbounded);
+                };
+                (col, row)
             };
+            let _row_ops = profiler.span("row_ops");
             self.pivot(row, col);
             // Update the cost row with the same pivot.
             let m = z[col];
@@ -150,7 +158,8 @@ impl Tableau {
     }
 }
 
-pub(crate) fn solve(problem: &LpProblem) -> Result<Solution, LpError> {
+pub(crate) fn solve(problem: &LpProblem, profiler: &Profiler) -> Result<Solution, LpError> {
+    let _solve = profiler.span("lp.solve");
     let n = problem.variables();
     let m = problem.constraints.len();
 
@@ -228,12 +237,13 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<Solution, LpError> {
 
     // Phase 1: minimize the sum of artificial variables.
     if artificial_cols > 0 {
+        let _phase1 = profiler.span("phase1");
         let mut cost = vec![0.0; cols];
         for c in cost.iter_mut().take(cols).skip(n + slack_cols) {
             *c = 1.0;
         }
         let allowed = vec![true; cols];
-        let z = tab.minimize(&cost, &allowed, budget)?;
+        let z = tab.minimize(&cost, &allowed, budget, profiler)?;
         // Optimal phase-1 objective = -z[rhs]; infeasible if positive.
         let phase1 = -z[tab.cols];
         if phase1 > 1e-7 {
@@ -268,7 +278,10 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<Solution, LpError> {
     for flag in allowed.iter_mut().take(cols).skip(n + slack_cols) {
         *flag = false;
     }
-    tab.minimize(&cost, &allowed, budget)?;
+    {
+        let _phase2 = profiler.span("phase2");
+        tab.minimize(&cost, &allowed, budget, profiler)?;
+    }
 
     let mut values = vec![0.0; n];
     for (r, &b) in tab.basis.iter().enumerate() {
@@ -370,6 +383,34 @@ mod tests {
         let s = lp.solve().unwrap();
         assert!((s.objective() - 5.0).abs() < 1e-9);
         assert!((s.value(0) + s.value(1) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiled_solve_matches_plain_and_counts_pivots() {
+        let build = || {
+            let mut lp = LpProblem::maximize(2);
+            lp.set_objective(&[3.0, 5.0]);
+            lp.push_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+            lp.push_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+            lp.push_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+            lp
+        };
+        let plain = build().solve().unwrap();
+        let profiler = Profiler::virtual_clock();
+        let profiled = build().solve_profiled(&profiler).unwrap();
+        assert_eq!(plain, profiled);
+        let report = profiler.report();
+        assert_eq!(report.span("lp.solve").map(|s| s.calls), Some(1));
+        let select = report
+            .span("lp.solve;phase2;pivot_select")
+            .expect("pivot_select span");
+        let rows = report
+            .span("lp.solve;phase2;row_ops")
+            .expect("row_ops span");
+        // Every applied pivot was first selected; the final optimality
+        // check selects nothing and applies nothing.
+        assert_eq!(select.calls, rows.calls + 1);
+        assert!(rows.calls >= 1);
     }
 
     #[test]

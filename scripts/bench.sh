@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Perf smoke: wall-clock throughput figures plus the deterministic span
+# profile, both from fixed seeded workloads (see crates/bench/src/bin/
+# perf_smoke.rs). Emits BENCH_<date>.json — one point of the perf
+# trajectory; wall-clock numbers are host-dependent, so the file is an
+# artifact, not a gate — plus profile.json / profile.folded, then gates
+# span *call counts* (exact across identical seeded runs under the
+# virtual clock) against the committed PROFILE_baseline.json.
+#
+# After an intentional instrumentation or workload change, regenerate the
+# baseline with `scripts/bench.sh --regen` and commit the result. The
+# flags here must stay in lockstep with the "perf-smoke" job in
+# .github/workflows/ci.yml.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release -p omnc-bench -p omnc-report
+out="BENCH_$(date +%F).json"
+./target/release/perf_smoke --out "$out" \
+  --profile profile.json --profile-folded profile.folded
+echo "wrote $out"
+if [ "${1:-}" = "--regen" ]; then
+  cp profile.json PROFILE_baseline.json
+  echo "wrote PROFILE_baseline.json"
+else
+  ./target/release/omnc-report profile compare \
+    --baseline PROFILE_baseline.json --current profile.json --metric calls
+fi
