@@ -13,7 +13,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 
 use omnc::metrics::Cdf;
-use omnc::runner::{run_session_traced, Protocol, RunOptions, SessionOutcome};
+use omnc::runner::{run_cell_on, Protocol, RunOptions, SessionOutcome};
 use omnc::scenario::{Quality, Scenario};
 use serde::{Deserialize, Serialize};
 use telemetry::{EventSink, LogLevel, Logger};
@@ -218,23 +218,18 @@ pub fn run_sweep_traced(
         ..RunOptions::default()
     };
     let mut rows = Vec::new();
-    for (k, seed) in scenario.session_seeds().enumerate() {
-        let (_, src, dst) = scenario.build_session(k as u64);
+    for k in 0..scenario.sessions as u64 {
         let outcomes: Vec<SessionOutcome> = protocols
             .iter()
             .map(|&p| {
-                let (out, trace) =
-                    run_session_traced(&topology, src, dst, p, &scenario.session, seed, &options);
+                let (out, trace) = run_cell_on(&topology, scenario, p, k, &options);
                 if let (Some(w), Some(trace)) = (trace_out.as_mut(), trace) {
                     trace.write_jsonl(&mut *w).expect("trace export failed");
                 }
                 out
             })
             .collect();
-        rows.push(SessionRow {
-            k: k as u64,
-            outcomes,
-        });
+        rows.push(SessionRow { k, outcomes });
         if (k + 1) % 10 == 0 {
             log.info(&format!("{}/{} sessions done", k + 1, scenario.sessions));
         }

@@ -1,0 +1,264 @@
+//! `omnc-campaign` — parallel, resumable experiment-campaign
+//! orchestration over the OMNC runner.
+//!
+//! A campaign is a declarative JSON matrix (scenario variants ×
+//! protocols × session indices) expanded into independent *cells*. Each
+//! cell runs the shared [`omnc::runner::run_cell`] entry point with its
+//! own fresh telemetry registry and virtual-clock profiler, so cells are
+//! deterministic and order-free. The [`executor`] schedules cells across
+//! worker threads with work stealing, `catch_unwind` panic isolation,
+//! and bounded retry; completions stream back to the submitting thread,
+//! which writes one result file per cell (atomically) and appends the
+//! [`journal`] line that makes the cell durable. The [`merge`] stage
+//! re-reads the result files in sorted-key order, so the merged
+//! artifacts — `outcomes.jsonl`, `trace.jsonl`, `telemetry.json`,
+//! `report.json` — are byte-identical whatever `--jobs` was and whether
+//! the campaign ran straight through or was killed and resumed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod journal;
+pub mod merge;
+pub mod spec;
+
+use std::io;
+use std::path::Path;
+
+use telemetry::{Logger, Profiler, Registry};
+
+use omnc::runner::{run_cell, RunOptions};
+
+use crate::journal::{Journal, JournalEntry};
+use crate::merge::{merge_campaign, write_cell, CellResult};
+use crate::spec::{CampaignSpec, Cell};
+
+/// Knobs of one campaign invocation.
+#[derive(Debug)]
+pub struct CampaignOptions {
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Keep journaled cells instead of starting fresh.
+    pub resume: bool,
+    /// Progress logger.
+    pub log: Logger,
+}
+
+/// A cell that kept panicking after its retry budget.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// The failed cell's key.
+    pub key: String,
+    /// Attempts made (retries + 1).
+    pub attempts: u32,
+    /// The last panic message.
+    pub message: String,
+}
+
+/// What a campaign invocation did.
+#[derive(Debug)]
+pub struct CampaignSummary {
+    /// Cells in the spec's matrix.
+    pub total: usize,
+    /// Cells executed this invocation.
+    pub ran: usize,
+    /// Cells skipped because the journal already had them.
+    pub skipped: usize,
+    /// Cells that exhausted their retry budget.
+    pub failures: Vec<CellFailure>,
+    /// Whether the merged artifacts were (re)written — true exactly when
+    /// every cell of the matrix completed.
+    pub merged: bool,
+}
+
+/// Runs one cell in isolation: fresh registry, fresh virtual-clock
+/// profiler, full causal trace. Everything the merge stage needs comes
+/// back in the [`CellResult`].
+///
+/// # Panics
+///
+/// Propagates scenario/session panics (impossible endpoint constraints,
+/// degenerate configurations) — the executor catches them.
+pub fn run_one_cell(cell: &Cell, trace_capacity: usize) -> CellResult {
+    let registry = Registry::new();
+    let profiler = Profiler::virtual_clock();
+    let options = RunOptions {
+        trace_capacity: Some(trace_capacity),
+        profiler: profiler.clone(),
+        registry: registry.clone(),
+        ..RunOptions::default()
+    };
+    let (outcome, trace) = run_cell(&cell.scenario, cell.protocol, cell.session, &options);
+    let mut buf = Vec::new();
+    trace
+        .expect("tracing was enabled")
+        .write_jsonl(&mut buf)
+        .expect("in-memory trace export cannot fail");
+    CellResult {
+        key: cell.key.clone(),
+        session: cell.session,
+        outcome,
+        trace: String::from_utf8(buf).expect("trace JSONL is UTF-8"),
+        metrics: registry.snapshot(),
+        profile: profiler.report(),
+    }
+}
+
+/// Runs (or resumes) `spec` into `out_dir`: executes every cell not yet
+/// journaled, then — if the whole matrix is complete — rewrites the
+/// merged artifacts. Failed cells leave every other cell's results
+/// intact; a later `resume` retries only the missing ones.
+///
+/// # Errors
+///
+/// Fails on an invalid spec (`InvalidInput`) or on I/O errors writing
+/// results, the journal, or the merged artifacts.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    out_dir: &Path,
+    options: &CampaignOptions,
+) -> io::Result<CampaignSummary> {
+    spec.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let cells = spec.cells();
+    let cells_dir = out_dir.join("cells");
+    std::fs::create_dir_all(&cells_dir)?;
+    let journal = Journal::at(&out_dir.join("journal.jsonl"));
+    if !options.resume {
+        journal.reset()?;
+        std::fs::remove_dir_all(&cells_dir)?;
+        std::fs::create_dir_all(&cells_dir)?;
+    }
+
+    // A journaled key counts as done only if its result file survives
+    // (the journal line is written strictly after the file).
+    let journaled = journal.completed()?;
+    let pending: Vec<usize> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            !journaled.contains(&c.key) || !merge::cell_path(out_dir, &c.key).is_file()
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let skipped = cells.len() - pending.len();
+    if skipped > 0 {
+        options
+            .log
+            .info(&format!("resume: {skipped} cells already journaled"));
+    }
+
+    let trace_capacity = spec.trace_capacity();
+    let mut failures: Vec<CellFailure> = Vec::new();
+    let mut io_error: Option<io::Error> = None;
+    let mut done = 0usize;
+    executor::run_parallel(
+        pending.len(),
+        options.jobs,
+        spec.retries(),
+        |i| run_one_cell(&cells[pending[i]], trace_capacity),
+        |i, result| {
+            let cell = &cells[pending[i]];
+            match result {
+                Ok((cell_result, attempts)) => {
+                    let persisted = write_cell(out_dir, &cell_result).and_then(|()| {
+                        journal.record(&JournalEntry {
+                            key: cell.key.clone(),
+                            attempts,
+                        })
+                    });
+                    if let Err(e) = persisted {
+                        if io_error.is_none() {
+                            io_error = Some(e);
+                        }
+                        return;
+                    }
+                    done += 1;
+                    options
+                        .log
+                        .debug(&format!("cell {} done ({attempts} attempt(s))", cell.key));
+                    if done.is_multiple_of(10) {
+                        options
+                            .log
+                            .info(&format!("{done}/{} cells done", pending.len()));
+                    }
+                }
+                Err(e) => {
+                    options.log.warn(&format!(
+                        "cell {} failed after {} attempts: {}",
+                        cell.key, e.attempts, e.message
+                    ));
+                    failures.push(CellFailure {
+                        key: cell.key.clone(),
+                        attempts: e.attempts,
+                        message: e.message,
+                    });
+                }
+            }
+        },
+    );
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    failures.sort_by(|a, b| a.key.cmp(&b.key));
+
+    let merged = failures.is_empty();
+    if merged {
+        merge_campaign(out_dir, &cells)?;
+        options.log.info(&format!(
+            "campaign {}: {} cells ({} run, {skipped} resumed) -> {}",
+            spec.name,
+            cells.len(),
+            done,
+            out_dir.display()
+        ));
+    } else {
+        options.log.warn(&format!(
+            "campaign {}: {} of {} cells failed; merge skipped (fix and `resume`)",
+            spec.name,
+            failures.len(),
+            cells.len()
+        ));
+    }
+    Ok(CampaignSummary {
+        total: cells.len(),
+        ran: done,
+        skipped,
+        failures,
+        merged,
+    })
+}
+
+/// Completion state of a campaign directory without running anything.
+#[derive(Debug)]
+pub struct CampaignStatus {
+    /// Cells in the spec's matrix.
+    pub total: usize,
+    /// Journaled cells whose result files exist.
+    pub completed: usize,
+    /// Keys still to run (sorted).
+    pub pending: Vec<String>,
+}
+
+/// Reports how much of `spec` is already durably complete in `out_dir`.
+///
+/// # Errors
+///
+/// Fails on an invalid spec or an unreadable journal.
+pub fn campaign_status(spec: &CampaignSpec, out_dir: &Path) -> io::Result<CampaignStatus> {
+    spec.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let cells = spec.cells();
+    let journaled = Journal::at(&out_dir.join("journal.jsonl")).completed()?;
+    let pending: Vec<String> = cells
+        .iter()
+        .filter(|c| !journaled.contains(&c.key) || !merge::cell_path(out_dir, &c.key).is_file())
+        .map(|c| c.key.clone())
+        .collect();
+    Ok(CampaignStatus {
+        total: cells.len(),
+        completed: cells.len() - pending.len(),
+        pending,
+    })
+}

@@ -1,0 +1,158 @@
+//! Per-cell result files and the deterministic merge stage.
+//!
+//! Every completed cell is one JSON file under `<out>/cells/`, written
+//! atomically (tmp + rename) *before* its journal line, so a journaled
+//! key always has a readable result. The merge stage never looks at
+//! in-memory results or completion order: it re-reads the cell files in
+//! sorted-key order and concatenates/folds them. Fresh runs, `--jobs N`
+//! for any N, and kill-and-resume runs therefore produce byte-identical
+//! merged artifacts by construction.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use omnc::runner::SessionOutcome;
+use telemetry::{merge_metric_snapshots, merge_profiles, MetricSnapshot, ProfileReport};
+
+use crate::spec::Cell;
+
+/// Everything a cell run produces, as stored in its result file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell's key (`"<variant>/<protocol>/<session:010>"`).
+    pub key: String,
+    /// Session index within the variant's scenario.
+    pub session: u64,
+    /// The measured outcome.
+    pub outcome: SessionOutcome,
+    /// The cell's causal trace as JSONL text
+    /// (`SessionStart ..= SessionEnd`), ready for concatenation.
+    pub trace: String,
+    /// The cell's metric snapshot (fresh registry per cell).
+    pub metrics: Vec<MetricSnapshot>,
+    /// The cell's span profile (fresh virtual-clock profiler per cell).
+    pub profile: ProfileReport,
+}
+
+/// One line of the merged `outcomes.jsonl`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// The cell's key.
+    pub key: String,
+    /// Session index within the variant's scenario.
+    pub session: u64,
+    /// The measured outcome.
+    pub outcome: SessionOutcome,
+}
+
+/// The merged `telemetry.json`: campaign-wide metrics and span profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignTelemetry {
+    /// All cells' registries folded (counters/histograms sum, gauges max).
+    pub metrics: Vec<MetricSnapshot>,
+    /// All cells' span profiles folded (per-path sums).
+    pub profile: ProfileReport,
+}
+
+/// The result-file path of `key` under `out_dir` (keys contain `/`, so
+/// segments are joined with `__` into a flat file name).
+pub fn cell_path(out_dir: &Path, key: &str) -> PathBuf {
+    out_dir.join("cells").join(key.replace('/', "__") + ".json")
+}
+
+/// Writes `bytes` to `path` atomically: a unique temp file in the same
+/// directory, flushed, then renamed over the target.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.flush()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Writes one cell's result file atomically.
+///
+/// # Errors
+///
+/// Returns the I/O error if the file cannot be written.
+pub fn write_cell(out_dir: &Path, result: &CellResult) -> io::Result<()> {
+    let json = serde_json::to_string(result)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_atomic(&cell_path(out_dir, &result.key), json.as_bytes())
+}
+
+/// Reads one cell's result file back.
+///
+/// # Errors
+///
+/// Fails if the file is missing or does not parse as a [`CellResult`].
+pub fn read_cell(out_dir: &Path, key: &str) -> io::Result<CellResult> {
+    let path = cell_path(out_dir, key);
+    let text = fs::read_to_string(&path)?;
+    serde_json::from_str(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+/// Folds every cell's result file into the campaign artifacts, in
+/// sorted-key order (the order of `cells`, which [`crate::spec::CampaignSpec::cells`]
+/// guarantees):
+///
+/// * `outcomes.jsonl` — one [`CellRecord`] line per cell;
+/// * `trace.jsonl` — the concatenated causal traces, `omnc-report
+///   analyze`-ready;
+/// * `telemetry.json` — merged metrics + span profile;
+/// * `report.json` — the `omnc-report` analysis of the merged trace,
+///   the artifact CI gates with `omnc-report compare`.
+///
+/// # Errors
+///
+/// Fails if any cell file is missing/corrupt or an artifact cannot be
+/// written.
+pub fn merge_campaign(out_dir: &Path, cells: &[Cell]) -> io::Result<()> {
+    let mut outcomes = String::new();
+    let mut trace = String::new();
+    let mut metrics: Vec<Vec<MetricSnapshot>> = Vec::with_capacity(cells.len());
+    let mut profiles: Vec<ProfileReport> = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let result = read_cell(out_dir, &cell.key)?;
+        let record = CellRecord {
+            key: result.key,
+            session: result.session,
+            outcome: result.outcome,
+        };
+        let line = serde_json::to_string(&record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        outcomes.push_str(&line);
+        outcomes.push('\n');
+        trace.push_str(&result.trace);
+        metrics.push(result.metrics);
+        profiles.push(result.profile);
+    }
+    let telemetry = CampaignTelemetry {
+        metrics: merge_metric_snapshots(&metrics),
+        profile: merge_profiles(&profiles),
+    };
+    let telemetry_json = serde_json::to_string(&telemetry)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let report = omnc_report::analyze_trace_text(&trace)?;
+    let report_json = serde_json::to_string(&report)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+
+    write_atomic(&out_dir.join("outcomes.jsonl"), outcomes.as_bytes())?;
+    write_atomic(&out_dir.join("trace.jsonl"), trace.as_bytes())?;
+    write_atomic(&out_dir.join("telemetry.json"), telemetry_json.as_bytes())?;
+    write_atomic(&out_dir.join("report.json"), report_json.as_bytes())
+}

@@ -1,0 +1,165 @@
+//! End-to-end campaign properties promised by the subsystem: merged
+//! artifacts are byte-identical for any `--jobs`, resume re-runs only
+//! cells the journal does not durably cover, and a panicking cell is
+//! retried and isolated without poisoning the rest of the matrix.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use omnc_campaign::spec::CampaignSpec;
+use omnc_campaign::{run_campaign, CampaignOptions};
+use telemetry::{LogLevel, Logger};
+
+const ARTIFACTS: [&str; 4] = [
+    "outcomes.jsonl",
+    "trace.jsonl",
+    "telemetry.json",
+    "report.json",
+];
+
+fn temp_out(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("omnc_campaign_it_{}_{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn options(jobs: usize, resume: bool) -> CampaignOptions {
+    CampaignOptions {
+        jobs,
+        resume,
+        log: Logger::new(LogLevel::Quiet),
+    }
+}
+
+fn smoke_spec() -> CampaignSpec {
+    CampaignSpec::from_json(include_str!("../specs/smoke.json")).expect("shipped spec is valid")
+}
+
+fn read_artifacts(dir: &Path) -> Vec<Vec<u8>> {
+    ARTIFACTS
+        .iter()
+        .map(|name| {
+            fs::read(dir.join(name))
+                .unwrap_or_else(|e| panic!("missing artifact {name} in {}: {e}", dir.display()))
+        })
+        .collect()
+}
+
+#[test]
+fn merged_artifacts_are_byte_identical_across_job_counts() {
+    let spec = smoke_spec();
+    let serial_dir = temp_out("jobs1");
+    let parallel_dir = temp_out("jobs4");
+
+    let serial = run_campaign(&spec, &serial_dir, &options(1, false)).expect("serial run");
+    let parallel = run_campaign(&spec, &parallel_dir, &options(4, false)).expect("parallel run");
+    assert_eq!(serial.total, 8);
+    assert_eq!(serial.ran, 8);
+    assert!(serial.merged && parallel.merged);
+    assert!(serial.failures.is_empty() && parallel.failures.is_empty());
+
+    let a = read_artifacts(&serial_dir);
+    let b = read_artifacts(&parallel_dir);
+    for ((name, left), right) in ARTIFACTS.iter().zip(&a).zip(&b) {
+        assert_eq!(left, right, "{name} differs between --jobs 1 and --jobs 4");
+    }
+    // The merged outcomes line up with the sorted cell keys.
+    let outcomes = String::from_utf8(a[0].clone()).expect("utf-8");
+    let keys: Vec<String> = spec.cells().iter().map(|c| c.key.clone()).collect();
+    for (line, key) in outcomes.lines().zip(&keys) {
+        assert!(line.contains(key), "{line} should be the {key} record");
+    }
+    assert_eq!(outcomes.lines().count(), keys.len());
+
+    let _ = fs::remove_dir_all(serial_dir);
+    let _ = fs::remove_dir_all(parallel_dir);
+}
+
+#[test]
+fn resume_reruns_only_cells_the_journal_does_not_cover() {
+    let spec = smoke_spec();
+    let dir = temp_out("resume");
+    let first = run_campaign(&spec, &dir, &options(2, false)).expect("fresh run");
+    assert_eq!(first.ran, 8);
+    let fresh = read_artifacts(&dir);
+
+    // Simulate a kill after three journaled cells: keep a prefix of the
+    // journal. Every cell file still exists, but unjournaled cells do
+    // not count as durable and must re-run.
+    let journal_path = dir.join("journal.jsonl");
+    let journal = fs::read_to_string(&journal_path).expect("journal exists");
+    let keep: Vec<&str> = journal.lines().take(3).collect();
+    fs::write(&journal_path, keep.join("\n") + "\n").expect("truncate journal");
+
+    let resumed = run_campaign(&spec, &dir, &options(2, true)).expect("resumed run");
+    assert_eq!(resumed.skipped, 3, "journaled prefix is not re-run");
+    assert_eq!(resumed.ran, 5, "exactly the unjournaled cells re-run");
+    assert!(resumed.merged);
+
+    let after = read_artifacts(&dir);
+    for ((name, left), right) in ARTIFACTS.iter().zip(&fresh).zip(&after) {
+        assert_eq!(left, right, "{name} changed across kill-and-resume");
+    }
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn panicking_cells_are_retried_isolated_and_resumable() {
+    // The `bad` variant cannot satisfy its hop constraint (a 10-node
+    // deployment has no 9-hop sessions), so its cell panics
+    // deterministically on every attempt.
+    let broken = CampaignSpec::from_json(
+        r#"{
+            "name": "isolation",
+            "preset": "small_test",
+            "variants": [
+                {"label": "good", "overrides": {"duration": 2.0, "payload_block_size": 1}},
+                {"label": "bad", "overrides": {"nodes": 10, "hops_min": 9, "hops_max": 9}}
+            ],
+            "protocols": ["Omnc"],
+            "sessions": {"start": 0, "count": 1},
+            "retries": 1
+        }"#,
+    )
+    .expect("valid spec");
+    let dir = temp_out("isolation");
+
+    let summary = run_campaign(&broken, &dir, &options(2, false)).expect("run completes");
+    assert_eq!(summary.total, 2);
+    assert_eq!(summary.ran, 1, "the good cell still completes");
+    assert!(!summary.merged, "a failed cell blocks the merge");
+    assert_eq!(summary.failures.len(), 1);
+    let failure = &summary.failures[0];
+    assert_eq!(failure.key, "bad/OMNC/0000000000");
+    assert_eq!(failure.attempts, 2, "retries + 1 attempts");
+    assert!(!failure.message.is_empty());
+    assert!(
+        omnc_campaign::merge::cell_path(&dir, "good/OMNC/0000000000").is_file(),
+        "the good cell's result survives the bad cell"
+    );
+    assert!(!dir.join("outcomes.jsonl").exists());
+
+    // Fix the bad variant (same label, so the same cell key) and resume:
+    // only the failed cell runs, and the campaign merges.
+    let fixed = CampaignSpec::from_json(
+        r#"{
+            "name": "isolation",
+            "preset": "small_test",
+            "variants": [
+                {"label": "good", "overrides": {"duration": 2.0, "payload_block_size": 1}},
+                {"label": "bad", "overrides": {"quality": "High", "duration": 2.0, "payload_block_size": 1}}
+            ],
+            "protocols": ["Omnc"],
+            "sessions": {"start": 0, "count": 1},
+            "retries": 1
+        }"#,
+    )
+    .expect("valid spec");
+    let resumed = run_campaign(&fixed, &dir, &options(2, true)).expect("resumed run");
+    assert_eq!(resumed.skipped, 1);
+    assert_eq!(resumed.ran, 1);
+    assert!(resumed.failures.is_empty());
+    assert!(resumed.merged);
+    assert!(dir.join("outcomes.jsonl").is_file());
+    let _ = fs::remove_dir_all(dir);
+}

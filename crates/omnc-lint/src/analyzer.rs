@@ -50,7 +50,7 @@ pub fn analyze_source(rel_path: &str, source: &str, table: &RuleTable) -> Vec<Fi
 
 /// Substring rules: each hit of a pattern outside tests is one finding.
 fn check_patterns(code: &str, emit: &mut impl FnMut(Rule, String)) {
-    const PATTERNS: [(Rule, &str, &str); 12] = [
+    const PATTERNS: [(Rule, &str, &str); 16] = [
         (Rule::WallClock, "Instant::now", "wall-clock read"),
         (Rule::WallClock, "SystemTime", "wall-clock read"),
         (Rule::NondetRng, "thread_rng", "entropy-seeded RNG"),
@@ -63,6 +63,10 @@ fn check_patterns(code: &str, emit: &mut impl FnMut(Rule, String)) {
         (Rule::Unwrap, ".unwrap()", "unchecked unwrap in hot path"),
         (Rule::Panic, ".expect(", "potential panic in hot path"),
         (Rule::Panic, "panic!", "explicit panic in hot path"),
+        (Rule::Concurrency, "thread::spawn", "thread creation"),
+        (Rule::Concurrency, "thread::scope", "thread creation"),
+        (Rule::Concurrency, "thread::Builder", "thread creation"),
+        (Rule::Concurrency, "mpsc::", "channel plumbing"),
     ];
     const PANIC_MACROS: [&str; 3] = ["unreachable!", "todo!", "unimplemented!"];
     for (rule, pat, what) in PATTERNS {

@@ -14,6 +14,12 @@
 //! * **(F) float hygiene** — `==`/`!=` against float literals in the
 //!   optimizer/LP crates.
 //!
+//! Determinism grew a fifth member with the campaign orchestrator
+//! (ISSUE 5): **concurrency** — `std::thread` / `mpsc` stay banned in the
+//! sim crates and in `omnc-campaign` at large, with the campaign's
+//! `executor.rs` as the single sanctioned exception (workers run whole
+//! cells around the simulation, never threads inside it).
+//!
 //! Every rule can be suppressed locally with `// lint: allow(<rule>)` (same
 //! line or the line above) or per file with `// lint: allow-file(<rule>)`.
 
@@ -58,11 +64,14 @@ pub enum Rule {
     UnsafeAudit,
     /// F: `==` / `!=` against a float literal.
     FloatEq,
+    /// D: thread spawning / channel plumbing outside the sanctioned
+    /// campaign executor module.
+    Concurrency,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 10] = [
         Rule::WallClock,
         Rule::NondetRng,
         Rule::EnvDep,
@@ -72,6 +81,7 @@ impl Rule {
         Rule::Index,
         Rule::UnsafeAudit,
         Rule::FloatEq,
+        Rule::Concurrency,
     ];
 
     /// The name used in reports and `lint: allow(...)` directives.
@@ -86,6 +96,7 @@ impl Rule {
             Rule::Index => "index",
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::FloatEq => "float-eq",
+            Rule::Concurrency => "concurrency",
         }
     }
 
@@ -103,6 +114,7 @@ impl Rule {
             Rule::Index => "slice/array indexing in designated hot-path modules",
             Rule::UnsafeAudit => "crates must forbid unsafe_code or SAFETY-document each allow",
             Rule::FloatEq => "== / != against float literals in optimizer/LP crates",
+            Rule::Concurrency => "std::thread / mpsc use outside the omnc-campaign executor module",
         }
     }
 }
@@ -170,6 +182,11 @@ impl Default for RuleTable {
         let sim: Vec<String> = SIM_CRATES.iter().map(|s| (*s).to_owned()).collect();
         let hot: Vec<String> = HOT_PATH_MODULES.iter().map(|s| (*s).to_owned()).collect();
         let float: Vec<String> = FLOAT_CRATES.iter().map(|s| (*s).to_owned()).collect();
+        let concurrency: Vec<String> = SIM_CRATES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .chain(std::iter::once("crates/omnc-campaign/".to_owned()))
+            .collect();
         let cfg = |severity, include: &Vec<String>, exclude: Vec<&str>| RuleConfig {
             enabled: true,
             severity,
@@ -188,6 +205,17 @@ impl Default for RuleTable {
                 (Rule::Index, cfg(Severity::Warn, &hot, vec![])),
                 (Rule::UnsafeAudit, cfg(Severity::Deny, &Vec::new(), vec![])),
                 (Rule::FloatEq, cfg(Severity::Deny, &float, vec![])),
+                // The campaign orchestrator's executor module is the one
+                // sanctioned concurrency surface: cells run on worker
+                // threads *around* the simulation, never inside it.
+                (
+                    Rule::Concurrency,
+                    cfg(
+                        Severity::Deny,
+                        &concurrency,
+                        vec!["crates/omnc-campaign/src/executor.rs"],
+                    ),
+                ),
             ],
         }
     }
@@ -250,6 +278,18 @@ mod tests {
             .config(Rule::FloatEq)
             .applies_to("crates/simplex-lp/src/solver.rs"));
         assert!(t.config(Rule::UnsafeAudit).applies_to("anything"));
+        assert!(t
+            .config(Rule::Concurrency)
+            .applies_to("crates/drift/src/sim.rs"));
+        assert!(t
+            .config(Rule::Concurrency)
+            .applies_to("crates/omnc-campaign/src/lib.rs"));
+        assert!(!t
+            .config(Rule::Concurrency)
+            .applies_to("crates/omnc-campaign/src/executor.rs"));
+        assert!(!t
+            .config(Rule::Concurrency)
+            .applies_to("crates/omnc-telemetry/src/registry.rs"));
     }
 
     #[test]

@@ -1,0 +1,30 @@
+// Fixture: concurrency rule (thread spawning / channel plumbing).
+// Linted under fake sim-crate and campaign paths; not compiled.
+
+fn spawn_positive() {
+    let h = std::thread::spawn(|| 42); // finding: concurrency
+    drop(h);
+}
+
+fn scope_positive() {
+    std::thread::scope(|s| {
+        // finding: concurrency (the scope call above)
+        drop(s);
+    });
+}
+
+fn builder_positive() {
+    let b = std::thread::Builder::new(); // finding: concurrency
+    drop(b);
+}
+
+fn channel_positive() {
+    let (tx, rx) = std::sync::mpsc::channel::<u64>(); // finding: concurrency
+    drop((tx, rx));
+}
+
+fn spawn_allowed() {
+    // lint: allow(concurrency) -- fixture: suppressed on the next line
+    let h = std::thread::spawn(|| 42);
+    drop(h);
+}

@@ -69,6 +69,23 @@ fn float_eq_fires_in_optimizer_crates_only() {
 }
 
 #[test]
+fn concurrency_fires_in_sim_and_campaign_but_not_the_executor() {
+    // Denied in the simulation core...
+    let fs = lint_as("crates/drift/src/sim.rs", "concurrency.rs");
+    assert_eq!(count(&fs, "concurrency"), 4, "{fs:#?}");
+    assert!(fs.iter().all(|f| f.severity == Severity::Deny));
+    // ...and in the campaign crate at large (spec parsing, merge, CLI)...
+    let fs = lint_as("crates/omnc-campaign/src/journal.rs", "concurrency.rs");
+    assert_eq!(count(&fs, "concurrency"), 4, "{fs:#?}");
+    // ...but the executor module is the sanctioned concurrency surface.
+    let fs = lint_as("crates/omnc-campaign/src/executor.rs", "concurrency.rs");
+    assert_eq!(count(&fs, "concurrency"), 0, "{fs:#?}");
+    // Crates outside the scope (e.g. telemetry) are untouched.
+    let fs = lint_as("crates/omnc-telemetry/src/sink.rs", "concurrency.rs");
+    assert_eq!(count(&fs, "concurrency"), 0, "{fs:#?}");
+}
+
+#[test]
 fn unsafe_audit_fires_on_blocks_and_crate_roots() {
     let source = fixture("unsafe_audit.rs");
     let table = RuleTable::default();

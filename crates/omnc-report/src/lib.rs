@@ -239,6 +239,18 @@ pub fn parse_opt<R: BufRead>(reader: R) -> io::Result<Vec<IterationRecord>> {
     Ok(records)
 }
 
+/// Parses and analyzes an in-memory JSONL trace text in one step — the
+/// entry point `omnc-campaign` uses to turn a merged campaign trace into
+/// a gateable [`Report`] without touching the filesystem twice.
+///
+/// # Errors
+///
+/// Fails on any line that is not a valid [`TraceRecord`].
+pub fn analyze_trace_text(text: &str) -> io::Result<Report> {
+    let records = parse_trace(text.as_bytes())?;
+    Ok(analyze(&records, &[]))
+}
+
 /// Reduces a trace stream (plus an optional optimizer stream) to a
 /// [`Report`].
 pub fn analyze(trace: &[TraceRecord], opt: &[IterationRecord]) -> Report {

@@ -28,12 +28,14 @@
 #![forbid(unsafe_code)]
 
 mod log;
+mod merge;
 mod profiler;
 mod registry;
 mod sink;
 mod timer;
 
 pub use log::{LogLevel, Logger};
+pub use merge::{merge_metric_snapshots, merge_profiles};
 pub use profiler::{
     Clock, ProfileGuard, ProfileReport, ProfileSpan, Profiler, VirtualClock, WallClock,
 };

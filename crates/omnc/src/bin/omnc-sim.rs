@@ -220,6 +220,7 @@ fn main() {
         fault: None,
         trace_capacity: args.trace.is_some().then_some(args.trace_capacity),
         profiler: profiler.clone(),
+        ..RunOptions::default()
     };
     log.debug(&format!(
         "scenario: {} nodes, {} sessions, {}s, seed {}",

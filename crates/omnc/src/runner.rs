@@ -9,13 +9,14 @@ use net_topo::graph::{Link, NodeId, Topology};
 use net_topo::select::{disjoint_path_count, select_forwarders, Selection};
 use omnc_opt::{default_portfolio, run_best, SUnicast};
 use serde::{Deserialize, Serialize};
-use telemetry::Profiler;
+use telemetry::{Profiler, Registry};
 
 use crate::msg::Msg;
 use crate::proto::credits::{more_credits, oldmore_credits, CreditPlan};
 use crate::proto::etx_routing::{EtxDestination, EtxForwarder};
 use crate::proto::more::{MoreDestination, MoreRelay, MoreSource};
 use crate::proto::omnc::{OmncDestination, OmncRelay, OmncSource};
+use crate::scenario::Scenario;
 use crate::session::{SessionConfig, SessionLedger};
 use crate::trace::{Absorbed, SessionTrace, TraceRecord};
 
@@ -222,6 +223,10 @@ pub struct RunOptions {
     /// destination decoder). Defaults to disabled (zero overhead); attach
     /// an enabled handle and read [`Profiler::report`] after the run.
     pub profiler: Profiler,
+    /// Metrics registry the simulator records its MAC counters and queue
+    /// histogram into. Defaults to disabled (no-op handles); attach an
+    /// enabled [`Registry`] and read [`Registry::snapshot`] after the run.
+    pub registry: Registry,
 }
 
 /// Runs one unicast session of `protocol` from `src` to `dst` on
@@ -285,6 +290,64 @@ pub fn run_session_traced(
     }
 }
 
+/// Runs one *cell* of a sweep or campaign: session `session` of `scenario`
+/// under `protocol`, with the session's endpoints and seed drawn
+/// deterministically from the scenario. This is the single shared code
+/// path behind the figure bins (`omnc-bench`) and the campaign executor
+/// (`omnc-campaign`): both reduce to a loop of `run_cell` calls.
+///
+/// Builds the scenario topology internally; loops that run many cells of
+/// the same scenario should build it once and use [`run_cell_on`].
+///
+/// # Panics
+///
+/// Panics if the scenario cannot produce session `session` (disconnected
+/// deployment or unsatisfiable hop bounds) — campaign callers isolate
+/// this with `catch_unwind`.
+pub fn run_cell(
+    scenario: &Scenario,
+    protocol: Protocol,
+    session: u64,
+    options: &RunOptions,
+) -> (SessionOutcome, Option<SessionTrace>) {
+    let (topology, src, dst) = scenario.build_session(session);
+    run_session_traced(
+        &topology,
+        src,
+        dst,
+        protocol,
+        &scenario.session,
+        scenario.session_seed(session),
+        options,
+    )
+}
+
+/// Like [`run_cell`], reusing a pre-built scenario `topology` (the result
+/// of [`Scenario::build_topology`]) so sweep loops pay the deployment cost
+/// once instead of once per session.
+///
+/// # Panics
+///
+/// Same conditions as [`run_cell`].
+pub fn run_cell_on(
+    topology: &Topology,
+    scenario: &Scenario,
+    protocol: Protocol,
+    session: u64,
+    options: &RunOptions,
+) -> (SessionOutcome, Option<SessionTrace>) {
+    let (_, src, dst) = scenario.build_session(session);
+    run_session_traced(
+        topology,
+        src,
+        dst,
+        protocol,
+        &scenario.session,
+        scenario.session_seed(session),
+        options,
+    )
+}
+
 fn run_etx(
     topology: &Topology,
     src: NodeId,
@@ -314,6 +377,7 @@ fn run_etx(
         sim.enable_trace(capacity);
     }
     sim.attach_profiler(options.profiler.clone());
+    sim.attach_telemetry(&options.registry);
     for w in path.windows(2) {
         let fwd = if w[0] == src {
             EtxForwarder::source(*cfg, local(w[1]), local(dst))
@@ -536,6 +600,7 @@ fn run_coded_inner(
         sim.enable_trace(capacity);
     }
     sim.attach_profiler(options.profiler.clone());
+    sim.attach_telemetry(&options.registry);
     for (orig, mut role) in roles {
         role.set_profiler(&options.profiler);
         sim.set_behavior(local(orig), role);
@@ -972,6 +1037,30 @@ mod tests {
         // Self times decompose the root total without double counting.
         let self_sum: u64 = report.spans.iter().map(|sp| sp.self_ticks).sum();
         assert!(self_sum <= report.total_root_ticks());
+    }
+
+    #[test]
+    fn run_cell_matches_the_manual_session_path() {
+        let scenario = crate::scenario::Scenario::small_test();
+        let options = RunOptions::default();
+        let (cell, _) = run_cell(&scenario, Protocol::Omnc, 1, &options);
+        let (topo, src, dst) = scenario.build_session(1);
+        let (manual, _) = run_session_traced(
+            &topo,
+            src,
+            dst,
+            Protocol::Omnc,
+            &scenario.session,
+            scenario.session_seed(1),
+            &options,
+        );
+        assert_eq!(cell.throughput, manual.throughput);
+        assert_eq!(cell.packet_counts, manual.packet_counts);
+        assert_eq!(cell.generations_decoded, manual.generations_decoded);
+        // The topology-reusing variant is the same cell.
+        let (reused, _) = run_cell_on(&topo, &scenario, Protocol::Omnc, 1, &options);
+        assert_eq!(reused.throughput, cell.throughput);
+        assert_eq!(reused.packet_counts, cell.packet_counts);
     }
 
     #[test]

@@ -112,9 +112,15 @@ impl Scenario {
         (topo, s, d)
     }
 
+    /// The simulation seed of session `k` (what [`Scenario::session_seeds`]
+    /// yields at position `k`).
+    pub fn session_seed(&self, k: u64) -> u64 {
+        self.seed.wrapping_add(k.wrapping_mul(7919))
+    }
+
     /// Session seeds for iteration.
     pub fn session_seeds(&self) -> impl Iterator<Item = u64> + '_ {
-        (0..self.sessions as u64).map(move |k| self.seed.wrapping_add(k * 7919))
+        (0..self.sessions as u64).map(move |k| self.session_seed(k))
     }
 }
 
@@ -173,6 +179,9 @@ mod tests {
         let s = Scenario::small_test();
         let seeds: Vec<u64> = s.session_seeds().collect();
         assert_eq!(seeds.len(), s.sessions);
+        for (k, &seed) in seeds.iter().enumerate() {
+            assert_eq!(seed, s.session_seed(k as u64));
+        }
         let mut dedup = seeds.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Campaign smoke: run the committed 8-cell smoke campaign (2 variants x
+# 2 protocols x 2 sessions, see crates/omnc-campaign/specs/smoke.json)
+# with two workers, then gate the merged omnc-report analysis against
+# the committed CAMPAIGN_baseline.json. Cells run under the virtual
+# clock, so the merged report is identical on any host and for any
+# --jobs; a diff beyond the threshold means the simulation itself
+# changed.
+#
+# After an intentional model or scenario change, regenerate the baseline
+# with `scripts/campaign.sh --regen` and commit the result. The flags
+# here must stay in lockstep with the "campaign-smoke" job in
+# .github/workflows/ci.yml.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release -p omnc-campaign -p omnc-report
+out="campaign-out"
+rm -rf "$out"
+./target/release/omnc-campaign run \
+  --spec crates/omnc-campaign/specs/smoke.json --out "$out" --jobs 2
+if [ "${1:-}" = "--regen" ]; then
+  cp "$out/report.json" CAMPAIGN_baseline.json
+  echo "wrote CAMPAIGN_baseline.json"
+else
+  ./target/release/omnc-report compare \
+    --baseline CAMPAIGN_baseline.json --current "$out/report.json" \
+    --threshold 0.15
+fi

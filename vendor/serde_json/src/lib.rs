@@ -294,13 +294,20 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 code point.
+                    // Bulk-append the run up to the next quote or escape.
+                    // Validating only the run (not the whole remaining
+                    // input) keeps string parsing linear; the delimiter
+                    // bytes are ASCII, so they never split a multi-byte
+                    // UTF-8 sequence.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                    let len = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let s = std::str::from_utf8(&rest[..len])
                         .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(s);
+                    self.pos += len;
                 }
             }
         }
@@ -400,6 +407,13 @@ mod tests {
         let text = to_string(&original).unwrap();
         let back: Value = from_str(&text).unwrap();
         assert_eq!(back, original);
+    }
+
+    #[test]
+    fn bulk_string_runs_preserve_escapes_and_multibyte() {
+        let original = Value::String("π plain run \n \"q\" \\ tail π".repeat(50));
+        let text = to_string(&original).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), original);
     }
 
     #[test]
