@@ -17,19 +17,28 @@
 //!
 //! Wall-clock numbers vary by host, so the `--out` JSON is a perf
 //! *trajectory* (one `BENCH_<date>.json` per run of `scripts/bench.sh`),
-//! not a hard gate. The deterministic gate artifact is the span profile
-//! (`--profile`, virtual clock): identical seeded runs produce identical
-//! span call counts on any host, so CI fails hard on
-//! `omnc-report profile compare --metric calls`.
+//! not a hard gate. The deterministic gate artifacts are the span
+//! profile (`--profile`, virtual clock) and the allocation report
+//! (`--alloc-out`): identical seeded runs produce identical span call
+//! counts and allocation counts on any host, so CI fails hard on
+//! `omnc-report profile compare --metric calls` and on
+//! `omnc-report compare` against `ALLOC_baseline.json`.
+//!
+//! Allocation counting (the [`CountingAlloc`] global allocator plus
+//! thread-local counters) is on by default; `--no-count-allocs` turns
+//! the counters off to measure the uninstrumented wall-clock numbers.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 use omnc::rlnc::{Decoder, Encoder, Generation, GenerationConfig, GenerationId, Kernel};
 use omnc::runner::{run_session_traced, Protocol, RunOptions};
-use omnc::telemetry::Profiler;
+use omnc::telemetry::{sample_rss, set_alloc_counting, AllocScope, CountingAlloc, Profiler};
 use omnc_bench::Options;
 use rand::{Rng, SeedableRng};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,40 +47,72 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
     let mut folded_path: Option<String> = None;
+    let mut alloc_out: Option<String> = None;
+    let mut count_allocs = true;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--out" => out_path = it.next().cloned(),
             "--profile" => profile_path = it.next().cloned(),
             "--profile-folded" => folded_path = it.next().cloned(),
+            "--alloc-out" => alloc_out = it.next().cloned(),
+            "--no-count-allocs" => count_allocs = false,
             _ => {} // everything else belongs to Options
         }
     }
+    set_alloc_counting(count_allocs);
 
     let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
 
-    let (encode_mb_s, decode_mb_s) = coding_throughput(opts.seed);
-    metrics.insert("rlnc/encode_mb_per_s".into(), encode_mb_s);
-    metrics.insert("rlnc/decode_mb_per_s".into(), decode_mb_s);
+    let coding = coding_throughput(opts.seed);
+    metrics.insert("rlnc/encode_mb_per_s".into(), coding.encode_mb_s);
+    metrics.insert("rlnc/decode_mb_per_s".into(), coding.decode_mb_s);
     log.info(&format!(
-        "rlnc: encode {encode_mb_s:.1} MB/s, decode pipeline {decode_mb_s:.1} MB/s"
+        "rlnc: encode {:.1} MB/s, decode pipeline {:.1} MB/s",
+        coding.encode_mb_s, coding.decode_mb_s
     ));
 
     let profiler = Profiler::virtual_clock();
-    let (packets_per_s, sessions) = sim_throughput(&opts, &profiler);
+    let sim_scope = AllocScope::start();
+    let (packets_per_s, sessions, packets) = sim_throughput(&opts, &profiler);
+    let sim_alloc = AllocFootprint::capture(packets, &sim_scope);
     metrics.insert("sim/packets_per_s".into(), packets_per_s);
     metrics.insert("sim/sessions".into(), sessions as f64);
     log.info(&format!(
         "sim: {packets_per_s:.0} absorbed packets/s over {sessions} seeded OMNC sessions"
     ));
 
-    let iters_per_s = opt_throughput();
+    let opt_scope = AllocScope::start();
+    let (iters_per_s, iterations) = opt_throughput();
+    let opt_alloc = AllocFootprint::capture(iterations, &opt_scope);
     metrics.insert("opt/iterations_per_s".into(), iters_per_s);
     log.info(&format!("opt: {iters_per_s:.0} rate-control iterations/s"));
 
-    println!("{:>28} {:>14}", "metric", "value");
+    // Allocation metrics are deterministic per-op counts on the seeded
+    // workloads; peak RSS is host-dependent and gated with a wide
+    // tolerance. Both live under lower-is-better gate prefixes.
+    let mut alloc_metrics: BTreeMap<String, f64> = BTreeMap::new();
+    if count_allocs {
+        coding
+            .encode_alloc
+            .record(&mut alloc_metrics, "rlnc_encode");
+        coding
+            .decode_alloc
+            .record(&mut alloc_metrics, "rlnc_decode");
+        sim_alloc.record(&mut alloc_metrics, "sim_dispatch");
+        opt_alloc.record(&mut alloc_metrics, "opt_iteration");
+    }
+    if let Some(rss) = sample_rss() {
+        alloc_metrics.insert(
+            "mem/peak_rss_mb".into(),
+            rss.vm_hwm_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+    metrics.extend(alloc_metrics.iter().map(|(k, v)| (k.clone(), *v)));
+
+    println!("{:>34} {:>14}", "metric", "value");
     for (name, value) in &metrics {
-        println!("{name:>28} {value:>14.2}");
+        println!("{name:>34} {value:>14.2}");
     }
 
     if let Some(path) = &out_path {
@@ -84,6 +125,19 @@ fn main() {
         std::fs::write(path, json + "\n")
             .unwrap_or_else(|e| panic!("cannot write --out {path}: {e}"));
         log.info(&format!("bench record -> {path}"));
+    }
+    if let Some(path) = &alloc_out {
+        // Shaped like an `omnc-report analyze --json` report so
+        // `omnc-report compare` gates it against ALLOC_baseline.json
+        // without a dedicated schema.
+        let map = serde_json::to_string(&alloc_metrics).expect("alloc metrics serialize");
+        let json = format!("{{\"sessions\":[],\"convergence\":null,\"metrics\":{map}}}");
+        std::fs::write(path, json + "\n")
+            .unwrap_or_else(|e| panic!("cannot write --alloc-out {path}: {e}"));
+        log.info(&format!(
+            "alloc report: {} metrics -> {path}",
+            alloc_metrics.len()
+        ));
     }
     let report = profiler.report();
     if let Some(path) = &profile_path {
@@ -112,9 +166,52 @@ struct BenchRecord {
     metrics: BTreeMap<String, f64>,
 }
 
+/// One bench family's allocation footprint: operations performed while
+/// its [`AllocScope`] was open and the allocator-counter deltas.
+struct AllocFootprint {
+    ops: u64,
+    allocs: u64,
+    bytes: u64,
+}
+
+impl AllocFootprint {
+    fn capture(ops: u64, scope: &AllocScope) -> AllocFootprint {
+        let delta = scope.delta();
+        AllocFootprint {
+            ops,
+            allocs: delta.alloc_events(),
+            bytes: delta.bytes_allocated,
+        }
+    }
+
+    fn record(&self, metrics: &mut BTreeMap<String, f64>, family: &str) {
+        if self.ops == 0 {
+            return;
+        }
+        let ops = self.ops as f64;
+        metrics.insert(
+            format!("alloc/{family}/allocs_per_op"),
+            self.allocs as f64 / ops,
+        );
+        metrics.insert(
+            format!("alloc/{family}/bytes_per_op"),
+            self.bytes as f64 / ops,
+        );
+    }
+}
+
+/// Throughput and allocation footprint of the coding benches.
+struct CodingBench {
+    encode_mb_s: f64,
+    decode_mb_s: f64,
+    encode_alloc: AllocFootprint,
+    decode_alloc: AllocFootprint,
+}
+
 /// Encode-only and encode+decode throughput (payload MB/s) of one
-/// 40x1024 generation under the Product kernel.
-fn coding_throughput(seed: u64) -> (f64, f64) {
+/// 40x1024 generation under the Product kernel, with per-emit /
+/// per-absorb allocation footprints.
+fn coding_throughput(seed: u64) -> CodingBench {
     let cfg = GenerationConfig::new(40, 1024).expect("positive dims");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut data = vec![0u8; cfg.payload_len()];
@@ -123,6 +220,7 @@ fn coding_throughput(seed: u64) -> (f64, f64) {
     let encoder = Encoder::with_kernel(&generation, Kernel::Product);
 
     let reps = (32 * 1024 * 1024 / cfg.payload_len()).clamp(4, 200);
+    let scope = AllocScope::start();
     let start = Instant::now();
     for _ in 0..reps {
         for _ in 0..cfg.blocks() {
@@ -130,23 +228,33 @@ fn coding_throughput(seed: u64) -> (f64, f64) {
         }
     }
     let encode_mb_s = (reps * cfg.payload_len()) as f64 / start.elapsed().as_secs_f64() / 1e6;
+    let encode_alloc = AllocFootprint::capture((reps * cfg.blocks()) as u64, &scope);
 
+    let mut absorbs = 0u64;
+    let scope = AllocScope::start();
     let start = Instant::now();
     for _ in 0..reps {
         let mut decoder = Decoder::with_kernel(GenerationId::new(0), cfg, Kernel::Product);
         while !decoder.is_complete() {
             let packet = encoder.emit(&mut rng);
             let _ = decoder.absorb(&packet);
+            absorbs += 1;
         }
         assert_eq!(decoder.recover().expect("complete"), data);
     }
     let decode_mb_s = (reps * cfg.payload_len()) as f64 / start.elapsed().as_secs_f64() / 1e6;
-    (encode_mb_s, decode_mb_s)
+    let decode_alloc = AllocFootprint::capture(absorbs, &scope);
+    CodingBench {
+        encode_mb_s,
+        decode_mb_s,
+        encode_alloc,
+        decode_alloc,
+    }
 }
 
 /// Runs the seeded OMNC session sweep with the span profiler attached
-/// and returns (absorbed packets per wall second, sessions run).
-fn sim_throughput(opts: &Options, profiler: &Profiler) -> (f64, usize) {
+/// and returns (absorbed packets per wall second, sessions run, packets).
+fn sim_throughput(opts: &Options, profiler: &Profiler) -> (f64, usize, u64) {
     let mut scenario = opts.scenario();
     // A fixed small sweep: large enough to exercise encode/recode/decode
     // and the optimizer, small enough to finish in seconds.
@@ -178,11 +286,12 @@ fn sim_throughput(opts: &Options, profiler: &Profiler) -> (f64, usize) {
         packets += out.packet_counts.0 + out.packet_counts.1;
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
-    (packets as f64 / elapsed, scenario.sessions)
+    (packets as f64 / elapsed, scenario.sessions, packets)
 }
 
-/// Rate-control iterations per wall second on the Fig. 1 sample problem.
-fn opt_throughput() -> f64 {
+/// Rate-control (iterations per wall second, iterations) on the Fig. 1
+/// sample problem.
+fn opt_throughput() -> (f64, u64) {
     use omnc::net_topo::graph::{Link, NodeId, Topology};
     use omnc::net_topo::select::select_forwarders;
     use omnc::omnc_opt::{RateControl, RateControlParams};
@@ -231,5 +340,8 @@ fn opt_throughput() -> f64 {
             .run_traced();
         iterations += trace.records.len() as u64;
     }
-    iterations as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    (
+        iterations as f64 / start.elapsed().as_secs_f64().max(1e-9),
+        iterations,
+    )
 }

@@ -14,6 +14,11 @@
 //! artifacts — `outcomes.jsonl`, `trace.jsonl`, `telemetry.json`,
 //! `report.json` — are byte-identical whatever `--jobs` was and whether
 //! the campaign ran straight through or was killed and resumed.
+//!
+//! Memory figures are the one exception to that determinism contract:
+//! RSS depends on the host, the allocator, and worker scheduling, so
+//! per-cell and campaign-wide peak RSS go to a separate `memory.json`
+//! and are *never* part of the four byte-compared artifacts above.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +59,28 @@ pub struct CellFailure {
     pub attempts: u32,
     /// The last panic message.
     pub message: String,
+}
+
+/// Memory figures sampled when one cell's completion reached the
+/// submitting thread (host-dependent; see [`CampaignMemory`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CellMemory {
+    /// The completed cell's key.
+    pub key: String,
+    /// Process RSS (MB) observed at completion time.
+    pub rss_mb: f64,
+}
+
+/// The `memory.json` artifact: campaign-wide peak RSS plus one sample
+/// per executed cell (sorted by key). Deliberately separate from the
+/// four byte-compared merged artifacts, because RSS varies by host and
+/// scheduling while those must stay identical across `--jobs` values.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignMemory {
+    /// Peak RSS (VmHWM, MB) of the whole campaign process so far.
+    pub peak_rss_mb: f64,
+    /// Per-cell completion-time samples, sorted by cell key.
+    pub cells: Vec<CellMemory>,
 }
 
 /// What a campaign invocation did.
@@ -153,6 +180,7 @@ pub fn run_campaign(
     let mut failures: Vec<CellFailure> = Vec::new();
     let mut io_error: Option<io::Error> = None;
     let mut done = 0usize;
+    let mut memory_cells: Vec<CellMemory> = Vec::new();
     executor::run_parallel(
         pending.len(),
         options.jobs,
@@ -175,6 +203,12 @@ pub fn run_campaign(
                         return;
                     }
                     done += 1;
+                    if let Some(rss) = telemetry::sample_rss() {
+                        memory_cells.push(CellMemory {
+                            key: cell.key.clone(),
+                            rss_mb: rss.vm_rss_bytes as f64 / (1024.0 * 1024.0),
+                        });
+                    }
                     options
                         .log
                         .debug(&format!("cell {} done ({attempts} attempt(s))", cell.key));
@@ -202,6 +236,23 @@ pub fn run_campaign(
         return Err(e);
     }
     failures.sort_by(|a, b| a.key.cmp(&b.key));
+
+    // Host-dependent memory figures go to their own artifact so the four
+    // byte-compared ones stay deterministic (see module docs).
+    if let Some(rss) = telemetry::sample_rss() {
+        memory_cells.sort_by(|a, b| a.key.cmp(&b.key));
+        let memory = CampaignMemory {
+            peak_rss_mb: rss.vm_hwm_bytes as f64 / (1024.0 * 1024.0),
+            cells: memory_cells,
+        };
+        let json = serde_json::to_string(&memory)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(out_dir.join("memory.json"), json + "\n")?;
+        options.log.debug(&format!(
+            "memory: campaign peak rss {:.1} MB -> memory.json",
+            memory.peak_rss_mb
+        ));
+    }
 
     let merged = failures.is_empty();
     if merged {

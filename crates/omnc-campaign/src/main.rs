@@ -23,20 +23,32 @@ use std::time::Instant;
 
 use omnc_campaign::spec::CampaignSpec;
 use omnc_campaign::{campaign_status, run_campaign, CampaignOptions, CampaignSummary};
-use telemetry::{LogLevel, Logger};
+use telemetry::{sample_rss, set_alloc_counting, CountingAlloc, LogLevel, Logger};
+
+// One relaxed atomic load per allocation until --count-allocs enables
+// the thread-local counters, so default campaigns run at full speed.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const USAGE: &str = "omnc-campaign — parallel, resumable experiment campaigns
 
 USAGE:
-    omnc-campaign run    --spec <file> --out <dir> [--jobs N] [--log-level quiet|info|debug]
-    omnc-campaign resume --spec <file> --out <dir> [--jobs N] [--log-level quiet|info|debug]
+    omnc-campaign run    --spec <file> --out <dir> [--jobs N] [--count-allocs]
+                         [--log-level quiet|info|debug]
+    omnc-campaign resume --spec <file> --out <dir> [--jobs N] [--count-allocs]
+                         [--log-level quiet|info|debug]
     omnc-campaign status --spec <file> --out <dir>
     omnc-campaign bench  --spec <file> --out <dir> [--jobs N] [--record <file>]
+                         [--count-allocs]
 
 Campaign specs are JSON matrices of scenario variants x protocols x
 session indices; see EXPERIMENTS.md for the schema. `resume` re-runs
 only cells the checkpoint journal does not already cover; merged
-artifacts are byte-identical for any --jobs and across resumes.";
+artifacts are byte-identical for any --jobs and across resumes.
+`--count-allocs` enables allocation counting, adding alloc columns to
+the merged span profiles; per-cell RSS samples and campaign peak RSS
+always land in a separate memory.json (host-dependent, so never part
+of the byte-compared artifacts).";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -88,6 +100,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .ok_or_else(|| format!("unknown --log-level {v:?} (quiet|info|debug)"))?;
             }
             "--record" => record = Some(PathBuf::from(value("--record")?)),
+            "--count-allocs" => set_alloc_counting(true),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -202,18 +215,34 @@ fn bench(cli: &CliArgs) -> Result<i32, String> {
         }
     }
 
-    let speedup = serial_s / parallel_s.max(1e-9);
     let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
     metrics.insert("campaign/cells".into(), cells as f64);
     metrics.insert("campaign/jobs".into(), cli.jobs as f64);
     metrics.insert("campaign/host_cpus".into(), host_cpus as f64);
     metrics.insert("campaign/serial_s".into(), serial_s);
     metrics.insert("campaign/parallel_s".into(), parallel_s);
-    metrics.insert("campaign/speedup".into(), speedup);
-    cli.log.info(&format!(
-        "{cells} cells: --jobs 1 {serial_s:.2}s, --jobs {} {parallel_s:.2}s, speedup {speedup:.2}x on {host_cpus} cpu(s); merged artifacts byte-identical",
-        cli.jobs
-    ));
+    if host_cpus > 1 {
+        // On a single-core host --jobs N cannot beat --jobs 1, so the
+        // ratio is scheduling noise (~0.99x), not a speedup; recording
+        // it would poison any later regression comparison.
+        let speedup = serial_s / parallel_s.max(1e-9);
+        metrics.insert("campaign/speedup".into(), speedup);
+        cli.log.info(&format!(
+            "{cells} cells: --jobs 1 {serial_s:.2}s, --jobs {} {parallel_s:.2}s, speedup {speedup:.2}x on {host_cpus} cpu(s); merged artifacts byte-identical",
+            cli.jobs
+        ));
+    } else {
+        cli.log.info(&format!(
+            "{cells} cells: --jobs 1 {serial_s:.2}s, --jobs {} {parallel_s:.2}s; single-core host, parallel speedup not measurable (campaign/speedup omitted); merged artifacts byte-identical",
+            cli.jobs
+        ));
+    }
+    if let Some(rss) = sample_rss() {
+        metrics.insert(
+            "campaign/peak_rss_mb".into(),
+            rss.vm_hwm_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
     println!("{:>24} {:>12}", "metric", "value");
     for (name, value) in &metrics {
         println!("{name:>24} {value:>12.3}");

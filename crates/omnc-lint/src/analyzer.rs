@@ -50,7 +50,7 @@ pub fn analyze_source(rel_path: &str, source: &str, table: &RuleTable) -> Vec<Fi
 
 /// Substring rules: each hit of a pattern outside tests is one finding.
 fn check_patterns(code: &str, emit: &mut impl FnMut(Rule, String)) {
-    const PATTERNS: [(Rule, &str, &str); 16] = [
+    const PATTERNS: [(Rule, &str, &str); 18] = [
         (Rule::WallClock, "Instant::now", "wall-clock read"),
         (Rule::WallClock, "SystemTime", "wall-clock read"),
         (Rule::NondetRng, "thread_rng", "entropy-seeded RNG"),
@@ -67,6 +67,12 @@ fn check_patterns(code: &str, emit: &mut impl FnMut(Rule, String)) {
         (Rule::Concurrency, "thread::scope", "thread creation"),
         (Rule::Concurrency, "thread::Builder", "thread creation"),
         (Rule::Concurrency, "mpsc::", "channel plumbing"),
+        (Rule::HotAlloc, "Box::new(", "heap allocation in hot path"),
+        (
+            Rule::HotAlloc,
+            "Vec::with_capacity(0)",
+            "zero-capacity Vec (allocates on first push) in hot path",
+        ),
     ];
     const PANIC_MACROS: [&str; 3] = ["unreachable!", "todo!", "unimplemented!"];
     for (rule, pat, what) in PATTERNS {
@@ -222,9 +228,12 @@ fn check_unsafe(file: &CleanFile, idx: usize, emit: &mut impl FnMut(Rule, String
     }
 }
 
-/// Crate-root audit: a crate root file must carry `#![forbid(unsafe_code)]`
-/// (or a SAFETY-commented `#![allow(unsafe_code)]`). Returns a file-level
-/// finding otherwise.
+/// Crate-root audit: a crate root file must carry `#![forbid(unsafe_code)]`,
+/// or a SAFETY-commented `#![allow(unsafe_code)]` / `#![deny(unsafe_code)]`.
+/// The deny form is the counting-allocator pattern: unsafe denied
+/// crate-wide and allowed back in exactly one SAFETY-documented module
+/// (deny, unlike forbid, can be overridden by an inner `#![allow]`).
+/// Returns a file-level finding otherwise.
 pub fn audit_crate_root(rel_path: &str, source: &str, table: &RuleTable) -> Option<Finding> {
     let cfg = table.config(Rule::UnsafeAudit);
     if !cfg.applies_to(rel_path) {
@@ -234,6 +243,9 @@ pub fn audit_crate_root(rel_path: &str, source: &str, table: &RuleTable) -> Opti
         return None;
     }
     if source.contains("#![allow(unsafe_code)]") && source.contains("SAFETY") {
+        return None;
+    }
+    if source.contains("#![deny(unsafe_code)]") && source.contains("SAFETY") {
         return None;
     }
     Some(Finding::new(
@@ -666,6 +678,32 @@ mod tests {
         let f = audit_crate_root("crates/x/src/lib.rs", "pub mod a;\n", &t).unwrap();
         assert_eq!(f.rule, "unsafe-audit");
         assert_eq!(f.line, 0);
+        // The counting-allocator pattern: deny crate-wide, allow back in
+        // one SAFETY-documented module.
+        let deny = "// SAFETY comments audited per module.\n#![deny(unsafe_code)]\nmod alloc;\n";
+        assert!(audit_crate_root("crates/x/src/lib.rs", deny, &t).is_none());
+        // A bare deny without any SAFETY documentation is not enough.
+        let bare = "#![deny(unsafe_code)]\nmod alloc;\n";
+        assert!(audit_crate_root("crates/x/src/lib.rs", bare, &t).is_some());
+    }
+
+    #[test]
+    fn hot_alloc_flagged_in_hot_path_with_escape_hatch() {
+        let src = "fn f() { let b = Box::new(Thing::default()); }\n";
+        let fs = lint(HOT_PATH, src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "hot-alloc");
+        assert_eq!(fs[0].severity, Severity::Deny);
+        // Out of scope outside the hot-path modules.
+        assert!(lint("crates/omnc/src/runner.rs", src).is_empty());
+        // The documented escape hatch.
+        let allowed = "fn f() { let b = Box::new(Thing::default()); } // lint: allow(hot-alloc)\n";
+        assert!(lint(HOT_PATH, allowed).is_empty());
+        // Degenerate zero-capacity Vec; a sized one is fine.
+        let zero = "fn g() { let v: Vec<u8> = Vec::with_capacity(0); }\n";
+        assert_eq!(lint(HOT_PATH, zero).len(), 1);
+        let sized = "fn g(n: usize) { let v: Vec<u8> = Vec::with_capacity(n); }\n";
+        assert!(lint(HOT_PATH, sized).is_empty());
     }
 
     #[test]

@@ -67,11 +67,14 @@ pub enum Rule {
     /// D: thread spawning / channel plumbing outside the sanctioned
     /// campaign executor module.
     Concurrency,
+    /// P: heap-allocating constructs (`Box::new`, degenerate
+    /// `Vec::with_capacity(0)`) in hot-path modules.
+    HotAlloc,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 11] = [
         Rule::WallClock,
         Rule::NondetRng,
         Rule::EnvDep,
@@ -82,6 +85,7 @@ impl Rule {
         Rule::UnsafeAudit,
         Rule::FloatEq,
         Rule::Concurrency,
+        Rule::HotAlloc,
     ];
 
     /// The name used in reports and `lint: allow(...)` directives.
@@ -97,6 +101,7 @@ impl Rule {
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::FloatEq => "float-eq",
             Rule::Concurrency => "concurrency",
+            Rule::HotAlloc => "hot-alloc",
         }
     }
 
@@ -115,6 +120,9 @@ impl Rule {
             Rule::UnsafeAudit => "crates must forbid unsafe_code or SAFETY-document each allow",
             Rule::FloatEq => "== / != against float literals in optimizer/LP crates",
             Rule::Concurrency => "std::thread / mpsc use outside the omnc-campaign executor module",
+            Rule::HotAlloc => {
+                "Box::new / Vec::with_capacity(0) allocations in designated hot-path modules"
+            }
         }
     }
 }
@@ -216,6 +224,10 @@ impl Default for RuleTable {
                         vec!["crates/omnc-campaign/src/executor.rs"],
                     ),
                 ),
+                // The allocation-observability arc: hot paths must stay
+                // allocation-free, so direct heap constructs need a
+                // `// lint: allow(hot-alloc)` escape hatch.
+                (Rule::HotAlloc, cfg(Severity::Deny, &hot, vec![])),
             ],
         }
     }
@@ -278,6 +290,15 @@ mod tests {
             .config(Rule::FloatEq)
             .applies_to("crates/simplex-lp/src/solver.rs"));
         assert!(t.config(Rule::UnsafeAudit).applies_to("anything"));
+        assert!(t
+            .config(Rule::HotAlloc)
+            .applies_to("crates/rlnc/src/decoder.rs"));
+        assert!(t
+            .config(Rule::HotAlloc)
+            .applies_to("crates/gf256/src/wide.rs"));
+        assert!(!t
+            .config(Rule::HotAlloc)
+            .applies_to("crates/omnc/src/runner.rs"));
         assert!(t
             .config(Rule::Concurrency)
             .applies_to("crates/drift/src/sim.rs"));

@@ -1,0 +1,20 @@
+// Fixture: hot-alloc rule. In the spans-instrumented hot-path modules,
+// direct heap constructs are denied unless they carry the documented
+// `// lint: allow(hot-alloc)` escape hatch; sized Vec reservations are
+// fine. Not compiled.
+
+fn boxed() -> Box<u32> {
+    Box::new(7) // finding: hot-alloc
+}
+
+fn degenerate() -> Vec<u8> {
+    Vec::with_capacity(0) // finding: hot-alloc (allocates on first push)
+}
+
+fn sanctioned() -> Box<u32> {
+    Box::new(7) // lint: allow(hot-alloc)
+}
+
+fn sized(n: usize) -> Vec<u8> {
+    Vec::with_capacity(n)
+}

@@ -1,0 +1,26 @@
+// Fixture: the counting-allocator pattern for the unsafe-audit rule.
+// Mirrors omnc-telemetry's alloc module: unsafe allowed back in exactly
+// one module, with every unsafe item SAFETY-documented inside the audit
+// window (same line or the three lines above). Produces zero findings;
+// linted as a crate root it passes the audit because the allow is paired
+// with SAFETY documentation. Not compiled.
+
+// SAFETY: every unsafe item in this module carries its own comment.
+#![allow(unsafe_code)]
+
+struct CountingAlloc;
+
+// SAFETY: every call is forwarded to `System` with the caller's layout
+// unchanged, so `System`'s `GlobalAlloc` guarantees carry over; the
+// counter updates touch only thread-local `Cell`s and never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: contract identical to `System.alloc`; forwarded verbatim.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        System.alloc(layout)
+    }
+
+    // SAFETY: contract identical to `System.dealloc`; forwarded verbatim.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

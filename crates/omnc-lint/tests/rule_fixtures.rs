@@ -98,3 +98,34 @@ fn unsafe_audit_fires_on_blocks_and_crate_roots() {
     let clean_root = "#![forbid(unsafe_code)]\npub fn ok() {}\n";
     assert!(audit_crate_root("crates/demo/src/lib.rs", clean_root, &table).is_none());
 }
+
+#[test]
+fn unsafe_audit_accepts_the_counting_allocator_pattern() {
+    let source = fixture("unsafe_audit_alloc.rs");
+    let table = RuleTable::default();
+    // Every unsafe item is SAFETY-documented within the audit window.
+    let fs = analyze_source("crates/omnc-telemetry/src/alloc.rs", &source, &table);
+    assert_eq!(count(&fs, "unsafe-audit"), 0, "{fs:#?}");
+    // As a crate root, a SAFETY-paired `#![allow(unsafe_code)]` passes...
+    assert!(audit_crate_root("crates/demo/src/lib.rs", &source, &table).is_none());
+    // ...and so does the deny-at-root flavor omnc-telemetry itself uses
+    // (deny, unlike forbid, can be overridden by the one audited module).
+    let deny_root =
+        "// SAFETY documented per module; see alloc.rs.\n#![deny(unsafe_code)]\nmod alloc;\n";
+    assert!(audit_crate_root("crates/demo/src/lib.rs", deny_root, &table).is_none());
+    let bare_deny = "#![deny(unsafe_code)]\nmod alloc;\n";
+    assert!(audit_crate_root("crates/demo/src/lib.rs", bare_deny, &table).is_some());
+}
+
+#[test]
+fn hot_alloc_fires_in_hot_path_modules_only() {
+    let fs = lint_as("crates/rlnc/src/kernel.rs", "hot_alloc.rs");
+    assert_eq!(count(&fs, "hot-alloc"), 2, "{fs:#?}");
+    assert!(fs
+        .iter()
+        .filter(|f| f.rule == "hot-alloc")
+        .all(|f| f.severity == Severity::Deny));
+    // Outside the designated hot-path modules the rule is silent.
+    let cold = lint_as("crates/omnc/src/runner.rs", "hot_alloc.rs");
+    assert_eq!(count(&cold, "hot-alloc"), 0, "{cold:#?}");
+}

@@ -553,9 +553,17 @@ pub struct Regression {
 
 /// Whether a smaller value of `metric` is the better one.
 pub fn lower_is_better(metric: &str) -> bool {
-    ["queue", "redundan", "lost", "violation", "dropped"]
-        .iter()
-        .any(|needle| metric.contains(needle))
+    [
+        "queue",
+        "redundan",
+        "lost",
+        "violation",
+        "dropped",
+        "alloc",
+        "rss",
+    ]
+    .iter()
+    .any(|needle| metric.contains(needle))
 }
 
 /// Compares `current` against `baseline`, returning every metric that
@@ -611,6 +619,134 @@ pub fn missing_metrics(
         .collect()
 }
 
+// -------------------------------------------------------------- gate report
+
+/// One metric's verdict inside a machine-readable [`GateReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricVerdict {
+    /// Metric key (or span path for profile gates).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (`0.0` when `status` is `"missing"`).
+    pub current: f64,
+    /// `"ok"`, `"regressed"`, or `"missing"`.
+    pub status: String,
+}
+
+/// Machine-readable outcome of a `compare` / `profile compare` gate run,
+/// written by the CLI's `--json` flag so CI jobs stop scraping text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateReport {
+    /// `"metrics"` for report compares, `"profile"` for profile compares.
+    pub gate: String,
+    /// The gated field: `"value"` for metric maps, else the
+    /// [`ProfileMetric`] spelling.
+    pub metric: String,
+    /// Relative regression threshold the gate ran with.
+    pub threshold: f64,
+    /// Whether missing metrics were promoted to failures.
+    pub strict: bool,
+    /// Overall verdict: no regressions, and under `--strict` nothing
+    /// missing either.
+    pub passed: bool,
+    /// Number of `"regressed"` verdicts.
+    pub regressed: usize,
+    /// Number of `"missing"` verdicts.
+    pub missing: usize,
+    /// Per-metric verdicts, in the baseline's deterministic order.
+    pub verdicts: Vec<MetricVerdict>,
+}
+
+/// Builds the machine-readable gate report for a metric-map compare:
+/// every baseline key gets a verdict, and `passed` mirrors the CLI exit
+/// code (`regressions empty`, plus `missing empty` under `strict`).
+#[must_use]
+pub fn gate_report(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    threshold: f64,
+    strict: bool,
+) -> GateReport {
+    let regressions = compare(baseline, current, threshold);
+    let regressed: std::collections::BTreeSet<&str> =
+        regressions.iter().map(|r| r.metric.as_str()).collect();
+    let mut missing = 0usize;
+    let verdicts: Vec<MetricVerdict> = baseline
+        .iter()
+        .map(|(metric, &base)| {
+            let (current, status) = match current.get(metric) {
+                Some(&cur) if regressed.contains(metric.as_str()) => (cur, "regressed"),
+                Some(&cur) => (cur, "ok"),
+                None => {
+                    missing += 1;
+                    (0.0, "missing")
+                }
+            };
+            MetricVerdict {
+                metric: metric.clone(),
+                baseline: base,
+                current,
+                status: status.to_string(),
+            }
+        })
+        .collect();
+    GateReport {
+        gate: "metrics".into(),
+        metric: "value".into(),
+        threshold,
+        strict,
+        passed: regressions.is_empty() && (!strict || missing == 0),
+        regressed: regressions.len(),
+        missing,
+        verdicts,
+    }
+}
+
+/// Builds the machine-readable gate report for a profile compare; verdict
+/// keys are span paths and values are the gated [`ProfileMetric`].
+#[must_use]
+pub fn profile_gate_report(
+    baseline: &ProfileReport,
+    current: &ProfileReport,
+    threshold: f64,
+    metric: ProfileMetric,
+    strict: bool,
+) -> GateReport {
+    let cmp = compare_profiles(baseline, current, threshold, metric);
+    let regressed: std::collections::BTreeSet<&str> =
+        cmp.regressions.iter().map(|r| r.path.as_str()).collect();
+    let verdicts: Vec<MetricVerdict> = baseline
+        .spans
+        .iter()
+        .map(|base| {
+            let (current, status) = match current.span(&base.path) {
+                Some(cur) if regressed.contains(base.path.as_str()) => {
+                    (metric.get(cur) as f64, "regressed")
+                }
+                Some(cur) => (metric.get(cur) as f64, "ok"),
+                None => (0.0, "missing"),
+            };
+            MetricVerdict {
+                metric: base.path.clone(),
+                baseline: metric.get(base) as f64,
+                current,
+                status: status.to_string(),
+            }
+        })
+        .collect();
+    GateReport {
+        gate: "profile".into(),
+        metric: metric.name().to_string(),
+        threshold,
+        strict,
+        passed: cmp.regressions.is_empty() && (!strict || cmp.missing.is_empty()),
+        regressed: cmp.regressions.len(),
+        missing: cmp.missing.len(),
+        verdicts,
+    }
+}
+
 // ----------------------------------------------------------------- profile
 
 /// Which [`ProfileSpan`] field `profile compare` gates on.
@@ -623,16 +759,24 @@ pub enum ProfileMetric {
     SelfTicks,
     /// Total ticks between entry and exit.
     TotalTicks,
+    /// Allocation events attributed to the span (self + descendants);
+    /// all-zero unless the run counted allocations.
+    Allocs,
+    /// Bytes allocated under the span (self + descendants).
+    AllocBytes,
 }
 
 impl ProfileMetric {
-    /// Parses the CLI spelling (`calls` | `self` | `total`).
+    /// Parses the CLI spelling
+    /// (`calls` | `self` | `total` | `allocs` | `alloc-bytes`).
     #[must_use]
     pub fn parse(name: &str) -> Option<ProfileMetric> {
         match name {
             "calls" => Some(ProfileMetric::Calls),
             "self" => Some(ProfileMetric::SelfTicks),
             "total" => Some(ProfileMetric::TotalTicks),
+            "allocs" => Some(ProfileMetric::Allocs),
+            "alloc-bytes" => Some(ProfileMetric::AllocBytes),
             _ => None,
         }
     }
@@ -644,6 +788,8 @@ impl ProfileMetric {
             ProfileMetric::Calls => "calls",
             ProfileMetric::SelfTicks => "self",
             ProfileMetric::TotalTicks => "total",
+            ProfileMetric::Allocs => "allocs",
+            ProfileMetric::AllocBytes => "alloc-bytes",
         }
     }
 
@@ -652,6 +798,8 @@ impl ProfileMetric {
             ProfileMetric::Calls => span.calls,
             ProfileMetric::SelfTicks => span.self_ticks,
             ProfileMetric::TotalTicks => span.total_ticks,
+            ProfileMetric::Allocs => span.allocs,
+            ProfileMetric::AllocBytes => span.alloc_bytes,
         }
     }
 }
@@ -715,10 +863,17 @@ pub fn compare_profiles(
 /// followed by the full span tree (indent = nesting depth).
 ///
 /// Percentages are of [`ProfileReport::total_root_ticks`], so the
-/// `self%` column over the whole report sums to at most 100%.
+/// `self%` column over the whole report sums to at most 100%. Allocation
+/// columns (`allocs` / `alloc B`, self + descendants per span) appear
+/// only when some span actually attributed allocations — runs without
+/// the counting allocator keep the historical tick-only layout.
 pub fn render_profile(report: &ProfileReport, top: usize) -> String {
     let mut out = String::new();
     let root = report.total_root_ticks();
+    let with_allocs = report
+        .spans
+        .iter()
+        .any(|s| s.allocs > 0 || s.alloc_bytes > 0);
     let _ = writeln!(
         out,
         "clock: {} ({} spans, {} root {})",
@@ -735,34 +890,66 @@ pub fn render_profile(report: &ProfileReport, top: usize) -> String {
         top.min(by_self.len()),
         report.unit
     );
-    let _ = writeln!(
-        out,
-        "{:>10} {:>6} {:>12} {:>12}  path",
-        "calls", "self%", "self", "total"
-    );
+    if with_allocs {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>6} {:>12} {:>12} {:>10} {:>12}  path",
+            "calls", "self%", "self", "total", "allocs", "alloc B"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>6} {:>12} {:>12}  path",
+            "calls", "self%", "self", "total"
+        );
+    }
     for s in by_self.iter().take(top) {
         let pct = if root == 0 {
             0.0
         } else {
             s.self_ticks as f64 / root as f64 * 100.0
         };
-        let _ = writeln!(
-            out,
-            "{:>10} {:>5.1}% {:>12} {:>12}  {}",
-            s.calls, pct, s.self_ticks, s.total_ticks, s.path
-        );
+        if with_allocs {
+            let _ = writeln!(
+                out,
+                "{:>10} {:>5.1}% {:>12} {:>12} {:>10} {:>12}  {}",
+                s.calls, pct, s.self_ticks, s.total_ticks, s.allocs, s.alloc_bytes, s.path
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:>10} {:>5.1}% {:>12} {:>12}  {}",
+                s.calls, pct, s.self_ticks, s.total_ticks, s.path
+            );
+        }
     }
     let _ = writeln!(out, "\nspan tree:");
-    let _ = writeln!(out, "{:>10} {:>12} {:>12}  span", "calls", "total", "self");
+    if with_allocs {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12} {:>12} {:>10} {:>12}  span",
+            "calls", "total", "self", "allocs", "alloc B"
+        );
+    } else {
+        let _ = writeln!(out, "{:>10} {:>12} {:>12}  span", "calls", "total", "self");
+    }
     // The report is already depth-first with children sorted by name, so
     // printing in order with depth indentation reproduces the tree.
     for s in &report.spans {
         let indent = "  ".repeat(s.depth as usize);
-        let _ = writeln!(
-            out,
-            "{:>10} {:>12} {:>12}  {indent}{}",
-            s.calls, s.total_ticks, s.self_ticks, s.name
-        );
+        if with_allocs {
+            let _ = writeln!(
+                out,
+                "{:>10} {:>12} {:>12} {:>10} {:>12}  {indent}{}",
+                s.calls, s.total_ticks, s.self_ticks, s.allocs, s.alloc_bytes, s.name
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:>10} {:>12} {:>12}  {indent}{}",
+                s.calls, s.total_ticks, s.self_ticks, s.name
+            );
+        }
     }
     out
 }
@@ -1032,6 +1219,103 @@ mod tests {
             report.span("decode").map(|s| s.calls),
             Some(3),
             "fixture sanity"
+        );
+    }
+
+    #[test]
+    fn gate_report_classifies_every_baseline_metric() {
+        let report = analyze(&synthetic_trace(), &[]);
+        let mut current = report.metrics.clone();
+        current.insert("omnc/0/throughput".into(), 256.0 * 0.5); // regressed
+        current.remove("omnc/0/final_rank"); // missing
+        let gate = gate_report(&report.metrics, &current, 0.15, false);
+        assert_eq!(gate.gate, "metrics");
+        assert!(!gate.passed); // a regression fails even without --strict
+        assert_eq!(gate.regressed, 1);
+        assert_eq!(gate.missing, 1);
+        assert_eq!(gate.verdicts.len(), report.metrics.len());
+        let by_status = |status: &str| {
+            gate.verdicts
+                .iter()
+                .filter(|v| v.status == status)
+                .map(|v| v.metric.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(by_status("regressed"), vec!["omnc/0/throughput"]);
+        assert_eq!(by_status("missing"), vec!["omnc/0/final_rank"]);
+        // Missing-only fails the gate only under --strict.
+        let mut shrunk = report.metrics.clone();
+        shrunk.remove("omnc/0/final_rank");
+        assert!(gate_report(&report.metrics, &shrunk, 0.15, false).passed);
+        assert!(!gate_report(&report.metrics, &shrunk, 0.15, true).passed);
+        // Clean compare passes strictly and round-trips through JSON.
+        let clean = gate_report(&report.metrics, &report.metrics, 0.15, true);
+        assert!(clean.passed);
+        let back: GateReport =
+            serde_json::from_str(&serde_json::to_string(&clean).unwrap()).unwrap();
+        assert_eq!(back, clean);
+    }
+
+    #[test]
+    fn profile_gate_report_keys_verdicts_by_span_path() {
+        let base = nested_profile(8);
+        let gate =
+            profile_gate_report(&base, &nested_profile(20), 0.15, ProfileMetric::Calls, true);
+        assert_eq!(gate.gate, "profile");
+        assert_eq!(gate.metric, "calls");
+        assert!(!gate.passed);
+        assert!(gate
+            .verdicts
+            .iter()
+            .any(|v| v.metric == "decode;eliminate" && v.status == "regressed"));
+        // A span the current run never entered shows up as missing and
+        // fails only under --strict.
+        let p = omnc::telemetry::Profiler::virtual_clock();
+        drop(p.span("decode"));
+        let shorter = p.report();
+        assert!(!profile_gate_report(&base, &shorter, 0.15, ProfileMetric::Calls, true).passed);
+        assert!(profile_gate_report(&base, &shorter, 0.15, ProfileMetric::Calls, false).passed);
+    }
+
+    #[test]
+    fn alloc_metrics_and_rss_gate_as_lower_is_better() {
+        assert!(lower_is_better("alloc/rlnc_encode/allocs_per_op"));
+        assert!(lower_is_better("alloc/sim_dispatch/bytes_per_op"));
+        assert!(lower_is_better("mem/peak_rss_mb"));
+        // Existing higher-is-better metrics keep their direction.
+        assert!(!lower_is_better("omnc/0/throughput"));
+        assert!(!lower_is_better("opt/final_rate"));
+        assert!(!lower_is_better("campaign/parallel_s"));
+    }
+
+    #[test]
+    fn profile_metric_parses_alloc_spellings() {
+        assert_eq!(ProfileMetric::parse("allocs"), Some(ProfileMetric::Allocs));
+        assert_eq!(
+            ProfileMetric::parse("alloc-bytes"),
+            Some(ProfileMetric::AllocBytes)
+        );
+        assert_eq!(ProfileMetric::Allocs.name(), "allocs");
+        assert_eq!(ProfileMetric::AllocBytes.name(), "alloc-bytes");
+    }
+
+    #[test]
+    fn profile_render_adds_alloc_columns_only_when_counted() {
+        let plain = nested_profile(2);
+        assert!(!render_profile(&plain, 3).contains("alloc B"));
+        let mut counted = plain.clone();
+        counted.spans[0].allocs = 4;
+        counted.spans[0].alloc_bytes = 4096;
+        counted.spans[0].self_allocs = 4;
+        counted.spans[0].self_alloc_bytes = 4096;
+        let text = render_profile(&counted, 3);
+        assert!(text.contains("alloc B"), "{text}");
+        assert!(text.contains("4096"), "{text}");
+        // Alloc columns gate through profile compare too.
+        let cmp = compare_profiles(&plain, &counted, 0.15, ProfileMetric::AllocBytes);
+        assert!(
+            cmp.regressions.iter().any(|r| r.path == "decode"),
+            "{cmp:?}"
         );
     }
 

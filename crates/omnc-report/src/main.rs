@@ -19,8 +19,9 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 use omnc_report::{
-    analyze, compare, compare_profiles, missing_metrics, parse_opt, parse_trace, render_ascii,
-    render_csv, render_profile, ProfileMetric, ProfileReport, Report,
+    analyze, compare, compare_profiles, gate_report, missing_metrics, parse_opt, parse_trace,
+    profile_gate_report, render_ascii, render_csv, render_profile, GateReport, ProfileMetric,
+    ProfileReport, Report,
 };
 
 fn main() {
@@ -50,10 +51,12 @@ fn print_help() {
 
 USAGE:
     omnc-report analyze --trace <PATH> [--opt <PATH>] [--json <OUT>] [--csv <OUT>] [--quiet]
-    omnc-report compare --baseline <PATH> --current <PATH> [--threshold <T>] [--strict]
+    omnc-report compare --baseline <PATH> --current <PATH> [--threshold <T>]
+                        [--strict] [--json <OUT>]
     omnc-report profile <PATH> [--top <N>] [--folded <OUT>]
     omnc-report profile compare --baseline <PATH> --current <PATH>
                                 [--threshold <T>] [--metric <M>] [--strict]
+                                [--json <OUT>]
 
 ANALYZE:
     --trace <PATH>      JSONL trace from `omnc-sim --trace` ('-' = stdin)
@@ -68,6 +71,8 @@ COMPARE:
     --threshold <T>     relative regression tolerance    [default: 0.15]
     --strict            baseline metrics missing from the current report
                         fail the gate instead of only warning
+    --json <OUT>        write a machine-readable gate report (per-metric
+                        verdicts) to <OUT> ('-' = stdout)
 
 PROFILE:
     <PATH>              span profile JSON from `omnc-sim --profile`
@@ -79,11 +84,14 @@ PROFILE COMPARE:
     --baseline <PATH>   committed profile JSON to gate against
     --current <PATH>    profile JSON of the run under test
     --threshold <T>     relative growth tolerance        [default: 0.15]
-    --metric <M>        calls | self | total             [default: calls]
-                        (calls is exact across identical seeded runs under
-                        the virtual clock)
+    --metric <M>        calls | self | total | allocs | alloc-bytes
+                        [default: calls] (calls is exact across identical
+                        seeded runs under the virtual clock; allocs /
+                        alloc-bytes need a run with allocation counting)
     --strict            baseline spans missing from the current profile
                         fail the gate instead of only warning
+    --json <OUT>        write a machine-readable gate report (per-span
+                        verdicts) to <OUT> ('-' = stdout)
 
 compare / profile compare exit 0 when nothing regressed, 1 otherwise."
     );
@@ -144,6 +152,7 @@ fn run_compare(args: &[String]) -> Result<i32, String> {
     let mut current_path: Option<String> = None;
     let mut threshold = 0.15;
     let mut strict = false;
+    let mut json_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -156,11 +165,16 @@ fn run_compare(args: &[String]) -> Result<i32, String> {
                     .map_err(|_| format!("could not parse threshold '{v}'"))?;
             }
             "--strict" => strict = true,
+            "--json" => json_out = Some(next_value(&mut it, "--json")?.clone()),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
     let baseline = load_report(&baseline_path.ok_or("compare requires --baseline")?)?;
     let current = load_report(&current_path.ok_or("compare requires --current")?)?;
+    if let Some(path) = json_out {
+        let gate = gate_report(&baseline.metrics, &current.metrics, threshold, strict);
+        write_gate(&path, &gate)?;
+    }
     let missing = missing_metrics(&baseline.metrics, &current.metrics);
     for metric in &missing {
         println!("warning: metric '{metric}' missing from current report");
@@ -228,6 +242,7 @@ fn run_profile_compare(args: &[String]) -> Result<i32, String> {
     let mut threshold = 0.15;
     let mut metric = ProfileMetric::Calls;
     let mut strict = false;
+    let mut json_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -241,15 +256,21 @@ fn run_profile_compare(args: &[String]) -> Result<i32, String> {
             }
             "--metric" => {
                 let v = next_value(&mut it, "--metric")?;
-                metric = ProfileMetric::parse(v)
-                    .ok_or_else(|| format!("unknown profile metric '{v}' (calls|self|total)"))?;
+                metric = ProfileMetric::parse(v).ok_or_else(|| {
+                    format!("unknown profile metric '{v}' (calls|self|total|allocs|alloc-bytes)")
+                })?;
             }
             "--strict" => strict = true,
+            "--json" => json_out = Some(next_value(&mut it, "--json")?.clone()),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
     let baseline = load_profile(&baseline_path.ok_or("profile compare requires --baseline")?)?;
     let current = load_profile(&current_path.ok_or("profile compare requires --current")?)?;
+    if let Some(path) = json_out {
+        let gate = profile_gate_report(&baseline, &current, threshold, metric, strict);
+        write_gate(&path, &gate)?;
+    }
     let cmp = compare_profiles(&baseline, &current, threshold, metric);
     for path in &cmp.missing {
         println!("warning: span '{path}' missing from current profile");
@@ -295,6 +316,16 @@ fn load_report(path: &str) -> Result<Report, String> {
         .read_to_string(&mut text)
         .map_err(|e| format!("reading '{path}': {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("parsing '{path}': {e}"))
+}
+
+fn write_gate(path: &str, gate: &GateReport) -> Result<(), String> {
+    let json = serde_json::to_string(gate).map_err(|e| e.to_string())?;
+    if path == "-" {
+        println!("{json}");
+        Ok(())
+    } else {
+        write_file(path, json.as_bytes())
+    }
 }
 
 fn write_file(path: &str, bytes: &[u8]) -> Result<(), String> {

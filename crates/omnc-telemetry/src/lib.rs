@@ -23,10 +23,20 @@
 //!   per span path, with wall and deterministic virtual clocks behind
 //!   the [`Clock`] trait and JSON + folded-stacks export;
 //! * a structured stderr [`Logger`] (`level=… msg="…"` lines) behind
-//!   the `--log-level {quiet,info,debug}` knob of the binaries.
+//!   the `--log-level {quiet,info,debug}` knob of the binaries;
+//! * memory observability ([`CountingAlloc`], [`AllocScope`],
+//!   [`sample_rss`]) — a counting global-allocator wrapper binaries can
+//!   install, thread-local allocation counters the [`Profiler`]
+//!   attributes to spans, and peak-RSS sampling from
+//!   `/proc/self/status`.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed back in exactly one module:
+// `alloc`, the counting global-allocator wrapper, where every unsafe
+// item carries a SAFETY comment (audited by the omnc-lint
+// `unsafe-audit` rule).
+#![deny(unsafe_code)]
 
+mod alloc;
 mod log;
 mod merge;
 mod profiler;
@@ -34,6 +44,10 @@ mod registry;
 mod sink;
 mod timer;
 
+pub use alloc::{
+    alloc_counting_enabled, sample_rss, set_alloc_counting, thread_alloc_stats, AllocScope,
+    AllocStats, CountingAlloc, RssSample,
+};
 pub use log::{LogLevel, Logger};
 pub use merge::{merge_metric_snapshots, merge_profiles};
 pub use profiler::{

@@ -22,10 +22,17 @@ use crate::registry::{MetricKind, MetricSnapshot};
 /// yields an empty disabled-style report.
 #[must_use]
 pub fn merge_profiles(reports: &[ProfileReport]) -> ProfileReport {
+    #[derive(Default, Clone, Copy)]
+    struct Acc {
+        depth: u64,
+        calls: u64,
+        total: u64,
+        allocs: u64,
+        alloc_bytes: u64,
+    }
     let mut clock = "disabled".to_string();
     let mut unit = "ticks".to_string();
-    // path components -> (depth, calls, total)
-    let mut by_path: BTreeMap<Vec<String>, (u64, u64, u64)> = BTreeMap::new();
+    let mut by_path: BTreeMap<Vec<String>, Acc> = BTreeMap::new();
     for report in reports {
         if !report.spans.is_empty() && clock == "disabled" {
             clock = report.clock.clone();
@@ -33,9 +40,14 @@ pub fn merge_profiles(reports: &[ProfileReport]) -> ProfileReport {
         }
         for span in &report.spans {
             let key: Vec<String> = span.path.split(';').map(str::to_string).collect();
-            let slot = by_path.entry(key).or_insert((span.depth, 0, 0));
-            slot.1 += span.calls;
-            slot.2 += span.total_ticks;
+            let slot = by_path.entry(key).or_insert(Acc {
+                depth: span.depth,
+                ..Acc::default()
+            });
+            slot.calls += span.calls;
+            slot.total += span.total_ticks;
+            slot.allocs += span.allocs;
+            slot.alloc_bytes += span.alloc_bytes;
         }
     }
     // BTreeMap ordering over component vectors *is* depth-first preorder
@@ -43,31 +55,40 @@ pub fn merge_profiles(reports: &[ProfileReport]) -> ProfileReport {
     // (hence sorts before) every descendant's.
     let mut spans: Vec<ProfileSpan> = by_path
         .iter()
-        .map(|(components, &(depth, calls, total))| ProfileSpan {
+        .map(|(components, acc)| ProfileSpan {
             path: components.join(";"),
             name: components.last().cloned().unwrap_or_default(),
-            depth,
-            calls,
-            total_ticks: total,
-            self_ticks: total,
+            depth: acc.depth,
+            calls: acc.calls,
+            total_ticks: acc.total,
+            self_ticks: acc.total,
+            allocs: acc.allocs,
+            alloc_bytes: acc.alloc_bytes,
+            self_allocs: acc.allocs,
+            self_alloc_bytes: acc.alloc_bytes,
         })
         .collect();
-    // Self time = total minus the totals of *direct* children.
-    let totals: BTreeMap<String, u64> = spans
+    // Self figures = totals minus those of *direct* children.
+    let totals: BTreeMap<String, (u64, u64, u64)> = spans
         .iter()
-        .map(|s| (s.path.clone(), s.total_ticks))
+        .map(|s| (s.path.clone(), (s.total_ticks, s.allocs, s.alloc_bytes)))
         .collect();
     for span in &mut spans {
-        let child_total: u64 = totals
-            .iter()
-            .filter(|(path, _)| {
-                path.strip_prefix(span.path.as_str())
-                    .and_then(|rest| rest.strip_prefix(';'))
-                    .is_some_and(|rest| !rest.contains(';'))
-            })
-            .map(|(_, &t)| t)
-            .sum();
+        let (mut child_total, mut child_allocs, mut child_bytes) = (0u64, 0u64, 0u64);
+        for (path, &(t, a, b)) in &totals {
+            let direct_child = path
+                .strip_prefix(span.path.as_str())
+                .and_then(|rest| rest.strip_prefix(';'))
+                .is_some_and(|rest| !rest.contains(';'));
+            if direct_child {
+                child_total += t;
+                child_allocs += a;
+                child_bytes += b;
+            }
+        }
         span.self_ticks = span.total_ticks.saturating_sub(child_total);
+        span.self_allocs = span.allocs.saturating_sub(child_allocs);
+        span.self_alloc_bytes = span.alloc_bytes.saturating_sub(child_bytes);
     }
     ProfileReport { clock, unit, spans }
 }
@@ -230,6 +251,86 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn empty_metric_snapshot_inputs_merge_to_empty() {
+        assert!(merge_metric_snapshots(&[]).is_empty());
+        assert!(merge_metric_snapshots(&[vec![], vec![]]).is_empty());
+        // Empty sides contribute nothing next to a populated one.
+        let merged = merge_metric_snapshots(&[vec![], sample_metrics(2, 1.0, 0.5), vec![]]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(
+            merged.iter().find(|s| s.name == "mac.tx").map(|s| s.value),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "merged across bucket layouts")]
+    fn metric_merge_rejects_bucket_count_mismatch() {
+        let r1 = Registry::new();
+        r1.histogram("h", &[1.0]).observe(0.5);
+        let r2 = Registry::new();
+        r2.histogram("h", &[1.0, 2.0]).observe(0.5);
+        let _ = merge_metric_snapshots(&[r1.snapshot(), r2.snapshot()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "merged across bucket bounds")]
+    fn metric_merge_rejects_bucket_bound_mismatch() {
+        let r1 = Registry::new();
+        r1.histogram("h", &[1.0, 2.0]).observe(0.5);
+        let r2 = Registry::new();
+        r2.histogram("h", &[1.5, 2.0]).observe(0.5);
+        let _ = merge_metric_snapshots(&[r1.snapshot(), r2.snapshot()]);
+    }
+
+    fn raw_span(path: &str, calls: u64, total: u64, allocs: u64, bytes: u64) -> ProfileSpan {
+        ProfileSpan {
+            path: path.to_string(),
+            name: path.rsplit(';').next().unwrap_or(path).to_string(),
+            depth: path.matches(';').count() as u64,
+            calls,
+            total_ticks: total,
+            self_ticks: total,
+            allocs,
+            alloc_bytes: bytes,
+            self_allocs: allocs,
+            self_alloc_bytes: bytes,
+        }
+    }
+
+    #[test]
+    fn profile_merge_handles_one_sided_span_paths_and_alloc_columns() {
+        // "run;decode" exists only in the right report: the merged parent's
+        // self figures must still subtract it, and alloc columns must sum
+        // and re-derive exactly like ticks.
+        let left = ProfileReport {
+            clock: "virtual".into(),
+            unit: "ticks".into(),
+            spans: vec![raw_span("run", 1, 10, 6, 600)],
+        };
+        let right = ProfileReport {
+            clock: "virtual".into(),
+            unit: "ticks".into(),
+            spans: vec![
+                raw_span("run", 1, 20, 10, 1000),
+                raw_span("run;decode", 2, 8, 4, 400),
+            ],
+        };
+        let merged = merge_profiles(&[left, right]);
+        let run = merged.span("run").expect("run span");
+        let decode = merged.span("run;decode").expect("decode span");
+        assert_eq!(run.calls, 2);
+        assert_eq!(run.total_ticks, 30);
+        assert_eq!(run.self_ticks, 22);
+        assert_eq!(run.allocs, 16);
+        assert_eq!(run.self_allocs, 12);
+        assert_eq!(run.alloc_bytes, 1600);
+        assert_eq!(run.self_alloc_bytes, 1200);
+        assert_eq!(decode.self_allocs, 4);
+        assert_eq!(decode.self_alloc_bytes, 400);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Hierarchical span profiler: nested scoped spans with an explicit
 //! parent stack (no thread-local magic), recording call count, total
-//! time, and self time per unique span *path*.
+//! time, and self time per unique span *path* — plus, when the binary
+//! installed the counting allocator and enabled counting, allocation
+//! events and bytes attributed to each span with the same total/self
+//! discipline as ticks.
 //!
 //! Time comes from a [`Clock`] so the simulation crates never touch
 //! `std::time` themselves (the `omnc-lint` `wall-clock` rule): the
@@ -106,12 +109,16 @@ struct Node {
     children: Vec<usize>,
     calls: u64,
     total: u64,
+    allocs: u64,
+    alloc_bytes: u64,
 }
 
 #[derive(Debug)]
 struct Frame {
     node: usize,
     start: u64,
+    start_allocs: u64,
+    start_alloc_bytes: u64,
 }
 
 #[derive(Debug)]
@@ -139,6 +146,8 @@ impl State {
                     children: Vec::new(),
                     calls: 0,
                     total: 0,
+                    allocs: 0,
+                    alloc_bytes: 0,
                 });
                 self.nodes[parent].children.push(id);
                 id
@@ -166,6 +175,8 @@ impl Profiler {
                     children: Vec::new(),
                     calls: 0,
                     total: 0,
+                    allocs: 0,
+                    alloc_bytes: 0,
                 }],
                 stack: Vec::new(),
             }))),
@@ -213,7 +224,16 @@ impl Profiler {
         let t = st.clock.now();
         let parent = st.stack.last().map_or(0, |f| f.node);
         let node = st.child_named(parent, name);
-        st.stack.push(Frame { node, start: t });
+        // Snapshot the alloc counters *after* any node bookkeeping above,
+        // so the tree's own allocations land in the enclosing span, not
+        // in the one being opened.
+        let (start_allocs, start_alloc_bytes) = crate::alloc::profile_alloc_snapshot();
+        st.stack.push(Frame {
+            node,
+            start: t,
+            start_allocs,
+            start_alloc_bytes,
+        });
         let depth = st.stack.len();
         ProfileGuard {
             core: Some(Arc::clone(core)),
@@ -259,6 +279,8 @@ fn visit(nodes: &[Node], id: usize, path: &mut String, depth: u64, out: &mut Vec
     }
     path.push_str(&node.name);
     let child_total: u64 = node.children.iter().map(|&c| nodes[c].total).sum();
+    let child_allocs: u64 = node.children.iter().map(|&c| nodes[c].allocs).sum();
+    let child_alloc_bytes: u64 = node.children.iter().map(|&c| nodes[c].alloc_bytes).sum();
     out.push(ProfileSpan {
         path: path.clone(),
         name: node.name.clone(),
@@ -266,6 +288,10 @@ fn visit(nodes: &[Node], id: usize, path: &mut String, depth: u64, out: &mut Vec
         calls: node.calls,
         total_ticks: node.total,
         self_ticks: node.total.saturating_sub(child_total),
+        allocs: node.allocs,
+        alloc_bytes: node.alloc_bytes,
+        self_allocs: node.allocs.saturating_sub(child_allocs),
+        self_alloc_bytes: node.alloc_bytes.saturating_sub(child_alloc_bytes),
     });
     let mut kids = node.children.clone();
     kids.sort_by(|a, b| nodes[*a].name.cmp(&nodes[*b].name));
@@ -295,11 +321,14 @@ impl Drop for ProfileGuard {
             return;
         }
         let t = st.clock.now();
+        let (allocs, alloc_bytes) = crate::alloc::profile_alloc_snapshot();
         while st.stack.len() >= self.depth {
             let Some(frame) = st.stack.pop() else { break };
             let node = &mut st.nodes[frame.node];
             node.calls += 1;
             node.total += t.saturating_sub(frame.start);
+            node.allocs += allocs.saturating_sub(frame.start_allocs);
+            node.alloc_bytes += alloc_bytes.saturating_sub(frame.start_alloc_bytes);
         }
     }
 }
@@ -319,6 +348,18 @@ pub struct ProfileSpan {
     pub total_ticks: u64,
     /// Total ticks minus the total of direct children (never negative).
     pub self_ticks: u64,
+    /// Allocation events (allocs + reallocs) on the span's thread
+    /// between entry and exit, children included. All zeros unless the
+    /// binary installed [`CountingAlloc`](crate::CountingAlloc) and
+    /// enabled [`set_alloc_counting`](crate::set_alloc_counting).
+    pub allocs: u64,
+    /// Bytes allocated (including realloc growth) between entry and
+    /// exit, children included.
+    pub alloc_bytes: u64,
+    /// Allocation events minus those of direct children.
+    pub self_allocs: u64,
+    /// Allocated bytes minus those of direct children.
+    pub self_alloc_bytes: u64,
 }
 
 /// A serializable profiler snapshot, ordered depth-first with children
@@ -465,8 +506,66 @@ mod tests {
         assert_eq!(report.span("next").map(|s| s.depth), Some(0));
     }
 
+    /// Tentpole: allocations made inside a span are attributed to it —
+    /// totals include children, self excludes direct children — exactly
+    /// like ticks.
+    #[test]
+    fn spans_attribute_allocations_to_self_and_total() {
+        let _guard = crate::alloc::test_lock();
+        crate::alloc::set_alloc_counting(true);
+        let p = Profiler::virtual_clock();
+        {
+            let _outer = p.span("outer");
+            let v = std::hint::black_box(vec![0u8; 8192]);
+            {
+                let _inner = p.span("inner");
+                let w = std::hint::black_box(vec![0u8; 4096]);
+                drop(w);
+            }
+            drop(v);
+        }
+        crate::alloc::set_alloc_counting(false);
+        let report = p.report();
+        let outer = report.span("outer").expect("outer span");
+        let inner = report.span("outer;inner").expect("inner span");
+        assert!(inner.allocs >= 1, "{inner:?}");
+        assert!(inner.alloc_bytes >= 4096, "{inner:?}");
+        // Outer totals include the inner span plus its own 8 KiB buffer.
+        assert!(outer.alloc_bytes >= inner.alloc_bytes + 8192, "{outer:?}");
+        assert_eq!(outer.self_allocs, outer.allocs - inner.allocs);
+        assert_eq!(
+            outer.self_alloc_bytes,
+            outer.alloc_bytes - inner.alloc_bytes
+        );
+        // Inner has no children: self == total.
+        assert_eq!(inner.self_allocs, inner.allocs);
+        assert_eq!(inner.self_alloc_bytes, inner.alloc_bytes);
+    }
+
+    /// Without counting enabled the alloc columns stay at zero — spans
+    /// cost no extra work and reports stay byte-stable.
+    #[test]
+    fn alloc_columns_are_zero_when_counting_is_off() {
+        let _guard = crate::alloc::test_lock();
+        crate::alloc::set_alloc_counting(false);
+        let p = Profiler::virtual_clock();
+        {
+            let _s = p.span("work");
+            std::hint::black_box(vec![0u8; 4096]);
+        }
+        let report = p.report();
+        let s = report.span("work").expect("work span");
+        assert_eq!(
+            (s.allocs, s.alloc_bytes, s.self_allocs, s.self_alloc_bytes),
+            (0, 0, 0, 0)
+        );
+    }
+
     #[test]
     fn virtual_clock_profiles_are_deterministic() {
+        // Hold the alloc-test lock: a counting toggle between the two
+        // runs would make their alloc columns differ.
+        let _guard = crate::alloc::test_lock();
         let run = || {
             let p = Profiler::virtual_clock();
             for _ in 0..5 {

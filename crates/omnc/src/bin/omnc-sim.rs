@@ -14,7 +14,15 @@ use std::io::{BufWriter, Write};
 use omnc::runner::{run_session_traced, Protocol, RunOptions};
 use omnc::scenario::{Quality, Scenario};
 use omnc::session::SessionConfig;
-use omnc::telemetry::{LogLevel, Logger, Profiler};
+use omnc::telemetry::{sample_rss, set_alloc_counting, CountingAlloc, LogLevel, Logger, Profiler};
+
+// Counting is a no-op (one relaxed atomic load per allocation) until
+// --count-allocs flips it on, so installing the wrapper unconditionally
+// keeps default runs at full speed. RSS and allocation figures only ever
+// reach the stderr log; stdout, --trace, and --profile artifacts stay
+// byte-identical across identical seeded runs either way.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -37,6 +45,7 @@ struct Args {
     profile: Option<String>,
     profile_folded: Option<String>,
     profile_wall_clock: bool,
+    count_allocs: bool,
     log_level: LogLevel,
 }
 
@@ -57,6 +66,7 @@ impl Args {
             profile: None,
             profile_folded: None,
             profile_wall_clock: false,
+            count_allocs: false,
             log_level: LogLevel::Info,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -106,6 +116,7 @@ impl Args {
                         other => return Err(format!("unknown profile clock '{other}'")),
                     }
                 }
+                "--count-allocs" => args.count_allocs = true,
                 "--log-level" => {
                     let v = value("--log-level")?;
                     args.log_level = LogLevel::parse(v)
@@ -167,6 +178,10 @@ OPTIONS:
     --profile-clock <C> virtual | wall        [default: virtual]
                         (virtual counts clock reads — deterministic across
                         identical seeded runs; wall measures nanoseconds)
+    --count-allocs      enable allocation counting: profiled spans gain
+                        alloc columns and the log reports per-session
+                        allocation deltas (stderr only — stdout, --trace,
+                        and --profile stay byte-identical)
     --log-level <L>     quiet | info | debug  [default: info]
     -h, --help          this text"
     );
@@ -181,6 +196,7 @@ fn main() {
         }
     };
     let log = Logger::new(args.log_level);
+    set_alloc_counting(args.count_allocs);
 
     let mut scenario = Scenario::reduced(args.quality);
     scenario.nodes = args.nodes;
@@ -235,6 +251,7 @@ fn main() {
                 src.index(),
                 dst.index()
             ));
+            let scope = args.count_allocs.then(omnc::telemetry::AllocScope::start);
             let (out, trace) = run_session_traced(
                 &topology,
                 src,
@@ -244,6 +261,16 @@ fn main() {
                 seed,
                 &options,
             );
+            if let Some(scope) = scope {
+                let d = scope.delta();
+                let rss = sample_rss().map_or(0, |r| r.vm_rss_bytes) / (1024 * 1024);
+                log.debug(&format!(
+                    "session {k} {}: {} allocs, {} bytes allocated, rss {rss} MB",
+                    protocol.name(),
+                    d.alloc_events(),
+                    d.bytes_allocated
+                ));
+            }
             if let (Some(file), Some(trace)) = (trace_out.as_mut(), trace) {
                 if trace.dropped_mac_events > 0 {
                     log.warn(&format!(
@@ -314,6 +341,15 @@ fn main() {
                 std::process::exit(2);
             }
             log.info(&format!("folded stacks -> {path}"));
+        }
+    }
+    if args.count_allocs {
+        if let Some(rss) = sample_rss() {
+            log.info(&format!(
+                "memory: peak rss {} MB (current {} MB)",
+                rss.vm_hwm_bytes / (1024 * 1024),
+                rss.vm_rss_bytes / (1024 * 1024)
+            ));
         }
     }
 }

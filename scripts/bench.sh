@@ -5,23 +5,33 @@
 # trajectory; wall-clock numbers are host-dependent, so the file is an
 # artifact, not a gate — plus profile.json / profile.folded, then gates
 # span *call counts* (exact across identical seeded runs under the
-# virtual clock) against the committed PROFILE_baseline.json.
+# virtual clock) against the committed PROFILE_baseline.json and the
+# per-op allocation footprint (alloc.json, exact under the counting
+# allocator) against ALLOC_baseline.json.
 #
 # After an intentional instrumentation or workload change, regenerate the
-# baseline with `scripts/bench.sh --regen` and commit the result. The
-# flags here must stay in lockstep with the "perf-smoke" job in
-# .github/workflows/ci.yml.
+# baselines with `scripts/bench.sh --regen` and commit the result. The
+# flags here must stay in lockstep with the "perf-smoke" and "alloc-gate"
+# jobs in .github/workflows/ci.yml.
 set -eu
 cd "$(dirname "$0")/.."
 cargo build --release -p omnc-bench -p omnc-report
 out="BENCH_$(date +%F).json"
 ./target/release/perf_smoke --out "$out" \
-  --profile profile.json --profile-folded profile.folded
+  --profile profile.json --profile-folded profile.folded \
+  --alloc-out alloc.json
 echo "wrote $out"
 if [ "${1:-}" = "--regen" ]; then
   cp profile.json PROFILE_baseline.json
-  echo "wrote PROFILE_baseline.json"
+  cp alloc.json ALLOC_baseline.json
+  echo "wrote PROFILE_baseline.json and ALLOC_baseline.json"
 else
   ./target/release/omnc-report profile compare \
     --baseline PROFILE_baseline.json --current profile.json --metric calls
+  # Per-op allocs/bytes are lower-is-better metrics; 25% headroom absorbs
+  # allocator-rounding jitter while still catching a new hot-path alloc.
+  # --strict also fails if a family disappears from the current run.
+  ./target/release/omnc-report compare \
+    --baseline ALLOC_baseline.json --current alloc.json \
+    --threshold 0.25 --strict --json alloc_gate.json
 fi
