@@ -12,13 +12,14 @@
 //! [`journal`] line that makes the cell durable. The [`merge`] stage
 //! re-reads the result files in sorted-key order, so the merged
 //! artifacts — `outcomes.jsonl`, `trace.jsonl`, `telemetry.json`,
-//! `report.json` — are byte-identical whatever `--jobs` was and whether
-//! the campaign ran straight through or was killed and resumed.
+//! `timeline.json`, `report.json` — are byte-identical whatever
+//! `--jobs` was and whether the campaign ran straight through or was
+//! killed and resumed.
 //!
 //! Memory figures are the one exception to that determinism contract:
 //! RSS depends on the host, the allocator, and worker scheduling, so
 //! per-cell and campaign-wide peak RSS go to a separate `memory.json`
-//! and are *never* part of the four byte-compared artifacts above.
+//! and are *never* part of the five byte-compared artifacts above.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +32,7 @@ pub mod spec;
 use std::io;
 use std::path::Path;
 
-use telemetry::{Logger, Profiler, Registry};
+use telemetry::{Logger, Profiler, Registry, TimeSeries};
 
 use omnc::runner::{run_cell, RunOptions};
 
@@ -73,7 +74,7 @@ pub struct CellMemory {
 
 /// The `memory.json` artifact: campaign-wide peak RSS plus one sample
 /// per executed cell (sorted by key). Deliberately separate from the
-/// four byte-compared merged artifacts, because RSS varies by host and
+/// five byte-compared merged artifacts, because RSS varies by host and
 /// scheduling while those must stay identical across `--jobs` values.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CampaignMemory {
@@ -100,8 +101,9 @@ pub struct CampaignSummary {
 }
 
 /// Runs one cell in isolation: fresh registry, fresh virtual-clock
-/// profiler, full causal trace. Everything the merge stage needs comes
-/// back in the [`CellResult`].
+/// profiler, fresh timeline recorder (series scoped by the cell key),
+/// full causal trace. Everything the merge stage needs comes back in
+/// the [`CellResult`].
 ///
 /// # Panics
 ///
@@ -110,10 +112,13 @@ pub struct CampaignSummary {
 pub fn run_one_cell(cell: &Cell, trace_capacity: usize) -> CellResult {
     let registry = Registry::new();
     let profiler = Profiler::virtual_clock();
+    let timeline = TimeSeries::enabled(0.25, 64);
     let options = RunOptions {
         trace_capacity: Some(trace_capacity),
         profiler: profiler.clone(),
         registry: registry.clone(),
+        timeline: timeline.clone(),
+        timeline_scope: cell.key.clone(),
         ..RunOptions::default()
     };
     let (outcome, trace) = run_cell(&cell.scenario, cell.protocol, cell.session, &options);
@@ -129,6 +134,7 @@ pub fn run_one_cell(cell: &Cell, trace_capacity: usize) -> CellResult {
         trace: String::from_utf8(buf).expect("trace JSONL is UTF-8"),
         metrics: registry.snapshot(),
         profile: profiler.report(),
+        timeline: timeline.snapshot(),
     }
 }
 
@@ -237,7 +243,7 @@ pub fn run_campaign(
     }
     failures.sort_by(|a, b| a.key.cmp(&b.key));
 
-    // Host-dependent memory figures go to their own artifact so the four
+    // Host-dependent memory figures go to their own artifact so the five
     // byte-compared ones stay deterministic (see module docs).
     if let Some(rss) = telemetry::sample_rss() {
         memory_cells.sort_by(|a, b| a.key.cmp(&b.key));

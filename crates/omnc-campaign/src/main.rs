@@ -201,6 +201,7 @@ fn bench(cli: &CliArgs) -> Result<i32, String> {
         "outcomes.jsonl",
         "trace.jsonl",
         "telemetry.json",
+        "timeline.json",
         "report.json",
     ] {
         let a = std::fs::read(serial_dir.join(artifact))

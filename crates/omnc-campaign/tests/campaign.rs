@@ -10,10 +10,11 @@ use omnc_campaign::spec::CampaignSpec;
 use omnc_campaign::{run_campaign, CampaignOptions};
 use telemetry::{LogLevel, Logger};
 
-const ARTIFACTS: [&str; 4] = [
+const ARTIFACTS: [&str; 5] = [
     "outcomes.jsonl",
     "trace.jsonl",
     "telemetry.json",
+    "timeline.json",
     "report.json",
 ];
 
@@ -70,6 +71,29 @@ fn merged_artifacts_are_byte_identical_across_job_counts() {
         assert!(line.contains(key), "{line} should be the {key} record");
     }
     assert_eq!(outcomes.lines().count(), keys.len());
+
+    // Per-cell result files (which carry each cell's timeline) byte-match
+    // too, and every cell actually recorded dynamics series scoped by its
+    // own key.
+    for key in &keys {
+        let name = key.replace('/', "__") + ".json";
+        let left = fs::read(serial_dir.join("cells").join(&name)).expect("serial cell file");
+        let right = fs::read(parallel_dir.join("cells").join(&name)).expect("parallel cell file");
+        assert_eq!(left, right, "cell {key} differs between --jobs 1 and 4");
+        let text = String::from_utf8(left).expect("utf-8");
+        assert!(
+            text.contains(&format!("\"{key}/")),
+            "cell {key} should record series scoped by its own key"
+        );
+    }
+    // The merged timeline is the disjoint union of the cells' series.
+    let merged = String::from_utf8(a[3].clone()).expect("utf-8");
+    for key in &keys {
+        assert!(
+            merged.contains(&format!("\"{key}/")),
+            "merged timeline.json should keep cell {key}'s series"
+        );
+    }
 
     let _ = fs::remove_dir_all(serial_dir);
     let _ = fs::remove_dir_all(parallel_dir);

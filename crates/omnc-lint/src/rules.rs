@@ -185,10 +185,26 @@ pub const HOT_PATH_MODULES: [&str; 6] = [
 /// Crates held to float-comparison hygiene (LP/optimizer numerics).
 pub const FLOAT_CRATES: [&str; 2] = ["crates/omnc-opt/", "crates/simplex-lp/"];
 
+/// The windowed time-series recorder. It lives in the telemetry crate
+/// (which is otherwise exempt: clocks are its job) but feeds
+/// byte-compared artifacts, so it is held to the simulation core's
+/// determinism bar and must never sample a wall clock — and to the
+/// hot-alloc bar, since every sim event records through it.
+pub const TIMESERIES_MODULE: &str = "crates/omnc-telemetry/src/timeseries.rs";
+
 impl Default for RuleTable {
     fn default() -> Self {
-        let sim: Vec<String> = SIM_CRATES.iter().map(|s| (*s).to_owned()).collect();
+        let sim: Vec<String> = SIM_CRATES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .chain(std::iter::once(TIMESERIES_MODULE.to_owned()))
+            .collect();
         let hot: Vec<String> = HOT_PATH_MODULES.iter().map(|s| (*s).to_owned()).collect();
+        let hot_alloc: Vec<String> = HOT_PATH_MODULES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .chain(std::iter::once(TIMESERIES_MODULE.to_owned()))
+            .collect();
         let float: Vec<String> = FLOAT_CRATES.iter().map(|s| (*s).to_owned()).collect();
         let concurrency: Vec<String> = SIM_CRATES
             .iter()
@@ -227,7 +243,7 @@ impl Default for RuleTable {
                 // The allocation-observability arc: hot paths must stay
                 // allocation-free, so direct heap constructs need a
                 // `// lint: allow(hot-alloc)` escape hatch.
-                (Rule::HotAlloc, cfg(Severity::Deny, &hot, vec![])),
+                (Rule::HotAlloc, cfg(Severity::Deny, &hot_alloc, vec![])),
             ],
         }
     }
@@ -276,6 +292,14 @@ mod tests {
         assert!(!t
             .config(Rule::WallClock)
             .applies_to("crates/omnc-telemetry/src/timer.rs"));
+        // The time-series recorder is the telemetry crate's one module
+        // held to the determinism and hot-alloc bars: it feeds
+        // byte-compared artifacts and sits on the per-event record path.
+        assert!(t.config(Rule::WallClock).applies_to(TIMESERIES_MODULE));
+        assert!(t.config(Rule::NondetRng).applies_to(TIMESERIES_MODULE));
+        assert!(t.config(Rule::HashIter).applies_to(TIMESERIES_MODULE));
+        assert!(t.config(Rule::HotAlloc).applies_to(TIMESERIES_MODULE));
+        assert!(!t.config(Rule::Unwrap).applies_to(TIMESERIES_MODULE));
         assert!(!t
             .config(Rule::EnvDep)
             .applies_to("crates/omnc/src/bin/omnc-sim.rs"));

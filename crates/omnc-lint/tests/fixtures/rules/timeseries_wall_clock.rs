@@ -1,0 +1,30 @@
+// Fixture: the time-series recorder is held to the determinism bar even
+// though it lives in the (otherwise exempt) telemetry crate. A series
+// sampled on the wall clock would differ between identical seeded runs
+// and break the byte-compared timeline artifacts; epochs must come from
+// the virtual clock. Not compiled.
+
+struct Series;
+
+impl Series {
+    fn record(&self, _epoch: f64, _value: f64) {}
+}
+
+fn wall_clock_sampled(series: &Series) {
+    let epoch = std::time::Instant::now().elapsed().as_secs_f64(); // finding: wall-clock
+    series.record(epoch, 1.0);
+}
+
+fn wall_clock_sampled_again(series: &Series) {
+    let now = std::time::SystemTime::now(); // finding: wall-clock
+    drop(now);
+    series.record(0.0, 1.0);
+}
+
+fn virtual_clock_sampled(series: &Series, sim_now: f64) {
+    series.record(sim_now, 1.0);
+}
+
+fn hot_alloc_in_recorder() -> Box<f64> {
+    Box::new(0.0) // finding: hot-alloc
+}

@@ -129,3 +129,25 @@ fn hot_alloc_fires_in_hot_path_modules_only() {
     let cold = lint_as("crates/omnc/src/runner.rs", "hot_alloc.rs");
     assert_eq!(count(&cold, "hot-alloc"), 0, "{cold:#?}");
 }
+
+#[test]
+fn timeseries_recorder_is_held_to_determinism_and_hot_alloc_bars() {
+    // Linted under its real path, a wall-clock-sampled series is denied
+    // even though the telemetry crate is otherwise exempt from the
+    // determinism rules.
+    let fs = lint_as(
+        "crates/omnc-telemetry/src/timeseries.rs",
+        "timeseries_wall_clock.rs",
+    );
+    assert_eq!(count(&fs, "wall-clock"), 2, "{fs:#?}");
+    assert_eq!(count(&fs, "hot-alloc"), 1, "{fs:#?}");
+    assert!(fs.iter().all(|f| f.severity == Severity::Deny));
+
+    // The rest of the telemetry crate keeps its exemption: clocks are
+    // its job (timer.rs wraps the wall clock deliberately).
+    let exempt = lint_as(
+        "crates/omnc-telemetry/src/timer.rs",
+        "timeseries_wall_clock.rs",
+    );
+    assert!(exempt.is_empty(), "{exempt:#?}");
+}

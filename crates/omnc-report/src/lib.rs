@@ -32,7 +32,9 @@ use omnc::trace::{Absorbed, TraceRecord};
 use omnc_opt::IterationRecord;
 use serde::{Deserialize, Serialize};
 
-pub use omnc::telemetry::{ProfileReport, ProfileSpan};
+pub use omnc::telemetry::{
+    ProfileReport, ProfileSpan, TimelineBucket, TimelineReport, TimelineSeries,
+};
 
 /// Per-link delivery accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -747,6 +749,468 @@ pub fn profile_gate_report(
     }
 }
 
+// ---------------------------------------------------------------- timeline
+
+/// Sparkline glyphs, lowest to highest; index 0 is the gap glyph for
+/// windows with no samples.
+const SPARK: &[u8] = b" .:-=+*#%@";
+
+/// Renders `cells` (None = no samples) as one sparkline row, scaling the
+/// populated cells between the row's own min and max.
+fn spark_row(cells: &[Option<f64>]) -> String {
+    let (lo, hi) = cells
+        .iter()
+        .flatten()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    cells
+        .iter()
+        .map(|cell| match cell {
+            None => ' ',
+            Some(v) => {
+                let levels = SPARK.len() - 1; // glyphs available to data
+                let idx = if hi > lo {
+                    1 + (((v - lo) / (hi - lo)) * (levels - 1) as f64).round() as usize
+                } else {
+                    1 + levels / 2
+                };
+                SPARK[idx.min(SPARK.len() - 1)] as char
+            }
+        })
+        .collect()
+}
+
+/// Folds a series' (sparse, windowed) buckets into at most `cols` chart
+/// cells, keeping each cell's largest bucket mean so peaks survive.
+fn chart_cells(series: &TimelineSeries, cols: usize) -> Vec<Option<f64>> {
+    let (Some(first), Some(last)) = (series.buckets.first(), series.buckets.last()) else {
+        return Vec::new();
+    };
+    let span = last.index - first.index + 1;
+    let cols = (span as usize).min(cols);
+    let mut cells: Vec<Option<f64>> = vec![None; cols];
+    for b in &series.buckets {
+        let col = ((b.index - first.index) * cols as u64 / span) as usize;
+        let mean = b.sum / b.count as f64;
+        let cell = &mut cells[col.min(cols - 1)];
+        *cell = Some(cell.map_or(mean, |prev: f64| prev.max(mean)));
+    }
+    cells
+}
+
+/// Does `name` pass the (substring) series filter?
+fn series_selected(name: &str, filter: Option<&str>) -> bool {
+    filter.is_none_or(|f| name.contains(f))
+}
+
+/// Renders a timeline report as one step chart per series: a header with
+/// the series' window, sample count and value range, then a sparkline
+/// over the bucket means (spaces are windows with no samples). Series
+/// that never recorded a sample are counted but not charted; `filter`
+/// keeps only series whose name contains it.
+pub fn render_timeline(report: &TimelineReport, filter: Option<&str>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline: base window {}s, {} buckets/series cap",
+        report.base_window, report.capacity
+    );
+    let mut hidden = 0usize;
+    for series in &report.series {
+        if !series_selected(&series.name, filter) {
+            continue;
+        }
+        if series.buckets.is_empty() {
+            hidden += 1;
+            continue;
+        }
+        let (lo, hi) = series
+            .buckets
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), b| {
+                (lo.min(b.min), hi.max(b.max))
+            });
+        let first = series.buckets.first().expect("non-empty");
+        let last = series.buckets.last().expect("non-empty");
+        let _ = writeln!(
+            out,
+            "\n{}  window {}s  {} samples  min {lo:.3} max {hi:.3}",
+            series.name,
+            series.window,
+            series.total_count()
+        );
+        let _ = writeln!(
+            out,
+            "{:>10.2} |{}| {:.2}",
+            first.index as f64 * series.window,
+            spark_row(&chart_cells(series, 64)),
+            (last.index + 1) as f64 * series.window
+        );
+    }
+    if hidden > 0 {
+        let _ = writeln!(out, "\n({hidden} series with no samples not shown)");
+    }
+    out
+}
+
+/// Exports a timeline report as CSV
+/// (`series,window,bucket_start,count,min,max,sum,mean`), one row per
+/// bucket, in series order.
+pub fn timeline_csv(report: &TimelineReport, filter: Option<&str>) -> String {
+    let mut out = String::from("series,window,bucket_start,count,min,max,sum,mean\n");
+    for series in &report.series {
+        if !series_selected(&series.name, filter) {
+            continue;
+        }
+        for b in &series.buckets {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{}",
+                series.name,
+                series.window,
+                b.index as f64 * series.window,
+                b.count,
+                b.min,
+                b.max,
+                b.sum,
+                b.sum / b.count as f64
+            );
+        }
+    }
+    out
+}
+
+/// One notable epoch distilled from a timeline series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesMoment {
+    /// The series the moment was found in.
+    pub series: String,
+    /// Epoch on the series' own axis (seconds or iterations).
+    pub epoch: f64,
+    /// The value that made the epoch notable.
+    pub value: f64,
+}
+
+/// Convergence facts distilled from a timeline report's dynamics series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimelineSummary {
+    /// Per rank series (`…/rank/g<N>`): the earliest window end at which
+    /// the decoder held 90% of its final rank.
+    pub rank_90pct: Vec<SeriesMoment>,
+    /// Per queue series (`…/queue/n<id>`): the window start of the
+    /// deepest observed queue.
+    pub queue_peak: Vec<SeriesMoment>,
+    /// Per `…/opt/max_violation` series: the window end after which the
+    /// violation never again exceeds 10% of its peak — the rate-control
+    /// settling point, in iterations.
+    pub settling: Vec<SeriesMoment>,
+}
+
+/// Distills [`TimelineSummary`] convergence facts from the dynamics
+/// series an instrumented run records (rank progress, queue depth,
+/// optimizer violation). Series of other shapes are ignored.
+#[must_use]
+pub fn summarize_timeline(report: &TimelineReport) -> TimelineSummary {
+    let mut summary = TimelineSummary::default();
+    for series in &report.series {
+        if series.buckets.is_empty() {
+            continue;
+        }
+        let name = series.name.as_str();
+        let is_rank = name.contains("/rank/") || name.starts_with("rank/");
+        let is_queue = name.contains("/queue/") || name.starts_with("queue/");
+        let peak = series
+            .buckets
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, b| m.max(b.max));
+        if is_rank {
+            let target = peak * 0.9;
+            if let Some(b) = series.buckets.iter().find(|b| b.max >= target) {
+                summary.rank_90pct.push(SeriesMoment {
+                    series: series.name.clone(),
+                    epoch: (b.index + 1) as f64 * series.window,
+                    value: b.max,
+                });
+            }
+        } else if is_queue {
+            let b = series
+                .buckets
+                .iter()
+                .find(|b| b.max >= peak)
+                .expect("non-empty series has a peak bucket");
+            summary.queue_peak.push(SeriesMoment {
+                series: series.name.clone(),
+                epoch: b.index as f64 * series.window,
+                value: b.max,
+            });
+        } else if name.ends_with("opt/max_violation") {
+            let threshold = peak * 0.1;
+            let settled_after = series
+                .buckets
+                .iter()
+                .rfind(|b| b.max > threshold)
+                .map_or(0.0, |b| (b.index + 1) as f64 * series.window);
+            summary.settling.push(SeriesMoment {
+                series: series.name.clone(),
+                epoch: settled_after,
+                value: threshold,
+            });
+        }
+    }
+    summary
+}
+
+/// Renders a [`TimelineSummary`] as short human-readable lines.
+pub fn render_timeline_summary(summary: &TimelineSummary) -> String {
+    let mut out = String::new();
+    for m in &summary.rank_90pct {
+        let _ = writeln!(
+            out,
+            "rank 90%: {} reached rank {:.0} by {:.2}s",
+            m.series, m.value, m.epoch
+        );
+    }
+    for m in &summary.queue_peak {
+        let _ = writeln!(
+            out,
+            "queue peak: {} hit {:.0} at {:.2}s",
+            m.series, m.value, m.epoch
+        );
+    }
+    for m in &summary.settling {
+        let _ = writeln!(
+            out,
+            "settling: {} within 10% of peak after iteration {:.0}",
+            m.series, m.epoch
+        );
+    }
+    out
+}
+
+// ------------------------------------------------------------------- trend
+
+/// One point of the BENCH trajectory: the record a bench binary appends
+/// per run (`scripts/bench.sh` → `results/bench/trajectory.jsonl`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryRecord {
+    /// The bench that produced the record (`perf-smoke`, `campaign-bench`).
+    pub bench: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Flat `name → value` metrics, as in a committed BENCH file.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Parses a JSONL trajectory (blank lines skipped), keeping file order —
+/// the trajectory's line order *is* its time axis.
+///
+/// # Errors
+///
+/// Fails on I/O errors or any line that is not a valid record.
+pub fn parse_trajectory<R: BufRead>(reader: R) -> io::Result<Vec<TrajectoryRecord>> {
+    let mut records = Vec::new();
+    for (n, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: TrajectoryRecord = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", n + 1))
+        })?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Histories shorter than this many points are reported but never gated:
+/// two or three bench runs cannot separate drift from wall-clock noise.
+pub const TREND_MIN_POINTS: usize = 4;
+
+/// The across-PRs history of one `(bench, metric)` pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricTrend {
+    /// The bench the metric belongs to.
+    pub bench: String,
+    /// The metric key inside the bench's records.
+    pub metric: String,
+    /// The metric's values in trajectory order.
+    pub values: Vec<f64>,
+    /// Least-squares slope per trajectory step.
+    pub slope: f64,
+    /// Relative drift over the whole history:
+    /// `slope * (n-1) / |mean|` — the fitted total change as a fraction
+    /// of the typical value, signed in the metric's own units.
+    pub drift: f64,
+    /// The split index maximizing the prefix/suffix mean gap (the most
+    /// likely single changepoint), when the history has one.
+    pub changepoint: Option<usize>,
+    /// `"ok"`, `"regressed"`, or `"missing"` (dropped from the bench's
+    /// latest record).
+    pub status: String,
+}
+
+fn mean_of(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+fn least_squares_slope(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let x_mean = (n - 1.0) / 2.0;
+    let y_mean = mean_of(values);
+    let (num, den) = values
+        .iter()
+        .enumerate()
+        .fold((0.0, 0.0), |(num, den), (i, &y)| {
+            let dx = i as f64 - x_mean;
+            (num + dx * (y - y_mean), den + dx * dx)
+        });
+    num / den
+}
+
+fn changepoint_of(values: &[f64]) -> Option<usize> {
+    if values.len() < 3 {
+        return None;
+    }
+    (1..values.len()).max_by(|&a, &b| {
+        let gap = |k: usize| (mean_of(&values[..k]) - mean_of(&values[k..])).abs();
+        gap(a).partial_cmp(&gap(b)).expect("finite means")
+    })
+}
+
+/// Reduces a trajectory to one [`MetricTrend`] per `(bench, metric)`
+/// pair, in deterministic key order.
+///
+/// A trend is `"regressed"` when its fitted [`MetricTrend::drift`] moves
+/// in the metric's bad direction ([`lower_is_better`]) by more than
+/// `threshold`, *and* the history has at least `min_points` points —
+/// short histories are always `"ok"`. A metric with history that is
+/// absent from its bench's latest record is `"missing"` (a schema change
+/// or a silently dropped bench — gate it with `--strict`).
+#[must_use]
+pub fn analyze_trends(
+    records: &[TrajectoryRecord],
+    threshold: f64,
+    min_points: usize,
+) -> Vec<MetricTrend> {
+    let mut histories: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
+    let mut latest: BTreeMap<&str, &TrajectoryRecord> = BTreeMap::new();
+    for record in records {
+        for (metric, &value) in &record.metrics {
+            histories
+                .entry((record.bench.clone(), metric.clone()))
+                .or_default()
+                .push(value);
+        }
+        latest.insert(record.bench.as_str(), record);
+    }
+    histories
+        .into_iter()
+        .map(|((bench, metric), values)| {
+            let in_latest = latest
+                .get(bench.as_str())
+                .is_some_and(|r| r.metrics.contains_key(&metric));
+            let slope = least_squares_slope(&values);
+            let mean = mean_of(&values);
+            let drift = slope * (values.len() as f64 - 1.0) / mean.abs().max(1e-12);
+            let bad = if lower_is_better(&metric) {
+                drift > threshold
+            } else {
+                drift < -threshold
+            };
+            let status = if !in_latest {
+                "missing"
+            } else if bad && values.len() >= min_points {
+                "regressed"
+            } else {
+                "ok"
+            };
+            MetricTrend {
+                changepoint: changepoint_of(&values),
+                status: status.to_string(),
+                bench,
+                metric,
+                values,
+                slope,
+                drift,
+            }
+        })
+        .collect()
+}
+
+/// Builds the machine-readable gate report for a trend run — the same
+/// [`GateReport`] schema `compare` and `profile compare` emit, so CI
+/// consumes all three gates identically. Verdict keys are
+/// `"<bench>/<metric>"`, `baseline` is the history's first value and
+/// `current` its latest.
+#[must_use]
+pub fn trend_gate_report(trends: &[MetricTrend], threshold: f64, strict: bool) -> GateReport {
+    let mut regressed = 0usize;
+    let mut missing = 0usize;
+    let verdicts: Vec<MetricVerdict> = trends
+        .iter()
+        .map(|t| {
+            match t.status.as_str() {
+                "regressed" => regressed += 1,
+                "missing" => missing += 1,
+                _ => {}
+            }
+            MetricVerdict {
+                metric: format!("{}/{}", t.bench, t.metric),
+                baseline: t.values.first().copied().unwrap_or(0.0),
+                current: t.values.last().copied().unwrap_or(0.0),
+                status: t.status.clone(),
+            }
+        })
+        .collect();
+    GateReport {
+        gate: "trend".into(),
+        metric: "drift".into(),
+        threshold,
+        strict,
+        passed: regressed == 0 && (!strict || missing == 0),
+        regressed,
+        missing,
+        verdicts,
+    }
+}
+
+/// Renders metric trends as one line per `(bench, metric)`: history
+/// sparkline, endpoints, fitted drift, changepoint, status.
+pub fn render_trends(trends: &[MetricTrend]) -> String {
+    let mut out = String::new();
+    let width = trends
+        .iter()
+        .map(|t| t.bench.len() + t.metric.len() + 1)
+        .max()
+        .unwrap_or(0);
+    for t in trends {
+        let cells: Vec<Option<f64>> = t.values.iter().map(|&v| Some(v)).collect();
+        let change = t
+            .changepoint
+            .map_or(String::new(), |k| format!("  shift@{k}"));
+        let flag = match t.status.as_str() {
+            "regressed" => "  REGRESSED",
+            "missing" => "  MISSING",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "{:<width$}  n={:<2} |{}| {:.4} -> {:.4}  drift {:+.1}%{change}{flag}",
+            format!("{}/{}", t.bench, t.metric),
+            t.values.len(),
+            spark_row(&cells),
+            t.values.first().copied().unwrap_or(0.0),
+            t.values.last().copied().unwrap_or(0.0),
+            t.drift * 100.0,
+        );
+    }
+    out
+}
+
 // ----------------------------------------------------------------- profile
 
 /// Which [`ProfileSpan`] field `profile compare` gates on.
@@ -1343,5 +1807,207 @@ mod tests {
         // The tick-based metrics gate too.
         let ticks = compare_profiles(&base, &nested_profile(20), 0.15, ProfileMetric::TotalTicks);
         assert!(!ticks.regressions.is_empty());
+    }
+
+    fn dynamics_timeline() -> TimelineReport {
+        let recorder = omnc::telemetry::TimeSeries::enabled(0.25, 64);
+        // Rank climbs 1..=10 over 5s; 90% of 10 is first reached at t=4.5.
+        for i in 1..=10u64 {
+            recorder.record("omnc/s0/rank/g0", i as f64 * 0.5, i as f64);
+        }
+        // Queue ramps to a peak of 9 at t=3, then drains.
+        for (t, depth) in [(1.0, 3.0), (2.0, 6.0), (3.0, 9.0), (4.0, 4.0), (5.0, 1.0)] {
+            recorder.record("omnc/s0/queue/n1", t, depth);
+        }
+        // Optimizer violation decays below 10% of its peak after iter 2.
+        for (iter, v) in [(0.0, 1.0), (1.0, 0.4), (2.0, 0.2), (3.0, 0.05), (4.0, 0.01)] {
+            recorder.record("omnc/s0/opt/max_violation", iter, v);
+        }
+        // A registered-but-never-sampled series stays out of the charts.
+        let _ = recorder.series("omnc/s0/link/0-1/lost");
+        recorder.snapshot()
+    }
+
+    #[test]
+    fn timeline_summary_finds_convergence_moments() {
+        let summary = summarize_timeline(&dynamics_timeline());
+        assert_eq!(summary.rank_90pct.len(), 1);
+        let rank = &summary.rank_90pct[0];
+        assert_eq!(rank.series, "omnc/s0/rank/g0");
+        assert!(rank.value >= 9.0, "{rank:?}");
+        assert!((4.0..=5.0).contains(&rank.epoch), "{rank:?}");
+
+        assert_eq!(summary.queue_peak.len(), 1);
+        let queue = &summary.queue_peak[0];
+        assert_eq!(queue.value, 9.0);
+        assert!((2.75..=3.0).contains(&queue.epoch), "{queue:?}");
+
+        assert_eq!(summary.settling.len(), 1);
+        let settle = &summary.settling[0];
+        // Violation last exceeds 0.1 at iteration 2 (bucket [2, 2.25)).
+        assert!((2.0..=2.5).contains(&settle.epoch), "{settle:?}");
+
+        let text = render_timeline_summary(&summary);
+        assert!(text.contains("rank 90%"), "{text}");
+        assert!(text.contains("queue peak"), "{text}");
+        assert!(text.contains("settling"), "{text}");
+    }
+
+    #[test]
+    fn timeline_render_charts_sampled_series_and_filters() {
+        let report = dynamics_timeline();
+        let text = render_timeline(&report, None);
+        assert!(text.contains("omnc/s0/rank/g0"), "{text}");
+        assert!(text.contains("omnc/s0/queue/n1"), "{text}");
+        assert!(text.contains("1 series with no samples"), "{text}");
+        // The rank chart rises: its sparkline ends on the densest glyph.
+        let rank_row = text
+            .lines()
+            .skip_while(|l| !l.starts_with("omnc/s0/rank/g0"))
+            .nth(1)
+            .expect("rank chart row");
+        let inner = rank_row.split('|').nth(1).expect("chart between pipes");
+        assert!(inner.trim_end().ends_with('@'), "{rank_row}");
+
+        // Filtering keeps only matching series.
+        let only_queue = render_timeline(&report, Some("/queue/"));
+        assert!(only_queue.contains("queue/n1"), "{only_queue}");
+        assert!(!only_queue.contains("rank/g0"), "{only_queue}");
+
+        // CSV has one row per bucket with the documented header.
+        let csv = timeline_csv(&report, Some("rank"));
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("series,window,bucket_start,count,min,max,sum,mean")
+        );
+        assert_eq!(
+            lines.count(),
+            report.series("omnc/s0/rank/g0").unwrap().buckets.len()
+        );
+    }
+
+    fn trajectory(values: &[(&str, &[f64])], points: usize) -> Vec<TrajectoryRecord> {
+        (0..points)
+            .map(|i| TrajectoryRecord {
+                bench: "perf-smoke".into(),
+                seed: 2008,
+                metrics: values
+                    .iter()
+                    .map(|(name, history)| ((*name).to_string(), history[i]))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trend_gates_sustained_drift_but_not_short_or_flat_histories() {
+        // A monotone 20% throughput decay over 5 points is a regression.
+        let decaying: &[f64] = &[100.0, 95.0, 90.0, 85.0, 80.0];
+        let steady: &[f64] = &[50.0, 50.5, 49.5, 50.0, 50.2];
+        let records = trajectory(
+            &[
+                ("opt/iterations_per_s", decaying),
+                ("sim/events_per_s", steady),
+            ],
+            5,
+        );
+        let trends = analyze_trends(&records, 0.1, TREND_MIN_POINTS);
+        assert_eq!(trends.len(), 2);
+        let decay = trends
+            .iter()
+            .find(|t| t.metric == "opt/iterations_per_s")
+            .unwrap();
+        assert_eq!(decay.status, "regressed");
+        assert!(decay.drift < -0.1, "{decay:?}");
+        let flat = trends
+            .iter()
+            .find(|t| t.metric == "sim/events_per_s")
+            .unwrap();
+        assert_eq!(flat.status, "ok");
+
+        let gate = trend_gate_report(&trends, 0.1, false);
+        assert_eq!(gate.gate, "trend");
+        assert_eq!(gate.metric, "drift");
+        assert!(!gate.passed);
+        assert_eq!(gate.regressed, 1);
+        assert_eq!(gate.verdicts[0].metric, "perf-smoke/opt/iterations_per_s");
+        assert_eq!(gate.verdicts[0].baseline, 100.0);
+        assert_eq!(gate.verdicts[0].current, 80.0);
+
+        // The same decay over only 3 points is below min_points: never gated.
+        let short = analyze_trends(
+            &trajectory(&[("opt/iterations_per_s", &decaying[..3])], 3),
+            0.1,
+            TREND_MIN_POINTS,
+        );
+        assert_eq!(short[0].status, "ok");
+        assert!(trend_gate_report(&short, 0.1, true).passed);
+
+        // A lower-is-better metric regresses in the other direction.
+        let queue_up: &[f64] = &[2.0, 2.5, 3.0, 3.5, 4.0];
+        let up = analyze_trends(
+            &trajectory(&[("sim/mean_queue", queue_up)], 5),
+            0.1,
+            TREND_MIN_POINTS,
+        );
+        assert_eq!(up[0].status, "regressed");
+        assert!(up[0].drift > 0.1, "{:?}", up[0]);
+    }
+
+    #[test]
+    fn trend_flags_metrics_dropped_from_the_latest_record() {
+        let mut records = trajectory(&[("opt/iterations_per_s", &[100.0, 101.0, 99.0])], 3);
+        records.push(TrajectoryRecord {
+            bench: "perf-smoke".into(),
+            seed: 2008,
+            metrics: [("sim/events_per_s".to_string(), 7.0)]
+                .into_iter()
+                .collect(),
+        });
+        let trends = analyze_trends(&records, 0.1, TREND_MIN_POINTS);
+        let dropped = trends
+            .iter()
+            .find(|t| t.metric == "opt/iterations_per_s")
+            .unwrap();
+        assert_eq!(dropped.status, "missing");
+        let gate = trend_gate_report(&trends, 0.1, false);
+        assert!(gate.passed, "missing only gates under --strict");
+        assert_eq!(gate.missing, 1);
+        assert!(!trend_gate_report(&trends, 0.1, true).passed);
+    }
+
+    #[test]
+    fn trend_locates_a_level_shift() {
+        let stepped: &[f64] = &[10.0, 10.1, 9.9, 10.0, 14.0, 14.1, 13.9, 14.0];
+        let trends = analyze_trends(
+            &trajectory(&[("sim/events_per_s", stepped)], 8),
+            0.5,
+            TREND_MIN_POINTS,
+        );
+        assert_eq!(trends[0].changepoint, Some(4), "{:?}", trends[0]);
+        let text = render_trends(&trends);
+        assert!(text.contains("shift@4"), "{text}");
+        assert!(text.contains("perf-smoke/sim/events_per_s"), "{text}");
+    }
+
+    #[test]
+    fn trajectory_parses_committed_bench_record_shape() {
+        // The exact line shape `scripts/bench.sh` appends (metrics as
+        // key/value pair arrays, the vendored BTreeMap encoding).
+        let record = TrajectoryRecord {
+            bench: "perf-smoke".into(),
+            seed: 2008,
+            metrics: [("opt/iterations_per_s".to_string(), 602052.97)]
+                .into_iter()
+                .collect(),
+        };
+        let line = serde_json::to_string(&record).expect("serializes");
+        let text = format!("{line}\n\n{line}\n");
+        let parsed = parse_trajectory(text.as_bytes()).expect("parses");
+        assert_eq!(parsed, vec![record.clone(), record]);
+
+        let err = parse_trajectory("{broken\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 }

@@ -2,16 +2,20 @@
 //! performance regressions.
 //!
 //! ```sh
-//! omnc-sim --sessions 2 --trace run.jsonl --profile run.profile.json
+//! omnc-sim --sessions 2 --trace run.jsonl --profile run.profile.json --timeline run.timeline.json
 //! omnc-report analyze --trace run.jsonl --json report.json --csv forwarders.csv
 //! omnc-report compare --baseline BENCH_baseline.json --current report.json
 //! omnc-report profile run.profile.json --top 10
 //! omnc-report profile compare --baseline PROFILE_baseline.json --current run.profile.json
+//! omnc-report timeline run.timeline.json --filter queue
+//! omnc-report trend --trajectory results/bench/trajectory.jsonl --strict
 //! ```
 //!
-//! `analyze` prints ASCII tables to stdout; `compare` and `profile
-//! compare` exit nonzero when any metric (span) regressed beyond the
-//! threshold.
+//! `analyze` prints ASCII tables to stdout; `timeline` charts the
+//! windowed dynamics series a run records; `compare`, `profile compare`
+//! and `trend` exit nonzero when any metric (span, history) regressed
+//! beyond the threshold, all three emitting the same `--json` gate
+//! schema.
 
 #![forbid(unsafe_code)]
 
@@ -19,9 +23,11 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 use omnc_report::{
-    analyze, compare, compare_profiles, gate_report, missing_metrics, parse_opt, parse_trace,
-    profile_gate_report, render_ascii, render_csv, render_profile, GateReport, ProfileMetric,
-    ProfileReport, Report,
+    analyze, analyze_trends, compare, compare_profiles, gate_report, missing_metrics, parse_opt,
+    parse_trace, parse_trajectory, profile_gate_report, render_ascii, render_csv, render_profile,
+    render_timeline, render_timeline_summary, render_trends, summarize_timeline, timeline_csv,
+    trend_gate_report, GateReport, ProfileMetric, ProfileReport, Report, TimelineReport,
+    TREND_MIN_POINTS,
 };
 
 fn main() {
@@ -30,6 +36,8 @@ fn main() {
         Some("analyze") => run_analyze(&argv[1..]),
         Some("compare") => run_compare(&argv[1..]),
         Some("profile") => run_profile(&argv[1..]),
+        Some("timeline") => run_timeline(&argv[1..]),
+        Some("trend") => run_trend(&argv[1..]),
         Some("--help" | "-h") | None => {
             print_help();
             Ok(0)
@@ -57,6 +65,10 @@ USAGE:
     omnc-report profile compare --baseline <PATH> --current <PATH>
                                 [--threshold <T>] [--metric <M>] [--strict]
                                 [--json <OUT>]
+    omnc-report timeline <PATH> [--filter <S>] [--csv <OUT>] [--json <OUT>]
+                                [--quiet]
+    omnc-report trend [--trajectory <PATH>] [--threshold <T>]
+                      [--min-points <N>] [--strict] [--json <OUT>]
 
 ANALYZE:
     --trace <PATH>      JSONL trace from `omnc-sim --trace` ('-' = stdin)
@@ -93,7 +105,29 @@ PROFILE COMPARE:
     --json <OUT>        write a machine-readable gate report (per-span
                         verdicts) to <OUT> ('-' = stdout)
 
-compare / profile compare exit 0 when nothing regressed, 1 otherwise."
+TIMELINE:
+    <PATH>              timeline JSON from `omnc-sim --timeline` or a
+                        campaign's merged timeline.json ('-' = stdin)
+    --filter <S>        only series whose name contains <S>
+    --csv <OUT>         export buckets as CSV
+                        (series,window,bucket_start,count,min,max,sum,mean)
+    --json <OUT>        write the convergence summary (time-to-90%-rank,
+                        queue peaks, rate-control settling) as JSON
+    --quiet             suppress the sparkline charts
+
+TREND:
+    --trajectory <PATH> BENCH trajectory JSONL, one record per bench run
+                        [default: results/bench/trajectory.jsonl]
+    --threshold <T>     relative drift tolerance over a full history
+                        [default: 0.15]
+    --min-points <N>    shorter histories are never gated  [default: 4]
+    --strict            metrics dropped from a bench's latest record
+                        fail the gate instead of only warning
+    --json <OUT>        write a machine-readable gate report (per-history
+                        verdicts) to <OUT> ('-' = stdout)
+
+compare / profile compare / trend exit 0 when nothing regressed,
+1 otherwise."
     );
 }
 
@@ -171,10 +205,7 @@ fn run_compare(args: &[String]) -> Result<i32, String> {
     }
     let baseline = load_report(&baseline_path.ok_or("compare requires --baseline")?)?;
     let current = load_report(&current_path.ok_or("compare requires --current")?)?;
-    if let Some(path) = json_out {
-        let gate = gate_report(&baseline.metrics, &current.metrics, threshold, strict);
-        write_gate(&path, &gate)?;
-    }
+    let gate = gate_report(&baseline.metrics, &current.metrics, threshold, strict);
     let missing = missing_metrics(&baseline.metrics, &current.metrics);
     for metric in &missing {
         println!("warning: metric '{metric}' missing from current report");
@@ -191,18 +222,17 @@ fn run_compare(args: &[String]) -> Result<i32, String> {
         for r in &regressions {
             println!("{:>34} {:>14.3} {:>14.3}", r.metric, r.baseline, r.current);
         }
-        return Ok(1);
+    } else {
+        println!(
+            "OK: {} metrics within {:.0}% of baseline",
+            baseline.metrics.len() - missing.len(),
+            threshold * 100.0
+        );
+        if strict && !missing.is_empty() {
+            println!("STRICT: {} baseline metric(s) missing", missing.len());
+        }
     }
-    println!(
-        "OK: {} metrics within {:.0}% of baseline",
-        baseline.metrics.len() - missing.len(),
-        threshold * 100.0
-    );
-    if strict && !missing.is_empty() {
-        println!("STRICT: {} baseline metric(s) missing", missing.len());
-        return Ok(1);
-    }
-    Ok(0)
+    finish_gate(&gate, json_out.as_deref())
 }
 
 fn run_profile(args: &[String]) -> Result<i32, String> {
@@ -267,10 +297,7 @@ fn run_profile_compare(args: &[String]) -> Result<i32, String> {
     }
     let baseline = load_profile(&baseline_path.ok_or("profile compare requires --baseline")?)?;
     let current = load_profile(&current_path.ok_or("profile compare requires --current")?)?;
-    if let Some(path) = json_out {
-        let gate = profile_gate_report(&baseline, &current, threshold, metric, strict);
-        write_gate(&path, &gate)?;
-    }
+    let gate = profile_gate_report(&baseline, &current, threshold, metric, strict);
     let cmp = compare_profiles(&baseline, &current, threshold, metric);
     for path in &cmp.missing {
         println!("warning: span '{path}' missing from current profile");
@@ -287,19 +314,131 @@ fn run_profile_compare(args: &[String]) -> Result<i32, String> {
         for r in &cmp.regressions {
             println!("{:>12} {:>12}  {}", r.baseline, r.current, r.path);
         }
-        return Ok(1);
+    } else {
+        println!(
+            "OK: {} spans within {:.0}% of baseline ({})",
+            baseline.spans.len() - cmp.missing.len(),
+            threshold * 100.0,
+            metric.name()
+        );
+        if strict && !cmp.missing.is_empty() {
+            println!("STRICT: {} baseline span(s) missing", cmp.missing.len());
+        }
     }
-    println!(
-        "OK: {} spans within {:.0}% of baseline ({})",
-        baseline.spans.len() - cmp.missing.len(),
-        threshold * 100.0,
-        metric.name()
-    );
-    if strict && !cmp.missing.is_empty() {
-        println!("STRICT: {} baseline span(s) missing", cmp.missing.len());
-        return Ok(1);
+    finish_gate(&gate, json_out.as_deref())
+}
+
+fn run_timeline(args: &[String]) -> Result<i32, String> {
+    let mut path: Option<String> = None;
+    let mut filter: Option<String> = None;
+    let mut csv_out: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--timeline" => path = Some(next_value(&mut it, "--timeline")?.clone()),
+            "--filter" => filter = Some(next_value(&mut it, "--filter")?.clone()),
+            "--csv" => csv_out = Some(next_value(&mut it, "--csv")?.clone()),
+            "--json" => json_out = Some(next_value(&mut it, "--json")?.clone()),
+            "--quiet" => quiet = true,
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    let path = path.ok_or("timeline requires a timeline JSON path (from `omnc-sim --timeline`)")?;
+    let report = load_timeline(&path)?;
+    if !quiet {
+        print!("{}", render_timeline(&report, filter.as_deref()));
+    }
+    let summary = summarize_timeline(&report);
+    if !quiet {
+        let text = render_timeline_summary(&summary);
+        if !text.is_empty() {
+            println!("\nconvergence:");
+            print!("{text}");
+        }
+    }
+    if let Some(out) = csv_out {
+        write_file(&out, timeline_csv(&report, filter.as_deref()).as_bytes())?;
+    }
+    if let Some(out) = json_out {
+        let json = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
+        write_file(&out, json.as_bytes())?;
     }
     Ok(0)
+}
+
+fn run_trend(args: &[String]) -> Result<i32, String> {
+    let mut trajectory_path = "results/bench/trajectory.jsonl".to_string();
+    let mut threshold = 0.15;
+    let mut min_points = TREND_MIN_POINTS;
+    let mut strict = false;
+    let mut json_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trajectory" => trajectory_path = next_value(&mut it, "--trajectory")?.clone(),
+            "--threshold" => {
+                let v = next_value(&mut it, "--threshold")?;
+                threshold = v
+                    .parse()
+                    .map_err(|_| format!("could not parse threshold '{v}'"))?;
+            }
+            "--min-points" => {
+                let v = next_value(&mut it, "--min-points")?;
+                min_points = v
+                    .parse()
+                    .map_err(|_| format!("could not parse --min-points '{v}'"))?;
+            }
+            "--strict" => strict = true,
+            "--json" => json_out = Some(next_value(&mut it, "--json")?.clone()),
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    let records = parse_trajectory(reader_for(&trajectory_path)?)
+        .map_err(|e| format!("parsing '{trajectory_path}': {e}"))?;
+    if records.is_empty() {
+        return Err(format!("'{trajectory_path}' holds no trajectory records"));
+    }
+    let trends = analyze_trends(&records, threshold, min_points);
+    let gate = trend_gate_report(&trends, threshold, strict);
+    print!("{}", render_trends(&trends));
+    for v in &gate.verdicts {
+        if v.status == "missing" {
+            println!(
+                "warning: metric '{}' missing from its bench's latest record",
+                v.metric
+            );
+        }
+    }
+    if gate.regressed > 0 {
+        println!(
+            "REGRESSION: {} of {} metric histories drifting beyond {:.0}% tolerance",
+            gate.regressed,
+            gate.verdicts.len(),
+            threshold * 100.0
+        );
+    } else {
+        println!(
+            "OK: {} metric histories within {:.0}% drift over {} bench runs",
+            gate.verdicts.len(),
+            threshold * 100.0,
+            records.len()
+        );
+        if strict && gate.missing > 0 {
+            println!("STRICT: {} tracked metric(s) missing", gate.missing);
+        }
+    }
+    finish_gate(&gate, json_out.as_deref())
+}
+
+fn load_timeline(path: &str) -> Result<TimelineReport, String> {
+    let mut text = String::new();
+    reader_for(path)?
+        .read_to_string(&mut text)
+        .map_err(|e| format!("reading '{path}': {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing '{path}': {e}"))
 }
 
 fn load_profile(path: &str) -> Result<ProfileReport, String> {
@@ -318,14 +457,20 @@ fn load_report(path: &str) -> Result<Report, String> {
     serde_json::from_str(&text).map_err(|e| format!("parsing '{path}': {e}"))
 }
 
-fn write_gate(path: &str, gate: &GateReport) -> Result<(), String> {
-    let json = serde_json::to_string(gate).map_err(|e| e.to_string())?;
-    if path == "-" {
-        println!("{json}");
-        Ok(())
-    } else {
-        write_file(path, json.as_bytes())
+/// The shared tail of every gate command (`compare`, `profile compare`,
+/// `trend`): optionally writes the machine-readable [`GateReport`] —
+/// one schema for all three gates — and derives the exit code from its
+/// `passed` verdict.
+fn finish_gate(gate: &GateReport, json_out: Option<&str>) -> Result<i32, String> {
+    if let Some(path) = json_out {
+        let json = serde_json::to_string(gate).map_err(|e| e.to_string())?;
+        if path == "-" {
+            println!("{json}");
+        } else {
+            write_file(path, json.as_bytes())?;
+        }
     }
+    Ok(i32::from(!gate.passed))
 }
 
 fn write_file(path: &str, bytes: &[u8]) -> Result<(), String> {

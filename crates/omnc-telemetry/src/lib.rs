@@ -28,7 +28,11 @@
 //!   [`sample_rss`]) — a counting global-allocator wrapper binaries can
 //!   install, thread-local allocation counters the [`Profiler`]
 //!   attributes to spans, and peak-RSS sampling from
-//!   `/proc/self/status`.
+//!   `/proc/self/status`;
+//! * deterministic windowed [`TimeSeries`] — bounded-memory dynamics
+//!   metrics (queue depth, decoder rank, optimizer convergence, goodput)
+//!   with 2:1 downsampling, exported as a [`TimelineReport`] and merged
+//!   across campaign cells with [`merge_timelines`].
 
 // Unsafe is denied crate-wide and allowed back in exactly one module:
 // `alloc`, the counting global-allocator wrapper, where every unsafe
@@ -43,16 +47,18 @@ mod profiler;
 mod registry;
 mod sink;
 mod timer;
+mod timeseries;
 
 pub use alloc::{
     alloc_counting_enabled, sample_rss, set_alloc_counting, thread_alloc_stats, AllocScope,
     AllocStats, CountingAlloc, RssSample,
 };
 pub use log::{LogLevel, Logger};
-pub use merge::{merge_metric_snapshots, merge_profiles};
+pub use merge::{merge_metric_snapshots, merge_profiles, merge_timelines};
 pub use profiler::{
     Clock, ProfileGuard, ProfileReport, ProfileSpan, Profiler, VirtualClock, WallClock,
 };
 pub use registry::{BucketCount, Counter, Gauge, Histogram, MetricKind, MetricSnapshot, Registry};
 pub use sink::{EventSink, SinkTarget};
 pub use timer::{ScopedTimer, Span, Stopwatch};
+pub use timeseries::{Series, TimeSeries, TimelineBucket, TimelineReport, TimelineSeries};

@@ -14,7 +14,9 @@ use std::io::{BufWriter, Write};
 use omnc::runner::{run_session_traced, Protocol, RunOptions};
 use omnc::scenario::{Quality, Scenario};
 use omnc::session::SessionConfig;
-use omnc::telemetry::{sample_rss, set_alloc_counting, CountingAlloc, LogLevel, Logger, Profiler};
+use omnc::telemetry::{
+    sample_rss, set_alloc_counting, CountingAlloc, LogLevel, Logger, Profiler, TimeSeries,
+};
 
 // Counting is a no-op (one relaxed atomic load per allocation) until
 // --count-allocs flips it on, so installing the wrapper unconditionally
@@ -42,6 +44,7 @@ struct Args {
     full_payload: bool,
     trace: Option<String>,
     trace_capacity: usize,
+    timeline: Option<String>,
     profile: Option<String>,
     profile_folded: Option<String>,
     profile_wall_clock: bool,
@@ -63,6 +66,7 @@ impl Args {
             full_payload: false,
             trace: None,
             trace_capacity: 200_000,
+            timeline: None,
             profile: None,
             profile_folded: None,
             profile_wall_clock: false,
@@ -105,6 +109,7 @@ impl Args {
                 "--full-payload" => args.full_payload = true,
                 "--trace" => args.trace = Some(value("--trace")?.clone()),
                 "--trace-capacity" => args.trace_capacity = parse(value("--trace-capacity")?)?,
+                "--timeline" => args.timeline = Some(value("--timeline")?.clone()),
                 "--profile" => args.profile = Some(value("--profile")?.clone()),
                 "--profile-folded" => {
                     args.profile_folded = Some(value("--profile-folded")?.clone());
@@ -170,6 +175,14 @@ OPTIONS:
                         (one stream per session/protocol; feed to omnc-report;
                         '-' writes to stdout for piping)
     --trace-capacity <N> max MAC events kept per run [default: 200000]
+    --timeline <PATH>   write windowed dynamics series as JSON: per-node
+                        queue depth, per-link delivery/loss, decoder rank
+                        per generation, optimizer convergence, goodput —
+                        one series set per session/protocol, named
+                        <proto>/s<k>/… (feed to `omnc-report timeline`;
+                        '-' writes to stdout). Sampled on simulated time,
+                        so identical seeded runs write identical bytes;
+                        --trace/--profile output is unaffected
     --profile <PATH>    write the hierarchical span profile as JSON
                         (event loop, MAC arbitration, encode/recode/decode,
                         gf256 kernels; feed to `omnc-report profile`)
@@ -232,10 +245,18 @@ fn main() {
         (true, true) => Profiler::wall(),
         (true, false) => Profiler::virtual_clock(),
     };
+    // Defaults chosen so any session length lands in a readable chart:
+    // 64 buckets starting at 0.25 s windows, coarsening 2:1 as runs grow.
+    let timeline = if args.timeline.is_some() {
+        TimeSeries::enabled(0.25, 64)
+    } else {
+        TimeSeries::disabled()
+    };
     let options = RunOptions {
         fault: None,
         trace_capacity: args.trace.is_some().then_some(args.trace_capacity),
         profiler: profiler.clone(),
+        timeline: timeline.clone(),
         ..RunOptions::default()
     };
     log.debug(&format!(
@@ -252,6 +273,10 @@ fn main() {
                 dst.index()
             ));
             let scope = args.count_allocs.then(omnc::telemetry::AllocScope::start);
+            let run_options = RunOptions {
+                timeline_scope: format!("{}/s{k}", protocol.name().to_ascii_lowercase()),
+                ..options.clone()
+            };
             let (out, trace) = run_session_traced(
                 &topology,
                 src,
@@ -259,7 +284,7 @@ fn main() {
                 protocol,
                 &scenario.session,
                 seed,
-                &options,
+                &run_options,
             );
             if let Some(scope) = scope {
                 let d = scope.delta();
@@ -319,6 +344,21 @@ fn main() {
         if let Err(e) = file.flush() {
             log.error(&format!("flushing trace: {e}"));
             std::process::exit(2);
+        }
+    }
+    if let Some(path) = &args.timeline {
+        let report = timeline.snapshot();
+        let json = serde_json::to_string(&report).expect("timeline serializes");
+        if path == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(path, json + "\n") {
+            log.error(&format!("writing timeline '{path}': {e}"));
+            std::process::exit(2);
+        } else {
+            log.info(&format!(
+                "timeline: {} series -> {path}",
+                report.series.len()
+            ));
         }
     }
     if profiling {

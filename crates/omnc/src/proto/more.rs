@@ -238,6 +238,12 @@ impl MoreDestination {
     pub fn set_profiler(&mut self, profiler: telemetry::Profiler) {
         self.state.set_profiler(profiler);
     }
+
+    /// Attaches a timeline recorder to the decoding path (per-generation
+    /// rank-progress series under `scope`).
+    pub fn set_timeline(&mut self, timeline: telemetry::TimeSeries, scope: &str) {
+        self.state.set_timeline(timeline, scope);
+    }
 }
 
 impl Behavior<Msg> for MoreDestination {

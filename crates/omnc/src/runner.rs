@@ -7,9 +7,9 @@ use drift::{Behavior, Ctx, MacModel, PacketTag, Simulator, TraceEvent};
 use net_topo::etx;
 use net_topo::graph::{Link, NodeId, Topology};
 use net_topo::select::{disjoint_path_count, select_forwarders, Selection};
-use omnc_opt::{default_portfolio, run_best, SUnicast};
+use omnc_opt::{default_portfolio, run_best, run_best_traced, SUnicast};
 use serde::{Deserialize, Serialize};
-use telemetry::{Profiler, Registry};
+use telemetry::{Profiler, Registry, TimeSeries};
 
 use crate::msg::Msg;
 use crate::proto::credits::{more_credits, oldmore_credits, CreditPlan};
@@ -171,6 +171,16 @@ impl Role {
             Role::EtxFwd(_) | Role::EtxDst(_) => {}
         }
     }
+
+    /// Attaches the timeline recorder to the role's decoder, if it has one
+    /// (only destinations sample rank progress).
+    fn set_timeline(&mut self, timeline: &TimeSeries, scope: &str) {
+        match self {
+            Role::OmncDst(b) => b.set_timeline(timeline.clone(), scope),
+            Role::MoreDst(b) => b.set_timeline(timeline.clone(), scope),
+            _ => {}
+        }
+    }
 }
 
 /// The session sub-topology: selected nodes re-indexed densely, keeping
@@ -227,6 +237,16 @@ pub struct RunOptions {
     /// histogram into. Defaults to disabled (no-op handles); attach an
     /// enabled [`Registry`] and read [`Registry::snapshot`] after the run.
     pub registry: Registry,
+    /// Windowed dynamics recorder: per-node queue depth and per-link
+    /// delivery/loss over time (from the simulator), decoder rank progress
+    /// per generation, optimizer convergence (OMNC), and destination
+    /// goodput. Defaults to disabled (every sample is one branch); attach
+    /// an enabled [`TimeSeries`] and read [`TimeSeries::snapshot`] after
+    /// the run. Tracing, profiling and metrics are unaffected either way.
+    pub timeline: TimeSeries,
+    /// Prefix for every series name this run records (e.g. `omnc/s0` or a
+    /// campaign cell key), so one recorder can serve many runs.
+    pub timeline_scope: String,
 }
 
 /// Runs one unicast session of `protocol` from `src` to `dst` on
@@ -348,6 +368,17 @@ pub fn run_cell_on(
     )
 }
 
+/// Wires the run's timeline recorder into the simulator. Queue and link
+/// series are labelled with *original*-topology node ids, so names stay
+/// meaningful after the sub-topology re-indexing.
+fn attach_sim_timeline(sim: &mut Simulator<Msg, Role>, sub: &SubTopology, options: &RunOptions) {
+    if !options.timeline.is_enabled() {
+        return;
+    }
+    let labels: Vec<u64> = sub.to_orig.iter().map(|v| v.index() as u64).collect();
+    sim.attach_timeline(&options.timeline, &options.timeline_scope, &labels);
+}
+
 fn run_etx(
     topology: &Topology,
     src: NodeId,
@@ -378,6 +409,7 @@ fn run_etx(
     }
     sim.attach_profiler(options.profiler.clone());
     sim.attach_telemetry(&options.registry);
+    attach_sim_timeline(&mut sim, &sub, options);
     for w in path.windows(2) {
         let fwd = if w[0] == src {
             EtxForwarder::source(*cfg, local(w[1]), local(dst))
@@ -522,7 +554,16 @@ fn run_coded_inner(
                     b
                 }
                 None => {
-                    let allocation = run_best(&problem, &default_portfolio());
+                    // Tracing only records — `run_best_traced` deploys the
+                    // exact rates `run_best` would — so the plain path stays
+                    // untouched when the timeline is disabled.
+                    let allocation = if options.timeline.is_enabled() {
+                        let (allocation, trace) = run_best_traced(&problem, &default_portfolio());
+                        trace.record_timeline(&options.timeline, &options.timeline_scope);
+                        allocation
+                    } else {
+                        run_best(&problem, &default_portfolio())
+                    };
                     rc_iterations = Some(allocation.iterations());
                     predicted = Some(allocation.throughput());
                     allocation.broadcast_rates().to_vec()
@@ -601,8 +642,10 @@ fn run_coded_inner(
     }
     sim.attach_profiler(options.profiler.clone());
     sim.attach_telemetry(&options.registry);
+    attach_sim_timeline(&mut sim, &sub, options);
     for (orig, mut role) in roles {
         role.set_profiler(&options.profiler);
+        role.set_timeline(&options.timeline, &options.timeline_scope);
         sim.set_behavior(local(orig), role);
     }
     if let Some((victim, at)) = options.fault {
@@ -622,6 +665,26 @@ fn run_coded_inner(
         Some(Role::MoreDst(d)) => d.state().partial_rank(),
         _ => 0,
     };
+    // Goodput dynamics: one sample per innovative absorption, at its
+    // simulated arrival time, so windows show delivery rate over time.
+    if options.timeline.is_enabled() {
+        let dest_state = match sim.behavior(local(dst)) {
+            Some(Role::OmncDst(d)) => Some(d.state()),
+            Some(Role::MoreDst(d)) => Some(d.state()),
+            _ => None,
+        };
+        if let Some(state) = dest_state {
+            let name = if options.timeline_scope.is_empty() {
+                "goodput".to_owned()
+            } else {
+                format!("{}/goodput", options.timeline_scope)
+            };
+            let goodput = options.timeline.series(&name);
+            for a in state.absorptions.iter().filter(|a| a.innovative) {
+                goodput.record(a.at, 1.0);
+            }
+        }
+    }
     let partial_bytes = partial_rank as f64 * cfg.wire_block_size as f64;
     let throughput =
         ledger.throughput(cfg.generation_app_bytes(), cfg.duration) + partial_bytes / cfg.duration;
@@ -1037,6 +1100,55 @@ mod tests {
         // Self times decompose the root total without double counting.
         let self_sum: u64 = report.spans.iter().map(|sp| sp.self_ticks).sum();
         assert!(self_sum <= report.total_root_ticks());
+    }
+
+    #[test]
+    fn timeline_runs_match_plain_and_record_all_dynamics_series() {
+        let (topo, s, d) = small_world();
+        let cfg = SessionConfig::tiny();
+        let options = RunOptions {
+            trace_capacity: Some(500_000),
+            ..RunOptions::default()
+        };
+        let (plain, plain_trace) =
+            run_session_traced(&topo, s, d, Protocol::Omnc, &cfg, 5, &options);
+        let timeline = TimeSeries::enabled(0.25, 64);
+        let timed_options = RunOptions {
+            trace_capacity: Some(500_000),
+            timeline: timeline.clone(),
+            timeline_scope: "omnc/s0".to_owned(),
+            ..RunOptions::default()
+        };
+        let (timed, timed_trace) =
+            run_session_traced(&topo, s, d, Protocol::Omnc, &cfg, 5, &timed_options);
+
+        // Recording must not perturb the run: outcome and causal trace are
+        // identical with the timeline on.
+        assert_eq!(plain.throughput, timed.throughput);
+        assert_eq!(plain.packet_counts, timed.packet_counts);
+        assert_eq!(plain.rc_iterations, timed.rc_iterations);
+        assert_eq!(
+            serde_json::to_string(&plain_trace.unwrap().records).unwrap(),
+            serde_json::to_string(&timed_trace.unwrap().records).unwrap(),
+            "timeline recording perturbed the causal trace"
+        );
+
+        let report = timeline.snapshot();
+        assert!(report.series("omnc/s0/opt/dual_value").is_some());
+        assert!(report.series("omnc/s0/opt/max_violation").is_some());
+        assert!(report.series("omnc/s0/rank/g0").is_some());
+        let src_queue = format!("omnc/s0/queue/n{}", s.index());
+        assert!(
+            report.series(&src_queue).is_some(),
+            "missing {src_queue} among {:?}",
+            report.series.iter().map(|x| &x.name).collect::<Vec<_>>()
+        );
+        assert!(report
+            .series
+            .iter()
+            .any(|x| x.name.starts_with("omnc/s0/link/") && x.name.ends_with("/delivered")));
+        let goodput = report.series("omnc/s0/goodput").expect("goodput series");
+        assert_eq!(goodput.total_count(), timed.packet_counts.0);
     }
 
     #[test]

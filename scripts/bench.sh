@@ -1,26 +1,31 @@
 #!/usr/bin/env sh
 # Perf smoke: wall-clock throughput figures plus the deterministic span
 # profile, both from fixed seeded workloads (see crates/bench/src/bin/
-# perf_smoke.rs). Emits BENCH_<date>.json — one point of the perf
-# trajectory; wall-clock numbers are host-dependent, so the file is an
-# artifact, not a gate — plus profile.json / profile.folded, then gates
-# span *call counts* (exact across identical seeded runs under the
-# virtual clock) against the committed PROFILE_baseline.json and the
-# per-op allocation footprint (alloc.json, exact under the counting
-# allocator) against ALLOC_baseline.json.
+# perf_smoke.rs). Appends the run's records to the committed BENCH
+# trajectory (results/bench/trajectory.jsonl) — wall-clock numbers are
+# host-dependent, so a single point is an artifact, not a gate; the
+# *history* is gated by `omnc-report trend` — then gates span *call
+# counts* (exact across identical seeded runs under the virtual clock)
+# against the committed PROFILE_baseline.json and the per-op allocation
+# footprint (alloc.json, exact under the counting allocator) against
+# ALLOC_baseline.json.
 #
 # After an intentional instrumentation or workload change, regenerate the
 # baselines with `scripts/bench.sh --regen` and commit the result. The
-# flags here must stay in lockstep with the "perf-smoke" and "alloc-gate"
-# jobs in .github/workflows/ci.yml.
+# flags here must stay in lockstep with the "perf-smoke", "alloc-gate"
+# and "trend-gate" jobs in .github/workflows/ci.yml.
 set -eu
 cd "$(dirname "$0")/.."
 cargo build --release -p omnc-bench -p omnc-report
-out="BENCH_$(date +%F).json"
+trajectory="results/bench/trajectory.jsonl"
+mkdir -p "$(dirname "$trajectory")"
+out="$(mktemp)"
 ./target/release/perf_smoke --out "$out" \
   --profile profile.json --profile-folded profile.folded \
   --alloc-out alloc.json
-echo "wrote $out"
+cat "$out" >> "$trajectory"
+rm -f "$out"
+echo "appended $(wc -l < "$trajectory" | tr -d ' ') total records to $trajectory"
 if [ "${1:-}" = "--regen" ]; then
   cp profile.json PROFILE_baseline.json
   cp alloc.json ALLOC_baseline.json
@@ -34,4 +39,7 @@ else
   ./target/release/omnc-report compare \
     --baseline ALLOC_baseline.json --current alloc.json \
     --threshold 0.25 --strict --json alloc_gate.json
+  # Multi-run drift across the trajectory just extended above.
+  ./target/release/omnc-report trend \
+    --trajectory "$trajectory" --strict --json trend_gate.json
 fi
