@@ -50,7 +50,7 @@ impl<E> Calendar<E> {
 
     pub(crate) fn schedule(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.next_seq = self.next_seq.wrapping_add(1);
         self.heap.push(Entry { time, seq, event });
     }
 

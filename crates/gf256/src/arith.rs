@@ -84,8 +84,10 @@ impl Gf256 {
         if self.0 == 0 {
             return Gf256::ZERO;
         }
-        let l = LOG[self.0 as usize] as u32;
-        Gf256(EXP[((l * e) % 255) as usize])
+        // Widen to u64 before multiplying: `l < 255` but `e` is an
+        // arbitrary u32, so the product can overflow 32 bits.
+        let l = u64::from(LOG[self.0 as usize]);
+        Gf256(EXP[((l * u64::from(e)) % 255) as usize])
     }
 }
 
@@ -290,6 +292,18 @@ mod tests {
             for e in 0..16u32 {
                 assert_eq!(x.pow(e), acc, "a={a} e={e}");
                 acc *= x;
+            }
+        }
+    }
+
+    #[test]
+    fn pow_survives_huge_exponents() {
+        // log * e overflowed u32 before the u64 widening: the exponent is
+        // arbitrary, so x^e must equal x^(e mod 255) for nonzero x.
+        for a in [1u8, 2, 3, 0x53, 0xca, 255] {
+            let x = Gf256::new(a);
+            for e in [u32::MAX, u32::MAX - 1, 20_000_000, 4_294_967_040] {
+                assert_eq!(x.pow(e), x.pow(e % 255), "a={a} e={e}");
             }
         }
     }

@@ -1,25 +1,97 @@
-//! The per-file analysis passes and the workspace walker.
+//! The analysis engine: per-file passes, the cross-file propagation
+//! phase, and the workspace walker.
 //!
 //! Everything here operates on the cleaned line view produced by
 //! [`crate::lexer::clean`]: comments and literal contents are already
 //! blanked, so plain substring/token matching is safe. Lines inside
 //! `#[cfg(test)]` regions are exempt from every code rule — the policies
 //! target shipping simulation code, not its tests.
+//!
+//! Analysis runs in two phases (ISSUE 8):
+//!
+//! * **Phase A (per file, cacheable)** — [`analyze_file`] lexes one file
+//!   and produces a [`FileAnalysis`]: extracted symbols, *local* findings
+//!   (rules applied by their static path scopes, exactly as before), and
+//!   *potential* findings (violations of propagating rules computed
+//!   regardless of path scope, held back until phase B proves the code
+//!   hot). This phase depends only on the file's bytes and the rule
+//!   table, which is what makes the `--cache` keyed on content hash +
+//!   [`crate::rules::RULES_VERSION`] sound.
+//! * **Phase B (cross-file, always recomputed)** — [`assemble_findings`]
+//!   builds the call graph over the simulation crates, BFS-propagates
+//!   hot-path obligations from [`crate::rules::HOT_ENTRIES`], releases
+//!   the potential findings that landed inside a hot function, and
+//!   annotates every finding in a hot span with its blame chain.
 
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::cache::{self, CacheEntry, CacheFile};
+use crate::callgraph;
 use crate::findings::{Finding, Report};
 use crate::lexer::{clean, CleanFile};
-use crate::rules::{Rule, RuleTable};
+use crate::rules::{Rule, RuleTable, HOT_ENTRIES, SIM_CRATES};
+use crate::symbols::{self, FileSymbols};
+
+/// Phase-A output for one file: everything derivable from its bytes.
+#[derive(Debug, Clone, Default)]
+pub struct FileAnalysis {
+    /// Declarations and call sites, for the phase-B graph.
+    pub symbols: FileSymbols,
+    /// Findings from the static path scopes (reported unconditionally).
+    pub local: Vec<Finding>,
+    /// Propagating-rule findings outside their static scope; reported
+    /// only if phase B proves the enclosing function hot.
+    pub potential: Vec<Finding>,
+}
 
 /// Analyzes one source file (given workspace-relative `rel_path`) against
-/// `table`. This is the whole per-file pipeline and is public so tests can
-/// lint fixture text under fake paths.
+/// `table`, returning only the local (path-scoped) findings. This is the
+/// pre-propagation view; workspace runs go through [`check_workspace`].
+/// Public so tests can lint fixture text under fake paths.
 pub fn analyze_source(rel_path: &str, source: &str, table: &RuleTable) -> Vec<Finding> {
+    analyze_file(rel_path, source, table).local
+}
+
+/// Phase A: the full cacheable per-file analysis.
+pub fn analyze_file(rel_path: &str, source: &str, table: &RuleTable) -> FileAnalysis {
     let file = clean(source);
     let in_test = test_line_mask(&file);
-    let hash_bindings = collect_hash_bindings(&file, &in_test);
+    let in_loop = loop_line_mask(&file);
+    let syms = symbols::extract(&file, &in_test);
+    let local = run_line_checks(rel_path, &file, &in_test, &in_loop, table, false);
+    // Potential findings only matter where the call graph lives.
+    let potential = if is_sim_crate(rel_path) {
+        run_line_checks(rel_path, &file, &in_test, &in_loop, table, true)
+    } else {
+        Vec::new()
+    };
+    FileAnalysis {
+        symbols: syms,
+        local,
+        potential,
+    }
+}
+
+/// `true` for files inside the simulation-core crates (the propagation
+/// universe).
+pub fn is_sim_crate(rel_path: &str) -> bool {
+    SIM_CRATES.iter().any(|p| rel_path.starts_with(p))
+}
+
+/// Runs every line-oriented check. With `potential` false this is the
+/// classic path-scoped pass; with `potential` true it collects
+/// violations of propagating rules in places their static scope does
+/// *not* cover (phase B decides whether the code is hot).
+fn run_line_checks(
+    rel_path: &str,
+    file: &CleanFile,
+    in_test: &[bool],
+    in_loop: &[bool],
+    table: &RuleTable,
+    potential: bool,
+) -> Vec<Finding> {
+    let hash_bindings = collect_hash_bindings(file, in_test);
     let mut findings = Vec::new();
 
     for (idx, line) in file.lines.iter().enumerate() {
@@ -28,7 +100,12 @@ pub fn analyze_source(rel_path: &str, source: &str, table: &RuleTable) -> Vec<Fi
         }
         let mut emit = |rule: Rule, message: String| {
             let cfg = table.config(rule);
-            if cfg.applies_to(rel_path) && !file.is_allowed(idx, rule.name()) {
+            let wanted = if potential {
+                rule.propagates() && cfg.enabled && !cfg.applies_to(rel_path)
+            } else {
+                cfg.applies_to(rel_path)
+            };
+            if wanted && !file.is_allowed(idx, rule.name()) {
                 findings.push(Finding::new(
                     rel_path,
                     line.number,
@@ -43,7 +120,11 @@ pub fn analyze_source(rel_path: &str, source: &str, table: &RuleTable) -> Vec<Fi
         check_hash_iteration(&line.code, &hash_bindings, &mut emit);
         check_indexing(&line.code, &mut emit);
         check_float_eq(&line.code, &mut emit);
-        check_unsafe(&file, idx, &mut emit);
+        check_unsafe(file, idx, &mut emit);
+        check_lossy_cast(&line.code, &mut emit);
+        check_unchecked_arith(&line.code, &mut emit);
+        check_atomics(file, idx, &mut emit);
+        check_clone_in_loop(&line.code, in_loop[idx], &mut emit);
     }
     findings
 }
@@ -228,6 +309,131 @@ fn check_unsafe(file: &CleanFile, idx: usize, emit: &mut impl FnMut(Rule, String
     }
 }
 
+/// Narrowing `as` casts: `expr as u8/u16/u32/i8/i16/i32` silently
+/// truncates, which corrupts wire fields and GF(2^8) elements. Widening
+/// and float casts are fine.
+fn check_lossy_cast(code: &str, emit: &mut impl FnMut(Rule, String)) {
+    const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+    for pos in find_all(code, "as") {
+        if !ident_boundary_before(code, pos) || !ident_boundary_after(code, pos + 2) {
+            continue;
+        }
+        let target = token_after(code, pos + 2);
+        if NARROW.contains(&target.as_str()) {
+            let src = token_before(code, pos);
+            emit(
+                Rule::LossyCast,
+                format!("narrowing cast `{src} as {target}` can truncate silently (use try_from or a checked helper)"),
+            );
+        }
+    }
+}
+
+/// Bare `+`/`*` (including `+=`/`*=`) where an operand identifier looks
+/// like a packet/rank index (`seq`, `rank`, `idx`, `index`, `pivot` in
+/// its last path segment): overflow on these walks off a generation or
+/// a matrix row, so hot-path code must use `wrapping_*`/`checked_*` or
+/// carry a justification allow.
+fn check_unchecked_arith(code: &str, emit: &mut impl FnMut(Rule, String)) {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'+' && b != b'*' {
+            continue;
+        }
+        // Binary use needs an operand expression ending just before the
+        // operator; prefix `*deref`, `&*`, `+` in bounds etc. do not have
+        // one. `**`/`+=`-second-char positions are skipped the same way.
+        let Some(pb) = prev_nonws(bytes, i) else {
+            continue;
+        };
+        if !(is_ident_byte(bytes[pb]) || bytes[pb] == b')' || bytes[pb] == b']') {
+            continue;
+        }
+        let mut j = i + 1;
+        if bytes.get(j) == Some(&b'=') {
+            j += 1; // compound assignment `+=` / `*=`
+        }
+        let lhs = token_before(code, i);
+        let rhs = token_after(code, j);
+        let offender = if is_index_like(&lhs) {
+            Some(lhs)
+        } else if is_index_like(&rhs) {
+            Some(rhs)
+        } else {
+            None
+        };
+        if let Some(name) = offender {
+            let op = if bytes.get(i + 1) == Some(&b'=') {
+                format!("{}=", b as char)
+            } else {
+                (b as char).to_string()
+            };
+            emit(
+                Rule::UncheckedArith,
+                format!(
+                    "bare `{op}` on index-like value `{name}` in hot path (use wrapping_*/checked_*)"
+                ),
+            );
+        }
+    }
+}
+
+/// `true` if the token's last `.`-segment names a sequence/rank/index.
+fn is_index_like(token: &str) -> bool {
+    let last = token
+        .rsplit('.')
+        .next()
+        .unwrap_or(token)
+        .to_ascii_lowercase();
+    ["seq", "rank", "idx", "index", "pivot"]
+        .iter()
+        .any(|k| last.contains(k))
+}
+
+/// Index of the previous non-whitespace byte, if any.
+fn prev_nonws(bytes: &[u8], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| !bytes[j].is_ascii_whitespace())
+}
+
+/// Every `Ordering::` choice in the sanctioned unsafe surface must carry
+/// an `// ordering:` justification on the same line or within the three
+/// raw lines above (mirroring the SAFETY-comment rule for `unsafe`).
+fn check_atomics(file: &CleanFile, idx: usize, emit: &mut impl FnMut(Rule, String)) {
+    let code = &file.lines[idx].code;
+    for pos in find_all(code, "Ordering::") {
+        if !ident_boundary_before(code, pos) {
+            continue;
+        }
+        let documented = (idx.saturating_sub(3)..=idx).any(|j| {
+            file.lines
+                .get(j)
+                .is_some_and(|l| l.raw.contains("ordering:"))
+        });
+        if !documented {
+            emit(
+                Rule::AtomicsAudit,
+                "atomic `Ordering::` choice without an `// ordering:` justification".to_owned(),
+            );
+        }
+    }
+}
+
+/// `.clone()`/`.to_vec()` on a loop-body line: a per-iteration heap copy
+/// on a hot path.
+fn check_clone_in_loop(code: &str, in_loop: bool, emit: &mut impl FnMut(Rule, String)) {
+    if !in_loop {
+        return;
+    }
+    for pat in [".clone()", ".to_vec()"] {
+        for _pos in find_all(code, pat) {
+            emit(
+                Rule::CloneInHotLoop,
+                format!("`{pat}` inside a loop on a hot path (hoist or borrow instead)"),
+            );
+        }
+    }
+}
+
 /// Crate-root audit: a crate root file must carry `#![forbid(unsafe_code)]`,
 /// or a SAFETY-commented `#![allow(unsafe_code)]` / `#![deny(unsafe_code)]`.
 /// The deny form is the counting-allocator pattern: unsafe denied
@@ -259,52 +465,92 @@ pub fn audit_crate_root(rel_path: &str, source: &str, table: &RuleTable) -> Opti
 }
 
 // ---------------------------------------------------------------------------
-// Test-region detection
+// Region detection (cfg(test), loop bodies)
 // ---------------------------------------------------------------------------
 
 #[derive(Clone, Copy, PartialEq)]
-enum TestScan {
+enum RegionScan {
     Normal,
-    /// Saw `#[cfg(test)]`, waiting for the opening brace of the item.
+    /// Saw the trigger, waiting for the opening brace of the item.
     Seeking,
-    /// Inside the braced test item at the given depth.
+    /// Inside the braced region at the given depth.
     Inside(u32),
 }
 
 /// Marks lines belonging to `#[cfg(test)]` items (modules or functions).
-fn test_line_mask(file: &CleanFile) -> Vec<bool> {
+pub fn test_line_mask(file: &CleanFile) -> Vec<bool> {
+    region_mask(file, |code| {
+        code.find("#[cfg(test)]")
+            .or_else(|| code.find("#[cfg(all(test"))
+    })
+}
+
+/// Marks lines inside `for`/`while`/`loop` bodies (including the header
+/// line). Nested loops extend nothing — the outermost region already
+/// covers them.
+pub(crate) fn loop_line_mask(file: &CleanFile) -> Vec<bool> {
+    region_mask(file, |code| {
+        ["for", "while", "loop"]
+            .iter()
+            .filter_map(|kw| find_keyword(code, kw))
+            .filter(|&p| !non_loop_for(code, p))
+            .min()
+    })
+}
+
+/// `true` when the `for` keyword at `pos` is not a loop: the `for` of an
+/// `impl Trait for Type` header, or an HRTB `for<'a>`.
+fn non_loop_for(code: &str, pos: usize) -> bool {
+    if !code[pos..].starts_with("for") {
+        return false;
+    }
+    if code[pos + 3..].trim_start().starts_with('<') {
+        return true; // for<'a> bound
+    }
+    ["impl", "trait"]
+        .iter()
+        .any(|kw| find_keyword(code, kw).is_some_and(|k| k < pos))
+}
+
+/// Position of `kw` as a standalone keyword token in `code`.
+fn find_keyword(code: &str, kw: &str) -> Option<usize> {
+    find_all(code, kw)
+        .into_iter()
+        .find(|&p| ident_boundary_before(code, p) && ident_boundary_after(code, p + kw.len()))
+}
+
+/// Shared brace-tracking region scanner: `trigger` returns the column at
+/// which a region-opening construct starts on a line.
+fn region_mask(file: &CleanFile, trigger: impl Fn(&str) -> Option<usize>) -> Vec<bool> {
     let mut mask = vec![false; file.lines.len()];
-    let mut state = TestScan::Normal;
+    let mut state = RegionScan::Normal;
     for (idx, line) in file.lines.iter().enumerate() {
         let code = line.code.as_str();
         let mut start = 0usize;
-        if state == TestScan::Normal {
-            if let Some(p) = code
-                .find("#[cfg(test)]")
-                .or_else(|| code.find("#[cfg(all(test"))
-            {
-                state = TestScan::Seeking;
+        if state == RegionScan::Normal {
+            if let Some(p) = trigger(code) {
+                state = RegionScan::Seeking;
                 start = p;
             }
         }
-        if state == TestScan::Normal {
+        if state == RegionScan::Normal {
             continue;
         }
         mask[idx] = true;
         for c in code[start..].chars() {
             match (state, c) {
-                (TestScan::Seeking, '{') => state = TestScan::Inside(1),
-                (TestScan::Seeking, ';') => {
-                    // `#[cfg(test)] use ...;` — no braced region follows.
-                    state = TestScan::Normal;
+                (RegionScan::Seeking, '{') => state = RegionScan::Inside(1),
+                (RegionScan::Seeking, ';') => {
+                    // e.g. `#[cfg(test)] use ...;` — no braced region follows.
+                    state = RegionScan::Normal;
                     break;
                 }
-                (TestScan::Inside(d), '{') => state = TestScan::Inside(d + 1),
-                (TestScan::Inside(1), '}') => {
-                    state = TestScan::Normal;
+                (RegionScan::Inside(d), '{') => state = RegionScan::Inside(d + 1),
+                (RegionScan::Inside(1), '}') => {
+                    state = RegionScan::Normal;
                     break;
                 }
-                (TestScan::Inside(d), '}') => state = TestScan::Inside(d - 1),
+                (RegionScan::Inside(d), '}') => state = RegionScan::Inside(d - 1),
                 _ => {}
             }
         }
@@ -486,6 +732,58 @@ fn is_float_literal(token: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// Phase B: propagation and assembly
+// ---------------------------------------------------------------------------
+
+/// Builds the call graph over the sim-crate files, propagates hot-path
+/// obligations from [`HOT_ENTRIES`], and assembles the final finding
+/// list: all local findings (chain-annotated when they sit inside a hot
+/// function) plus the potential findings proven hot.
+pub fn assemble_findings(analyses: &[(String, FileAnalysis)]) -> Vec<Finding> {
+    let sim_files: Vec<(String, FileSymbols)> = analyses
+        .iter()
+        .filter(|(path, _)| is_sim_crate(path))
+        .map(|(path, a)| (path.clone(), a.symbols.clone()))
+        .collect();
+    let graph = callgraph::build(&sim_files);
+    let hot = callgraph::hot_spans(&graph, &HOT_ENTRIES);
+
+    let mut findings = Vec::new();
+    for (path, analysis) in analyses {
+        let spans = hot.get(path);
+        // The innermost hot function covering a line, if any.
+        let chain_for = |line: usize| -> Option<&str> {
+            spans?
+                .iter()
+                .filter(|s| s.start <= line && line <= s.end)
+                .max_by_key(|s| s.start)
+                .map(|s| s.chain.as_str())
+        };
+        for f in &analysis.local {
+            let mut f = f.clone();
+            if Rule::by_name(&f.rule).is_some_and(Rule::propagates) {
+                if let Some(chain) = chain_for(f.line) {
+                    f.chain = Some(chain.to_owned());
+                }
+            }
+            findings.push(f);
+        }
+        for f in &analysis.potential {
+            if let Some(chain) = chain_for(f.line) {
+                let mut f = f.clone();
+                f.chain = Some(chain.to_owned());
+                findings.push(f);
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+    });
+    findings.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.rule == b.rule);
+    findings
+}
+
+// ---------------------------------------------------------------------------
 // Workspace walking
 // ---------------------------------------------------------------------------
 
@@ -516,12 +814,34 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 ///
 /// Returns an I/O error if the tree cannot be read.
 pub fn check_workspace(root: &Path, table: &RuleTable) -> io::Result<Report> {
+    check_workspace_cached(root, table, None)
+}
+
+/// [`check_workspace`] with an optional incremental cache file. Phase-A
+/// results for files whose content hash matches the cache are replayed
+/// without re-analysis; phase B always runs. The cache is rewritten
+/// after the walk. Hit/miss counts land in the report.
+///
+/// # Errors
+///
+/// Returns an I/O error if the tree cannot be read. Cache *read* errors
+/// degrade to a cold run; cache *write* errors are reported but do not
+/// fail the check.
+pub fn check_workspace_cached(
+    root: &Path,
+    table: &RuleTable,
+    cache_path: Option<&Path>,
+) -> io::Result<Report> {
     let crates = root.join("crates");
     let mut files = Vec::new();
     collect_rust_files(&crates, &mut files)?;
     files.sort();
 
+    let old_cache = cache_path.and_then(cache::load);
+    let mut new_cache = CacheFile::new();
+
     let mut report = Report::default();
+    let mut analyses: Vec<(String, FileAnalysis)> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -529,15 +849,44 @@ pub fn check_workspace(root: &Path, table: &RuleTable) -> io::Result<Report> {
             .to_string_lossy()
             .replace('\\', "/");
         let source = std::fs::read_to_string(path)?;
-        report.findings.extend(analyze_source(&rel, &source, table));
+        let hash = cache::fnv1a64(source.as_bytes());
+        let analysis = match old_cache.as_ref().and_then(|c| c.lookup(&rel, hash)) {
+            Some(entry) => {
+                report.cache_hits += 1;
+                FileAnalysis {
+                    symbols: entry.symbols.clone(),
+                    local: entry.local.clone(),
+                    potential: entry.potential.clone(),
+                }
+            }
+            None => {
+                report.cache_misses += 1;
+                analyze_file(&rel, &source, table)
+            }
+        };
+        new_cache.entries.push(CacheEntry {
+            path: rel.clone(),
+            hash,
+            symbols: analysis.symbols.clone(),
+            local: analysis.local.clone(),
+            potential: analysis.potential.clone(),
+        });
         if rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") {
             report
                 .findings
                 .extend(audit_crate_root(&rel, &source, table));
         }
+        analyses.push((rel, analysis));
         report.files_checked += 1;
     }
+    report.findings.extend(assemble_findings(&analyses));
     report.finish();
+
+    if let Some(cp) = cache_path {
+        if let Err(e) = cache::save(cp, &new_cache) {
+            eprintln!("omnc-lint: writing cache {}: {e}", cp.display());
+        }
+    }
     Ok(report)
 }
 
@@ -710,5 +1059,137 @@ mod tests {
     fn strings_and_comments_do_not_trip_rules() {
         let src = "fn f() { log(\"Instant::now\"); } // Instant::now in comments is fine\n";
         assert!(lint(SIM_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_fires_in_wire_and_kernel_code() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }\n";
+        let fs = lint("crates/rlnc/src/packet.rs", src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "lossy-cast");
+        assert_eq!(fs[0].severity, Severity::Deny);
+        // Widening/float casts are fine; out-of-scope files are silent.
+        assert!(lint(
+            "crates/rlnc/src/packet.rs",
+            "fn g(n: u8) -> u64 { n as u64 }\n"
+        )
+        .is_empty());
+        assert!(lint("crates/omnc-opt/src/flow.rs", src).is_empty());
+        // The escape hatch.
+        let allowed = "fn f(n: usize) -> u32 { n as u32 } // lint: allow(lossy-cast)\n";
+        assert!(lint("crates/rlnc/src/packet.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn unchecked_arith_fires_on_index_like_operands() {
+        let src = "fn f(&mut self) { self.next_seq += 1; }\n";
+        let fs = lint("crates/drift/src/event.rs", src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "unchecked-arith");
+        // Multiplication on a rank/pivot value.
+        let mul = "fn g(&self, row: &Row) -> usize { row.pivot * self.block }\n";
+        assert_eq!(lint("crates/rlnc/src/decoder.rs", mul).len(), 1);
+        // Wrapping arithmetic and non-index operands are fine.
+        let ok =
+            "fn h(&mut self) { self.next_seq = self.next_seq.wrapping_add(1); let y = a + b; }\n";
+        assert!(lint("crates/drift/src/event.rs", ok).is_empty());
+        // Generic bounds (`Clone + 'static`) don't trip it.
+        let bounds = "fn b<M: Clone + 'static>(m: M) {}\n";
+        assert!(lint("crates/drift/src/event.rs", bounds).is_empty());
+    }
+
+    #[test]
+    fn atomics_audit_requires_ordering_comment() {
+        let path = "crates/omnc-telemetry/src/alloc.rs";
+        let bare = "fn f(c: &AtomicUsize) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let fs = lint(path, bare);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "atomics-audit");
+        let documented = "// ordering: independent counter, no synchronization needed.\nfn f(c: &AtomicUsize) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(lint(path, documented).is_empty());
+        // Only the sanctioned unsafe surface is audited.
+        assert!(lint("crates/omnc-telemetry/src/sink.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn clone_in_hot_loop_fires_inside_loops_only() {
+        let in_loop = "fn f(rows: &[Vec<u8>]) {\n    for r in rows {\n        consume(r.clone());\n    }\n}\n";
+        let fs = lint(HOT_PATH, in_loop);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "clone-in-hot-loop");
+        let outside = "fn f(r: &Vec<u8>) { consume(r.clone()); }\n";
+        assert!(lint(HOT_PATH, outside).is_empty());
+        let allowed = "fn f(rows: &[Vec<u8>]) {\n    for r in rows {\n        consume(r.clone()); // lint: allow(clone-in-hot-loop)\n    }\n}\n";
+        assert!(lint(HOT_PATH, allowed).is_empty());
+    }
+
+    #[test]
+    fn loop_mask_covers_while_and_loop_bodies() {
+        let file = clean("fn f() {\n    let x = 1;\n    while x < 2 {\n        step();\n    }\n    loop {\n        break;\n    }\n}\n");
+        let mask = loop_line_mask(&file);
+        assert!(!mask[0] && !mask[1], "{mask:?}");
+        assert!(mask[2] && mask[3] && mask[4], "{mask:?}");
+        assert!(mask[5] && mask[6] && mask[7], "{mask:?}");
+        assert!(!mask[8], "{mask:?}");
+    }
+
+    #[test]
+    fn impl_for_headers_and_hrtbs_are_not_loops() {
+        let src = "impl Behavior<Msg> for Forwarder {\n    fn on_receive(&mut self, msg: &Msg) {\n        self.forward(msg.clone());\n    }\n}\nfn call<F: for<'a> Fn(&'a u8)>(f: F, v: &Vec<u8>) {\n    f(&v.clone()[0]);\n}\n";
+        let mask = loop_line_mask(&clean(src));
+        assert!(mask.iter().all(|m| !m), "{mask:?}");
+        let fs = lint(HOT_PATH, src);
+        assert!(fs.iter().all(|f| f.rule != "clone-in-hot-loop"), "{fs:#?}");
+    }
+
+    #[test]
+    fn potential_findings_released_only_when_hot() {
+        // `algorithm.rs` is NOT in HOT_PATH_MODULES, so the unwrap is
+        // invisible to the local pass — but RateControl::iterate is a
+        // registered entry, so propagation releases it with a chain.
+        let src = "struct RateControl;\nimpl RateControl {\n    fn iterate(&mut self) { self.step() }\n    fn step(&mut self) { self.x.unwrap(); }\n}\n";
+        let table = RuleTable::default();
+        let analysis = analyze_file("crates/omnc-opt/src/algorithm.rs", src, &table);
+        assert!(analysis.local.is_empty(), "{:#?}", analysis.local);
+        assert_eq!(analysis.potential.len(), 1, "{:#?}", analysis.potential);
+
+        let findings =
+            assemble_findings(&[("crates/omnc-opt/src/algorithm.rs".to_owned(), analysis)]);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].rule, "unwrap");
+        assert_eq!(
+            findings[0].chain.as_deref(),
+            Some("RateControl::iterate → RateControl::step")
+        );
+
+        // The same code under a crate with no hot entries stays silent.
+        let cold = analyze_file("crates/net-topo/src/algorithm.rs", src, &table);
+        let cold_findings =
+            assemble_findings(&[("crates/net-topo/src/algorithm.rs".to_owned(), cold)]);
+        assert!(cold_findings.is_empty(), "{cold_findings:#?}");
+    }
+
+    #[test]
+    fn local_findings_in_hot_functions_gain_chains() {
+        // gf256 is statically hot (path scope) AND reachable from the
+        // rlnc encoder — the finding keeps its local origin but gains
+        // the blame chain.
+        let gf = "pub fn lead(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let enc = "use gf256::slice::lead;\nstruct Encoder;\nimpl Encoder {\n    fn emit(&self) { lead(None); }\n}\n";
+        let table = RuleTable::default();
+        let analyses = vec![
+            (
+                "crates/gf256/src/slice.rs".to_owned(),
+                analyze_file("crates/gf256/src/slice.rs", gf, &table),
+            ),
+            (
+                "crates/rlnc/src/encoder.rs".to_owned(),
+                analyze_file("crates/rlnc/src/encoder.rs", enc, &table),
+            ),
+        ];
+        let findings = assemble_findings(&analyses);
+        let unwrap = findings.iter().find(|f| f.rule == "unwrap").unwrap();
+        assert_eq!(unwrap.chain.as_deref(), Some("Encoder::emit → lead"));
+        assert!(unwrap.render().contains("hot path: Encoder::emit → lead"));
     }
 }

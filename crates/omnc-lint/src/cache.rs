@@ -1,0 +1,145 @@
+//! Incremental lint cache (`--cache PATH`).
+//!
+//! Per-file analysis (lexing, symbol extraction, local and potential
+//! findings) is pure in the file's content, so it is cached keyed on an
+//! FNV-1a content hash plus [`crate::rules::RULES_VERSION`]. A warm run
+//! skips lexing/analysis for unchanged files and replays their cached
+//! `FileAnalysis`; the cross-file phase (call graph, propagation, blame
+//! chains) is always recomputed from the cached symbols, so warm-run
+//! findings are byte-identical to a cold run by construction.
+//!
+//! The cache file is JSON via the vendored serde. Any read error, parse
+//! error, or version mismatch silently degrades to a cold run — the
+//! cache is an accelerator, never a correctness input.
+
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::findings::Finding;
+use crate::rules::RULES_VERSION;
+use crate::symbols::FileSymbols;
+
+/// Cached per-file analysis: everything `analyze_file` produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Workspace-relative path.
+    pub path: String,
+    /// FNV-1a 64 hash of the file contents.
+    pub hash: u64,
+    /// Extracted symbols (feeds the always-recomputed call graph).
+    pub symbols: FileSymbols,
+    /// Findings from the static path scopes.
+    pub local: Vec<Finding>,
+    /// Propagatable-rule findings awaiting a hot-span match.
+    pub potential: Vec<Finding>,
+}
+
+/// The on-disk cache: a version stamp plus per-file entries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CacheFile {
+    /// Must equal [`RULES_VERSION`] to be usable.
+    pub version: u32,
+    /// Entries sorted by path.
+    pub entries: Vec<CacheEntry>,
+}
+
+impl CacheFile {
+    /// An empty cache stamped with the current rule-table version.
+    pub fn new() -> Self {
+        CacheFile {
+            version: RULES_VERSION,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The entry for `path` if its content hash matches.
+    pub fn lookup(&self, path: &str, hash: u64) -> Option<&CacheEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.path == path && e.hash == hash)
+    }
+}
+
+/// FNV-1a 64-bit content hash — stable across platforms and runs, unlike
+/// `DefaultHasher` (which is seeded per process).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Loads a cache file; `None` on any error or on a rules-version
+/// mismatch (the caller then runs cold).
+pub fn load(path: &Path) -> Option<CacheFile> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let cache: CacheFile = serde_json::from_str(&text).ok()?;
+    (cache.version == RULES_VERSION).then_some(cache)
+}
+
+/// Saves the cache, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn save(path: &Path, cache: &CacheFile) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let text = serde_json::to_string(cache)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_content_sensitive() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"fn main() {}"), fnv1a64(b"fn main() { }"));
+    }
+
+    #[test]
+    fn round_trip_and_version_gate() {
+        let dir = std::env::temp_dir().join(format!("omnc-lint-cache-test-{}", std::process::id()));
+        let path = dir.join("lint-cache.json");
+        let mut cache = CacheFile::new();
+        cache.entries.push(CacheEntry {
+            path: "crates/x/src/lib.rs".into(),
+            hash: fnv1a64(b"fn f() {}"),
+            symbols: FileSymbols::default(),
+            local: Vec::new(),
+            potential: Vec::new(),
+        });
+        save(&path, &cache).unwrap();
+        let back = load(&path).expect("reload");
+        assert_eq!(back.entries, cache.entries);
+        assert!(back
+            .lookup("crates/x/src/lib.rs", fnv1a64(b"fn f() {}"))
+            .is_some());
+        assert!(back
+            .lookup("crates/x/src/lib.rs", fnv1a64(b"changed"))
+            .is_none());
+
+        // A version bump invalidates the whole file.
+        let mut stale = cache.clone();
+        stale.version = RULES_VERSION + 1;
+        save(&path, &stale).unwrap();
+        assert!(load(&path).is_none());
+
+        // Garbage degrades to a cold run, not an error.
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(load(&path).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

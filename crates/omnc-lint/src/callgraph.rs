@@ -1,0 +1,536 @@
+//! Approximate cross-crate call graph and hot-path obligation propagation.
+//!
+//! Built from `crate::symbols` output over the simulation crates, the
+//! graph resolves each call site to candidate definitions by name, with
+//! three precision aids and a deliberate bias toward *over*-approximation
+//! (a spurious edge can only make a finding, never hide one):
+//!
+//! * **Method calls** (`x.emit(...)`) resolve to every `impl`'d function
+//!   of that name in the universe — this is how trait-object dispatch
+//!   (e.g. `Behavior::on_packet`) is covered without type inference.
+//!   Ubiquitous std method names (`len`, `clone`, `iter`, ...) are
+//!   excluded to keep the graph sane.
+//! * **Qualified calls** (`gf256::slice::dot(...)`, `Kernel::scalar(...)`,
+//!   `Self::helper(...)`) resolve through the path: an uppercase final
+//!   qualifier matches `impl` owners, a lowercase one matches crates and
+//!   file modules, `Self`/`crate`/`self`/`super` anchor to the caller.
+//! * **Bare calls** (`helper(...)`) resolve through the file's `use`
+//!   imports first, then same-file free functions (shadowing wins), then
+//!   same-crate free functions — never blindly across crates.
+//!
+//! `#[cfg(test)]` functions are excluded from the universe entirely, so
+//! test-only callees never acquire hot-path obligations.
+//!
+//! [`hot_spans`] then runs a BFS from the registered entry points
+//! ([`crate::rules::HOT_ENTRIES`]) and returns, per file, the line spans
+//! of every reachable function together with its blame chain
+//! (`entry → … → offender`) for rendering in findings.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::rules::HotEntry;
+use crate::symbols::FileSymbols;
+
+/// One function in the graph universe.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Function name.
+    pub name: String,
+    /// `impl` owner type, if any.
+    pub owner: Option<String>,
+    /// `Owner::name` or `name`, for chains.
+    pub label: String,
+    /// 1-based body span.
+    pub start: usize,
+    /// 1-based body span end.
+    pub end: usize,
+}
+
+/// The resolved call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Nodes sorted by `(path, start)` — BFS order is deterministic.
+    pub nodes: Vec<Node>,
+    /// Adjacency: `edges[i]` = sorted, deduped callee node indices.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// A hot (entry-reachable) function's span in one file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotSpan {
+    /// 1-based first line.
+    pub start: usize,
+    /// 1-based last line.
+    pub end: usize,
+    /// Rendered blame chain `entry → … → this fn`.
+    pub chain: String,
+}
+
+/// Method names so ubiquitous on std types that resolving a bare `.name(`
+/// against every same-named workspace function would wire the graph into
+/// a near-clique. Workspace-meaningful names (`emit`, `absorb`, `pivot`,
+/// `run_until`, ...) are deliberately absent.
+const COMMON_METHODS: [&str; 96] = [
+    "clone",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "collect",
+    "map",
+    "filter",
+    "filter_map",
+    "fold",
+    "any",
+    "all",
+    "find",
+    "position",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "rev",
+    "zip",
+    "enumerate",
+    "take",
+    "skip",
+    "last",
+    "extend",
+    "clear",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "as_bytes",
+    "as_str",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect",
+    "ok",
+    "err",
+    "ok_or",
+    "and_then",
+    "or_else",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "cmp",
+    "partial_cmp",
+    "eq",
+    "hash",
+    "fmt",
+    "write",
+    "write_all",
+    "flush",
+    "read",
+    "push_str",
+    "starts_with",
+    "ends_with",
+    "split",
+    "trim",
+    "parse",
+    "chars",
+    "join",
+    "replace",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "binary_search",
+    "copy_from_slice",
+    "fill",
+    "resize",
+    "reserve",
+    "truncate",
+    "drain",
+    "retain",
+    "swap",
+    "split_at_mut",
+    "first",
+    "windows",
+    "chunks",
+    "entry",
+    "or_insert",
+    "map_err",
+];
+
+/// Builds the graph from `(workspace-relative path, symbols)` pairs.
+pub fn build(files: &[(String, FileSymbols)]) -> Graph {
+    // Universe: every non-test, non-decl fn, sorted for determinism.
+    let mut nodes = Vec::new();
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut order: Vec<(usize, usize)> = Vec::new();
+    for (fi, (_, syms)) in files.iter().enumerate() {
+        for (gi, f) in syms.fns.iter().enumerate() {
+            if f.is_test || f.decl_only {
+                continue;
+            }
+            order.push((fi, gi));
+        }
+    }
+    order.sort_by(|a, b| {
+        let ka = (&files[a.0].0, files[a.0].1.fns[a.1].start);
+        let kb = (&files[b.0].0, files[b.0].1.fns[b.1].start);
+        ka.cmp(&kb)
+    });
+    for &(fi, gi) in &order {
+        let (path, syms) = &files[fi];
+        let f = &syms.fns[gi];
+        node_of.insert((fi, gi), nodes.len());
+        nodes.push(Node {
+            path: path.clone(),
+            name: f.name.clone(),
+            owner: f.owner.clone(),
+            label: f.label(),
+            start: f.start,
+            end: f.end,
+        });
+    }
+
+    // Name indices over the universe.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (n, node) in nodes.iter().enumerate() {
+        by_name.entry(node.name.as_str()).or_default().push(n);
+    }
+
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for &(fi, gi) in &order {
+        let (path, syms) = &files[fi];
+        let caller = node_of[&(fi, gi)];
+        let caller_crate = crate_of(path);
+        let caller_owner = nodes[caller].owner.clone();
+        for site in &syms.fns[gi].calls {
+            let empty = Vec::new();
+            let named = by_name.get(site.callee.as_str()).unwrap_or(&empty);
+            let mut targets: Vec<usize> = Vec::new();
+            if site.method {
+                if COMMON_METHODS.contains(&site.callee.as_str()) {
+                    continue;
+                }
+                targets.extend(named.iter().filter(|&&n| nodes[n].owner.is_some()));
+            } else if let Some(q) = &site.qualifier {
+                let segs: Vec<&str> = q.split("::").collect();
+                let last = *segs.last().unwrap_or(&"");
+                let first = *segs.first().unwrap_or(&"");
+                if last == "Self" {
+                    targets.extend(named.iter().filter(|&&n| {
+                        nodes[n].owner == caller_owner && crate_of(&nodes[n].path) == caller_crate
+                    }));
+                } else if last.chars().next().is_some_and(char::is_uppercase) {
+                    // `Type::assoc_fn(...)` — owner match, any crate.
+                    targets.extend(
+                        named
+                            .iter()
+                            .filter(|&&n| nodes[n].owner.as_deref() == Some(last)),
+                    );
+                } else {
+                    // Module-qualified free call.
+                    let target_crate = match first {
+                        "crate" | "self" | "super" => caller_crate.clone(),
+                        other => {
+                            let norm = other.replace('_', "-");
+                            if files.iter().any(|(p, _)| crate_of(p) == norm) {
+                                norm
+                            } else {
+                                caller_crate.clone()
+                            }
+                        }
+                    };
+                    let in_crate: Vec<usize> = named
+                        .iter()
+                        .copied()
+                        .filter(|&n| {
+                            nodes[n].owner.is_none() && crate_of(&nodes[n].path) == target_crate
+                        })
+                        .collect();
+                    // Prefer definitions in the module the path names.
+                    let module_hit: Vec<usize> = in_crate
+                        .iter()
+                        .copied()
+                        .filter(|&n| path_has_module(&nodes[n].path, last))
+                        .collect();
+                    targets.extend(if module_hit.is_empty() {
+                        in_crate
+                    } else {
+                        module_hit
+                    });
+                }
+            } else {
+                // Bare call: imports, then same-file (shadowing wins),
+                // then same-crate free fns.
+                let imported_crate = syms
+                    .imports
+                    .iter()
+                    .find(|i| i.name == site.callee)
+                    .map(|i| match i.path.split("::").next().unwrap_or("") {
+                        "crate" | "self" | "super" => caller_crate.clone(),
+                        other => other.replace('_', "-"),
+                    });
+                if let Some(tc) = imported_crate {
+                    targets.extend(
+                        named.iter().filter(|&&n| {
+                            nodes[n].owner.is_none() && crate_of(&nodes[n].path) == tc
+                        }),
+                    );
+                } else {
+                    let same_file: Vec<usize> = named
+                        .iter()
+                        .copied()
+                        .filter(|&n| nodes[n].owner.is_none() && nodes[n].path == *path)
+                        .collect();
+                    if same_file.is_empty() {
+                        targets.extend(named.iter().filter(|&&n| {
+                            nodes[n].owner.is_none() && crate_of(&nodes[n].path) == caller_crate
+                        }));
+                    } else {
+                        targets.extend(same_file);
+                    }
+                }
+            }
+            edges[caller].extend(targets);
+        }
+        edges[caller].sort_unstable();
+        edges[caller].dedup();
+    }
+
+    Graph { nodes, edges }
+}
+
+/// The crate directory name of a workspace-relative path
+/// (`crates/gf256/src/slice.rs` → `gf256`).
+fn crate_of(path: &str) -> String {
+    path.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+        .to_owned()
+}
+
+/// `true` if `path` names the module `m` as a file or directory.
+fn path_has_module(path: &str, m: &str) -> bool {
+    path.ends_with(&format!("/{m}.rs")) || path.contains(&format!("/{m}/"))
+}
+
+/// Matches `HOT_ENTRIES` against the universe: the node indices that seed
+/// propagation, in registry order.
+pub fn entry_nodes(graph: &Graph, entries: &[HotEntry]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for e in entries {
+        for (n, node) in graph.nodes.iter().enumerate() {
+            if node.path.starts_with(e.path_prefix)
+                && node.name == e.name
+                && node.owner.as_deref() == e.owner
+                && !out.contains(&n)
+            {
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+/// BFS from the entry points; returns per-file hot spans with rendered
+/// blame chains. BFS order (and therefore every chain) is deterministic:
+/// nodes are visited in sorted-index order from a seed list in registry
+/// order, and each node keeps its first-discovered parent.
+pub fn hot_spans(graph: &Graph, entries: &[HotEntry]) -> BTreeMap<String, Vec<HotSpan>> {
+    let seeds = entry_nodes(graph, entries);
+    let mut parent: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+    let mut queue = VecDeque::new();
+    for s in &seeds {
+        if parent[*s].is_none() {
+            parent[*s] = Some(*s);
+            queue.push_back(*s);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for &m in &graph.edges[n] {
+            if parent[m].is_none() {
+                parent[m] = Some(n);
+                queue.push_back(m);
+            }
+        }
+    }
+
+    let mut out: BTreeMap<String, Vec<HotSpan>> = BTreeMap::new();
+    for (n, node) in graph.nodes.iter().enumerate() {
+        if parent[n].is_none() {
+            continue;
+        }
+        // Render entry → … → n.
+        let mut labels = vec![node.label.clone()];
+        let mut cur = n;
+        while let Some(p) = parent[cur] {
+            if p == cur {
+                break;
+            }
+            labels.push(graph.nodes[p].label.clone());
+            cur = p;
+        }
+        labels.reverse();
+        out.entry(node.path.clone()).or_default().push(HotSpan {
+            start: node.start,
+            end: node.end,
+            chain: labels.join(" → "),
+        });
+    }
+    for spans in out.values_mut() {
+        spans.sort_by_key(|s| (s.start, s.end));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::test_line_mask;
+    use crate::lexer::clean;
+    use crate::rules::HotEntry;
+    use crate::symbols::extract;
+
+    fn file(path: &str, src: &str) -> (String, FileSymbols) {
+        let f = clean(src);
+        let mask = test_line_mask(&f);
+        (path.to_owned(), extract(&f, &mask))
+    }
+
+    const ENTRY: HotEntry = HotEntry {
+        path_prefix: "crates/rlnc/src/encoder.rs",
+        owner: Some("Encoder"),
+        name: "emit",
+    };
+
+    #[test]
+    fn cross_crate_propagation_with_chain() {
+        let files = vec![
+            file(
+                "crates/rlnc/src/encoder.rs",
+                "use gf256::slice::lead;\nstruct Encoder;\nimpl Encoder {\n    fn emit(&self) { lead(); }\n}\n",
+            ),
+            file(
+                "crates/gf256/src/slice.rs",
+                "pub fn lead() { helper(); }\nfn helper() {}\nfn unrelated() {}\n",
+            ),
+        ];
+        let g = build(&files);
+        let hot = hot_spans(&g, &[ENTRY]);
+        let gf = &hot["crates/gf256/src/slice.rs"];
+        assert_eq!(gf.len(), 2, "{hot:#?}");
+        assert_eq!(gf[0].chain, "Encoder::emit → lead");
+        assert_eq!(gf[1].chain, "Encoder::emit → lead → helper");
+        // `unrelated` is not hot.
+        assert!(gf.iter().all(|s| !s.chain.contains("unrelated")));
+    }
+
+    #[test]
+    fn trait_method_calls_reach_all_impls() {
+        let files = vec![
+            file(
+                "crates/drift/src/sim.rs",
+                "struct Simulator;\nimpl Simulator {\n    fn run_until(&self, b: &mut dyn Behavior) { b.on_packet(); }\n}\n",
+            ),
+            file(
+                "crates/omnc/src/proto.rs",
+                "pub trait Behavior {\n    fn on_packet(&mut self);\n}\nstruct Flood;\nimpl Behavior for Flood {\n    fn on_packet(&mut self) { self.relay(); }\n}\nimpl Flood {\n    fn relay(&mut self) {}\n}\n",
+            ),
+        ];
+        let g = build(&files);
+        let entry = HotEntry {
+            path_prefix: "crates/drift/src/sim.rs",
+            owner: Some("Simulator"),
+            name: "run_until",
+        };
+        let hot = hot_spans(&g, &[entry]);
+        let proto = &hot["crates/omnc/src/proto.rs"];
+        let chains: Vec<&str> = proto.iter().map(|s| s.chain.as_str()).collect();
+        assert!(
+            chains.contains(&"Simulator::run_until → Flood::on_packet"),
+            "{chains:?}"
+        );
+        assert!(
+            chains.contains(&"Simulator::run_until → Flood::on_packet → Flood::relay"),
+            "{chains:?}"
+        );
+    }
+
+    #[test]
+    fn shadowed_free_fns_resolve_to_same_file_not_union() {
+        let files = vec![
+            file(
+                "crates/rlnc/src/encoder.rs",
+                "struct Encoder;\nimpl Encoder {\n    fn emit(&self) { helper(); }\n}\nfn helper() { local_leaf(); }\nfn local_leaf() {}\n",
+            ),
+            file(
+                "crates/rlnc/src/other.rs",
+                "pub fn helper() { other_leaf(); }\nfn other_leaf() {}\n",
+            ),
+        ];
+        let g = build(&files);
+        let hot = hot_spans(&g, &[ENTRY]);
+        // The same-file helper shadows the sibling module's helper.
+        assert!(hot.contains_key("crates/rlnc/src/encoder.rs"), "{hot:#?}");
+        assert!(!hot.contains_key("crates/rlnc/src/other.rs"), "{hot:#?}");
+    }
+
+    #[test]
+    fn cfg_test_callees_are_excluded() {
+        let files = vec![file(
+            "crates/rlnc/src/encoder.rs",
+            "struct Encoder;\nimpl Encoder {\n    fn emit(&self) { probe(); }\n}\n#[cfg(test)]\nmod tests {\n    pub fn probe() { super::Encoder.emit(); }\n}\n",
+        )];
+        let g = build(&files);
+        assert!(
+            g.nodes.iter().all(|n| n.name != "probe"),
+            "test fns must not enter the universe"
+        );
+        let hot = hot_spans(&g, &[ENTRY]);
+        let spans = &hot["crates/rlnc/src/encoder.rs"];
+        assert_eq!(spans.len(), 1, "{spans:#?}");
+        assert_eq!(spans[0].chain, "Encoder::emit");
+    }
+
+    #[test]
+    fn common_std_methods_do_not_create_edges() {
+        let files = vec![
+            file(
+                "crates/rlnc/src/encoder.rs",
+                "struct Encoder;\nimpl Encoder {\n    fn emit(&self, v: &[u8]) { let _ = v.len(); }\n}\n",
+            ),
+            file(
+                "crates/net-topo/src/lib.rs",
+                "pub struct Graph;\nimpl Graph {\n    pub fn len(&self) -> usize { expensive(); 0 }\n}\nfn expensive() {}\n",
+            ),
+        ];
+        let g = build(&files);
+        let hot = hot_spans(&g, &[ENTRY]);
+        assert!(!hot.contains_key("crates/net-topo/src/lib.rs"), "{hot:#?}");
+    }
+
+    #[test]
+    fn entry_matching_requires_owner_and_path() {
+        let files = vec![file(
+            "crates/omnc/src/runner.rs",
+            "struct Encoder;\nimpl Encoder {\n    fn emit(&self) {}\n}\n",
+        )];
+        let g = build(&files);
+        // Same owner and name, wrong path prefix: not an entry.
+        assert!(entry_nodes(&g, &[ENTRY]).is_empty());
+    }
+}

@@ -3,28 +3,33 @@
 //! JSONL output reuses the `omnc-telemetry` sink conventions (one
 //! serde-serialized object per line via [`telemetry::EventSink`]) so
 //! findings can be post-processed with the same tooling as simulation
-//! traces.
+//! traces. Findings also serialize into the incremental lint cache
+//! (`crate::cache`), so they derive `Deserialize` as well.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use telemetry::EventSink;
 
 use crate::rules::{Rule, Severity};
 
 /// One rule violation at a source location.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Finding {
     /// Workspace-relative file path (`/`-separated).
     pub path: String,
     /// 1-based line number (0 for file-level findings).
     pub line: usize,
     /// The violated rule's stable name.
-    pub rule: &'static str,
+    pub rule: String,
     /// `warn` or `deny`.
     pub severity: Severity,
     /// Human-readable explanation.
     pub message: String,
     /// The offending source line, trimmed (empty for file-level findings).
     pub snippet: String,
+    /// For obligations inherited through the call graph: the blame chain
+    /// `entry → … → offender` that made this line hot-path code. `None`
+    /// for findings produced by the static path scopes.
+    pub chain: Option<String>,
 }
 
 impl Finding {
@@ -40,10 +45,11 @@ impl Finding {
         Finding {
             path: path.to_owned(),
             line,
-            rule: rule.name(),
+            rule: rule.name().to_owned(),
             severity,
             message,
             snippet: snippet.trim().to_owned(),
+            chain: None,
         }
     }
 
@@ -53,19 +59,25 @@ impl Finding {
         Finding {
             path: path.to_owned(),
             line: 0,
-            rule,
+            rule: rule.to_owned(),
             severity,
             message,
             snippet: String::new(),
+            chain: None,
         }
     }
 
-    /// `path:line: severity[rule] message` with the snippet indented below.
+    /// `path:line: severity[rule] message` with the snippet indented below
+    /// and, for propagated obligations, the blame chain.
     pub fn render(&self) -> String {
         let mut s = format!(
             "{}:{}: {}[{}] {}",
             self.path, self.line, self.severity, self.rule, self.message
         );
+        if let Some(chain) = &self.chain {
+            s.push_str("\n    | hot path: ");
+            s.push_str(chain);
+        }
         if !self.snippet.is_empty() {
             s.push_str("\n    | ");
             s.push_str(&self.snippet);
@@ -81,13 +93,17 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files analyzed.
     pub files_checked: usize,
+    /// Incremental-cache hits (files whose analysis was reused).
+    pub cache_hits: usize,
+    /// Incremental-cache misses (files analyzed from scratch).
+    pub cache_misses: usize,
 }
 
 impl Report {
     /// Sorts findings into the deterministic reporting order.
     pub fn finish(&mut self) {
         self.findings
-            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+            .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     }
 
     /// Count at `severity`.
@@ -181,5 +197,42 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&lines[0]).unwrap();
         assert_eq!(v.get("rule").and_then(|r| r.as_str()), Some("wall-clock"));
         assert_eq!(v.get("severity").and_then(|s| s.as_str()), Some("Deny"));
+    }
+
+    #[test]
+    fn finding_round_trips_through_serde_with_chain() {
+        let mut f = Finding::new(
+            "crates/x/src/lib.rs",
+            7,
+            Rule::Unwrap,
+            Severity::Deny,
+            "unchecked unwrap".into(),
+            "x.unwrap()",
+        );
+        f.chain = Some("Encoder::emit → helper".into());
+        let text = serde_json::to_string(&f).unwrap();
+        let back: Finding = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, f);
+
+        // A chain-free finding survives the round trip too.
+        let plain = Finding::new("a.rs", 1, Rule::Panic, Severity::Warn, "m".into(), "s");
+        let text = serde_json::to_string(&plain).unwrap();
+        let back: Finding = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, plain);
+    }
+
+    #[test]
+    fn chain_is_rendered() {
+        let mut f = Finding::new(
+            "crates/gf256/src/helper.rs",
+            3,
+            Rule::Unwrap,
+            Severity::Deny,
+            "unchecked unwrap in hot path".into(),
+            "x.unwrap()",
+        );
+        f.chain = Some("Encoder::emit → lead".into());
+        let text = f.render();
+        assert!(text.contains("hot path: Encoder::emit → lead"), "{text}");
     }
 }

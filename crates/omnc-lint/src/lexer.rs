@@ -241,20 +241,21 @@ fn prev_is_ident(chars: &[char], i: usize) -> bool {
     i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
 }
 
-/// If a raw/byte string literal starts at `i`, returns `(hash_count,
-/// chars_consumed_through_opening_quote)`.
+/// If a raw/raw-byte string literal (`r"…"`, `r#"…"#`, `br"…"`) starts at
+/// `i`, returns `(hash_count, chars_consumed_through_opening_quote)`.
+///
+/// Plain byte strings `b"…"` are *not* raw: they process `\"` escapes, so
+/// they must go through the escape-aware [`State::Str`] path (the `b` is
+/// left in the code stream and the following quote enters `Str`).
+/// Routing them here once made `b"\""` terminate at the escaped quote and
+/// leak the rest of the literal into analysis.
 fn raw_string_start(chars: &[char], i: usize) -> Option<(u32, usize)> {
     let mut j = i;
     if chars.get(j) == Some(&'b') {
         j += 1;
     }
     if chars.get(j) != Some(&'r') {
-        // Plain byte string b"..."
-        return if chars.get(j) == Some(&'"') && j > i {
-            Some((0, j - i + 1))
-        } else {
-            None
-        };
+        return None;
     }
     j += 1;
     let mut hashes = 0u32;
@@ -279,8 +280,11 @@ fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
 fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
     match chars.get(i + 1) {
         Some('\\') => {
-            // Escape: consume to the closing quote (bounded scan).
-            let mut j = i + 2;
+            // Escape: the char after the backslash is consumed
+            // unconditionally (so `'\''` measures 4, not 3 — scanning
+            // from the escaped char itself once mistook it for the
+            // terminator), then scan to the closing quote (bounded).
+            let mut j = i + 3;
             while j < chars.len() && j - i < 12 {
                 if chars[j] == '\'' {
                     return Some(j - i + 1);
@@ -374,5 +378,50 @@ mod tests {
         let f = clean("// lint: allow-file(index)\na[0];\nb[1];\n");
         assert!(f.is_allowed(1, "index"));
         assert!(f.is_allowed(2, "index"));
+    }
+
+    #[test]
+    fn byte_strings_process_escapes() {
+        // Regression: `b"\""` once entered the raw-string state, so the
+        // escaped quote closed the literal early and the tail — here a
+        // banned call — leaked into the cleaned code stream.
+        let f = clean("let s = b\"\\\" Instant::now() \"; call();\n");
+        assert!(!f.lines[0].code.contains("Instant"), "{:?}", f.lines[0]);
+        assert!(f.lines[0].code.contains("call()"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_measures_correctly() {
+        // Regression: `'\''` once measured 3 chars instead of 4, leaving
+        // a stray quote that swallowed the rest of the line as a string.
+        let f = clean("let q = '\\''; let bad = banned_call();\n");
+        assert!(
+            f.lines[0].code.contains("banned_call()"),
+            "{:?}",
+            f.lines[0]
+        );
+        let f = clean("let n = '\\n'; keep();\n");
+        assert!(f.lines[0].code.contains("keep()"));
+        let f = clean("let u = '\\u{1F600}'; keep();\n");
+        assert!(f.lines[0].code.contains("keep()"));
+    }
+
+    #[test]
+    fn raw_byte_strings_and_raw_identifiers() {
+        let f = clean("let s = br#\"Instant::now\"#; call();\n");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(f.lines[0].code.contains("call()"));
+        // A raw identifier `r#loop` is not a raw string.
+        let f = clean("let r#loop = 1; call();\n");
+        assert!(f.lines[0].code.contains("call()"));
+        assert!(f.lines[0].code.contains("r#loop"));
+    }
+
+    #[test]
+    fn columns_are_preserved_through_literals() {
+        let raw = "let s = \"abc\"; x()";
+        let f = clean(&format!("{raw}\n"));
+        assert_eq!(f.lines[0].code.len(), raw.len());
+        assert_eq!(f.lines[0].code.find("x()"), raw.find("x()"));
     }
 }

@@ -9,7 +9,7 @@
 //! `syn`), and statically validates scenario inputs against the paper's
 //! model invariants before any simulation runs.
 //!
-//! Four code-rule families (see [`rules`]):
+//! Five code-rule families (see [`rules`]):
 //!
 //! * **(D) determinism** — no `Instant::now`/`SystemTime`, no entropy-seeded
 //!   RNGs, no environment reads, no `HashMap`/`HashSet` iteration in the sim
@@ -19,7 +19,20 @@
 //! * **(U) unsafe audit** — every crate root carries
 //!   `#![forbid(unsafe_code)]` or SAFETY-documents each allow;
 //! * **(F) float hygiene** — no `==`/`!=` against float literals in the
-//!   optimizer/LP crates.
+//!   optimizer/LP crates;
+//! * **(K) kernel/wire hygiene** — no narrowing `as` casts in wire/kernel
+//!   code, no bare arithmetic on seq/rank/index values, audited atomic
+//!   orderings, no per-iteration clones in hot loops.
+//!
+//! Analysis is workspace-aware: [`symbols`] extracts declarations and call
+//! sites from each file, [`callgraph`] resolves an approximate cross-crate
+//! call graph, and the propagating obligations (determinism, panic-freedom,
+//! hot-alloc, unchecked-arith, clone-in-hot-loop) apply transitively to
+//! everything reachable from the registered hot entry points
+//! ([`rules::HOT_ENTRIES`]), with a blame chain rendered on each finding.
+//! Per-file results are cacheable ([`cache`], `--cache PATH`) keyed on
+//! content hash + [`rules::RULES_VERSION`]; findings export as JSONL or
+//! SARIF 2.1.0 ([`sarif`], `--format sarif` / `--sarif PATH`).
 //!
 //! The semantic half, [`scenario`], checks scenario/topology inputs:
 //! reception probabilities in `[0, 1]`, connectivity, interference-clique
@@ -32,12 +45,19 @@
 #![forbid(unsafe_code)]
 
 pub mod analyzer;
+pub mod cache;
+pub mod callgraph;
 pub mod findings;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod scenario;
+pub mod symbols;
 
-pub use analyzer::{analyze_source, check_workspace, find_workspace_root};
+pub use analyzer::{
+    analyze_file, analyze_source, check_workspace, check_workspace_cached, find_workspace_root,
+    FileAnalysis,
+};
 pub use findings::{Finding, Report};
-pub use rules::{Rule, RuleTable, Severity};
+pub use rules::{Rule, RuleTable, Severity, HOT_ENTRIES, RULES_VERSION};
 pub use scenario::{check_scenario_file, check_scenario_str, ScenarioSpec};

@@ -1,7 +1,8 @@
 //! `omnc-lint` — workspace static analysis and scenario validation CLI.
 //!
 //! ```text
-//! omnc-lint check [--root DIR] [--json PATH|-] [--quiet]
+//! omnc-lint check [--root DIR] [--cache PATH] [--format text|sarif]
+//!                 [--sarif PATH] [--only PATH]... [--json PATH|-] [--quiet]
 //! omnc-lint check-scenario FILE... [--json PATH|-] [--quiet]
 //! omnc-lint rules
 //! ```
@@ -14,7 +15,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use omnc_lint::{check_scenario_file, check_workspace, find_workspace_root, Report, RuleTable};
+use omnc_lint::{
+    check_scenario_file, check_workspace_cached, find_workspace_root, sarif, Report, RuleTable,
+};
 use telemetry::EventSink;
 
 /// Parsed command line.
@@ -25,10 +28,26 @@ struct Options {
     positional: Vec<PathBuf>,
     /// `--root DIR` override for `check`.
     root: Option<PathBuf>,
+    /// `--cache PATH` incremental analysis cache for `check`.
+    cache: Option<PathBuf>,
+    /// `--format text|sarif` stdout format for `check`.
+    format: Format,
+    /// `--sarif PATH` additionally writes a SARIF log to PATH.
+    sarif: Option<PathBuf>,
+    /// `--only PATH` (repeatable) keeps findings under the given
+    /// workspace-relative prefixes only. Analysis still covers the whole
+    /// workspace so blame chains stay correct.
+    only: Vec<String>,
     /// `--json PATH` (`-` = stdout) JSONL output.
     json: Option<String>,
     /// `--quiet` suppresses the human-readable report.
     quiet: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Sarif,
 }
 
 const USAGE: &str = "usage: omnc-lint <command> [options]
@@ -41,6 +60,13 @@ commands:
 options:
   --root DIR     workspace root for `check` (default: nearest ancestor
                  with a [workspace] Cargo.toml)
+  --cache PATH   reuse/update an incremental analysis cache (keyed on
+                 file content hash and the rule-table version; hit/miss
+                 counts go to stderr)
+  --format FMT   stdout format for `check`: text (default) or sarif
+  --sarif PATH   additionally write a SARIF 2.1.0 log to PATH
+  --only PATH    report findings only under this workspace-relative
+                 prefix (repeatable; analysis still spans the workspace)
   --json PATH    also write findings as JSONL to PATH (`-` for stdout)
   --quiet        suppress the human-readable report
 ";
@@ -52,6 +78,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         command,
         positional: Vec::new(),
         root: None,
+        cache: None,
+        format: Format::Text,
+        sarif: None,
+        only: Vec::new(),
         json: None,
         quiet: false,
     };
@@ -60,6 +90,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--root" => {
                 let v = it.next().ok_or("--root needs a value")?;
                 opts.root = Some(PathBuf::from(v));
+            }
+            "--cache" => {
+                let v = it.next().ok_or("--cache needs a value")?;
+                opts.cache = Some(PathBuf::from(v));
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                opts.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}` (text|sarif)")),
+                };
+            }
+            "--sarif" => {
+                let v = it.next().ok_or("--sarif needs a value")?;
+                opts.sarif = Some(PathBuf::from(v));
+            }
+            "--only" => {
+                let v = it.next().ok_or("--only needs a value")?;
+                opts.only.push(v.replace('\\', "/"));
             }
             "--json" => {
                 let v = it.next().ok_or("--json needs a value")?;
@@ -99,8 +149,17 @@ fn finish(report: &Report, opts: &Options) -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = std::fs::write(path, sarif::render(report)) {
+            eprintln!("omnc-lint: writing SARIF to {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if !opts.quiet {
-        print!("{}", report.render());
+        match opts.format {
+            Format::Text => print!("{}", report.render()),
+            Format::Sarif => println!("{}", sarif::render(report)),
+        }
     }
     if report.is_clean() {
         ExitCode::SUCCESS
@@ -133,8 +192,22 @@ fn run_check(opts: &Options) -> ExitCode {
         }
     };
     let table = RuleTable::default();
-    match check_workspace(&root, &table) {
-        Ok(report) => finish(&report, opts),
+    match check_workspace_cached(&root, &table, opts.cache.as_deref()) {
+        Ok(mut report) => {
+            if opts.cache.is_some() {
+                // Stats go to stderr so warm/cold stdout stays byte-identical.
+                eprintln!(
+                    "omnc-lint: cache: {} hit(s), {} miss(es)",
+                    report.cache_hits, report.cache_misses
+                );
+            }
+            if !opts.only.is_empty() {
+                report
+                    .findings
+                    .retain(|f| opts.only.iter().any(|p| f.path.starts_with(p.as_str())));
+            }
+            finish(&report, opts)
+        }
         Err(e) => {
             eprintln!("omnc-lint: checking {}: {e}", root.display());
             ExitCode::from(2)
@@ -148,6 +221,7 @@ fn run_check_scenario(opts: &Options) -> ExitCode {
         return ExitCode::from(2);
     }
     let mut merged = Report::default();
+    let mut unreadable = 0usize;
     for path in &opts.positional {
         match check_scenario_file(path) {
             Ok(report) => {
@@ -155,10 +229,19 @@ fn run_check_scenario(opts: &Options) -> ExitCode {
                 merged.findings.extend(report.findings);
             }
             Err(e) => {
+                // Report every unreadable input before giving up, rather
+                // than stopping at the first.
                 eprintln!("omnc-lint: reading {}: {e}", path.display());
-                return ExitCode::from(2);
+                unreadable += 1;
             }
         }
+    }
+    if unreadable > 0 {
+        eprintln!(
+            "omnc-lint: {unreadable} of {} scenario file(s) unreadable",
+            opts.positional.len()
+        );
+        return ExitCode::from(2);
     }
     merged.finish();
     finish(&merged, opts)
@@ -172,7 +255,7 @@ fn run_rules() -> ExitCode {
         } else {
             "off".to_owned()
         };
-        println!("{:<14} {:<5} {}", rule.name(), state, rule.describe());
+        println!("{:<17} {:<5} {}", rule.name(), state, rule.describe());
     }
     ExitCode::SUCCESS
 }

@@ -20,13 +20,30 @@
 //! `executor.rs` as the single sanctioned exception (workers run whole
 //! cells around the simulation, never threads inside it).
 //!
+//! The SIMD/perf arc (ISSUE 8) added a sixth family, **(K) kernel
+//! hygiene**, and made obligations *transitive*: `lossy-cast` (narrowing
+//! `as` casts in wire/proto and kernel code), `unchecked-arith` (bare
+//! `+`/`*` on packet/rank indices in hot paths), `atomics-audit` (every
+//! `Ordering::` choice in the sanctioned unsafe surface needs an
+//! `// ordering:` justification), and `clone-in-hot-loop`
+//! (`.clone()`/`.to_vec()` inside loops on hot paths). Rules for which
+//! [`Rule::propagates`] returns `true` additionally apply to any function
+//! reachable in the call graph from a [`HOT_ENTRIES`] entry point,
+//! regardless of module or crate — see `crate::callgraph`.
+//!
 //! Every rule can be suppressed locally with `// lint: allow(<rule>)` (same
 //! line or the line above) or per file with `// lint: allow-file(<rule>)`.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+/// Bumped whenever rule semantics, scopes, or the analyzer's per-file
+/// output change in a way that invalidates cached analyses. The
+/// incremental cache (`--cache`) stores this and discards entries
+/// recorded under a different version.
+pub const RULES_VERSION: u32 = 2;
 
 /// How a finding affects the exit status.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Severity {
     /// Reported, does not fail the run.
     Warn,
@@ -70,11 +87,20 @@ pub enum Rule {
     /// P: heap-allocating constructs (`Box::new`, degenerate
     /// `Vec::with_capacity(0)`) in hot-path modules.
     HotAlloc,
+    /// K: narrowing `as` casts in wire/proto and kernel code.
+    LossyCast,
+    /// K: bare `+`/`*` on packet/rank index values in hot-path code.
+    UncheckedArith,
+    /// K: `Ordering::` without an `// ordering:` justification in the
+    /// sanctioned unsafe surface.
+    AtomicsAudit,
+    /// K: `.clone()`/`.to_vec()` inside loops on hot paths.
+    CloneInHotLoop,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 15] = [
         Rule::WallClock,
         Rule::NondetRng,
         Rule::EnvDep,
@@ -86,6 +112,10 @@ impl Rule {
         Rule::FloatEq,
         Rule::Concurrency,
         Rule::HotAlloc,
+        Rule::LossyCast,
+        Rule::UncheckedArith,
+        Rule::AtomicsAudit,
+        Rule::CloneInHotLoop,
     ];
 
     /// The name used in reports and `lint: allow(...)` directives.
@@ -102,7 +132,16 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::Concurrency => "concurrency",
             Rule::HotAlloc => "hot-alloc",
+            Rule::LossyCast => "lossy-cast",
+            Rule::UncheckedArith => "unchecked-arith",
+            Rule::AtomicsAudit => "atomics-audit",
+            Rule::CloneInHotLoop => "clone-in-hot-loop",
         }
+    }
+
+    /// The rule named `name`, if any (inverse of [`Rule::name`]).
+    pub fn by_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
     }
 
     /// One-line description for `omnc-lint rules`.
@@ -114,7 +153,7 @@ impl Rule {
             }
             Rule::EnvDep => "process-environment reads (env::var / env::args) in sim crates",
             Rule::HashIter => "iteration over HashMap/HashSet bindings in sim crates",
-            Rule::Unwrap => ".unwrap() in designated hot-path modules",
+            Rule::Unwrap => ".unwrap() in hot-path modules or code reachable from hot entries",
             Rule::Panic => ".expect( / panic! / unreachable! in designated hot-path modules",
             Rule::Index => "slice/array indexing in designated hot-path modules",
             Rule::UnsafeAudit => "crates must forbid unsafe_code or SAFETY-document each allow",
@@ -123,7 +162,37 @@ impl Rule {
             Rule::HotAlloc => {
                 "Box::new / Vec::with_capacity(0) allocations in designated hot-path modules"
             }
+            Rule::LossyCast => "narrowing `as` casts in wire/proto and kernel code",
+            Rule::UncheckedArith => {
+                "bare + / * on seq/rank/index values in hot paths (use wrapping_*/checked_*)"
+            }
+            Rule::AtomicsAudit => {
+                "atomic Ordering choices in the sanctioned unsafe surface need // ordering: notes"
+            }
+            Rule::CloneInHotLoop => ".clone() / .to_vec() inside loops reachable from hot entries",
         }
+    }
+
+    /// `true` for rules whose obligation is *transitive*: besides their
+    /// static path scope, they apply inside any function reachable in the
+    /// call graph from a [`HOT_ENTRIES`] entry point. Rules tied to a
+    /// fixed audit surface (unsafe/atomics), to numeric style
+    /// (float-eq), or to crate layout (concurrency, lossy-cast on wire
+    /// layouts) do not travel with callers.
+    pub fn propagates(self) -> bool {
+        matches!(
+            self,
+            Rule::WallClock
+                | Rule::NondetRng
+                | Rule::EnvDep
+                | Rule::HashIter
+                | Rule::Unwrap
+                | Rule::Panic
+                | Rule::Index
+                | Rule::HotAlloc
+                | Rule::UncheckedArith
+                | Rule::CloneInHotLoop
+        )
     }
 }
 
@@ -192,6 +261,85 @@ pub const FLOAT_CRATES: [&str; 2] = ["crates/omnc-opt/", "crates/simplex-lp/"];
 /// hot-alloc bar, since every sim event records through it.
 pub const TIMESERIES_MODULE: &str = "crates/omnc-telemetry/src/timeseries.rs";
 
+/// Wire-format and kernel modules where a silently narrowing `as` cast can
+/// corrupt packets or field elements: header encoders, message layouts,
+/// and the GF(2^8) kernels.
+pub const WIRE_KERNEL_MODULES: [&str; 5] = [
+    "crates/omnc/src/wire.rs",
+    "crates/omnc/src/msg.rs",
+    "crates/rlnc/src/packet.rs",
+    "crates/rlnc/src/kernel.rs",
+    "crates/gf256/src/",
+];
+
+/// The workspace's one sanctioned unsafe surface: the counting global
+/// allocator. Its atomics are the subject of `atomics-audit`.
+pub const ALLOC_MODULE: &str = "crates/omnc-telemetry/src/alloc.rs";
+
+/// A registered hot-path entry point for obligation propagation: any
+/// function reachable from one of these in the approximate call graph
+/// inherits the propagating rules' bars (see [`Rule::propagates`]).
+#[derive(Debug, Clone, Copy)]
+pub struct HotEntry {
+    /// Workspace-relative path prefix the entry's defining file must match.
+    pub path_prefix: &'static str,
+    /// The `impl` owner type, or `None` for free functions.
+    pub owner: Option<&'static str>,
+    /// The function name.
+    pub name: &'static str,
+}
+
+const fn entry(
+    path_prefix: &'static str,
+    owner: Option<&'static str>,
+    name: &'static str,
+) -> HotEntry {
+    HotEntry {
+        path_prefix,
+        owner,
+        name,
+    }
+}
+
+/// The hot-path entry-point registry (DESIGN.md §6c): the per-packet
+/// coding operations, the GF(2^8) slice kernels, the simulator event
+/// dispatch loop, the LP pivot engine, and the rate-control iteration.
+pub const HOT_ENTRIES: [HotEntry; 16] = [
+    // rlnc: encode / recode / decode.
+    entry("crates/rlnc/src/encoder.rs", Some("Encoder"), "emit"),
+    entry(
+        "crates/rlnc/src/encoder.rs",
+        Some("Encoder"),
+        "emit_with_coefficients",
+    ),
+    entry("crates/rlnc/src/recoder.rs", Some("Recoder"), "absorb"),
+    entry("crates/rlnc/src/recoder.rs", Some("Recoder"), "emit"),
+    entry("crates/rlnc/src/decoder.rs", Some("Decoder"), "absorb"),
+    // gf256: the slice kernels every coding op bottoms out in.
+    entry("crates/gf256/src/", None, "mul_add_assign"),
+    entry("crates/gf256/src/", None, "mul_assign"),
+    entry("crates/gf256/src/", None, "div_assign"),
+    entry("crates/gf256/src/", None, "add_assign"),
+    entry("crates/gf256/src/", None, "dot"),
+    // drift: the event dispatch loop.
+    entry("crates/drift/src/sim.rs", Some("Simulator"), "run_until"),
+    // simplex-lp: the pivot engine.
+    entry("crates/simplex-lp/src/solver.rs", Some("Tableau"), "pivot"),
+    entry("crates/simplex-lp/src/solver.rs", None, "solve"),
+    // omnc-opt: the subgradient iteration.
+    entry(
+        "crates/omnc-opt/src/algorithm.rs",
+        Some("RateControl"),
+        "iterate",
+    ),
+    entry(
+        "crates/omnc-opt/src/algorithm.rs",
+        Some("RateControl"),
+        "run",
+    ),
+    entry("crates/omnc-opt/src/algorithm.rs", None, "run_best"),
+];
+
 impl Default for RuleTable {
     fn default() -> Self {
         let sim: Vec<String> = SIM_CRATES
@@ -211,6 +359,11 @@ impl Default for RuleTable {
             .map(|s| (*s).to_owned())
             .chain(std::iter::once("crates/omnc-campaign/".to_owned()))
             .collect();
+        let wire_kernel: Vec<String> = WIRE_KERNEL_MODULES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let alloc: Vec<String> = vec![ALLOC_MODULE.to_owned()];
         let cfg = |severity, include: &Vec<String>, exclude: Vec<&str>| RuleConfig {
             enabled: true,
             severity,
@@ -244,6 +397,11 @@ impl Default for RuleTable {
                 // allocation-free, so direct heap constructs need a
                 // `// lint: allow(hot-alloc)` escape hatch.
                 (Rule::HotAlloc, cfg(Severity::Deny, &hot_alloc, vec![])),
+                // The SIMD/perf arc (kernel hygiene).
+                (Rule::LossyCast, cfg(Severity::Deny, &wire_kernel, vec![])),
+                (Rule::UncheckedArith, cfg(Severity::Deny, &hot, vec![])),
+                (Rule::AtomicsAudit, cfg(Severity::Deny, &alloc, vec![])),
+                (Rule::CloneInHotLoop, cfg(Severity::Deny, &hot, vec![])),
             ],
         }
     }
@@ -335,6 +493,76 @@ mod tests {
         assert!(!t
             .config(Rule::Concurrency)
             .applies_to("crates/omnc-telemetry/src/registry.rs"));
+    }
+
+    #[test]
+    fn kernel_hygiene_rules_scope_as_documented() {
+        let t = RuleTable::default();
+        // lossy-cast covers wire layouts and the kernels, nothing else.
+        assert!(t
+            .config(Rule::LossyCast)
+            .applies_to("crates/omnc/src/wire.rs"));
+        assert!(t
+            .config(Rule::LossyCast)
+            .applies_to("crates/rlnc/src/packet.rs"));
+        assert!(t
+            .config(Rule::LossyCast)
+            .applies_to("crates/gf256/src/wide.rs"));
+        assert!(!t
+            .config(Rule::LossyCast)
+            .applies_to("crates/omnc-opt/src/algorithm.rs"));
+        // unchecked-arith and clone-in-hot-loop share the hot-path scope
+        // (and additionally propagate through the call graph).
+        assert!(t
+            .config(Rule::UncheckedArith)
+            .applies_to("crates/drift/src/event.rs"));
+        assert!(!t
+            .config(Rule::UncheckedArith)
+            .applies_to("crates/omnc/src/runner.rs"));
+        assert!(t
+            .config(Rule::CloneInHotLoop)
+            .applies_to("crates/rlnc/src/decoder.rs"));
+        // atomics-audit is pinned to the one sanctioned unsafe surface.
+        assert!(t.config(Rule::AtomicsAudit).applies_to(ALLOC_MODULE));
+        assert!(!t
+            .config(Rule::AtomicsAudit)
+            .applies_to("crates/omnc-telemetry/src/sink.rs"));
+    }
+
+    #[test]
+    fn propagating_rules_are_the_hot_path_obligations() {
+        for rule in [
+            Rule::Unwrap,
+            Rule::Panic,
+            Rule::Index,
+            Rule::HotAlloc,
+            Rule::WallClock,
+            Rule::NondetRng,
+            Rule::UncheckedArith,
+            Rule::CloneInHotLoop,
+        ] {
+            assert!(rule.propagates(), "{} should propagate", rule.name());
+        }
+        for rule in [
+            Rule::UnsafeAudit,
+            Rule::FloatEq,
+            Rule::Concurrency,
+            Rule::LossyCast,
+            Rule::AtomicsAudit,
+        ] {
+            assert!(!rule.propagates(), "{} should not propagate", rule.name());
+        }
+    }
+
+    #[test]
+    fn hot_entries_live_in_sim_crates() {
+        for e in HOT_ENTRIES {
+            assert!(
+                SIM_CRATES.iter().any(|c| e.path_prefix.starts_with(c)),
+                "entry {} is outside the sim crates",
+                e.name
+            );
+        }
     }
 
     #[test]

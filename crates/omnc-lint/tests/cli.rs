@@ -101,6 +101,124 @@ fn usage_errors_exit_two() {
         exit_code(&run(&["check-scenario", "does-not-exist.json"])),
         2
     );
+    assert_eq!(exit_code(&run(&["check", "--format", "yaml"])), 2);
+}
+
+#[test]
+fn check_scenario_reports_every_unreadable_file() {
+    // All unreadable inputs are reported before exiting 2, and a valid
+    // scenario mixed in does not mask the failure.
+    let good = fixture_dir().join("scenarios/good_diamond.json");
+    let out = run(&[
+        "check-scenario",
+        "missing-one.json",
+        &good.to_string_lossy(),
+        "missing-two.json",
+    ]);
+    assert_eq!(exit_code(&out), 2);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing-one.json"), "stderr:\n{stderr}");
+    assert!(stderr.contains("missing-two.json"), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("2 of 3 scenario file(s) unreadable"),
+        "stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn hot_ws_blame_chain_is_rendered_and_denied() {
+    let ws = fixture_dir().join("hot-ws");
+    let out = run(&["check", "--root", &ws.to_string_lossy()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(exit_code(&out), 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("deny[unwrap]"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("hot path: Encoder::emit → accumulate → lead_coefficient"),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn cache_warm_run_is_byte_identical_with_hits() {
+    let ws = fixture_dir().join("hot-ws");
+    let dir = std::env::temp_dir().join(format!("omnc-lint-cli-cache-{}", std::process::id()));
+    let cache = dir.join("cache.json");
+    let ws = ws.to_string_lossy();
+    let cache = cache.to_string_lossy();
+    let args = ["check", "--root", &ws, "--cache", &cache];
+
+    let cold = run(&args);
+    let warm = run(&args);
+    assert_eq!(exit_code(&cold), 1);
+    assert_eq!(exit_code(&warm), 1);
+    // Stats go to stderr; stdout must be byte-identical across runs.
+    assert_eq!(cold.stdout, warm.stdout);
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        cold_err.contains("cache: 0 hit(s), 2 miss(es)"),
+        "stderr:\n{cold_err}"
+    );
+    assert!(
+        warm_err.contains("cache: 2 hit(s), 0 miss(es)"),
+        "stderr:\n{warm_err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sarif_output_parses_and_carries_the_chain() {
+    let ws = fixture_dir().join("hot-ws");
+    let out = run(&[
+        "check",
+        "--root",
+        &ws.to_string_lossy(),
+        "--format",
+        "sarif",
+    ]);
+    assert_eq!(exit_code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid SARIF JSON");
+    let results = v.get("runs").and_then(|r| r.as_array()).unwrap()[0]
+        .get("results")
+        .and_then(|r| r.as_array())
+        .unwrap();
+    assert!(!results.is_empty());
+    let unwrap = results
+        .iter()
+        .find(|r| r.get("ruleId").and_then(|i| i.as_str()) == Some("unwrap"))
+        .expect("unwrap result present");
+    assert_eq!(unwrap.get("level").and_then(|l| l.as_str()), Some("error"));
+    let msg = unwrap
+        .get("message")
+        .and_then(|m| m.get("text"))
+        .and_then(|t| t.as_str())
+        .unwrap();
+    assert!(msg.contains("hot path: Encoder::emit"), "message: {msg}");
+}
+
+#[test]
+fn only_filter_limits_reported_findings() {
+    let ws = fixture_dir().join("hot-ws");
+    // The only deny lives in gf256; filtering to rlnc leaves it out.
+    let out = run(&[
+        "check",
+        "--root",
+        &ws.to_string_lossy(),
+        "--only",
+        "crates/rlnc/",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(exit_code(&out), 0, "stdout:\n{stdout}");
+    assert!(!stdout.contains("deny[unwrap]"), "stdout:\n{stdout}");
+    let out = run(&[
+        "check",
+        "--root",
+        &ws.to_string_lossy(),
+        "--only",
+        "crates/gf256/",
+    ]);
+    assert_eq!(exit_code(&out), 1);
 }
 
 #[test]
@@ -118,6 +236,12 @@ fn rules_lists_every_rule() {
         "index",
         "unsafe-audit",
         "float-eq",
+        "concurrency",
+        "hot-alloc",
+        "lossy-cast",
+        "unchecked-arith",
+        "atomics-audit",
+        "clone-in-hot-loop",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }

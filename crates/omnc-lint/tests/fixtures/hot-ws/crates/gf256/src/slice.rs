@@ -1,0 +1,6 @@
+//! Fixture gf256 helper with a planted unwrap reachable from the
+//! encoder's hot entry point.
+
+pub fn lead_coefficient(row: &[u8]) -> u8 {
+    *row.iter().find(|&&c| c != 0).unwrap()
+}

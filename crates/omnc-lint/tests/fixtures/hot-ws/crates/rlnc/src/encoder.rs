@@ -1,0 +1,22 @@
+//! Fixture encoder: `Encoder::emit` is a registered hot entry; the call
+//! chain crosses into the gf256 fixture crate.
+
+use gf256::slice::lead_coefficient;
+
+pub struct Encoder {
+    rows: Vec<Vec<u8>>,
+}
+
+impl Encoder {
+    pub fn emit(&self) -> u8 {
+        accumulate(&self.rows)
+    }
+}
+
+fn accumulate(rows: &[Vec<u8>]) -> u8 {
+    let mut acc = 0;
+    for row in rows {
+        acc ^= lead_coefficient(row);
+    }
+    acc
+}

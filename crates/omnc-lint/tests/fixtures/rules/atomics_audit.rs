@@ -1,0 +1,19 @@
+//! Atomics-audit fixture: an undocumented `Ordering::` fires; a
+//! `// ordering:` note within the window or an explicit allow is quiet.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn record() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn read() -> u64 {
+    // ordering: monotonic counter; observers tolerate staleness.
+    HITS.load(Ordering::Acquire)
+}
+
+pub fn reset() {
+    HITS.store(0, Ordering::SeqCst); // lint: allow(atomics-audit)
+}

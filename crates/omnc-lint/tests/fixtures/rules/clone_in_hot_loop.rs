@@ -1,0 +1,33 @@
+//! Clone-in-hot-loop fixture: per-iteration `.clone()`/`.to_vec()` fire;
+//! clones outside loops and justified allows stay quiet.
+
+pub fn fanout(rows: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for row in rows {
+        out.push(row.clone());
+    }
+    out
+}
+
+pub fn tails(rows: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < rows.len() {
+        out.push(rows[i][1..].to_vec());
+        i += 1;
+    }
+    out
+}
+
+pub fn once(row: &[u8]) -> Vec<u8> {
+    row.to_vec()
+}
+
+pub fn handoff(rows: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for row in rows {
+        // Ownership handed to the queue; the copy is the semantics.
+        out.push(row.clone()); // lint: allow(clone-in-hot-loop)
+    }
+    out
+}

@@ -1,0 +1,22 @@
+//! Narrowing-cast fixture: two hits, one justified allow, widening is fine.
+
+pub fn header_len(total: usize) -> u32 {
+    total as u32
+}
+
+pub fn tag(seq: u16) -> u8 {
+    (seq >> 8) as u8
+}
+
+pub fn coeff_index(i: usize) -> u8 {
+    // Bounded by generation_size < 256 at the call site.
+    i as u8 // lint: allow(lossy-cast)
+}
+
+pub fn widen(b: u8) -> u64 {
+    b as u64
+}
+
+pub fn to_float(n: u32) -> f64 {
+    n as f64
+}

@@ -1,0 +1,30 @@
+//! Unchecked-arithmetic fixture: bare ops on index-like values fire,
+//! wrapping helpers and plain operands stay quiet.
+
+pub struct Queue {
+    next_seq: u64,
+    pivot: usize,
+}
+
+impl Queue {
+    pub fn bump(&mut self) {
+        self.next_seq += 1;
+    }
+
+    pub fn offset(&self, block: usize) -> usize {
+        self.pivot * block
+    }
+
+    pub fn bump_safely(&mut self) {
+        self.next_seq = self.next_seq.wrapping_add(1);
+    }
+
+    pub fn offset_justified(&self, block: usize) -> usize {
+        // Bounded by payload_len by construction.
+        self.pivot * block // lint: allow(unchecked-arith)
+    }
+
+    pub fn plain_sum(a: u64, b: u64) -> u64 {
+        a + b
+    }
+}

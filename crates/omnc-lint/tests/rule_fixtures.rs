@@ -131,6 +131,58 @@ fn hot_alloc_fires_in_hot_path_modules_only() {
 }
 
 #[test]
+fn lossy_cast_fires_in_wire_and_kernel_code_only() {
+    let fs = lint_as("crates/omnc/src/wire.rs", "lossy_cast.rs");
+    assert_eq!(count(&fs, "lossy-cast"), 2, "{fs:#?}");
+    assert!(fs
+        .iter()
+        .filter(|f| f.rule == "lossy-cast")
+        .all(|f| f.severity == Severity::Deny));
+    // The gf256 kernel surface is covered too...
+    let kernel = lint_as("crates/gf256/src/arith.rs", "lossy_cast.rs");
+    assert_eq!(count(&kernel, "lossy-cast"), 2, "{kernel:#?}");
+    // ...but code outside the wire/kernel scope is not.
+    let cold = lint_as("crates/omnc-opt/src/flow.rs", "lossy_cast.rs");
+    assert_eq!(count(&cold, "lossy-cast"), 0, "{cold:#?}");
+}
+
+#[test]
+fn unchecked_arith_fires_in_hot_paths_only() {
+    let fs = lint_as("crates/drift/src/event.rs", "unchecked_arith.rs");
+    assert_eq!(count(&fs, "unchecked-arith"), 2, "{fs:#?}");
+    assert!(fs
+        .iter()
+        .filter(|f| f.rule == "unchecked-arith")
+        .all(|f| f.severity == Severity::Deny));
+    let cold = lint_as("crates/omnc/src/runner.rs", "unchecked_arith.rs");
+    assert_eq!(count(&cold, "unchecked-arith"), 0, "{cold:#?}");
+}
+
+#[test]
+fn atomics_audit_fires_in_the_alloc_module_only() {
+    let fs = lint_as("crates/omnc-telemetry/src/alloc.rs", "atomics_audit.rs");
+    assert_eq!(count(&fs, "atomics-audit"), 1, "{fs:#?}");
+    assert!(fs
+        .iter()
+        .filter(|f| f.rule == "atomics-audit")
+        .all(|f| f.severity == Severity::Deny));
+    let cold = lint_as("crates/omnc-telemetry/src/sink.rs", "atomics_audit.rs");
+    assert_eq!(count(&cold, "atomics-audit"), 0, "{cold:#?}");
+}
+
+#[test]
+fn clone_in_hot_loop_fires_in_hot_paths_only() {
+    let fs = lint_as("crates/rlnc/src/kernel.rs", "clone_in_hot_loop.rs");
+    assert_eq!(count(&fs, "clone-in-hot-loop"), 2, "{fs:#?}");
+    assert!(fs
+        .iter()
+        .filter(|f| f.rule == "clone-in-hot-loop")
+        .all(|f| f.severity == Severity::Deny));
+    let cold = lint_as("crates/omnc/src/runner.rs", "clone_in_hot_loop.rs");
+    assert_eq!(count(&cold, "clone-in-hot-loop"), 0, "{cold:#?}");
+}
+
+#[test]
 fn timeseries_recorder_is_held_to_determinism_and_hot_alloc_bars() {
     // Linted under its real path, a wall-clock-sampled series is denied
     // even though the telemetry crate is otherwise exempt from the

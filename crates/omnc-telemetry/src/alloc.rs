@@ -55,12 +55,15 @@ static COUNTING: AtomicBool = AtomicBool::new(false);
 /// Turns allocation counting on or off process-wide. Counters are not
 /// reset; they simply stop (or resume) advancing.
 pub fn set_alloc_counting(enabled: bool) {
+    // ordering: a standalone flag with no dependent data; readers only
+    // need to eventually observe the flip, not synchronize with it.
     COUNTING.store(enabled, Ordering::Relaxed);
 }
 
 /// Whether allocation counting is currently on.
 #[must_use]
 pub fn alloc_counting_enabled() -> bool {
+    // ordering: see set_alloc_counting — flag-only, no acquire needed.
     COUNTING.load(Ordering::Relaxed)
 }
 
@@ -162,6 +165,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         // SAFETY: same layout, same contract, delegated to `System`.
         let ptr = unsafe { System.alloc(layout) };
+        // ordering: counters tolerate a stale flag read; relaxed keeps the
+        // allocator fast path fence-free.
         if !ptr.is_null() && COUNTING.load(Ordering::Relaxed) {
             record_alloc(layout.size());
         }
@@ -173,6 +178,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         // SAFETY: same layout, same contract, delegated to `System`.
         let ptr = unsafe { System.alloc_zeroed(layout) };
+        // ordering: same as alloc — stale flag reads are harmless.
         if !ptr.is_null() && COUNTING.load(Ordering::Relaxed) {
             record_alloc(layout.size());
         }
@@ -182,6 +188,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: the caller guarantees `ptr` was allocated by this allocator
     // with `layout`; both are forwarded verbatim to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // ordering: same as alloc — stale flag reads are harmless.
         if COUNTING.load(Ordering::Relaxed) {
             record_free(layout.size());
         }
@@ -196,6 +203,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // SAFETY: same pointer, layout, and size, delegated to `System`.
         let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        // ordering: same as alloc — stale flag reads are harmless.
         if !new_ptr.is_null() && COUNTING.load(Ordering::Relaxed) {
             record_realloc(layout.size(), new_size);
         }

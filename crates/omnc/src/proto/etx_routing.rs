@@ -108,7 +108,7 @@ impl Behavior<Msg> for EtxForwarder {
         // CBR: one block every block_bytes / cbr_rate seconds.
         let interval = self.cfg.wire_block_size as f64 / self.cfg.cbr_rate;
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.next_seq = self.next_seq.wrapping_add(1);
         self.forward(ctx, Msg::Block { seq, dst });
         ctx.set_timer(interval, TICK);
     }

@@ -395,7 +395,9 @@ impl Decoder {
         let mut out = vec![0u8; self.config.payload_len()];
         for row in &self.rows {
             debug_assert_eq!(row.coeff[row.pivot], 1);
-            let start = row.pivot * self.config.block_size();
+            // `pivot < generation_size` and the product is bounded by
+            // `payload_len()`, which already fit in memory as `out`.
+            let start = row.pivot * self.config.block_size(); // lint: allow(unchecked-arith)
             out[start..start + self.config.block_size()].copy_from_slice(&row.payload);
         }
         Some(out)

@@ -64,7 +64,8 @@ impl CodedPacket {
     ///
     /// # Errors
     ///
-    /// Returns [`RlncError::MalformedPacket`] if either part is empty.
+    /// Returns [`RlncError::MalformedPacket`] if either part is empty or
+    /// longer than the wire format's 32-bit length fields can carry.
     pub fn new(
         generation: GenerationId,
         coefficients: Vec<u8>,
@@ -75,6 +76,12 @@ impl CodedPacket {
         }
         if payload.is_empty() {
             return Err(RlncError::MalformedPacket("empty payload"));
+        }
+        if u32::try_from(coefficients.len()).is_err() {
+            return Err(RlncError::MalformedPacket("coefficient vector too long"));
+        }
+        if u32::try_from(payload.len()).is_err() {
+            return Err(RlncError::MalformedPacket("payload too long"));
         }
         Ok(CodedPacket {
             generation,
@@ -125,8 +132,9 @@ impl CodedPacket {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
         out.extend_from_slice(&self.generation.0.to_le_bytes());
-        out.extend_from_slice(&(self.coefficients.len() as u32).to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        // Lengths fit u32 by the `new()` invariant checked at construction.
+        out.extend_from_slice(&(self.coefficients.len() as u32).to_le_bytes()); // lint: allow(lossy-cast)
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes()); // lint: allow(lossy-cast)
         out.extend_from_slice(&self.coefficients);
         out.extend_from_slice(&self.payload);
         out
