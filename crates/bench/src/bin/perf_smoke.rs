@@ -88,6 +88,14 @@ fn main() {
     metrics.insert("opt/iterations_per_s".into(), iters_per_s);
     log.info(&format!("opt: {iters_per_s:.0} rate-control iterations/s"));
 
+    let (counter_ops_per_s, serve_lost_frac) = export_overhead();
+    metrics.insert("export/counter_ops_per_s".into(), counter_ops_per_s);
+    metrics.insert("export/serve_lost_frac".into(), serve_lost_frac);
+    log.info(&format!(
+        "export: {counter_ops_per_s:.0} counter ops/s bare, {:.1}% lost to a live /metrics observer",
+        serve_lost_frac * 100.0
+    ));
+
     // Allocation metrics are deterministic per-op counts on the seeded
     // workloads; peak RSS is host-dependent and gated with a wide
     // tolerance. Both live under lower-is-better gate prefixes.
@@ -287,6 +295,72 @@ fn sim_throughput(opts: &Options, profiler: &Profiler) -> (f64, usize, u64) {
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     (packets as f64 / elapsed, scenario.sessions, packets)
+}
+
+/// Hot-path counter throughput with and without a live `/metrics`
+/// observer being scraped. Returns (bare counter ops per wall second,
+/// fraction of that throughput lost while being observed).
+///
+/// The served pass keeps the scrape handling inside the timed window,
+/// so the lost fraction is the end-to-end cost of observation — exactly
+/// what a campaign pays for `--serve`. Its metric name carries the
+/// `lost` needle, so the trend gate treats it as lower-is-better; the
+/// raw ops/s figure rides along as the higher-is-better companion.
+fn export_overhead() -> (f64, f64) {
+    use omnc::telemetry::{Observer, ObserverHandles, Registry};
+
+    const OPS: u64 = 2_000_000;
+    const SCRAPES: u64 = 16;
+
+    let workload = |registry: &Registry, observer: Option<&Observer>| -> f64 {
+        let counter = registry.counter("export.bench.ops");
+        let gauge = registry.gauge("export.bench.progress");
+        let stride = OPS / SCRAPES;
+        let start = Instant::now();
+        for i in 0..OPS {
+            counter.inc();
+            if i % 1024 == 0 {
+                gauge.set(i as f64);
+            }
+            if let Some(obs) = observer {
+                if i % stride == stride - 1 {
+                    scrape_metrics(obs.local_addr());
+                }
+            }
+        }
+        std::hint::black_box(counter.get());
+        start.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    let bare = Registry::new();
+    let bare_s = workload(&bare, None);
+
+    let served = Registry::new();
+    let handles = ObserverHandles {
+        registry: served.clone(),
+        ..ObserverHandles::default()
+    };
+    let observer = Observer::serve("127.0.0.1:0", handles).expect("observer binds on loopback");
+    let served_s = workload(&served, Some(&observer));
+    drop(observer);
+
+    let ops_per_s = OPS as f64 / bare_s;
+    let lost_frac = (1.0 - bare_s / served_s).max(0.0);
+    (ops_per_s, lost_frac)
+}
+
+/// One blocking HTTP/1.0 self-scrape of `/metrics`; errors are ignored
+/// (the bench measures cost, not availability — CI asserts that
+/// separately).
+fn scrape_metrics(addr: std::net::SocketAddr) {
+    use std::io::{Read, Write};
+    let Ok(mut stream) = std::net::TcpStream::connect(addr) else {
+        return;
+    };
+    let _ = stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: bench\r\n\r\n");
+    let mut body = String::new();
+    let _ = stream.read_to_string(&mut body);
+    std::hint::black_box(body.len());
 }
 
 /// Rate-control (iterations per wall second, iterations) on the Fig. 1

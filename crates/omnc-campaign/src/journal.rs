@@ -23,6 +23,22 @@ pub struct JournalEntry {
     pub key: String,
     /// Attempts the cell needed (1 unless earlier attempts panicked).
     pub attempts: u32,
+    /// Wall-clock completion time, milliseconds since the Unix epoch.
+    /// `None` on journals from before this field existed; the journal is
+    /// never byte-compared and is reset on fresh runs, so the host
+    /// timestamp cannot leak into merged artifacts. `status` derives its
+    /// cells/s and ETA from the span of these stamps.
+    pub wall_ms: Option<u64>,
+}
+
+impl JournalEntry {
+    /// The current wall clock as a `wall_ms` stamp.
+    #[must_use]
+    pub fn now_ms() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+    }
 }
 
 /// Append-only writer over the journal file.
@@ -65,25 +81,35 @@ impl Journal {
     ///
     /// Returns the I/O error if an existing journal cannot be read.
     pub fn completed(&self) -> io::Result<BTreeSet<String>> {
+        Ok(self.entries()?.into_iter().map(|e| e.key).collect())
+    }
+
+    /// Replays the journal's full entries in append order, with the same
+    /// torn-tail tolerance as [`Journal::completed`]. Duplicate keys (a
+    /// cell re-run after a resume) keep every line, so the wall-clock
+    /// span of the returned stamps reflects real work done.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if an existing journal cannot be read.
+    pub fn entries(&self) -> io::Result<Vec<JournalEntry>> {
         let file = match File::open(&self.path) {
             Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(BTreeSet::new()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e),
         };
-        let mut keys = BTreeSet::new();
+        let mut entries = Vec::new();
         for line in BufReader::new(file).lines() {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
             match serde_json::from_str::<JournalEntry>(&line) {
-                Ok(entry) => {
-                    keys.insert(entry.key);
-                }
+                Ok(entry) => entries.push(entry),
                 Err(_) => break, // torn tail: everything after is unreliable
             }
         }
-        Ok(keys)
+        Ok(entries)
     }
 
     /// Removes the journal file (fresh `run`). Missing is fine.
@@ -118,14 +144,36 @@ mod tests {
             j.record(&JournalEntry {
                 key: key.to_owned(),
                 attempts,
+                wall_ms: Some(JournalEntry::now_ms()),
             })
             .unwrap();
         }
         let keys = j.completed().unwrap();
         assert_eq!(keys.len(), 2);
         assert!(keys.contains("a/ETX/0000000001"));
+        let entries = j.entries().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|e| e.wall_ms.is_some()));
         j.reset().unwrap();
         assert!(j.completed().unwrap().is_empty());
+    }
+
+    #[test]
+    fn entries_without_timestamps_replay_as_none() {
+        // Journals written before wall_ms existed parse unchanged.
+        let j = temp_journal("legacy");
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&j.path)
+            .unwrap();
+        f.write_all(b"{\"key\": \"old/OMNC/0000000000\", \"attempts\": 1}\n")
+            .unwrap();
+        drop(f);
+        let entries = j.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key, "old/OMNC/0000000000");
+        assert_eq!(entries[0].wall_ms, None);
     }
 
     #[test]
@@ -134,6 +182,7 @@ mod tests {
         j.record(&JournalEntry {
             key: "ok".to_owned(),
             attempts: 1,
+            wall_ms: Some(JournalEntry::now_ms()),
         })
         .unwrap();
         // Simulate a kill mid-append: garbage with no newline.

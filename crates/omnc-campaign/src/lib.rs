@@ -20,6 +20,21 @@
 //! RSS depends on the host, the allocator, and worker scheduling, so
 //! per-cell and campaign-wide peak RSS go to a separate `memory.json`
 //! and are *never* part of the five byte-compared artifacts above.
+//! Worker-utilization telemetry follows the same split: per-worker
+//! busy/idle windows are wall-clock and scheduling dependent, so they
+//! go to `workers.json` (a plain `TimelineReport`, renderable with
+//! `omnc-report timeline`) and to the live `/series` endpoint — never
+//! into the byte-compared `timeline.json`.
+//!
+//! With `--serve ADDR` the campaign additionally runs the telemetry
+//! [`Observer`] thread: `/metrics` exposes campaign counters in the
+//! Prometheus text format, `/progress` the live [`ProgressBoard`]
+//! (cells done/total, per-worker state, ETA), `/series` the live
+//! worker-utilization windows. Serving is strictly read-only, so every
+//! merged artifact stays byte-identical with it on. Each cell attempt
+//! also arms a panic-safe [`FlightRecorder`]: a cell that dies beyond
+//! its retry budget leaves `flight-<cell>.jsonl` — the last breadcrumbs
+//! before the panic — next to the other artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,13 +47,19 @@ pub mod spec;
 use std::io;
 use std::path::Path;
 
-use telemetry::{Logger, Profiler, Registry, TimeSeries};
+use telemetry::{
+    FlightRecorder, Logger, Observer, ObserverHandles, Profiler, ProgressBoard, Registry,
+    TimeSeries,
+};
 
 use omnc::runner::{run_cell, RunOptions};
 
 use crate::journal::{Journal, JournalEntry};
 use crate::merge::{merge_campaign, write_cell, CellResult};
 use crate::spec::{CampaignSpec, Cell};
+
+/// Events each cell's flight recorder keeps (the black-box tail).
+const FLIGHT_CAPACITY: usize = 256;
 
 /// Knobs of one campaign invocation.
 #[derive(Debug)]
@@ -49,6 +70,9 @@ pub struct CampaignOptions {
     pub resume: bool,
     /// Progress logger.
     pub log: Logger,
+    /// Bind address for the live observer (`/metrics`, `/progress`,
+    /// `/series`), e.g. `127.0.0.1:9464`. `None` disables serving.
+    pub serve: Option<String>,
 }
 
 /// A cell that kept panicking after its retry budget.
@@ -100,16 +124,25 @@ pub struct CampaignSummary {
     pub merged: bool,
 }
 
+/// The black-box dump path for one cell: `flight-<key>.jsonl` in the
+/// campaign output directory (key slashes flattened like cell files).
+#[must_use]
+pub fn flight_path(out_dir: &Path, key: &str) -> std::path::PathBuf {
+    out_dir.join(format!("flight-{}.jsonl", key.replace('/', "__")))
+}
+
 /// Runs one cell in isolation: fresh registry, fresh virtual-clock
 /// profiler, fresh timeline recorder (series scoped by the cell key),
 /// full causal trace. Everything the merge stage needs comes back in
-/// the [`CellResult`].
+/// the [`CellResult`]. The `flight` recorder (disabled outside
+/// campaigns) collects the runner's breadcrumbs so a panic hook can
+/// dump the tail; it never influences the result.
 ///
 /// # Panics
 ///
 /// Propagates scenario/session panics (impossible endpoint constraints,
 /// degenerate configurations) — the executor catches them.
-pub fn run_one_cell(cell: &Cell, trace_capacity: usize) -> CellResult {
+pub fn run_one_cell(cell: &Cell, trace_capacity: usize, flight: &FlightRecorder) -> CellResult {
     let registry = Registry::new();
     let profiler = Profiler::virtual_clock();
     let timeline = TimeSeries::enabled(0.25, 64);
@@ -119,6 +152,7 @@ pub fn run_one_cell(cell: &Cell, trace_capacity: usize) -> CellResult {
         registry: registry.clone(),
         timeline: timeline.clone(),
         timeline_scope: cell.key.clone(),
+        flight: flight.clone(),
         ..RunOptions::default()
     };
     let (outcome, trace) = run_cell(&cell.scenario, cell.protocol, cell.session, &options);
@@ -182,24 +216,86 @@ pub fn run_campaign(
             .info(&format!("resume: {skipped} cells already journaled"));
     }
 
+    // The live observability plane. Everything below is read-only over
+    // the run: the observer thread snapshots, it never writes into the
+    // cells, so merged artifacts cannot depend on whether it is on.
+    let effective_jobs = options.jobs.clamp(1, pending.len().max(1));
+    let live_registry = if options.serve.is_some() {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let cells_total = live_registry.gauge("campaign.cells.total");
+    let cells_skipped = live_registry.gauge("campaign.cells.skipped");
+    let cells_completed = live_registry.counter("campaign.cells.completed");
+    let cells_failed = live_registry.counter("campaign.cells.failed");
+    cells_total.set(cells.len() as f64);
+    cells_skipped.set(skipped as f64);
+    // Per-worker busy/idle windows: wall-clock + scheduling dependent,
+    // so they feed `/series` and `workers.json`, never `timeline.json`.
+    let workers_timeline = TimeSeries::enabled(1.0, 256);
+    let board = if options.serve.is_some() {
+        ProgressBoard::enabled(&spec.name, pending.len(), effective_jobs)
+    } else {
+        ProgressBoard::disabled()
+    };
+    let _observer = match &options.serve {
+        Some(addr) => {
+            let observer = Observer::serve(
+                addr,
+                ObserverHandles {
+                    registry: live_registry.clone(),
+                    timeline: workers_timeline.clone(),
+                    progress: board.clone(),
+                },
+            )?;
+            options.log.info(&format!(
+                "observer serving /metrics /progress /series on http://{}",
+                observer.local_addr()
+            ));
+            Some(observer)
+        }
+        None => None,
+    };
+
     let trace_capacity = spec.trace_capacity();
     let mut failures: Vec<CellFailure> = Vec::new();
     let mut io_error: Option<io::Error> = None;
     let mut done = 0usize;
     let mut memory_cells: Vec<CellMemory> = Vec::new();
+    let mut last_finish_s = vec![0.0f64; effective_jobs];
     executor::run_parallel(
         pending.len(),
         options.jobs,
         spec.retries(),
-        |i| run_one_cell(&cells[pending[i]], trace_capacity),
-        |i, result| {
+        |i, worker| {
             let cell = &cells[pending[i]];
-            match result {
+            board.cell_started(worker, &cell.key);
+            // Every attempt gets a fresh black box armed to this thread:
+            // if the cell panics, the hook dumps the ring before the
+            // executor's catch_unwind sees anything.
+            let flight = FlightRecorder::enabled(FLIGHT_CAPACITY);
+            let _black_box = flight.arm(&cell.key, &flight_path(out_dir, &cell.key));
+            run_one_cell(cell, trace_capacity, &flight)
+        },
+        |completion| {
+            let cell = &cells[pending[completion.item]];
+            board.cell_finished(completion.worker, completion.result.is_ok());
+            if let Some(prev) = last_finish_s.get_mut(completion.worker) {
+                let idle = (completion.started_s - *prev).max(0.0);
+                let busy = (completion.finished_s - completion.started_s).max(0.0);
+                let worker = format!("w{:02}", completion.worker);
+                workers_timeline.record(&format!("{worker}/idle_s"), *prev, idle);
+                workers_timeline.record(&format!("{worker}/busy_s"), completion.started_s, busy);
+                *prev = completion.finished_s;
+            }
+            match completion.result {
                 Ok((cell_result, attempts)) => {
                     let persisted = write_cell(out_dir, &cell_result).and_then(|()| {
                         journal.record(&JournalEntry {
                             key: cell.key.clone(),
                             attempts,
+                            wall_ms: Some(JournalEntry::now_ms()),
                         })
                     });
                     if let Err(e) = persisted {
@@ -208,6 +304,10 @@ pub fn run_campaign(
                         }
                         return;
                     }
+                    // A retried-then-successful attempt may have left a
+                    // stale black box; the cell ended well, drop it.
+                    let _ = std::fs::remove_file(flight_path(out_dir, &cell.key));
+                    cells_completed.inc();
                     done += 1;
                     if let Some(rss) = telemetry::sample_rss() {
                         memory_cells.push(CellMemory {
@@ -226,9 +326,13 @@ pub fn run_campaign(
                 }
                 Err(e) => {
                     options.log.warn(&format!(
-                        "cell {} failed after {} attempts: {}",
-                        cell.key, e.attempts, e.message
+                        "cell {} failed after {} attempts: {} (black box: {})",
+                        cell.key,
+                        e.attempts,
+                        e.message,
+                        flight_path(out_dir, &cell.key).display()
                     ));
+                    cells_failed.inc();
                     failures.push(CellFailure {
                         key: cell.key.clone(),
                         attempts: e.attempts,
@@ -242,6 +346,16 @@ pub fn run_campaign(
         return Err(e);
     }
     failures.sort_by(|a, b| a.key.cmp(&b.key));
+
+    // Worker-utilization artifact: same host-dependence argument as
+    // memory.json. Only written when this invocation actually ran cells,
+    // so a no-op resume cannot clobber the original run's telemetry.
+    if !pending.is_empty() {
+        let report = workers_timeline.snapshot();
+        let json = serde_json::to_string(&report)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(out_dir.join("workers.json"), json + "\n")?;
+    }
 
     // Host-dependent memory figures go to their own artifact so the five
     // byte-compared ones stay deterministic (see module docs).
@@ -296,9 +410,20 @@ pub struct CampaignStatus {
     pub completed: usize,
     /// Keys still to run (sorted).
     pub pending: Vec<String>,
+    /// Completion rate over the journal's wall-clock stamps (needs at
+    /// least two stamped entries).
+    pub cells_per_s: Option<f64>,
+    /// Estimated seconds to finish `pending` at that rate.
+    pub eta_s: Option<f64>,
 }
 
 /// Reports how much of `spec` is already durably complete in `out_dir`.
+///
+/// The rate/ETA estimate replays the journal's `wall_ms` stamps and
+/// feeds their span through the same [`telemetry::throughput_eta`]
+/// estimator the live `/progress` endpoint uses — one implementation,
+/// two surfaces. A journal from before timestamps existed (or with a
+/// single entry) simply reports no estimate.
 ///
 /// # Errors
 ///
@@ -307,15 +432,31 @@ pub fn campaign_status(spec: &CampaignSpec, out_dir: &Path) -> io::Result<Campai
     spec.validate()
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     let cells = spec.cells();
-    let journaled = Journal::at(&out_dir.join("journal.jsonl")).completed()?;
+    let journal = Journal::at(&out_dir.join("journal.jsonl"));
+    let entries = journal.entries()?;
+    let journaled: std::collections::BTreeSet<&str> =
+        entries.iter().map(|e| e.key.as_str()).collect();
     let pending: Vec<String> = cells
         .iter()
-        .filter(|c| !journaled.contains(&c.key) || !merge::cell_path(out_dir, &c.key).is_file())
+        .filter(|c| {
+            !journaled.contains(c.key.as_str()) || !merge::cell_path(out_dir, &c.key).is_file()
+        })
         .map(|c| c.key.clone())
         .collect();
+
+    let stamps: Vec<u64> = entries.iter().filter_map(|e| e.wall_ms).collect();
+    let span_s = match (stamps.iter().min(), stamps.iter().max()) {
+        (Some(&first), Some(&last)) => (last.saturating_sub(first)) as f64 / 1000.0,
+        _ => 0.0,
+    };
+    // The first stamp marks a completion, not the campaign start, so
+    // only the stamps after it represent measured throughput.
+    let estimate = telemetry::throughput_eta(stamps.len().saturating_sub(1), pending.len(), span_s);
     Ok(CampaignStatus {
         total: cells.len(),
         completed: cells.len() - pending.len(),
         pending,
+        cells_per_s: estimate.map(|(rate, _)| rate),
+        eta_s: estimate.map(|(_, eta)| eta),
     })
 }

@@ -34,9 +34,9 @@ const USAGE: &str = "omnc-campaign — parallel, resumable experiment campaigns
 
 USAGE:
     omnc-campaign run    --spec <file> --out <dir> [--jobs N] [--count-allocs]
-                         [--log-level quiet|info|debug]
+                         [--serve ADDR] [--log-level quiet|info|debug]
     omnc-campaign resume --spec <file> --out <dir> [--jobs N] [--count-allocs]
-                         [--log-level quiet|info|debug]
+                         [--serve ADDR] [--log-level quiet|info|debug]
     omnc-campaign status --spec <file> --out <dir>
     omnc-campaign bench  --spec <file> --out <dir> [--jobs N] [--record <file>]
                          [--count-allocs]
@@ -45,6 +45,12 @@ Campaign specs are JSON matrices of scenario variants x protocols x
 session indices; see EXPERIMENTS.md for the schema. `resume` re-runs
 only cells the checkpoint journal does not already cover; merged
 artifacts are byte-identical for any --jobs and across resumes.
+`--serve ADDR` (e.g. 127.0.0.1:9100) starts a read-only observer
+thread serving /metrics (Prometheus text), /progress (JSON with ETA
+and per-worker state), and /series (worker timelines) for the life of
+the run; serving never changes any artifact byte. Each cell runs under
+a flight recorder: a panicking cell dumps its last breadcrumbs to
+<out>/flight-<cell>.jsonl before the retry machinery takes over.
 `--count-allocs` enables allocation counting, adding alloc columns to
 the merged span profiles; per-cell RSS samples and campaign peak RSS
 always land in a separate memory.json (host-dependent, so never part
@@ -68,6 +74,7 @@ struct CliArgs {
     jobs: usize,
     log: Logger,
     record: Option<PathBuf>,
+    serve: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<CliArgs, String> {
@@ -76,6 +83,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut jobs = 1usize;
     let mut level = LogLevel::default();
     let mut record: Option<PathBuf> = None;
+    let mut serve: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -100,6 +108,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .ok_or_else(|| format!("unknown --log-level {v:?} (quiet|info|debug)"))?;
             }
             "--record" => record = Some(PathBuf::from(value("--record")?)),
+            "--serve" => serve = Some(value("--serve")?),
             "--count-allocs" => set_alloc_counting(true),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -115,6 +124,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         jobs,
         log: Logger::new(level),
         record,
+        serve,
     })
 }
 
@@ -160,6 +170,7 @@ fn run_once(
         jobs,
         resume,
         log: cli.log,
+        serve: cli.serve.clone(),
     };
     run_campaign(&cli.spec, out, &options)
         .map_err(|e| format!("campaign {} failed: {e}", cli.spec.name))
@@ -172,6 +183,9 @@ fn status(cli: &CliArgs) -> Result<i32, String> {
         "campaign {}: {}/{} cells complete",
         cli.spec.name, status.completed, status.total
     );
+    if let (Some(rate), Some(eta)) = (status.cells_per_s, status.eta_s) {
+        println!("rate {rate:.2} cells/s, eta {eta:.0}s");
+    }
     for key in &status.pending {
         println!("pending {key}");
     }

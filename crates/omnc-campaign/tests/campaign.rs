@@ -29,6 +29,7 @@ fn options(jobs: usize, resume: bool) -> CampaignOptions {
         jobs,
         resume,
         log: Logger::new(LogLevel::Quiet),
+        serve: None,
     }
 }
 
@@ -100,6 +101,38 @@ fn merged_artifacts_are_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn serving_the_observer_never_changes_an_artifact_byte() {
+    // The live plane is strictly read-only: running the same seeded
+    // campaign with and without `--serve` must merge byte-identical
+    // artifacts. Port 0 lets the OS pick a free port.
+    let spec = smoke_spec();
+    let plain_dir = temp_out("noserve");
+    let served_dir = temp_out("served");
+
+    let plain = run_campaign(&spec, &plain_dir, &options(2, false)).expect("plain run");
+    let mut serving = options(2, false);
+    serving.serve = Some("127.0.0.1:0".to_owned());
+    let served = run_campaign(&spec, &served_dir, &serving).expect("served run");
+    assert!(plain.merged && served.merged);
+    assert!(plain.failures.is_empty() && served.failures.is_empty());
+
+    let a = read_artifacts(&plain_dir);
+    let b = read_artifacts(&served_dir);
+    for ((name, left), right) in ARTIFACTS.iter().zip(&a).zip(&b) {
+        assert_eq!(left, right, "{name} differs with the observer serving");
+    }
+    // Worker-utilization telemetry rides in its own artifact (it is
+    // host-dependent, like memory.json), present with or without serving.
+    for dir in [&plain_dir, &served_dir] {
+        let workers = fs::read_to_string(dir.join("workers.json")).expect("workers.json");
+        assert!(workers.contains("w00/busy_s"), "{workers}");
+    }
+
+    let _ = fs::remove_dir_all(plain_dir);
+    let _ = fs::remove_dir_all(served_dir);
+}
+
+#[test]
 fn resume_reruns_only_cells_the_journal_does_not_cover() {
     let spec = smoke_spec();
     let dir = temp_out("resume");
@@ -163,6 +196,24 @@ fn panicking_cells_are_retried_isolated_and_resumable() {
     );
     assert!(!dir.join("outcomes.jsonl").exists());
 
+    // The doomed cell left its black box: a flight dump whose header
+    // names the cell and carries the panic message, with the run's tail
+    // breadcrumbs behind it.
+    let flight = omnc_campaign::flight_path(&dir, "bad/OMNC/0000000000");
+    let dump = fs::read_to_string(&flight).expect("panicking cell wrote a flight dump");
+    let header = dump.lines().next().expect("header line");
+    assert!(header.contains("\"bad/OMNC/0000000000\""), "{header}");
+    assert!(
+        header.contains("\"panic\":\""),
+        "panic message recorded: {header}"
+    );
+    assert!(
+        dump.contains("cell/start") && dump.contains("protocol=OMNC session=0"),
+        "tail breadcrumbs survive: {dump}"
+    );
+    // The healthy cell never writes one.
+    assert!(!omnc_campaign::flight_path(&dir, "good/OMNC/0000000000").exists());
+
     // Fix the bad variant (same label, so the same cell key) and resume:
     // only the failed cell runs, and the campaign merges.
     let fixed = CampaignSpec::from_json(
@@ -185,5 +236,8 @@ fn panicking_cells_are_retried_isolated_and_resumable() {
     assert!(resumed.failures.is_empty());
     assert!(resumed.merged);
     assert!(dir.join("outcomes.jsonl").is_file());
+    // The stale black box from the failed attempt is gone now that the
+    // cell completed — dumps only describe crashes that still stand.
+    assert!(!flight.exists(), "stale flight dump cleared on success");
     let _ = fs::remove_dir_all(dir);
 }

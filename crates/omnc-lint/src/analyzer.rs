@@ -131,7 +131,7 @@ fn run_line_checks(
 
 /// Substring rules: each hit of a pattern outside tests is one finding.
 fn check_patterns(code: &str, emit: &mut impl FnMut(Rule, String)) {
-    const PATTERNS: [(Rule, &str, &str); 18] = [
+    const PATTERNS: [(Rule, &str, &str); 19] = [
         (Rule::WallClock, "Instant::now", "wall-clock read"),
         (Rule::WallClock, "SystemTime", "wall-clock read"),
         (Rule::NondetRng, "thread_rng", "entropy-seeded RNG"),
@@ -148,6 +148,7 @@ fn check_patterns(code: &str, emit: &mut impl FnMut(Rule, String)) {
         (Rule::Concurrency, "thread::scope", "thread creation"),
         (Rule::Concurrency, "thread::Builder", "thread creation"),
         (Rule::Concurrency, "mpsc::", "channel plumbing"),
+        (Rule::Concurrency, "TcpListener", "network listener"),
         (Rule::HotAlloc, "Box::new(", "heap allocation in hot path"),
         (
             Rule::HotAlloc,

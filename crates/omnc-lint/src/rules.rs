@@ -15,10 +15,13 @@
 //!   optimizer/LP crates.
 //!
 //! Determinism grew a fifth member with the campaign orchestrator
-//! (ISSUE 5): **concurrency** — `std::thread` / `mpsc` stay banned in the
-//! sim crates and in `omnc-campaign` at large, with the campaign's
-//! `executor.rs` as the single sanctioned exception (workers run whole
-//! cells around the simulation, never threads inside it).
+//! (ISSUE 5): **concurrency** — `std::thread` / `mpsc` (and, with the
+//! live observability plane, `TcpListener`) stay banned in the sim
+//! crates and in `omnc-campaign` and `omnc-telemetry` at large, with
+//! exactly two sanctioned exceptions: the campaign's `executor.rs`
+//! (workers run whole cells around the simulation, never threads inside
+//! it) and the telemetry crate's `export.rs` (the read-only observer
+//! thread serving `/metrics`).
 //!
 //! The SIMD/perf arc (ISSUE 8) added a sixth family, **(K) kernel
 //! hygiene**, and made obligations *transitive*: `lossy-cast` (narrowing
@@ -40,7 +43,7 @@ use serde::{Deserialize, Serialize};
 /// output change in a way that invalidates cached analyses. The
 /// incremental cache (`--cache`) stores this and discards entries
 /// recorded under a different version.
-pub const RULES_VERSION: u32 = 2;
+pub const RULES_VERSION: u32 = 3;
 
 /// How a finding affects the exit status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -158,7 +161,10 @@ impl Rule {
             Rule::Index => "slice/array indexing in designated hot-path modules",
             Rule::UnsafeAudit => "crates must forbid unsafe_code or SAFETY-document each allow",
             Rule::FloatEq => "== / != against float literals in optimizer/LP crates",
-            Rule::Concurrency => "std::thread / mpsc use outside the omnc-campaign executor module",
+            Rule::Concurrency => {
+                "std::thread / mpsc / TcpListener use outside the two sanctioned modules \
+                 (the omnc-campaign executor and the omnc-telemetry observer)"
+            }
             Rule::HotAlloc => {
                 "Box::new / Vec::with_capacity(0) allocations in designated hot-path modules"
             }
@@ -357,7 +363,10 @@ impl Default for RuleTable {
         let concurrency: Vec<String> = SIM_CRATES
             .iter()
             .map(|s| (*s).to_owned())
-            .chain(std::iter::once("crates/omnc-campaign/".to_owned()))
+            .chain([
+                "crates/omnc-campaign/".to_owned(),
+                "crates/omnc-telemetry/".to_owned(),
+            ])
             .collect();
         let wire_kernel: Vec<String> = WIRE_KERNEL_MODULES
             .iter()
@@ -382,15 +391,19 @@ impl Default for RuleTable {
                 (Rule::Index, cfg(Severity::Warn, &hot, vec![])),
                 (Rule::UnsafeAudit, cfg(Severity::Deny, &Vec::new(), vec![])),
                 (Rule::FloatEq, cfg(Severity::Deny, &float, vec![])),
-                // The campaign orchestrator's executor module is the one
-                // sanctioned concurrency surface: cells run on worker
-                // threads *around* the simulation, never inside it.
+                // Two sanctioned concurrency surfaces: the campaign
+                // executor (cells run on worker threads *around* the
+                // simulation, never inside it) and the telemetry observer
+                // (a read-only TcpListener thread serving /metrics).
                 (
                     Rule::Concurrency,
                     cfg(
                         Severity::Deny,
                         &concurrency,
-                        vec!["crates/omnc-campaign/src/executor.rs"],
+                        vec![
+                            "crates/omnc-campaign/src/executor.rs",
+                            "crates/omnc-telemetry/src/export.rs",
+                        ],
                     ),
                 ),
                 // The allocation-observability arc: hot paths must stay
@@ -490,9 +503,14 @@ mod tests {
         assert!(!t
             .config(Rule::Concurrency)
             .applies_to("crates/omnc-campaign/src/executor.rs"));
-        assert!(!t
+        // The telemetry crate is in scope (a rogue listener in the sink
+        // would be a finding) with the observer module sanctioned.
+        assert!(t
             .config(Rule::Concurrency)
             .applies_to("crates/omnc-telemetry/src/registry.rs"));
+        assert!(!t
+            .config(Rule::Concurrency)
+            .applies_to("crates/omnc-telemetry/src/export.rs"));
     }
 
     #[test]

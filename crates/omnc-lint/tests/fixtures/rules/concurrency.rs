@@ -23,6 +23,11 @@ fn channel_positive() {
     drop((tx, rx));
 }
 
+fn listener_positive() {
+    let l = std::net::TcpListener::bind("127.0.0.1:0"); // finding: concurrency
+    drop(l);
+}
+
 fn spawn_allowed() {
     // lint: allow(concurrency) -- fixture: suppressed on the next line
     let h = std::thread::spawn(|| 42);

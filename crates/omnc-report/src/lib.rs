@@ -33,7 +33,8 @@ use omnc_opt::IterationRecord;
 use serde::{Deserialize, Serialize};
 
 pub use omnc::telemetry::{
-    ProfileReport, ProfileSpan, TimelineBucket, TimelineReport, TimelineSeries,
+    FlightEvent, FlightHeader, ProfileReport, ProfileSpan, ProgressSnapshot, TimelineBucket,
+    TimelineReport, TimelineSeries, WorkerProgress,
 };
 
 /// Per-link delivery accounting.
@@ -1418,6 +1419,112 @@ pub fn render_profile(report: &ProfileReport, top: usize) -> String {
     out
 }
 
+// ------------------------------------------------------------ live & flight
+
+/// Renders a live [`ProgressSnapshot`] (from an observer's `/progress`
+/// endpoint) as a progress bar plus one line per worker.
+#[must_use]
+pub fn render_progress(p: &ProgressSnapshot) -> String {
+    let mut out = String::new();
+    let done = p.completed + p.failed;
+    let frac = if p.total > 0 {
+        done as f64 / p.total as f64
+    } else {
+        1.0
+    };
+    let cols = 40usize;
+    let filled = (frac * cols as f64).round() as usize;
+    let bar: String = (0..cols)
+        .map(|i| if i < filled { '#' } else { '.' })
+        .collect();
+    let _ = write!(
+        out,
+        "{} [{bar}] {done}/{} cells ({:.0}%), {} failed, {:.1}s elapsed",
+        p.name,
+        p.total,
+        frac * 100.0,
+        p.failed,
+        p.elapsed_s
+    );
+    match (p.cells_per_s, p.eta_s) {
+        (Some(rate), Some(eta)) => {
+            let _ = writeln!(out, ", {rate:.2} cells/s, eta {eta:.0}s");
+        }
+        _ => out.push('\n'),
+    }
+    for w in &p.workers {
+        let state = match (&w.cell, w.busy) {
+            (Some(cell), true) => format!("busy on {cell}"),
+            _ => "idle".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "  w{:02}  {:<40}  {} done  busy {:.1}s",
+            w.worker, state, w.cells_done, w.busy_s
+        );
+    }
+    out
+}
+
+/// Parses a flight-recorder dump (from [`omnc::telemetry::FlightRecorder`]):
+/// a [`FlightHeader`] line followed by one [`FlightEvent`] per line.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the header or any event line fails to parse,
+/// or the underlying I/O error.
+pub fn parse_flight(reader: impl BufRead) -> io::Result<(FlightHeader, Vec<FlightEvent>)> {
+    let invalid = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+    let mut lines = reader.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| invalid("empty flight dump".to_owned()))??;
+    let header: FlightHeader = serde_json::from_str(&header_line)
+        .map_err(|e| invalid(format!("bad flight header: {e}")))?;
+    let mut events = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: FlightEvent = serde_json::from_str(&line)
+            .map_err(|e| invalid(format!("bad flight event line: {e}")))?;
+        events.push(event);
+    }
+    Ok((header, events))
+}
+
+/// Pretty-prints a parsed flight dump: the crashed cell, the panic
+/// message, eviction accounting, then the surviving breadcrumbs oldest
+/// first with virtual-time stamps.
+#[must_use]
+pub fn render_flight(header: &FlightHeader, events: &[FlightEvent]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "flight {}", header.flight);
+    match &header.panic {
+        Some(message) => {
+            let _ = writeln!(out, "panic: {message}");
+        }
+        None => {
+            let _ = writeln!(out, "panic: (none — dump was taken manually)");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} event(s) kept, {} older event(s) evicted from the ring",
+        events.len(),
+        header.dropped
+    );
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{:>6}  t={:<10.3} {:<14} {}",
+            e.seq, e.t, e.kind, e.detail
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2009,5 +2116,62 @@ mod tests {
 
         let err = parse_trajectory("{broken\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn progress_renders_bar_workers_and_eta() {
+        let snap = ProgressSnapshot {
+            name: "smoke".into(),
+            total: 8,
+            completed: 3,
+            failed: 1,
+            elapsed_s: 10.0,
+            cells_per_s: Some(0.4),
+            eta_s: Some(10.0),
+            workers: vec![
+                WorkerProgress {
+                    worker: 0,
+                    busy: true,
+                    cell: Some("lossy/OMNC/0000000001".into()),
+                    cells_done: 2,
+                    busy_s: 8.5,
+                },
+                WorkerProgress {
+                    worker: 1,
+                    busy: false,
+                    cell: None,
+                    cells_done: 2,
+                    busy_s: 7.0,
+                },
+            ],
+        };
+        let text = render_progress(&snap);
+        assert!(text.contains("smoke ["), "{text}");
+        assert!(text.contains("4/8 cells (50%)"), "{text}");
+        assert!(text.contains("0.40 cells/s, eta 10s"), "{text}");
+        assert!(text.contains("busy on lossy/OMNC/0000000001"), "{text}");
+        assert!(text.contains("w01  idle"), "{text}");
+    }
+
+    #[test]
+    fn flight_dumps_parse_and_render_round_trip() {
+        let dump = "{\"flight\":\"bad/OMNC/0000000000\",\"panic\":\"boom\",\
+                    \"dropped\":3,\"events\":2}\n\
+                    {\"seq\":3,\"t\":0.0,\"kind\":\"cell/start\",\"detail\":\"protocol=OMNC\"}\n\
+                    {\"seq\":4,\"t\":2.5,\"kind\":\"sim/done\",\"detail\":\"OMNC\"}\n";
+        let (header, events) = parse_flight(dump.as_bytes()).expect("parses");
+        assert_eq!(header.flight, "bad/OMNC/0000000000");
+        assert_eq!(header.panic.as_deref(), Some("boom"));
+        assert_eq!(events.len(), 2);
+        let text = render_flight(&header, &events);
+        assert!(text.contains("flight bad/OMNC/0000000000"), "{text}");
+        assert!(text.contains("panic: boom"), "{text}");
+        assert!(text.contains("2 event(s) kept, 3 older"), "{text}");
+        assert!(text.contains("cell/start"), "{text}");
+        assert!(text.contains("t=2.5"), "{text}");
+
+        let err = parse_flight("not json\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("flight header"), "{err}");
+        assert!(parse_flight("".as_bytes()).is_err(), "empty dump rejected");
     }
 }

@@ -23,11 +23,11 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 use omnc_report::{
-    analyze, analyze_trends, compare, compare_profiles, gate_report, missing_metrics, parse_opt,
-    parse_trace, parse_trajectory, profile_gate_report, render_ascii, render_csv, render_profile,
-    render_timeline, render_timeline_summary, render_trends, summarize_timeline, timeline_csv,
-    trend_gate_report, GateReport, ProfileMetric, ProfileReport, Report, TimelineReport,
-    TREND_MIN_POINTS,
+    analyze, analyze_trends, compare, compare_profiles, gate_report, missing_metrics, parse_flight,
+    parse_opt, parse_trace, parse_trajectory, profile_gate_report, render_ascii, render_csv,
+    render_flight, render_profile, render_progress, render_timeline, render_timeline_summary,
+    render_trends, summarize_timeline, timeline_csv, trend_gate_report, GateReport, ProfileMetric,
+    ProfileReport, ProgressSnapshot, Report, TimelineReport, TREND_MIN_POINTS,
 };
 
 fn main() {
@@ -38,6 +38,8 @@ fn main() {
         Some("profile") => run_profile(&argv[1..]),
         Some("timeline") => run_timeline(&argv[1..]),
         Some("trend") => run_trend(&argv[1..]),
+        Some("live") => run_live(&argv[1..]),
+        Some("flight") => run_flight(&argv[1..]),
         Some("--help" | "-h") | None => {
             print_help();
             Ok(0)
@@ -69,6 +71,8 @@ USAGE:
                                 [--quiet]
     omnc-report trend [--trajectory <PATH>] [--threshold <T>]
                       [--min-points <N>] [--strict] [--json <OUT>]
+    omnc-report live <ADDR> [--watch] [--interval <SECS>] [--series]
+    omnc-report flight <PATH>
 
 ANALYZE:
     --trace <PATH>      JSONL trace from `omnc-sim --trace` ('-' = stdin)
@@ -126,9 +130,128 @@ TREND:
     --json <OUT>        write a machine-readable gate report (per-history
                         verdicts) to <OUT> ('-' = stdout)
 
+LIVE:
+    <ADDR>              observer address printed by a `--serve` run
+                        (e.g. 127.0.0.1:9100)
+    --watch             poll /progress until the run completes (or the
+                        observer goes away) instead of one-shot
+    --interval <SECS>   polling interval under --watch     [default: 2]
+    --series            also fetch /series and chart the live timeline
+                        windows as sparklines
+
+FLIGHT:
+    <PATH>              flight-recorder dump (flight-<cell>.jsonl from a
+                        panicked campaign cell, or the --flight-recorder
+                        path of omnc-sim)
+
 compare / profile compare / trend exit 0 when nothing regressed,
 1 otherwise."
     );
+}
+
+/// Minimal HTTP/1.0 GET against the observer; returns the response body.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::net::TcpStream;
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to '{addr}': {e}"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("sending request to '{addr}': {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("reading response from '{addr}': {e}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or(&response);
+    Ok(body.to_owned())
+}
+
+fn fetch_progress(addr: &str) -> Result<Option<ProgressSnapshot>, String> {
+    let body = http_get(addr, "/progress")?;
+    if body.trim() == "{}" {
+        return Ok(None); // observer up, progress board disabled
+    }
+    serde_json::from_str(&body)
+        .map(Some)
+        .map_err(|e| format!("parsing /progress: {e}"))
+}
+
+fn run_live(args: &[String]) -> Result<i32, String> {
+    let mut addr: Option<String> = None;
+    let mut watch = false;
+    let mut interval_s = 2.0f64;
+    let mut series = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--watch" => watch = true,
+            "--interval" => {
+                let v = next_value(&mut it, "--interval")?;
+                interval_s = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| *s > 0.0)
+                    .ok_or_else(|| format!("could not parse --interval '{v}'"))?;
+            }
+            "--series" => series = true,
+            other if !other.starts_with("--") && addr.is_none() => addr = Some(other.to_string()),
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    let addr = addr.ok_or("live requires the observer address (e.g. 127.0.0.1:9100)")?;
+    let mut polled_once = false;
+    loop {
+        let progress = match fetch_progress(&addr) {
+            Ok(p) => p,
+            // A vanished observer after a successful poll means the run
+            // finished and took its --serve thread with it: clean exit.
+            Err(_) if watch && polled_once => {
+                println!("observer at {addr} gone — run finished");
+                return Ok(0);
+            }
+            Err(e) => return Err(e),
+        };
+        let done = match &progress {
+            Some(p) => {
+                print!("{}", render_progress(p));
+                p.total > 0 && p.completed + p.failed >= p.total
+            }
+            None => {
+                println!("observer at {addr} is serving, but no progress board is attached");
+                true
+            }
+        };
+        if series {
+            let body = http_get(&addr, "/series")?;
+            let report: TimelineReport =
+                serde_json::from_str(&body).map_err(|e| format!("parsing /series: {e}"))?;
+            print!("{}", render_timeline(&report, None));
+        }
+        polled_once = true;
+        if !watch || done {
+            return Ok(0);
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval_s));
+    }
+}
+
+fn run_flight(args: &[String]) -> Result<i32, String> {
+    let mut path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--flight" => path = Some(next_value(&mut it, "--flight")?.clone()),
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    let path = path.ok_or("flight requires a dump path (flight-<cell>.jsonl)")?;
+    let (header, events) = parse_flight(reader_for(&path)?)
+        .map_err(|e| format!("reading flight dump '{path}': {e}"))?;
+    print!("{}", render_flight(&header, &events));
+    Ok(0)
 }
 
 fn reader_for(path: &str) -> Result<Box<dyn BufRead>, String> {

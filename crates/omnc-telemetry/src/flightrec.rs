@@ -1,0 +1,323 @@
+//! The flight recorder: a fixed-capacity ring buffer of recent events
+//! plus a panic hook that dumps the ring to `flight-<cell>.jsonl`
+//! before unwinding — a black box for campaign cells and long sims.
+//!
+//! Recording follows the crate's enabled/disabled handle pattern: a
+//! [`FlightRecorder::disabled`] handle (the `Default`) drops events
+//! after one branch, so instrumented code never checks itself. Events
+//! carry a caller-supplied epoch (virtual-clock seconds wherever the
+//! caller has them), a monotone sequence number, a short `kind`, and a
+//! free-form `detail`; once the ring is full the oldest events fall off
+//! and a `dropped` counter keeps the total honest.
+//!
+//! Dumps happen through a process-global panic hook (installed once,
+//! chained in front of whatever hook was already set) reading a
+//! thread-local arming slot: [`FlightRecorder::arm`] binds *this
+//! thread's* next panic to a recorder and a dump path, and the returned
+//! guard disarms on drop — including the unwind path, so a worker that
+//! panics dumps exactly its own cell's ring, and retried cells re-arm
+//! cleanly. Nothing is ever written unless a panic actually happens,
+//! which keeps campaign artifact bytes independent of whether the
+//! recorder is on.
+//!
+//! The dump is JSONL: a header line (`{"flight":…,"panic":…,
+//! "dropped":…,"events":…}`) followed by one line per event, oldest
+//! first — readable with `omnc-report flight <path>`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Once};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    /// Monotone sequence number (never resets, survives ring eviction).
+    pub seq: u64,
+    /// Caller-supplied epoch — virtual-clock seconds where available.
+    pub t: f64,
+    /// Short event class, e.g. `cell/start`, `sim/done`.
+    pub kind: String,
+    /// Free-form context.
+    pub detail: String,
+}
+
+/// The header line of a flight dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightHeader {
+    /// The armed label, usually a campaign cell key.
+    pub flight: String,
+    /// The panic message, when the dump came from the panic hook.
+    pub panic: Option<String>,
+    /// Events evicted from the ring before the dump.
+    pub dropped: u64,
+    /// Number of event lines following the header.
+    pub events: u64,
+}
+
+#[derive(Debug)]
+struct FlightCore {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<FlightEvent>,
+}
+
+/// The ring-buffer recorder. `Clone` shares the ring; the `Default` is
+/// disabled.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    core: Option<Arc<Mutex<FlightCore>>>,
+}
+
+impl FlightRecorder {
+    /// A recorder that drops every event after one branch.
+    #[must_use]
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder { core: None }
+    }
+
+    /// A live recorder keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn enabled(capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            core: Some(Arc::new(Mutex::new(FlightCore {
+                capacity,
+                next_seq: 0,
+                dropped: 0,
+                events: VecDeque::with_capacity(capacity),
+            }))),
+        }
+    }
+
+    /// Whether events are being kept.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Appends one event, evicting the oldest when the ring is full.
+    pub fn record(&self, t: f64, kind: &str, detail: &str) {
+        let Some(core) = &self.core else { return };
+        let mut core = core.lock();
+        let seq = core.next_seq;
+        core.next_seq += 1;
+        if core.events.len() == core.capacity {
+            core.events.pop_front();
+            core.dropped += 1;
+        }
+        core.events.push_back(FlightEvent {
+            seq,
+            t,
+            kind: kind.to_owned(),
+            detail: detail.to_owned(),
+        });
+    }
+
+    /// The ring contents (oldest first) and the evicted-event count.
+    #[must_use]
+    pub fn snapshot(&self) -> (Vec<FlightEvent>, u64) {
+        let Some(core) = &self.core else {
+            return (Vec::new(), 0);
+        };
+        let core = core.lock();
+        (core.events.iter().cloned().collect(), core.dropped)
+    }
+
+    /// Serializes the ring as a JSONL dump (header line + events).
+    #[must_use]
+    pub fn render_dump(&self, label: &str, panic_msg: Option<&str>) -> String {
+        let (events, dropped) = self.snapshot();
+        let header = FlightHeader {
+            flight: label.to_owned(),
+            panic: panic_msg.map(str::to_owned),
+            dropped,
+            events: events.len() as u64,
+        };
+        let mut out = serde_json::to_string(&header).unwrap_or_else(|_| "{}".to_owned());
+        out.push('\n');
+        for event in &events {
+            if let Ok(line) = serde_json::to_string(event) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Writes [`FlightRecorder::render_dump`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_dump(
+        &self,
+        label: &str,
+        panic_msg: Option<&str>,
+        path: &Path,
+    ) -> std::io::Result<()> {
+        std::fs::write(path, self.render_dump(label, panic_msg))
+    }
+
+    /// Arms this thread's panic hook: until the returned guard drops,
+    /// a panic on this thread dumps this recorder's ring to `path`
+    /// (labelled `label`) before unwinding. Re-arming replaces the
+    /// previous binding; the hook itself is installed once per process
+    /// and chains the hook that was already set.
+    #[must_use]
+    pub fn arm(&self, label: &str, path: &Path) -> FlightGuard {
+        install_panic_hook();
+        ARMED.with(|slot| {
+            *slot.borrow_mut() = Some(ArmedFlight {
+                recorder: self.clone(),
+                label: label.to_owned(),
+                path: path.to_owned(),
+            });
+        });
+        FlightGuard { _private: () }
+    }
+}
+
+#[derive(Debug)]
+struct ArmedFlight {
+    recorder: FlightRecorder,
+    label: String,
+    path: PathBuf,
+}
+
+/// Disarms the thread's flight-recorder binding on drop (including the
+/// unwind path after the hook already dumped).
+#[derive(Debug)]
+pub struct FlightGuard {
+    _private: (),
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        ARMED.with(|slot| {
+            if let Ok(mut armed) = slot.try_borrow_mut() {
+                *armed = None;
+            }
+        });
+    }
+}
+
+thread_local! {
+    static ARMED: RefCell<Option<ArmedFlight>> = const { RefCell::new(None) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_panic_hook() {
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Dump before the previous hook prints, so the black box is
+            // on disk even if the process aborts right after. The hook
+            // must never panic itself: every step is best-effort.
+            ARMED.with(|slot| {
+                if let Ok(armed) = slot.try_borrow() {
+                    if let Some(armed) = armed.as_ref() {
+                        let message = payload_message(info.payload());
+                        let _ =
+                            armed
+                                .recorder
+                                .write_dump(&armed.label, Some(&message), &armed.path);
+                    }
+                }
+            });
+            previous(info);
+        }));
+    });
+}
+
+fn payload_message(payload: &dyn std::any::Any) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("omnc-flight-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_and_counts_evictions() {
+        let rec = FlightRecorder::enabled(3);
+        for i in 0..5 {
+            rec.record(i as f64, "step", &format!("event {i}"));
+        }
+        let (events, dropped) = rec.snapshot();
+        assert_eq!(dropped, 2);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest evicted, order kept");
+        assert_eq!(events[2].detail, "event 4");
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let rec = FlightRecorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.record(0.0, "step", "x");
+        assert_eq!(rec.snapshot(), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn dump_round_trips_header_and_events() {
+        let rec = FlightRecorder::enabled(8);
+        rec.record(0.0, "cell/start", "protocol=OMNC session=0");
+        rec.record(2.0, "sim/done", "throughput=123");
+        let dump = rec.render_dump("bad/OMNC/0000000000", Some("boom"));
+        let mut lines = dump.lines();
+        let header: FlightHeader =
+            serde_json::from_str(lines.next().expect("header line")).expect("header parses");
+        assert_eq!(header.flight, "bad/OMNC/0000000000");
+        assert_eq!(header.panic.as_deref(), Some("boom"));
+        assert_eq!((header.dropped, header.events), (0, 2));
+        let first: FlightEvent =
+            serde_json::from_str(lines.next().expect("event line")).expect("event parses");
+        assert_eq!(first.kind, "cell/start");
+        assert_eq!(lines.count(), 1);
+    }
+
+    #[test]
+    fn armed_panic_dumps_the_ring_before_unwinding() {
+        let path = temp_path("panic-dump.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let rec = FlightRecorder::enabled(4);
+        rec.record(0.0, "cell/start", "the last breadcrumb before death");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = rec.arm("doomed/OMNC/0000000001", &path);
+            panic!("deliberate test panic");
+        }));
+        assert!(result.is_err(), "the panic propagates");
+        let dump = std::fs::read_to_string(&path).expect("hook wrote the dump");
+        let header: FlightHeader =
+            serde_json::from_str(dump.lines().next().expect("header")).expect("header parses");
+        assert_eq!(header.flight, "doomed/OMNC/0000000001");
+        assert_eq!(header.panic.as_deref(), Some("deliberate test panic"));
+        assert!(dump.contains("the last breadcrumb before death"));
+
+        // The guard disarmed on unwind: a later panic writes nothing.
+        std::fs::remove_file(&path).expect("cleanup");
+        let late = std::panic::catch_unwind(|| panic!("unarmed panic"));
+        assert!(late.is_err());
+        assert!(!path.exists(), "no dump without an armed recorder");
+    }
+}

@@ -32,7 +32,14 @@
 //! * deterministic windowed [`TimeSeries`] — bounded-memory dynamics
 //!   metrics (queue depth, decoder rank, optimizer convergence, goodput)
 //!   with 2:1 downsampling, exported as a [`TimelineReport`] and merged
-//!   across campaign cells with [`merge_timelines`].
+//!   across campaign cells with [`merge_timelines`];
+//! * the live observability plane — Prometheus-style text exposition
+//!   ([`render_exposition`]), a live [`ProgressBoard`] with the shared
+//!   [`throughput_eta`] estimator, and the read-only [`Observer`]
+//!   thread serving `/metrics`, `/progress`, and `/series` over HTTP;
+//! * a panic-safe [`FlightRecorder`] — a fixed-capacity ring of recent
+//!   events dumped to `flight-<cell>.jsonl` by a chained panic hook
+//!   ([`FlightRecorder::arm`]), the black box for campaign cells.
 
 // Unsafe is denied crate-wide and allowed back in exactly one module:
 // `alloc`, the counting global-allocator wrapper, where every unsafe
@@ -41,6 +48,8 @@
 #![deny(unsafe_code)]
 
 mod alloc;
+mod export;
+mod flightrec;
 mod log;
 mod merge;
 mod profiler;
@@ -53,6 +62,11 @@ pub use alloc::{
     alloc_counting_enabled, sample_rss, set_alloc_counting, thread_alloc_stats, AllocScope,
     AllocStats, CountingAlloc, RssSample,
 };
+pub use export::{
+    render_exposition, throughput_eta, Observer, ObserverHandles, ProgressBoard, ProgressSnapshot,
+    WorkerProgress,
+};
+pub use flightrec::{FlightEvent, FlightGuard, FlightHeader, FlightRecorder};
 pub use log::{LogLevel, Logger};
 pub use merge::{merge_metric_snapshots, merge_profiles, merge_timelines};
 pub use profiler::{

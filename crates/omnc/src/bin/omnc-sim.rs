@@ -15,7 +15,8 @@ use omnc::runner::{run_session_traced, Protocol, RunOptions};
 use omnc::scenario::{Quality, Scenario};
 use omnc::session::SessionConfig;
 use omnc::telemetry::{
-    sample_rss, set_alloc_counting, CountingAlloc, LogLevel, Logger, Profiler, TimeSeries,
+    sample_rss, set_alloc_counting, CountingAlloc, FlightRecorder, LogLevel, Logger, Observer,
+    ObserverHandles, Profiler, ProgressBoard, Registry, TimeSeries,
 };
 
 // Counting is a no-op (one relaxed atomic load per allocation) until
@@ -50,6 +51,8 @@ struct Args {
     profile_wall_clock: bool,
     count_allocs: bool,
     log_level: LogLevel,
+    serve: Option<String>,
+    flight_recorder: Option<String>,
 }
 
 impl Args {
@@ -72,6 +75,8 @@ impl Args {
             profile_wall_clock: false,
             count_allocs: false,
             log_level: LogLevel::Info,
+            serve: None,
+            flight_recorder: None,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut it = argv.iter();
@@ -122,6 +127,10 @@ impl Args {
                     }
                 }
                 "--count-allocs" => args.count_allocs = true,
+                "--serve" => args.serve = Some(value("--serve")?.clone()),
+                "--flight-recorder" => {
+                    args.flight_recorder = Some(value("--flight-recorder")?.clone());
+                }
                 "--log-level" => {
                     let v = value("--log-level")?;
                     args.log_level = LogLevel::parse(v)
@@ -195,6 +204,15 @@ OPTIONS:
                         alloc columns and the log reports per-session
                         allocation deltas (stderr only — stdout, --trace,
                         and --profile stay byte-identical)
+    --serve <ADDR>      serve live observability read-only over HTTP while
+                        the run lasts: /metrics (Prometheus text from the
+                        simulator's counters), /progress (JSON with ETA
+                        and per-session state), /series (the --timeline
+                        windows, when enabled). Never changes any output
+                        byte; e.g. --serve 127.0.0.1:9100
+    --flight-recorder <PATH> keep a ring of run breadcrumbs and dump them
+                        to PATH if the run panics (nothing is written on
+                        success); read the dump with `omnc-report flight`
     --log-level <L>     quiet | info | debug  [default: info]
     -h, --help          this text"
     );
@@ -252,11 +270,51 @@ fn main() {
     } else {
         TimeSeries::disabled()
     };
+    // The live plane: a registry for the simulator's MAC counters, a
+    // progress board over session x protocol runs, and the observer
+    // thread serving both (plus the --timeline windows) read-only.
+    let registry = if args.serve.is_some() {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let board = if args.serve.is_some() {
+        ProgressBoard::enabled("omnc-sim", args.sessions * args.protocols.len(), 1)
+    } else {
+        ProgressBoard::disabled()
+    };
+    let _observer = args.serve.as_ref().map(|addr| {
+        let handles = ObserverHandles {
+            registry: registry.clone(),
+            timeline: timeline.clone(),
+            progress: board.clone(),
+        };
+        match Observer::serve(addr, handles) {
+            Ok(observer) => {
+                log.info(&format!(
+                    "observer serving /metrics /progress /series on http://{}",
+                    observer.local_addr()
+                ));
+                observer
+            }
+            Err(e) => {
+                log.error(&format!("cannot serve on '{addr}': {e}"));
+                std::process::exit(2);
+            }
+        }
+    });
+    let flight = if args.flight_recorder.is_some() {
+        FlightRecorder::enabled(256)
+    } else {
+        FlightRecorder::disabled()
+    };
     let options = RunOptions {
         fault: None,
         trace_capacity: args.trace.is_some().then_some(args.trace_capacity),
         profiler: profiler.clone(),
         timeline: timeline.clone(),
+        registry,
+        flight: flight.clone(),
         ..RunOptions::default()
     };
     log.debug(&format!(
@@ -273,8 +331,14 @@ fn main() {
                 dst.index()
             ));
             let scope = args.count_allocs.then(omnc::telemetry::AllocScope::start);
+            let scope_key = format!("{}/s{k}", protocol.name().to_ascii_lowercase());
+            board.cell_started(0, &scope_key);
+            let _black_box = args
+                .flight_recorder
+                .as_ref()
+                .map(|path| flight.arm(&scope_key, std::path::Path::new(path)));
             let run_options = RunOptions {
-                timeline_scope: format!("{}/s{k}", protocol.name().to_ascii_lowercase()),
+                timeline_scope: scope_key,
                 ..options.clone()
             };
             let (out, trace) = run_session_traced(
@@ -286,6 +350,7 @@ fn main() {
                 seed,
                 &run_options,
             );
+            board.cell_finished(0, true);
             if let Some(scope) = scope {
                 let d = scope.delta();
                 let rss = sample_rss().map_or(0, |r| r.vm_rss_bytes) / (1024 * 1024);

@@ -9,7 +9,7 @@ use net_topo::graph::{Link, NodeId, Topology};
 use net_topo::select::{disjoint_path_count, select_forwarders, Selection};
 use omnc_opt::{default_portfolio, run_best, run_best_traced, SUnicast};
 use serde::{Deserialize, Serialize};
-use telemetry::{Profiler, Registry, TimeSeries};
+use telemetry::{FlightRecorder, Profiler, Registry, TimeSeries};
 
 use crate::msg::Msg;
 use crate::proto::credits::{more_credits, oldmore_credits, CreditPlan};
@@ -247,6 +247,12 @@ pub struct RunOptions {
     /// Prefix for every series name this run records (e.g. `omnc/s0` or a
     /// campaign cell key), so one recorder can serve many runs.
     pub timeline_scope: String,
+    /// Flight recorder the run drops coarse breadcrumbs into (session
+    /// build, optimizer, simulation start/end, metric collection), each
+    /// stamped with virtual-clock time. Defaults to disabled (one branch
+    /// per breadcrumb); arm an enabled [`FlightRecorder`] to get a
+    /// post-mortem dump when the run panics. Never affects results.
+    pub flight: FlightRecorder,
 }
 
 /// Runs one unicast session of `protocol` from `src` to `dst` on
@@ -330,7 +336,24 @@ pub fn run_cell(
     session: u64,
     options: &RunOptions,
 ) -> (SessionOutcome, Option<SessionTrace>) {
+    // The breadcrumb lands before the panic-prone session build, so a
+    // flight dump from a doomed cell still names what was being built.
+    options.flight.record(
+        0.0,
+        "cell/start",
+        &format!("protocol={} session={session}", protocol.name()),
+    );
     let (topology, src, dst) = scenario.build_session(session);
+    options.flight.record(
+        0.0,
+        "cell/session",
+        &format!(
+            "nodes={} src={} dst={}",
+            topology.len(),
+            src.index(),
+            dst.index()
+        ),
+    );
     run_session_traced(
         &topology,
         src,
@@ -356,6 +379,11 @@ pub fn run_cell_on(
     session: u64,
     options: &RunOptions,
 ) -> (SessionOutcome, Option<SessionTrace>) {
+    options.flight.record(
+        0.0,
+        "cell/start",
+        &format!("protocol={} session={session}", protocol.name()),
+    );
     let (_, src, dst) = scenario.build_session(session);
     run_session_traced(
         topology,
@@ -429,7 +457,15 @@ fn run_etx(
             sim.schedule_kill(NodeId::new(l), at);
         }
     }
+    options.flight.record(
+        0.0,
+        "sim/start",
+        &format!("protocol=ETX hops={}", path.len().saturating_sub(1)),
+    );
     sim.run_until(cfg.duration);
+    options
+        .flight
+        .record(cfg.duration, "sim/done", "protocol=ETX");
 
     let delivered = match sim.behavior(local(dst)) {
         Some(Role::EtxDst(d)) => d.blocks_delivered,
@@ -529,6 +565,15 @@ fn run_coded_inner(
     options: &RunOptions,
 ) -> (SessionOutcome, Option<SessionTrace>) {
     let selection = select_forwarders(topology, src, dst);
+    options.flight.record(
+        0.0,
+        "select/done",
+        &format!(
+            "protocol={} forwarders={}",
+            protocol.name(),
+            selection.nodes().len()
+        ),
+    );
     let sub = sub_topology(topology, selection.nodes());
     let local = |v: NodeId| NodeId::new(sub.to_local[&v]);
     let ledger = SessionLedger::shared();
@@ -653,7 +698,19 @@ fn run_coded_inner(
             sim.schedule_kill(NodeId::new(l), at);
         }
     }
+    options.flight.record(
+        0.0,
+        "sim/start",
+        &format!(
+            "protocol={} rc_iterations={:?}",
+            protocol.name(),
+            rc_iterations
+        ),
+    );
     sim.run_until(cfg.duration);
+    options
+        .flight
+        .record(cfg.duration, "sim/done", protocol.name());
 
     // ---- Collect metrics.
     // Credit the partially-decoded final generation: at reduced session
@@ -791,6 +848,11 @@ fn run_coded_inner(
             },
         )
     });
+    options.flight.record(
+        cfg.duration,
+        "collect/done",
+        &format!("throughput={throughput:.1} decoded={generations_decoded}"),
+    );
     let outcome = SessionOutcome {
         protocol,
         throughput,
