@@ -1,0 +1,264 @@
+//! Generational arenas: index-based storage for the engine's hot path.
+//!
+//! The event queue, packet queues and in-flight transmissions all live in
+//! [`Arena`]s instead of boxes: allocation is a free-list pop, freeing is a
+//! push, and a freed slot's generation counter invalidates every stale
+//! [`Handle`] that still points at it. Steady-state simulation therefore
+//! allocates nothing — slots are recycled — and "cancelled" references
+//! (aborted transmissions, cancelled events) are detected in O(1) instead
+//! of being chased down in a heap.
+
+/// Index-plus-generation reference into an [`Arena`].
+///
+/// A handle stays valid until its slot is freed; afterwards every access
+/// through it returns `None` (the slot's generation moved on), even if the
+/// slot was re-allocated for new data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle {
+    index: u32,
+    generation: u32,
+}
+
+impl Handle {
+    /// The slot index (stable for the handle's lifetime).
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// The generation this handle was issued under.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+/// One arena slot: either a live value or a free-list link, both stamped
+/// with the slot's current generation.
+#[derive(Debug)]
+enum Slot<T> {
+    Occupied { generation: u32, value: T },
+    Vacant { generation: u32, next_free: u32 },
+}
+
+/// Sentinel terminating the free list.
+const NONE: u32 = u32::MAX;
+
+/// A generational arena.
+///
+/// Values are addressed by [`Handle`]; freeing bumps the slot generation so
+/// outstanding handles become harmlessly stale instead of aliasing new
+/// data (the classic ABA hazard of plain index recycling).
+#[derive(Debug)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free_head: NONE,
+            len: 0,
+        }
+    }
+
+    /// Creates an arena with room for `capacity` values before growing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(capacity),
+            free_head: NONE,
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots (live + recycled); the arena's high-water mark.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stores `value`, recycling a freed slot when one is available. This
+    /// is the hot-path entry point: steady-state it never allocates.
+    pub fn alloc(&mut self, value: T) -> Handle {
+        self.len += 1;
+        if self.free_head != NONE {
+            let index = self.free_head;
+            let slot = &mut self.slots[index as usize];
+            let generation = match *slot {
+                Slot::Vacant {
+                    generation,
+                    next_free,
+                } => {
+                    self.free_head = next_free;
+                    generation
+                }
+                Slot::Occupied { .. } => unreachable!("free list only holds vacant slots"),
+            };
+            *slot = Slot::Occupied { generation, value };
+            Handle { index, generation }
+        } else {
+            let index = self.slots.len() as u32;
+            assert!(index != NONE, "arena exhausted u32 index space");
+            self.slots.push(Slot::Occupied {
+                generation: 0,
+                value,
+            });
+            Handle {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Removes and returns the value behind `handle`, or `None` if the
+    /// handle is stale (already freed, possibly re-allocated since).
+    pub fn free(&mut self, handle: Handle) -> Option<T> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == handle.generation => {
+                let next_generation = generation.wrapping_add(1);
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Vacant {
+                        generation: next_generation,
+                        next_free: self.free_head,
+                    },
+                );
+                self.free_head = handle.index;
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Vacant { .. } => unreachable!("matched occupied above"),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Shared access to the value behind `handle` (`None` when stale).
+    pub fn get(&self, handle: Handle) -> Option<&T> {
+        match self.slots.get(handle.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == handle.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value behind `handle` (`None` when stale).
+    pub fn get_mut(&mut self, handle: Handle) -> Option<&mut T> {
+        match self.slots.get_mut(handle.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == handle.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` if `handle` still addresses a live value.
+    pub fn contains(&self, handle: Handle) -> bool {
+        self.get(handle).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_free_round_trip() {
+        let mut arena = Arena::new();
+        let a = arena.alloc("alpha");
+        let b = arena.alloc("beta");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a), Some(&"alpha"));
+        assert_eq!(arena.get(b), Some(&"beta"));
+        assert_eq!(arena.free(a), Some("alpha"));
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.get(a), None, "freed handles read as stale");
+        assert_eq!(arena.get(b), Some(&"beta"));
+    }
+
+    #[test]
+    fn slots_are_recycled_without_new_capacity() {
+        let mut arena = Arena::with_capacity(2);
+        let a = arena.alloc(1);
+        let b = arena.alloc(2);
+        assert_eq!(arena.capacity(), 2);
+        arena.free(a);
+        arena.free(b);
+        let c = arena.alloc(3);
+        let d = arena.alloc(4);
+        assert_eq!(arena.capacity(), 2, "freed slots are reused");
+        assert_eq!(arena.get(c), Some(&3));
+        assert_eq!(arena.get(d), Some(&4));
+    }
+
+    #[test]
+    fn stale_handles_never_alias_recycled_slots() {
+        let mut arena = Arena::new();
+        let old = arena.alloc(7);
+        arena.free(old);
+        let new = arena.alloc(8);
+        // Same slot, different generation.
+        assert_eq!(old.index(), new.index());
+        assert_ne!(old.generation(), new.generation());
+        assert_eq!(arena.get(old), None);
+        assert_eq!(arena.get_mut(old), None);
+        assert_eq!(arena.free(old), None, "double free is a no-op");
+        assert!(arena.contains(new));
+        assert_eq!(arena.get(new), Some(&8));
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut arena = Arena::new();
+        let h = arena.alloc(vec![1, 2]);
+        arena.get_mut(h).unwrap().push(3);
+        assert_eq!(arena.get(h), Some(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn empty_and_default() {
+        let arena: Arena<u8> = Arena::default();
+        assert!(arena.is_empty());
+        assert_eq!(arena.len(), 0);
+        assert_eq!(arena.capacity(), 0);
+    }
+
+    #[test]
+    fn interleaved_churn_keeps_handles_coherent() {
+        let mut arena = Arena::new();
+        let mut live: Vec<(Handle, usize)> = Vec::new();
+        for round in 0..100usize {
+            let h = arena.alloc(round);
+            live.push((h, round));
+            if round % 3 == 0 {
+                let (h, v) = live.remove(live.len() / 2);
+                assert_eq!(arena.free(h), Some(v));
+            }
+        }
+        assert_eq!(arena.len(), live.len());
+        for (h, v) in live {
+            assert_eq!(arena.get(h), Some(&v));
+        }
+    }
+}

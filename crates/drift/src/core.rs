@@ -1,0 +1,341 @@
+//! The index-based simulation core: a cancellable event queue and seeded
+//! per-node random streams.
+//!
+//! The queue follows the classic indexed-heap design: the `BinaryHeap`
+//! holds only `(SimTime, seq, EventId)` triples while event payloads live
+//! in a generational [`Arena`]. Cancelling an event frees its arena slot in
+//! O(1); the heap entry stays behind as a tombstone that `pop`/`peek_time`
+//! lazily discard. `seq` is a global insertion counter, so simultaneous
+//! events run strictly FIFO and every run is deterministic.
+//!
+//! Randomness is one [`Pcg64`] stream per node, all derived from the master
+//! seed: node `i` always sees the same coefficient/jitter stream no matter
+//! what the rest of the mesh is doing, which keeps multi-session runs
+//! reproducible and makes seeded traces stable under workload changes
+//! elsewhere in the topology.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::RngCore;
+
+use crate::arena::{Arena, Handle};
+use crate::time::SimTime;
+
+/// Reference to a scheduled event, used to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(Handle);
+
+/// One heap entry: scheduling key plus the arena handle of the payload.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event
+        // first, FIFO among equals.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, cancellable event queue.
+///
+/// Replaces the old calendar: same total order (time, then insertion
+/// order), plus O(1) cancellation through generational [`EventId`]s.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry>,
+    events: Arena<E>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            events: Arena::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`; returns an id that can cancel it.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
+        let id = EventId(self.events.alloc(event));
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.heap.push(HeapEntry { time, seq, id });
+        id
+    }
+
+    /// Cancels a scheduled event, returning its payload if it had not yet
+    /// fired (stale ids — already popped or already cancelled — return
+    /// `None`). O(1): the heap tombstone is discarded lazily.
+    pub fn cancel(&mut self, id: EventId) -> Option<E> {
+        self.events.free(id.0)
+    }
+
+    /// Pops the earliest live event. Tombstones of cancelled events are
+    /// discarded on the way; amortized over a run this is the same
+    /// O(log n) as a plain heap pop.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if let Some(event) = self.events.free(entry.id.0) {
+                return Some((entry.time, event));
+            }
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event, discarding any cancelled
+    /// tombstones sitting on top of the heap.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let entry = self.heap.peek()?;
+            if self.events.contains(entry.id.0) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Number of live (scheduled, not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A PCG-style generator (RXS-M-XS 64/64): 64-bit LCG state advanced per
+/// draw, output scrambled by a random xorshift, multiply, xorshift.
+///
+/// Small (16 bytes), fast (one multiply-add plus the permutation per
+/// draw), and statistically solid for simulation workloads. The `stream`
+/// parameter selects one of 2^63 distinct sequences, which is how every
+/// node gets its own independent stream off one master seed.
+#[derive(Debug, Clone)]
+pub struct Pcg64 {
+    state: u64,
+    /// Stream selector (always odd).
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg64 {
+    /// Creates a generator on stream `stream` seeded by `seed`.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let inc = (stream << 1) | 1;
+        let mut rng = Pcg64 { state: 0, inc };
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(inc);
+        rng.state = rng.state.wrapping_add(seed);
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(inc);
+        rng
+    }
+
+    /// The node-`i` stream of master seed `seed`: stream selection mixes
+    /// the node index through SplitMix64 so adjacent nodes land on
+    /// well-separated sequences.
+    pub fn for_node(seed: u64, node: usize) -> Self {
+        Pcg64::new(
+            seed,
+            splitmix64(seed ^ (node as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+        )
+    }
+}
+
+impl RngCore for Pcg64 {
+    fn next_u64(&mut self) -> u64 {
+        let state = self.state;
+        self.state = state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        // RXS-M-XS output permutation.
+        let word = ((state >> ((state >> 59) + 5)) ^ state).wrapping_mul(12605985483714917081);
+        (word >> 43) ^ word
+    }
+}
+
+/// SplitMix64 finalizer, used to derive stream selectors.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(3.0), "c");
+        q.schedule(SimTime::new(1.0), "a");
+        q.schedule(SimTime::new(2.0), "b");
+        assert_eq!(q.peek_time(), Some(SimTime::new(1.0)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_run_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::new(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::new(1.0), "a");
+        q.schedule(SimTime::new(2.0), "b");
+        let c = q.schedule(SimTime::new(3.0), "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.cancel(c), Some("c"));
+        assert_eq!(q.cancel(c), None, "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        // The tombstone on top is skipped by peek and pop alike.
+        assert_eq!(q.peek_time(), Some(SimTime::new(2.0)));
+        assert_eq!(q.pop(), Some((SimTime::new(2.0), "b")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ids_of_fired_events_are_stale() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::new(1.0), 7);
+        assert_eq!(q.pop(), Some((SimTime::new(1.0), 7)));
+        assert_eq!(q.cancel(a), None, "fired events cannot be cancelled");
+        // A recycled slot must not be reachable through the stale id.
+        let b = q.schedule(SimTime::new(2.0), 8);
+        assert_eq!(q.cancel(a), None);
+        assert_eq!(q.cancel(b), Some(8));
+    }
+
+    #[test]
+    fn len_and_empty_track_cancellation() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.len(), 1);
+        q.cancel(a);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn pcg_streams_are_deterministic_and_distinct() {
+        let draws = |seed, node| {
+            let mut rng = Pcg64::for_node(seed, node);
+            (0..8).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(42, 0), draws(42, 0));
+        assert_ne!(draws(42, 0), draws(42, 1), "nodes get distinct streams");
+        assert_ne!(draws(42, 0), draws(43, 0), "seeds select new sequences");
+    }
+
+    #[test]
+    fn pcg_supports_the_rng_extension_surface() {
+        let mut rng = Pcg64::new(7, 0);
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let n = rng.gen_range(0..10usize);
+        assert!(n < 10);
+        // gen_bool(p) over many draws lands near p.
+        let hits = (0..4000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (800..=1200).contains(&hits),
+            "gen_bool(0.25) hit {hits}/4000"
+        );
+    }
+
+    proptest! {
+        /// Pops are totally ordered by (time, seq) and deterministic across
+        /// heap tie-breaks: scheduling any mix of times (with duplicates)
+        /// pops in time order, FIFO among equal times, regardless of
+        /// insertion order of distinct times.
+        #[test]
+        fn pops_are_totally_ordered_and_fifo(
+            times in proptest::collection::vec(0u32..50, 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::new(t as f64), (t, i));
+            }
+            let mut popped = Vec::new();
+            while let Some((at, (t, i))) = q.pop() {
+                prop_assert_eq!(at, SimTime::new(t as f64));
+                popped.push((t, i));
+            }
+            prop_assert_eq!(popped.len(), times.len());
+            // (time, insertion index) must come out in strictly
+            // lexicographic order: time-ordered, FIFO on ties.
+            for w in popped.windows(2) {
+                prop_assert!(w[0] < w[1], "out of order: {:?} then {:?}", w[0], w[1]);
+            }
+        }
+
+        /// Cancellation never perturbs the order of surviving events.
+        #[test]
+        fn cancellation_preserves_survivor_order(
+            times in proptest::collection::vec(0u32..20, 1..100),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+        ) {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| q.schedule(SimTime::new(t as f64), (t, i)))
+                .collect();
+            let mut survivors = Vec::new();
+            for (i, id) in ids.iter().enumerate() {
+                if *cancel_mask.get(i).unwrap_or(&false) {
+                    prop_assert!(q.cancel(*id).is_some());
+                } else {
+                    survivors.push((times[i], i));
+                }
+            }
+            survivors.sort_unstable();
+            let mut popped = Vec::new();
+            while let Some((_, e)) = q.pop() {
+                popped.push(e);
+            }
+            prop_assert_eq!(popped, survivors);
+        }
+    }
+}

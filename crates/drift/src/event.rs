@@ -1,109 +1,37 @@
-//! The event calendar: a time-ordered priority queue with FIFO tie-breaking.
+//! The engine's event vocabulary.
+//!
+//! Scheduling lives in [`crate::core::EventQueue`] (an indexed binary heap
+//! with O(1) cancellation); this module only defines what can be scheduled.
+//! Every event is a few plain words — node ids, a session index, a timer
+//! token — so queue entries stay `Copy` and the dispatch loop never chases
+//! a box.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use net_topo::graph::NodeId;
 
-use crate::time::SimTime;
-
-/// An entry in the calendar; `seq` breaks ties so simultaneous events run in
-/// insertion order, keeping runs deterministic.
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// A deterministic event calendar.
-pub(crate) struct Calendar<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
-}
-
-impl<E> Calendar<E> {
-    pub(crate) fn new() -> Self {
-        Calendar {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
-    }
-
-    pub(crate) fn schedule(&mut self, time: SimTime, event: E) {
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
-        self.heap.push(Entry { time, seq, event });
-    }
-
-    pub(crate) fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
-    }
-
-    pub(crate) fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
-    }
-
-    #[allow(dead_code)]
-    pub(crate) fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    pub(crate) fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pops_in_time_order() {
-        let mut cal = Calendar::new();
-        cal.schedule(SimTime::new(3.0), "c");
-        cal.schedule(SimTime::new(1.0), "a");
-        cal.schedule(SimTime::new(2.0), "b");
-        assert_eq!(cal.peek_time(), Some(SimTime::new(1.0)));
-        let order: Vec<&str> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
-    }
-
-    #[test]
-    fn simultaneous_events_run_fifo() {
-        let mut cal = Calendar::new();
-        for i in 0..100 {
-            cal.schedule(SimTime::new(5.0), i);
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn len_and_empty() {
-        let mut cal = Calendar::new();
-        assert!(cal.is_empty());
-        cal.schedule(SimTime::ZERO, ());
-        assert_eq!(cal.len(), 1);
-        cal.pop();
-        assert!(cal.is_empty());
-    }
+/// One scheduled occurrence in the simulation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Event {
+    /// Deliver `on_start` to every session behavior of a node (fires once
+    /// per node at time zero, in node-id order).
+    Start(NodeId),
+    /// A timer set through [`crate::Ctx::set_timer`] by the behavior of
+    /// `session` at `node`.
+    Timer {
+        /// The node whose behavior set the timer.
+        node: NodeId,
+        /// The session whose behavior set the timer (timers route back to
+        /// the behavior that armed them).
+        session: u32,
+        /// Caller-chosen discriminator, echoed to `on_timer`.
+        token: u64,
+    },
+    /// `node`'s in-flight transmission finishes and fans out to receivers.
+    /// Cancelled (via its [`crate::core::EventId`]) if the node is killed
+    /// mid-flight.
+    TxComplete {
+        /// The transmitting node.
+        node: NodeId,
+    },
+    /// Crash-stop fault injection: `node` goes silent and deaf.
+    Kill(NodeId),
 }

@@ -61,6 +61,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod core;
 mod event;
 mod mac;
 mod sim;
@@ -68,8 +70,10 @@ mod stats;
 mod time;
 pub mod trace;
 
+pub use crate::core::{EventId, EventQueue, Pcg64};
+pub use arena::{Arena, Handle};
 pub use mac::MacModel;
 pub use sim::{Behavior, Ctx, Dest, Outgoing, Simulator};
-pub use stats::{NodeStats, QueueTracker};
+pub use stats::{NodeStats, QueueTracker, SessionStats};
 pub use time::SimTime;
 pub use trace::{PacketTag, Trace, TraceEvent};

@@ -102,29 +102,20 @@ impl MacModel {
         }
     }
 
-    /// The service rate of `node` given the set of currently backlogged
-    /// transmitters. Returns 0 for a node that cannot transmit.
-    pub(crate) fn service_rate(
-        &self,
-        node: NodeId,
-        backlogged: &[NodeId],
-        topology: &Topology,
-    ) -> f64 {
+    /// Service rates for the whole `backlogged` set at once, slot-aligned
+    /// with the input. The engine calls this once per backlog *epoch* (the
+    /// set of backlogged transmitters changed) and caches the result, so
+    /// the progressive-fill computation is amortized over every
+    /// transmission started under the same backlog set.
+    pub(crate) fn shares(&self, backlogged: &[NodeId], topology: &Topology) -> Vec<f64> {
         match self {
-            MacModel::RateLimited { rates, .. } => rates.get(node.index()).copied().unwrap_or(0.0),
-            MacModel::FairShare { capacity } => {
-                let shares = max_min_shares(backlogged, topology, *capacity);
-                backlogged
-                    .iter()
-                    .position(|&n| n == node)
-                    .map_or(0.0, |slot| shares[slot])
-            }
+            MacModel::RateLimited { rates, .. } => backlogged
+                .iter()
+                .map(|n| rates.get(n.index()).copied().unwrap_or(0.0))
+                .collect(),
+            MacModel::FairShare { capacity } => max_min_shares(backlogged, topology, *capacity),
             MacModel::UnicastClique { capacity, next_hop } => {
-                let shares = unicast_clique_shares(backlogged, topology, *capacity, next_hop);
-                backlogged
-                    .iter()
-                    .position(|&n| n == node)
-                    .map_or(0.0, |slot| shares[slot])
+                unicast_clique_shares(backlogged, topology, *capacity, next_hop)
             }
         }
     }
@@ -398,8 +389,8 @@ mod tests {
     fn rate_limited_returns_assigned_rate() {
         let t = clique(3);
         let mac = MacModel::rate_limited(vec![10.0, 20.0, 0.0], 100.0);
-        assert_eq!(mac.service_rate(NodeId::new(1), &[], &t), 20.0);
-        assert_eq!(mac.service_rate(NodeId::new(2), &[], &t), 0.0);
+        let all = [NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        assert_eq!(mac.shares(&all, &t), vec![10.0, 20.0, 0.0]);
         assert_eq!(mac.capacity(), 100.0);
     }
 

@@ -18,6 +18,32 @@ pub struct NodeStats {
     pub packets_lost: u64,
 }
 
+/// Aggregates accumulated for one session across the whole mesh.
+///
+/// Sessions are the engine's unit of concurrent workload: every packet a
+/// behavior enqueues is stamped with the session that enqueued it, and the
+/// MAC charges these counters as the packet moves through the shared
+/// channel. Cross-session metrics (airtime share, inter-session queue
+/// interference) are ratios over these per-session totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Packets of this session that finished transmitting (any node).
+    pub packets_sent: u64,
+    /// Bytes of this session that finished transmitting.
+    pub bytes_sent: u64,
+    /// Per-receiver deliveries of this session's packets.
+    pub packets_delivered: u64,
+    /// Per-receiver channel losses of this session's packets.
+    pub packets_lost: u64,
+    /// Channel time consumed by this session's transmissions, in seconds.
+    /// The session's *airtime share* is this over the sum across sessions.
+    pub airtime: f64,
+    /// Total time this session's packets spent queued before transmission
+    /// started, in seconds — queueing delay inflicted by whoever shares
+    /// the node's transmit queue, i.e. inter-session queue interference.
+    pub queue_wait: f64,
+}
+
 /// Integrates a queue-length signal over time to report its time average —
 /// the paper samples "the broadcast queue size, take\[s\] the time average"
 /// (Sec. 5).

@@ -141,6 +141,27 @@ pub fn random_session<R: Rng + ?Sized>(
     None
 }
 
+/// Draws `count` session endpoint pairs for a shared-mesh workload. Each
+/// draw re-seeds its own rng from `seed_for(k)`, so session `k`'s endpoints
+/// are a pure function of `k` — adding or removing sessions never perturbs
+/// the others, and a multi-session workload sees exactly the pairs the
+/// corresponding single-session experiments would. Returns `None` if any
+/// draw exhausts `max_tries`.
+pub fn random_sessions(
+    topology: &Topology,
+    count: usize,
+    hops: (usize, usize),
+    max_tries: usize,
+    mut seed_for: impl FnMut(u64) -> u64,
+) -> Option<Vec<(NodeId, NodeId)>> {
+    (0..count as u64)
+        .map(|k| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed_for(k));
+            random_session(topology, &mut rng, hops, max_tries)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,7 +52,8 @@ use telemetry::{
     TimeSeries,
 };
 
-use omnc::runner::{run_cell, RunOptions};
+use omnc::multi::run_multi_cell;
+use omnc::runner::{run_cell, RunOptions, SessionOutcome};
 
 use crate::journal::{Journal, JournalEntry};
 use crate::merge::{merge_campaign, write_cell, CellResult};
@@ -138,6 +139,14 @@ pub fn flight_path(out_dir: &Path, key: &str) -> std::path::PathBuf {
 /// campaigns) collects the runner's breadcrumbs so a panic hook can
 /// dump the tail; it never influences the result.
 ///
+/// A multi-session cell (`cell.multi`) runs all of its scenario's
+/// sessions concurrently on one shared mesh via
+/// [`omnc::multi::run_multi_cell`]; its per-session traces are
+/// concatenated in session order (each is a complete
+/// `SessionStart ..= SessionEnd` stream, so the merged `trace.jsonl`
+/// stays `omnc-report analyze`-ready), and a summary [`SessionOutcome`]
+/// is synthesized so the merged `outcomes.jsonl` keeps one schema.
+///
 /// # Panics
 ///
 /// Propagates scenario/session panics (impossible endpoint constraints,
@@ -155,20 +164,63 @@ pub fn run_one_cell(cell: &Cell, trace_capacity: usize, flight: &FlightRecorder)
         flight: flight.clone(),
         ..RunOptions::default()
     };
-    let (outcome, trace) = run_cell(&cell.scenario, cell.protocol, cell.session, &options);
     let mut buf = Vec::new();
-    trace
-        .expect("tracing was enabled")
-        .write_jsonl(&mut buf)
-        .expect("in-memory trace export cannot fail");
+    let (outcome, multi) = if cell.multi {
+        let (out, traces) = run_multi_cell(&cell.scenario, cell.protocol, &options);
+        for trace in traces.expect("tracing was enabled") {
+            trace
+                .write_jsonl(&mut buf)
+                .expect("in-memory trace export cannot fail");
+        }
+        (aggregate_outcome(&out), Some(out))
+    } else {
+        let (outcome, trace) = run_cell(&cell.scenario, cell.protocol, cell.session, &options);
+        trace
+            .expect("tracing was enabled")
+            .write_jsonl(&mut buf)
+            .expect("in-memory trace export cannot fail");
+        (outcome, None)
+    };
     CellResult {
         key: cell.key.clone(),
         session: cell.session,
         outcome,
+        multi,
         trace: String::from_utf8(buf).expect("trace JSONL is UTF-8"),
         metrics: registry.snapshot(),
         profile: profiler.report(),
         timeline: timeline.snapshot(),
+    }
+}
+
+/// Collapses a coupled multi-session outcome into the single-session
+/// outcome schema so `outcomes.jsonl` lines stay uniform: throughput and
+/// packet/generation counts sum over the sessions, queue averages carry
+/// over (they already span the whole shared mesh), and predicted
+/// throughput sums the joint program's per-session rates. Node/path
+/// utility are per-selection diagnostics that have no meaningful joint
+/// analogue, so they report 0 — read the `multi` field for the real
+/// per-session picture.
+fn aggregate_outcome(out: &omnc::multi::MultiSessionOutcome) -> SessionOutcome {
+    let predicted: Vec<f64> = out
+        .sessions
+        .iter()
+        .filter_map(|s| s.predicted_throughput)
+        .collect();
+    SessionOutcome {
+        protocol: out.protocol,
+        throughput: out.total_throughput,
+        queue_averages: out.queue_averages.clone(),
+        node_utility: 0.0,
+        path_utility: 0.0,
+        rc_iterations: None,
+        predicted_throughput: (!predicted.is_empty()).then(|| predicted.iter().sum()),
+        generations_decoded: out.sessions.iter().map(|s| s.generations_decoded).sum(),
+        packet_counts: (
+            out.sessions.iter().map(|s| s.packet_counts.0).sum(),
+            out.sessions.iter().map(|s| s.packet_counts.1).sum(),
+        ),
+        verification_failures: 0,
     }
 }
 

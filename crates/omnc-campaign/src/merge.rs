@@ -14,6 +14,7 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
+use omnc::multi::MultiSessionOutcome;
 use omnc::runner::SessionOutcome;
 use telemetry::{
     merge_metric_snapshots, merge_profiles, merge_timelines, MetricSnapshot, ProfileReport,
@@ -29,8 +30,13 @@ pub struct CellResult {
     pub key: String,
     /// Session index within the variant's scenario.
     pub session: u64,
-    /// The measured outcome.
+    /// The measured outcome. For a multi-session cell this is the
+    /// synthesized aggregate (see [`crate::run_one_cell`]); the full
+    /// per-session picture rides in `multi`.
     pub outcome: SessionOutcome,
+    /// The coupled multi-session outcome (`None` for classic per-session
+    /// cells).
+    pub multi: Option<MultiSessionOutcome>,
     /// The cell's causal trace as JSONL text
     /// (`SessionStart ..= SessionEnd`), ready for concatenation.
     pub trace: String,
@@ -50,8 +56,10 @@ pub struct CellRecord {
     pub key: String,
     /// Session index within the variant's scenario.
     pub session: u64,
-    /// The measured outcome.
+    /// The measured outcome (aggregate for multi-session cells).
     pub outcome: SessionOutcome,
+    /// The coupled multi-session outcome (`None` for classic cells).
+    pub multi: Option<MultiSessionOutcome>,
 }
 
 /// The merged `telemetry.json`: campaign-wide metrics and span profile.
@@ -141,6 +149,7 @@ pub fn merge_campaign(out_dir: &Path, cells: &[Cell]) -> io::Result<()> {
             key: result.key,
             session: result.session,
             outcome: result.outcome,
+            multi: result.multi,
         };
         let line = serde_json::to_string(&record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;

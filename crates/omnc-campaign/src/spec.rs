@@ -32,6 +32,12 @@ pub struct CampaignSpec {
     pub protocols: Vec<Protocol>,
     /// The session-index range run for every variant × protocol.
     pub sessions: SessionRange,
+    /// Run all sessions *concurrently* on one shared mesh per variant ×
+    /// protocol (one multi-session cell, key `"<variant>/<protocol>/multi"`)
+    /// instead of as independent per-session cells. Requires
+    /// `sessions.start == 0` — the coupled workload always runs sessions
+    /// `0..count`.
+    pub multi: Option<bool>,
     /// Extra attempts after a panicking cell (default 1).
     pub retries: Option<u32>,
     /// MAC trace capacity per cell (default 200,000 events).
@@ -82,14 +88,20 @@ pub struct SessionRange {
 /// One expanded matrix point, ready for the executor.
 #[derive(Debug, Clone)]
 pub struct Cell {
-    /// Stable identity: `"<variant>/<protocol>/<session:010>"`.
+    /// Stable identity: `"<variant>/<protocol>/<session:010>"`, or
+    /// `"<variant>/<protocol>/multi"` for a multi-session cell.
     pub key: String,
     /// The fully-resolved scenario of the cell's variant.
     pub scenario: Scenario,
     /// Protocol under test.
     pub protocol: Protocol,
-    /// Session index within the scenario.
+    /// Session index within the scenario (0 for a multi-session cell,
+    /// which runs all of them at once).
     pub session: u64,
+    /// Whether this cell runs the whole workload concurrently on one
+    /// shared mesh ([`omnc::multi::run_multi_cell`]) instead of one
+    /// independent session ([`omnc::runner::run_cell`]).
+    pub multi: bool,
 }
 
 /// The stable identity of the cell `(label, protocol, session)`. Session
@@ -97,6 +109,12 @@ pub struct Cell {
 /// keys equals `(label, protocol, session)` ordering.
 pub fn cell_key(label: &str, protocol: Protocol, session: u64) -> String {
     format!("{label}/{}/{session:010}", protocol.name())
+}
+
+/// The stable identity of the multi-session cell of `(label, protocol)` —
+/// one coupled run of every session on the shared mesh.
+pub fn multi_cell_key(label: &str, protocol: Protocol) -> String {
+    format!("{label}/{}/multi", protocol.name())
 }
 
 fn valid_ident(s: &str) -> bool {
@@ -166,7 +184,19 @@ impl CampaignSpec {
         if self.sessions.count == 0 {
             return Err("sessions.count must be at least 1".to_owned());
         }
+        if self.multi() && self.sessions.start != 0 {
+            return Err(format!(
+                "multi-session campaigns run sessions 0..count concurrently; \
+                 sessions.start must be 0, got {}",
+                self.sessions.start
+            ));
+        }
         Ok(())
+    }
+
+    /// Whether cells run all sessions concurrently on one shared mesh.
+    pub fn multi(&self) -> bool {
+        self.multi.unwrap_or(false)
     }
 
     /// Extra attempts after a panicking cell.
@@ -226,12 +256,25 @@ impl CampaignSpec {
         for variant in &self.variants {
             let scenario = self.scenario(variant);
             for &protocol in &self.protocols {
+                if self.multi() {
+                    // One coupled cell runs the whole workload: the
+                    // scenario's session count is the matrix count.
+                    cells.push(Cell {
+                        key: multi_cell_key(&variant.label, protocol),
+                        scenario: scenario.clone(),
+                        protocol,
+                        session: 0,
+                        multi: true,
+                    });
+                    continue;
+                }
                 for session in self.sessions.start..self.sessions.start + self.sessions.count {
                     cells.push(Cell {
                         key: cell_key(&variant.label, protocol, session),
                         scenario: scenario.clone(),
                         protocol,
                         session,
+                        multi: false,
                     });
                 }
             }
@@ -283,6 +326,50 @@ mod tests {
         assert_eq!(high.quality, Quality::High);
         assert_eq!(lossy.nodes, high.nodes);
         assert_eq!(spec.retries(), 1);
+    }
+
+    #[test]
+    fn multi_collapses_sessions_into_one_cell_per_variant_protocol() {
+        let spec = CampaignSpec::from_json(
+            r#"{
+                "name": "multi",
+                "preset": "small_test",
+                "variants": [
+                    {"label": "lossy", "overrides": null},
+                    {"label": "high", "overrides": {"quality": "High"}}
+                ],
+                "protocols": ["EtxRouting", "Omnc"],
+                "sessions": {"start": 0, "count": 3},
+                "multi": true
+            }"#,
+        )
+        .expect("valid spec");
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4, "one cell per variant x protocol");
+        for cell in &cells {
+            assert!(cell.multi);
+            assert!(cell.key.ends_with("/multi"), "{}", cell.key);
+            assert_eq!(cell.scenario.sessions, 3);
+        }
+        let keys: Vec<&str> = cells.iter().map(|c| c.key.as_str()).collect();
+        assert!(keys.contains(&"lossy/OMNC/multi"));
+        assert!(keys.contains(&"high/ETX/multi"));
+    }
+
+    #[test]
+    fn multi_rejects_nonzero_session_start() {
+        let err = CampaignSpec::from_json(
+            r#"{
+                "name": "multi",
+                "preset": "small_test",
+                "variants": [{"label": "a", "overrides": null}],
+                "protocols": ["Omnc"],
+                "sessions": {"start": 2, "count": 3},
+                "multi": true
+            }"#,
+        )
+        .expect_err("start != 0 with multi");
+        assert!(err.contains("sessions.start"), "{err}");
     }
 
     #[test]

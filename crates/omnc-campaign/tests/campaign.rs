@@ -101,6 +101,49 @@ fn merged_artifacts_are_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn multi_session_campaign_is_deterministic_across_job_counts() {
+    // The committed multi-session smoke: every cell runs its variant's
+    // whole workload (3 coupled sessions on one shared mesh), so this
+    // extends the byte-identical contract to the coupled runner.
+    let spec = CampaignSpec::from_json(include_str!("../specs/multi-smoke.json"))
+        .expect("shipped multi spec is valid");
+    let serial_dir = temp_out("multi_jobs1");
+    let parallel_dir = temp_out("multi_jobs3");
+
+    let serial = run_campaign(&spec, &serial_dir, &options(1, false)).expect("serial run");
+    let parallel = run_campaign(&spec, &parallel_dir, &options(3, false)).expect("parallel run");
+    assert_eq!(serial.total, 4, "one coupled cell per variant x protocol");
+    assert!(serial.merged && parallel.merged);
+    assert!(serial.failures.is_empty() && parallel.failures.is_empty());
+
+    let a = read_artifacts(&serial_dir);
+    let b = read_artifacts(&parallel_dir);
+    for ((name, left), right) in ARTIFACTS.iter().zip(&a).zip(&b) {
+        assert_eq!(left, right, "{name} differs between --jobs 1 and --jobs 3");
+    }
+
+    // Every outcome line carries the coupled multi-session record with
+    // all three sessions, and the concatenated trace still parses as
+    // one SessionStart/SessionEnd stream per session per cell.
+    let outcomes = String::from_utf8(a[0].clone()).expect("utf-8");
+    assert_eq!(outcomes.lines().count(), 4);
+    for line in outcomes.lines() {
+        assert!(line.contains("/multi\""), "{line}");
+        assert!(line.contains("\"multi\":{"), "{line}");
+        assert!(line.contains("\"sessions_completed\""), "{line}");
+        assert!(line.contains("\"airtime_share\""), "{line}");
+    }
+    let trace = String::from_utf8(a[1].clone()).expect("utf-8");
+    let starts = trace.matches("\"SessionStart\"").count();
+    let ends = trace.matches("\"SessionEnd\"").count();
+    assert_eq!(starts, 12, "3 sessions x 4 cells open a stream each");
+    assert_eq!(ends, starts);
+
+    let _ = fs::remove_dir_all(serial_dir);
+    let _ = fs::remove_dir_all(parallel_dir);
+}
+
+#[test]
 fn serving_the_observer_never_changes_an_artifact_byte() {
     // The live plane is strictly read-only: running the same seeded
     // campaign with and without `--serve` must merge byte-identical

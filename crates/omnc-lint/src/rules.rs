@@ -309,8 +309,9 @@ const fn entry(
 
 /// The hot-path entry-point registry (DESIGN.md §6c): the per-packet
 /// coding operations, the GF(2^8) slice kernels, the simulator event
-/// dispatch loop, the LP pivot engine, and the rate-control iteration.
-pub const HOT_ENTRIES: [HotEntry; 16] = [
+/// dispatch loop and its event-queue/arena engine, the multi-session
+/// dispatch, the LP pivot engine, and the rate-control iteration.
+pub const HOT_ENTRIES: [HotEntry; 21] = [
     // rlnc: encode / recode / decode.
     entry("crates/rlnc/src/encoder.rs", Some("Encoder"), "emit"),
     entry(
@@ -327,8 +328,17 @@ pub const HOT_ENTRIES: [HotEntry; 16] = [
     entry("crates/gf256/src/", None, "div_assign"),
     entry("crates/gf256/src/", None, "add_assign"),
     entry("crates/gf256/src/", None, "dot"),
-    // drift: the event dispatch loop.
+    // drift: the event dispatch loop and the engine beneath it — the
+    // indexed event queue's pop/schedule and the packet arena's
+    // alloc/free run once per simulated event/packet.
     entry("crates/drift/src/sim.rs", Some("Simulator"), "run_until"),
+    entry("crates/drift/src/core.rs", Some("EventQueue"), "pop"),
+    entry("crates/drift/src/core.rs", Some("EventQueue"), "schedule"),
+    entry("crates/drift/src/arena.rs", Some("Arena"), "alloc"),
+    entry("crates/drift/src/arena.rs", Some("Arena"), "free"),
+    // omnc: the multi-session dispatch — N coupled sessions drive one
+    // simulator, so everything it reaches is per-packet hot.
+    entry("crates/omnc/src/multi.rs", None, "run_multi_session"),
     // simplex-lp: the pivot engine.
     entry("crates/simplex-lp/src/solver.rs", Some("Tableau"), "pivot"),
     entry("crates/simplex-lp/src/solver.rs", None, "solve"),

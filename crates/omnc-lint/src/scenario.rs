@@ -18,9 +18,15 @@
 //!   constraint `b_i + Σ_{j∈N(i)} b_j ≤ C`;
 //! * **flow conservation (2)** — the LP optimum is replayed through
 //!   [`SUnicast::feasibility_violation`] and rejected if any residual
-//!   exceeds tolerance.
+//!   exceeds tolerance;
+//! * **multi-session well-formedness** — a scenario may declare a
+//!   `sessions` array instead of a single `src`/`dst` pair; session ids
+//!   must be unique, every session needs distinct connected endpoints,
+//!   and the capacity condition is evaluated *jointly*: the coupled
+//!   mUnicast LP (Sec. 4.3) with shared MAC rows must admit every
+//!   session's `min_throughput` simultaneously, not just one at a time.
 //!
-//! The scenario file is JSON:
+//! The scenario file is JSON — single-session:
 //!
 //! ```json
 //! {
@@ -33,10 +39,18 @@
 //!   "links": [ { "from": 0, "to": 1, "p": 0.6 } ]
 //! }
 //! ```
+//!
+//! or multi-session, replacing `src`/`dst` with:
+//!
+//! ```json
+//! { "sessions": [ { "id": 0, "src": 0, "dst": 3 },
+//!                 { "id": 1, "src": 3, "dst": 0 } ] }
+//! ```
 
 use net_topo::graph::{Link, NodeId, Topology};
-use net_topo::select::select_forwarders;
+use net_topo::select::{select_forwarders, Selection};
 use omnc_opt::lp::solve_exact;
+use omnc_opt::municast::MUnicast;
 use omnc_opt::SUnicast;
 use serde::{Deserialize, Serialize};
 
@@ -57,6 +71,17 @@ pub struct ScenarioLink {
     pub p: f64,
 }
 
+/// One unicast session of a multi-session scenario file.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScenarioSession {
+    /// Stable session identifier (unique within the scenario).
+    pub id: u64,
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+}
+
 /// A scenario input as validated by `check-scenario`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioSpec {
@@ -64,15 +89,21 @@ pub struct ScenarioSpec {
     pub name: Option<String>,
     /// Number of deployed nodes.
     pub nodes: usize,
-    /// Session source node index.
-    pub src: usize,
-    /// Session destination node index.
-    pub dst: usize,
+    /// Session source node index (single-session form; mutually
+    /// exclusive with `sessions`).
+    pub src: Option<usize>,
+    /// Session destination node index (single-session form).
+    pub dst: Option<usize>,
+    /// Concurrent unicast sessions sharing the mesh (multi-session
+    /// form; mutually exclusive with `src`/`dst`).
+    pub sessions: Option<Vec<ScenarioSession>>,
     /// MAC channel capacity `C` in bytes/second.
     pub capacity: f64,
     /// Required feasible throughput under the capacity condition (4);
     /// scenarios whose LP optimum `γ*` falls below this are rejected.
-    /// Defaults to 0: any connected scenario with `γ* > 0` passes.
+    /// For multi-session scenarios the requirement is *per session* and
+    /// checked against the joint program. Defaults to 0: any connected
+    /// scenario with `γ* > 0` passes.
     pub min_throughput: Option<f64>,
     /// Session duration in seconds (optional; checked positive if given).
     pub duration: Option<f64>,
@@ -92,6 +123,8 @@ pub const CHECK_CLIQUE: &str = "scenario-clique";
 pub const CHECK_CAPACITY: &str = "scenario-capacity";
 /// LP flow-conservation residual check (eq. (2)).
 pub const CHECK_FLOW: &str = "scenario-flow";
+/// Multi-session well-formedness check (unique ids, distinct endpoints).
+pub const CHECK_SESSIONS: &str = "scenario-sessions";
 
 /// Parses and checks a scenario from JSON text. `origin` labels findings
 /// (typically the file path).
@@ -144,19 +177,75 @@ fn check_spec(origin: &str, spec: &ScenarioSpec, report: &mut Report) {
         );
         structural_ok = false;
     }
-    if spec.src >= spec.nodes || spec.dst >= spec.nodes {
-        deny(
-            CHECK_STRUCTURE,
-            format!(
-                "src {} / dst {} out of range for {} nodes",
-                spec.src, spec.dst, spec.nodes
-            ),
-        );
-        structural_ok = false;
-    }
-    if spec.src == spec.dst {
-        deny(CHECK_STRUCTURE, "src and dst must differ".to_owned());
-        structural_ok = false;
+    // --- Session endpoints: either a single src/dst pair or a sessions
+    // array, never both. Resolved to labeled (src, dst) pairs so the
+    // connectivity check below is uniform across both forms.
+    let mut endpoints: Vec<(String, usize, usize)> = Vec::new();
+    match (&spec.sessions, spec.src, spec.dst) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) => {
+            deny(
+                CHECK_SESSIONS,
+                "give either src/dst or a sessions array, not both".to_owned(),
+            );
+            structural_ok = false;
+        }
+        (Some(sessions), None, None) => {
+            if sessions.is_empty() {
+                deny(CHECK_SESSIONS, "sessions array is empty".to_owned());
+                structural_ok = false;
+            }
+            let mut ids: Vec<u64> = sessions.iter().map(|s| s.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            if ids.len() != sessions.len() {
+                deny(CHECK_SESSIONS, "session ids must be unique".to_owned());
+                structural_ok = false;
+            }
+            for s in sessions {
+                if s.src >= spec.nodes || s.dst >= spec.nodes {
+                    deny(
+                        CHECK_SESSIONS,
+                        format!(
+                            "session {}: src {} / dst {} out of range for {} nodes",
+                            s.id, s.src, s.dst, spec.nodes
+                        ),
+                    );
+                    structural_ok = false;
+                } else if s.src == s.dst {
+                    deny(
+                        CHECK_SESSIONS,
+                        format!("session {}: src and dst must differ", s.id),
+                    );
+                    structural_ok = false;
+                } else {
+                    endpoints.push((format!("session {}", s.id), s.src, s.dst));
+                }
+            }
+        }
+        (None, Some(src), Some(dst)) => {
+            if src >= spec.nodes || dst >= spec.nodes {
+                deny(
+                    CHECK_STRUCTURE,
+                    format!(
+                        "src {src} / dst {dst} out of range for {} nodes",
+                        spec.nodes
+                    ),
+                );
+                structural_ok = false;
+            } else if src == dst {
+                deny(CHECK_STRUCTURE, "src and dst must differ".to_owned());
+                structural_ok = false;
+            } else {
+                endpoints.push(("session".to_owned(), src, dst));
+            }
+        }
+        (None, _, _) => {
+            deny(
+                CHECK_STRUCTURE,
+                "scenario needs src and dst, or a sessions array".to_owned(),
+            );
+            structural_ok = false;
+        }
     }
     if !(spec.capacity.is_finite() && spec.capacity > 0.0) {
         deny(
@@ -264,15 +353,26 @@ fn check_spec(origin: &str, spec: &ScenarioSpec, report: &mut Report) {
             return;
         }
     };
-    if !reachable(&topo, NodeId::new(spec.src), NodeId::new(spec.dst)) {
-        deny(
-            CHECK_CONNECTIVITY,
-            format!("dst {} unreachable from src {}", spec.dst, spec.src),
-        );
+    let mut connected = true;
+    for (label, src, dst) in &endpoints {
+        if !reachable(&topo, NodeId::new(*src), NodeId::new(*dst)) {
+            deny(
+                CHECK_CONNECTIVITY,
+                format!("{label}: dst {dst} unreachable from src {src}"),
+            );
+            connected = false;
+        }
+    }
+    if !connected {
         return; // selection/LP need connectivity
     }
-    if !report.findings.iter().any(|f| f.rule == CHECK_CLIQUE) {
-        check_capacity_condition(origin, spec, &topo, report);
+    if report.findings.iter().any(|f| f.rule == CHECK_CLIQUE) {
+        return;
+    }
+    if let Some(sessions) = &spec.sessions {
+        check_joint_capacity_condition(origin, spec, sessions, &topo, report);
+    } else if let Some((_, src, dst)) = endpoints.first() {
+        check_capacity_condition(origin, spec, *src, *dst, &topo, report);
     }
 }
 
@@ -281,10 +381,12 @@ fn check_spec(origin: &str, spec: &ScenarioSpec, report: &mut Report) {
 fn check_capacity_condition(
     origin: &str,
     spec: &ScenarioSpec,
+    src: usize,
+    dst: usize,
     topo: &Topology,
     report: &mut Report,
 ) {
-    let selection = select_forwarders(topo, NodeId::new(spec.src), NodeId::new(spec.dst));
+    let selection = select_forwarders(topo, NodeId::new(src), NodeId::new(dst));
     let problem = SUnicast::from_selection(topo, &selection, spec.capacity);
     let sol = match solve_exact(&problem) {
         Ok(sol) => sol,
@@ -326,6 +428,90 @@ fn check_capacity_condition(
             Severity::Deny,
             format!("LP optimum violates the model constraints: {violation}"),
         ));
+    }
+}
+
+/// Checks the capacity condition for a multi-session scenario: every
+/// session's sUnicast LP must be feasible in isolation (for attribution),
+/// and the coupled mUnicast LP (Sec. 4.3) with MAC rows shared across all
+/// sessions must admit `Σγ* ≥ K · min_throughput`. The joint bound is a
+/// necessary condition: if even the throughput-sum optimum cannot cover
+/// `K` sessions at the floor, no per-session allocation can.
+fn check_joint_capacity_condition(
+    origin: &str,
+    spec: &ScenarioSpec,
+    sessions: &[ScenarioSession],
+    topo: &Topology,
+    report: &mut Report,
+) {
+    let mut deny = |rule: &'static str, message: String| {
+        report
+            .findings
+            .push(Finding::scenario(origin, rule, Severity::Deny, message));
+    };
+    let floor = spec
+        .min_throughput
+        .unwrap_or(0.0)
+        .max(spec.capacity * RESIDUAL_TOL);
+    let selections: Vec<Selection> = sessions
+        .iter()
+        .map(|s| select_forwarders(topo, NodeId::new(s.src), NodeId::new(s.dst)))
+        .collect();
+    // Per-session attribution first: a session that cannot reach the floor
+    // even with the whole mesh to itself is named directly, and the joint
+    // program cannot do better than isolation.
+    let mut isolated_infeasible = false;
+    for (s, selection) in sessions.iter().zip(&selections) {
+        let problem = SUnicast::from_selection(topo, selection, spec.capacity);
+        match solve_exact(&problem) {
+            Ok(sol) if sol.gamma < floor => {
+                deny(
+                    CHECK_CAPACITY,
+                    format!(
+                        "session {}: capacity condition (4) infeasible even in \
+                         isolation: γ* = {:.3} bytes/s < required {:.3} bytes/s",
+                        s.id, sol.gamma, floor
+                    ),
+                );
+                isolated_infeasible = true;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                deny(
+                    CHECK_CAPACITY,
+                    format!("session {}: sUnicast LP failed: {e}", s.id),
+                );
+                isolated_infeasible = true;
+            }
+        }
+    }
+    if isolated_infeasible {
+        return;
+    }
+    // Joint feasibility: the coupled LP shares the broadcast MAC rows
+    // across sessions, so Σγ* is what the mesh actually carries with all
+    // K sessions active at once.
+    let joint = MUnicast::from_selections(topo, &selections, spec.capacity);
+    match joint.solve_exact() {
+        Ok(sol) => {
+            let required = floor * sessions.len() as f64;
+            if sol.total() < required {
+                deny(
+                    CHECK_CAPACITY,
+                    format!(
+                        "joint capacity condition infeasible: coupled optimum \
+                         Σγ* = {:.3} bytes/s < {} sessions × {:.3} bytes/s = {:.3} \
+                         bytes/s (each session is feasible alone; together they \
+                         exceed the shared MAC)",
+                        sol.total(),
+                        sessions.len(),
+                        floor,
+                        required
+                    ),
+                );
+            }
+        }
+        Err(e) => deny(CHECK_CAPACITY, format!("coupled mUnicast LP failed: {e}")),
     }
 }
 
@@ -461,6 +647,188 @@ mod tests {
         }"#;
         let r = check_scenario_str("s.json", text);
         assert!(!r.is_clean());
+    }
+
+    /// Two opposite-direction sessions over the same diamond.
+    fn multi_diamond(p: f64, min_throughput: f64) -> String {
+        format!(
+            r#"{{
+                "name": "multi-diamond",
+                "nodes": 4,
+                "sessions": [
+                    {{"id": 0, "src": 0, "dst": 3}},
+                    {{"id": 1, "src": 3, "dst": 0}}
+                ],
+                "capacity": 100000.0,
+                "min_throughput": {min_throughput},
+                "links": [
+                    {{"from": 0, "to": 1, "p": {p}}}, {{"from": 1, "to": 0, "p": {p}}},
+                    {{"from": 0, "to": 2, "p": {p}}}, {{"from": 2, "to": 0, "p": {p}}},
+                    {{"from": 1, "to": 3, "p": {p}}}, {{"from": 3, "to": 1, "p": {p}}},
+                    {{"from": 2, "to": 3, "p": {p}}}, {{"from": 3, "to": 2, "p": {p}}}
+                ]
+            }}"#
+        )
+    }
+
+    /// Single-session sUnicast optimum γ* of the diamond, computed directly
+    /// through the same solver stack the checker uses.
+    fn diamond_gamma_star(p: f64) -> f64 {
+        let links = [
+            (0, 1),
+            (1, 0),
+            (0, 2),
+            (2, 0),
+            (1, 3),
+            (3, 1),
+            (2, 3),
+            (3, 2),
+        ]
+        .into_iter()
+        .map(|(from, to)| Link {
+            from: NodeId::new(from),
+            to: NodeId::new(to),
+            p,
+        })
+        .collect();
+        let topo = Topology::from_links(4, links).expect("diamond topology");
+        let selection = select_forwarders(&topo, NodeId::new(0), NodeId::new(3));
+        let problem = SUnicast::from_selection(&topo, &selection, 100000.0);
+        solve_exact(&problem).expect("diamond LP solves").gamma
+    }
+
+    #[test]
+    fn healthy_multi_session_diamond_passes() {
+        // 0.4·γ* per session: feasible in isolation and jointly (0.8·γ*
+        // total fits under the shared MAC with margin).
+        let floor = 0.4 * diamond_gamma_star(0.6);
+        let r = check_scenario_str("m.json", &multi_diamond(0.6, floor));
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn jointly_infeasible_sessions_are_rejected() {
+        // 0.75·γ* per session is feasible for either session alone, but the
+        // two directions share every MAC clique, so together they need
+        // 1.5·γ* from a mesh that carries ≈ γ* in total.
+        let floor = 0.75 * diamond_gamma_star(0.6);
+        let r = check_scenario_str("m.json", &multi_diamond(0.6, floor));
+        assert!(!r.is_clean());
+        let joint = r
+            .findings
+            .iter()
+            .find(|f| f.rule == CHECK_CAPACITY)
+            .unwrap_or_else(|| panic!("expected a capacity finding:\n{}", r.render()));
+        assert!(
+            joint
+                .message
+                .contains("joint capacity condition infeasible"),
+            "expected the *joint* check to fire, not isolation: {}",
+            joint.message
+        );
+    }
+
+    #[test]
+    fn duplicate_session_ids_are_rejected() {
+        let text = r#"{
+            "nodes": 4, "capacity": 1000.0,
+            "sessions": [
+                {"id": 7, "src": 0, "dst": 3},
+                {"id": 7, "src": 3, "dst": 0}
+            ],
+            "links": [
+                {"from": 0, "to": 3, "p": 0.5}, {"from": 3, "to": 0, "p": 0.5}
+            ]
+        }"#;
+        let r = check_scenario_str("m.json", text);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == CHECK_SESSIONS && f.message.contains("unique")),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn session_with_equal_endpoints_is_rejected() {
+        let text = r#"{
+            "nodes": 4, "capacity": 1000.0,
+            "sessions": [{"id": 0, "src": 2, "dst": 2}],
+            "links": [
+                {"from": 0, "to": 3, "p": 0.5}, {"from": 3, "to": 0, "p": 0.5}
+            ]
+        }"#;
+        let r = check_scenario_str("m.json", text);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == CHECK_SESSIONS && f.message.contains("differ")),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn mixing_single_and_multi_forms_is_rejected() {
+        let text = r#"{
+            "nodes": 4, "src": 0, "dst": 3, "capacity": 1000.0,
+            "sessions": [{"id": 0, "src": 0, "dst": 3}],
+            "links": [
+                {"from": 0, "to": 3, "p": 0.5}, {"from": 3, "to": 0, "p": 0.5}
+            ]
+        }"#;
+        let r = check_scenario_str("m.json", text);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == CHECK_SESSIONS && f.message.contains("not both")),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn missing_endpoints_are_rejected() {
+        let text = r#"{
+            "nodes": 2, "capacity": 1000.0,
+            "links": [
+                {"from": 0, "to": 1, "p": 0.5}, {"from": 1, "to": 0, "p": 0.5}
+            ]
+        }"#;
+        let r = check_scenario_str("m.json", text);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == CHECK_STRUCTURE && f.message.contains("sessions array")),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn disconnected_session_is_named_in_the_finding() {
+        // Session 1 runs against the arrow of a one-directional component
+        // split: 2/3 never reach 0/1.
+        let text = r#"{
+            "nodes": 4, "capacity": 1000.0,
+            "sessions": [
+                {"id": 0, "src": 0, "dst": 1},
+                {"id": 1, "src": 2, "dst": 0}
+            ],
+            "links": [
+                {"from": 0, "to": 1, "p": 0.5}, {"from": 1, "to": 0, "p": 0.5},
+                {"from": 2, "to": 3, "p": 0.5}, {"from": 3, "to": 2, "p": 0.5}
+            ]
+        }"#;
+        let r = check_scenario_str("m.json", text);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == CHECK_CONNECTIVITY && f.message.contains("session 1")),
+            "{}",
+            r.render()
+        );
     }
 
     #[test]

@@ -75,6 +75,14 @@ fn good_scenario_is_accepted() {
 }
 
 #[test]
+fn good_multi_session_scenario_is_accepted() {
+    let s = fixture_dir().join("scenarios/good_multi_diamond.json");
+    let out = run(&["check-scenario", &s.to_string_lossy()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(exit_code(&out), 0, "stdout:\n{stdout}");
+}
+
+#[test]
 fn infeasible_capacity_scenario_is_rejected() {
     let s = fixture_dir().join("scenarios/infeasible_capacity.json");
     let out = run(&["check-scenario", &s.to_string_lossy()]);
@@ -136,6 +144,13 @@ fn hot_ws_blame_chain_is_rendered_and_denied() {
         stdout.contains("hot path: Encoder::emit → accumulate → lead_coefficient"),
         "stdout:\n{stdout}"
     );
+    // The event-queue engine entry propagates the allocation-free bar:
+    // boxing a popped packet is denied with the chain rendered.
+    assert!(stdout.contains("deny[hot-alloc]"), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("hot path: EventQueue::pop → deliver"),
+        "stdout:\n{stdout}"
+    );
 }
 
 #[test]
@@ -156,11 +171,11 @@ fn cache_warm_run_is_byte_identical_with_hits() {
     let cold_err = String::from_utf8_lossy(&cold.stderr);
     let warm_err = String::from_utf8_lossy(&warm.stderr);
     assert!(
-        cold_err.contains("cache: 0 hit(s), 2 miss(es)"),
+        cold_err.contains("cache: 0 hit(s), 3 miss(es)"),
         "stderr:\n{cold_err}"
     );
     assert!(
-        warm_err.contains("cache: 2 hit(s), 0 miss(es)"),
+        warm_err.contains("cache: 3 hit(s), 0 miss(es)"),
         "stderr:\n{warm_err}"
     );
     std::fs::remove_dir_all(&dir).ok();

@@ -1,0 +1,23 @@
+//! Fixture event-queue engine: `EventQueue::pop` is a registered hot
+//! entry, so the drain path inherits the allocation-free obligation —
+//! handing a popped packet out through a fresh `Box` is a planted
+//! hot-alloc deny two hops down the chain.
+
+pub struct Packet {
+    pub payload: Vec<u8>,
+}
+
+pub struct EventQueue {
+    heap: Vec<(u64, Packet)>,
+}
+
+impl EventQueue {
+    pub fn pop(&mut self) -> Option<Box<Packet>> {
+        let (_, packet) = self.heap.pop()?;
+        Some(deliver(packet))
+    }
+}
+
+fn deliver(packet: Packet) -> Box<Packet> {
+    Box::new(packet)
+}

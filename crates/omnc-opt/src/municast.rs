@@ -283,7 +283,7 @@ impl MUnicast {
 
             for (k, s) in self.sessions.iter().enumerate() {
                 // SUB1 for session k.
-                let lambda = st[k].lambda.clone();
+                let lambda = &st[k].lambda;
                 let sp =
                     net_topo::dijkstra::shortest_paths(&scaffolds[k], NodeId::new(s.src()), |l| {
                         s.out_links(l.from.index())

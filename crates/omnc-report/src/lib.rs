@@ -188,12 +188,38 @@ pub struct ConvergenceSummary {
     pub iterations_to_90pct: u64,
 }
 
+/// Cross-session aggregates over every session of the trace. Populated
+/// whenever the trace holds more than one session — a concurrent
+/// multi-session workload or a sequential sweep — so a multi-session
+/// report always answers "who got the channel" next to the per-session
+/// tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossSessionSummary {
+    /// Sessions in the trace.
+    pub sessions: usize,
+    /// Sum of per-session end-to-end throughputs, bytes/second.
+    pub total_throughput: f64,
+    /// Sessions that delivered anything end to end (decoded a generation
+    /// or absorbed an innovative packet).
+    pub sessions_completed: usize,
+    /// `(session id, share of all trace transmissions)`, stream order.
+    /// Shares sum to 1 when anything transmitted.
+    pub airtime_shares: Vec<(u64, f64)>,
+    /// Jain fairness index of the airtime shares: 1 when every session
+    /// gets equal airtime, `1/K` when one session monopolizes the channel.
+    pub airtime_fairness: f64,
+}
+
 /// A full analysis: per-session reports, optional convergence summary, and
 /// the flat metric map the regression gate consumes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Report {
     /// One report per `SessionStart ..= SessionEnd` span, in stream order.
     pub sessions: Vec<SessionReport>,
+    /// Cross-session aggregates (`None` for single-session traces and
+    /// reports written before this field existed — the deserializer maps
+    /// a missing field to `None`).
+    pub cross: Option<CrossSessionSummary>,
     /// Convergence summary, when an optimizer stream was supplied.
     pub convergence: Option<ConvergenceSummary>,
     /// Flat `name → value` metrics (deterministically ordered). Keys are
@@ -321,12 +347,51 @@ pub fn analyze(trace: &[TraceRecord], opt: &[IterationRecord]) -> Report {
         sessions.push(s);
     }
     let convergence = summarize_convergence(opt);
-    let metrics = collect_metrics(&sessions, convergence.as_ref());
+    let cross = summarize_cross(&sessions);
+    let metrics = collect_metrics(&sessions, cross.as_ref(), convergence.as_ref());
     Report {
         sessions,
+        cross,
         convergence,
         metrics,
     }
+}
+
+/// Reduces multi-session traces to [`CrossSessionSummary`]; `None` for
+/// fewer than two sessions.
+fn summarize_cross(sessions: &[SessionReport]) -> Option<CrossSessionSummary> {
+    if sessions.len() < 2 {
+        return None;
+    }
+    let tx: Vec<f64> = sessions
+        .iter()
+        .map(|s| s.forwarders.values().map(|f| f.transmissions).sum::<u64>() as f64)
+        .collect();
+    let total_tx: f64 = tx.iter().sum();
+    let airtime_shares = sessions
+        .iter()
+        .zip(&tx)
+        .map(|(s, &t)| {
+            let share = if total_tx > 0.0 { t / total_tx } else { 0.0 };
+            (s.session, share)
+        })
+        .collect();
+    let sum_sq: f64 = tx.iter().map(|x| x * x).sum();
+    let airtime_fairness = if sum_sq > 0.0 {
+        total_tx * total_tx / (tx.len() as f64 * sum_sq)
+    } else {
+        0.0
+    };
+    Some(CrossSessionSummary {
+        sessions: sessions.len(),
+        total_throughput: sessions.iter().map(|s| s.throughput).sum(),
+        sessions_completed: sessions
+            .iter()
+            .filter(|s| s.generations_decoded > 0 || s.innovative > 0)
+            .count(),
+        airtime_shares,
+        airtime_fairness,
+    })
 }
 
 fn absorb_mac(s: &mut SessionReport, event: &TraceEvent) {
@@ -387,6 +452,7 @@ fn summarize_convergence(opt: &[IterationRecord]) -> Option<ConvergenceSummary> 
 
 fn collect_metrics(
     sessions: &[SessionReport],
+    cross: Option<&CrossSessionSummary>,
     convergence: Option<&ConvergenceSummary>,
 ) -> BTreeMap<String, f64> {
     let mut metrics = BTreeMap::new();
@@ -413,6 +479,14 @@ fn collect_metrics(
             format!("{prefix}/dropped_mac_events"),
             s.dropped_mac_events as f64,
         );
+    }
+    if let Some(x) = cross {
+        metrics.insert("cross/total_throughput".into(), x.total_throughput);
+        metrics.insert(
+            "cross/sessions_completed".into(),
+            x.sessions_completed as f64,
+        );
+        metrics.insert("cross/airtime_fairness".into(), x.airtime_fairness);
     }
     if let Some(c) = convergence {
         metrics.insert("opt/iterations".into(), c.iterations as f64);
@@ -506,6 +580,19 @@ pub fn render_ascii(report: &Report) -> String {
                 s.dropped_mac_events
             );
         }
+    }
+    if let Some(x) = &report.cross {
+        let _ = writeln!(
+            out,
+            "\ncross-session: {} sessions, {} completed, total {:.1} B/s, \
+             airtime fairness {:.3}",
+            x.sessions, x.sessions_completed, x.total_throughput, x.airtime_fairness
+        );
+        let _ = write!(out, "airtime shares:");
+        for (session, share) in &x.airtime_shares {
+            let _ = write!(out, " s{session} {:.1}%", share * 100.0);
+        }
+        let _ = writeln!(out);
     }
     if let Some(c) = &report.convergence {
         let _ = writeln!(
@@ -1001,6 +1088,14 @@ pub struct TrajectoryRecord {
     pub seed: u64,
     /// Flat `name → value` metrics, as in a committed BENCH file.
     pub metrics: BTreeMap<String, f64>,
+    /// Epoch marker: `Some(true)` means this record starts a fresh
+    /// trend epoch for its bench — [`analyze_trends`] drops the bench's
+    /// accumulated histories before ingesting this record's metrics.
+    /// Written by `scripts/bench.sh --regen` after an *intentional*
+    /// workload change, so the drift fit never straddles two different
+    /// workloads. Older records predate the field; the deserializer
+    /// maps a missing field to `None` (no reset).
+    pub reset: Option<bool>,
 }
 
 /// Parses a JSONL trajectory (blank lines skipped), keeping file order —
@@ -1091,6 +1186,12 @@ fn changepoint_of(values: &[f64]) -> Option<usize> {
 /// short histories are always `"ok"`. A metric with history that is
 /// absent from its bench's latest record is `"missing"` (a schema change
 /// or a silently dropped bench — gate it with `--strict`).
+///
+/// A record with [`TrajectoryRecord::reset`] set starts a fresh epoch
+/// for its bench: earlier history is dropped and the fit runs over the
+/// reset record and everything after it. Pre-reset records stay in the
+/// committed trajectory as the permanent record of the old workload —
+/// they just no longer feed the slope of the new one.
 #[must_use]
 pub fn analyze_trends(
     records: &[TrajectoryRecord],
@@ -1100,6 +1201,9 @@ pub fn analyze_trends(
     let mut histories: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
     let mut latest: BTreeMap<&str, &TrajectoryRecord> = BTreeMap::new();
     for record in records {
+        if record.reset.unwrap_or(false) {
+            histories.retain(|(bench, _), _| *bench != record.bench);
+        }
         for (metric, &value) in &record.metrics {
             histories
                 .entry((record.bench.clone(), metric.clone()))
@@ -1632,6 +1736,63 @@ mod tests {
     }
 
     #[test]
+    fn cross_session_summary_covers_multi_session_traces() {
+        // A second session with three times the airtime and nothing
+        // delivered end to end.
+        let mut trace = synthetic_trace();
+        trace.push(TraceRecord::SessionStart {
+            session: 9,
+            protocol: Protocol::Omnc,
+            src: NodeId::new(3),
+            dst: NodeId::new(0),
+            seed: 2,
+            duration: 10.0,
+        });
+        for i in 0..6 {
+            trace.push(TraceRecord::Mac(TraceEvent::TxStart {
+                at: SimTime::new(1.0 + i as f64),
+                node: NodeId::new(3),
+                wire_len: 100,
+                rate: 1000.0,
+                tag: tag(3, i),
+            }));
+        }
+        trace.push(TraceRecord::SessionEnd {
+            session: 9,
+            throughput: 0.0,
+            generations_decoded: 0,
+            innovative: 0,
+            redundant: 0,
+            final_rank: 0,
+            dropped_mac_events: 0,
+        });
+
+        // Single-session traces carry no cross summary.
+        assert!(analyze(&synthetic_trace(), &[]).cross.is_none());
+
+        let report = analyze(&trace, &[]);
+        let x = report.cross.as_ref().expect("two sessions -> cross");
+        assert_eq!(x.sessions, 2);
+        assert_eq!(x.sessions_completed, 1);
+        assert!((x.total_throughput - 256.0).abs() < 1e-12);
+        // Session 7 transmitted 2 of 8 packets, session 9 the other 6.
+        assert_eq!(x.airtime_shares, vec![(7, 0.25), (9, 0.75)]);
+        // Jain index of (2, 6): (2+6)^2 / (2 * (4+36)) = 0.8.
+        assert!((x.airtime_fairness - 0.8).abs() < 1e-12, "{x:?}");
+        assert_eq!(report.metrics["cross/sessions_completed"], 1.0);
+        assert!((report.metrics["cross/airtime_fairness"] - 0.8).abs() < 1e-12);
+        assert!((report.metrics["cross/total_throughput"] - 256.0).abs() < 1e-12);
+        // The ASCII rendering names the shares next to the fairness index.
+        let text = render_ascii(&report);
+        assert!(
+            text.contains("cross-session: 2 sessions, 1 completed"),
+            "{text}"
+        );
+        assert!(text.contains("s7 25.0%"), "{text}");
+        assert!(text.contains("airtime fairness 0.800"), "{text}");
+    }
+
+    #[test]
     fn analysis_joins_mac_and_decoder_views() {
         let report = analyze(&synthetic_trace(), &[]);
         assert_eq!(report.sessions.len(), 1);
@@ -2003,6 +2164,7 @@ mod tests {
                     .iter()
                     .map(|(name, history)| ((*name).to_string(), history[i]))
                     .collect(),
+                reset: None,
             })
             .collect()
     }
@@ -2071,6 +2233,7 @@ mod tests {
             metrics: [("sim/events_per_s".to_string(), 7.0)]
                 .into_iter()
                 .collect(),
+            reset: None,
         });
         let trends = analyze_trends(&records, 0.1, TREND_MIN_POINTS);
         let dropped = trends
@@ -2082,6 +2245,56 @@ mod tests {
         assert!(gate.passed, "missing only gates under --strict");
         assert_eq!(gate.missing, 1);
         assert!(!trend_gate_report(&trends, 0.1, true).passed);
+    }
+
+    #[test]
+    fn trend_reset_record_starts_a_fresh_epoch() {
+        // A 40% throughput collapse over six points: regressed as one
+        // history, ok once the workload change is marked as an epoch
+        // reset at the collapse point.
+        let mut records = trajectory(&[("sim/events_per_s", &[100.0, 98.0, 99.0])], 3);
+        let make = |value: f64, reset: Option<bool>| TrajectoryRecord {
+            bench: "perf-smoke".into(),
+            seed: 2008,
+            metrics: [("sim/events_per_s".to_string(), value)]
+                .into_iter()
+                .collect(),
+            reset,
+        };
+        records.extend([60.0, 59.0, 61.0].map(|v| make(v, None)));
+        let unbroken = analyze_trends(&records, 0.15, TREND_MIN_POINTS);
+        assert_eq!(unbroken[0].status, "regressed", "{:?}", unbroken[0]);
+
+        records[3].reset = Some(true);
+        let epoched = analyze_trends(&records, 0.15, TREND_MIN_POINTS);
+        assert_eq!(epoched[0].status, "ok", "{:?}", epoched[0]);
+        assert_eq!(epoched[0].values, vec![60.0, 59.0, 61.0]);
+
+        // The reset is bench-scoped: other benches keep their history.
+        let mut mixed = records.clone();
+        for (i, r) in mixed.iter_mut().enumerate() {
+            r.bench = "campaign-bench".into();
+            r.reset = None;
+            r.metrics = [("campaign/serial_s".to_string(), 1.0 + i as f64 * 0.01)]
+                .into_iter()
+                .collect();
+        }
+        let both: Vec<TrajectoryRecord> = records
+            .iter()
+            .cloned()
+            .chain(mixed.iter().cloned())
+            .collect();
+        let trends = analyze_trends(&both, 0.15, TREND_MIN_POINTS);
+        let other = trends
+            .iter()
+            .find(|t| t.bench == "campaign-bench")
+            .expect("campaign history survives the perf-smoke reset");
+        assert_eq!(other.values.len(), 6);
+
+        // Records that predate the field still parse (reset -> None).
+        let legacy = r#"{"bench":"perf-smoke","seed":2008,"metrics":[["sim/events_per_s",7.0]]}"#;
+        let parsed = parse_trajectory(format!("{legacy}\n").as_bytes()).expect("parses");
+        assert_eq!(parsed[0].reset, None);
     }
 
     #[test]
@@ -2108,6 +2321,7 @@ mod tests {
             metrics: [("opt/iterations_per_s".to_string(), 602052.97)]
                 .into_iter()
                 .collect(),
+            reset: None,
         };
         let line = serde_json::to_string(&record).expect("serializes");
         let text = format!("{line}\n\n{line}\n");

@@ -11,6 +11,7 @@
 use std::fs::File;
 use std::io::{BufWriter, Write};
 
+use omnc::multi::run_multi_cell;
 use omnc::runner::{run_session_traced, Protocol, RunOptions};
 use omnc::scenario::{Quality, Scenario};
 use omnc::session::SessionConfig;
@@ -37,6 +38,7 @@ struct Args {
     nodes: usize,
     density: f64,
     sessions: usize,
+    multi: bool,
     duration: f64,
     quality: Quality,
     protocols: Vec<Protocol>,
@@ -61,6 +63,7 @@ impl Args {
             nodes: 120,
             density: 6.0,
             sessions: 5,
+            multi: false,
             duration: 120.0,
             quality: Quality::Lossy,
             protocols: vec![Protocol::Omnc],
@@ -88,6 +91,7 @@ impl Args {
                 "--nodes" => args.nodes = parse(value("--nodes")?)?,
                 "--density" => args.density = parse(value("--density")?)?,
                 "--sessions" => args.sessions = parse(value("--sessions")?)?,
+                "--multi" => args.multi = true,
                 "--duration" => args.duration = parse(value("--duration")?)?,
                 "--seed" => args.seed = parse(value("--seed")?)?,
                 "--quality" => {
@@ -174,6 +178,9 @@ OPTIONS:
     --nodes <N>         deployed nodes            [default: 120]
     --density <D>       avg neighbors in range    [default: 6]
     --sessions <K>      unicast sessions to run   [default: 5]
+    --multi             run all K sessions *concurrently* on one shared
+                        mesh (coupled rate control, shared queues and
+                        channel) instead of as independent experiments
     --duration <SECS>   simulated session length  [default: 120]
     --quality <Q>       lossy | high              [default: lossy]
     --protocol <P>      omnc | more | oldmore | etx | all  [default: omnc]
@@ -241,10 +248,17 @@ fn main() {
     };
 
     if args.format == Format::Table {
-        println!(
-            "{:>4} {:>9} {:>10} {:>8} {:>7} {:>7} {:>7} {:>6}",
-            "k", "protocol", "B/s", "gens", "queue", "nodeU", "pathU", "iters"
-        );
+        if args.multi {
+            println!(
+                "{:>4} {:>9} {:>10} {:>8} {:>8} {:>9} {:>7} {:>7}",
+                "k", "protocol", "B/s", "gens", "airtime", "qwait_s", "sent", "lost"
+            );
+        } else {
+            println!(
+                "{:>4} {:>9} {:>10} {:>8} {:>7} {:>7} {:>7} {:>6}",
+                "k", "protocol", "B/s", "gens", "queue", "nodeU", "pathU", "iters"
+            );
+        }
     }
     let mut trace_out: Option<BufWriter<Box<dyn Write>>> = args.trace.as_ref().map(|path| {
         let sink: Box<dyn Write> = if path == "-" {
@@ -279,7 +293,12 @@ fn main() {
         Registry::disabled()
     };
     let board = if args.serve.is_some() {
-        ProgressBoard::enabled("omnc-sim", args.sessions * args.protocols.len(), 1)
+        let cells = if args.multi {
+            args.protocols.len()
+        } else {
+            args.sessions * args.protocols.len()
+        };
+        ProgressBoard::enabled("omnc-sim", cells, 1)
     } else {
         ProgressBoard::disabled()
     };
@@ -321,87 +340,181 @@ fn main() {
         "scenario: {} nodes, {} sessions, {}s, seed {}",
         scenario.nodes, scenario.sessions, scenario.session.duration, scenario.seed
     ));
-    for (k, seed) in scenario.session_seeds().enumerate() {
-        let (topology, src, dst) = scenario.build_session(k as u64);
+    if args.multi {
         for &protocol in &args.protocols {
-            log.debug(&format!(
-                "session {k}: {} {}->{} seed {seed}",
-                protocol.name(),
-                src.index(),
-                dst.index()
-            ));
-            let scope = args.count_allocs.then(omnc::telemetry::AllocScope::start);
-            let scope_key = format!("{}/s{k}", protocol.name().to_ascii_lowercase());
+            let scope_key = format!("{}/multi", protocol.name().to_ascii_lowercase());
             board.cell_started(0, &scope_key);
             let _black_box = args
                 .flight_recorder
                 .as_ref()
                 .map(|path| flight.arm(&scope_key, std::path::Path::new(path)));
+            let scope = args.count_allocs.then(omnc::telemetry::AllocScope::start);
             let run_options = RunOptions {
                 timeline_scope: scope_key,
                 ..options.clone()
             };
-            let (out, trace) = run_session_traced(
-                &topology,
-                src,
-                dst,
-                protocol,
-                &scenario.session,
-                seed,
-                &run_options,
-            );
+            let (out, traces) = run_multi_cell(&scenario, protocol, &run_options);
             board.cell_finished(0, true);
             if let Some(scope) = scope {
                 let d = scope.delta();
                 let rss = sample_rss().map_or(0, |r| r.vm_rss_bytes) / (1024 * 1024);
                 log.debug(&format!(
-                    "session {k} {}: {} allocs, {} bytes allocated, rss {rss} MB",
+                    "multi {}: {} allocs, {} bytes allocated, rss {rss} MB",
                     protocol.name(),
                     d.alloc_events(),
                     d.bytes_allocated
                 ));
             }
-            if let (Some(file), Some(trace)) = (trace_out.as_mut(), trace) {
-                if trace.dropped_mac_events > 0 {
-                    log.warn(&format!(
-                        "session {k} {} dropped {} MAC events (raise --trace-capacity)",
-                        protocol.name(),
-                        trace.dropped_mac_events
-                    ));
+            if let (Some(file), Some(traces)) = (trace_out.as_mut(), traces) {
+                for trace in traces {
+                    if trace.dropped_mac_events > 0 {
+                        log.warn(&format!(
+                            "{} multi run dropped {} MAC events (raise --trace-capacity)",
+                            protocol.name(),
+                            trace.dropped_mac_events
+                        ));
+                    }
+                    if let Err(e) = trace.write_jsonl(&mut *file) {
+                        log.error(&format!("writing trace: {e}"));
+                        std::process::exit(2);
+                    }
                 }
-                if let Err(e) = trace.write_jsonl(&mut *file) {
-                    log.error(&format!("writing trace: {e}"));
-                    std::process::exit(2);
+            }
+            for s in &out.sessions {
+                match args.format {
+                    Format::Table => println!(
+                        "{:>4} {:>9} {:>10.0} {:>8} {:>8.3} {:>9.1} {:>7} {:>7}",
+                        s.session,
+                        protocol.name(),
+                        s.throughput,
+                        s.generations_decoded,
+                        s.airtime_share,
+                        s.queue_wait,
+                        s.packets_sent,
+                        s.packets_lost,
+                    ),
+                    Format::Json => println!(
+                        "{{\"session\":{},\"protocol\":\"{}\",\"throughput\":{:.1},\
+                         \"generations\":{},\"airtime_share\":{:.4},\"queue_wait\":{:.3},\
+                         \"packets_sent\":{},\"packets_lost\":{},\"completed\":{}}}",
+                        s.session,
+                        protocol.name(),
+                        s.throughput,
+                        s.generations_decoded,
+                        s.airtime_share,
+                        s.queue_wait,
+                        s.packets_sent,
+                        s.packets_lost,
+                        s.completed(),
+                    ),
                 }
             }
             match args.format {
                 Format::Table => println!(
-                    "{:>4} {:>9} {:>10.0} {:>8} {:>7.2} {:>7.2} {:>7.2} {:>6}",
-                    k,
+                    "{:>4} {:>9} {:>10.0} total; {}/{} sessions completed, mean queue {:.2}",
+                    "sum",
                     protocol.name(),
-                    out.throughput,
-                    out.generations_decoded,
+                    out.total_throughput,
+                    out.sessions_completed,
+                    out.sessions.len(),
                     out.mean_queue(),
-                    out.node_utility,
-                    out.path_utility,
-                    out.rc_iterations
-                        .map(|i| i.to_string())
-                        .unwrap_or_else(|| "-".into()),
                 ),
                 Format::Json => println!(
-                    "{{\"session\":{k},\"protocol\":\"{}\",\"throughput\":{:.1},\
+                    "{{\"protocol\":\"{}\",\"total_throughput\":{:.1},\
+                     \"sessions_completed\":{},\"sessions\":{},\"mean_queue\":{:.3},\
+                     \"mac_packets\":{}}}",
+                    protocol.name(),
+                    out.total_throughput,
+                    out.sessions_completed,
+                    out.sessions.len(),
+                    out.mean_queue(),
+                    out.mac_packets,
+                ),
+            }
+        }
+    } else {
+        for (k, seed) in scenario.session_seeds().enumerate() {
+            let (topology, src, dst) = scenario.build_session(k as u64);
+            for &protocol in &args.protocols {
+                log.debug(&format!(
+                    "session {k}: {} {}->{} seed {seed}",
+                    protocol.name(),
+                    src.index(),
+                    dst.index()
+                ));
+                let scope = args.count_allocs.then(omnc::telemetry::AllocScope::start);
+                let scope_key = format!("{}/s{k}", protocol.name().to_ascii_lowercase());
+                board.cell_started(0, &scope_key);
+                let _black_box = args
+                    .flight_recorder
+                    .as_ref()
+                    .map(|path| flight.arm(&scope_key, std::path::Path::new(path)));
+                let run_options = RunOptions {
+                    timeline_scope: scope_key,
+                    ..options.clone()
+                };
+                let (out, trace) = run_session_traced(
+                    &topology,
+                    src,
+                    dst,
+                    protocol,
+                    &scenario.session,
+                    seed,
+                    &run_options,
+                );
+                board.cell_finished(0, true);
+                if let Some(scope) = scope {
+                    let d = scope.delta();
+                    let rss = sample_rss().map_or(0, |r| r.vm_rss_bytes) / (1024 * 1024);
+                    log.debug(&format!(
+                        "session {k} {}: {} allocs, {} bytes allocated, rss {rss} MB",
+                        protocol.name(),
+                        d.alloc_events(),
+                        d.bytes_allocated
+                    ));
+                }
+                if let (Some(file), Some(trace)) = (trace_out.as_mut(), trace) {
+                    if trace.dropped_mac_events > 0 {
+                        log.warn(&format!(
+                            "session {k} {} dropped {} MAC events (raise --trace-capacity)",
+                            protocol.name(),
+                            trace.dropped_mac_events
+                        ));
+                    }
+                    if let Err(e) = trace.write_jsonl(&mut *file) {
+                        log.error(&format!("writing trace: {e}"));
+                        std::process::exit(2);
+                    }
+                }
+                match args.format {
+                    Format::Table => println!(
+                        "{:>4} {:>9} {:>10.0} {:>8} {:>7.2} {:>7.2} {:>7.2} {:>6}",
+                        k,
+                        protocol.name(),
+                        out.throughput,
+                        out.generations_decoded,
+                        out.mean_queue(),
+                        out.node_utility,
+                        out.path_utility,
+                        out.rc_iterations
+                            .map(|i| i.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                    ),
+                    Format::Json => println!(
+                        "{{\"session\":{k},\"protocol\":\"{}\",\"throughput\":{:.1},\
                      \"generations\":{},\"mean_queue\":{:.3},\"node_utility\":{:.3},\
                      \"path_utility\":{:.3},\"rc_iterations\":{}}}",
-                    protocol.name(),
-                    out.throughput,
-                    out.generations_decoded,
-                    out.mean_queue(),
-                    out.node_utility,
-                    out.path_utility,
-                    out.rc_iterations
-                        .map(|i| i.to_string())
-                        .unwrap_or_else(|| "null".into()),
-                ),
+                        protocol.name(),
+                        out.throughput,
+                        out.generations_decoded,
+                        out.mean_queue(),
+                        out.node_utility,
+                        out.path_utility,
+                        out.rc_iterations
+                            .map(|i| i.to_string())
+                            .unwrap_or_else(|| "null".into()),
+                    ),
+                }
             }
         }
     }

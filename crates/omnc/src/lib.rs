@@ -33,7 +33,8 @@
 //! topology and executes one unicast session end-to-end; [`metrics`]
 //! computes the paper's evaluation metrics (throughput gain, node/path
 //! utility ratios); [`scenario`] holds the paper's experiment
-//! configurations.
+//! configurations; [`multi`] runs N concurrent sessions coupled on one
+//! shared mesh (joint rate control, shared queues and channel).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@
 pub mod adaptive;
 pub mod metrics;
 pub mod msg;
+pub mod multi;
 pub mod proto;
 pub mod runner;
 pub mod scenario;

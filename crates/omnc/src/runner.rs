@@ -93,9 +93,11 @@ impl SessionOutcome {
 }
 
 /// One behavior enum so the simulator stays fully typed and final protocol
-/// state can be read back without downcasting.
+/// state can be read back without downcasting. Shared with the
+/// multi-session runner ([`crate::multi`]), which wires one `Role` per
+/// (session, node) pair.
 #[allow(clippy::large_enum_variant)]
-enum Role {
+pub(crate) enum Role {
     OmncSrc(OmncSource),
     OmncRelay(OmncRelay),
     OmncDst(OmncDestination),
@@ -160,7 +162,7 @@ impl Behavior<Msg> for Role {
 impl Role {
     /// Attaches the session profiler to whatever coder this role carries
     /// (ETX forwards raw blocks, so those roles have nothing to profile).
-    fn set_profiler(&mut self, profiler: &Profiler) {
+    pub(crate) fn set_profiler(&mut self, profiler: &Profiler) {
         match self {
             Role::OmncSrc(b) => b.set_profiler(profiler.clone()),
             Role::OmncRelay(b) => b.set_profiler(profiler.clone()),
@@ -174,7 +176,7 @@ impl Role {
 
     /// Attaches the timeline recorder to the role's decoder, if it has one
     /// (only destinations sample rank progress).
-    fn set_timeline(&mut self, timeline: &TimeSeries, scope: &str) {
+    pub(crate) fn set_timeline(&mut self, timeline: &TimeSeries, scope: &str) {
         match self {
             Role::OmncDst(b) => b.set_timeline(timeline.clone(), scope),
             Role::MoreDst(b) => b.set_timeline(timeline.clone(), scope),

@@ -1,7 +1,7 @@
 //! Experiment scenarios: the paper's evaluation setups plus reduced-scale
 //! variants for fast runs.
 
-use net_topo::deploy::{random_session, Deployment};
+use net_topo::deploy::{random_session, random_sessions, Deployment};
 use net_topo::graph::{NodeId, Topology};
 use net_topo::phy::Phy;
 use rand::SeedableRng;
@@ -112,6 +112,24 @@ impl Scenario {
         (topo, s, d)
     }
 
+    /// Builds the shared topology once and draws *all* session endpoint
+    /// pairs for a multi-session workload. Each pair uses the same
+    /// derivation as [`Scenario::build_session`], so session `k` of the
+    /// concurrent workload has exactly the endpoints its single-session
+    /// cell would — the two runners stay comparable.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Scenario::build_session`].
+    pub fn build_multi(&self) -> (Topology, Vec<(NodeId, NodeId)>) {
+        let topo = self.build_topology();
+        let endpoints = random_sessions(&topo, self.sessions, self.hops, 50_000, |k| {
+            self.seed ^ (k.wrapping_mul(0x51ab))
+        })
+        .expect("a connected density-6 deployment always has mid-length sessions");
+        (topo, endpoints)
+    }
+
     /// The simulation seed of session `k` (what [`Scenario::session_seeds`]
     /// yields at position `k`).
     pub fn session_seed(&self, k: u64) -> u64 {
@@ -172,6 +190,18 @@ mod tests {
         let qh = high.avg_link_quality();
         assert!((0.52..=0.66).contains(&ql), "lossy avg {ql}");
         assert!((0.85..=0.96).contains(&qh), "high avg {qh}");
+    }
+
+    #[test]
+    fn build_multi_matches_per_session_draws() {
+        let s = Scenario::small_test();
+        let (topo, endpoints) = s.build_multi();
+        assert_eq!(endpoints.len(), s.sessions);
+        for (k, &(src, dst)) in endpoints.iter().enumerate() {
+            let (single_topo, ss, sd) = s.build_session(k as u64);
+            assert_eq!(topo, single_topo);
+            assert_eq!((src, dst), (ss, sd), "session {k}");
+        }
     }
 
     #[test]

@@ -11,16 +11,24 @@
 # ALLOC_baseline.json.
 #
 # After an intentional instrumentation or workload change, regenerate the
-# baselines with `scripts/bench.sh --regen` and commit the result. The
-# flags here must stay in lockstep with the "perf-smoke", "alloc-gate"
-# and "trend-gate" jobs in .github/workflows/ci.yml.
+# baselines with `scripts/bench.sh --regen` and commit the result —
+# including the trajectory: the regen record carries an epoch-reset
+# marker so `omnc-report trend` starts its drift fit at the new
+# workload instead of straddling the change. The flags here must stay
+# in lockstep with the "perf-smoke", "alloc-gate" and "trend-gate" jobs
+# in .github/workflows/ci.yml.
 set -eu
 cd "$(dirname "$0")/.."
 cargo build --release -p omnc-bench -p omnc-report
 trajectory="results/bench/trajectory.jsonl"
 mkdir -p "$(dirname "$trajectory")"
+reset_flag=""
+if [ "${1:-}" = "--regen" ]; then
+  reset_flag="--trajectory-reset"
+fi
 out="$(mktemp)"
-./target/release/perf_smoke --out "$out" \
+# shellcheck disable=SC2086 # reset_flag is empty or one flag
+./target/release/perf_smoke --out "$out" $reset_flag \
   --profile profile.json --profile-folded profile.folded \
   --alloc-out alloc.json
 cat "$out" >> "$trajectory"

@@ -7,9 +7,16 @@
 # --jobs; a diff beyond the threshold means the simulation itself
 # changed.
 #
-# After an intentional model or scenario change, regenerate the baseline
-# with `scripts/campaign.sh --regen` and commit the result. The flags
-# here must stay in lockstep with the "campaign-smoke" job in
+# The multi-session smoke (crates/omnc-campaign/specs/multi-smoke.json,
+# 2 variants x 2 protocols, each cell running 3 coupled sessions on one
+# shared mesh) rides along under the same determinism contract: its
+# merged report gates against CAMPAIGN_MULTI_baseline.json, and the
+# bench-style --jobs 1 vs --jobs 2 byte-compare below proves coupled
+# cells schedule as deterministically as classic ones.
+#
+# After an intentional model or scenario change, regenerate the
+# baselines with `scripts/campaign.sh --regen` and commit the result.
+# The flags here must stay in lockstep with the "campaign-smoke" job in
 # .github/workflows/ci.yml.
 set -eu
 cd "$(dirname "$0")/.."
@@ -18,11 +25,21 @@ out="campaign-out"
 rm -rf "$out"
 ./target/release/omnc-campaign run \
   --spec crates/omnc-campaign/specs/smoke.json --out "$out" --jobs 2
+multi_out="campaign-multi-out"
+rm -rf "$multi_out"
+# `bench` runs the campaign at --jobs 1 and --jobs 2 and fails hard if
+# any merged artifact differs by a byte: the multi-cell determinism gate.
+./target/release/omnc-campaign bench \
+  --spec crates/omnc-campaign/specs/multi-smoke.json --out "$multi_out" --jobs 2
 if [ "${1:-}" = "--regen" ]; then
   cp "$out/report.json" CAMPAIGN_baseline.json
-  echo "wrote CAMPAIGN_baseline.json"
+  cp "$multi_out/jobs1/report.json" CAMPAIGN_MULTI_baseline.json
+  echo "wrote CAMPAIGN_baseline.json and CAMPAIGN_MULTI_baseline.json"
 else
   ./target/release/omnc-report compare \
     --baseline CAMPAIGN_baseline.json --current "$out/report.json" \
+    --threshold 0.15
+  ./target/release/omnc-report compare \
+    --baseline CAMPAIGN_MULTI_baseline.json --current "$multi_out/jobs1/report.json" \
     --threshold 0.15
 fi
